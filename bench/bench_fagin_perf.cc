@@ -1,0 +1,164 @@
+// Performance of Algorithm 1 (Fagin Threshold Algorithm) against the naive
+// full scan, across universe sizes and inverted-list counts. The skewed
+// value distribution mirrors unfairness cubes, where a handful of
+// dimension values dominate; TA terminates after a few sorted accesses
+// while the scan always touches everything.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/fagin.h"
+#include "core/fagin_family.h"
+
+namespace fairjob {
+namespace {
+
+std::vector<InvertedIndex> MakeLists(size_t universe, size_t num_lists,
+                                     uint64_t seed) {
+  Rng rng(seed);
+  std::vector<InvertedIndex> lists;
+  lists.reserve(num_lists);
+  for (size_t l = 0; l < num_lists; ++l) {
+    std::vector<ScoredEntry> entries;
+    entries.reserve(universe);
+    for (size_t id = 0; id < universe; ++id) {
+      double u = rng.NextDouble();
+      // Heavy right tail: most values small, few large.
+      entries.push_back({static_cast<int32_t>(id), u * u * u});
+    }
+    lists.emplace_back(std::move(entries));
+  }
+  return lists;
+}
+
+std::vector<const InvertedIndex*> Pointers(
+    const std::vector<InvertedIndex>& lists) {
+  std::vector<const InvertedIndex*> out;
+  out.reserve(lists.size());
+  for (const InvertedIndex& list : lists) out.push_back(&list);
+  return out;
+}
+
+void BM_FaginTopK(benchmark::State& state) {
+  size_t universe = static_cast<size_t>(state.range(0));
+  size_t num_lists = static_cast<size_t>(state.range(1));
+  std::vector<InvertedIndex> lists = MakeLists(universe, num_lists, 42);
+  std::vector<const InvertedIndex*> ptrs = Pointers(lists);
+  TopKOptions options;
+  options.k = 5;
+  FaginStats stats;
+  for (auto _ : state) {
+    stats = FaginStats{};
+    auto result = FaginTopK(ptrs, options, &stats);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["sorted_accesses"] = static_cast<double>(stats.sorted_accesses);
+  state.counters["random_accesses"] = static_cast<double>(stats.random_accesses);
+  state.counters["ids_scored"] = static_cast<double>(stats.ids_scored);
+}
+
+void BM_FaginFA(benchmark::State& state) {
+  size_t universe = static_cast<size_t>(state.range(0));
+  size_t num_lists = static_cast<size_t>(state.range(1));
+  std::vector<InvertedIndex> lists = MakeLists(universe, num_lists, 42);
+  std::vector<const InvertedIndex*> ptrs = Pointers(lists);
+  TopKOptions options;
+  options.k = 5;
+  options.missing = MissingCellPolicy::kZero;  // FA's early-stop mode
+  FaginStats stats;
+  for (auto _ : state) {
+    stats = FaginStats{};
+    auto result = FaginFA(ptrs, options, &stats);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["sorted_accesses"] = static_cast<double>(stats.sorted_accesses);
+  state.counters["ids_scored"] = static_cast<double>(stats.ids_scored);
+}
+
+void BM_FaginNRA(benchmark::State& state) {
+  size_t universe = static_cast<size_t>(state.range(0));
+  size_t num_lists = static_cast<size_t>(state.range(1));
+  std::vector<InvertedIndex> lists = MakeLists(universe, num_lists, 42);
+  std::vector<const InvertedIndex*> ptrs = Pointers(lists);
+  TopKOptions options;
+  options.k = 5;
+  options.missing = MissingCellPolicy::kZero;
+  FaginStats stats;
+  for (auto _ : state) {
+    stats = FaginStats{};
+    auto result = FaginNRA(ptrs, options, &stats);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["sorted_accesses"] = static_cast<double>(stats.sorted_accesses);
+  state.counters["random_accesses"] = static_cast<double>(stats.random_accesses);
+}
+
+void BM_ScanTopK(benchmark::State& state) {
+  size_t universe = static_cast<size_t>(state.range(0));
+  size_t num_lists = static_cast<size_t>(state.range(1));
+  std::vector<InvertedIndex> lists = MakeLists(universe, num_lists, 42);
+  std::vector<const InvertedIndex*> ptrs = Pointers(lists);
+  TopKOptions options;
+  options.k = 5;
+  FaginStats stats;
+  for (auto _ : state) {
+    stats = FaginStats{};
+    auto result = ScanTopK(ptrs, options, &stats);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["sorted_accesses"] = static_cast<double>(stats.sorted_accesses);
+  state.counters["ids_scored"] = static_cast<double>(stats.ids_scored);
+}
+
+void BM_FaginBottomK(benchmark::State& state) {
+  size_t universe = static_cast<size_t>(state.range(0));
+  std::vector<InvertedIndex> lists = MakeLists(universe, 16, 42);
+  std::vector<const InvertedIndex*> ptrs = Pointers(lists);
+  TopKOptions options;
+  options.k = 5;
+  options.direction = RankDirection::kLeastUnfair;
+  for (auto _ : state) {
+    auto result = FaginTopK(ptrs, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+void BM_IndexBuild(benchmark::State& state) {
+  size_t universe = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  for (auto _ : state) {
+    std::vector<ScoredEntry> entries;
+    entries.reserve(universe);
+    for (size_t id = 0; id < universe; ++id) {
+      entries.push_back({static_cast<int32_t>(id), rng.NextDouble()});
+    }
+    InvertedIndex index(std::move(entries));
+    benchmark::DoNotOptimize(index);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(universe));
+}
+
+}  // namespace
+}  // namespace fairjob
+
+BENCHMARK(fairjob::BM_FaginTopK)
+    ->ArgsProduct({{64, 512, 4096}, {4, 16, 64}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(fairjob::BM_FaginFA)
+    ->ArgsProduct({{64, 512, 4096}, {4, 16}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(fairjob::BM_FaginNRA)
+    ->ArgsProduct({{64, 512, 4096}, {4, 16}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(fairjob::BM_ScanTopK)
+    ->ArgsProduct({{64, 512, 4096}, {4, 16, 64}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(fairjob::BM_FaginBottomK)
+    ->Arg(512)
+    ->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(fairjob::BM_IndexBuild)->Arg(1024)->Arg(16384)->Unit(
+    benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Reproduces Figures 7 and 8: gender and ethnicity breakdown of the 3,311
+// TaskRabbit taskers (and the crawl-scale statistics quoted in §5.1.1).
+//
+// Shape reproduced: ~72% male, ~66% white; 56 cities; 5,361 offered
+// (job, location) query combinations.
+
+#include "bench_util.h"
+
+namespace fairjob {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintTitle("Figures 7 & 8 — tasker demographics and crawl-scale stats");
+  PrintPaperNote("3,311 taskers: ~72% male, ~66% white; 5,361 queries");
+
+  std::unique_ptr<SimulatedMarketplace> site =
+      OrDie(BuildTaskRabbitSite(TaskRabbitConfig{}), "site build");
+  const AttributeSchema& schema = site->schema();
+  AttributeId eth = OrDie(schema.FindAttribute("ethnicity"), "ethnicity");
+  AttributeId gender = OrDie(schema.FindAttribute("gender"), "gender");
+
+  std::vector<size_t> gender_counts(schema.num_values(gender), 0);
+  std::vector<size_t> eth_counts(schema.num_values(eth), 0);
+  for (size_t i = 0; i < site->num_workers(); ++i) {
+    const Demographics& d = site->worker(i).demographics;
+    ++gender_counts[static_cast<size_t>(d[static_cast<size_t>(gender)])];
+    ++eth_counts[static_cast<size_t>(d[static_cast<size_t>(eth)])];
+  }
+  double n = static_cast<double>(site->num_workers());
+
+  std::vector<std::vector<std::string>> rows;
+  for (size_t v = 0; v < gender_counts.size(); ++v) {
+    rows.push_back({"gender", schema.value_name(gender, static_cast<ValueId>(v)),
+                    std::to_string(gender_counts[v]),
+                    Fmt(100.0 * gender_counts[v] / n, 1) + "%"});
+  }
+  for (size_t v = 0; v < eth_counts.size(); ++v) {
+    rows.push_back({"ethnicity", schema.value_name(eth, static_cast<ValueId>(v)),
+                    std::to_string(eth_counts[v]),
+                    Fmt(100.0 * eth_counts[v] / n, 1) + "%"});
+  }
+  PrintTable({"Attribute", "Value", "Taskers", "Share"}, rows);
+
+  std::printf("\nunique taskers: %zu (paper: 3,311)\n", site->num_workers());
+  std::printf("supported cities: %zu (paper: 56)\n", site->Cities().size());
+  std::printf("offered (job, location) queries: %zu (paper: 5,361)\n",
+              site->num_queries_offered());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fairjob
+
+int main() {
+  fairjob::bench::Run();
+  return 0;
+}

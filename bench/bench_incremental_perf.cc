@@ -1,0 +1,78 @@
+// Incremental maintenance vs full rebuild: after one (query, location)
+// ranking changes, RefreshMarketplaceColumn + IndexSet::RefreshColumn
+// should beat rebuilding the whole cube + index by roughly the number of
+// columns. Sweeps the dataset scale.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/indices.h"
+#include "core/unfairness_cube.h"
+#include "market/taskrabbit_sim.h"
+
+namespace fairjob {
+namespace {
+
+struct World {
+  std::unique_ptr<TaskRabbitDataset> data;
+  std::unique_ptr<GroupSpace> space;
+};
+
+World MakeWorld(size_t cities, size_t subjobs_per_category) {
+  TaskRabbitConfig config;
+  config.num_workers = cities * 60;
+  config.max_cities = cities;
+  config.max_subjobs_per_category = subjobs_per_category;
+  config.target_query_count = 1 << 20;
+  World world;
+  world.data = std::make_unique<TaskRabbitDataset>(
+      std::move(BuildTaskRabbitDataset(config)).value());
+  world.space = std::make_unique<GroupSpace>(
+      GroupSpace::Enumerate(world.data->dataset.schema()).value());
+  return world;
+}
+
+void BM_FullRebuild(benchmark::State& state) {
+  World world = MakeWorld(static_cast<size_t>(state.range(0)),
+                          static_cast<size_t>(state.range(1)));
+  for (auto _ : state) {
+    auto cube = BuildMarketplaceCube(world.data->dataset, *world.space,
+                                     MarketMeasure::kEmd);
+    IndexSet indices = IndexSet::Build(*cube);
+    benchmark::DoNotOptimize(indices);
+  }
+}
+
+void BM_ColumnRefresh(benchmark::State& state) {
+  World world = MakeWorld(static_cast<size_t>(state.range(0)),
+                          static_cast<size_t>(state.range(1)));
+  UnfairnessCube cube = BuildMarketplaceCube(world.data->dataset, *world.space,
+                                             MarketMeasure::kEmd)
+                            .value();
+  IndexSet indices = IndexSet::Build(cube);
+  size_t q = 0;
+  for (auto _ : state) {
+    Status s = RefreshMarketplaceColumn(world.data->dataset, *world.space,
+                                        MarketMeasure::kEmd, {}, &cube,
+                                        q % cube.axis_size(Dimension::kQuery),
+                                        0);
+    benchmark::DoNotOptimize(s);
+    indices.RefreshColumn(cube, q % cube.axis_size(Dimension::kQuery), 0);
+    ++q;
+  }
+}
+
+}  // namespace
+}  // namespace fairjob
+
+BENCHMARK(fairjob::BM_FullRebuild)
+    ->Args({4, 2})
+    ->Args({8, 4})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(fairjob::BM_ColumnRefresh)
+    ->Args({4, 2})
+    ->Args({8, 4})
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

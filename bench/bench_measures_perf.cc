@@ -1,0 +1,162 @@
+// Throughput of the unfairness measures and their ranking-distance
+// primitives: full/top-k Kendall-Tau, Jaccard, 1-D and general EMD, and the
+// per-triple marketplace measures on a 50-worker ranking.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <numeric>
+
+#include "common/rng.h"
+#include "core/unfairness_measures.h"
+#include "ranking/emd.h"
+#include "ranking/jaccard.h"
+#include "ranking/kendall_tau.h"
+
+namespace fairjob {
+namespace {
+
+RankedList RandomPermutation(size_t n, Rng* rng) {
+  RankedList list(n);
+  std::iota(list.begin(), list.end(), 0);
+  rng->Shuffle(list);
+  return list;
+}
+
+void BM_KendallTauFull(benchmark::State& state) {
+  Rng rng(1);
+  size_t n = static_cast<size_t>(state.range(0));
+  RankedList a = RandomPermutation(n, &rng);
+  RankedList b = RandomPermutation(n, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KendallTauDistance(a, b));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+
+void BM_KendallTauTopK(benchmark::State& state) {
+  Rng rng(2);
+  size_t k = static_cast<size_t>(state.range(0));
+  RankedList pool = RandomPermutation(2 * k, &rng);
+  RankedList a(pool.begin(), pool.begin() + static_cast<long>(k));
+  rng.Shuffle(pool);
+  RankedList b(pool.begin(), pool.begin() + static_cast<long>(k));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KendallTauTopK(a, b, 0.5));
+  }
+}
+
+void BM_Jaccard(benchmark::State& state) {
+  Rng rng(3);
+  size_t k = static_cast<size_t>(state.range(0));
+  RankedList pool = RandomPermutation(2 * k, &rng);
+  RankedList a(pool.begin(), pool.begin() + static_cast<long>(k));
+  rng.Shuffle(pool);
+  RankedList b(pool.begin(), pool.begin() + static_cast<long>(k));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JaccardDistance(a, b));
+  }
+}
+
+void BM_Emd1D(benchmark::State& state) {
+  Rng rng(4);
+  size_t bins = static_cast<size_t>(state.range(0));
+  std::vector<double> p(bins);
+  std::vector<double> q(bins);
+  for (size_t i = 0; i < bins; ++i) {
+    p[i] = rng.NextDouble();
+    q[i] = rng.NextDouble();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Emd1D(p, q));
+  }
+}
+
+void BM_EmdGeneral(benchmark::State& state) {
+  Rng rng(5);
+  size_t bins = static_cast<size_t>(state.range(0));
+  std::vector<double> p(bins);
+  std::vector<double> q(bins);
+  std::vector<std::vector<double>> cost(bins, std::vector<double>(bins));
+  for (size_t i = 0; i < bins; ++i) {
+    p[i] = rng.NextDouble();
+    q[i] = rng.NextDouble();
+    for (size_t j = 0; j < bins; ++j) {
+      cost[i][j] = std::abs(static_cast<double>(i) - static_cast<double>(j));
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EmdGeneral(p, q, cost));
+  }
+}
+
+struct MarketFixture {
+  MarketFixture() : data(MakeSchema()) {
+    space = std::make_unique<GroupSpace>(*GroupSpace::Enumerate(data.schema()));
+    Rng rng(6);
+    MarketRanking ranking;
+    for (int i = 0; i < 50; ++i) {
+      Demographics d = {static_cast<ValueId>(rng.NextBelow(3)),
+                        static_cast<ValueId>(rng.NextBelow(2))};
+      WorkerId id = *data.AddWorker("w" + std::to_string(i), d);
+      ranking.workers.push_back(id);
+    }
+    (void)data.SetRanking(0, 0, std::move(ranking));
+    data.queries().GetOrAdd("q");
+    data.locations().GetOrAdd("l");
+  }
+
+  static AttributeSchema MakeSchema() {
+    AttributeSchema schema;
+    (void)schema.AddAttribute("ethnicity", {"Asian", "Black", "White"});
+    (void)schema.AddAttribute("gender", {"Male", "Female"});
+    return schema;
+  }
+
+  MarketplaceDataset data;
+  std::unique_ptr<GroupSpace> space;
+};
+
+void BM_MarketplaceMeasure(benchmark::State& state) {
+  static MarketFixture* fixture = new MarketFixture();
+  MarketMeasure measure =
+      state.range(0) == 0 ? MarketMeasure::kEmd : MarketMeasure::kExposure;
+  for (auto _ : state) {
+    for (size_t g = 0; g < fixture->space->num_groups(); ++g) {
+      benchmark::DoNotOptimize(
+          MarketplaceUnfairness(fixture->data, *fixture->space,
+                                static_cast<GroupId>(g), 0, 0, measure));
+    }
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(fixture->space->num_groups()));
+}
+
+}  // namespace
+}  // namespace fairjob
+
+BENCHMARK(fairjob::BM_KendallTauFull)
+    ->Arg(50)
+    ->Arg(500)
+    ->Arg(5000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(fairjob::BM_KendallTauTopK)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(50)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(fairjob::BM_Jaccard)->Arg(10)->Arg(50)->Arg(500);
+BENCHMARK(fairjob::BM_Emd1D)->Arg(10)->Arg(100)->Arg(1000);
+BENCHMARK(fairjob::BM_EmdGeneral)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(20)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(fairjob::BM_MarketplaceMeasure)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Reproduces the §5.2.1 drill-down results: the fairest/unfairest location
+// for selected jobs, and the fairest/unfairest job for selected locations —
+// quantification with restricted aggregation subsets.
+//
+// Shape reproduced: severe cities (Birmingham, UK) surface as the unfairest
+// location for Handyman and Run Errands; calibration-fair cities (the
+// Bay Area, Boston) as the fairest; Delivery / Furniture Assembly come out
+// as the fairest categories inside individual cities, Yard-Work-like
+// categories as the unfairest.
+
+#include <algorithm>
+
+#include "bench_util.h"
+
+namespace fairjob {
+namespace bench {
+namespace {
+
+void LocationExtremesForJob(const TaskRabbitBoxes& boxes,
+                            const std::string& category) {
+  const FBox& box = *boxes.emd;
+  std::vector<size_t> query_positions =
+      OrDie(box.PositionsOf(Dimension::kQuery,
+                            boxes.data->subjobs_by_category.at(category)),
+            "category positions");
+  QuantificationRequest request;
+  request.target = Dimension::kLocation;
+  request.k = 3;
+  request.agg2 = AxisSelector{query_positions};  // (group, query) aggregated
+  request.direction = RankDirection::kLeastUnfair;
+  QuantificationResult fairest = OrDie(box.Quantify(request), "fairest");
+  request.direction = RankDirection::kMostUnfair;
+  QuantificationResult unfairest = OrDie(box.Quantify(request), "unfairest");
+  auto names = [&](const QuantificationResult& result) {
+    std::string out;
+    for (const auto& a : result.answers) {
+      out += box.NameOf(Dimension::kLocation, a.id) + " (" +
+             Fmt(a.value) + ")  ";
+    }
+    return out;
+  };
+  std::printf("%s\n  fairest-3:   %s\n  unfairest-3: %s\n", category.c_str(),
+              names(fairest).c_str(), names(unfairest).c_str());
+}
+
+void JobExtremesForLocation(const TaskRabbitBoxes& boxes,
+                            const std::string& city) {
+  const FBox& box = *boxes.emd;
+  size_t city_pos = OrDie(box.PosOf(Dimension::kLocation, city), "city");
+  std::vector<std::pair<std::string, double>> values;
+  for (const auto& [category, subjobs] : boxes.data->subjobs_by_category) {
+    std::vector<size_t> positions =
+        OrDie(box.PositionsOf(Dimension::kQuery, subjobs), "positions");
+    std::optional<double> avg =
+        box.cube().Average(AxisSelector::All(), AxisSelector{positions},
+                           AxisSelector::Single(city_pos));
+    if (avg.has_value()) values.emplace_back(category, *avg);
+  }
+  auto [min_it, max_it] = std::minmax_element(
+      values.begin(), values.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  std::printf("%-28s fairest: %-20s (%.3f)   unfairest: %-18s (%.3f)\n",
+              city.c_str(), min_it->first.c_str(), min_it->second,
+              max_it->first.c_str(), max_it->second);
+}
+
+void Run() {
+  TaskRabbitBoxes boxes = OrDie(BuildTaskRabbitBoxes(), "TaskRabbit build");
+
+  PrintTitle("§5.2.1 — fairest / unfairest location per job (EMD)");
+  PrintPaperNote(
+      "paper: San Francisco Bay Area fairest for Handyman and Run Errands; "
+      "Birmingham, UK unfairest for both");
+  for (const char* category : {"Handyman", "Run Errands"}) {
+    LocationExtremesForJob(boxes, category);
+  }
+
+  PrintTitle("§5.2.1 — fairest / unfairest job per location (EMD)");
+  PrintPaperNote(
+      "paper: Delivery / Furniture Assembly fairest; Yard Work and General "
+      "Cleaning unfairest in Birmingham, Detroit, Nashville");
+  for (const char* city :
+       {"Birmingham, UK", "Detroit, MI", "Nashville, TN", "Philadelphia, PA",
+        "San Diego, CA", "Chicago, IL"}) {
+    JobExtremesForLocation(boxes, city);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fairjob
+
+int main() {
+  fairjob::bench::Run();
+  return 0;
+}

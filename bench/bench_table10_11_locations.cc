@@ -1,0 +1,47 @@
+// Reproduces Tables 10 and 11: the 10 least and 10 most fair TaskRabbit
+// locations under EMD and Exposure, via location-fairness quantification
+// (Problem 1, Fagin TA over the location-based indices).
+//
+// Shape reproduced: Birmingham UK and Oklahoma City OK least fair; Chicago
+// and San Francisco fairest.
+
+#include "bench_util.h"
+
+namespace fairjob {
+namespace bench {
+namespace {
+
+void PrintDirection(const TaskRabbitBoxes& boxes, RankDirection direction,
+                    const char* title) {
+  PrintTitle(title);
+  std::vector<FBox::NamedAnswer> emd =
+      OrDie(boxes.emd->TopK(Dimension::kLocation, 10, direction), "EMD");
+  std::vector<FBox::NamedAnswer> exposure = OrDie(
+      boxes.exposure->TopK(Dimension::kLocation, 10, direction), "Exposure");
+  std::vector<std::vector<std::string>> rows;
+  for (size_t i = 0; i < emd.size(); ++i) {
+    rows.push_back({emd[i].name, Fmt(emd[i].value), exposure[i].name,
+                    Fmt(exposure[i].value)});
+  }
+  PrintTable({"City (by EMD)", "EMD", "City (by Exposure)", "Exposure"}, rows);
+}
+
+void Run() {
+  TaskRabbitBoxes boxes = OrDie(BuildTaskRabbitBoxes(), "TaskRabbit build");
+  PrintPaperNote(
+      "Table 10: Birmingham, UK and Oklahoma City, OK least fair; "
+      "Table 11: Chicago, IL and San Francisco, CA fairest");
+  PrintDirection(boxes, RankDirection::kMostUnfair,
+                 "Table 10 — 10 unfairest locations");
+  PrintDirection(boxes, RankDirection::kLeastUnfair,
+                 "Table 11 — 10 fairest locations");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fairjob
+
+int main() {
+  fairjob::bench::Run();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Reproduces Tables 13 and 14: Lawn Mowing vs Event Decorating on
+// TaskRabbit, broken down by ethnicity, under EMD (Table 13) and Exposure
+// (Table 14). The breakdown runs over all groups (the paper compares against
+// "the whole population"); the tables print the single-ethnicity rows.
+//
+// Shape reproduced: Lawn Mowing is less fair than Event Decorating overall;
+// for Whites the comparison inverts under EMD (Table 13); the exposure
+// variant flips for a different ethnicity (Table 14 found Blacks —
+// "warrants further investigation" per the paper).
+
+#include "bench_util.h"
+
+namespace fairjob {
+namespace bench {
+namespace {
+
+void RunMeasure(const FBox& box, const char* measure_name, const char* table) {
+  PrintTitle(std::string(table) + " — Lawn Mowing vs Event Decorating by "
+             "ethnicity (" + measure_name + ")");
+  ComparisonResult result =
+      OrDie(box.CompareByName(Dimension::kQuery, "Lawn Mowing",
+                              "Event Decorating", Dimension::kGroup),
+            "comparison");
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"All", Fmt(result.overall_d1), Fmt(result.overall_d2), ""});
+  for (const ComparisonRow& row : result.rows) {
+    std::string name = box.NameOf(Dimension::kGroup, row.breakdown_id);
+    // Single-ethnicity rows only (the paper's breakdown dimension).
+    if (name != "Asian" && name != "Black" && name != "White") continue;
+    rows.push_back({name, Fmt(row.d1), Fmt(row.d2),
+                    row.reversed ? "REVERSED" : ""});
+  }
+  PrintTable({"Job-comparison", "Lawn Mowing", "Event Decorating", ""}, rows);
+}
+
+void Run() {
+  PrintPaperNote(
+      "Table 13 (EMD): overall 0.674 vs 0.613, White reversed (0.552 vs "
+      "0.569); Table 14 (Exposure): overall 0.500 vs 0.442, Black reversed");
+  TaskRabbitBoxes boxes = OrDie(BuildTaskRabbitBoxes(), "TaskRabbit build");
+  RunMeasure(*boxes.emd, "EMD", "Table 13");
+  RunMeasure(*boxes.exposure, "Exposure", "Table 14");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fairjob
+
+int main() {
+  fairjob::bench::Run();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces Table 15: San Francisco Bay Area vs Chicago on TaskRabbit
+// (EMD), broken down by General Cleaning sub-jobs. The Bay Area is fairer
+// overall, but the trend inverts for the organizing sub-jobs.
+//
+// Shape reproduced: reversal rows = Back To Organized, Organize & Declutter,
+// Organize Closet.
+
+#include <set>
+
+#include "bench_util.h"
+
+namespace fairjob {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintTitle(
+      "Table 15 — SF Bay Area vs Chicago across General Cleaning sub-jobs "
+      "(EMD)");
+  PrintPaperNote(
+      "overall: 0.213 vs 0.233 (Bay Area fairer); reversed: Back To "
+      "Organized, Organize & Declutter, Organize Closet");
+
+  TaskRabbitBoxes boxes = OrDie(BuildTaskRabbitBoxes(), "TaskRabbit build");
+  const FBox& box = *boxes.emd;
+  ComparisonResult result = OrDie(
+      box.CompareByName(Dimension::kLocation, "San Francisco Bay Area, CA",
+                        "Chicago, IL", Dimension::kQuery),
+      "comparison");
+
+  const std::vector<std::string>& cleaning =
+      boxes.data->subjobs_by_category.at("General Cleaning");
+  std::set<std::string> cleaning_set(cleaning.begin(), cleaning.end());
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"All", Fmt(result.overall_d1), Fmt(result.overall_d2), ""});
+  size_t cleaning_reversals = 0;
+  for (const ComparisonRow& row : result.rows) {
+    std::string name = box.NameOf(Dimension::kQuery, row.breakdown_id);
+    if (cleaning_set.count(name) == 0) continue;
+    if (row.reversed) ++cleaning_reversals;
+    rows.push_back(
+        {name, Fmt(row.d1), Fmt(row.d2), row.reversed ? "REVERSED" : ""});
+  }
+  PrintTable({"Location-comparison", "SF Bay Area, CA", "Chicago, IL", ""},
+             rows);
+  std::printf("reversed General Cleaning sub-jobs: %zu of %zu\n",
+              cleaning_reversals, cleaning.size());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fairjob
+
+int main() {
+  fairjob::bench::Run();
+  return 0;
+}

@@ -1,0 +1,100 @@
+#include "bench_util.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace fairjob {
+namespace bench {
+
+void PrintTitle(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+void PrintPaperNote(const std::string& note) {
+  std::printf("PAPER: %s\n", note.c_str());
+}
+
+void PrintTable(const std::vector<std::string>& headers,
+                const std::vector<std::vector<std::string>>& rows) {
+  std::vector<size_t> widths(headers.size(), 0);
+  for (size_t c = 0; c < headers.size(); ++c) widths[c] = headers[c].size();
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < widths.size(); ++c) {
+      line += PadRight(c < row.size() ? row[c] : "", widths[c]);
+      if (c + 1 < widths.size()) line += "  ";
+    }
+    std::printf("%s\n", line.c_str());
+  };
+  print_row(headers);
+  std::string rule;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    rule += std::string(widths[c], '-');
+    if (c + 1 < widths.size()) rule += "  ";
+  }
+  std::printf("%s\n", rule.c_str());
+  for (const auto& row : rows) print_row(row);
+}
+
+std::string Fmt(double value, int decimals) {
+  return FormatDouble(value, decimals);
+}
+
+Result<TaskRabbitBoxes> BuildTaskRabbitBoxes(const TaskRabbitConfig& config) {
+  TaskRabbitBoxes boxes;
+  FAIRJOB_ASSIGN_OR_RETURN(TaskRabbitDataset built,
+                           BuildTaskRabbitDataset(config));
+  boxes.data = std::make_unique<TaskRabbitDataset>(std::move(built));
+  FAIRJOB_ASSIGN_OR_RETURN(GroupSpace space,
+                           GroupSpace::Enumerate(boxes.data->dataset.schema()));
+  boxes.space = std::make_unique<GroupSpace>(std::move(space));
+  FAIRJOB_ASSIGN_OR_RETURN(
+      FBox emd, FBox::ForMarketplace(&boxes.data->dataset, boxes.space.get(),
+                                     MarketMeasure::kEmd));
+  boxes.emd = std::make_unique<FBox>(std::move(emd));
+  FAIRJOB_ASSIGN_OR_RETURN(
+      FBox exposure,
+      FBox::ForMarketplace(&boxes.data->dataset, boxes.space.get(),
+                           MarketMeasure::kExposure));
+  boxes.exposure = std::make_unique<FBox>(std::move(exposure));
+  return boxes;
+}
+
+Result<GoogleBoxes> BuildGoogleBoxes(const GoogleStudyConfig& config) {
+  GoogleBoxes boxes;
+  FAIRJOB_ASSIGN_OR_RETURN(GoogleWorld world, BuildGoogleStudy(config));
+  boxes.world = std::make_unique<GoogleWorld>(std::move(world));
+  FAIRJOB_ASSIGN_OR_RETURN(
+      GroupSpace space, GroupSpace::Enumerate(boxes.world->dataset.schema()));
+  boxes.space = std::make_unique<GroupSpace>(std::move(space));
+
+  FAIRJOB_ASSIGN_OR_RETURN(
+      FBox kt_terms, FBox::ForSearch(&boxes.world->dataset, boxes.space.get(),
+                                     SearchMeasure::kKendallTau));
+  boxes.kendall_terms = std::make_unique<FBox>(std::move(kt_terms));
+  FAIRJOB_ASSIGN_OR_RETURN(
+      FBox jac_terms, FBox::ForSearch(&boxes.world->dataset, boxes.space.get(),
+                                      SearchMeasure::kJaccard));
+  boxes.jaccard_terms = std::make_unique<FBox>(std::move(jac_terms));
+  FAIRJOB_ASSIGN_OR_RETURN(
+      FBox kt_base,
+      FBox::ForSearch(&boxes.world->dataset_by_base_query, boxes.space.get(),
+                      SearchMeasure::kKendallTau));
+  boxes.kendall_base = std::make_unique<FBox>(std::move(kt_base));
+  FAIRJOB_ASSIGN_OR_RETURN(
+      FBox jac_base,
+      FBox::ForSearch(&boxes.world->dataset_by_base_query, boxes.space.get(),
+                      SearchMeasure::kJaccard));
+  boxes.jaccard_base = std::make_unique<FBox>(std::move(jac_base));
+  return boxes;
+}
+
+}  // namespace bench
+}  // namespace fairjob

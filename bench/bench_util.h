@@ -1,0 +1,71 @@
+#ifndef FAIRJOB_BENCH_BENCH_UTIL_H_
+#define FAIRJOB_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fbox.h"
+#include "market/taskrabbit_sim.h"
+#include "search/google_sim.h"
+
+namespace fairjob {
+namespace bench {
+
+// --- plain-text table rendering ----------------------------------------------
+
+void PrintTitle(const std::string& title);
+void PrintTable(const std::vector<std::string>& headers,
+                const std::vector<std::vector<std::string>>& rows);
+std::string Fmt(double value, int decimals = 3);
+
+// Prints "PAPER: ..." shape expectations next to measured output so the
+// bench output is self-describing.
+void PrintPaperNote(const std::string& note);
+
+// --- prebuilt worlds -----------------------------------------------------------
+
+// The full synthetic TaskRabbit crawl, with one FBox per marketplace
+// measure.
+struct TaskRabbitBoxes {
+  std::unique_ptr<TaskRabbitDataset> data;
+  std::unique_ptr<GroupSpace> space;
+  std::unique_ptr<FBox> emd;
+  std::unique_ptr<FBox> exposure;
+
+  const FBox& box(MarketMeasure measure) const {
+    return measure == MarketMeasure::kEmd ? *emd : *exposure;
+  }
+};
+Result<TaskRabbitBoxes> BuildTaskRabbitBoxes(
+    const TaskRabbitConfig& config = {});
+
+// The synthetic Google user study, with FBoxes per measure over both query
+// granularities (formulation terms and base queries).
+struct GoogleBoxes {
+  std::unique_ptr<GoogleWorld> world;
+  std::unique_ptr<GroupSpace> space;
+  std::unique_ptr<FBox> kendall_terms;
+  std::unique_ptr<FBox> jaccard_terms;
+  std::unique_ptr<FBox> kendall_base;
+  std::unique_ptr<FBox> jaccard_base;
+};
+Result<GoogleBoxes> BuildGoogleBoxes(const GoogleStudyConfig& config = {});
+
+// Exits with a message when a Result is an error (benches are top-level
+// binaries; there is nothing to recover).
+template <typename T>
+T OrDie(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    PrintTitle(std::string("FATAL: ") + what + ": " +
+               result.status().ToString());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+}  // namespace bench
+}  // namespace fairjob
+
+#endif  // FAIRJOB_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,138 @@
+// Auditing your own platform: the library is not tied to TaskRabbit/Google
+// or to the gender × ethnicity schema. This example
+//   * declares a three-attribute schema (adding an age band),
+//   * ingests crawl-style CSV data for a fictional "GigHub" marketplace,
+//   * audits it, including groups like "Female Senior" that only exist
+//     because the group space enumerates every attribute conjunction.
+//
+//   ./build/examples/custom_platform
+
+#include <cstdio>
+
+#include "core/fbox.h"
+#include "crawl/csv.h"
+#include "crawl/dataset_assembly.h"
+
+using namespace fairjob;
+
+namespace {
+
+template <typename T>
+T OrDie(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::printf("FATAL %s: %s\n", what, result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+// Your export: one row per (job, city, rank, worker) observation.
+constexpr const char* kCrawlCsv =
+    "job,city,rank,worker\n"
+    "welding,Springfield,1,ana\n"
+    "welding,Springfield,2,bob\n"
+    "welding,Springfield,3,carol\n"
+    "welding,Springfield,4,dave\n"
+    "welding,Springfield,5,erin\n"
+    "welding,Springfield,6,frank\n"
+    "catering,Springfield,1,bob\n"
+    "catering,Springfield,2,dave\n"
+    "catering,Springfield,3,frank\n"
+    "catering,Springfield,4,ana\n"
+    "catering,Springfield,5,carol\n"
+    "catering,Springfield,6,erin\n"
+    "welding,Shelbyville,1,gia\n"
+    "welding,Shelbyville,2,hank\n"
+    "welding,Shelbyville,3,ivy\n"
+    "welding,Shelbyville,4,jack\n"
+    "catering,Shelbyville,1,ivy\n"
+    "catering,Shelbyville,2,gia\n"
+    "catering,Shelbyville,3,jack\n"
+    "catering,Shelbyville,4,hank\n";
+
+// Your HR/labeling export: worker -> demographics.
+constexpr const char* kWorkersCsv =
+    "worker,gender,ethnicity,age\n"
+    "ana,Female,White,Junior\n"
+    "bob,Male,White,Senior\n"
+    "carol,Female,Black,Senior\n"
+    "dave,Male,Black,Junior\n"
+    "erin,Female,Asian,Senior\n"
+    "frank,Male,Asian,Junior\n"
+    "gia,Female,White,Senior\n"
+    "hank,Male,Black,Senior\n"
+    "ivy,Female,Asian,Junior\n"
+    "jack,Male,White,Junior\n";
+
+}  // namespace
+
+int main() {
+  // 1. Any categorical protected attributes work.
+  AttributeSchema schema;
+  AttributeId gender = OrDie(
+      schema.AddAttribute("gender", {"Male", "Female"}), "gender");
+  AttributeId ethnicity = OrDie(
+      schema.AddAttribute("ethnicity", {"Asian", "Black", "White"}),
+      "ethnicity");
+  AttributeId age = OrDie(schema.AddAttribute("age", {"Junior", "Senior"}),
+                          "age");
+
+  // 2. Parse the exports.
+  std::vector<CrawlRecord> records =
+      OrDie(CrawlRecordsFromCsvRows(*ParseCsv(kCrawlCsv)), "crawl csv");
+  std::unordered_map<std::string, Demographics> demographics;
+  for (const auto& row : OrDie(ParseCsv(kWorkersCsv), "worker csv")) {
+    if (row[0] == "worker") continue;  // header
+    Demographics d(schema.num_attributes(), 0);
+    d[static_cast<size_t>(gender)] = OrDie(schema.FindValue(gender, row[1]),
+                                           "gender value");
+    d[static_cast<size_t>(ethnicity)] =
+        OrDie(schema.FindValue(ethnicity, row[2]), "ethnicity value");
+    d[static_cast<size_t>(age)] = OrDie(schema.FindValue(age, row[3]),
+                                        "age value");
+    demographics[row[0]] = std::move(d);
+  }
+
+  // 3. Assemble and audit.
+  MarketplaceAssembly assembly =
+      OrDie(AssembleMarketplace(schema, records, demographics), "assembly");
+  GroupSpace space = *GroupSpace::Enumerate(assembly.dataset.schema());
+  std::printf("group space over 3 attributes: %zu groups (every conjunction "
+              "of gender, ethnicity and age band)\n",
+              space.num_groups());
+
+  FBox fbox = OrDie(
+      FBox::ForMarketplace(&assembly.dataset, &space, MarketMeasure::kEmd),
+      "fbox");
+  std::printf("cube: %zu of %zu cells defined (groups without members in a "
+              "ranking are skipped, not zeroed)\n",
+              fbox.cube().num_present(), fbox.cube().num_cells());
+
+  std::printf("\nmost unfairly ranked groups on GigHub (EMD):\n");
+  for (const auto& answer : OrDie(fbox.TopK(Dimension::kGroup, 5), "top")) {
+    std::printf("  %-22s %.3f\n", answer.name.c_str(), answer.value);
+  }
+
+  // Conjunctions with the new attribute are first-class groups:
+  Result<size_t> senior_female_pos =
+      fbox.PosOf(Dimension::kGroup, "Female Senior");
+  if (senior_female_pos.ok()) {
+    std::optional<double> d = fbox.cube().AxisAverage(
+        Dimension::kGroup, *senior_female_pos);
+    if (d.has_value()) {
+      std::printf("\nd<Female ∧ Senior> across all jobs and cities = %.3f\n",
+                  *d);
+    }
+  }
+
+  // Comparison with the third attribute as breakdown-by-query:
+  ComparisonResult cmp = OrDie(
+      fbox.CompareByName(Dimension::kGroup, "Junior", "Senior",
+                         Dimension::kQuery),
+      "comparison");
+  std::printf("\nJunior vs Senior overall: %.3f vs %.3f; %zu of %zu queries "
+              "invert the ordering\n",
+              cmp.overall_d1, cmp.overall_d2, cmp.reversed.size(),
+              cmp.rows.size());
+  return 0;
+}

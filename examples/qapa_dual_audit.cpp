@@ -1,0 +1,88 @@
+// The paper's introduction notes that platforms like Qapa "can be used to
+// rank both workers and jobs". This example audits one synthetic platform
+// from both sides with the same schema and group space:
+//   * marketplace side — employers see ranked workers per (job, city);
+//   * search side     — job seekers see personalized ranked job lists.
+// Because both F-Boxes share group display names, findings compose: the
+// example checks whether the group treated worst as ranked *workers* is
+// also served the most divergent *job results*.
+//
+//   ./build/examples/qapa_dual_audit
+
+#include <cstdio>
+
+#include "core/fbox.h"
+#include "core/transfer.h"
+#include "market/taskrabbit_sim.h"
+#include "search/google_sim.h"
+
+using namespace fairjob;
+
+namespace {
+
+template <typename T>
+T OrDie(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::printf("FATAL %s: %s\n", what, result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+}  // namespace
+
+int main() {
+  // Worker-ranking side: a compact marketplace.
+  TaskRabbitConfig market_config;
+  market_config.num_workers = 600;
+  market_config.max_cities = 6;
+  market_config.max_subjobs_per_category = 2;
+  market_config.target_query_count = 1 << 20;
+  TaskRabbitDataset market =
+      OrDie(BuildTaskRabbitDataset(market_config), "market");
+  GroupSpace market_space =
+      *GroupSpace::Enumerate(market.dataset.schema());
+  FBox worker_box = OrDie(
+      FBox::ForMarketplace(&market.dataset, &market_space,
+                           MarketMeasure::kEmd),
+      "worker fbox");
+
+  // Job-ranking side: the personalized search study.
+  GoogleStudyConfig search_config;
+  GoogleWorld search = OrDie(BuildGoogleStudy(search_config), "search");
+  GroupSpace search_space = *GroupSpace::Enumerate(search.dataset.schema());
+  FBox job_box = OrDie(
+      FBox::ForSearch(&search.dataset_by_base_query, &search_space,
+                      SearchMeasure::kKendallTau),
+      "job fbox");
+
+  std::printf("dual audit of one platform, both ranking directions:\n\n");
+  std::printf("%-26s | %-26s\n", "workers ranked (EMD)", "jobs ranked (KT)");
+  std::printf("%s\n", std::string(55, '-').c_str());
+  std::vector<FBox::NamedAnswer> worker_side =
+      OrDie(worker_box.TopK(Dimension::kGroup, 5), "worker top");
+  std::vector<FBox::NamedAnswer> job_side =
+      OrDie(job_box.TopK(Dimension::kGroup, 5), "job top");
+  for (size_t i = 0; i < 5; ++i) {
+    std::printf("%-18s %6.3f | %-18s %6.3f\n", worker_side[i].name.c_str(),
+                worker_side[i].value, job_side[i].name.c_str(),
+                job_side[i].value);
+  }
+
+  // Cross-direction check via the transfer API: do the worker-side top
+  // groups stay near the top on the job side?
+  std::printf("\nworker-side hypotheses on the job side (slack 3):\n");
+  for (const HypothesisOutcome& outcome :
+       OrDie(TransferTopGroups(worker_box, job_box, 3, 3), "transfer")) {
+    std::printf("  %-14s worker rank %zu -> job rank %zu : %s\n",
+                outcome.hypothesis.group.c_str(), outcome.source_rank,
+                outcome.target_rank,
+                outcome.confirmed ? "consistent" : "direction-specific");
+  }
+
+  std::printf(
+      "\n(direction-specific findings are expected: worker-side unfairness "
+      "comes from ranking penalties, job-side from personalization — the "
+      "framework keeps both comparable through the shared group space)\n");
+  return 0;
+}

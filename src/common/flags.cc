@@ -1,0 +1,64 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace fairjob {
+
+Result<Flags> Flags::Parse(const std::vector<std::string>& args) {
+  Flags flags;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& token = args[i];
+    if (!StartsWith(token, "--")) {
+      flags.positional_.push_back(token);
+      continue;
+    }
+    std::string body = token.substr(2);
+    size_t eq = body.find('=');
+    std::string name = eq == std::string::npos ? body : body.substr(0, eq);
+    if (name.empty()) {
+      return Status::InvalidArgument("malformed flag '" + token + "'");
+    }
+    if (eq != std::string::npos) {
+      flags.values_[name] = body.substr(eq + 1);
+    } else if (i + 1 < args.size() && !StartsWith(args[i + 1], "--")) {
+      flags.values_[name] = args[i + 1];
+      ++i;
+    } else {
+      flags.values_[name] = "";  // boolean switch
+    }
+  }
+  return flags;
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+Result<long> Flags::GetInt(const std::string& name, long fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  long v = std::strtol(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("flag --" + name + " expects an integer");
+  }
+  return v;
+}
+
+Result<double> Flags::GetDouble(const std::string& name,
+                                double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("flag --" + name + " expects a number");
+  }
+  return v;
+}
+
+}  // namespace fairjob

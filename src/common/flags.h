@@ -1,0 +1,41 @@
+#ifndef FAIRJOB_COMMON_FLAGS_H_
+#define FAIRJOB_COMMON_FLAGS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fairjob {
+
+// Minimal command-line flag parsing for the CLI tool: supports
+// `--key value`, `--key=value`, boolean `--switch`, and positional
+// arguments. No registration step — callers query by name with defaults.
+class Flags {
+ public:
+  // Parses argv-style tokens (without the program name). A token starting
+  // with "--" is a flag; if it has no '=' and the next token does not start
+  // with "--", that token is its value, otherwise it is boolean.
+  // Errors: InvalidArgument on an empty flag name ("--" alone or "--=x").
+  static Result<Flags> Parse(const std::vector<std::string>& args);
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+  // Value accessors with defaults; boolean flags have value "".
+  std::string GetString(const std::string& name,
+                        const std::string& fallback = "") const;
+  // Errors: InvalidArgument when present but unparsable.
+  Result<long> GetInt(const std::string& name, long fallback) const;
+  Result<double> GetDouble(const std::string& name, double fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::unordered_map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace fairjob
+
+#endif  // FAIRJOB_COMMON_FLAGS_H_

@@ -1,0 +1,66 @@
+#ifndef FAIRJOB_COMMON_RNG_H_
+#define FAIRJOB_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace fairjob {
+
+// Deterministic, seedable pseudo-random generator (PCG32). All stochastic
+// pieces of the simulators take an Rng so that crawls, user studies and
+// benchmark tables are exactly reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL);
+
+  // Uniform 32-bit value.
+  uint32_t NextU32();
+
+  // Uniform in [0, n). Precondition: n > 0.
+  uint32_t NextBelow(uint32_t n);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  // Standard normal via Box-Muller (cached second draw).
+  double NextGaussian();
+
+  // Gaussian with given mean / stddev.
+  double NextGaussian(double mean, double stddev);
+
+  // True with probability p (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  // Index drawn from unnormalized non-negative weights. Returns 0 when all
+  // weights are zero. Precondition: !weights.empty().
+  size_t NextCategorical(const std::vector<double>& weights);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = NextBelow(static_cast<uint32_t>(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Derives an independent child generator; use to give each simulated
+  // entity its own stream without coupling draw orders.
+  Rng Fork();
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace fairjob
+
+#endif  // FAIRJOB_COMMON_RNG_H_

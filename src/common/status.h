@@ -1,0 +1,138 @@
+#ifndef FAIRJOB_COMMON_STATUS_H_
+#define FAIRJOB_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace fairjob {
+
+// Error taxonomy used across the library. Mirrors the usual database-library
+// status vocabulary (cf. arrow::Status / rocksdb::Status): code + message,
+// returned by value, never thrown.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIOError,
+  kInternal,
+};
+
+// Returns a stable human-readable name for `code` ("OK", "InvalidArgument"...).
+const char* StatusCodeToString(StatusCode code);
+
+// A cheap value-type carrying success or a (code, message) error.
+//
+// Usage:
+//   Status s = DoThing();
+//   if (!s.ok()) return s;
+class Status {
+ public:
+  // Default-constructed status is OK.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T> holds either a value or an error Status (like absl::StatusOr).
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an error keeps call sites terse:
+  //   Result<int> F() { if (bad) return Status::InvalidArgument("..."); return 3; }
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  // Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates a non-OK status to the caller.
+#define FAIRJOB_RETURN_IF_ERROR(expr)            \
+  do {                                           \
+    ::fairjob::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+// Evaluates a Result-returning expression, propagating the error or binding
+// the value to `lhs`.
+#define FAIRJOB_ASSIGN_OR_RETURN(lhs, expr)      \
+  auto FAIRJOB_CONCAT_(_res_, __LINE__) = (expr);               \
+  if (!FAIRJOB_CONCAT_(_res_, __LINE__).ok())                   \
+    return FAIRJOB_CONCAT_(_res_, __LINE__).status();           \
+  lhs = std::move(FAIRJOB_CONCAT_(_res_, __LINE__)).value()
+
+#define FAIRJOB_CONCAT_INNER_(a, b) a##b
+#define FAIRJOB_CONCAT_(a, b) FAIRJOB_CONCAT_INNER_(a, b)
+
+}  // namespace fairjob
+
+#endif  // FAIRJOB_COMMON_STATUS_H_

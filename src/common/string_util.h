@@ -1,0 +1,33 @@
+#ifndef FAIRJOB_COMMON_STRING_UTIL_H_
+#define FAIRJOB_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fairjob {
+
+// Splits `s` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view s, char sep);
+
+// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+// ASCII lower-casing.
+std::string ToLower(std::string_view s);
+
+// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+// Formats `value` with `decimals` digits after the point ("0.457").
+std::string FormatDouble(double value, int decimals);
+
+// Pads or truncates `s` to exactly `width` columns (left-aligned).
+std::string PadRight(std::string_view s, size_t width);
+
+}  // namespace fairjob
+
+#endif  // FAIRJOB_COMMON_STRING_UTIL_H_

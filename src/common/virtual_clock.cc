@@ -1,0 +1,13 @@
+#include "common/virtual_clock.h"
+
+namespace fairjob {
+
+void VirtualClock::AdvanceSeconds(int64_t seconds) {
+  if (seconds > 0) now_ += seconds;
+}
+
+void VirtualClock::AdvanceTo(int64_t t) {
+  if (t > now_) now_ = t;
+}
+
+}  // namespace fairjob

@@ -1,0 +1,30 @@
+#ifndef FAIRJOB_COMMON_VIRTUAL_CLOCK_H_
+#define FAIRJOB_COMMON_VIRTUAL_CLOCK_H_
+
+#include <cstdint>
+
+namespace fairjob {
+
+// A fully deterministic simulated clock (seconds since an arbitrary epoch).
+// The crawler and user-study runner advance this clock instead of sleeping,
+// so rate limiting, 12-minute re-query intervals and carry-over-effect decay
+// are reproducible and instantaneous in tests.
+class VirtualClock {
+ public:
+  explicit VirtualClock(int64_t start_seconds = 0) : now_(start_seconds) {}
+
+  int64_t NowSeconds() const { return now_; }
+
+  // Advances time; negative amounts are ignored (time never goes backwards).
+  void AdvanceSeconds(int64_t seconds);
+
+  // Advances to `t` if it lies in the future.
+  void AdvanceTo(int64_t t);
+
+ private:
+  int64_t now_;
+};
+
+}  // namespace fairjob
+
+#endif  // FAIRJOB_COMMON_VIRTUAL_CLOCK_H_

@@ -1,0 +1,67 @@
+#include "core/attribute_schema.h"
+
+#include <unordered_set>
+
+namespace fairjob {
+
+Result<AttributeId> AttributeSchema::AddAttribute(
+    std::string name, std::vector<std::string> values) {
+  if (name.empty()) {
+    return Status::InvalidArgument("attribute name must be non-empty");
+  }
+  for (const Attribute& a : attributes_) {
+    if (a.name == name) {
+      return Status::AlreadyExists("attribute '" + name + "' already registered");
+    }
+  }
+  if (values.empty()) {
+    return Status::InvalidArgument("attribute '" + name +
+                                   "' needs a non-empty value domain");
+  }
+  std::unordered_set<std::string> seen;
+  for (const std::string& v : values) {
+    if (v.empty()) {
+      return Status::InvalidArgument("attribute '" + name +
+                                     "' has an empty value name");
+    }
+    if (!seen.insert(v).second) {
+      return Status::InvalidArgument("attribute '" + name +
+                                     "' has duplicate value '" + v + "'");
+    }
+  }
+  attributes_.push_back(Attribute{std::move(name), std::move(values)});
+  return static_cast<AttributeId>(attributes_.size() - 1);
+}
+
+Result<AttributeId> AttributeSchema::FindAttribute(std::string_view name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return static_cast<AttributeId>(i);
+  }
+  return Status::NotFound("no attribute named '" + std::string(name) + "'");
+}
+
+Result<ValueId> AttributeSchema::FindValue(AttributeId a,
+                                           std::string_view value) const {
+  if (a < 0 || static_cast<size_t>(a) >= attributes_.size()) {
+    return Status::InvalidArgument("attribute id out of range");
+  }
+  const Attribute& attr = attributes_[static_cast<size_t>(a)];
+  for (size_t i = 0; i < attr.values.size(); ++i) {
+    if (attr.values[i] == value) return static_cast<ValueId>(i);
+  }
+  return Status::NotFound("attribute '" + attr.name + "' has no value '" +
+                          std::string(value) + "'");
+}
+
+bool AttributeSchema::IsValidDemographics(const Demographics& d) const {
+  if (d.size() != attributes_.size()) return false;
+  for (size_t a = 0; a < d.size(); ++a) {
+    if (d[a] < 0 ||
+        static_cast<size_t>(d[a]) >= attributes_[a].values.size()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fairjob

@@ -1,0 +1,60 @@
+#ifndef FAIRJOB_CORE_ATTRIBUTE_SCHEMA_H_
+#define FAIRJOB_CORE_ATTRIBUTE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fairjob {
+
+// Dense identifiers for protected attributes and their values.
+using AttributeId = int32_t;
+using ValueId = int32_t;
+
+// A full demographic assignment: one ValueId per attribute, indexed by
+// AttributeId. Every individual (worker / search user) carries one.
+using Demographics = std::vector<ValueId>;
+
+// The catalogue of protected attributes (e.g. gender, ethnicity) and their
+// categorical domains. Append-only; ids are dense and stable.
+class AttributeSchema {
+ public:
+  AttributeSchema() = default;
+
+  // Registers an attribute with its value domain. Errors: InvalidArgument on
+  // empty/duplicate names or an empty/duplicated value domain.
+  Result<AttributeId> AddAttribute(std::string name,
+                                   std::vector<std::string> values);
+
+  size_t num_attributes() const { return attributes_.size(); }
+  const std::string& attribute_name(AttributeId a) const {
+    return attributes_[static_cast<size_t>(a)].name;
+  }
+  size_t num_values(AttributeId a) const {
+    return attributes_[static_cast<size_t>(a)].values.size();
+  }
+  const std::string& value_name(AttributeId a, ValueId v) const {
+    return attributes_[static_cast<size_t>(a)].values[static_cast<size_t>(v)];
+  }
+
+  // Case-sensitive lookups. Errors: NotFound.
+  Result<AttributeId> FindAttribute(std::string_view name) const;
+  Result<ValueId> FindValue(AttributeId a, std::string_view value) const;
+
+  // True if `d` assigns a valid value to every attribute.
+  bool IsValidDemographics(const Demographics& d) const;
+
+ private:
+  struct Attribute {
+    std::string name;
+    std::vector<std::string> values;
+  };
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace fairjob
+
+#endif  // FAIRJOB_CORE_ATTRIBUTE_SCHEMA_H_

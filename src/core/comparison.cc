@@ -1,0 +1,153 @@
+#include "core/comparison.h"
+
+namespace fairjob {
+namespace {
+
+// Builds the (group, query, location) selector triple with `dim` pinned to
+// `pos` and the remaining axes taken from `others` in ascending Dimension
+// order.
+void SelectorsFor(Dimension dim, size_t pos, const AxisSelector& other1,
+                  const AxisSelector& other2, AxisSelector out[3]) {
+  Dimension d1;
+  Dimension d2;
+  switch (dim) {
+    case Dimension::kGroup:
+      d1 = Dimension::kQuery;
+      d2 = Dimension::kLocation;
+      break;
+    case Dimension::kQuery:
+      d1 = Dimension::kGroup;
+      d2 = Dimension::kLocation;
+      break;
+    case Dimension::kLocation:
+    default:
+      d1 = Dimension::kGroup;
+      d2 = Dimension::kQuery;
+      break;
+  }
+  out[static_cast<size_t>(dim)] = AxisSelector::Single(pos);
+  out[static_cast<size_t>(d1)] = other1;
+  out[static_cast<size_t>(d2)] = other2;
+}
+
+bool RowIsReversed(double overall_d1, double overall_d2, double d1, double d2) {
+  double overall_diff = overall_d1 - overall_d2;
+  double row_diff = d1 - d2;
+  if (overall_diff == 0.0 && row_diff == 0.0) return false;
+  return overall_diff * row_diff <= 0.0;
+}
+
+}  // namespace
+
+Result<double> ComputeAggregateUnfairness(const UnfairnessCube& cube,
+                                          Dimension dim, size_t pos,
+                                          const AxisSelector& other1,
+                                          const AxisSelector& other2) {
+  if (pos >= cube.axis_size(dim)) {
+    return Status::InvalidArgument("position out of range on axis '" +
+                                   std::string(DimensionName(dim)) + "'");
+  }
+  AxisSelector sel[3];
+  SelectorsFor(dim, pos, other1, other2, sel);
+  std::optional<double> avg = cube.Average(sel[0], sel[1], sel[2]);
+  if (!avg.has_value()) {
+    return Status::NotFound("aggregate undefined: no present cells");
+  }
+  return *avg;
+}
+
+Result<ComparisonResult> SolveComparison(const UnfairnessCube& cube,
+                                         const ComparisonRequest& request) {
+  if (request.compare_dim == request.breakdown_dim) {
+    return Status::InvalidArgument(
+        "compare and breakdown dimensions must differ");
+  }
+  size_t compare_size = cube.axis_size(request.compare_dim);
+  std::vector<size_t> r1 = request.r1_set.empty()
+                               ? std::vector<size_t>{request.r1_pos}
+                               : request.r1_set;
+  std::vector<size_t> r2 = request.r2_set.empty()
+                               ? std::vector<size_t>{request.r2_pos}
+                               : request.r2_set;
+  if (r1 == r2) {
+    return Status::InvalidArgument("r1 and r2 must differ");
+  }
+  for (size_t pos : r1) {
+    if (pos >= compare_size) {
+      return Status::InvalidArgument("comparison position out of range");
+    }
+  }
+  for (size_t pos : r2) {
+    if (pos >= compare_size) {
+      return Status::InvalidArgument("comparison position out of range");
+    }
+  }
+  size_t breakdown_size = cube.axis_size(request.breakdown_dim);
+  for (size_t pos : request.breakdown.positions) {
+    if (pos >= breakdown_size) {
+      return Status::InvalidArgument("breakdown position out of range");
+    }
+  }
+
+  // The remaining (fully aggregated) dimension.
+  Dimension agg_dim = Dimension::kGroup;
+  for (Dimension d :
+       {Dimension::kGroup, Dimension::kQuery, Dimension::kLocation}) {
+    if (d != request.compare_dim && d != request.breakdown_dim) agg_dim = d;
+  }
+  for (size_t pos : request.aggregated.positions) {
+    if (pos >= cube.axis_size(agg_dim)) {
+      return Status::InvalidArgument("aggregated position out of range");
+    }
+  }
+
+  // Overall d<r1>, d<r2>: average over breakdown × aggregated restrictions.
+  auto overall_of = [&](const std::vector<size_t>& r) -> std::optional<double> {
+    AxisSelector sel[3];
+    sel[static_cast<size_t>(request.compare_dim)] = AxisSelector{r};
+    sel[static_cast<size_t>(request.breakdown_dim)] = request.breakdown;
+    sel[static_cast<size_t>(agg_dim)] = request.aggregated;
+    return cube.Average(sel[0], sel[1], sel[2]);
+  };
+  std::optional<double> overall1 = overall_of(r1);
+  std::optional<double> overall2 = overall_of(r2);
+  if (!overall1.has_value() || !overall2.has_value()) {
+    return Status::NotFound("overall comparison undefined: no present cells");
+  }
+
+  ComparisonResult result;
+  result.overall_d1 = *overall1;
+  result.overall_d2 = *overall2;
+
+  std::vector<size_t> breakdown_positions = request.breakdown.positions;
+  if (breakdown_positions.empty()) {
+    breakdown_positions.resize(breakdown_size);
+    for (size_t i = 0; i < breakdown_size; ++i) breakdown_positions[i] = i;
+  }
+
+  for (size_t b : breakdown_positions) {
+    auto value_of = [&](const std::vector<size_t>& r) -> std::optional<double> {
+      AxisSelector sel[3];
+      sel[static_cast<size_t>(request.compare_dim)] = AxisSelector{r};
+      sel[static_cast<size_t>(request.breakdown_dim)] =
+          AxisSelector::Single(b);
+      sel[static_cast<size_t>(agg_dim)] = request.aggregated;
+      return cube.Average(sel[0], sel[1], sel[2]);
+    };
+    std::optional<double> d1 = value_of(r1);
+    std::optional<double> d2 = value_of(r2);
+    if (!d1.has_value() || !d2.has_value()) continue;  // undefined breakdown
+
+    ComparisonRow row;
+    row.breakdown_id = cube.axis_id(request.breakdown_dim, b);
+    row.d1 = *d1;
+    row.d2 = *d2;
+    row.reversed =
+        RowIsReversed(result.overall_d1, result.overall_d2, *d1, *d2);
+    result.rows.push_back(row);
+    if (row.reversed) result.reversed.push_back(row);
+  }
+  return result;
+}
+
+}  // namespace fairjob

@@ -1,0 +1,75 @@
+#ifndef FAIRJOB_CORE_COMPARISON_H_
+#define FAIRJOB_CORE_COMPARISON_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/unfairness_cube.h"
+
+namespace fairjob {
+
+// Problem 2 (Fairness Comparison): compare two values r1, r2 of one
+// dimension, broken down by a second dimension; the third dimension is
+// aggregated away. Returns every breakdown value whose (r1 vs r2) unfairness
+// order differs from the overall order.
+//
+// Instances: group-comparison (r = groups, B = locations or queries),
+// query-comparison (r = queries, B = groups or locations),
+// location-comparison (r = locations, B = queries or groups).
+struct ComparisonRequest {
+  Dimension compare_dim = Dimension::kGroup;
+  size_t r1_pos = 0;  // positions on the compare axis of the cube
+  size_t r2_pos = 0;
+  // Optional set comparison (Section 3.4's d<G,Q,L> generalization): when
+  // non-empty these position sets override r1_pos / r2_pos, e.g. comparing
+  // Males = {Asian Male, Black Male, White Male} against the female cells.
+  // For a binary attribute the single-group exposure comparison is exactly
+  // symmetric (the two groups' shares are complements), so Table 12-style
+  // questions need the set form.
+  std::vector<size_t> r1_set;
+  std::vector<size_t> r2_set;
+  Dimension breakdown_dim = Dimension::kLocation;
+  // Restriction of the breakdown axis (empty = all), e.g. "only the
+  // General Cleaning sub-queries" in Table 15.
+  AxisSelector breakdown;
+  // Restriction of the remaining aggregated axis (empty = all).
+  AxisSelector aggregated;
+};
+
+struct ComparisonRow {
+  int32_t breakdown_id;  // id on the breakdown axis
+  double d1;             // unfairness of r1 at this breakdown value
+  double d2;             // unfairness of r2 at this breakdown value
+  bool reversed;         // order differs from the overall comparison
+};
+
+struct ComparisonResult {
+  double overall_d1 = 0.0;  // d<r1> over the breakdown × aggregated axes
+  double overall_d2 = 0.0;
+  std::vector<ComparisonRow> rows;      // every defined breakdown value
+  std::vector<ComparisonRow> reversed;  // the rows the problem returns
+};
+
+// Algorithm 2 generalized over dimensions. A row counts as *reversed* when
+// the sign of (d1 − d2) flips strictly, or when the overall comparison is
+// strict and the row is tied — i.e. the paper's
+// (d1_all ≥ d2_all ∧ d1_b ≤ d2_b) ∨ (d1_all ≤ d2_all ∧ d1_b ≥ d2_b)
+// minus the degenerate case where both comparisons are exact ties.
+//
+// Errors: InvalidArgument when compare_dim == breakdown_dim, positions are
+// out of range, or r1_pos == r2_pos; NotFound when either overall aggregate
+// is undefined (no present cells).
+Result<ComparisonResult> SolveComparison(const UnfairnessCube& cube,
+                                         const ComparisonRequest& request);
+
+// Algorithm 3: d<r,Q,L> — the average unfairness of position `pos` of
+// dimension `dim` over selected positions of the other two axes (ascending
+// Dimension order; empty = all). Errors: NotFound when no cell is present.
+Result<double> ComputeAggregateUnfairness(const UnfairnessCube& cube,
+                                          Dimension dim, size_t pos,
+                                          const AxisSelector& other1 = {},
+                                          const AxisSelector& other2 = {});
+
+}  // namespace fairjob
+
+#endif  // FAIRJOB_CORE_COMPARISON_H_

@@ -1,0 +1,111 @@
+#include "core/coverage.h"
+
+#include <algorithm>
+
+namespace fairjob {
+namespace {
+
+struct Accumulator {
+  size_t cells = 0;
+  size_t min_members = 0;
+  size_t max_members = 0;
+  size_t total_members = 0;
+
+  void Add(size_t members) {
+    if (members == 0) return;
+    if (cells == 0) {
+      min_members = max_members = members;
+    } else {
+      min_members = std::min(min_members, members);
+      max_members = std::max(max_members, members);
+    }
+    total_members += members;
+    ++cells;
+  }
+};
+
+CoverageReport Finalize(const GroupSpace& space,
+                        const std::vector<Accumulator>& accumulators,
+                        size_t cells_total, double min_mean_members) {
+  CoverageReport report;
+  for (size_t g = 0; g < accumulators.size(); ++g) {
+    const Accumulator& acc = accumulators[g];
+    GroupCoverage coverage;
+    coverage.group = static_cast<GroupId>(g);
+    coverage.cells_with_members = acc.cells;
+    coverage.cells_total = cells_total;
+    coverage.min_members = acc.min_members;
+    coverage.max_members = acc.max_members;
+    coverage.mean_members =
+        acc.cells == 0 ? 0.0
+                       : static_cast<double>(acc.total_members) /
+                             static_cast<double>(acc.cells);
+    if (acc.cells == 0) {
+      report.absent.push_back(static_cast<GroupId>(g));
+    } else if (coverage.mean_members < min_mean_members) {
+      report.low_support.push_back(static_cast<GroupId>(g));
+    }
+    report.groups.push_back(coverage);
+  }
+  (void)space;
+  return report;
+}
+
+}  // namespace
+
+Result<CoverageReport> AnalyzeMarketplaceCoverage(
+    const MarketplaceDataset& data, const GroupSpace& space,
+    double min_mean_members) {
+  std::vector<QueryLocation> pairs = data.RankedPairs();
+  if (pairs.empty()) {
+    return Status::InvalidArgument("dataset has no ranked observations");
+  }
+  std::vector<Accumulator> accumulators(space.num_groups());
+  for (const QueryLocation& ql : pairs) {
+    const MarketRanking* ranking = data.GetRanking(ql.query, ql.location);
+    std::vector<size_t> members(space.num_groups(), 0);
+    for (WorkerId w : ranking->workers) {
+      const Demographics& d = data.worker_demographics(w);
+      for (size_t g = 0; g < space.num_groups(); ++g) {
+        if (space.label(static_cast<GroupId>(g)).Matches(d)) ++members[g];
+      }
+    }
+    for (size_t g = 0; g < space.num_groups(); ++g) {
+      accumulators[g].Add(members[g]);
+    }
+  }
+  return Finalize(space, accumulators, pairs.size(), min_mean_members);
+}
+
+Result<CoverageReport> AnalyzeSearchCoverage(const SearchDataset& data,
+                                             const GroupSpace& space,
+                                             double min_mean_members) {
+  size_t cells_total = 0;
+  std::vector<Accumulator> accumulators(space.num_groups());
+  // SearchDataset exposes observations per (q, l); iterate every vocabulary
+  // combination and skip the absent ones.
+  for (QueryId q = 0; q < static_cast<QueryId>(data.queries().size()); ++q) {
+    for (LocationId l = 0; l < static_cast<LocationId>(data.locations().size());
+         ++l) {
+      const std::vector<SearchObservation>* obs = data.GetObservations(q, l);
+      if (obs == nullptr || obs->empty()) continue;
+      ++cells_total;
+      std::vector<size_t> members(space.num_groups(), 0);
+      for (const SearchObservation& o : *obs) {
+        const Demographics& d = data.user_demographics(o.user);
+        for (size_t g = 0; g < space.num_groups(); ++g) {
+          if (space.label(static_cast<GroupId>(g)).Matches(d)) ++members[g];
+        }
+      }
+      for (size_t g = 0; g < space.num_groups(); ++g) {
+        accumulators[g].Add(members[g]);
+      }
+    }
+  }
+  if (cells_total == 0) {
+    return Status::InvalidArgument("dataset has no observations");
+  }
+  return Finalize(space, accumulators, cells_total, min_mean_members);
+}
+
+}  // namespace fairjob

@@ -1,0 +1,51 @@
+#ifndef FAIRJOB_CORE_COVERAGE_H_
+#define FAIRJOB_CORE_COVERAGE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "core/data_model.h"
+#include "core/group_space.h"
+
+namespace fairjob {
+
+// Data-quality analysis for an audit: how well is each group represented in
+// the observed rankings? Unfairness estimates for groups with 1–2 members
+// per result list sit on a large small-sample floor (see
+// docs/CALIBRATION.md), so any serious audit should check support before
+// reading the top-k tables.
+
+struct GroupCoverage {
+  GroupId group = 0;
+  // (query, location) observations in which the group has ≥1 member.
+  size_t cells_with_members = 0;
+  size_t cells_total = 0;
+  // Member counts across the cells where the group appears.
+  size_t min_members = 0;
+  size_t max_members = 0;
+  double mean_members = 0.0;
+};
+
+struct CoverageReport {
+  std::vector<GroupCoverage> groups;  // by GroupId
+  // Groups whose mean members-per-cell is below the support threshold (and
+  // that appear at all) — their unfairness values are noise-dominated.
+  std::vector<GroupId> low_support;
+  // Groups absent from every observation.
+  std::vector<GroupId> absent;
+};
+
+// Errors: InvalidArgument when the dataset has no observations.
+Result<CoverageReport> AnalyzeMarketplaceCoverage(
+    const MarketplaceDataset& data, const GroupSpace& space,
+    double min_mean_members = 3.0);
+
+// Search twin: members are a group's collected result lists per cell.
+Result<CoverageReport> AnalyzeSearchCoverage(const SearchDataset& data,
+                                             const GroupSpace& space,
+                                             double min_mean_members = 3.0);
+
+}  // namespace fairjob
+
+#endif  // FAIRJOB_CORE_COVERAGE_H_

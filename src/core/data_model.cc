@@ -1,0 +1,133 @@
+#include "core/data_model.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace fairjob {
+
+int32_t Vocabulary::GetOrAdd(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  int32_t id = static_cast<int32_t>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+Result<int32_t> Vocabulary::Find(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) {
+    return Status::NotFound("'" + std::string(name) + "' not in vocabulary");
+  }
+  return it->second;
+}
+
+Result<WorkerId> MarketplaceDataset::AddWorker(std::string_view name,
+                                               Demographics demographics) {
+  if (!schema_.IsValidDemographics(demographics)) {
+    return Status::InvalidArgument("worker '" + std::string(name) +
+                                   "' has invalid demographics");
+  }
+  if (workers_.Find(name).ok()) {
+    return Status::AlreadyExists("worker '" + std::string(name) +
+                                 "' already registered");
+  }
+  WorkerId id = workers_.GetOrAdd(name);
+  demographics_.push_back(std::move(demographics));
+  return id;
+}
+
+Status MarketplaceDataset::SetRanking(QueryId q, LocationId l,
+                                      MarketRanking ranking) {
+  if (!ranking.scores.empty() &&
+      ranking.scores.size() != ranking.workers.size()) {
+    return Status::InvalidArgument(
+        "scores length disagrees with worker list length");
+  }
+  std::unordered_set<WorkerId> seen;
+  for (WorkerId w : ranking.workers) {
+    if (w < 0 || static_cast<size_t>(w) >= demographics_.size()) {
+      return Status::InvalidArgument("ranking references unknown worker id " +
+                                     std::to_string(w));
+    }
+    if (!seen.insert(w).second) {
+      return Status::InvalidArgument("ranking lists worker " +
+                                     std::to_string(w) + " twice");
+    }
+  }
+  rankings_[QueryLocation{q, l}] = std::move(ranking);
+  return Status::OK();
+}
+
+const MarketRanking* MarketplaceDataset::GetRanking(QueryId q,
+                                                    LocationId l) const {
+  auto it = rankings_.find(QueryLocation{q, l});
+  return it == rankings_.end() ? nullptr : &it->second;
+}
+
+std::vector<QueryLocation> MarketplaceDataset::RankedPairs() const {
+  std::vector<QueryLocation> pairs;
+  pairs.reserve(rankings_.size());
+  for (const auto& [ql, ranking] : rankings_) pairs.push_back(ql);
+  std::sort(pairs.begin(), pairs.end(),
+            [](const QueryLocation& a, const QueryLocation& b) {
+              if (a.query != b.query) return a.query < b.query;
+              return a.location < b.location;
+            });
+  return pairs;
+}
+
+Result<UserId> SearchDataset::AddUser(std::string_view name,
+                                      Demographics demographics) {
+  if (!schema_.IsValidDemographics(demographics)) {
+    return Status::InvalidArgument("user '" + std::string(name) +
+                                   "' has invalid demographics");
+  }
+  if (users_.Find(name).ok()) {
+    return Status::AlreadyExists("user '" + std::string(name) +
+                                 "' already registered");
+  }
+  UserId id = users_.GetOrAdd(name);
+  demographics_.push_back(std::move(demographics));
+  return id;
+}
+
+Status SearchDataset::AddObservation(QueryId q, LocationId l,
+                                     SearchObservation obs) {
+  if (obs.user < 0 || static_cast<size_t>(obs.user) >= demographics_.size()) {
+    return Status::InvalidArgument("observation references unknown user id " +
+                                   std::to_string(obs.user));
+  }
+  if (obs.results.empty()) {
+    return Status::InvalidArgument("observation has an empty result list");
+  }
+  std::unordered_set<int32_t> seen;
+  for (int32_t doc : obs.results) {
+    if (!seen.insert(doc).second) {
+      return Status::InvalidArgument("result list contains document " +
+                                     std::to_string(doc) + " twice");
+    }
+  }
+  observations_[QueryLocation{q, l}].push_back(std::move(obs));
+  return Status::OK();
+}
+
+const std::vector<SearchObservation>* SearchDataset::GetObservations(
+    QueryId q, LocationId l) const {
+  auto it = observations_.find(QueryLocation{q, l});
+  return it == observations_.end() ? nullptr : &it->second;
+}
+
+std::vector<QueryLocation> SearchDataset::ObservedPairs() const {
+  std::vector<QueryLocation> pairs;
+  pairs.reserve(observations_.size());
+  for (const auto& [ql, obs] : observations_) pairs.push_back(ql);
+  std::sort(pairs.begin(), pairs.end(),
+            [](const QueryLocation& a, const QueryLocation& b) {
+              if (a.query != b.query) return a.query < b.query;
+              return a.location < b.location;
+            });
+  return pairs;
+}
+
+}  // namespace fairjob

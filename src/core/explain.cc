@@ -1,0 +1,226 @@
+#include "core/explain.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ranking/emd.h"
+#include "ranking/exposure.h"
+#include "ranking/histogram.h"
+
+namespace fairjob {
+namespace {
+
+std::vector<size_t> GroupPositions(const MarketplaceDataset& data,
+                                   const GroupSpace& space, GroupId g,
+                                   const MarketRanking& ranking) {
+  const GroupLabel& label = space.label(g);
+  std::vector<size_t> out;
+  for (size_t i = 0; i < ranking.workers.size(); ++i) {
+    if (label.Matches(data.worker_demographics(ranking.workers[i]))) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+double MeanRankFraction(const std::vector<size_t>& positions, size_t n) {
+  if (positions.empty() || n == 0) return 0.0;
+  double sum = 0.0;
+  for (size_t pos : positions) sum += static_cast<double>(pos);
+  return sum / static_cast<double>(positions.size()) /
+         static_cast<double>(n);
+}
+
+Result<std::vector<double>> WorkerValues(const MarketRanking& ranking,
+                                         const MeasureOptions& options) {
+  size_t n = ranking.workers.size();
+  if (options.use_scores_if_available && !ranking.scores.empty()) {
+    return ranking.scores;
+  }
+  std::vector<double> values(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    FAIRJOB_ASSIGN_OR_RETURN(values[i], RelevanceFromRank(i + 1, n));
+  }
+  return values;
+}
+
+// |exp share − rel share| of g contrasted against a single comparable.
+double PairwiseExposureDeviation(const std::vector<size_t>& own,
+                                 const std::vector<size_t>& theirs,
+                                 const std::vector<double>& values) {
+  auto exposure_of = [](const std::vector<size_t>& positions) {
+    double total = 0.0;
+    for (size_t pos : positions) total += ExposureAtRank(pos + 1);
+    return total;
+  };
+  auto relevance_of = [&](const std::vector<size_t>& positions) {
+    double total = 0.0;
+    for (size_t pos : positions) total += values[pos];
+    return total;
+  };
+  double own_exp = exposure_of(own);
+  double their_exp = exposure_of(theirs);
+  double own_rel = relevance_of(own);
+  double their_rel = relevance_of(theirs);
+  double exp_share = own_exp / (own_exp + their_exp);
+  double rel_denominator = own_rel + their_rel;
+  double rel_share = rel_denominator > 0.0 ? own_rel / rel_denominator : 0.0;
+  return std::fabs(exp_share - rel_share);
+}
+
+}  // namespace
+
+Result<MarketTripleExplanation> ExplainMarketplaceTriple(
+    const MarketplaceDataset& data, const GroupSpace& space, GroupId g,
+    QueryId q, LocationId l, MarketMeasure measure,
+    const MeasureOptions& options) {
+  // The headline value comes from the canonical measure so the explanation
+  // always matches what the cube holds.
+  FAIRJOB_ASSIGN_OR_RETURN(
+      double value, MarketplaceUnfairness(data, space, g, q, l, measure,
+                                          options));
+  const MarketRanking* ranking = data.GetRanking(q, l);
+  // MarketplaceUnfairness succeeded, so the ranking exists and g has members.
+  FAIRJOB_ASSIGN_OR_RETURN(std::vector<double> values,
+                           WorkerValues(*ranking, options));
+  std::vector<size_t> own = GroupPositions(data, space, g, *ranking);
+
+  MarketTripleExplanation explanation;
+  explanation.value = value;
+  explanation.group_members = own.size();
+  explanation.group_mean_rank_fraction =
+      MeanRankFraction(own, ranking->workers.size());
+  explanation.result_size = ranking->workers.size();
+
+  FAIRJOB_ASSIGN_OR_RETURN(Histogram own_hist,
+                           Histogram::Make(options.histogram_bins, 0.0, 1.0));
+  for (size_t pos : own) own_hist.Add(values[pos]);
+
+  for (GroupId other : space.Comparables(g)) {
+    std::vector<size_t> theirs = GroupPositions(data, space, other, *ranking);
+    if (theirs.empty()) continue;
+    ComparableContribution contribution;
+    contribution.comparable = other;
+    contribution.members = theirs.size();
+    contribution.mean_rank_fraction =
+        MeanRankFraction(theirs, ranking->workers.size());
+    if (measure == MarketMeasure::kEmd) {
+      FAIRJOB_ASSIGN_OR_RETURN(
+          Histogram their_hist,
+          Histogram::Make(options.histogram_bins, 0.0, 1.0));
+      for (size_t pos : theirs) their_hist.Add(values[pos]);
+      FAIRJOB_ASSIGN_OR_RETURN(contribution.distance,
+                               EmdBetweenHistograms(own_hist, their_hist));
+    } else {
+      contribution.distance = PairwiseExposureDeviation(own, theirs, values);
+    }
+    explanation.comparables.push_back(contribution);
+  }
+  std::sort(explanation.comparables.begin(), explanation.comparables.end(),
+            [](const ComparableContribution& a,
+               const ComparableContribution& b) {
+              if (a.distance != b.distance) return a.distance > b.distance;
+              return a.comparable < b.comparable;
+            });
+  return explanation;
+}
+
+Result<SearchTripleExplanation> ExplainSearchTriple(
+    const SearchDataset& data, const GroupSpace& space, GroupId g, QueryId q,
+    LocationId l, SearchMeasure measure, const MeasureOptions& options) {
+  FAIRJOB_ASSIGN_OR_RETURN(
+      double value, SearchUnfairness(data, space, g, q, l, measure, options));
+  const std::vector<SearchObservation>* obs = data.GetObservations(q, l);
+
+  auto lists_of_group = [&](GroupId group) {
+    const GroupLabel& label = space.label(group);
+    std::vector<const RankedList*> lists;
+    for (const SearchObservation& o : *obs) {
+      if (label.Matches(data.user_demographics(o.user))) {
+        lists.push_back(&o.results);
+      }
+    }
+    return lists;
+  };
+
+  std::vector<const RankedList*> own = lists_of_group(g);
+  SearchTripleExplanation explanation;
+  explanation.value = value;
+  explanation.group_observations = own.size();
+
+  for (GroupId other : space.Comparables(g)) {
+    std::vector<const RankedList*> theirs = lists_of_group(other);
+    if (theirs.empty()) continue;
+    double pair_sum = 0.0;
+    for (const RankedList* a : own) {
+      for (const RankedList* b : theirs) {
+        FAIRJOB_ASSIGN_OR_RETURN(double d,
+                                 SearchListDistance(measure, *a, *b, options));
+        pair_sum += d;
+      }
+    }
+    ComparableContribution contribution;
+    contribution.comparable = other;
+    contribution.distance =
+        pair_sum / static_cast<double>(own.size() * theirs.size());
+    contribution.members = theirs.size();
+    explanation.comparables.push_back(contribution);
+  }
+  std::sort(explanation.comparables.begin(), explanation.comparables.end(),
+            [](const ComparableContribution& a,
+               const ComparableContribution& b) {
+              if (a.distance != b.distance) return a.distance > b.distance;
+              return a.comparable < b.comparable;
+            });
+  return explanation;
+}
+
+Result<std::vector<CellContribution>> TopContributingCells(
+    const UnfairnessCube& cube, Dimension dim, size_t pos, size_t k) {
+  if (pos >= cube.axis_size(dim)) {
+    return Status::InvalidArgument("position out of range on axis '" +
+                                   std::string(DimensionName(dim)) + "'");
+  }
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+
+  Dimension d1 = Dimension::kQuery;
+  Dimension d2 = Dimension::kLocation;
+  switch (dim) {
+    case Dimension::kGroup:
+      d1 = Dimension::kQuery;
+      d2 = Dimension::kLocation;
+      break;
+    case Dimension::kQuery:
+      d1 = Dimension::kGroup;
+      d2 = Dimension::kLocation;
+      break;
+    case Dimension::kLocation:
+      d1 = Dimension::kGroup;
+      d2 = Dimension::kQuery;
+      break;
+  }
+
+  std::vector<CellContribution> cells;
+  for (size_t p1 = 0; p1 < cube.axis_size(d1); ++p1) {
+    for (size_t p2 = 0; p2 < cube.axis_size(d2); ++p2) {
+      size_t coords[3];
+      coords[static_cast<size_t>(dim)] = pos;
+      coords[static_cast<size_t>(d1)] = p1;
+      coords[static_cast<size_t>(d2)] = p2;
+      std::optional<double> v = cube.Get(coords[0], coords[1], coords[2]);
+      if (v.has_value()) {
+        cells.push_back(CellContribution{p1, p2, *v});
+      }
+    }
+  }
+  std::sort(cells.begin(), cells.end(),
+            [](const CellContribution& a, const CellContribution& b) {
+              if (a.value != b.value) return a.value > b.value;
+              if (a.query_pos != b.query_pos) return a.query_pos < b.query_pos;
+              return a.location_pos < b.location_pos;
+            });
+  if (cells.size() > k) cells.resize(k);
+  return cells;
+}
+
+}  // namespace fairjob

@@ -1,0 +1,84 @@
+#ifndef FAIRJOB_CORE_EXPLAIN_H_
+#define FAIRJOB_CORE_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/unfairness_cube.h"
+#include "core/unfairness_measures.h"
+
+namespace fairjob {
+
+// Explanations: the paper picks the comparable-groups formulation precisely
+// because it "can be more easily leveraged for explanations" (§3.1). These
+// routines decompose an unfairness value into the quantities an analyst
+// would look at next.
+
+// One comparable group's contribution to d<g,q,l>.
+struct ComparableContribution {
+  GroupId comparable = 0;
+  // Distance between g and this comparable (EMD / pairwise list distance);
+  // for the exposure measure this is the comparable's exposure & relevance
+  // mass in the denominators instead (see fields below).
+  double distance = 0.0;
+  size_t members = 0;          // of the comparable group in this cell
+  double mean_rank_fraction = 0.0;  // their mean rank / N (0 = top)
+};
+
+// Decomposition of a marketplace triple d<g,q,l>.
+struct MarketTripleExplanation {
+  double value = 0.0;          // the measure value itself
+  size_t group_members = 0;    // members of g in the ranking
+  double group_mean_rank_fraction = 0.0;
+  size_t result_size = 0;      // N of the ranking
+  std::vector<ComparableContribution> comparables;  // distance-descending
+};
+
+// Explains a marketplace unfairness triple: which comparable group drives
+// the average, how many members each side has, and where they sit in the
+// ranking. Works for both MarketMeasure variants (for kExposure the
+// `distance` field holds |exp share − rel share| computed against that
+// single comparable in isolation, which shows which contrast dominates).
+//
+// Errors: as MarketplaceUnfairness (NotFound when the triple is undefined).
+Result<MarketTripleExplanation> ExplainMarketplaceTriple(
+    const MarketplaceDataset& data, const GroupSpace& space, GroupId g,
+    QueryId q, LocationId l, MarketMeasure measure,
+    const MeasureOptions& options = {});
+
+// Decomposition of a search-engine triple d<g,q,l>: which comparable
+// group's result lists diverge most from g's.
+struct SearchTripleExplanation {
+  double value = 0.0;
+  size_t group_observations = 0;  // result lists collected for g at (q,l)
+  // `distance` = mean pairwise list distance to that comparable;
+  // `members` = its observation count; mean_rank_fraction is unused (0).
+  std::vector<ComparableContribution> comparables;  // distance-descending
+};
+
+// Errors: as SearchUnfairness (NotFound when the triple is undefined).
+Result<SearchTripleExplanation> ExplainSearchTriple(
+    const SearchDataset& data, const GroupSpace& space, GroupId g, QueryId q,
+    LocationId l, SearchMeasure measure, const MeasureOptions& options = {});
+
+// One (query, location) cell's contribution to an aggregate d<r, ·, ·>.
+struct CellContribution {
+  size_t query_pos = 0;     // cube positions
+  size_t location_pos = 0;
+  double value = 0.0;
+};
+
+// The k cells that pull a group's (or with `dim` = kQuery/kLocation, a
+// query's / location's) aggregate up the most — i.e. where an analyst
+// should look first. Cells are cube cells with axis `dim` fixed at `pos`;
+// for dim != kGroup the two reported positions are the remaining axes in
+// ascending Dimension order.
+//
+// Errors: InvalidArgument on a bad position.
+Result<std::vector<CellContribution>> TopContributingCells(
+    const UnfairnessCube& cube, Dimension dim, size_t pos, size_t k);
+
+}  // namespace fairjob
+
+#endif  // FAIRJOB_CORE_EXPLAIN_H_

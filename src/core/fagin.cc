@@ -1,0 +1,184 @@
+#include "core/fagin.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+namespace fairjob {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Aggregate of `pos` across all lists under the missing-cell policy;
+// nullopt when the id appears in no list.
+std::optional<double> Aggregate(const std::vector<const InvertedIndex*>& lists,
+                                int32_t pos, MissingCellPolicy policy,
+                                FaginStats* stats) {
+  double sum = 0.0;
+  size_t present = 0;
+  for (const InvertedIndex* list : lists) {
+    if (stats != nullptr) ++stats->random_accesses;
+    std::optional<double> v = list->Find(pos);
+    if (v.has_value()) {
+      sum += *v;
+      ++present;
+    }
+  }
+  if (present == 0) return std::nullopt;
+  if (policy == MissingCellPolicy::kSkip) {
+    return sum / static_cast<double>(present);
+  }
+  return sum / static_cast<double>(lists.size());
+}
+
+// True when `a` should rank ahead of `b` for the requested direction.
+bool Better(double a, double b, RankDirection dir) {
+  return dir == RankDirection::kMostUnfair ? a > b : a < b;
+}
+
+void SortResults(std::vector<ScoredEntry>* out, RankDirection dir) {
+  std::sort(out->begin(), out->end(),
+            [dir](const ScoredEntry& a, const ScoredEntry& b) {
+              if (a.value != b.value) return Better(a.value, b.value, dir);
+              return a.pos < b.pos;
+            });
+}
+
+Status Validate(const std::vector<const InvertedIndex*>& lists, size_t k) {
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  if (lists.empty()) {
+    return Status::InvalidArgument("top-k needs at least one inverted list");
+  }
+  for (const InvertedIndex* list : lists) {
+    if (list == nullptr) {
+      return Status::InvalidArgument("null inverted list");
+    }
+  }
+  return Status::OK();
+}
+
+// Bound on the aggregate of any id never returned by sorted access so far.
+double Threshold(const std::vector<const InvertedIndex*>& lists,
+                 const std::vector<size_t>& cursors, const TopKOptions& opt) {
+  bool most = opt.direction == RankDirection::kMostUnfair;
+  if (opt.missing == MissingCellPolicy::kSkip) {
+    double bound = most ? -kInf : kInf;
+    for (size_t i = 0; i < lists.size(); ++i) {
+      if (cursors[i] >= lists[i]->size()) continue;  // exhausted: no unseen ids
+      size_t next = most ? cursors[i] : lists[i]->size() - 1 - cursors[i];
+      double frontier = lists[i]->entry(next).value;
+      bound = most ? std::max(bound, frontier) : std::min(bound, frontier);
+    }
+    return bound;
+  }
+  // kZero: average of per-list bounds; a missing cell contributes exactly 0.
+  double sum = 0.0;
+  for (size_t i = 0; i < lists.size(); ++i) {
+    if (cursors[i] >= lists[i]->size()) continue;  // per-list bound is 0
+    size_t next = most ? cursors[i] : lists[i]->size() - 1 - cursors[i];
+    double frontier = lists[i]->entry(next).value;
+    sum += most ? std::max(frontier, 0.0) : std::min(frontier, 0.0);
+  }
+  return sum / static_cast<double>(lists.size());
+}
+
+}  // namespace
+
+Result<std::vector<ScoredEntry>> FaginTopK(
+    const std::vector<const InvertedIndex*>& lists, const TopKOptions& options,
+    FaginStats* stats) {
+  FAIRJOB_RETURN_IF_ERROR(Validate(lists, options.k));
+  bool most = options.direction == RankDirection::kMostUnfair;
+
+  std::unordered_set<int32_t> allowed;
+  if (options.allowed != nullptr) {
+    allowed.insert(options.allowed->begin(), options.allowed->end());
+  }
+  auto is_allowed = [&](int32_t pos) {
+    return options.allowed == nullptr || allowed.count(pos) > 0;
+  };
+
+  std::vector<size_t> cursors(lists.size(), 0);
+  std::unordered_set<int32_t> seen;
+
+  // `kept` is a heap whose top is the *worst* retained entry, so it can be
+  // evicted when a better candidate arrives. std::push_heap puts the
+  // comparator-largest element on top, so "better" must compare as smaller.
+  std::vector<ScoredEntry> kept;
+  auto worse_on_top = [dir = options.direction](const ScoredEntry& a,
+                                                const ScoredEntry& b) {
+    return Better(a.value, b.value, dir);
+  };
+
+  for (;;) {
+    bool any_read = false;
+    for (size_t i = 0; i < lists.size(); ++i) {
+      if (cursors[i] >= lists[i]->size()) continue;
+      size_t at = most ? cursors[i] : lists[i]->size() - 1 - cursors[i];
+      const ScoredEntry& e = lists[i]->entry(at);
+      ++cursors[i];
+      if (stats != nullptr) ++stats->sorted_accesses;
+      any_read = true;
+      if (!is_allowed(e.pos) || !seen.insert(e.pos).second) continue;
+      std::optional<double> agg =
+          Aggregate(lists, e.pos, options.missing, stats);
+      if (!agg.has_value()) continue;  // unreachable: e.pos is in list i
+      if (stats != nullptr) ++stats->ids_scored;
+      ScoredEntry scored{e.pos, *agg};
+      if (kept.size() < options.k) {
+        kept.push_back(scored);
+        std::push_heap(kept.begin(), kept.end(), worse_on_top);
+      } else if (Better(scored.value, kept.front().value, options.direction)) {
+        std::pop_heap(kept.begin(), kept.end(), worse_on_top);
+        kept.back() = scored;
+        std::push_heap(kept.begin(), kept.end(), worse_on_top);
+      }
+    }
+    if (!any_read) break;  // every list exhausted
+
+    if (kept.size() >= options.k) {
+      double tau = Threshold(lists, cursors, options);
+      double kth = kept.front().value;
+      bool done = most ? (kth >= tau) : (kth <= tau);
+      if (done) break;
+    }
+  }
+
+  SortResults(&kept, options.direction);
+  return kept;
+}
+
+Result<std::vector<ScoredEntry>> ScanTopK(
+    const std::vector<const InvertedIndex*>& lists, const TopKOptions& options,
+    FaginStats* stats) {
+  FAIRJOB_RETURN_IF_ERROR(Validate(lists, options.k));
+  std::unordered_set<int32_t> allowed;
+  if (options.allowed != nullptr) {
+    allowed.insert(options.allowed->begin(), options.allowed->end());
+  }
+  std::unordered_set<int32_t> ids;
+  for (const InvertedIndex* list : lists) {
+    for (size_t i = 0; i < list->size(); ++i) {
+      if (stats != nullptr) ++stats->sorted_accesses;
+      int32_t pos = list->entry(i).pos;
+      if (options.allowed == nullptr || allowed.count(pos) > 0) {
+        ids.insert(pos);
+      }
+    }
+  }
+  std::vector<ScoredEntry> scored;
+  scored.reserve(ids.size());
+  for (int32_t pos : ids) {
+    std::optional<double> agg = Aggregate(lists, pos, options.missing, stats);
+    if (agg.has_value()) {
+      if (stats != nullptr) ++stats->ids_scored;
+      scored.push_back(ScoredEntry{pos, *agg});
+    }
+  }
+  SortResults(&scored, options.direction);
+  if (scored.size() > options.k) scored.resize(options.k);
+  return scored;
+}
+
+}  // namespace fairjob

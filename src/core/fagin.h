@@ -1,0 +1,68 @@
+#ifndef FAIRJOB_CORE_FAGIN_H_
+#define FAIRJOB_CORE_FAGIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/indices.h"
+
+namespace fairjob {
+
+// Direction of Problem 1: most-unfair returns the largest aggregates,
+// least-unfair the smallest.
+enum class RankDirection { kMostUnfair, kLeastUnfair };
+
+// What a missing cube cell means when aggregating a target id across lists:
+//  * kSkip: average over the lists where the id is present (the framework's
+//    semantics: unobserved (q,l) pairs do not dilute a group's unfairness);
+//  * kZero: treat missing as 0 (a full |Q|·|L| denominator, Algorithm 1's
+//    literal behaviour on a complete cube).
+// Both agree on complete cubes.
+enum class MissingCellPolicy { kSkip, kZero };
+
+// Instrumentation for the sorted/random access counts the Fagin family is
+// judged by.
+struct FaginStats {
+  size_t sorted_accesses = 0;
+  size_t random_accesses = 0;
+  size_t ids_scored = 0;
+};
+
+// Options for a top-k run.
+struct TopKOptions {
+  size_t k = 5;
+  RankDirection direction = RankDirection::kMostUnfair;
+  MissingCellPolicy missing = MissingCellPolicy::kSkip;
+  // When non-null, only these target positions are eligible (e.g. "out of
+  // Black Males, Asian Males and White Females, ..."); others are skipped.
+  const std::vector<int32_t>* allowed = nullptr;
+};
+
+// Adaptation of Fagin's Threshold Algorithm (Algorithm 1): round-robin
+// sorted access over the inverted lists, random access to complete each
+// newly seen id's aggregate, and a per-policy threshold bound on unseen ids
+// for early termination. With MissingCellPolicy::kSkip the bound is the
+// max (resp. min) frontier, with kZero the mean of clamped frontiers; with
+// kZero + kLeastUnfair no useful bound exists and the run degenerates to a
+// scan (still correct).
+//
+// Returns up to k entries sorted by value (descending for most-unfair,
+// ascending for least-unfair); ties are broken arbitrarily, as in classic TA.
+// Ids absent from every list are never returned.
+//
+// Errors: InvalidArgument when k == 0 or `lists` is empty.
+Result<std::vector<ScoredEntry>> FaginTopK(
+    const std::vector<const InvertedIndex*>& lists, const TopKOptions& options,
+    FaginStats* stats = nullptr);
+
+// Baseline: scores every id appearing in any list via full random access.
+// Same contract as FaginTopK; used for correctness cross-checks and as the
+// comparison point in bench_fagin_perf.
+Result<std::vector<ScoredEntry>> ScanTopK(
+    const std::vector<const InvertedIndex*>& lists, const TopKOptions& options,
+    FaginStats* stats = nullptr);
+
+}  // namespace fairjob
+
+#endif  // FAIRJOB_CORE_FAGIN_H_

@@ -1,0 +1,257 @@
+#include "core/fagin_family.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fairjob {
+namespace {
+
+bool Better(double a, double b, RankDirection dir) {
+  return dir == RankDirection::kMostUnfair ? a > b : a < b;
+}
+
+void SortResults(std::vector<ScoredEntry>* out, RankDirection dir) {
+  std::sort(out->begin(), out->end(),
+            [dir](const ScoredEntry& a, const ScoredEntry& b) {
+              if (a.value != b.value) return Better(a.value, b.value, dir);
+              return a.pos < b.pos;
+            });
+}
+
+Status Validate(const std::vector<const InvertedIndex*>& lists, size_t k) {
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  if (lists.empty()) {
+    return Status::InvalidArgument("top-k needs at least one inverted list");
+  }
+  for (const InvertedIndex* list : lists) {
+    if (list == nullptr) return Status::InvalidArgument("null inverted list");
+  }
+  return Status::OK();
+}
+
+std::optional<double> Aggregate(const std::vector<const InvertedIndex*>& lists,
+                                int32_t pos, MissingCellPolicy policy,
+                                FaginStats* stats) {
+  double sum = 0.0;
+  size_t present = 0;
+  for (const InvertedIndex* list : lists) {
+    if (stats != nullptr) ++stats->random_accesses;
+    std::optional<double> v = list->Find(pos);
+    if (v.has_value()) {
+      sum += *v;
+      ++present;
+    }
+  }
+  if (present == 0) return std::nullopt;
+  if (policy == MissingCellPolicy::kSkip) {
+    return sum / static_cast<double>(present);
+  }
+  return sum / static_cast<double>(lists.size());
+}
+
+}  // namespace
+
+const char* TopKAlgorithmName(TopKAlgorithm algorithm) {
+  switch (algorithm) {
+    case TopKAlgorithm::kThresholdAlgorithm:
+      return "TA";
+    case TopKAlgorithm::kFA:
+      return "FA";
+    case TopKAlgorithm::kNRA:
+      return "NRA";
+    case TopKAlgorithm::kScan:
+      return "scan";
+  }
+  return "?";
+}
+
+Result<std::vector<ScoredEntry>> FaginFA(
+    const std::vector<const InvertedIndex*>& lists, const TopKOptions& options,
+    FaginStats* stats) {
+  FAIRJOB_RETURN_IF_ERROR(Validate(lists, options.k));
+  bool most = options.direction == RankDirection::kMostUnfair;
+  std::unordered_set<int32_t> allowed;
+  if (options.allowed != nullptr) {
+    allowed.insert(options.allowed->begin(), options.allowed->end());
+  }
+  auto is_allowed = [&](int32_t pos) {
+    return options.allowed == nullptr || allowed.count(pos) > 0;
+  };
+
+  // Phase 1: round-robin sorted access until k (allowed) ids have been seen
+  // on every list, or all lists are exhausted. Early stopping is only sound
+  // under kZero semantics (see header); under kSkip we read everything.
+  std::vector<size_t> cursors(lists.size(), 0);
+  std::unordered_map<int32_t, size_t> lists_seen;
+  size_t complete_ids = 0;
+  bool can_stop_early = options.missing == MissingCellPolicy::kZero;
+  for (;;) {
+    bool any_read = false;
+    for (size_t i = 0; i < lists.size(); ++i) {
+      if (cursors[i] >= lists[i]->size()) continue;
+      size_t at = most ? cursors[i] : lists[i]->size() - 1 - cursors[i];
+      const ScoredEntry& e = lists[i]->entry(at);
+      ++cursors[i];
+      if (stats != nullptr) ++stats->sorted_accesses;
+      any_read = true;
+      if (!is_allowed(e.pos)) continue;
+      size_t seen = ++lists_seen[e.pos];
+      if (seen == lists.size()) ++complete_ids;
+    }
+    if (!any_read) break;
+    if (can_stop_early && complete_ids >= options.k) break;
+  }
+
+  // Phase 2: random access to score every seen id.
+  std::vector<ScoredEntry> scored;
+  scored.reserve(lists_seen.size());
+  for (const auto& [pos, seen] : lists_seen) {
+    std::optional<double> agg = Aggregate(lists, pos, options.missing, stats);
+    if (agg.has_value()) {
+      if (stats != nullptr) ++stats->ids_scored;
+      scored.push_back(ScoredEntry{pos, *agg});
+    }
+  }
+  SortResults(&scored, options.direction);
+  if (scored.size() > options.k) scored.resize(options.k);
+  return scored;
+}
+
+Result<std::vector<ScoredEntry>> FaginNRA(
+    const std::vector<const InvertedIndex*>& lists, const TopKOptions& options,
+    FaginStats* stats) {
+  FAIRJOB_RETURN_IF_ERROR(Validate(lists, options.k));
+  if (options.missing != MissingCellPolicy::kZero) {
+    return Status::InvalidArgument(
+        "NRA bounds require MissingCellPolicy::kZero (the average over "
+        "present lists is not monotone in the unknown entries)");
+  }
+  if (options.direction != RankDirection::kMostUnfair) {
+    return Status::InvalidArgument(
+        "NRA supports kMostUnfair only; use TA or the scan for bottom-k");
+  }
+  std::unordered_set<int32_t> allowed;
+  if (options.allowed != nullptr) {
+    allowed.insert(options.allowed->begin(), options.allowed->end());
+  }
+  auto is_allowed = [&](int32_t pos) {
+    return options.allowed == nullptr || allowed.count(pos) > 0;
+  };
+
+  const size_t num_lists = lists.size();
+  const double denom = static_cast<double>(num_lists);
+  struct Candidate {
+    double known_sum = 0.0;
+    // Bitmask of lists whose value is known (sorted access saw this id).
+    uint64_t known_mask = 0;
+  };
+  if (num_lists > 64) {
+    return Status::InvalidArgument("NRA supports at most 64 lists");
+  }
+  std::unordered_map<int32_t, Candidate> candidates;
+  std::vector<size_t> cursors(num_lists, 0);
+
+  auto frontier = [&](size_t i) -> double {
+    if (cursors[i] >= lists[i]->size()) return 0.0;  // exhausted: rest is 0
+    return std::max(lists[i]->entry(cursors[i]).value, 0.0);
+  };
+
+  for (;;) {
+    bool any_read = false;
+    for (size_t i = 0; i < num_lists; ++i) {
+      if (cursors[i] >= lists[i]->size()) continue;
+      const ScoredEntry& e = lists[i]->entry(cursors[i]);
+      ++cursors[i];
+      if (stats != nullptr) ++stats->sorted_accesses;
+      any_read = true;
+      if (!is_allowed(e.pos)) continue;
+      Candidate& c = candidates[e.pos];
+      c.known_sum += e.value;
+      c.known_mask |= (1ull << i);
+    }
+    if (!any_read) break;
+
+    if (candidates.size() < options.k) continue;
+
+    // Lower bound: unknown entries contribute 0 (kZero). Upper bound:
+    // unknown entries are at most the list frontier.
+    double frontier_sum = 0.0;
+    for (size_t i = 0; i < num_lists; ++i) frontier_sum += frontier(i);
+
+    // k-th best lower bound.
+    std::vector<std::pair<double, int32_t>> lowers;
+    lowers.reserve(candidates.size());
+    for (const auto& [pos, c] : candidates) {
+      lowers.emplace_back(c.known_sum / denom, pos);
+    }
+    std::nth_element(
+        lowers.begin(), lowers.begin() + static_cast<long>(options.k - 1),
+        lowers.end(), [](const auto& a, const auto& b) {
+          if (a.first != b.first) return a.first > b.first;
+          return a.second < b.second;
+        });
+    double kth_lower = lowers[options.k - 1].first;
+    std::unordered_set<int32_t> top_positions;
+    for (size_t i = 0; i < options.k; ++i) top_positions.insert(lowers[i].second);
+
+    // Upper bound of any id outside the current top-k (seen or unseen).
+    double outside_upper = frontier_sum / denom;  // fully unseen id
+    for (const auto& [pos, c] : candidates) {
+      if (top_positions.count(pos) > 0) continue;
+      double upper = c.known_sum;
+      for (size_t i = 0; i < num_lists; ++i) {
+        if ((c.known_mask & (1ull << i)) == 0) upper += frontier(i);
+      }
+      outside_upper = std::max(outside_upper, upper / denom);
+    }
+    if (kth_lower >= outside_upper) {
+      // The top-k id set is final. Resolve exact aggregates for those ids
+      // (a pragmatic k·L random-access epilogue; classic NRA would return
+      // bounds).
+      std::vector<ScoredEntry> out;
+      out.reserve(options.k);
+      for (int32_t pos : top_positions) {
+        std::optional<double> agg =
+            Aggregate(lists, pos, options.missing, stats);
+        if (agg.has_value()) {
+          if (stats != nullptr) ++stats->ids_scored;
+          out.push_back(ScoredEntry{pos, *agg});
+        }
+      }
+      SortResults(&out, options.direction);
+      return out;
+    }
+  }
+
+  // Lists exhausted: every candidate's aggregate is fully known.
+  std::vector<ScoredEntry> out;
+  out.reserve(candidates.size());
+  for (const auto& [pos, c] : candidates) {
+    if (stats != nullptr) ++stats->ids_scored;
+    out.push_back(ScoredEntry{pos, c.known_sum / denom});
+  }
+  SortResults(&out, options.direction);
+  if (out.size() > options.k) out.resize(options.k);
+  return out;
+}
+
+Result<std::vector<ScoredEntry>> RunTopK(
+    TopKAlgorithm algorithm, const std::vector<const InvertedIndex*>& lists,
+    const TopKOptions& options, FaginStats* stats) {
+  switch (algorithm) {
+    case TopKAlgorithm::kThresholdAlgorithm:
+      return FaginTopK(lists, options, stats);
+    case TopKAlgorithm::kFA:
+      return FaginFA(lists, options, stats);
+    case TopKAlgorithm::kNRA:
+      return FaginNRA(lists, options, stats);
+    case TopKAlgorithm::kScan:
+      return ScanTopK(lists, options, stats);
+  }
+  return Status::InvalidArgument("unknown top-k algorithm");
+}
+
+}  // namespace fairjob

@@ -1,0 +1,126 @@
+#include "core/fbox.h"
+
+namespace fairjob {
+
+Result<FBox> FBox::ForMarketplace(const MarketplaceDataset* data,
+                                  const GroupSpace* space,
+                                  MarketMeasure measure,
+                                  const BuildOptions& options) {
+  if (data == nullptr || space == nullptr) {
+    return Status::InvalidArgument("FBox needs a dataset and a group space");
+  }
+  FAIRJOB_ASSIGN_OR_RETURN(
+      UnfairnessCube cube,
+      BuildMarketplaceCube(*data, *space, measure, options.measure,
+                           options.axes, options.parallelism));
+  return FBox(space, &data->queries(), &data->locations(), std::move(cube));
+}
+
+Result<FBox> FBox::ForSearch(const SearchDataset* data, const GroupSpace* space,
+                             SearchMeasure measure,
+                             const BuildOptions& options) {
+  if (data == nullptr || space == nullptr) {
+    return Status::InvalidArgument("FBox needs a dataset and a group space");
+  }
+  FAIRJOB_ASSIGN_OR_RETURN(
+      UnfairnessCube cube,
+      BuildSearchCube(*data, *space, measure, options.measure, options.axes,
+                      options.parallelism));
+  return FBox(space, &data->queries(), &data->locations(), std::move(cube));
+}
+
+Result<size_t> FBox::PosOf(Dimension d, std::string_view name) const {
+  int32_t id = 0;
+  switch (d) {
+    case Dimension::kGroup: {
+      FAIRJOB_ASSIGN_OR_RETURN(id, space_->FindByDisplayName(name));
+      break;
+    }
+    case Dimension::kQuery: {
+      FAIRJOB_ASSIGN_OR_RETURN(id, queries_->Find(name));
+      break;
+    }
+    case Dimension::kLocation: {
+      FAIRJOB_ASSIGN_OR_RETURN(id, locations_->Find(name));
+      break;
+    }
+  }
+  return cube_.PosOf(d, id);
+}
+
+Result<std::vector<size_t>> FBox::PositionsOf(
+    Dimension d, const std::vector<std::string>& names) const {
+  std::vector<size_t> out;
+  out.reserve(names.size());
+  for (const std::string& name : names) {
+    FAIRJOB_ASSIGN_OR_RETURN(size_t pos, PosOf(d, name));
+    out.push_back(pos);
+  }
+  return out;
+}
+
+std::string FBox::NameOf(Dimension d, int32_t id) const {
+  switch (d) {
+    case Dimension::kGroup:
+      return space_->label(id).DisplayName(space_->schema());
+    case Dimension::kQuery:
+      return queries_->NameOf(id);
+    case Dimension::kLocation:
+      return locations_->NameOf(id);
+  }
+  return "?";
+}
+
+Result<QuantificationResult> FBox::Quantify(
+    const QuantificationRequest& request) const {
+  return SolveQuantification(cube_, indices_, request);
+}
+
+Result<ComparisonResult> FBox::Compare(const ComparisonRequest& request) const {
+  return SolveComparison(cube_, request);
+}
+
+Result<std::vector<FBox::NamedAnswer>> FBox::TopK(
+    Dimension target, size_t k, RankDirection direction) const {
+  QuantificationRequest req;
+  req.target = target;
+  req.k = k;
+  req.direction = direction;
+  FAIRJOB_ASSIGN_OR_RETURN(QuantificationResult result, Quantify(req));
+  std::vector<NamedAnswer> out;
+  out.reserve(result.answers.size());
+  for (const QuantificationAnswer& a : result.answers) {
+    out.push_back(NamedAnswer{NameOf(target, a.id), a.value});
+  }
+  return out;
+}
+
+Result<ComparisonResult> FBox::CompareSetsByName(
+    Dimension compare_dim, const std::vector<std::string>& r1,
+    const std::vector<std::string>& r2, Dimension breakdown_dim,
+    const AxisSelector& breakdown, const AxisSelector& aggregated) const {
+  ComparisonRequest req;
+  req.compare_dim = compare_dim;
+  FAIRJOB_ASSIGN_OR_RETURN(req.r1_set, PositionsOf(compare_dim, r1));
+  FAIRJOB_ASSIGN_OR_RETURN(req.r2_set, PositionsOf(compare_dim, r2));
+  req.breakdown_dim = breakdown_dim;
+  req.breakdown = breakdown;
+  req.aggregated = aggregated;
+  return Compare(req);
+}
+
+Result<ComparisonResult> FBox::CompareByName(
+    Dimension compare_dim, std::string_view r1, std::string_view r2,
+    Dimension breakdown_dim, const AxisSelector& breakdown,
+    const AxisSelector& aggregated) const {
+  ComparisonRequest req;
+  req.compare_dim = compare_dim;
+  FAIRJOB_ASSIGN_OR_RETURN(req.r1_pos, PosOf(compare_dim, r1));
+  FAIRJOB_ASSIGN_OR_RETURN(req.r2_pos, PosOf(compare_dim, r2));
+  req.breakdown_dim = breakdown_dim;
+  req.breakdown = breakdown;
+  req.aggregated = aggregated;
+  return Compare(req);
+}
+
+}  // namespace fairjob

@@ -1,0 +1,114 @@
+#ifndef FAIRJOB_CORE_FBOX_H_
+#define FAIRJOB_CORE_FBOX_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/comparison.h"
+#include "core/quantification.h"
+
+namespace fairjob {
+
+// The "F-Box" of the paper's experiment flow (Figures 6 and 9): wraps a
+// dataset, evaluates the chosen unfairness measure into a cube, builds the
+// three inverted-index families, and answers quantification / comparison
+// requests — with string-based lookups so callers can speak in terms of
+// "Asian Female", "Handyman" or "Birmingham, UK".
+//
+// The dataset and group space are borrowed and must outlive the FBox.
+class FBox {
+ public:
+  struct BuildOptions {
+    MeasureOptions measure;
+    CubeAxes axes;  // empty axes = full universes
+    // Threads used to evaluate the cube (1 = serial; results identical).
+    size_t parallelism = 1;
+  };
+
+  static Result<FBox> ForMarketplace(const MarketplaceDataset* data,
+                                     const GroupSpace* space,
+                                     MarketMeasure measure,
+                                     const BuildOptions& options);
+  static Result<FBox> ForMarketplace(const MarketplaceDataset* data,
+                                     const GroupSpace* space,
+                                     MarketMeasure measure) {
+    return ForMarketplace(data, space, measure, BuildOptions());
+  }
+
+  static Result<FBox> ForSearch(const SearchDataset* data,
+                                const GroupSpace* space, SearchMeasure measure,
+                                const BuildOptions& options);
+  static Result<FBox> ForSearch(const SearchDataset* data,
+                                const GroupSpace* space,
+                                SearchMeasure measure) {
+    return ForSearch(data, space, measure, BuildOptions());
+  }
+
+  const UnfairnessCube& cube() const { return cube_; }
+  const IndexSet& indices() const { return indices_; }
+  const GroupSpace& space() const { return *space_; }
+
+  // --- name resolution -----------------------------------------------------
+
+  // Cube axis position of a group display name ("Asian Female"), a query
+  // name, or a location name. Errors: NotFound.
+  Result<size_t> PosOf(Dimension d, std::string_view name) const;
+  Result<std::vector<size_t>> PositionsOf(
+      Dimension d, const std::vector<std::string>& names) const;
+
+  // Human-readable name of a cube axis id.
+  std::string NameOf(Dimension d, int32_t id) const;
+
+  // --- problems ------------------------------------------------------------
+
+  Result<QuantificationResult> Quantify(
+      const QuantificationRequest& request) const;
+
+  Result<ComparisonResult> Compare(const ComparisonRequest& request) const;
+
+  // Convenience: named top-k along a dimension over everything else.
+  struct NamedAnswer {
+    std::string name;
+    double value;
+  };
+  Result<std::vector<NamedAnswer>> TopK(
+      Dimension target, size_t k,
+      RankDirection direction = RankDirection::kMostUnfair) const;
+
+  // Convenience: full Problem 2 by names, e.g.
+  //   CompareByName(kGroup, "Male", "Female", kLocation).
+  Result<ComparisonResult> CompareByName(
+      Dimension compare_dim, std::string_view r1, std::string_view r2,
+      Dimension breakdown_dim, const AxisSelector& breakdown = {},
+      const AxisSelector& aggregated = {}) const;
+
+  // Set comparison (d<G,·,·> form), e.g.
+  //   CompareSetsByName(kGroup, {"Asian Male", "Black Male", "White Male"},
+  //                     {"Asian Female", ...}, kLocation).
+  Result<ComparisonResult> CompareSetsByName(
+      Dimension compare_dim, const std::vector<std::string>& r1,
+      const std::vector<std::string>& r2, Dimension breakdown_dim,
+      const AxisSelector& breakdown = {},
+      const AxisSelector& aggregated = {}) const;
+
+ private:
+  FBox(const GroupSpace* space, const Vocabulary* queries,
+       const Vocabulary* locations, UnfairnessCube cube)
+      : space_(space),
+        queries_(queries),
+        locations_(locations),
+        cube_(std::move(cube)),
+        indices_(IndexSet::Build(cube_)) {}
+
+  const GroupSpace* space_;
+  const Vocabulary* queries_;
+  const Vocabulary* locations_;
+  UnfairnessCube cube_;
+  IndexSet indices_;
+};
+
+}  // namespace fairjob
+
+#endif  // FAIRJOB_CORE_FBOX_H_

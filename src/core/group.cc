@@ -1,0 +1,161 @@
+#include "core/group.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace fairjob {
+
+Result<GroupLabel> GroupLabel::Make(std::vector<Predicate> predicates) {
+  if (predicates.empty()) {
+    return Status::InvalidArgument("a group label needs at least one predicate");
+  }
+  std::sort(predicates.begin(), predicates.end());
+  for (size_t i = 1; i < predicates.size(); ++i) {
+    if (predicates[i].first == predicates[i - 1].first) {
+      return Status::InvalidArgument(
+          "group label constrains attribute " +
+          std::to_string(predicates[i].first) + " twice");
+    }
+  }
+  return GroupLabel(std::move(predicates));
+}
+
+Result<GroupLabel> GroupLabel::Parse(std::string_view text,
+                                     const AttributeSchema& schema) {
+  // Normalize the three accepted conjunction spellings to a single '&'.
+  std::string normalized(text);
+  // UTF-8 "∧" is E2 88 A7.
+  size_t at;
+  while ((at = normalized.find("\xE2\x88\xA7")) != std::string::npos) {
+    normalized.replace(at, 3, "&");
+  }
+  while ((at = normalized.find("&&")) != std::string::npos) {
+    normalized.replace(at, 2, "&");
+  }
+
+  std::vector<Predicate> predicates;
+  for (const std::string& raw : Split(normalized, '&')) {
+    std::string_view term = Trim(raw);
+    if (term.empty()) {
+      return Status::InvalidArgument("empty conjunct in group label '" +
+                                     std::string(text) + "'");
+    }
+    size_t eq = term.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument("conjunct '" + std::string(term) +
+                                     "' is not of the form attribute=value");
+    }
+    std::string_view attr_name = Trim(term.substr(0, eq));
+    std::string_view value_name = Trim(term.substr(eq + 1));
+    FAIRJOB_ASSIGN_OR_RETURN(AttributeId attr, schema.FindAttribute(attr_name));
+    FAIRJOB_ASSIGN_OR_RETURN(ValueId value, schema.FindValue(attr, value_name));
+    predicates.emplace_back(attr, value);
+  }
+  return Make(std::move(predicates));
+}
+
+std::vector<AttributeId> GroupLabel::Attributes() const {
+  std::vector<AttributeId> out;
+  out.reserve(predicates_.size());
+  for (const Predicate& p : predicates_) out.push_back(p.first);
+  return out;
+}
+
+bool GroupLabel::HasAttribute(AttributeId a) const {
+  for (const Predicate& p : predicates_) {
+    if (p.first == a) return true;
+  }
+  return false;
+}
+
+Result<ValueId> GroupLabel::ValueOf(AttributeId a) const {
+  for (const Predicate& p : predicates_) {
+    if (p.first == a) return p.second;
+  }
+  return Status::NotFound("label does not constrain attribute " +
+                          std::to_string(a));
+}
+
+GroupLabel GroupLabel::WithValue(AttributeId a, ValueId v) const {
+  std::vector<Predicate> preds = predicates_;
+  bool replaced = false;
+  for (Predicate& p : preds) {
+    if (p.first == a) {
+      p.second = v;
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) {
+    preds.emplace_back(a, v);
+    std::sort(preds.begin(), preds.end());
+  }
+  return GroupLabel(std::move(preds));
+}
+
+bool GroupLabel::Matches(const Demographics& d) const {
+  for (const Predicate& p : predicates_) {
+    if (static_cast<size_t>(p.first) >= d.size() ||
+        d[static_cast<size_t>(p.first)] != p.second) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// Predicates may reference attributes/values a given schema does not define
+// (e.g. a label built for a different schema); fall back to numeric forms
+// instead of indexing out of bounds.
+bool PredicateInSchema(const AttributeSchema& schema,
+                       const GroupLabel::Predicate& p) {
+  return p.first >= 0 &&
+         static_cast<size_t>(p.first) < schema.num_attributes() &&
+         p.second >= 0 &&
+         static_cast<size_t>(p.second) < schema.num_values(p.first);
+}
+
+}  // namespace
+
+std::string GroupLabel::ToString(const AttributeSchema& schema) const {
+  std::string out;
+  for (size_t i = 0; i < predicates_.size(); ++i) {
+    if (i > 0) out += " \xE2\x88\xA7 ";  // " ∧ "
+    if (PredicateInSchema(schema, predicates_[i])) {
+      out += schema.attribute_name(predicates_[i].first);
+      out += "=";
+      out += schema.value_name(predicates_[i].first, predicates_[i].second);
+    } else {
+      out += "attr" + std::to_string(predicates_[i].first) + "=val" +
+             std::to_string(predicates_[i].second);
+    }
+  }
+  return out;
+}
+
+std::string GroupLabel::DisplayName(const AttributeSchema& schema) const {
+  std::string out;
+  for (size_t i = 0; i < predicates_.size(); ++i) {
+    if (i > 0) out += " ";
+    if (PredicateInSchema(schema, predicates_[i])) {
+      out += schema.value_name(predicates_[i].first, predicates_[i].second);
+    } else {
+      out += "val" + std::to_string(predicates_[i].second);
+    }
+  }
+  return out;
+}
+
+size_t GroupLabel::Hash::operator()(const GroupLabel& g) const {
+  size_t h = 0xcbf29ce484222325ULL;
+  for (const GroupLabel::Predicate& p : g.predicates_) {
+    h ^= static_cast<size_t>(p.first) * 0x100000001b3ULL +
+         static_cast<size_t>(p.second) + 0x9e3779b97f4a7c15ULL;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace fairjob

@@ -1,0 +1,79 @@
+#ifndef FAIRJOB_CORE_GROUP_H_
+#define FAIRJOB_CORE_GROUP_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/attribute_schema.h"
+
+namespace fairjob {
+
+// A group label: a conjunction of predicates `attribute = value` over a
+// non-empty subset of the protected attributes (Section 3.1 of the paper).
+// Example: (ethnicity = Black) ∧ (gender = Female).
+//
+// Predicates are kept sorted by attribute id, giving labels a canonical form
+// usable as map keys.
+class GroupLabel {
+ public:
+  using Predicate = std::pair<AttributeId, ValueId>;
+
+  // Builds a label from predicates (any order). Errors: InvalidArgument on an
+  // empty predicate list or a repeated attribute.
+  static Result<GroupLabel> Make(std::vector<Predicate> predicates);
+
+  // Parses the ToString form back into a label: "attribute=value"
+  // conjunctions joined by "∧", "&" or "&&" (whitespace-tolerant), e.g.
+  // "ethnicity=Black ∧ gender=Female" or "gender=Female & ethnicity=Black".
+  // Errors: InvalidArgument on syntax errors; NotFound for unknown
+  // attributes/values.
+  static Result<GroupLabel> Parse(std::string_view text,
+                                  const AttributeSchema& schema);
+
+  const std::vector<Predicate>& predicates() const { return predicates_; }
+  size_t size() const { return predicates_.size(); }
+
+  // A(g): the attributes the label constrains, ascending.
+  std::vector<AttributeId> Attributes() const;
+
+  bool HasAttribute(AttributeId a) const;
+
+  // Value assigned to `a`, or an error if the label does not constrain `a`.
+  Result<ValueId> ValueOf(AttributeId a) const;
+
+  // Copy of this label with attribute `a` set to `v` (replacing any existing
+  // predicate on `a`).
+  GroupLabel WithValue(AttributeId a, ValueId v) const;
+
+  // True if the individual's full demographic assignment satisfies every
+  // predicate.
+  bool Matches(const Demographics& d) const;
+
+  // "ethnicity=Black ∧ gender=Female".
+  std::string ToString(const AttributeSchema& schema) const;
+
+  // "Black Female": value names joined in attribute order, the paper's
+  // table row style.
+  std::string DisplayName(const AttributeSchema& schema) const;
+
+  friend bool operator==(const GroupLabel& a, const GroupLabel& b) {
+    return a.predicates_ == b.predicates_;
+  }
+
+  struct Hash {
+    size_t operator()(const GroupLabel& g) const;
+  };
+
+ private:
+  explicit GroupLabel(std::vector<Predicate> sorted)
+      : predicates_(std::move(sorted)) {}
+
+  std::vector<Predicate> predicates_;
+};
+
+}  // namespace fairjob
+
+#endif  // FAIRJOB_CORE_GROUP_H_

@@ -1,0 +1,145 @@
+#include "core/group_space.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace fairjob {
+namespace {
+
+constexpr size_t kMaxGroups = 1u << 20;
+
+// Canonical key for display-name lookup: lowered value names, sorted, joined
+// with a separator that cannot appear in names.
+std::string DisplayKeyFromTokens(std::vector<std::string> tokens) {
+  for (std::string& t : tokens) t = ToLower(t);
+  std::sort(tokens.begin(), tokens.end());
+  return Join(tokens, "\x1f");
+}
+
+}  // namespace
+
+Result<GroupSpace> GroupSpace::Enumerate(const AttributeSchema& schema) {
+  return EnumerateUpTo(schema, schema.num_attributes());
+}
+
+Result<GroupSpace> GroupSpace::EnumerateUpTo(const AttributeSchema& schema,
+                                             size_t max_predicates) {
+  if (schema.num_attributes() == 0) {
+    return Status::InvalidArgument("schema has no protected attributes");
+  }
+  if (max_predicates == 0) {
+    return Status::InvalidArgument("max_predicates must be positive");
+  }
+  size_t combos = 1;
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    combos *= schema.num_values(static_cast<AttributeId>(a)) + 1;
+    if (combos > kMaxGroups) {
+      return Status::InvalidArgument("group space too large (> 2^20 groups)");
+    }
+  }
+
+  GroupSpace space(schema);
+  // Mixed-radix counter over (num_values + 1) choices per attribute, where
+  // choice 0 means "attribute unconstrained".
+  size_t n_attrs = schema.num_attributes();
+  std::vector<size_t> digits(n_attrs, 0);
+  for (;;) {
+    // Advance the counter (skip the all-unconstrained combination at start).
+    size_t a = 0;
+    while (a < n_attrs) {
+      digits[a] += 1;
+      if (digits[a] <=
+          schema.num_values(static_cast<AttributeId>(a))) {
+        break;
+      }
+      digits[a] = 0;
+      ++a;
+    }
+    if (a == n_attrs) break;  // wrapped around: enumeration complete
+
+    std::vector<GroupLabel::Predicate> preds;
+    for (size_t i = 0; i < n_attrs; ++i) {
+      if (digits[i] > 0) {
+        preds.emplace_back(static_cast<AttributeId>(i),
+                           static_cast<ValueId>(digits[i] - 1));
+      }
+    }
+    if (preds.size() > max_predicates) continue;
+    FAIRJOB_ASSIGN_OR_RETURN(GroupLabel label, GroupLabel::Make(std::move(preds)));
+    GroupId id = static_cast<GroupId>(space.labels_.size());
+    space.id_of_.emplace(label, id);
+
+    std::vector<std::string> tokens;
+    for (const auto& p : label.predicates()) {
+      tokens.push_back(schema.value_name(p.first, p.second));
+    }
+    space.display_name_index_.emplace(DisplayKeyFromTokens(std::move(tokens)),
+                                      id);
+    space.labels_.push_back(std::move(label));
+  }
+
+  // Precompute comparable groups.
+  space.comparables_.resize(space.labels_.size());
+  for (size_t g = 0; g < space.labels_.size(); ++g) {
+    std::vector<GroupId> comp;
+    for (AttributeId a : space.labels_[g].Attributes()) {
+      std::vector<GroupId> vars = space.Variants(static_cast<GroupId>(g), a);
+      comp.insert(comp.end(), vars.begin(), vars.end());
+    }
+    std::sort(comp.begin(), comp.end());
+    comp.erase(std::unique(comp.begin(), comp.end()), comp.end());
+    space.comparables_[g] = std::move(comp);
+  }
+  return space;
+}
+
+Result<GroupId> GroupSpace::IdOf(const GroupLabel& label) const {
+  auto it = id_of_.find(label);
+  if (it == id_of_.end()) {
+    return Status::NotFound("label '" + label.ToString(schema_) +
+                            "' not in this group space");
+  }
+  return it->second;
+}
+
+Result<GroupId> GroupSpace::FindByDisplayName(std::string_view name) const {
+  std::vector<std::string> tokens;
+  for (const std::string& t : Split(name, ' ')) {
+    if (!std::string_view(Trim(t)).empty()) tokens.emplace_back(Trim(t));
+  }
+  auto it = display_name_index_.find(DisplayKeyFromTokens(std::move(tokens)));
+  if (it == display_name_index_.end()) {
+    return Status::NotFound("no group with display name '" + std::string(name) +
+                            "'");
+  }
+  return it->second;
+}
+
+std::vector<GroupId> GroupSpace::Variants(GroupId g, AttributeId a) const {
+  const GroupLabel& base = label(g);
+  std::vector<GroupId> out;
+  if (!base.HasAttribute(a)) return out;
+  ValueId current = base.ValueOf(a).value();
+  size_t domain = schema_.num_values(a);
+  out.reserve(domain - 1);
+  for (size_t v = 0; v < domain; ++v) {
+    if (static_cast<ValueId>(v) == current) continue;
+    GroupLabel variant = base.WithValue(a, static_cast<ValueId>(v));
+    auto it = id_of_.find(variant);
+    if (it != id_of_.end()) out.push_back(it->second);
+  }
+  return out;
+}
+
+std::vector<size_t> GroupSpace::MembersAmong(
+    GroupId g, const std::vector<Demographics>& population) const {
+  const GroupLabel& l = label(g);
+  std::vector<size_t> out;
+  for (size_t i = 0; i < population.size(); ++i) {
+    if (l.Matches(population[i])) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace fairjob

@@ -1,0 +1,87 @@
+#ifndef FAIRJOB_CORE_GROUP_SPACE_H_
+#define FAIRJOB_CORE_GROUP_SPACE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/attribute_schema.h"
+#include "core/group.h"
+
+namespace fairjob {
+
+// Dense identifier of a group within a GroupSpace.
+using GroupId = int32_t;
+
+// The universe of groups over a schema: every non-empty partial assignment
+// of the protected attributes (for gender{2} × ethnicity{3} that is
+// (2+1)·(3+1) − 1 = 11 groups, the 11 rows of the paper's Table 8).
+//
+// Precomputes, per group:
+//  * variants(g, a): groups whose label matches g except for a different
+//    value of attribute a (same attribute set);
+//  * comparable(g) = ∪_{a ∈ A(g)} variants(g, a)  (Section 3.1).
+class GroupSpace {
+ public:
+  // Enumerates all groups. The space keeps its own copy of the schema, so
+  // it stays valid however the source schema (or a dataset owning it) is
+  // moved afterwards. Errors: InvalidArgument if the schema has no
+  // attributes or the group count would exceed 2^20 (guards combinatorial
+  // blow-ups from mis-configured schemas).
+  static Result<GroupSpace> Enumerate(const AttributeSchema& schema);
+
+  // Enumerates only groups constraining at most `max_predicates` attributes
+  // — the practical remedy for many-attribute schemas where the full
+  // conjunction lattice explodes (cf. the subgroup-fairness literature the
+  // paper cites: auditing usually targets "small" conjunctions).
+  // Comparable groups always share the label's attribute set, so the
+  // restricted space is closed under variants/comparables.
+  // Errors: as Enumerate, plus InvalidArgument when max_predicates == 0.
+  static Result<GroupSpace> EnumerateUpTo(const AttributeSchema& schema,
+                                          size_t max_predicates);
+
+  const AttributeSchema& schema() const { return schema_; }
+  size_t num_groups() const { return labels_.size(); }
+
+  const GroupLabel& label(GroupId g) const {
+    return labels_[static_cast<size_t>(g)];
+  }
+
+  // Errors: NotFound if the label is not part of this space (e.g. built over
+  // a different schema).
+  Result<GroupId> IdOf(const GroupLabel& label) const;
+
+  // Resolves "Black Female"-style display names (case-insensitive, value
+  // names in any order). Errors: NotFound.
+  Result<GroupId> FindByDisplayName(std::string_view name) const;
+
+  // Groups differing from g only on the value of `a`. Empty when g does not
+  // constrain `a`.
+  std::vector<GroupId> Variants(GroupId g, AttributeId a) const;
+
+  // Comparable groups of g, ascending by id.
+  const std::vector<GroupId>& Comparables(GroupId g) const {
+    return comparables_[static_cast<size_t>(g)];
+  }
+
+  // Ids (positions) of individuals in `population` matching group g.
+  std::vector<size_t> MembersAmong(GroupId g,
+                                   const std::vector<Demographics>& population)
+      const;
+
+ private:
+  explicit GroupSpace(AttributeSchema schema) : schema_(std::move(schema)) {}
+
+  AttributeSchema schema_;
+  std::vector<GroupLabel> labels_;
+  std::unordered_map<GroupLabel, GroupId, GroupLabel::Hash> id_of_;
+  std::vector<std::vector<GroupId>> comparables_;
+  std::unordered_map<std::string, GroupId> display_name_index_;
+};
+
+}  // namespace fairjob
+
+#endif  // FAIRJOB_CORE_GROUP_SPACE_H_

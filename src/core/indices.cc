@@ -1,0 +1,199 @@
+#include "core/indices.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fairjob {
+namespace {
+
+// The two non-target dimensions in ascending enum order.
+void OtherDims(Dimension target, Dimension* d1, Dimension* d2) {
+  switch (target) {
+    case Dimension::kGroup:
+      *d1 = Dimension::kQuery;
+      *d2 = Dimension::kLocation;
+      return;
+    case Dimension::kQuery:
+      *d1 = Dimension::kGroup;
+      *d2 = Dimension::kLocation;
+      return;
+    case Dimension::kLocation:
+      *d1 = Dimension::kGroup;
+      *d2 = Dimension::kQuery;
+      return;
+  }
+  assert(false);
+}
+
+std::vector<size_t> ResolvePositions(const AxisSelector& sel, size_t size) {
+  if (!sel.all()) return sel.positions;
+  std::vector<size_t> all(size);
+  for (size_t i = 0; i < size; ++i) all[i] = i;
+  return all;
+}
+
+}  // namespace
+
+InvertedIndex::InvertedIndex(std::vector<ScoredEntry> entries)
+    : entries_(std::move(entries)) {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const ScoredEntry& a, const ScoredEntry& b) {
+              if (a.value != b.value) return a.value > b.value;
+              return a.pos < b.pos;
+            });
+  by_pos_.reserve(entries_.size());
+  for (const ScoredEntry& e : entries_) by_pos_.emplace(e.pos, e.value);
+}
+
+std::optional<double> InvertedIndex::Find(int32_t pos) const {
+  auto it = by_pos_.find(pos);
+  if (it == by_pos_.end()) return std::nullopt;
+  return it->second;
+}
+
+void InvertedIndex::Upsert(int32_t pos, double value) {
+  auto it = by_pos_.find(pos);
+  if (it != by_pos_.end()) {
+    if (it->second == value) return;
+    Remove(pos);
+  }
+  by_pos_.emplace(pos, value);
+  ScoredEntry entry{pos, value};
+  auto insert_at = std::lower_bound(
+      entries_.begin(), entries_.end(), entry,
+      [](const ScoredEntry& a, const ScoredEntry& b) {
+        if (a.value != b.value) return a.value > b.value;
+        return a.pos < b.pos;
+      });
+  entries_.insert(insert_at, entry);
+}
+
+void InvertedIndex::Remove(int32_t pos) {
+  auto it = by_pos_.find(pos);
+  if (it == by_pos_.end()) return;
+  by_pos_.erase(it);
+  for (auto entry = entries_.begin(); entry != entries_.end(); ++entry) {
+    if (entry->pos == pos) {
+      entries_.erase(entry);
+      return;
+    }
+  }
+}
+
+void IndexSet::OtherSizes(Dimension target, size_t* s1, size_t* s2) const {
+  Dimension d1 = Dimension::kQuery;
+  Dimension d2 = Dimension::kLocation;
+  OtherDims(target, &d1, &d2);
+  *s1 = sizes_[static_cast<size_t>(d1)];
+  *s2 = sizes_[static_cast<size_t>(d2)];
+}
+
+IndexSet IndexSet::Build(const UnfairnessCube& cube) {
+  IndexSet set;
+  set.sizes_[0] = cube.axis_size(Dimension::kGroup);
+  set.sizes_[1] = cube.axis_size(Dimension::kQuery);
+  set.sizes_[2] = cube.axis_size(Dimension::kLocation);
+
+  for (Dimension target :
+       {Dimension::kGroup, Dimension::kQuery, Dimension::kLocation}) {
+    Dimension d1 = Dimension::kQuery;
+    Dimension d2 = Dimension::kLocation;
+    OtherDims(target, &d1, &d2);
+    size_t n1 = set.sizes_[static_cast<size_t>(d1)];
+    size_t n2 = set.sizes_[static_cast<size_t>(d2)];
+    size_t nt = set.sizes_[static_cast<size_t>(target)];
+
+    auto& family = set.family_[static_cast<size_t>(target)];
+    family.reserve(n1 * n2);
+    for (size_t p1 = 0; p1 < n1; ++p1) {
+      for (size_t p2 = 0; p2 < n2; ++p2) {
+        std::vector<ScoredEntry> entries;
+        for (size_t t = 0; t < nt; ++t) {
+          // Map (target, other1, other2) back to (g, q, l).
+          size_t coords[3];
+          coords[static_cast<size_t>(target)] = t;
+          coords[static_cast<size_t>(d1)] = p1;
+          coords[static_cast<size_t>(d2)] = p2;
+          std::optional<double> v =
+              cube.Get(coords[0], coords[1], coords[2]);
+          if (v.has_value()) {
+            entries.push_back(ScoredEntry{static_cast<int32_t>(t), *v});
+          }
+        }
+        family.emplace_back(std::move(entries));
+      }
+    }
+  }
+  return set;
+}
+
+void IndexSet::RefreshColumn(const UnfairnessCube& cube, size_t query_pos,
+                             size_t location_pos) {
+  size_t num_groups = sizes_[0];
+  size_t num_queries = sizes_[1];
+  size_t num_locations = sizes_[2];
+
+  // Group-based family: the list for (query_pos, location_pos), rebuilt.
+  {
+    std::vector<ScoredEntry> entries;
+    for (size_t g = 0; g < num_groups; ++g) {
+      std::optional<double> v = cube.Get(g, query_pos, location_pos);
+      if (v.has_value()) {
+        entries.push_back(ScoredEntry{static_cast<int32_t>(g), *v});
+      }
+    }
+    family_[static_cast<size_t>(Dimension::kGroup)]
+           [query_pos * num_locations + location_pos] =
+               InvertedIndex(std::move(entries));
+  }
+
+  // Query-based family: per group, the (g, location_pos) list's entry for
+  // query_pos. Location-based family: per group, the (g, query_pos) list's
+  // entry for location_pos.
+  for (size_t g = 0; g < num_groups; ++g) {
+    std::optional<double> v = cube.Get(g, query_pos, location_pos);
+    InvertedIndex& query_list =
+        family_[static_cast<size_t>(Dimension::kQuery)]
+               [g * num_locations + location_pos];
+    InvertedIndex& location_list =
+        family_[static_cast<size_t>(Dimension::kLocation)]
+               [g * num_queries + query_pos];
+    if (v.has_value()) {
+      query_list.Upsert(static_cast<int32_t>(query_pos), *v);
+      location_list.Upsert(static_cast<int32_t>(location_pos), *v);
+    } else {
+      query_list.Remove(static_cast<int32_t>(query_pos));
+      location_list.Remove(static_cast<int32_t>(location_pos));
+    }
+  }
+}
+
+std::vector<const InvertedIndex*> IndexSet::ListsFor(
+    Dimension target, const AxisSelector& other1,
+    const AxisSelector& other2) const {
+  size_t n1;
+  size_t n2;
+  OtherSizes(target, &n1, &n2);
+  std::vector<size_t> p1s = ResolvePositions(other1, n1);
+  std::vector<size_t> p2s = ResolvePositions(other2, n2);
+  const auto& family = family_[static_cast<size_t>(target)];
+  std::vector<const InvertedIndex*> lists;
+  lists.reserve(p1s.size() * p2s.size());
+  for (size_t p1 : p1s) {
+    for (size_t p2 : p2s) {
+      lists.push_back(&family[p1 * n2 + p2]);
+    }
+  }
+  return lists;
+}
+
+const InvertedIndex& IndexSet::ListAt(Dimension target, size_t other1_pos,
+                                      size_t other2_pos) const {
+  size_t n1;
+  size_t n2;
+  OtherSizes(target, &n1, &n2);
+  (void)n1;
+  return family_[static_cast<size_t>(target)][other1_pos * n2 + other2_pos];
+}
+
+}  // namespace fairjob

@@ -1,0 +1,79 @@
+#include "core/quantification.h"
+
+namespace fairjob {
+namespace {
+
+Status ValidateSelector(const AxisSelector& sel, size_t size,
+                        const char* which) {
+  for (size_t pos : sel.positions) {
+    if (pos >= size) {
+      return Status::InvalidArgument(std::string("selector '") + which +
+                                     "' position " + std::to_string(pos) +
+                                     " out of range");
+    }
+  }
+  return Status::OK();
+}
+
+// The two non-target dimensions, ascending.
+void OtherDims(Dimension target, Dimension* d1, Dimension* d2) {
+  switch (target) {
+    case Dimension::kGroup:
+      *d1 = Dimension::kQuery;
+      *d2 = Dimension::kLocation;
+      return;
+    case Dimension::kQuery:
+      *d1 = Dimension::kGroup;
+      *d2 = Dimension::kLocation;
+      return;
+    case Dimension::kLocation:
+    default:
+      *d1 = Dimension::kGroup;
+      *d2 = Dimension::kQuery;
+      return;
+  }
+}
+
+}  // namespace
+
+Result<QuantificationResult> SolveQuantification(
+    const UnfairnessCube& cube, const IndexSet& indices,
+    const QuantificationRequest& request) {
+  Dimension d1;
+  Dimension d2;
+  OtherDims(request.target, &d1, &d2);
+  FAIRJOB_RETURN_IF_ERROR(
+      ValidateSelector(request.agg1, cube.axis_size(d1), "agg1"));
+  FAIRJOB_RETURN_IF_ERROR(
+      ValidateSelector(request.agg2, cube.axis_size(d2), "agg2"));
+  for (int32_t t : request.allowed_targets) {
+    if (t < 0 || static_cast<size_t>(t) >= cube.axis_size(request.target)) {
+      return Status::InvalidArgument("allowed target position " +
+                                     std::to_string(t) + " out of range");
+    }
+  }
+
+  std::vector<const InvertedIndex*> lists =
+      indices.ListsFor(request.target, request.agg1, request.agg2);
+
+  TopKOptions options;
+  options.k = request.k;
+  options.direction = request.direction;
+  options.missing = request.missing;
+  options.allowed =
+      request.allowed_targets.empty() ? nullptr : &request.allowed_targets;
+
+  QuantificationResult result;
+  Result<std::vector<ScoredEntry>> top =
+      RunTopK(request.algorithm, lists, options, &result.stats);
+  if (!top.ok()) return top.status();
+
+  result.answers.reserve(top->size());
+  for (const ScoredEntry& e : *top) {
+    result.answers.push_back(QuantificationAnswer{
+        cube.axis_id(request.target, static_cast<size_t>(e.pos)), e.value});
+  }
+  return result;
+}
+
+}  // namespace fairjob

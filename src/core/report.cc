@@ -1,0 +1,161 @@
+#include "core/report.h"
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "core/explain.h"
+#include "core/stats.h"
+
+namespace fairjob {
+namespace {
+
+const char* DimensionPlural(Dimension d) {
+  switch (d) {
+    case Dimension::kGroup:
+      return "groups";
+    case Dimension::kQuery:
+      return "queries";
+    case Dimension::kLocation:
+      return "locations";
+  }
+  return "?";
+}
+
+// One "Name | d | [CI]" markdown table for a direction along a dimension.
+Status AppendTopKSection(const FBox& fbox, Dimension dim, size_t k,
+                         RankDirection direction,
+                         const AuditReportOptions& options, Rng* rng,
+                         std::string* out) {
+  FAIRJOB_ASSIGN_OR_RETURN(std::vector<FBox::NamedAnswer> answers,
+                           fbox.TopK(dim, k, direction));
+  *out += direction == RankDirection::kMostUnfair ? "### Least fairly treated "
+                                                  : "### Fairest ";
+  *out += DimensionPlural(dim);
+  *out += "\n\n";
+  bool with_ci = options.bootstrap_resamples > 0;
+  *out += with_ci ? "| # | Name | d | 95% CI |\n|---|---|---|---|\n"
+                  : "| # | Name | d |\n|---|---|---|\n";
+  for (size_t i = 0; i < answers.size(); ++i) {
+    *out += "| " + std::to_string(i + 1) + " | " + answers[i].name + " | " +
+            FormatDouble(answers[i].value, 4) + " |";
+    if (with_ci) {
+      FAIRJOB_ASSIGN_OR_RETURN(size_t pos, fbox.PosOf(dim, answers[i].name));
+      FAIRJOB_ASSIGN_OR_RETURN(
+          ConfidenceInterval ci,
+          BootstrapAggregate(fbox.cube(), dim, pos, {}, {},
+                             options.bootstrap_resamples, options.confidence,
+                             rng));
+      *out += " [" + FormatDouble(ci.lo, 4) + ", " + FormatDouble(ci.hi, 4) +
+              "] |";
+    }
+    *out += "\n";
+  }
+  *out += "\n";
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::string> GenerateAuditReport(const FBox& fbox) {
+  return GenerateAuditReport(fbox, AuditReportOptions());
+}
+
+Result<std::string> GenerateAuditReport(const FBox& fbox,
+                                        const AuditReportOptions& options) {
+  if (options.top_k == 0) {
+    return Status::InvalidArgument("report top_k must be positive");
+  }
+  Rng rng(options.seed);
+  const UnfairnessCube& cube = fbox.cube();
+
+  std::string out = "# " + options.title + "\n\n";
+  out += "Cube: " + std::to_string(cube.axis_size(Dimension::kGroup)) +
+         " groups × " + std::to_string(cube.axis_size(Dimension::kQuery)) +
+         " queries × " + std::to_string(cube.axis_size(Dimension::kLocation)) +
+         " locations; " + std::to_string(cube.num_present()) + " of " +
+         std::to_string(cube.num_cells()) + " cells defined.\n\n";
+
+  for (Dimension dim :
+       {Dimension::kGroup, Dimension::kQuery, Dimension::kLocation}) {
+    FAIRJOB_RETURN_IF_ERROR(AppendTopKSection(
+        fbox, dim, options.top_k, RankDirection::kMostUnfair, options, &rng,
+        &out));
+    if (options.include_fairest) {
+      FAIRJOB_RETURN_IF_ERROR(AppendTopKSection(
+          fbox, dim, options.top_k, RankDirection::kLeastUnfair, options,
+          &rng, &out));
+    }
+  }
+
+  if (options.coverage != nullptr &&
+      (!options.coverage->low_support.empty() ||
+       !options.coverage->absent.empty())) {
+    out += "### Data-quality warnings\n\n";
+    for (GroupId g : options.coverage->low_support) {
+      const GroupCoverage& c =
+          options.coverage->groups[static_cast<size_t>(g)];
+      out += "* **" + fbox.NameOf(Dimension::kGroup, g) + "** averages " +
+             FormatDouble(c.mean_members, 1) +
+             " members per result list — its values are noise-dominated.\n";
+    }
+    for (GroupId g : options.coverage->absent) {
+      out += "* **" + fbox.NameOf(Dimension::kGroup, g) +
+             "** never appears in any observation.\n";
+    }
+    out += "\n";
+  }
+
+  // Comparison of the two extreme groups, broken down by location.
+  size_t num_groups = cube.axis_size(Dimension::kGroup);
+  FAIRJOB_ASSIGN_OR_RETURN(std::vector<FBox::NamedAnswer> extremes,
+                           fbox.TopK(Dimension::kGroup, num_groups));
+  if (extremes.size() >= 2) {
+    const std::string& worst = extremes.front().name;
+    const std::string& best = extremes.back().name;
+    Result<ComparisonResult> cmp = fbox.CompareByName(
+        Dimension::kGroup, worst, best, Dimension::kLocation);
+    if (cmp.ok()) {
+      out += "### Comparison: " + worst + " vs " + best +
+             " across locations\n\n";
+      out += "Overall: " + FormatDouble(cmp->overall_d1, 4) + " vs " +
+             FormatDouble(cmp->overall_d2, 4) + ". ";
+      if (cmp->reversed.empty()) {
+        out += "No location inverts the ordering.\n\n";
+      } else {
+        out += std::to_string(cmp->reversed.size()) +
+               " location(s) invert the ordering:\n\n";
+        out += "| Location | " + worst + " | " + best + " |\n|---|---|---|\n";
+        for (const ComparisonRow& row : cmp->reversed) {
+          out += "| " + fbox.NameOf(Dimension::kLocation, row.breakdown_id) +
+                 " | " + FormatDouble(row.d1, 4) + " | " +
+                 FormatDouble(row.d2, 4) + " |\n";
+        }
+        out += "\n";
+      }
+    }
+
+    if (options.drilldown_cells > 0) {
+      FAIRJOB_ASSIGN_OR_RETURN(size_t worst_pos,
+                               fbox.PosOf(Dimension::kGroup, worst));
+      FAIRJOB_ASSIGN_OR_RETURN(
+          std::vector<CellContribution> cells,
+          TopContributingCells(cube, Dimension::kGroup, worst_pos,
+                               options.drilldown_cells));
+      out += "### Where " + worst + " is treated worst\n\n";
+      out += "| Query | Location | d |\n|---|---|---|\n";
+      for (const CellContribution& cell : cells) {
+        out += "| " +
+               fbox.NameOf(Dimension::kQuery,
+                           cube.axis_id(Dimension::kQuery, cell.query_pos)) +
+               " | " +
+               fbox.NameOf(Dimension::kLocation,
+                           cube.axis_id(Dimension::kLocation,
+                                        cell.location_pos)) +
+               " | " + FormatDouble(cell.value, 4) + " |\n";
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace fairjob

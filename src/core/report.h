@@ -1,0 +1,37 @@
+#ifndef FAIRJOB_CORE_REPORT_H_
+#define FAIRJOB_CORE_REPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/coverage.h"
+#include "core/fbox.h"
+
+namespace fairjob {
+
+// One-call audit report: renders an F-Box's findings as markdown — the
+// quantification tables, a comparison of the two most contrasting groups
+// with its reversal rows, the top contributing cells for the worst-treated
+// group, and (optionally) bootstrap confidence intervals. Meant for the CLI
+// (`audit --report out.md`) and for embedding audits in dashboards/PRs.
+struct AuditReportOptions {
+  std::string title = "Fairness audit";
+  size_t top_k = 5;
+  bool include_fairest = true;       // bottom-k sections as well
+  size_t drilldown_cells = 5;        // 0 disables the cells section
+  size_t bootstrap_resamples = 400;  // 0 disables confidence intervals
+  double confidence = 0.95;
+  uint64_t seed = 42;                // bootstrap reproducibility
+  // Optional data-quality section (borrowed; may be null): low-support and
+  // absent groups from AnalyzeMarketplaceCoverage / AnalyzeSearchCoverage.
+  const CoverageReport* coverage = nullptr;
+};
+
+// Errors: InvalidArgument on a zero top_k; quantification errors propagate.
+Result<std::string> GenerateAuditReport(const FBox& fbox,
+                                        const AuditReportOptions& options);
+Result<std::string> GenerateAuditReport(const FBox& fbox);
+
+}  // namespace fairjob
+
+#endif  // FAIRJOB_CORE_REPORT_H_

@@ -1,0 +1,278 @@
+#include "core/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fairjob {
+namespace {
+
+// Present-cell values for axis `dim` fixed at `pos`, with the other axes
+// restricted; paired with their flattened (other1, other2) coordinate so
+// comparisons can align cells.
+struct Cell {
+  size_t coordinate;
+  double value;
+};
+
+void OtherDims(Dimension dim, Dimension* d1, Dimension* d2) {
+  switch (dim) {
+    case Dimension::kGroup:
+      *d1 = Dimension::kQuery;
+      *d2 = Dimension::kLocation;
+      return;
+    case Dimension::kQuery:
+      *d1 = Dimension::kGroup;
+      *d2 = Dimension::kLocation;
+      return;
+    case Dimension::kLocation:
+    default:
+      *d1 = Dimension::kGroup;
+      *d2 = Dimension::kQuery;
+      return;
+  }
+}
+
+std::vector<size_t> ResolvePositions(const AxisSelector& sel, size_t size) {
+  if (!sel.all()) return sel.positions;
+  std::vector<size_t> all(size);
+  for (size_t i = 0; i < size; ++i) all[i] = i;
+  return all;
+}
+
+Result<std::vector<Cell>> CollectCells(const UnfairnessCube& cube,
+                                       Dimension dim, size_t pos,
+                                       const AxisSelector& other1,
+                                       const AxisSelector& other2) {
+  if (pos >= cube.axis_size(dim)) {
+    return Status::InvalidArgument("position out of range on axis '" +
+                                   std::string(DimensionName(dim)) + "'");
+  }
+  Dimension d1 = Dimension::kQuery;
+  Dimension d2 = Dimension::kLocation;
+  OtherDims(dim, &d1, &d2);
+  std::vector<size_t> p1s = ResolvePositions(other1, cube.axis_size(d1));
+  std::vector<size_t> p2s = ResolvePositions(other2, cube.axis_size(d2));
+  for (size_t p : p1s) {
+    if (p >= cube.axis_size(d1)) {
+      return Status::InvalidArgument("selector position out of range");
+    }
+  }
+  for (size_t p : p2s) {
+    if (p >= cube.axis_size(d2)) {
+      return Status::InvalidArgument("selector position out of range");
+    }
+  }
+  std::vector<Cell> cells;
+  for (size_t i = 0; i < p1s.size(); ++i) {
+    for (size_t j = 0; j < p2s.size(); ++j) {
+      size_t coords[3];
+      coords[static_cast<size_t>(dim)] = pos;
+      coords[static_cast<size_t>(d1)] = p1s[i];
+      coords[static_cast<size_t>(d2)] = p2s[j];
+      std::optional<double> v = cube.Get(coords[0], coords[1], coords[2]);
+      if (v.has_value()) {
+        cells.push_back(Cell{i * p2s.size() + j, *v});
+      }
+    }
+  }
+  return cells;
+}
+
+}  // namespace
+
+Result<ConfidenceInterval> BootstrapAggregate(
+    const UnfairnessCube& cube, Dimension dim, size_t pos,
+    const AxisSelector& other1, const AxisSelector& other2, size_t resamples,
+    double confidence, Rng* rng) {
+  if (resamples == 0) {
+    return Status::InvalidArgument("need at least one bootstrap resample");
+  }
+  if (!(confidence > 0.0) || !(confidence < 1.0)) {
+    return Status::InvalidArgument("confidence must lie in (0, 1)");
+  }
+  FAIRJOB_ASSIGN_OR_RETURN(std::vector<Cell> cells,
+                           CollectCells(cube, dim, pos, other1, other2));
+  if (cells.empty()) {
+    return Status::NotFound("aggregate undefined: no present cells");
+  }
+
+  double sum = 0.0;
+  for (const Cell& c : cells) sum += c.value;
+  ConfidenceInterval ci;
+  ci.point = sum / static_cast<double>(cells.size());
+  ci.cells = cells.size();
+  ci.resamples = resamples;
+
+  std::vector<double> means(resamples, 0.0);
+  for (size_t r = 0; r < resamples; ++r) {
+    double total = 0.0;
+    for (size_t i = 0; i < cells.size(); ++i) {
+      total += cells[rng->NextBelow(static_cast<uint32_t>(cells.size()))].value;
+    }
+    means[r] = total / static_cast<double>(cells.size());
+  }
+  std::sort(means.begin(), means.end());
+  double alpha = (1.0 - confidence) / 2.0;
+  auto quantile = [&](double q) {
+    double idx = q * static_cast<double>(resamples - 1);
+    size_t lo_idx = static_cast<size_t>(idx);
+    size_t hi_idx = std::min(lo_idx + 1, resamples - 1);
+    double frac = idx - static_cast<double>(lo_idx);
+    return means[lo_idx] * (1.0 - frac) + means[hi_idx] * frac;
+  };
+  ci.lo = quantile(alpha);
+  ci.hi = quantile(1.0 - alpha);
+  return ci;
+}
+
+Result<PermutationTestResult> PairedPermutationTest(
+    const UnfairnessCube& cube, Dimension compare_dim, size_t r1_pos,
+    size_t r2_pos, const AxisSelector& other1, const AxisSelector& other2,
+    size_t resamples, Rng* rng) {
+  if (resamples == 0) {
+    return Status::InvalidArgument("need at least one permutation resample");
+  }
+  if (r1_pos == r2_pos) {
+    return Status::InvalidArgument("r1 and r2 must differ");
+  }
+  FAIRJOB_ASSIGN_OR_RETURN(
+      std::vector<Cell> cells1,
+      CollectCells(cube, compare_dim, r1_pos, other1, other2));
+  FAIRJOB_ASSIGN_OR_RETURN(
+      std::vector<Cell> cells2,
+      CollectCells(cube, compare_dim, r2_pos, other1, other2));
+
+  // Align on shared coordinates.
+  std::vector<std::pair<double, double>> pairs;
+  size_t j = 0;
+  for (const Cell& c1 : cells1) {
+    while (j < cells2.size() && cells2[j].coordinate < c1.coordinate) ++j;
+    if (j < cells2.size() && cells2[j].coordinate == c1.coordinate) {
+      pairs.emplace_back(c1.value, cells2[j].value);
+    }
+  }
+  if (pairs.size() < 2) {
+    return Status::FailedPrecondition(
+        "paired permutation test needs at least 2 shared cells");
+  }
+
+  double observed = 0.0;
+  for (const auto& [x, y] : pairs) observed += x - y;
+  observed /= static_cast<double>(pairs.size());
+
+  size_t at_least_as_extreme = 0;
+  for (size_t r = 0; r < resamples; ++r) {
+    double diff = 0.0;
+    for (const auto& [x, y] : pairs) {
+      double d = x - y;
+      diff += rng->NextBernoulli(0.5) ? d : -d;
+    }
+    diff /= static_cast<double>(pairs.size());
+    if (std::fabs(diff) >= std::fabs(observed) - 1e-15) ++at_least_as_extreme;
+  }
+
+  PermutationTestResult result;
+  result.observed_diff = observed;
+  // Add-one smoothing keeps the estimate away from an impossible p = 0.
+  result.p_value = static_cast<double>(at_least_as_extreme + 1) /
+                   static_cast<double>(resamples + 1);
+  result.pairs = pairs.size();
+  result.resamples = resamples;
+  return result;
+}
+
+
+Result<SignificantComparisonResult> SolveComparisonWithSignificance(
+    const UnfairnessCube& cube, const ComparisonRequest& request,
+    size_t resamples, Rng* rng) {
+  if (!request.r1_set.empty() || !request.r2_set.empty()) {
+    return Status::InvalidArgument(
+        "set comparisons have no per-cell pairing; use single positions");
+  }
+  FAIRJOB_ASSIGN_OR_RETURN(ComparisonResult base,
+                           SolveComparison(cube, request));
+
+  // Map (breakdown, aggregated) selectors onto the compare dimension's two
+  // other axes in ascending order.
+  Dimension d1 = Dimension::kQuery;
+  Dimension d2 = Dimension::kLocation;
+  OtherDims(request.compare_dim, &d1, &d2);
+  const AxisSelector& sel1 =
+      request.breakdown_dim == d1 ? request.breakdown : request.aggregated;
+  const AxisSelector& sel2 =
+      request.breakdown_dim == d2 ? request.breakdown : request.aggregated;
+
+  SignificantComparisonResult result;
+  result.base = base;
+
+  Result<PermutationTestResult> overall =
+      PairedPermutationTest(cube, request.compare_dim, request.r1_pos,
+                            request.r2_pos, sel1, sel2, resamples, rng);
+  if (overall.ok()) {
+    result.overall_p_value = overall->p_value;
+  } else if (overall.status().code() != StatusCode::kFailedPrecondition) {
+    return overall.status();
+  }
+
+  for (const ComparisonRow& row : base.rows) {
+    SignificantComparisonRow srow;
+    srow.row = row;
+    FAIRJOB_ASSIGN_OR_RETURN(
+        size_t b_pos, cube.PosOf(request.breakdown_dim, row.breakdown_id));
+    AxisSelector row_sel1 = request.breakdown_dim == d1
+                                ? AxisSelector::Single(b_pos)
+                                : sel1;
+    AxisSelector row_sel2 = request.breakdown_dim == d2
+                                ? AxisSelector::Single(b_pos)
+                                : sel2;
+    Result<PermutationTestResult> test =
+        PairedPermutationTest(cube, request.compare_dim, request.r1_pos,
+                              request.r2_pos, row_sel1, row_sel2, resamples,
+                              rng);
+    if (test.ok()) {
+      srow.p_value = test->p_value;
+      srow.pairs = test->pairs;
+    } else if (test.status().code() != StatusCode::kFailedPrecondition) {
+      return test.status();
+    }
+    result.rows.push_back(srow);
+  }
+  return result;
+}
+
+Result<std::vector<StableRankEntry>> RankWithStability(
+    const UnfairnessCube& cube, Dimension dim, size_t k, size_t resamples,
+    double confidence, Rng* rng) {
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+
+  // Rank every axis position by its plain aggregate.
+  std::vector<StableRankEntry> entries;
+  for (size_t pos = 0; pos < cube.axis_size(dim); ++pos) {
+    std::optional<double> avg = cube.AxisAverage(dim, pos);
+    if (!avg.has_value()) continue;
+    StableRankEntry entry;
+    entry.id = cube.axis_id(dim, pos);
+    entry.value = *avg;
+    entries.push_back(entry);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const StableRankEntry& a, const StableRankEntry& b) {
+              if (a.value != b.value) return a.value > b.value;
+              return a.id < b.id;
+            });
+  if (entries.size() > k) entries.resize(k);
+
+  // Attach bootstrap CIs and separation flags.
+  for (StableRankEntry& entry : entries) {
+    FAIRJOB_ASSIGN_OR_RETURN(size_t pos, cube.PosOf(dim, entry.id));
+    FAIRJOB_ASSIGN_OR_RETURN(
+        entry.ci, BootstrapAggregate(cube, dim, pos, {}, {}, resamples,
+                                     confidence, rng));
+  }
+  for (size_t i = 0; i + 1 < entries.size(); ++i) {
+    entries[i].separated_from_next = entries[i].ci.lo > entries[i + 1].ci.hi;
+  }
+  return entries;
+}
+
+}  // namespace fairjob

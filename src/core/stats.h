@@ -1,0 +1,98 @@
+#ifndef FAIRJOB_CORE_STATS_H_
+#define FAIRJOB_CORE_STATS_H_
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/comparison.h"
+#include "core/unfairness_cube.h"
+
+namespace fairjob {
+
+// Statistical backing for the framework's point estimates — the paper's
+// conclusion calls for "further statistical ... investigations"; these
+// routines quantify how stable a quantification ranking or a comparison
+// verdict is under resampling of the observed (query, location) cells.
+
+struct ConfidenceInterval {
+  double point = 0.0;  // the plain aggregate (mean of present cells)
+  double lo = 0.0;     // percentile bootstrap bounds
+  double hi = 0.0;
+  size_t cells = 0;    // present cells behind the aggregate
+  size_t resamples = 0;
+};
+
+// Percentile-bootstrap confidence interval for d<r, ·, ·>: the aggregate
+// unfairness of position `pos` on axis `dim`, over the selected positions
+// of the two other axes (ascending Dimension order, empty = all). Present
+// cells are resampled with replacement.
+//
+// Errors: InvalidArgument (bad position/level/resamples), NotFound (no
+// present cells).
+Result<ConfidenceInterval> BootstrapAggregate(
+    const UnfairnessCube& cube, Dimension dim, size_t pos,
+    const AxisSelector& other1, const AxisSelector& other2, size_t resamples,
+    double confidence, Rng* rng);
+
+struct PermutationTestResult {
+  double observed_diff = 0.0;  // mean(r1 cells) − mean(r2 cells), paired
+  double p_value = 1.0;        // two-sided sign-flip permutation p-value
+  size_t pairs = 0;            // coordinates where both cells are present
+  size_t resamples = 0;
+};
+
+// Paired sign-flip permutation test for a Problem-2 comparison: are the
+// unfairness values of r1 and r2 (cells at identical (other1, other2)
+// coordinates) systematically different, or is the observed gap explainable
+// by chance? Under the null the r1/r2 labels are exchangeable per
+// coordinate; each resample flips every pair independently.
+//
+// Errors: InvalidArgument (positions equal/out of range, resamples == 0),
+// FailedPrecondition (fewer than 2 paired cells).
+Result<PermutationTestResult> PairedPermutationTest(
+    const UnfairnessCube& cube, Dimension compare_dim, size_t r1_pos,
+    size_t r2_pos, const AxisSelector& other1, const AxisSelector& other2,
+    size_t resamples, Rng* rng);
+
+// Problem 2 with statistical backing: the plain comparison result plus a
+// paired permutation p-value for the overall contrast and for every
+// breakdown row — so an analyst can tell a reversal from resampling noise.
+struct SignificantComparisonRow {
+  ComparisonRow row;
+  double p_value = 1.0;  // 1.0 when a row has < 2 paired cells
+  size_t pairs = 0;
+};
+
+struct SignificantComparisonResult {
+  ComparisonResult base;
+  double overall_p_value = 1.0;
+  std::vector<SignificantComparisonRow> rows;  // parallel to base.rows
+};
+
+// Errors: as SolveComparison; additionally InvalidArgument for set-valued
+// comparisons (r1_set/r2_set), which have no per-cell pairing.
+Result<SignificantComparisonResult> SolveComparisonWithSignificance(
+    const UnfairnessCube& cube, const ComparisonRequest& request,
+    size_t resamples, Rng* rng);
+
+// Problem 1 with stability flags: a full ranking of one dimension where
+// each answer carries its bootstrap CI and whether it is *separated* from
+// the next-ranked answer (their CIs do not overlap). Rank positions whose
+// intervals overlap are interchangeable under resampling — reporting them
+// as a strict order would overclaim.
+struct StableRankEntry {
+  int32_t id = 0;       // axis id
+  double value = 0.0;   // point estimate
+  ConfidenceInterval ci;
+  bool separated_from_next = false;  // last entry: always false
+};
+
+// Errors: InvalidArgument (bad k/resamples/level).
+Result<std::vector<StableRankEntry>> RankWithStability(
+    const UnfairnessCube& cube, Dimension dim, size_t k, size_t resamples,
+    double confidence, Rng* rng);
+
+}  // namespace fairjob
+
+#endif  // FAIRJOB_CORE_STATS_H_

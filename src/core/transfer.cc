@@ -1,0 +1,79 @@
+#include "core/transfer.h"
+
+namespace fairjob {
+
+Result<size_t> GroupUnfairnessRank(const FBox& box, const std::string& group) {
+  FAIRJOB_ASSIGN_OR_RETURN(
+      std::vector<FBox::NamedAnswer> all,
+      box.TopK(Dimension::kGroup, box.cube().axis_size(Dimension::kGroup)));
+  // Compare canonically: display names are order/case-insensitive.
+  FAIRJOB_ASSIGN_OR_RETURN(GroupId wanted, box.space().FindByDisplayName(group));
+  for (size_t i = 0; i < all.size(); ++i) {
+    Result<GroupId> candidate = box.space().FindByDisplayName(all[i].name);
+    if (candidate.ok() && *candidate == wanted) return i + 1;
+  }
+  return Status::NotFound("group '" + group +
+                          "' has no defined unfairness on this site");
+}
+
+Result<bool> Holds(const FBox& box, const GroupRankHypothesis& hypothesis,
+                   size_t slack) {
+  if (hypothesis.k == 0) {
+    return Status::InvalidArgument("hypothesis rank bound k must be positive");
+  }
+  FAIRJOB_ASSIGN_OR_RETURN(size_t rank,
+                           GroupUnfairnessRank(box, hypothesis.group));
+  return rank <= hypothesis.k + slack;
+}
+
+Result<bool> Holds(const FBox& box,
+                   const SetComparisonHypothesis& hypothesis) {
+  if (hypothesis.worse.empty() || hypothesis.better.empty()) {
+    return Status::InvalidArgument("set hypothesis needs non-empty sets");
+  }
+  FAIRJOB_ASSIGN_OR_RETURN(
+      ComparisonResult result,
+      box.CompareSetsByName(Dimension::kGroup, hypothesis.worse,
+                            hypothesis.better, Dimension::kQuery));
+  return result.overall_d1 > result.overall_d2;
+}
+
+Result<std::vector<GroupRankHypothesis>> TopGroupHypotheses(const FBox& source,
+                                                            size_t k) {
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  FAIRJOB_ASSIGN_OR_RETURN(std::vector<FBox::NamedAnswer> top,
+                           source.TopK(Dimension::kGroup, k));
+  std::vector<GroupRankHypothesis> hypotheses;
+  hypotheses.reserve(top.size());
+  for (const FBox::NamedAnswer& answer : top) {
+    hypotheses.push_back(GroupRankHypothesis{answer.name, k});
+  }
+  return hypotheses;
+}
+
+Result<std::vector<HypothesisOutcome>> TransferTopGroups(const FBox& source,
+                                                         const FBox& target,
+                                                         size_t k,
+                                                         size_t slack) {
+  FAIRJOB_ASSIGN_OR_RETURN(std::vector<GroupRankHypothesis> hypotheses,
+                           TopGroupHypotheses(source, k));
+  std::vector<HypothesisOutcome> outcomes;
+  outcomes.reserve(hypotheses.size());
+  for (size_t i = 0; i < hypotheses.size(); ++i) {
+    HypothesisOutcome outcome;
+    outcome.hypothesis = hypotheses[i];
+    outcome.source_rank = i + 1;
+    Result<size_t> target_rank =
+        GroupUnfairnessRank(target, hypotheses[i].group);
+    if (target_rank.ok()) {
+      outcome.target_rank = *target_rank;
+      outcome.confirmed = *target_rank <= k + slack;
+    } else if (target_rank.status().code() != StatusCode::kNotFound) {
+      return target_rank.status();
+    }
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
+}  // namespace fairjob

@@ -1,0 +1,62 @@
+#ifndef FAIRJOB_CORE_TRANSFER_H_
+#define FAIRJOB_CORE_TRANSFER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/fbox.h"
+
+namespace fairjob {
+
+// Cross-site hypothesis transfer — the paper's §6 workflow made concrete:
+// "Our framework can be used to generate hypotheses and verify them across
+// sites. That is what we did from TaskRabbit to Google job search."
+//
+// Hypotheses are phrased in *names* (group display names, set names), which
+// is what transfers between sites; cube ids and positions do not.
+
+// "Group <group> is among the <k> most unfairly treated groups."
+struct GroupRankHypothesis {
+  std::string group;
+  size_t k = 0;
+};
+
+// "The <worse> cells are treated less fairly than the <better> cells."
+struct SetComparisonHypothesis {
+  std::vector<std::string> worse;
+  std::vector<std::string> better;
+};
+
+// 1-based rank of `group` in the box's most-unfair group ordering.
+// Errors: NotFound when the group's aggregate is undefined on this box.
+Result<size_t> GroupUnfairnessRank(const FBox& box, const std::string& group);
+
+// Whether the hypothesis holds on `box`; `slack` widens the accepted rank
+// bound to k + slack (site-to-site rankings rarely match position-exact).
+Result<bool> Holds(const FBox& box, const GroupRankHypothesis& hypothesis,
+                   size_t slack = 0);
+Result<bool> Holds(const FBox& box, const SetComparisonHypothesis& hypothesis);
+
+// Generates top-k group hypotheses from a source site's quantification.
+Result<std::vector<GroupRankHypothesis>> TopGroupHypotheses(const FBox& source,
+                                                            size_t k);
+
+struct HypothesisOutcome {
+  GroupRankHypothesis hypothesis;
+  size_t source_rank = 0;  // 1-based
+  size_t target_rank = 0;
+  bool confirmed = false;
+};
+
+// The full §6 loop: quantify the source's top-k groups, then check each
+// hypothesis on the target (within `slack`). Groups undefined on the target
+// are reported with target_rank = 0 and confirmed = false.
+Result<std::vector<HypothesisOutcome>> TransferTopGroups(const FBox& source,
+                                                         const FBox& target,
+                                                         size_t k,
+                                                         size_t slack = 0);
+
+}  // namespace fairjob
+
+#endif  // FAIRJOB_CORE_TRANSFER_H_

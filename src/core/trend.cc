@@ -1,0 +1,74 @@
+#include "core/trend.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fairjob {
+
+Status TrendTracker::RecordEpoch(const UnfairnessCube& cube) {
+  size_t n = cube.axis_size(dim_);
+  if (!epochs_.empty() && n != epochs_.front().size()) {
+    return Status::InvalidArgument(
+        "cube axis size disagrees with previously recorded epochs");
+  }
+  std::vector<std::optional<double>> snapshot(n);
+  for (size_t pos = 0; pos < n; ++pos) {
+    snapshot[pos] = cube.AxisAverage(dim_, pos);
+  }
+  epochs_.push_back(std::move(snapshot));
+  return Status::OK();
+}
+
+std::vector<std::optional<double>> TrendTracker::Series(size_t pos) const {
+  std::vector<std::optional<double>> series;
+  series.reserve(epochs_.size());
+  for (const auto& epoch : epochs_) {
+    series.push_back(pos < epoch.size() ? epoch[pos] : std::nullopt);
+  }
+  return series;
+}
+
+Result<std::vector<TrendTracker::Drift>> TrendTracker::TopDrifts(
+    size_t k) const {
+  if (epochs_.size() < 2) {
+    return Status::FailedPrecondition("need at least two recorded epochs");
+  }
+  const auto& prev = epochs_[epochs_.size() - 2];
+  const auto& last = epochs_.back();
+  std::vector<Drift> drifts;
+  for (size_t pos = 0; pos < last.size(); ++pos) {
+    if (prev[pos].has_value() && last[pos].has_value()) {
+      drifts.push_back(Drift{pos, *prev[pos], *last[pos]});
+    }
+  }
+  std::sort(drifts.begin(), drifts.end(), [](const Drift& a, const Drift& b) {
+    double da = std::fabs(a.delta());
+    double db = std::fabs(b.delta());
+    if (da != db) return da > db;
+    return a.pos < b.pos;
+  });
+  if (drifts.size() > k) drifts.resize(k);
+  return drifts;
+}
+
+Result<std::vector<std::pair<size_t, size_t>>> TrendTracker::RankCrossings()
+    const {
+  if (epochs_.size() < 2) {
+    return Status::FailedPrecondition("need at least two recorded epochs");
+  }
+  const auto& prev = epochs_[epochs_.size() - 2];
+  const auto& last = epochs_.back();
+  std::vector<std::pair<size_t, size_t>> crossings;
+  for (size_t a = 0; a < last.size(); ++a) {
+    if (!prev[a].has_value() || !last[a].has_value()) continue;
+    for (size_t b = 0; b < last.size(); ++b) {
+      if (a == b || !prev[b].has_value() || !last[b].has_value()) continue;
+      if (*prev[a] < *prev[b] && *last[a] > *last[b]) {
+        crossings.emplace_back(a, b);
+      }
+    }
+  }
+  return crossings;
+}
+
+}  // namespace fairjob

@@ -1,0 +1,357 @@
+#include "core/unfairness_cube.h"
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ranking/jaccard.h"
+
+namespace fairjob {
+namespace {
+
+Status ValidateAxis(const std::vector<int32_t>& ids, const char* name) {
+  if (ids.empty()) {
+    return Status::InvalidArgument(std::string("cube axis '") + name +
+                                   "' is empty");
+  }
+  std::unordered_set<int32_t> seen;
+  for (int32_t id : ids) {
+    if (!seen.insert(id).second) {
+      return Status::InvalidArgument(std::string("cube axis '") + name +
+                                     "' repeats id " + std::to_string(id));
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<int32_t> DefaultIds(size_t n) {
+  std::vector<int32_t> ids(n);
+  for (size_t i = 0; i < n; ++i) ids[i] = static_cast<int32_t>(i);
+  return ids;
+}
+
+// Iteration order for a selector: its positions, or 0..size-1 when "all".
+std::vector<size_t> ResolvePositions(const AxisSelector& sel, size_t size) {
+  if (!sel.all()) return sel.positions;
+  std::vector<size_t> all(size);
+  for (size_t i = 0; i < size; ++i) all[i] = i;
+  return all;
+}
+
+}  // namespace
+
+const char* DimensionName(Dimension d) {
+  switch (d) {
+    case Dimension::kGroup:
+      return "group";
+    case Dimension::kQuery:
+      return "query";
+    case Dimension::kLocation:
+      return "location";
+  }
+  return "?";
+}
+
+Result<UnfairnessCube> UnfairnessCube::Make(std::vector<GroupId> groups,
+                                            std::vector<QueryId> queries,
+                                            std::vector<LocationId> locations) {
+  FAIRJOB_RETURN_IF_ERROR(ValidateAxis(groups, "group"));
+  FAIRJOB_RETURN_IF_ERROR(ValidateAxis(queries, "query"));
+  FAIRJOB_RETURN_IF_ERROR(ValidateAxis(locations, "location"));
+  UnfairnessCube cube;
+  cube.ids_[0] = std::move(groups);
+  cube.ids_[1] = std::move(queries);
+  cube.ids_[2] = std::move(locations);
+  cube.values_.assign(
+      cube.ids_[0].size() * cube.ids_[1].size() * cube.ids_[2].size(),
+      std::nullopt);
+  return cube;
+}
+
+Result<size_t> UnfairnessCube::PosOf(Dimension d, int32_t id) const {
+  const std::vector<int32_t>& axis = ids_[AxisIndex(d)];
+  for (size_t i = 0; i < axis.size(); ++i) {
+    if (axis[i] == id) return i;
+  }
+  return Status::NotFound(std::string("id ") + std::to_string(id) +
+                          " not on cube axis '" + DimensionName(d) + "'");
+}
+
+size_t UnfairnessCube::num_present() const {
+  size_t n = 0;
+  for (const auto& v : values_) {
+    if (v.has_value()) ++n;
+  }
+  return n;
+}
+
+std::optional<double> UnfairnessCube::Average(
+    const AxisSelector& groups, const AxisSelector& queries,
+    const AxisSelector& locations) const {
+  std::vector<size_t> gs = ResolvePositions(groups, ids_[0].size());
+  std::vector<size_t> qs = ResolvePositions(queries, ids_[1].size());
+  std::vector<size_t> ls = ResolvePositions(locations, ids_[2].size());
+  double sum = 0.0;
+  size_t count = 0;
+  for (size_t g : gs) {
+    for (size_t q : qs) {
+      for (size_t l : ls) {
+        std::optional<double> v = Get(g, q, l);
+        if (v.has_value()) {
+          sum += *v;
+          ++count;
+        }
+      }
+    }
+  }
+  if (count == 0) return std::nullopt;
+  return sum / static_cast<double>(count);
+}
+
+std::optional<double> UnfairnessCube::AxisAverage(Dimension d,
+                                                  size_t pos) const {
+  AxisSelector fixed = AxisSelector::Single(pos);
+  switch (d) {
+    case Dimension::kGroup:
+      return Average(fixed, AxisSelector::All(), AxisSelector::All());
+    case Dimension::kQuery:
+      return Average(AxisSelector::All(), fixed, AxisSelector::All());
+    case Dimension::kLocation:
+      return Average(AxisSelector::All(), AxisSelector::All(), fixed);
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+// Runs fn(i, j) for every pair in [0, n1) × [0, n2), on `parallelism`
+// threads when > 1. The first non-OK status wins and stops remaining work;
+// fn must only touch disjoint state per pair (the cube builders write
+// disjoint cells).
+Status ParallelForPairs(size_t n1, size_t n2, size_t parallelism,
+                        const std::function<Status(size_t, size_t)>& fn) {
+  size_t total = n1 * n2;
+  if (parallelism <= 1 || total <= 1) {
+    for (size_t i = 0; i < n1; ++i) {
+      for (size_t j = 0; j < n2; ++j) {
+        FAIRJOB_RETURN_IF_ERROR(fn(i, j));
+      }
+    }
+    return Status::OK();
+  }
+
+  std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  Status first_error;
+  auto worker = [&]() {
+    for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      size_t index = next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= total) return;
+      Status s = fn(index / n2, index % n2);
+      if (!s.ok()) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error.ok()) first_error = s;
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  size_t num_threads = std::min(parallelism, total);
+  threads.reserve(num_threads);
+  for (size_t t = 0; t < num_threads; ++t) threads.emplace_back(worker);
+  for (std::thread& t : threads) t.join();
+  return first_error;
+}
+
+Result<CubeAxes> ResolveAxes(const CubeAxes& axes, size_t num_groups,
+                             size_t num_queries, size_t num_locations) {
+  CubeAxes out = axes;
+  if (out.groups.empty()) out.groups = DefaultIds(num_groups);
+  if (out.queries.empty()) out.queries = DefaultIds(num_queries);
+  if (out.locations.empty()) out.locations = DefaultIds(num_locations);
+  if (num_queries == 0 || num_locations == 0) {
+    return Status::InvalidArgument(
+        "dataset has no queries or no locations to build a cube over");
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<UnfairnessCube> BuildMarketplaceCube(const MarketplaceDataset& data,
+                                            const GroupSpace& space,
+                                            MarketMeasure measure,
+                                            const MeasureOptions& options,
+                                            const CubeAxes& axes,
+                                            size_t parallelism) {
+  FAIRJOB_ASSIGN_OR_RETURN(
+      CubeAxes resolved,
+      ResolveAxes(axes, space.num_groups(), data.queries().size(),
+                  data.locations().size()));
+  FAIRJOB_ASSIGN_OR_RETURN(
+      UnfairnessCube cube,
+      UnfairnessCube::Make(resolved.groups, resolved.queries,
+                           resolved.locations));
+  Status built = ParallelForPairs(
+      resolved.queries.size(), resolved.locations.size(), parallelism,
+      [&](size_t q, size_t l) -> Status {
+        for (size_t g = 0; g < resolved.groups.size(); ++g) {
+          Result<double> v = MarketplaceUnfairness(
+              data, space, resolved.groups[g], resolved.queries[q],
+              resolved.locations[l], measure, options);
+          if (v.ok()) {
+            cube.Set(g, q, l, *v);
+          } else if (v.status().code() != StatusCode::kNotFound) {
+            return v.status();
+          }
+        }
+        return Status::OK();
+      });
+  FAIRJOB_RETURN_IF_ERROR(built);
+  return cube;
+}
+
+Status RefreshMarketplaceColumn(const MarketplaceDataset& data,
+                                const GroupSpace& space, MarketMeasure measure,
+                                const MeasureOptions& options,
+                                UnfairnessCube* cube, size_t query_pos,
+                                size_t location_pos) {
+  if (cube == nullptr) return Status::InvalidArgument("null cube");
+  if (query_pos >= cube->axis_size(Dimension::kQuery) ||
+      location_pos >= cube->axis_size(Dimension::kLocation)) {
+    return Status::InvalidArgument("column position out of range");
+  }
+  QueryId q = cube->axis_id(Dimension::kQuery, query_pos);
+  LocationId l = cube->axis_id(Dimension::kLocation, location_pos);
+  for (size_t g = 0; g < cube->axis_size(Dimension::kGroup); ++g) {
+    GroupId group = cube->axis_id(Dimension::kGroup, g);
+    Result<double> v =
+        MarketplaceUnfairness(data, space, group, q, l, measure, options);
+    if (v.ok()) {
+      cube->Set(g, query_pos, location_pos, *v);
+    } else if (v.status().code() == StatusCode::kNotFound) {
+      cube->Clear(g, query_pos, location_pos);
+    } else {
+      return v.status();
+    }
+  }
+  return Status::OK();
+}
+
+Status RefreshSearchColumn(const SearchDataset& data, const GroupSpace& space,
+                           SearchMeasure measure,
+                           const MeasureOptions& options, UnfairnessCube* cube,
+                           size_t query_pos, size_t location_pos) {
+  if (cube == nullptr) return Status::InvalidArgument("null cube");
+  if (query_pos >= cube->axis_size(Dimension::kQuery) ||
+      location_pos >= cube->axis_size(Dimension::kLocation)) {
+    return Status::InvalidArgument("column position out of range");
+  }
+  QueryId q = cube->axis_id(Dimension::kQuery, query_pos);
+  LocationId l = cube->axis_id(Dimension::kLocation, location_pos);
+  for (size_t g = 0; g < cube->axis_size(Dimension::kGroup); ++g) {
+    GroupId group = cube->axis_id(Dimension::kGroup, g);
+    Result<double> v =
+        SearchUnfairness(data, space, group, q, l, measure, options);
+    if (v.ok()) {
+      cube->Set(g, query_pos, location_pos, *v);
+    } else if (v.status().code() == StatusCode::kNotFound) {
+      cube->Clear(g, query_pos, location_pos);
+    } else {
+      return v.status();
+    }
+  }
+  return Status::OK();
+}
+
+Result<UnfairnessCube> BuildSearchCube(const SearchDataset& data,
+                                       const GroupSpace& space,
+                                       SearchMeasure measure,
+                                       const MeasureOptions& options,
+                                       const CubeAxes& axes,
+                                       size_t parallelism) {
+  if (options.kendall_penalty < 0.0 || options.kendall_penalty > 1.0) {
+    return Status::InvalidArgument("kendall_penalty must lie in [0, 1]");
+  }
+  FAIRJOB_ASSIGN_OR_RETURN(
+      CubeAxes resolved,
+      ResolveAxes(axes, space.num_groups(), data.queries().size(),
+                  data.locations().size()));
+  FAIRJOB_ASSIGN_OR_RETURN(
+      UnfairnessCube cube,
+      UnfairnessCube::Make(resolved.groups, resolved.queries,
+                           resolved.locations));
+
+  // Unlike the marketplace path, pairwise list distances dominate here and
+  // are shared by every group at a cell: compute one distance matrix per
+  // (query, location) and reuse it across the whole group axis. Semantics
+  // are identical to calling SearchUnfairness per triple (cross-checked in
+  // tests).
+  Status built = ParallelForPairs(
+      resolved.queries.size(), resolved.locations.size(), parallelism,
+      [&](size_t q, size_t l) -> Status {
+      const std::vector<SearchObservation>* obs = data.GetObservations(
+          resolved.queries[q], resolved.locations[l]);
+      if (obs == nullptr || obs->empty()) return Status::OK();
+      size_t n = obs->size();
+
+      std::vector<std::vector<double>> dist(n, std::vector<double>(n, 0.0));
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t j = i + 1; j < n; ++j) {
+          Result<double> d = SearchListDistance(measure, (*obs)[i].results,
+                                                (*obs)[j].results, options);
+          if (!d.ok()) return d.status();
+          dist[i][j] = dist[j][i] = *d;
+        }
+      }
+
+      // Observation indices per group, for every group that can appear as a
+      // cube row or as someone's comparable.
+      std::unordered_map<GroupId, std::vector<size_t>> members;
+      auto members_of = [&](GroupId group) -> const std::vector<size_t>& {
+        auto it = members.find(group);
+        if (it != members.end()) return it->second;
+        std::vector<size_t> indices;
+        const GroupLabel& label = space.label(group);
+        for (size_t i = 0; i < n; ++i) {
+          if (label.Matches(data.user_demographics((*obs)[i].user))) {
+            indices.push_back(i);
+          }
+        }
+        return members.emplace(group, std::move(indices)).first->second;
+      };
+
+      for (size_t g = 0; g < resolved.groups.size(); ++g) {
+        GroupId group = resolved.groups[g];
+        const std::vector<size_t>& own = members_of(group);
+        if (own.empty()) continue;
+        double group_sum = 0.0;
+        size_t group_count = 0;
+        for (GroupId other : space.Comparables(group)) {
+          const std::vector<size_t>& theirs = members_of(other);
+          if (theirs.empty()) continue;
+          double pair_sum = 0.0;
+          for (size_t a : own) {
+            for (size_t b : theirs) pair_sum += dist[a][b];
+          }
+          group_sum +=
+              pair_sum / static_cast<double>(own.size() * theirs.size());
+          ++group_count;
+        }
+        if (group_count > 0) {
+          cube.Set(g, q, l, group_sum / static_cast<double>(group_count));
+        }
+      }
+      return Status::OK();
+      });
+  FAIRJOB_RETURN_IF_ERROR(built);
+  return cube;
+}
+
+}  // namespace fairjob

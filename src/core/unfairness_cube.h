@@ -1,0 +1,130 @@
+#ifndef FAIRJOB_CORE_UNFAIRNESS_CUBE_H_
+#define FAIRJOB_CORE_UNFAIRNESS_CUBE_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "core/data_model.h"
+#include "core/group_space.h"
+#include "core/unfairness_measures.h"
+
+namespace fairjob {
+
+// The three dimensions of the framework (Section 4.1).
+enum class Dimension { kGroup = 0, kQuery = 1, kLocation = 2 };
+
+const char* DimensionName(Dimension d);
+
+// Selects positions along one cube axis; an empty position list means "all".
+struct AxisSelector {
+  std::vector<size_t> positions;
+
+  static AxisSelector All() { return AxisSelector{}; }
+  static AxisSelector Single(size_t pos) { return AxisSelector{{pos}}; }
+
+  bool all() const { return positions.empty(); }
+};
+
+// Dense group × query × location tensor of unfairness values d<g,q,l>, with
+// missing cells (triples the measure is undefined for: unobserved (q,l)
+// pairs, groups without members, ...). Axis positions are indices into the
+// id lists the cube was built over.
+class UnfairnessCube {
+ public:
+  // Errors: InvalidArgument on an empty axis or duplicate ids within an axis.
+  static Result<UnfairnessCube> Make(std::vector<GroupId> groups,
+                                     std::vector<QueryId> queries,
+                                     std::vector<LocationId> locations);
+
+  size_t axis_size(Dimension d) const { return ids_[AxisIndex(d)].size(); }
+  int32_t axis_id(Dimension d, size_t pos) const {
+    return ids_[AxisIndex(d)][pos];
+  }
+  // Errors: NotFound if `id` is not on axis `d`.
+  Result<size_t> PosOf(Dimension d, int32_t id) const;
+
+  void Set(size_t g, size_t q, size_t l, double value) {
+    values_[Offset(g, q, l)] = value;
+  }
+  void Clear(size_t g, size_t q, size_t l) {
+    values_[Offset(g, q, l)].reset();
+  }
+  std::optional<double> Get(size_t g, size_t q, size_t l) const {
+    return values_[Offset(g, q, l)];
+  }
+
+  size_t num_cells() const { return values_.size(); }
+  size_t num_present() const;
+
+  // Mean of the present cells within the selected sub-box; nullopt when the
+  // selection contains no present cell. This realizes every aggregate in
+  // Section 3.4 (d<g,Q,L>, d<G,Q,l>, d<G,q,L>, ...).
+  std::optional<double> Average(const AxisSelector& groups,
+                                const AxisSelector& queries,
+                                const AxisSelector& locations) const;
+
+  // d<g,Q,L> with axis `d` fixed at `pos`, averaging over everything else.
+  std::optional<double> AxisAverage(Dimension d, size_t pos) const;
+
+ private:
+  UnfairnessCube() = default;
+
+  static size_t AxisIndex(Dimension d) { return static_cast<size_t>(d); }
+  size_t Offset(size_t g, size_t q, size_t l) const {
+    return (g * ids_[1].size() + q) * ids_[2].size() + l;
+  }
+
+  std::vector<int32_t> ids_[3];  // group / query / location ids per axis
+  std::vector<std::optional<double>> values_;
+};
+
+// Axis universes for cube construction; empty vectors default to "all groups
+// in the space" / "all queries and locations in the dataset vocabulary".
+struct CubeAxes {
+  std::vector<GroupId> groups;
+  std::vector<QueryId> queries;
+  std::vector<LocationId> locations;
+};
+
+// Evaluates the chosen measure for every (g, q, l) in the axes; undefined
+// triples stay missing. With `parallelism` > 1, (query, location) columns
+// are evaluated on that many threads (cells are disjoint, datasets are read
+// only; results are identical to the serial build). Errors: only on
+// structurally invalid input (bad options, bad axes) — per-cell NotFound is
+// expected and absorbed.
+Result<UnfairnessCube> BuildMarketplaceCube(const MarketplaceDataset& data,
+                                            const GroupSpace& space,
+                                            MarketMeasure measure,
+                                            const MeasureOptions& options = {},
+                                            const CubeAxes& axes = {},
+                                            size_t parallelism = 1);
+
+Result<UnfairnessCube> BuildSearchCube(const SearchDataset& data,
+                                       const GroupSpace& space,
+                                       SearchMeasure measure,
+                                       const MeasureOptions& options = {},
+                                       const CubeAxes& axes = {},
+                                       size_t parallelism = 1);
+
+// Incremental maintenance: re-evaluates the group cells of one
+// (query, location) column after its underlying ranking changed (a crawl
+// refresh); triples that became undefined are cleared. Pair with
+// IndexSet::RefreshColumn to keep the inverted lists in sync.
+// Errors: InvalidArgument on out-of-range positions or bad options.
+Status RefreshMarketplaceColumn(const MarketplaceDataset& data,
+                                const GroupSpace& space, MarketMeasure measure,
+                                const MeasureOptions& options,
+                                UnfairnessCube* cube, size_t query_pos,
+                                size_t location_pos);
+
+// Search-side twin of RefreshMarketplaceColumn (e.g. after a study collected
+// new runs for one (term, location)).
+Status RefreshSearchColumn(const SearchDataset& data, const GroupSpace& space,
+                           SearchMeasure measure,
+                           const MeasureOptions& options, UnfairnessCube* cube,
+                           size_t query_pos, size_t location_pos);
+
+}  // namespace fairjob
+
+#endif  // FAIRJOB_CORE_UNFAIRNESS_CUBE_H_

@@ -1,0 +1,131 @@
+#include "crawl/crawler.h"
+
+#include <cstdlib>
+#include <unordered_set>
+
+namespace fairjob {
+
+Crawler::Crawler(MarketplaceSite* site, VirtualClock* clock,
+                 CrawlerConfig config)
+    : site_(site), clock_(clock), config_(config) {}
+
+template <typename RetType, typename Fetch>
+Result<RetType> Crawler::FetchWithRetry(Fetch fetch, CrawlReport* report) {
+  int64_t backoff = config_.retry_backoff_s;
+  for (size_t attempt = 0;; ++attempt) {
+    // Politeness: keep at least the configured interval between requests.
+    if (last_request_at_s_ >= 0) {
+      clock_->AdvanceTo(last_request_at_s_ + config_.min_request_interval_s);
+    }
+    last_request_at_s_ = clock_->NowSeconds();
+    if (report != nullptr) ++report->requests_issued;
+
+    Result<RetType> result = fetch();
+    if (result.ok()) return result;
+    if (result.status().code() != StatusCode::kIOError ||
+        attempt >= config_.max_retries) {
+      return result;  // permanent failure or retries exhausted
+    }
+    if (report != nullptr) ++report->retries;
+    clock_->AdvanceSeconds(backoff);
+    backoff *= 2;
+  }
+}
+
+Status Crawler::CrawlQuery(const std::string& job, const std::string& city,
+                           CrawlReport* report) {
+  size_t rank = 0;
+  for (size_t page = 0;; ++page) {
+    Result<ResultPage> fetched = FetchWithRetry<ResultPage>(
+        [&] { return site_->FetchPage(job, city, page, config_.page_size); },
+        report);
+    if (!fetched.ok()) {
+      ++report->failed_queries;
+      return fetched.status();
+    }
+    for (const std::string& worker : fetched->worker_names) {
+      if (rank >= config_.max_results_per_query) break;
+      ++rank;
+      report->records.push_back(CrawlRecord{job, city, rank, worker});
+    }
+    if (!fetched->has_more || rank >= config_.max_results_per_query) break;
+  }
+  return Status::OK();
+}
+
+Result<CrawlReport> Crawler::CrawlAll() {
+  CrawlReport report;
+  for (const std::string& city : site_->Cities()) {
+    for (const std::string& job : site_->JobsIn(city)) {
+      // A permanently failing query is recorded but does not abort the crawl.
+      Status s = CrawlQuery(job, city, &report);
+      (void)s;
+    }
+  }
+  report.finished_at_s = clock_->NowSeconds();
+  return report;
+}
+
+Result<CrawlReport> Crawler::CrawlQueries(
+    const std::vector<std::pair<std::string, std::string>>& job_city_pairs) {
+  CrawlReport report;
+  for (const auto& [job, city] : job_city_pairs) {
+    Status s = CrawlQuery(job, city, &report);
+    (void)s;  // counted in report.failed_queries
+  }
+  report.finished_at_s = clock_->NowSeconds();
+  return report;
+}
+
+Status Crawler::CollectProfiles(const std::vector<CrawlRecord>& records,
+                                ProfileStore* store, CrawlReport* report) {
+  std::unordered_set<std::string> wanted;
+  for (const CrawlRecord& r : records) wanted.insert(r.worker_name);
+  for (const std::string& worker : wanted) {
+    if (store->Contains(worker)) continue;
+    Result<RawProfile> profile = FetchWithRetry<RawProfile>(
+        [&] { return site_->FetchProfile(worker); }, report);
+    if (!profile.ok()) return profile.status();
+    FAIRJOB_RETURN_IF_ERROR(store->Upsert(std::move(*profile)));
+  }
+  if (report != nullptr) report->finished_at_s = clock_->NowSeconds();
+  return Status::OK();
+}
+
+std::vector<std::vector<std::string>> CrawlRecordsToCsvRows(
+    const std::vector<CrawlRecord>& records) {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"job", "city", "rank", "worker"});
+  for (const CrawlRecord& r : records) {
+    rows.push_back({r.job, r.city, std::to_string(r.rank), r.worker_name});
+  }
+  return rows;
+}
+
+Result<std::vector<CrawlRecord>> CrawlRecordsFromCsvRows(
+    const std::vector<std::vector<std::string>>& rows) {
+  if (rows.empty() || rows[0].size() != 4 || rows[0][0] != "job") {
+    return Status::InvalidArgument("missing or malformed crawl CSV header");
+  }
+  std::vector<CrawlRecord> records;
+  records.reserve(rows.size() - 1);
+  for (size_t i = 1; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.size() != 4) {
+      return Status::InvalidArgument("crawl CSV row " + std::to_string(i) +
+                                     " has " + std::to_string(row.size()) +
+                                     " fields, expected 4");
+    }
+    char* end = nullptr;
+    long rank = std::strtol(row[2].c_str(), &end, 10);
+    if (end == row[2].c_str() || rank <= 0) {
+      return Status::InvalidArgument("bad rank in crawl CSV row " +
+                                     std::to_string(i));
+    }
+    records.push_back(
+        CrawlRecord{row[0], row[1], static_cast<size_t>(rank), row[3]});
+  }
+  return records;
+}
+
+}  // namespace fairjob

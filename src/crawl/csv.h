@@ -1,0 +1,32 @@
+#ifndef FAIRJOB_CRAWL_CSV_H_
+#define FAIRJOB_CRAWL_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fairjob {
+
+// RFC-4180-style CSV handling for the crawl pipeline's raw record files:
+// fields containing commas, quotes or newlines are quoted; quotes are
+// doubled.
+
+// Serializes rows into one CSV string.
+std::string WriteCsv(const std::vector<std::vector<std::string>>& rows);
+
+// Parses CSV text. Handles quoted fields with embedded separators/newlines
+// and both \n and \r\n row endings; a trailing newline does not produce an
+// empty row. Errors: InvalidArgument on malformed quoting.
+Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text);
+
+// File convenience wrappers. Errors: IOError.
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows);
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path);
+
+}  // namespace fairjob
+
+#endif  // FAIRJOB_CRAWL_CSV_H_

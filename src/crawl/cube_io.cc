@@ -1,0 +1,144 @@
+#include "crawl/cube_io.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "crawl/csv.h"
+
+namespace fairjob {
+namespace {
+
+const char* DimensionTag(Dimension d) { return DimensionName(d); }
+
+Result<Dimension> DimensionFromTag(const std::string& tag) {
+  if (tag == "group") return Dimension::kGroup;
+  if (tag == "query") return Dimension::kQuery;
+  if (tag == "location") return Dimension::kLocation;
+  return Status::InvalidArgument("unknown cube axis tag '" + tag + "'");
+}
+
+Result<double> ParseDouble(const std::string& s) {
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad numeric field '" + s + "'");
+  }
+  return v;
+}
+
+Result<long> ParseLong(const std::string& s) {
+  char* end = nullptr;
+  long v = std::strtol(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad integer field '" + s + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::string>> CubeToCsvRows(const UnfairnessCube& cube,
+                                                    AxisNamer namer,
+                                                    const void* namer_context) {
+  std::vector<std::vector<std::string>> rows;
+  for (Dimension d :
+       {Dimension::kGroup, Dimension::kQuery, Dimension::kLocation}) {
+    for (size_t pos = 0; pos < cube.axis_size(d); ++pos) {
+      int32_t id = cube.axis_id(d, pos);
+      std::string name =
+          namer != nullptr ? namer(d, id, namer_context) : std::string();
+      rows.push_back({"axis", DimensionTag(d), std::to_string(id),
+                      std::move(name)});
+    }
+  }
+  for (size_t g = 0; g < cube.axis_size(Dimension::kGroup); ++g) {
+    for (size_t q = 0; q < cube.axis_size(Dimension::kQuery); ++q) {
+      for (size_t l = 0; l < cube.axis_size(Dimension::kLocation); ++l) {
+        std::optional<double> v = cube.Get(g, q, l);
+        if (v.has_value()) {
+          rows.push_back({"cell", std::to_string(g), std::to_string(q),
+                          std::to_string(l), FormatDouble(*v, 17)});
+        }
+      }
+    }
+  }
+  return rows;
+}
+
+Result<UnfairnessCube> CubeFromCsvRows(
+    const std::vector<std::vector<std::string>>& rows) {
+  std::vector<int32_t> axes[3];
+  // First pass: axes (must precede cells to size the cube).
+  for (const auto& row : rows) {
+    if (row.empty()) continue;
+    if (row[0] == "axis") {
+      if (row.size() != 4) {
+        return Status::InvalidArgument("axis row needs 4 fields");
+      }
+      FAIRJOB_ASSIGN_OR_RETURN(Dimension d, DimensionFromTag(row[1]));
+      FAIRJOB_ASSIGN_OR_RETURN(long id, ParseLong(row[2]));
+      axes[static_cast<size_t>(d)].push_back(static_cast<int32_t>(id));
+    } else if (row[0] != "cell") {
+      return Status::InvalidArgument("unknown cube CSV row kind '" + row[0] +
+                                     "'");
+    }
+  }
+  FAIRJOB_ASSIGN_OR_RETURN(UnfairnessCube cube,
+                           UnfairnessCube::Make(axes[0], axes[1], axes[2]));
+
+  for (const auto& row : rows) {
+    if (row.empty() || row[0] != "cell") continue;
+    if (row.size() != 5) {
+      return Status::InvalidArgument("cell row needs 5 fields");
+    }
+    FAIRJOB_ASSIGN_OR_RETURN(long g, ParseLong(row[1]));
+    FAIRJOB_ASSIGN_OR_RETURN(long q, ParseLong(row[2]));
+    FAIRJOB_ASSIGN_OR_RETURN(long l, ParseLong(row[3]));
+    FAIRJOB_ASSIGN_OR_RETURN(double v, ParseDouble(row[4]));
+    if (g < 0 || static_cast<size_t>(g) >= cube.axis_size(Dimension::kGroup) ||
+        q < 0 || static_cast<size_t>(q) >= cube.axis_size(Dimension::kQuery) ||
+        l < 0 ||
+        static_cast<size_t>(l) >= cube.axis_size(Dimension::kLocation)) {
+      return Status::InvalidArgument("cell position out of range");
+    }
+    cube.Set(static_cast<size_t>(g), static_cast<size_t>(q),
+             static_cast<size_t>(l), v);
+  }
+  return cube;
+}
+
+Result<CubeNames> CubeNamesFromCsvRows(
+    const std::vector<std::vector<std::string>>& rows) {
+  CubeNames names;
+  for (const auto& row : rows) {
+    if (row.empty() || row[0] != "axis") continue;
+    if (row.size() != 4) {
+      return Status::InvalidArgument("axis row needs 4 fields");
+    }
+    FAIRJOB_ASSIGN_OR_RETURN(Dimension d, DimensionFromTag(row[1]));
+    switch (d) {
+      case Dimension::kGroup:
+        names.groups.push_back(row[3]);
+        break;
+      case Dimension::kQuery:
+        names.queries.push_back(row[3]);
+        break;
+      case Dimension::kLocation:
+        names.locations.push_back(row[3]);
+        break;
+    }
+  }
+  return names;
+}
+
+Status SaveCube(const std::string& path, const UnfairnessCube& cube,
+                AxisNamer namer, const void* namer_context) {
+  return WriteCsvFile(path, CubeToCsvRows(cube, namer, namer_context));
+}
+
+Result<UnfairnessCube> LoadCube(const std::string& path) {
+  FAIRJOB_ASSIGN_OR_RETURN(auto rows, ReadCsvFile(path));
+  return CubeFromCsvRows(rows);
+}
+
+}  // namespace fairjob

@@ -1,0 +1,51 @@
+#ifndef FAIRJOB_CRAWL_CUBE_IO_H_
+#define FAIRJOB_CRAWL_CUBE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/unfairness_cube.h"
+
+namespace fairjob {
+
+// Persistence for precomputed unfairness cubes — the F-Box's expensive step
+// is evaluating the measures over a crawl; a saved cube lets later analysis
+// sessions (top-k, comparisons, statistics) skip it.
+//
+// Format: CSV rows
+//   axis,<group|query|location>,<id>,<name>      one per axis entry
+//   cell,<group pos>,<query pos>,<location pos>,<value>   one per present cell
+// Names are optional context (resolved via the resolver callbacks below) and
+// round-trip verbatim; missing cells are simply absent.
+
+// A name lookup per dimension; may return "" when names are unavailable.
+using AxisNamer = std::string (*)(Dimension, int32_t, const void* context);
+
+std::vector<std::vector<std::string>> CubeToCsvRows(
+    const UnfairnessCube& cube,
+    AxisNamer namer = nullptr, const void* namer_context = nullptr);
+
+// Reconstructs a cube (axes + present cells) from rows produced by
+// CubeToCsvRows. Errors: InvalidArgument on malformed rows, duplicate axis
+// ids, or out-of-range cell positions.
+Result<UnfairnessCube> CubeFromCsvRows(
+    const std::vector<std::vector<std::string>>& rows);
+
+// Names from the CSV, parallel to the cube axes ("" when absent).
+struct CubeNames {
+  std::vector<std::string> groups;
+  std::vector<std::string> queries;
+  std::vector<std::string> locations;
+};
+Result<CubeNames> CubeNamesFromCsvRows(
+    const std::vector<std::vector<std::string>>& rows);
+
+// File convenience wrappers. Errors: IOError / InvalidArgument.
+Status SaveCube(const std::string& path, const UnfairnessCube& cube,
+                AxisNamer namer = nullptr, const void* namer_context = nullptr);
+Result<UnfairnessCube> LoadCube(const std::string& path);
+
+}  // namespace fairjob
+
+#endif  // FAIRJOB_CRAWL_CUBE_IO_H_

@@ -1,0 +1,91 @@
+#include "crawl/labeling.h"
+
+namespace fairjob {
+
+Demographics SimulateAnnotation(const AttributeSchema& schema,
+                                const Demographics& truth, double error_rate,
+                                Rng* rng) {
+  Demographics label = truth;
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    size_t domain = schema.num_values(static_cast<AttributeId>(a));
+    if (domain < 2) continue;  // no wrong value to pick
+    if (rng->NextBernoulli(error_rate)) {
+      // Uniform over the domain minus the true value.
+      uint32_t wrong = rng->NextBelow(static_cast<uint32_t>(domain - 1));
+      ValueId v = static_cast<ValueId>(wrong);
+      if (v >= truth[a]) v += 1;
+      label[a] = v;
+    }
+  }
+  return label;
+}
+
+Result<Demographics> MajorityVote(const AttributeSchema& schema,
+                                  const std::vector<Demographics>& labels) {
+  if (labels.empty()) {
+    return Status::InvalidArgument("majority vote needs at least one label");
+  }
+  for (const Demographics& l : labels) {
+    if (!schema.IsValidDemographics(l)) {
+      return Status::InvalidArgument("label does not match the schema");
+    }
+  }
+  Demographics out(schema.num_attributes(), 0);
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    std::vector<size_t> votes(schema.num_values(static_cast<AttributeId>(a)),
+                              0);
+    for (const Demographics& l : labels) ++votes[static_cast<size_t>(l[a])];
+    size_t best = 0;
+    for (size_t v = 1; v < votes.size(); ++v) {
+      if (votes[v] > votes[best]) best = v;  // ties keep the smaller ValueId
+    }
+    out[a] = static_cast<ValueId>(best);
+  }
+  return out;
+}
+
+Result<LabelingOutcome> RunLabeling(const AttributeSchema& schema,
+                                    const std::vector<Demographics>& truths,
+                                    const LabelingConfig& config, Rng* rng) {
+  if (config.annotators_per_item == 0) {
+    return Status::InvalidArgument("need at least one annotator per item");
+  }
+  if (config.error_rate < 0.0 || config.error_rate > 1.0) {
+    return Status::InvalidArgument("error_rate must lie in [0, 1]");
+  }
+  LabelingOutcome outcome;
+  outcome.labels.reserve(truths.size());
+  size_t correct_attrs = 0;
+  size_t total_attrs = 0;
+  for (const Demographics& truth : truths) {
+    if (!schema.IsValidDemographics(truth)) {
+      return Status::InvalidArgument("ground-truth demographics invalid");
+    }
+    std::vector<Demographics> annotations;
+    annotations.reserve(config.annotators_per_item);
+    for (size_t i = 0; i < config.annotators_per_item; ++i) {
+      annotations.push_back(
+          SimulateAnnotation(schema, truth, config.error_rate, rng));
+    }
+    FAIRJOB_ASSIGN_OR_RETURN(Demographics voted,
+                             MajorityVote(schema, annotations));
+    bool all_correct = true;
+    for (size_t a = 0; a < truth.size(); ++a) {
+      ++total_attrs;
+      if (voted[a] == truth[a]) {
+        ++correct_attrs;
+      } else {
+        all_correct = false;
+      }
+    }
+    if (all_correct) ++outcome.items_fully_correct;
+    outcome.labels.push_back(std::move(voted));
+  }
+  outcome.attribute_accuracy =
+      total_attrs == 0
+          ? 1.0
+          : static_cast<double>(correct_attrs) / static_cast<double>(total_attrs);
+  return outcome;
+}
+
+}  // namespace fairjob

@@ -1,0 +1,53 @@
+#ifndef FAIRJOB_CRAWL_LABELING_H_
+#define FAIRJOB_CRAWL_LABELING_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/attribute_schema.h"
+
+namespace fairjob {
+
+// Simulation of the paper's AMT labeling stage: three crowd contributors
+// label each profile picture with gender and ethnicity, and a per-attribute
+// majority vote decides the final label. Annotator noise lets tests and
+// benches measure how label errors propagate into unfairness values.
+
+struct LabelingConfig {
+  size_t annotators_per_item = 3;
+  // Probability an annotator reports a wrong value for one attribute
+  // (uniform over the wrong values).
+  double error_rate = 0.05;
+};
+
+// One annotator's label for one item: the truth, independently corrupted per
+// attribute with probability `error_rate`.
+Demographics SimulateAnnotation(const AttributeSchema& schema,
+                                const Demographics& truth, double error_rate,
+                                Rng* rng);
+
+// Per-attribute plurality vote across annotator labels; ties are resolved
+// toward the smallest ValueId (deterministic; documented behaviour).
+// Errors: InvalidArgument on an empty label set or inconsistent sizes.
+Result<Demographics> MajorityVote(const AttributeSchema& schema,
+                                  const std::vector<Demographics>& labels);
+
+struct LabelingOutcome {
+  std::vector<Demographics> labels;  // majority-voted, parallel to input
+  // Fraction of (item, attribute) pairs labeled correctly.
+  double attribute_accuracy = 0.0;
+  // Items whose full demographic vector is correct.
+  size_t items_fully_correct = 0;
+};
+
+// Runs the whole stage over a population of ground-truth demographics.
+// Errors: InvalidArgument on a bad config (no annotators, error rate outside
+// [0, 1]) or invalid truths.
+Result<LabelingOutcome> RunLabeling(const AttributeSchema& schema,
+                                    const std::vector<Demographics>& truths,
+                                    const LabelingConfig& config, Rng* rng);
+
+}  // namespace fairjob
+
+#endif  // FAIRJOB_CRAWL_LABELING_H_

@@ -1,0 +1,75 @@
+#include "crawl/profile_store.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace fairjob {
+
+Status ProfileStore::Upsert(RawProfile profile) {
+  if (profile.worker_name.empty()) {
+    return Status::InvalidArgument("profile needs a worker name");
+  }
+  auto it = by_name_.find(profile.worker_name);
+  if (it != by_name_.end()) {
+    profiles_[it->second] = std::move(profile);
+    return Status::OK();
+  }
+  by_name_.emplace(profile.worker_name, profiles_.size());
+  profiles_.push_back(std::move(profile));
+  return Status::OK();
+}
+
+Result<RawProfile> ProfileStore::Get(const std::string& worker_name) const {
+  auto it = by_name_.find(worker_name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no profile for worker '" + worker_name + "'");
+  }
+  return profiles_[it->second];
+}
+
+std::vector<std::vector<std::string>> ProfileStore::ToCsvRows() const {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"worker", "picture", "hourly_rate", "num_reviews", "badges"});
+  for (const RawProfile& p : profiles_) {
+    rows.push_back({p.worker_name, p.picture_ref,
+                    FormatDouble(p.hourly_rate, 2),
+                    std::to_string(p.num_reviews), p.badges});
+  }
+  return rows;
+}
+
+Result<ProfileStore> ProfileStore::FromCsvRows(
+    const std::vector<std::vector<std::string>>& rows) {
+  if (rows.empty() || rows[0].size() != 5 || rows[0][0] != "worker") {
+    return Status::InvalidArgument("missing or malformed profile CSV header");
+  }
+  ProfileStore store;
+  for (size_t i = 1; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.size() != 5) {
+      return Status::InvalidArgument("profile CSV row " + std::to_string(i) +
+                                     " has " + std::to_string(row.size()) +
+                                     " fields, expected 5");
+    }
+    RawProfile p;
+    p.worker_name = row[0];
+    p.picture_ref = row[1];
+    char* end = nullptr;
+    p.hourly_rate = std::strtod(row[2].c_str(), &end);
+    if (end == row[2].c_str()) {
+      return Status::InvalidArgument("bad hourly_rate in row " +
+                                     std::to_string(i));
+    }
+    p.num_reviews = static_cast<int>(std::strtol(row[3].c_str(), &end, 10));
+    if (end == row[3].c_str()) {
+      return Status::InvalidArgument("bad num_reviews in row " +
+                                     std::to_string(i));
+    }
+    p.badges = row[4];
+    FAIRJOB_RETURN_IF_ERROR(store.Upsert(std::move(p)));
+  }
+  return store;
+}
+
+}  // namespace fairjob

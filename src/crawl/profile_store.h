@@ -1,0 +1,54 @@
+#ifndef FAIRJOB_CRAWL_PROFILE_STORE_H_
+#define FAIRJOB_CRAWL_PROFILE_STORE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fairjob {
+
+// A worker profile as scraped from the marketplace: the raw material the
+// paper's pipeline collects before demographics are inferred from profile
+// pictures (Figure 6: "rank of each tasker, their badges, reviews, profile
+// pictures, and hourly rates").
+struct RawProfile {
+  std::string worker_name;
+  std::string picture_ref;  // opaque handle to the profile picture
+  double hourly_rate = 0.0;
+  int num_reviews = 0;
+  std::string badges;  // semicolon-separated badge names
+};
+
+// Deduplicated storage of crawled profiles with CSV persistence.
+class ProfileStore {
+ public:
+  // Inserts or refreshes a profile keyed by worker name. Errors:
+  // InvalidArgument on an empty worker name.
+  Status Upsert(RawProfile profile);
+
+  // Errors: NotFound.
+  Result<RawProfile> Get(const std::string& worker_name) const;
+
+  bool Contains(const std::string& worker_name) const {
+    return by_name_.count(worker_name) > 0;
+  }
+  size_t size() const { return profiles_.size(); }
+
+  // Profiles in insertion order.
+  const std::vector<RawProfile>& profiles() const { return profiles_; }
+
+  // CSV round trip (header row included).
+  std::vector<std::vector<std::string>> ToCsvRows() const;
+  static Result<ProfileStore> FromCsvRows(
+      const std::vector<std::vector<std::string>>& rows);
+
+ private:
+  std::vector<RawProfile> profiles_;
+  std::unordered_map<std::string, size_t> by_name_;
+};
+
+}  // namespace fairjob
+
+#endif  // FAIRJOB_CRAWL_PROFILE_STORE_H_

@@ -1,0 +1,77 @@
+#include "market/calibration.h"
+
+namespace fairjob {
+
+MarketCalibration MarketCalibration::PaperDefaults() {
+  MarketCalibration c;
+
+  // Cell penalty = gender + ethnicity component. Targets Table 8's ordering:
+  // Asian Female > Asian Male > Black Female > Asian > Black Male >
+  // White Female > Black > Male ≈ Female > White > White Male.
+  c.gender_penalty = {{"Male", 0.05}, {"Female", 0.22}};
+  c.ethnicity_penalty = {{"Asian", 0.48}, {"Black", 0.28}, {"White", 0.06}};
+
+  // Table 10 (least fair) and Table 11 (fairest) locations.
+  c.city_severity = {
+      {"Birmingham, UK", 1.00},    {"Oklahoma City, OK", 0.97},
+      {"Bristol, UK", 0.92},       {"Manchester, UK", 0.88},
+      {"New Haven, CT", 0.84},     {"Milwaukee, WI", 0.82},
+      {"Memphis, TN", 0.81},       {"Indianapolis, IN", 0.80},
+      {"Nashville, TN", 0.79},     {"Detroit, MI", 0.78},
+      {"Charlotte, NC", 0.76},     {"Norfolk, VA", 0.74},
+      {"St. Louis, MO", 0.72},     {"Salt Lake City, UT", 0.71},
+      {"Chicago, IL", 0.10},       {"San Francisco, CA", 0.14},
+      {"Washington, DC", 0.18},    {"Los Angeles, CA", 0.21},
+      {"Boston, MA", 0.24},        {"Atlanta, GA", 0.28},
+      {"Houston, TX", 0.31},       {"Orlando, FL", 0.34},
+      {"Philadelphia, PA", 0.37},  {"San Diego, CA", 0.40},
+      // Below Chicago: Table 15's caption has the Bay Area fairer than
+      // Chicago for all jobs (the trend its listed sub-jobs invert).
+      {"San Francisco Bay Area, CA", 0.04},
+      {"New York City, NY", 0.55}, {"London, UK", 0.60},
+  };
+
+  // Table 9's job-type ordering: Handyman and Yard Work most unfair;
+  // Furniture Assembly, Delivery and Run Errands fairest.
+  c.category_severity = {
+      {"Handyman", 0.98},          {"Yard Work", 0.96},
+      {"Event Staffing", 0.78},    {"General Cleaning", 0.74},
+      {"Moving", 0.66},            {"Furniture Assembly", 0.48},
+      {"Run Errands", 0.42},       {"Delivery", 0.38},
+  };
+
+  // Table 12: locations where females are treated more fairly than males,
+  // inverting the overall gender comparison.
+  c.gender_flip_cities = {
+      "Charlotte, NC",  "Chicago, IL",
+      "Nashville, TN",  "Norfolk, VA",
+      "San Francisco Bay Area, CA", "St. Louis, MO",
+  };
+
+  // Tables 13/14: for Whites, Lawn Mowing is *fairer* than Event Decorating,
+  // inverting the population-wide comparison (Lawn Mowing less fair overall
+  // through the Yard Work > Event Staffing category severities). Pushing
+  // Whites into the middle of Lawn Mowing rankings shrinks the White
+  // group's distance to both comparables there; a milder nudge for Blacks
+  // lets the exposure variant flip there too (Table 14).
+  c.ethnicity_job_adjust = {
+      {"White|Lawn Mowing", +0.20},
+      {"Black|Lawn Mowing", -0.08},
+      {"Black|Event Decorating", +0.05},
+  };
+
+  // Table 15: San Francisco Bay Area is fairer than Chicago overall, but the
+  // trend inverts for these General Cleaning sub-jobs.
+  c.city_job_adjust = {
+      {"San Francisco Bay Area, CA|Back To Organized", +0.45},
+      {"San Francisco Bay Area, CA|Organize & Declutter", +0.45},
+      {"San Francisco Bay Area, CA|Organize Closet", +0.45},
+      {"Chicago, IL|Back To Organized", -0.05},
+      {"Chicago, IL|Organize & Declutter", -0.05},
+      {"Chicago, IL|Organize Closet", -0.05},
+  };
+
+  return c;
+}
+
+}  // namespace fairjob

@@ -1,0 +1,68 @@
+#ifndef FAIRJOB_MARKET_CALIBRATION_H_
+#define FAIRJOB_MARKET_CALIBRATION_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fairjob {
+
+// Bias-injection parameters of the TaskRabbit-like simulator. The defaults
+// are calibrated so the *orderings* of the paper's TaskRabbit tables hold
+// (who is most/least unfair, which comparisons reverse where); see DESIGN.md
+// §6 and EXPERIMENTS.md for the paper-vs-measured record.
+//
+// A worker's latent ranking score is
+//   base_quality − severity(job, city) · penalty(gender, ethnicity) ± noise
+// where the per-cell penalty decomposes into a gender and an ethnicity part,
+// and severity is a city factor times a job-category factor plus targeted
+// interaction terms.
+struct MarketCalibration {
+  // Penalty components by value *name* (resolved against the schema).
+  std::unordered_map<std::string, double> gender_penalty;
+  std::unordered_map<std::string, double> ethnicity_penalty;
+
+  // Per-city discrimination severity in [0, 1].
+  std::unordered_map<std::string, double> city_severity;
+  // Per-job-category severity in [0, 1].
+  std::unordered_map<std::string, double> category_severity;
+
+  // Cities where the gender penalties are swapped (drives the reversal rows
+  // of Table 12: places where females are treated *more* fairly than males).
+  std::unordered_set<std::string> gender_flip_cities;
+
+  // Direct score displacement for specific (ethnicity, sub-job) pairs,
+  // keyed "<ethnicity>|<sub-job>" and scaled by the city severity (drives
+  // Tables 13/14). Unlike the penalty (which multiplies the near-zero White
+  // cell component), a positive entry displaces that ethnicity bodily —
+  // e.g. pushing Whites into the middle of the Lawn Mowing ranking, which
+  // *reduces* the White group's distance to its comparables there.
+  std::unordered_map<std::string, double> ethnicity_job_adjust;
+  // Additive severity adjustment for specific (city, sub-job) pairs, keyed
+  // "<city>|<sub-job>" (drives Table 15).
+  std::unordered_map<std::string, double> city_job_adjust;
+
+  // The gender component of the cell penalty uses max(city severity, this
+  // floor): gendered treatment differences stay measurable even in cities
+  // whose overall (ethnicity-driven) severity is near zero, which is what
+  // makes the gender-flip reversals of Table 12 visible in Chicago and the
+  // Bay Area.
+  double gender_city_severity_floor = 0.45;
+
+  // Gaussian noise on the latent score.
+  double noise_stddev = 0.06;
+  // Spread of worker base quality around 0.5.
+  double base_quality_stddev = 0.15;
+
+  // Defaults derived from the paper's reported tables.
+  static MarketCalibration PaperDefaults();
+
+  // Severity fallbacks for cities/categories absent from the maps.
+  double default_city_severity = 0.5;
+  double default_category_severity = 0.55;
+};
+
+}  // namespace fairjob
+
+#endif  // FAIRJOB_MARKET_CALIBRATION_H_

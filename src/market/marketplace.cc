@@ -1,0 +1,207 @@
+#include "market/marketplace.h"
+
+#include <algorithm>
+
+namespace fairjob {
+namespace {
+
+// Stable 64-bit string hash (FNV-1a) for per-(job, city) ranking seeds.
+uint64_t HashKey(uint64_t seed, const std::string& a, const std::string& b) {
+  uint64_t h = 0xcbf29ce484222325ULL ^ seed;
+  auto mix = [&h](const std::string& s) {
+    for (char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3ULL;
+    }
+    h ^= 0x1f;
+    h *= 0x100000001b3ULL;
+  };
+  mix(a);
+  mix(b);
+  return h;
+}
+
+std::string PairKey(const std::string& city, const std::string& job) {
+  return city + "|" + job;
+}
+
+}  // namespace
+
+Result<SimulatedMarketplace> SimulatedMarketplace::Make(
+    AttributeSchema schema, std::vector<SimWorker> workers,
+    std::vector<std::string> cities, std::vector<JobOffering> offerings,
+    std::unordered_set<std::string> excluded, ScoringModel scoring,
+    Config config) {
+  if (cities.empty()) return Status::InvalidArgument("no cities");
+  if (offerings.empty()) return Status::InvalidArgument("no job offerings");
+
+  SimulatedMarketplace site(std::move(schema), std::move(scoring), config);
+  site.cities_ = std::move(cities);
+  for (size_t i = 0; i < site.cities_.size(); ++i) {
+    site.city_index_.emplace(site.cities_[i], i);
+  }
+  site.workers_in_city_.resize(site.cities_.size());
+  site.workers_ = std::move(workers);
+  for (size_t i = 0; i < site.workers_.size(); ++i) {
+    const SimWorker& w = site.workers_[i];
+    if (w.city_index >= site.cities_.size()) {
+      return Status::InvalidArgument("worker '" + w.name +
+                                     "' references an unknown city");
+    }
+    if (!site.schema_.IsValidDemographics(w.demographics)) {
+      return Status::InvalidArgument("worker '" + w.name +
+                                     "' has invalid demographics");
+    }
+    if (!site.worker_by_name_.emplace(w.name, i).second) {
+      return Status::InvalidArgument("duplicate worker name '" + w.name + "'");
+    }
+    site.worker_by_picture_.emplace(w.picture_ref, i);
+    site.workers_in_city_[w.city_index].push_back(i);
+  }
+  site.offerings_ = std::move(offerings);
+  for (size_t i = 0; i < site.offerings_.size(); ++i) {
+    if (!site.offering_by_subjob_.emplace(site.offerings_[i].sub_job, i)
+             .second) {
+      return Status::InvalidArgument("duplicate sub-job '" +
+                                     site.offerings_[i].sub_job + "'");
+    }
+  }
+  site.excluded_ = std::move(excluded);
+  return site;
+}
+
+std::vector<std::string> SimulatedMarketplace::Cities() const {
+  return cities_;
+}
+
+bool SimulatedMarketplace::IsOffered(const std::string& job,
+                                     const std::string& city) const {
+  return city_index_.count(city) > 0 && offering_by_subjob_.count(job) > 0 &&
+         excluded_.count(PairKey(city, job)) == 0;
+}
+
+size_t SimulatedMarketplace::num_queries_offered() const {
+  return cities_.size() * offerings_.size() - excluded_.size();
+}
+
+std::vector<std::string> SimulatedMarketplace::JobsIn(
+    const std::string& city) const {
+  std::vector<std::string> jobs;
+  if (city_index_.count(city) == 0) return jobs;
+  jobs.reserve(offerings_.size());
+  for (const JobOffering& offering : offerings_) {
+    if (excluded_.count(PairKey(city, offering.sub_job)) == 0) {
+      jobs.push_back(offering.sub_job);
+    }
+  }
+  return jobs;
+}
+
+Result<std::vector<size_t>> SimulatedMarketplace::RankFor(
+    const std::string& job, const std::string& city) {
+  if (!IsOffered(job, city)) {
+    return Status::NotFound("'" + job + "' is not offered in '" + city + "'");
+  }
+  std::string key = PairKey(city, job);
+  auto cached = ranking_cache_.find(key);
+  if (cached != ranking_cache_.end()) return cached->second;
+
+  const JobOffering& offering =
+      offerings_[offering_by_subjob_.at(job)];
+  size_t city_idx = city_index_.at(city);
+  Rng rng(HashKey(config_.seed + 0x9e3779b97f4a7c15ULL * epoch_, job, city));
+
+  std::vector<std::pair<double, size_t>> scored;
+  scored.reserve(workers_in_city_[city_idx].size());
+  for (size_t widx : workers_in_city_[city_idx]) {
+    const SimWorker& w = workers_[widx];
+    if (config_.category_participation < 1.0) {
+      // Stable per (worker, category): a tasker either offers a category or
+      // does not, across every sub-job and repeated crawl.
+      Rng participation(HashKey(config_.seed ^ 0x9a27ULL, w.name,
+                                offering.category));
+      if (!participation.NextBernoulli(config_.category_participation)) {
+        continue;
+      }
+    }
+    double score = scoring_.Score(w.base_quality, offering.sub_job,
+                                  offering.category, city, w.demographics,
+                                  &rng);
+    scored.emplace_back(score, widx);
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  std::vector<size_t> ranking;
+  ranking.reserve(scored.size());
+  for (const auto& [score, widx] : scored) ranking.push_back(widx);
+  auto [it, inserted] = ranking_cache_.emplace(key, std::move(ranking));
+  (void)inserted;
+  return it->second;
+}
+
+void SimulatedMarketplace::SetEpoch(uint32_t epoch) {
+  if (epoch == epoch_) return;
+  epoch_ = epoch;
+  ranking_cache_.clear();
+}
+
+Result<ResultPage> SimulatedMarketplace::FetchPage(const std::string& job,
+                                                   const std::string& city,
+                                                   size_t page,
+                                                   size_t page_size) {
+  if (page_size == 0) return Status::InvalidArgument("page_size must be > 0");
+  if (failure_rng_.NextBernoulli(config_.transient_failure_rate)) {
+    return Status::IOError("simulated transient failure (rate limited)");
+  }
+  FAIRJOB_ASSIGN_OR_RETURN(std::vector<size_t> ranking, RankFor(job, city));
+  ResultPage out;
+  size_t begin = page * page_size;
+  size_t end = std::min(ranking.size(), begin + page_size);
+  for (size_t i = begin; i < end; ++i) {
+    out.worker_names.push_back(workers_[ranking[i]].name);
+  }
+  out.has_more = end < ranking.size();
+  return out;
+}
+
+Result<RawProfile> SimulatedMarketplace::FetchProfile(
+    const std::string& worker_name) {
+  if (failure_rng_.NextBernoulli(config_.transient_failure_rate)) {
+    return Status::IOError("simulated transient failure (rate limited)");
+  }
+  auto it = worker_by_name_.find(worker_name);
+  if (it == worker_by_name_.end()) {
+    return Status::NotFound("no worker '" + worker_name + "'");
+  }
+  const SimWorker& w = workers_[it->second];
+  RawProfile profile;
+  profile.worker_name = w.name;
+  profile.picture_ref = w.picture_ref;
+  profile.hourly_rate = w.hourly_rate;
+  profile.num_reviews = w.num_reviews;
+  profile.badges = w.num_reviews > 50 ? "elite" : "";
+  return profile;
+}
+
+Result<Demographics> SimulatedMarketplace::TrueDemographics(
+    const std::string& worker_name) const {
+  auto it = worker_by_name_.find(worker_name);
+  if (it == worker_by_name_.end()) {
+    return Status::NotFound("no worker '" + worker_name + "'");
+  }
+  return workers_[it->second].demographics;
+}
+
+Result<Demographics> SimulatedMarketplace::TruthByPicture(
+    const std::string& picture_ref) const {
+  auto it = worker_by_picture_.find(picture_ref);
+  if (it == worker_by_picture_.end()) {
+    return Status::NotFound("no picture '" + picture_ref + "'");
+  }
+  return workers_[it->second].demographics;
+}
+
+}  // namespace fairjob

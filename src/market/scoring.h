@@ -1,0 +1,60 @@
+#ifndef FAIRJOB_MARKET_SCORING_H_
+#define FAIRJOB_MARKET_SCORING_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/attribute_schema.h"
+#include "market/calibration.h"
+
+namespace fairjob {
+
+// Resolved, id-indexed view of a MarketCalibration against a concrete
+// schema: turns name-keyed penalty maps into ValueId-indexed vectors so the
+// per-worker scoring path is allocation-free.
+class ScoringModel {
+ public:
+  // Errors: NotFound when the schema lacks a "gender" or "ethnicity"
+  // attribute or the calibration names values the schema does not define.
+  static Result<ScoringModel> Make(const AttributeSchema& schema,
+                                   MarketCalibration calibration);
+
+  const MarketCalibration& calibration() const { return calibration_; }
+
+  // penalty(gender, ethnicity) for a worker, honouring the gender flip of
+  // `city`.
+  double CellPenalty(const Demographics& demographics,
+                     const std::string& city) const;
+
+  // severity(job, city) = city · category + (city, sub-job) interaction
+  // adjustments, clamped to [0, 2].
+  double Severity(const std::string& sub_job, const std::string& category,
+                  const std::string& city,
+                  const Demographics& demographics) const;
+
+  // Direct score displacement for (ethnicity, sub-job) interactions, scaled
+  // by the city severity (see MarketCalibration::ethnicity_job_adjust).
+  double DirectAdjust(const std::string& sub_job, const std::string& city,
+                      const Demographics& demographics) const;
+
+  // Latent ranking score: base − severity · penalty + noise, clamped to
+  // [0, 1]. Draws one Gaussian from `rng`.
+  double Score(double base_quality, const std::string& sub_job,
+               const std::string& category, const std::string& city,
+               const Demographics& demographics, Rng* rng) const;
+
+ private:
+  ScoringModel(MarketCalibration calibration) : calibration_(std::move(calibration)) {}
+
+  MarketCalibration calibration_;
+  AttributeId gender_attr_ = 0;
+  AttributeId ethnicity_attr_ = 0;
+  std::vector<double> gender_penalty_by_id_;
+  std::vector<double> ethnicity_penalty_by_id_;
+  std::vector<std::string> ethnicity_names_;  // by ValueId, for adjust keys
+};
+
+}  // namespace fairjob
+
+#endif  // FAIRJOB_MARKET_SCORING_H_

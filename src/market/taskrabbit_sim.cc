@@ -1,0 +1,367 @@
+#include "market/taskrabbit_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "crawl/labeling.h"
+
+namespace fairjob {
+namespace {
+
+const char* const kCities[] = {
+    // Paper-named, severity-calibrated cities (Tables 10–12, 15).
+    "Birmingham, UK", "Oklahoma City, OK", "Bristol, UK", "Manchester, UK",
+    "New Haven, CT", "Milwaukee, WI", "Memphis, TN", "Indianapolis, IN",
+    "Nashville, TN", "Detroit, MI", "Charlotte, NC", "Norfolk, VA",
+    "St. Louis, MO", "Salt Lake City, UT", "Chicago, IL", "San Francisco, CA",
+    "Washington, DC", "Los Angeles, CA", "Boston, MA", "Atlanta, GA",
+    "Houston, TX", "Orlando, FL", "Philadelphia, PA", "San Diego, CA",
+    "San Francisco Bay Area, CA", "New York City, NY", "London, UK",
+    // Filler cities to reach TaskRabbit's 56 supported markets.
+    "Seattle, WA", "Portland, OR", "Austin, TX", "Dallas, TX", "Denver, CO",
+    "Phoenix, AZ", "Miami, FL", "Tampa, FL", "Baltimore, MD", "Pittsburgh, PA",
+    "Cleveland, OH", "Columbus, OH", "Cincinnati, OH", "Kansas City, MO",
+    "Minneapolis, MN", "Sacramento, CA", "San Jose, CA", "Las Vegas, NV",
+    "Raleigh, NC", "Richmond, VA", "Jacksonville, FL", "New Orleans, LA",
+    "Louisville, KY", "Tucson, AZ", "Albuquerque, NM", "Omaha, NE",
+    "Tulsa, OK", "Fresno, CA", "Oakland, CA",
+};
+constexpr size_t kNumCities = sizeof(kCities) / sizeof(kCities[0]);
+constexpr size_t kNumCalibratedCities = 27;
+
+struct CategorySpec {
+  const char* category;
+  const char* sub_jobs[12];
+};
+
+const CategorySpec kCategories[] = {
+    {"Handyman",
+     {"Hang Pictures", "Mount TV", "Fix Leaky Faucet", "Install Shelves",
+      "Door Repair", "Drywall Patching", "Window Repair", "Caulking & Sealing",
+      "Light Fixture Installation", "Smart Lock Installation", "Babyproofing",
+      "Furniture Repair"}},
+    {"Yard Work",
+     {"Lawn Mowing", "Leaf Raking", "Hedge Trimming", "Garden Weeding",
+      "Patio Painting", "Garage Cleaning", "Gutter Cleaning", "Snow Removal",
+      "Planting & Landscaping", "Yard Cleanup", "Fence Painting",
+      "Composting Setup"}},
+    {"Event Staffing",
+     {"Event Decorating", "Party Setup", "Event Cleanup", "Bartending Help",
+      "Coat Check", "Ticket Scanning", "Catering Help",
+      "Photo Booth Assistance", "Registration Desk", "Crowd Ushering",
+      "AV Setup", "Event Teardown"}},
+    {"General Cleaning",
+     {"Back To Organized", "Organize & Declutter", "Organize Closet",
+      "Deep Cleaning", "Move Out Cleaning", "Office Cleaning",
+      "Private Cleaning", "Window Washing", "Carpet Cleaning",
+      "Kitchen Cleaning", "Bathroom Cleaning", "Laundry Help"}},
+    {"Moving",
+     {"Full Service Move", "Loading Help", "Unloading Help",
+      "Packing Services", "Unpacking Services", "Heavy Lifting",
+      "Piano Moving", "Appliance Moving", "Storage Organization",
+      "Truck Loading", "In-House Moving", "Donation Pickup"}},
+    {"Delivery",
+     {"Grocery Delivery", "Package Pickup", "Food Delivery",
+      "Furniture Delivery", "Pharmacy Pickup", "Flower Delivery",
+      "Laundry Pickup", "Document Courier", "Appliance Delivery",
+      "Same Day Delivery", "Return Dropoff", "Gift Delivery"}},
+    {"Furniture Assembly",
+     {"Bed Assembly", "Desk Assembly", "Bookshelf Assembly",
+      "Wardrobe Assembly", "Dresser Assembly", "Table Assembly",
+      "Chair Assembly", "Sofa Assembly", "Crib Assembly",
+      "Shelving Unit Assembly", "Outdoor Furniture Assembly",
+      "Exercise Equipment Assembly"}},
+    {"Run Errands",
+     {"Wait In Line", "Dry Cleaning Dropoff", "Post Office Run",
+      "Grocery Shopping", "Pet Supply Run", "Hardware Store Run",
+      "Bank Errand", "Car Wash Run", "Library Return", "Prescription Pickup",
+      "Shopping Assistant", "Personal Assistant Errands"}},
+};
+
+// (city, sub-job) pairs the paper's tables depend on; never excluded from
+// the offering set.
+bool IsProtectedPair(const std::string& city, const std::string& sub_job) {
+  static const char* const kProtectedJobs[] = {
+      "Lawn Mowing",        "Event Decorating", "Back To Organized",
+      "Organize & Declutter", "Organize Closet",
+  };
+  for (const char* job : kProtectedJobs) {
+    if (sub_job == job) return true;
+  }
+  // Calibrated cities keep their full offering sets so per-city aggregates
+  // stay comparable.
+  for (size_t i = 0; i < kNumCalibratedCities; ++i) {
+    if (city == kCities[i]) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+AttributeSchema TaskRabbitSchema() {
+  AttributeSchema schema;
+  // Registration order fixes display names: "Asian Female", as in the paper.
+  Result<AttributeId> eth =
+      schema.AddAttribute("ethnicity", {"Asian", "Black", "White"});
+  Result<AttributeId> gender = schema.AddAttribute("gender", {"Male", "Female"});
+  (void)eth;
+  (void)gender;
+  return schema;
+}
+
+std::vector<std::string> TaskRabbitCities() {
+  return std::vector<std::string>(kCities, kCities + kNumCities);
+}
+
+std::vector<JobOffering> TaskRabbitOfferings() {
+  std::vector<JobOffering> offerings;
+  for (const CategorySpec& spec : kCategories) {
+    for (const char* sub_job : spec.sub_jobs) {
+      offerings.push_back(JobOffering{sub_job, spec.category});
+    }
+  }
+  return offerings;
+}
+
+Result<std::unique_ptr<SimulatedMarketplace>> BuildTaskRabbitSite(
+    const TaskRabbitConfig& config) {
+  AttributeSchema schema = TaskRabbitSchema();
+  FAIRJOB_ASSIGN_OR_RETURN(AttributeId eth_attr,
+                           schema.FindAttribute("ethnicity"));
+  FAIRJOB_ASSIGN_OR_RETURN(AttributeId gender_attr,
+                           schema.FindAttribute("gender"));
+
+  std::vector<std::string> cities = TaskRabbitCities();
+  if (config.max_cities > 0 && cities.size() > config.max_cities) {
+    cities.resize(config.max_cities);
+  }
+
+  std::vector<JobOffering> offerings;
+  for (const CategorySpec& spec : kCategories) {
+    size_t taken = 0;
+    for (const char* sub_job : spec.sub_jobs) {
+      if (config.max_subjobs_per_category > 0 &&
+          taken >= config.max_subjobs_per_category) {
+        break;
+      }
+      offerings.push_back(JobOffering{sub_job, spec.category});
+      ++taken;
+    }
+  }
+
+  // Give un-calibrated cities a deterministic severity spread so per-city
+  // aggregates do not tie.
+  MarketCalibration calibration = config.calibration;
+  size_t filler_index = 0;
+  for (const std::string& city : cities) {
+    if (calibration.city_severity.count(city) == 0) {
+      calibration.city_severity[city] =
+          0.45 + 0.13 * (static_cast<double>(filler_index) / 28.0);
+      ++filler_index;
+    }
+  }
+
+  FAIRJOB_ASSIGN_OR_RETURN(ScoringModel scoring,
+                           ScoringModel::Make(schema, std::move(calibration)));
+
+  // Worker population: spread across cities round-robin. Demographics are
+  // *stratified* per city (largest-remainder quotas over the 6 cells), so
+  // every market has the same composition and per-city unfairness reflects
+  // the injected severities rather than a composition lottery.
+  Rng rng(config.seed);
+  std::vector<SimWorker> workers;
+  workers.reserve(config.num_workers);
+  double asian_share = 1.0 - config.white_share - config.black_share;
+  const double eth_shares[3] = {asian_share, config.black_share,
+                                config.white_share};
+  const double gender_shares[2] = {config.male_share, 1.0 - config.male_share};
+
+  std::vector<size_t> city_pool_size(cities.size(), 0);
+  for (size_t i = 0; i < config.num_workers; ++i) {
+    ++city_pool_size[i % cities.size()];
+  }
+  // Per-city pools via largest-remainder apportionment over the 6 cells.
+  // Both the demographics AND the base-quality draws are stratified: the
+  // j-th member of a demographic cell gets the same base quality in every
+  // city, so cross-city unfairness differences are driven by the injected
+  // severities rather than by per-city quality lotteries of the (tiny)
+  // minority cells, while the within-city quality spread stays wide.
+  struct PoolWorker {
+    Demographics demo;
+    double base_quality;
+  };
+  std::vector<std::vector<PoolWorker>> city_pools(cities.size());
+  for (size_t c = 0; c < cities.size(); ++c) {
+    size_t n = city_pool_size[c];
+    struct Cell {
+      Demographics demo;
+      uint64_t cell_key;
+      double exact;
+      size_t count;
+    };
+    std::vector<Cell> cells;
+    size_t assigned = 0;
+    for (ValueId e = 0; e < 3; ++e) {
+      for (ValueId g = 0; g < 2; ++g) {
+        Demographics d(schema.num_attributes(), 0);
+        d[static_cast<size_t>(eth_attr)] = e;
+        d[static_cast<size_t>(gender_attr)] = g;
+        double exact = static_cast<double>(n) * eth_shares[e] *
+                       gender_shares[g];
+        size_t count = static_cast<size_t>(exact);
+        assigned += count;
+        cells.push_back(Cell{std::move(d),
+                             static_cast<uint64_t>(e) * 2u +
+                                 static_cast<uint64_t>(g),
+                             exact, count});
+      }
+    }
+    std::stable_sort(cells.begin(), cells.end(), [](const Cell& a,
+                                                    const Cell& b) {
+      return (a.exact - static_cast<double>(a.count)) >
+             (b.exact - static_cast<double>(b.count));
+    });
+    for (size_t i = 0; assigned < n; ++i, ++assigned) {
+      ++cells[i % cells.size()].count;
+    }
+    for (const Cell& cell : cells) {
+      Rng quality_rng(config.seed ^
+                      (0x5eedULL + cell.cell_key * 0x9e3779b97f4a7c15ULL));
+      // Standardize the cell's quality sequence to mean 0.5 and the target
+      // spread, so no demographic cell is systematically luckier than
+      // another by construction — only the injected penalties differentiate
+      // cells.
+      std::vector<double> draws(cell.count);
+      double mean = 0.0;
+      for (double& d : draws) {
+        d = quality_rng.NextGaussian(0.0, 1.0);
+        mean += d;
+      }
+      if (cell.count > 0) mean /= static_cast<double>(cell.count);
+      double var = 0.0;
+      for (double d : draws) var += (d - mean) * (d - mean);
+      double sd = cell.count > 1
+                      ? std::sqrt(var / static_cast<double>(cell.count))
+                      : 0.0;
+      for (double d : draws) {
+        double z = sd > 0.0 ? (d - mean) / sd : 0.0;
+        double quality = std::clamp(
+            0.5 + z * config.calibration.base_quality_stddev, 0.0, 1.0);
+        city_pools[c].push_back(PoolWorker{cell.demo, quality});
+      }
+    }
+    rng.Shuffle(city_pools[c]);
+  }
+
+  std::vector<size_t> city_cursor(cities.size(), 0);
+  for (size_t i = 0; i < config.num_workers; ++i) {
+    SimWorker w;
+    w.name = "tasker_" + std::to_string(i);
+    w.picture_ref = "pic_" + std::to_string(i);
+    w.city_index = i % cities.size();
+    if (config.stratified_population) {
+      const PoolWorker& pool_worker =
+          city_pools[w.city_index][city_cursor[w.city_index]++];
+      w.demographics = pool_worker.demo;
+      w.base_quality = pool_worker.base_quality;
+    } else {
+      // i.i.d. ablation path: composition and quality lotteries per city.
+      Demographics d(schema.num_attributes(), 0);
+      size_t eth = rng.NextCategorical(
+          {eth_shares[0], eth_shares[1], eth_shares[2]});
+      d[static_cast<size_t>(eth_attr)] = static_cast<ValueId>(eth);
+      d[static_cast<size_t>(gender_attr)] =
+          rng.NextBernoulli(config.male_share) ? 0 : 1;
+      w.demographics = std::move(d);
+      w.base_quality = std::clamp(
+          rng.NextGaussian(0.5, config.calibration.base_quality_stddev), 0.0,
+          1.0);
+    }
+    w.hourly_rate = std::clamp(rng.NextGaussian(35.0, 12.0), 12.0, 120.0);
+    w.num_reviews = static_cast<int>(rng.NextBelow(200));
+    workers.push_back(std::move(w));
+  }
+
+  // Exclude the excess (city, sub-job) pairs, scanning from the tail of the
+  // cross product and skipping protected pairs.
+  std::unordered_set<std::string> excluded;
+  size_t total = cities.size() * offerings.size();
+  if (total > config.target_query_count) {
+    size_t to_exclude = total - config.target_query_count;
+    for (size_t ci = cities.size(); ci-- > 0 && to_exclude > 0;) {
+      for (size_t oi = offerings.size(); oi-- > 0 && to_exclude > 0;) {
+        if (IsProtectedPair(cities[ci], offerings[oi].sub_job)) continue;
+        excluded.insert(cities[ci] + "|" + offerings[oi].sub_job);
+        --to_exclude;
+      }
+    }
+  }
+
+  SimulatedMarketplace::Config site_config;
+  site_config.seed = config.seed;
+  site_config.transient_failure_rate = config.transient_failure_rate;
+  site_config.category_participation = config.category_participation;
+  FAIRJOB_ASSIGN_OR_RETURN(
+      SimulatedMarketplace site,
+      SimulatedMarketplace::Make(std::move(schema), std::move(workers),
+                                 std::move(cities), std::move(offerings),
+                                 std::move(excluded), std::move(scoring),
+                                 site_config));
+  return std::make_unique<SimulatedMarketplace>(std::move(site));
+}
+
+Result<TaskRabbitDataset> BuildTaskRabbitDataset(const TaskRabbitConfig& config,
+                                                 double label_error_rate) {
+  FAIRJOB_ASSIGN_OR_RETURN(std::unique_ptr<SimulatedMarketplace> site,
+                           BuildTaskRabbitSite(config));
+
+  // Worker demographics: ground truth, or majority-voted noisy labels.
+  std::vector<Demographics> demographics;
+  demographics.reserve(site->num_workers());
+  for (size_t i = 0; i < site->num_workers(); ++i) {
+    demographics.push_back(site->worker(i).demographics);
+  }
+  if (label_error_rate > 0.0) {
+    LabelingConfig label_config;
+    label_config.error_rate = label_error_rate;
+    Rng label_rng(config.seed ^ 0x1abe1u);
+    FAIRJOB_ASSIGN_OR_RETURN(
+        LabelingOutcome outcome,
+        RunLabeling(site->schema(), demographics, label_config, &label_rng));
+    demographics = std::move(outcome.labels);
+  }
+
+  TaskRabbitDataset out{MarketplaceDataset(site->schema()), {}, 0};
+  MarketplaceDataset& ds = out.dataset;
+  std::vector<WorkerId> worker_ids(site->num_workers());
+  for (size_t i = 0; i < site->num_workers(); ++i) {
+    FAIRJOB_ASSIGN_OR_RETURN(
+        worker_ids[i], ds.AddWorker(site->worker(i).name, demographics[i]));
+  }
+
+  for (const JobOffering& offering : site->offerings()) {
+    out.subjobs_by_category[offering.category].push_back(offering.sub_job);
+  }
+
+  constexpr size_t kResultCap = 50;  // the paper's 50-tasker query cap
+  for (const std::string& city : site->Cities()) {
+    for (const std::string& job : site->JobsIn(city)) {
+      FAIRJOB_ASSIGN_OR_RETURN(std::vector<size_t> ranking,
+                               site->RankFor(job, city));
+      MarketRanking market_ranking;
+      size_t n = std::min(ranking.size(), kResultCap);
+      market_ranking.workers.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        market_ranking.workers.push_back(worker_ids[ranking[i]]);
+      }
+      if (market_ranking.workers.empty()) continue;
+      QueryId q = ds.queries().GetOrAdd(job);
+      LocationId l = ds.locations().GetOrAdd(city);
+      FAIRJOB_RETURN_IF_ERROR(ds.SetRanking(q, l, std::move(market_ranking)));
+      ++out.queries_offered;
+    }
+  }
+  return out;
+}
+
+}  // namespace fairjob

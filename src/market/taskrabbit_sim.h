@@ -1,0 +1,77 @@
+#ifndef FAIRJOB_MARKET_TASKRABBIT_SIM_H_
+#define FAIRJOB_MARKET_TASKRABBIT_SIM_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/data_model.h"
+#include "market/marketplace.h"
+
+namespace fairjob {
+
+// Calibrated synthetic stand-in for the paper's June–August 2019 TaskRabbit
+// crawl: 56 cities, 8 job categories fanned out into 96 sub-job queries
+// (5,361 offered (city, sub-job) combinations), and 3,311 taskers with the
+// paper's demographic mix (~72% male, ~66% white). See DESIGN.md §2/§6.
+
+struct TaskRabbitConfig {
+  uint64_t seed = 20190601;
+  size_t num_workers = 3311;
+  // Demographic mix (Figures 7 and 8).
+  double male_share = 0.72;
+  double white_share = 0.66;
+  double black_share = 0.25;  // asian = remainder
+  // Share of job categories a tasker offers (keeps result lists below the
+  // 50-result crawl cap so bottom ranks stay observable).
+  double category_participation = 0.7;
+  // Stratify per-city demographics and per-cell base-quality sequences
+  // (docs/CALIBRATION.md lesson 2). false reverts to i.i.d. draws — the
+  // ablation shows per-city unfairness then reflects composition lotteries
+  // rather than the injected severities.
+  bool stratified_population = true;
+  // Offered (city, sub-job) pairs; the excess over target is excluded
+  // deterministically (never touching pairs the paper's tables rely on).
+  size_t target_query_count = 5361;
+  // Scale-down knobs for tests (0 = no limit).
+  size_t max_cities = 0;
+  size_t max_subjobs_per_category = 0;
+  MarketCalibration calibration = MarketCalibration::PaperDefaults();
+  double transient_failure_rate = 0.0;
+};
+
+// The canonical protected-attribute schema: ethnicity {Asian, Black, White}
+// then gender {Male, Female} (display names read "Asian Female" as in the
+// paper's tables).
+AttributeSchema TaskRabbitSchema();
+
+// The 56 city names (paper-named cities first, severity-calibrated).
+std::vector<std::string> TaskRabbitCities();
+
+// The 8 categories × 12 sub-jobs.
+std::vector<JobOffering> TaskRabbitOfferings();
+
+// Builds the simulated site. Errors propagate from marketplace construction.
+Result<std::unique_ptr<SimulatedMarketplace>> BuildTaskRabbitSite(
+    const TaskRabbitConfig& config = {});
+
+struct TaskRabbitDataset {
+  MarketplaceDataset dataset;
+  // Sub-job query names per category, for category-level aggregation
+  // (Table 9) and sub-job selections (Tables 13–15).
+  std::map<std::string, std::vector<std::string>> subjobs_by_category;
+  size_t queries_offered = 0;
+};
+
+// Generates the marketplace dataset directly from the simulator (identical
+// rankings to what a crawl of the site observes, without crawl overhead).
+// With `label_error_rate > 0`, worker demographics pass through the
+// simulated AMT labeling stage instead of using ground truth.
+Result<TaskRabbitDataset> BuildTaskRabbitDataset(
+    const TaskRabbitConfig& config = {}, double label_error_rate = 0.0);
+
+}  // namespace fairjob
+
+#endif  // FAIRJOB_MARKET_TASKRABBIT_SIM_H_

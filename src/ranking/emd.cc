@@ -1,0 +1,160 @@
+#include "ranking/emd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace fairjob {
+namespace {
+
+constexpr double kMassEps = 1e-12;
+
+Status ValidateAndNormalize(const std::vector<double>& in,
+                            std::vector<double>* out, const char* side) {
+  if (in.empty()) {
+    return Status::InvalidArgument(std::string(side) + " distribution is empty");
+  }
+  double total = 0.0;
+  for (double v : in) {
+    if (v < 0.0) {
+      return Status::InvalidArgument(std::string(side) +
+                                     " distribution has a negative entry");
+    }
+    total += v;
+  }
+  if (total <= kMassEps) {
+    return Status::InvalidArgument(std::string(side) +
+                                   " distribution has zero total mass");
+  }
+  out->resize(in.size());
+  for (size_t i = 0; i < in.size(); ++i) (*out)[i] = in[i] / total;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> Emd1D(const std::vector<double>& p, const std::vector<double>& q) {
+  if (p.size() != q.size()) {
+    return Status::InvalidArgument("EMD inputs must have the same bin count");
+  }
+  std::vector<double> pn;
+  std::vector<double> qn;
+  FAIRJOB_RETURN_IF_ERROR(ValidateAndNormalize(p, &pn, "first"));
+  FAIRJOB_RETURN_IF_ERROR(ValidateAndNormalize(q, &qn, "second"));
+  size_t n = pn.size();
+  if (n == 1) return 0.0;
+  // EMD over the line = sum of |CDF_p - CDF_q| per unit step; each step is
+  // 1/(n-1) of the normalized ground distance.
+  double cum = 0.0;
+  double emd = 0.0;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    cum += pn[i] - qn[i];
+    emd += std::fabs(cum);
+  }
+  return emd / static_cast<double>(n - 1);
+}
+
+Result<double> EmdBetweenHistograms(const Histogram& p, const Histogram& q) {
+  if (p.num_bins() != q.num_bins() || p.lo() != q.lo() || p.hi() != q.hi()) {
+    return Status::InvalidArgument("histograms have mismatched bin layout");
+  }
+  if (p.empty() || q.empty()) {
+    return Status::InvalidArgument("EMD needs non-empty histograms");
+  }
+  return Emd1D(p.Normalized(), q.Normalized());
+}
+
+Result<double> EmdGeneral(const std::vector<double>& supply,
+                          const std::vector<double>& demand,
+                          const std::vector<std::vector<double>>& cost) {
+  std::vector<double> s;
+  std::vector<double> d;
+  FAIRJOB_RETURN_IF_ERROR(ValidateAndNormalize(supply, &s, "supply"));
+  FAIRJOB_RETURN_IF_ERROR(ValidateAndNormalize(demand, &d, "demand"));
+  if (cost.size() != s.size()) {
+    return Status::InvalidArgument("cost matrix row count != supply size");
+  }
+  for (const auto& row : cost) {
+    if (row.size() != d.size()) {
+      return Status::InvalidArgument("cost matrix column count != demand size");
+    }
+    for (double c : row) {
+      if (c < 0.0) return Status::InvalidArgument("cost entries must be >= 0");
+    }
+  }
+
+  // Min-cost flow on the bipartite transportation network:
+  // source (0) -> supply nodes (1..m) -> demand nodes (m+1..m+n) -> sink.
+  size_t m = s.size();
+  size_t n = d.size();
+  size_t source = 0;
+  size_t sink = m + n + 1;
+  size_t num_nodes = m + n + 2;
+
+  struct Edge {
+    size_t to;
+    double cap;
+    double cost;
+    size_t rev;  // index of reverse edge in graph[to]
+  };
+  std::vector<std::vector<Edge>> graph(num_nodes);
+  auto add_edge = [&](size_t from, size_t to, double cap, double edge_cost) {
+    graph[from].push_back(Edge{to, cap, edge_cost, graph[to].size()});
+    graph[to].push_back(Edge{from, 0.0, -edge_cost, graph[from].size() - 1});
+  };
+  for (size_t i = 0; i < m; ++i) add_edge(source, 1 + i, s[i], 0.0);
+  for (size_t j = 0; j < n; ++j) add_edge(1 + m + j, sink, d[j], 0.0);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      add_edge(1 + i, 1 + m + j, std::numeric_limits<double>::infinity(),
+               cost[i][j]);
+    }
+  }
+
+  double total_cost = 0.0;
+  double remaining = 1.0;  // normalized total mass
+  const double inf = std::numeric_limits<double>::infinity();
+  while (remaining > kMassEps) {
+    // Bellman-Ford shortest path by cost (handles the negative reverse arcs).
+    std::vector<double> dist(num_nodes, inf);
+    std::vector<size_t> prev_node(num_nodes, num_nodes);
+    std::vector<size_t> prev_edge(num_nodes, 0);
+    dist[source] = 0.0;
+    for (size_t iter = 0; iter + 1 < num_nodes; ++iter) {
+      bool changed = false;
+      for (size_t u = 0; u < num_nodes; ++u) {
+        if (dist[u] == inf) continue;
+        for (size_t e = 0; e < graph[u].size(); ++e) {
+          const Edge& edge = graph[u][e];
+          if (edge.cap <= kMassEps) continue;
+          double nd = dist[u] + edge.cost;
+          if (nd < dist[edge.to] - 1e-15) {
+            dist[edge.to] = nd;
+            prev_node[edge.to] = u;
+            prev_edge[edge.to] = e;
+            changed = true;
+          }
+        }
+      }
+      if (!changed) break;
+    }
+    if (dist[sink] == inf) {
+      return Status::Internal("transportation network disconnected");
+    }
+    // Bottleneck along the path.
+    double push = remaining;
+    for (size_t v = sink; v != source; v = prev_node[v]) {
+      push = std::min(push, graph[prev_node[v]][prev_edge[v]].cap);
+    }
+    for (size_t v = sink; v != source; v = prev_node[v]) {
+      Edge& edge = graph[prev_node[v]][prev_edge[v]];
+      edge.cap -= push;
+      graph[edge.to][edge.rev].cap += push;
+    }
+    total_cost += push * dist[sink];
+    remaining -= push;
+  }
+  return total_cost;
+}
+
+}  // namespace fairjob

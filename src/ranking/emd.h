@@ -1,0 +1,44 @@
+#ifndef FAIRJOB_RANKING_EMD_H_
+#define FAIRJOB_RANKING_EMD_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "ranking/histogram.h"
+
+namespace fairjob {
+
+// Earth Mover's Distance between two 1-D distributions over the same
+// equally-spaced bins, with ground distance |i - j| / (B - 1) so the result
+// lies in [0, 1] (mass concentrated at opposite ends has distance 1).
+// Inputs are normalized internally; they only need non-negative entries with
+// positive sums.
+//
+// Closed form for the 1-D case: the L1 distance between CDFs.
+//
+// Errors: InvalidArgument on size mismatch, empty input, negative entries or
+// zero total mass.
+Result<double> Emd1D(const std::vector<double>& p, const std::vector<double>& q);
+
+// EMD between two histograms (normalizes both; see Emd1D). Histograms must
+// agree on bin count and range and be non-empty.
+Result<double> EmdBetweenHistograms(const Histogram& p, const Histogram& q);
+
+// Exact EMD for an arbitrary non-negative ground-cost matrix, solved as a
+// transportation problem with successive-shortest-path min-cost flow
+// (the general formulation the paper cites via Pele & Werman). Returns
+// min total cost / total mass. Supply and demand are normalized internally.
+//
+// cost[i][j] is the cost of moving one unit of mass from supply bin i to
+// demand bin j. Complexity ~O(V^2 E) — intended for the small histograms
+// used in fairness auditing, and as a cross-check oracle for Emd1D.
+//
+// Errors: InvalidArgument on dimension mismatches, negative entries or zero
+// total mass on either side.
+Result<double> EmdGeneral(const std::vector<double>& supply,
+                          const std::vector<double>& demand,
+                          const std::vector<std::vector<double>>& cost);
+
+}  // namespace fairjob
+
+#endif  // FAIRJOB_RANKING_EMD_H_

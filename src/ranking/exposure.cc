@@ -1,0 +1,39 @@
+#include "ranking/exposure.h"
+
+#include <cmath>
+
+namespace fairjob {
+
+double ExposureAtRank(size_t rank) {
+  return 1.0 / std::log(1.0 + static_cast<double>(rank));
+}
+
+double ExposureAtRankPower(size_t rank, double gamma) {
+  return std::pow(static_cast<double>(rank), -gamma);
+}
+
+Result<double> RelevanceFromRank(size_t rank, size_t result_size) {
+  if (rank == 0) return Status::InvalidArgument("ranks are 1-based");
+  if (rank > result_size) {
+    return Status::InvalidArgument("rank exceeds result-set size");
+  }
+  return 1.0 - static_cast<double>(rank) / static_cast<double>(result_size);
+}
+
+double TotalExposure(const std::vector<size_t>& ranks) {
+  double total = 0.0;
+  for (size_t r : ranks) total += ExposureAtRank(r);
+  return total;
+}
+
+Result<double> TotalRelevance(const std::vector<size_t>& ranks,
+                              size_t result_size) {
+  double total = 0.0;
+  for (size_t r : ranks) {
+    FAIRJOB_ASSIGN_OR_RETURN(double rel, RelevanceFromRank(r, result_size));
+    total += rel;
+  }
+  return total;
+}
+
+}  // namespace fairjob

@@ -1,0 +1,40 @@
+#ifndef FAIRJOB_RANKING_EXPOSURE_H_
+#define FAIRJOB_RANKING_EXPOSURE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fairjob {
+
+// Position-bias exposure of a 1-based rank: 1 / ln(1 + rank). Rank 1 gets
+// 1/ln(2) ≈ 1.44; exposure decays logarithmically as in Singh & Joachims /
+// Biega et al., matching the paper's Figure 5 worked example.
+double ExposureAtRank(size_t rank);
+
+// Alternative position-bias curve: rank^(−gamma), the power-law click model
+// (gamma = 1 is the classic 1/rank falloff; larger gamma is steeper). Used
+// by the exposure-model ablation — note that a *constant rescaling* of an
+// exposure curve cancels in the share-based unfairness, so only genuinely
+// different curve shapes (like this one vs the log-inverse) can change
+// results. Precondition: rank >= 1.
+double ExposureAtRankPower(size_t rank, double gamma);
+
+// Rank-derived relevance 1 - rank/N for a 1-based rank within a result set
+// of size N (the proxy the paper uses when true scores are unavailable):
+// rank 1 -> 1 - 1/N, rank N -> 0.
+//
+// Errors: InvalidArgument if rank is 0 or exceeds N.
+Result<double> RelevanceFromRank(size_t rank, size_t result_size);
+
+// Sums ExposureAtRank over a set of 1-based ranks.
+double TotalExposure(const std::vector<size_t>& ranks);
+
+// Sums RelevanceFromRank over 1-based ranks within a result set of size N.
+Result<double> TotalRelevance(const std::vector<size_t>& ranks,
+                              size_t result_size);
+
+}  // namespace fairjob
+
+#endif  // FAIRJOB_RANKING_EXPOSURE_H_

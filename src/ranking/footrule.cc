@@ -1,0 +1,89 @@
+#include "ranking/footrule.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace fairjob {
+namespace {
+
+Result<std::unordered_map<int32_t, size_t>> PositionsOf(const RankedList& list) {
+  std::unordered_map<int32_t, size_t> pos;
+  pos.reserve(list.size());
+  for (size_t i = 0; i < list.size(); ++i) {
+    if (!pos.emplace(list[i], i + 1).second) {  // 1-based positions
+      return Status::InvalidArgument("ranked list contains duplicate item id " +
+                                     std::to_string(list[i]));
+    }
+  }
+  return pos;
+}
+
+}  // namespace
+
+Result<double> FootruleDistance(const RankedList& a, const RankedList& b) {
+  if (a.empty() || b.empty()) {
+    return Status::InvalidArgument("footrule needs non-empty lists");
+  }
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument(
+        "full footrule needs lists over the same item set; use "
+        "FootruleTopK for top-k lists");
+  }
+  FAIRJOB_ASSIGN_OR_RETURN(auto pos_a, PositionsOf(a));
+  FAIRJOB_ASSIGN_OR_RETURN(auto pos_b, PositionsOf(b));
+  size_t n = a.size();
+  uint64_t total = 0;
+  for (const auto& [item, pa] : pos_a) {
+    auto it = pos_b.find(item);
+    if (it == pos_b.end()) {
+      return Status::InvalidArgument("lists rank different item sets (item " +
+                                     std::to_string(item) + " missing)");
+    }
+    total += static_cast<uint64_t>(
+        std::llabs(static_cast<long long>(pa) -
+                   static_cast<long long>(it->second)));
+  }
+  if (n == 1) return 0.0;
+  // Maximum of Σ|pos_a - pos_b| over permutations is ⌊n²/2⌋ (full reversal).
+  double max_total = std::floor(static_cast<double>(n) *
+                                static_cast<double>(n) / 2.0);
+  return static_cast<double>(total) / max_total;
+}
+
+Result<double> FootruleTopK(const RankedList& a, const RankedList& b) {
+  if (a.empty() || b.empty()) {
+    return Status::InvalidArgument("footrule needs non-empty lists");
+  }
+  FAIRJOB_ASSIGN_OR_RETURN(auto pos_a, PositionsOf(a));
+  FAIRJOB_ASSIGN_OR_RETURN(auto pos_b, PositionsOf(b));
+  double la = static_cast<double>(a.size()) + 1.0;  // virtual position ℓ_a
+  double lb = static_cast<double>(b.size()) + 1.0;
+
+  double total = 0.0;
+  for (const auto& [item, pa] : pos_a) {
+    auto it = pos_b.find(item);
+    double pb = it == pos_b.end() ? lb : static_cast<double>(it->second);
+    total += std::fabs(static_cast<double>(pa) - pb);
+  }
+  for (const auto& [item, pb] : pos_b) {
+    if (pos_a.count(item) == 0) {
+      total += std::fabs(la - static_cast<double>(pb));
+    }
+  }
+
+  // Normalizer: the disjoint-lists value — every item of `a` is charged
+  // |pos − ℓ_b| and vice versa.
+  double max_total = 0.0;
+  for (size_t r = 1; r <= a.size(); ++r) {
+    max_total += std::fabs(static_cast<double>(r) - lb);
+  }
+  for (size_t r = 1; r <= b.size(); ++r) {
+    max_total += std::fabs(static_cast<double>(r) - la);
+  }
+  if (max_total <= 0.0) return 0.0;
+  double d = total / max_total;
+  return std::min(1.0, std::max(0.0, d));
+}
+
+}  // namespace fairjob

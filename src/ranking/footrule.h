@@ -1,0 +1,29 @@
+#ifndef FAIRJOB_RANKING_FOOTRULE_H_
+#define FAIRJOB_RANKING_FOOTRULE_H_
+
+#include "common/status.h"
+#include "ranking/kendall_tau.h"
+
+namespace fairjob {
+
+// Spearman's footrule: the L1 distance between the two position vectors,
+// F(a, b) = Σ_i |pos_a(i) − pos_b(i)|, normalized to [0, 1] by the maximum
+// ⌊n²/2⌋ attained by reversal. A companion to Kendall-Tau (they are within
+// a factor 2 of each other — Diaconis & Graham); exposed as an extension
+// measure for the framework.
+//
+// Errors: InvalidArgument if the lists are not permutations of the same
+// item set or contain duplicates.
+Result<double> FootruleDistance(const RankedList& a, const RankedList& b);
+
+// The induced top-k footrule F^(ℓ) of Fagin, Kumar & Sivakumar: items
+// absent from a list are charged the virtual position ℓ = (list size + 1).
+// Normalized by the value attained by two fully disjoint lists of these
+// sizes, giving [0, 1].
+//
+// Errors: InvalidArgument on empty lists or duplicates.
+Result<double> FootruleTopK(const RankedList& a, const RankedList& b);
+
+}  // namespace fairjob
+
+#endif  // FAIRJOB_RANKING_FOOTRULE_H_

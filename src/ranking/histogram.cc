@@ -1,0 +1,44 @@
+#include "ranking/histogram.h"
+
+#include <cmath>
+
+namespace fairjob {
+
+Result<Histogram> Histogram::Make(size_t num_bins, double lo, double hi) {
+  if (num_bins < 1) {
+    return Status::InvalidArgument("histogram needs at least one bin");
+  }
+  if (!(lo < hi)) {
+    return Status::InvalidArgument("histogram range must satisfy lo < hi");
+  }
+  return Histogram(num_bins, lo, hi);
+}
+
+Histogram Histogram::Canonical() { return Histogram(10, 0.0, 1.0); }
+
+size_t Histogram::BinOf(double value) const {
+  if (value <= lo_) return 0;
+  if (value >= hi_) return counts_.size() - 1;
+  double frac = (value - lo_) / (hi_ - lo_);
+  size_t bin = static_cast<size_t>(frac * static_cast<double>(counts_.size()));
+  if (bin >= counts_.size()) bin = counts_.size() - 1;
+  return bin;
+}
+
+void Histogram::Add(double value) {
+  counts_[BinOf(value)] += 1.0;
+  total_ += 1.0;
+}
+
+void Histogram::AddAll(const std::vector<double>& values) {
+  for (double v : values) Add(v);
+}
+
+std::vector<double> Histogram::Normalized() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ <= 0.0) return out;
+  for (size_t i = 0; i < counts_.size(); ++i) out[i] = counts_[i] / total_;
+  return out;
+}
+
+}  // namespace fairjob

@@ -1,0 +1,50 @@
+#ifndef FAIRJOB_RANKING_HISTOGRAM_H_
+#define FAIRJOB_RANKING_HISTOGRAM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fairjob {
+
+// Fixed-width histogram over [lo, hi]. Values outside the range are clamped
+// into the boundary bins, matching how the paper bins relevance scores that
+// live in [0, 1]. Used as the input to EMD-based unfairness.
+class Histogram {
+ public:
+  // Creates an empty histogram. Preconditions: num_bins >= 1, lo < hi.
+  static Result<Histogram> Make(size_t num_bins, double lo, double hi);
+
+  // Convenience: 10 bins over [0, 1], the paper's canonical configuration.
+  static Histogram Canonical();
+
+  void Add(double value);
+  void AddAll(const std::vector<double>& values);
+
+  size_t num_bins() const { return counts_.size(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  double count(size_t bin) const { return counts_[bin]; }
+  double total() const { return total_; }
+  bool empty() const { return total_ == 0.0; }
+
+  // Mass distribution summing to 1. Precondition: !empty().
+  std::vector<double> Normalized() const;
+
+  // Index of the bin `value` falls into (after clamping).
+  size_t BinOf(double value) const;
+
+ private:
+  Histogram(size_t num_bins, double lo, double hi)
+      : counts_(num_bins, 0.0), lo_(lo), hi_(hi) {}
+
+  std::vector<double> counts_;
+  double lo_;
+  double hi_;
+  double total_ = 0.0;
+};
+
+}  // namespace fairjob
+
+#endif  // FAIRJOB_RANKING_HISTOGRAM_H_

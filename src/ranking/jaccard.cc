@@ -1,0 +1,58 @@
+#include "ranking/jaccard.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace fairjob {
+namespace {
+
+Result<std::unordered_set<int32_t>> SetOf(const RankedList& list) {
+  std::unordered_set<int32_t> s;
+  s.reserve(list.size());
+  for (int32_t item : list) {
+    if (!s.insert(item).second) {
+      return Status::InvalidArgument("ranked list contains duplicate item id " +
+                                     std::to_string(item));
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+Result<double> JaccardIndex(const RankedList& a, const RankedList& b) {
+  if (a.empty() || b.empty()) {
+    return Status::InvalidArgument("Jaccard needs non-empty lists");
+  }
+  FAIRJOB_ASSIGN_OR_RETURN(auto sa, SetOf(a));
+  FAIRJOB_ASSIGN_OR_RETURN(auto sb, SetOf(b));
+  size_t inter = 0;
+  for (int32_t item : sa) {
+    if (sb.count(item) > 0) ++inter;
+  }
+  size_t uni = sa.size() + sb.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+Result<double> JaccardDistance(const RankedList& a, const RankedList& b) {
+  FAIRJOB_ASSIGN_OR_RETURN(double j, JaccardIndex(a, b));
+  return 1.0 - j;
+}
+
+Result<double> OverlapAtK(const RankedList& a, const RankedList& b, size_t k) {
+  if (k == 0) return Status::InvalidArgument("overlap depth k must be positive");
+  if (a.empty() || b.empty()) {
+    return Status::InvalidArgument("overlap needs non-empty lists");
+  }
+  RankedList ta(a.begin(), a.begin() + static_cast<long>(std::min(k, a.size())));
+  RankedList tb(b.begin(), b.begin() + static_cast<long>(std::min(k, b.size())));
+  FAIRJOB_ASSIGN_OR_RETURN(auto sa, SetOf(ta));
+  FAIRJOB_ASSIGN_OR_RETURN(auto sb, SetOf(tb));
+  size_t inter = 0;
+  for (int32_t item : sa) {
+    if (sb.count(item) > 0) ++inter;
+  }
+  return static_cast<double>(inter) / static_cast<double>(k);
+}
+
+}  // namespace fairjob

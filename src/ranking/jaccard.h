@@ -1,0 +1,25 @@
+#ifndef FAIRJOB_RANKING_JACCARD_H_
+#define FAIRJOB_RANKING_JACCARD_H_
+
+#include "common/status.h"
+#include "ranking/kendall_tau.h"
+
+namespace fairjob {
+
+// Jaccard index |A ∩ B| / |A ∪ B| between the item *sets* of two ranked
+// lists (rank order is ignored). Result in [0, 1]; 1 = same set.
+//
+// Errors: InvalidArgument on empty lists or duplicate items.
+Result<double> JaccardIndex(const RankedList& a, const RankedList& b);
+
+// 1 - JaccardIndex: the set-dissimilarity the framework uses as an
+// unfairness contribution (higher = more divergent results).
+Result<double> JaccardDistance(const RankedList& a, const RankedList& b);
+
+// Overlap at depth k: |top_k(A) ∩ top_k(B)| / k, a common companion measure
+// (exposed as an extension; not used by the paper's tables).
+Result<double> OverlapAtK(const RankedList& a, const RankedList& b, size_t k);
+
+}  // namespace fairjob
+
+#endif  // FAIRJOB_RANKING_JACCARD_H_

@@ -1,0 +1,177 @@
+#include "ranking/kendall_tau.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fairjob {
+namespace {
+
+// Returns a rank lookup (item -> position) or an error on duplicates.
+Result<std::unordered_map<int32_t, size_t>> PositionsOf(const RankedList& list) {
+  std::unordered_map<int32_t, size_t> pos;
+  pos.reserve(list.size());
+  for (size_t i = 0; i < list.size(); ++i) {
+    if (!pos.emplace(list[i], i).second) {
+      return Status::InvalidArgument("ranked list contains duplicate item id " +
+                                     std::to_string(list[i]));
+    }
+  }
+  return pos;
+}
+
+uint64_t MergeCount(std::vector<int32_t>& v, std::vector<int32_t>& scratch,
+                    size_t lo, size_t hi) {
+  if (hi - lo <= 1) return 0;
+  size_t mid = lo + (hi - lo) / 2;
+  uint64_t inv = MergeCount(v, scratch, lo, mid) + MergeCount(v, scratch, mid, hi);
+  size_t i = lo;
+  size_t j = mid;
+  size_t k = lo;
+  while (i < mid && j < hi) {
+    if (v[i] <= v[j]) {
+      scratch[k++] = v[i++];
+    } else {
+      inv += mid - i;
+      scratch[k++] = v[j++];
+    }
+  }
+  while (i < mid) scratch[k++] = v[i++];
+  while (j < hi) scratch[k++] = v[j++];
+  std::copy(scratch.begin() + static_cast<long>(lo),
+            scratch.begin() + static_cast<long>(hi),
+            v.begin() + static_cast<long>(lo));
+  return inv;
+}
+
+}  // namespace
+
+uint64_t CountInversions(std::vector<int32_t> v) {
+  std::vector<int32_t> scratch(v.size());
+  return MergeCount(v, scratch, 0, v.size());
+}
+
+Result<double> KendallTauDistance(const RankedList& a, const RankedList& b) {
+  if (a.empty() || b.empty()) {
+    return Status::InvalidArgument("Kendall-Tau distance needs non-empty lists");
+  }
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument(
+        "full Kendall-Tau needs lists over the same item set; use "
+        "KendallTauTopK for top-k lists");
+  }
+  FAIRJOB_ASSIGN_OR_RETURN(auto pos_a, PositionsOf(a));
+  // Rewrite b in terms of a's positions; discordant pairs become inversions.
+  std::vector<int32_t> mapped;
+  mapped.reserve(b.size());
+  std::unordered_set<int32_t> seen;
+  for (int32_t item : b) {
+    auto it = pos_a.find(item);
+    if (it == pos_a.end()) {
+      return Status::InvalidArgument("lists rank different item sets (item " +
+                                     std::to_string(item) + " missing)");
+    }
+    if (!seen.insert(item).second) {
+      return Status::InvalidArgument("ranked list contains duplicate item id " +
+                                     std::to_string(item));
+    }
+    mapped.push_back(static_cast<int32_t>(it->second));
+  }
+  size_t n = a.size();
+  if (n == 1) return 0.0;
+  uint64_t inv = CountInversions(std::move(mapped));
+  double max_pairs = static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+  return static_cast<double>(inv) / max_pairs;
+}
+
+Result<double> KendallTauCorrelation(const RankedList& a, const RankedList& b) {
+  FAIRJOB_ASSIGN_OR_RETURN(double d, KendallTauDistance(a, b));
+  return 1.0 - 2.0 * d;
+}
+
+Result<double> KendallTauTopK(const RankedList& a, const RankedList& b,
+                              double p) {
+  if (a.empty() || b.empty()) {
+    return Status::InvalidArgument("Kendall-Tau top-k needs non-empty lists");
+  }
+  if (p < 0.0 || p > 1.0) {
+    return Status::InvalidArgument("penalty p must lie in [0, 1]");
+  }
+  FAIRJOB_ASSIGN_OR_RETURN(auto pos_a, PositionsOf(a));
+  FAIRJOB_ASSIGN_OR_RETURN(auto pos_b, PositionsOf(b));
+
+  // Partition the union: Z (both), S (only a), T (only b).
+  size_t z = 0;
+  for (int32_t item : a) {
+    if (pos_b.count(item) > 0) ++z;
+  }
+  size_t only_b = b.size() - z;
+
+  double penalty = 0.0;
+
+  // Case 1 + case 2 contributions, via explicit pair scan over the union.
+  // Sizes are top-k lists (k <= a few hundred), so the quadratic scan is both
+  // simple and fast enough; the O(n log n) path exists for full permutations.
+  std::vector<int32_t> union_items;
+  union_items.reserve(a.size() + only_b);
+  union_items.insert(union_items.end(), a.begin(), a.end());
+  for (int32_t item : b) {
+    if (pos_a.count(item) == 0) union_items.push_back(item);
+  }
+
+  auto rank_or_infinity = [](const std::unordered_map<int32_t, size_t>& pos,
+                             int32_t item, size_t list_size) -> size_t {
+    auto it = pos.find(item);
+    // Items absent from a top-k list are implicitly ranked below everything.
+    return it == pos.end() ? list_size + 1000000 : it->second;
+  };
+
+  for (size_t x = 0; x < union_items.size(); ++x) {
+    for (size_t y = x + 1; y < union_items.size(); ++y) {
+      int32_t i = union_items[x];
+      int32_t j = union_items[y];
+      bool i_in_a = pos_a.count(i) > 0;
+      bool j_in_a = pos_a.count(j) > 0;
+      bool i_in_b = pos_b.count(i) > 0;
+      bool j_in_b = pos_b.count(j) > 0;
+      int lists_with_both = static_cast<int>(i_in_a && j_in_a) +
+                            static_cast<int>(i_in_b && j_in_b);
+      if (lists_with_both == 2) {
+        // Case 1: both lists rank both items.
+        bool agree = (pos_a.at(i) < pos_a.at(j)) == (pos_b.at(i) < pos_b.at(j));
+        if (!agree) penalty += 1.0;
+      } else if ((i_in_a != i_in_b) && (j_in_a != j_in_b) && (i_in_a != j_in_a)) {
+        // Case 3: i appears only in one list, j only in the other.
+        penalty += 1.0;
+      } else if (lists_with_both == 1) {
+        bool both_absent_somewhere = (!i_in_a && !j_in_a) || (!i_in_b && !j_in_b);
+        if (both_absent_somewhere) {
+          // Case 4: both items confined to the same single list.
+          penalty += p;
+        } else {
+          // Case 2: one list ranks both, the other ranks exactly one. The
+          // absent item is implicitly below the present one there.
+          size_t ra_i = rank_or_infinity(pos_a, i, a.size());
+          size_t ra_j = rank_or_infinity(pos_a, j, a.size());
+          size_t rb_i = rank_or_infinity(pos_b, i, b.size());
+          size_t rb_j = rank_or_infinity(pos_b, j, b.size());
+          if ((ra_i < ra_j) != (rb_i < rb_j)) penalty += 1.0;
+        }
+      }
+    }
+  }
+
+  // Normalize by the value attained by two fully disjoint lists of these
+  // sizes, the maximum over list pairs (see header).
+  auto pairs_within = [](size_t n) {
+    return static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+  };
+  double max_penalty =
+      static_cast<double>(a.size()) * static_cast<double>(b.size()) +
+      p * (pairs_within(a.size()) + pairs_within(b.size()));
+  if (max_penalty <= 0.0) return 0.0;  // both lists are single identical item
+  double d = penalty / max_penalty;
+  return std::min(1.0, std::max(0.0, d));
+}
+
+}  // namespace fairjob

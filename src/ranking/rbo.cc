@@ -1,0 +1,55 @@
+#include "ranking/rbo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace fairjob {
+
+Result<double> RboSimilarity(const RankedList& a, const RankedList& b,
+                             double p) {
+  if (a.empty() || b.empty()) {
+    return Status::InvalidArgument("RBO needs non-empty lists");
+  }
+  if (!(p > 0.0) || !(p < 1.0)) {
+    return Status::InvalidArgument("RBO persistence p must lie in (0, 1)");
+  }
+  std::unordered_set<int32_t> seen_a;
+  std::unordered_set<int32_t> seen_b;
+  size_t depth = std::min(a.size(), b.size());
+
+  double weight = 1.0 - p;  // (1 − p)·p^{d−1} at d = 1
+  double sum = 0.0;
+  size_t overlap = 0;
+  double agreement_at_depth = 0.0;
+  for (size_t d = 0; d < depth; ++d) {
+    if (!seen_a.insert(a[d]).second || !seen_b.insert(b[d]).second) {
+      return Status::InvalidArgument("ranked list contains duplicate item id");
+    }
+    // Incremental overlap: a[d] may match an earlier b element and vice
+    // versa; when a[d] == b[d] count it once.
+    if (a[d] == b[d]) {
+      ++overlap;
+    } else {
+      if (seen_b.count(a[d]) > 0) ++overlap;
+      if (seen_a.count(b[d]) > 0) ++overlap;
+    }
+    agreement_at_depth =
+        static_cast<double>(overlap) / static_cast<double>(d + 1);
+    sum += weight * agreement_at_depth;
+    weight *= p;
+  }
+  // Extrapolation (RBO_ext, simplified): assume the agreement observed at
+  // the deepest evaluated depth persists indefinitely. The tail weight is
+  // p^depth.
+  double rbo = sum + std::pow(p, static_cast<double>(depth)) *
+                         agreement_at_depth;
+  return std::clamp(rbo, 0.0, 1.0);
+}
+
+Result<double> RboDistance(const RankedList& a, const RankedList& b, double p) {
+  FAIRJOB_ASSIGN_OR_RETURN(double rbo, RboSimilarity(a, b, p));
+  return 1.0 - rbo;
+}
+
+}  // namespace fairjob

@@ -1,0 +1,29 @@
+#ifndef FAIRJOB_RANKING_RBO_H_
+#define FAIRJOB_RANKING_RBO_H_
+
+#include "common/status.h"
+#include "ranking/kendall_tau.h"
+
+namespace fairjob {
+
+// Rank-biased overlap (Webber, Moffat & Zobel 2010): a top-weighted
+// similarity between indefinite rankings,
+//   RBO(S, T, p) = (1 − p) Σ_{d≥1} p^{d−1} · |S_{:d} ∩ T_{:d}| / d.
+// We compute the extrapolated point estimate RBO_ext for the observed
+// prefixes: the agreement at the deepest evaluated depth is assumed to
+// persist. p controls top-weightedness (p → 0: only rank 1 matters;
+// typical p = 0.9 puts ~86% of the weight on the top 10).
+//
+// Result in [0, 1]; 1 = identical rankings.
+//
+// Errors: InvalidArgument on empty lists, duplicates, or p outside (0, 1).
+Result<double> RboSimilarity(const RankedList& a, const RankedList& b,
+                             double p = 0.9);
+
+// 1 − RBO: the distance form used as an unfairness contribution.
+Result<double> RboDistance(const RankedList& a, const RankedList& b,
+                           double p = 0.9);
+
+}  // namespace fairjob
+
+#endif  // FAIRJOB_RANKING_RBO_H_

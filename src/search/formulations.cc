@@ -1,0 +1,50 @@
+#include "search/formulations.h"
+
+#include <unordered_map>
+
+namespace fairjob {
+namespace {
+
+// Paper-named formulation sets (Tables 6 and 20).
+const std::unordered_map<std::string, std::vector<std::string>>&
+KnownFormulations() {
+  static const auto* kMap =
+      new std::unordered_map<std::string, std::vector<std::string>>{
+          {"general cleaning",
+           {"general cleaning jobs", "office cleaning jobs",
+            "private cleaning jobs", "house cleaning jobs",
+            "home cleaner needed"}},
+          {"run errand",
+           {"run errand jobs", "errand service jobs", "errand runner jobs",
+            "errands and odd jobs", "jobs running errands for seniors"}},
+          {"yard work",
+           {"yard work jobs", "yard worker", "lawn work needed",
+            "yard help needed", "yard work help wanted"}},
+      };
+  return *kMap;
+}
+
+}  // namespace
+
+std::vector<std::string> ExpandFormulations(const std::string& base_query,
+                                            size_t n) {
+  std::vector<std::string> terms;
+  auto it = KnownFormulations().find(base_query);
+  if (it != KnownFormulations().end()) terms = it->second;
+
+  static const char* const kTemplates[] = {
+      "%q jobs", "%q worker", "%q needed", "%q help wanted", "jobs doing %q",
+      "%q positions", "part time %q", "local %q jobs",
+  };
+  for (const char* tmpl : kTemplates) {
+    if (terms.size() >= n) break;
+    std::string term(tmpl);
+    size_t at = term.find("%q");
+    term.replace(at, 2, base_query);
+    terms.push_back(std::move(term));
+  }
+  if (terms.size() > n) terms.resize(n);
+  return terms;
+}
+
+}  // namespace fairjob

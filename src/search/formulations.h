@@ -1,0 +1,19 @@
+#ifndef FAIRJOB_SEARCH_FORMULATIONS_H_
+#define FAIRJOB_SEARCH_FORMULATIONS_H_
+
+#include <string>
+#include <vector>
+
+namespace fairjob {
+
+// Stand-in for the paper's Google-Keyword-Planner step (Table 6): expands a
+// base query into `n` deterministic search-term formulations. Queries the
+// paper names formulations for (e.g. "general cleaning" -> "office cleaning
+// jobs", "private cleaning jobs", ...) use those; other queries fall back to
+// generic templates ("<q> jobs", "<q> worker", ...).
+std::vector<std::string> ExpandFormulations(const std::string& base_query,
+                                            size_t n = 5);
+
+}  // namespace fairjob
+
+#endif  // FAIRJOB_SEARCH_FORMULATIONS_H_

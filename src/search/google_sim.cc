@@ -1,0 +1,132 @@
+#include "search/google_sim.h"
+
+#include "search/formulations.h"
+
+namespace fairjob {
+namespace {
+
+struct JobPlacement {
+  const char* base_query;
+  std::vector<const char*> locations;
+};
+
+// Table 7's locations-per-job assignment over the study's 10 Prolific
+// locations + Washington, DC (referenced by §5.2.2's quantification), plus
+// the "bottom-10 frequently searched" filler jobs that give every city its
+// second query — the paper's study ran 20 queries over 10 locations, i.e.
+// about two jobs per city, of which Table 7 itemizes only the top five.
+const std::vector<JobPlacement>& Placements() {
+  static const auto* kPlacements = new std::vector<JobPlacement>{
+      {"yard work",
+       {"New York City, NY", "Los Angeles, CA", "Detroit, MI",
+        "Washington, DC"}},
+      {"general cleaning", {"Boston, MA", "Bristol, UK", "Manchester, UK"}},
+      {"event staffing", {"Charlotte, NC"}},
+      {"moving job", {"Pittsburgh, PA"}},
+      {"run errand", {"London, UK"}},
+      {"furniture assembly", {"Birmingham, UK"}},
+      // Filler (bottom-10) queries: every city's second job.
+      {"house painting", {"London, UK", "Washington, DC"}},
+      {"dog walking", {"New York City, NY", "Los Angeles, CA"}},
+      {"tutoring", {"Detroit, MI"}},
+      {"pet sitting", {"Boston, MA", "Bristol, UK", "Manchester, UK"}},
+      {"window installation",
+       {"Birmingham, UK", "Charlotte, NC", "Pittsburgh, PA"}},
+  };
+  return *kPlacements;
+}
+
+}  // namespace
+
+AttributeSchema GoogleSchema() {
+  AttributeSchema schema;
+  Result<AttributeId> eth =
+      schema.AddAttribute("ethnicity", {"Asian", "Black", "White"});
+  Result<AttributeId> gender =
+      schema.AddAttribute("gender", {"Male", "Female"});
+  (void)eth;
+  (void)gender;
+  return schema;
+}
+
+std::vector<StudyTask> GoogleStudyTasks(size_t formulations_per_query) {
+  std::vector<StudyTask> tasks;
+  for (const JobPlacement& placement : Placements()) {
+    std::vector<std::string> terms =
+        ExpandFormulations(placement.base_query, formulations_per_query);
+    for (const char* location : placement.locations) {
+      StudyTask task;
+      task.base_query = placement.base_query;
+      task.category = placement.base_query;  // jobs double as categories here
+      task.location = location;
+      task.terms = terms;
+      tasks.push_back(std::move(task));
+    }
+  }
+  return tasks;
+}
+
+Result<GoogleWorld> BuildGoogleStudy(const GoogleStudyConfig& config) {
+  AttributeSchema schema = GoogleSchema();
+  FAIRJOB_ASSIGN_OR_RETURN(AttributeId eth_attr,
+                           schema.FindAttribute("ethnicity"));
+  FAIRJOB_ASSIGN_OR_RETURN(AttributeId gender_attr,
+                           schema.FindAttribute("gender"));
+
+  FAIRJOB_ASSIGN_OR_RETURN(
+      PersonalizationModel model,
+      PersonalizationModel::Make(schema, config.calibration));
+  SimulatedSearchEngine::Config engine_config = config.engine;
+  engine_config.seed ^= config.seed;
+  SimulatedSearchEngine engine(std::move(model), engine_config);
+
+  // 6 demographic cells × users_per_cell screened participants.
+  std::vector<Participant> participants;
+  for (size_t e = 0; e < schema.num_values(eth_attr); ++e) {
+    for (size_t g = 0; g < schema.num_values(gender_attr); ++g) {
+      for (size_t i = 0; i < config.users_per_cell; ++i) {
+        Participant p;
+        p.name = "user_" +
+                 schema.value_name(eth_attr, static_cast<ValueId>(e)) + "_" +
+                 schema.value_name(gender_attr, static_cast<ValueId>(g)) +
+                 "_" + std::to_string(i);
+        Demographics d(schema.num_attributes(), 0);
+        d[static_cast<size_t>(eth_attr)] = static_cast<ValueId>(e);
+        d[static_cast<size_t>(gender_attr)] = static_cast<ValueId>(g);
+        p.demographics = std::move(d);
+        participants.push_back(std::move(p));
+      }
+    }
+  }
+
+  std::vector<StudyTask> tasks =
+      GoogleStudyTasks(config.formulations_per_query);
+
+  VirtualClock clock;
+  StudyRunner runner(&engine, &clock, config.protocol);
+  FAIRJOB_ASSIGN_OR_RETURN(StudyOutcome outcome,
+                           runner.Run(tasks, participants));
+
+  FAIRJOB_ASSIGN_OR_RETURN(
+      SearchAssembly assembly,
+      AssembleSearch(schema, outcome.runs, outcome.user_demographics));
+
+  std::vector<SearchRunRecord> base_runs = outcome.runs;
+  for (SearchRunRecord& run : base_runs) {
+    run.query = outcome.base_query_of_term.at(run.query);
+  }
+  FAIRJOB_ASSIGN_OR_RETURN(
+      SearchAssembly base_assembly,
+      AssembleSearch(schema, base_runs, outcome.user_demographics));
+
+  GoogleWorld world{std::move(assembly.dataset),
+                    std::move(base_assembly.dataset),
+                    std::move(assembly.documents),
+                    std::move(outcome.base_query_of_term),
+                    std::move(outcome.category_of_term), std::move(tasks),
+                    outcome.ab_conflicts_resolved,
+                    outcome.ab_conflicts_unresolved};
+  return world;
+}
+
+}  // namespace fairjob

@@ -1,0 +1,143 @@
+#include "search/personalization.h"
+
+#include <algorithm>
+
+namespace fairjob {
+namespace {
+
+double LookupOr(const std::unordered_map<std::string, double>& map,
+                const std::string& key, double fallback) {
+  auto it = map.find(key);
+  return it == map.end() ? fallback : it->second;
+}
+
+}  // namespace
+
+SearchCalibration SearchCalibration::PaperDefaults() {
+  SearchCalibration c;
+
+  // §5.2.2: White Females most discriminated against, Black Males least.
+  c.gender_intensity = {{"Male", 0.06}, {"Female", 0.32}};
+  c.ethnicity_intensity = {{"White", 0.25}, {"Asian", 0.15}, {"Black", 0.05}};
+
+  // §5.2.2: Washington DC fairest, London UK unfairest. Each study city
+  // hosts two job queries (the paper ran 20 queries over 10 locations), and
+  // these severities are calibrated jointly with the category intensities so
+  // that London tops the per-location averages while yard work tops the
+  // per-query averages.
+  c.location_severity = {
+      {"London, UK", 1.00},        {"Birmingham, UK", 0.90},
+      {"Bristol, UK", 0.85},       {"Manchester, UK", 0.80},
+      {"New York City, NY", 0.50}, {"Detroit, MI", 0.56},
+      {"Charlotte, NC", 0.45},     {"Pittsburgh, PA", 0.40},
+      {"Boston, MA", 0.35},        {"Los Angeles, CA", 0.42},
+      {"Washington, DC", 0.05},
+  };
+
+  // §5.2.2: Yard Work most unfair, Furniture Assembly most fair. The
+  // lower-case names past the first six are the "bottom-10 frequently
+  // searched" filler queries that give every city its second job.
+  c.category_intensity = {
+      {"yard work", 1.00},        {"general cleaning", 0.26},
+      {"moving job", 0.30},       {"run errand", 0.25},
+      {"event staffing", 0.18},   {"furniture assembly", 0.00},
+      {"house painting", 0.51},   {"pet sitting", 0.20},
+      {"window installation", 0.20}, {"dog walking", 0.38},
+      {"tutoring", 0.28},
+  };
+
+  // Table 16: locations where females are treated more fairly than males.
+  c.gender_flip_locations = {
+      "Birmingham, UK", "Bristol, UK", "Detroit, MI", "New York City, NY",
+  };
+
+  // Tables 18/19: for Blacks (and, under Kendall-Tau, Asians) General
+  // Cleaning compares as less fair than Running Errands, inverting the
+  // overall comparison.
+  // Our simulated overall runs slightly the other way around (the paper's
+  // margin is 0.001), so the reversing ethnicities get extra personalization
+  // on run-errand queries rather than on cleaning ones.
+  c.ethnicity_query_adjust = {
+      {"White|run errand", +0.10},
+      {"Black|general cleaning", +0.02},
+  };
+
+  // Tables 20/21: Boston is fairer than Bristol overall, but less fair on
+  // the office/private cleaning formulations.
+  c.location_term_adjust = {
+      {"Boston, MA|office cleaning jobs", +0.18},
+      {"Boston, MA|private cleaning jobs", +0.18},
+      {"Bristol, UK|office cleaning jobs", -0.06},
+      {"Bristol, UK|private cleaning jobs", -0.06},
+  };
+
+  return c;
+}
+
+Result<PersonalizationModel> PersonalizationModel::Make(
+    const AttributeSchema& schema, SearchCalibration calibration) {
+  PersonalizationModel model(std::move(calibration));
+  FAIRJOB_ASSIGN_OR_RETURN(model.gender_attr_, schema.FindAttribute("gender"));
+  FAIRJOB_ASSIGN_OR_RETURN(model.ethnicity_attr_,
+                           schema.FindAttribute("ethnicity"));
+
+  size_t n_gender = schema.num_values(model.gender_attr_);
+  model.gender_by_id_.assign(n_gender, 0.0);
+  for (size_t v = 0; v < n_gender; ++v) {
+    const std::string& name =
+        schema.value_name(model.gender_attr_, static_cast<ValueId>(v));
+    auto it = model.calibration_.gender_intensity.find(name);
+    if (it == model.calibration_.gender_intensity.end()) {
+      return Status::NotFound("calibration has no gender intensity for '" +
+                              name + "'");
+    }
+    model.gender_by_id_[v] = it->second;
+  }
+
+  size_t n_eth = schema.num_values(model.ethnicity_attr_);
+  model.ethnicity_by_id_.assign(n_eth, 0.0);
+  model.ethnicity_names_.resize(n_eth);
+  for (size_t v = 0; v < n_eth; ++v) {
+    const std::string& name =
+        schema.value_name(model.ethnicity_attr_, static_cast<ValueId>(v));
+    auto it = model.calibration_.ethnicity_intensity.find(name);
+    if (it == model.calibration_.ethnicity_intensity.end()) {
+      return Status::NotFound("calibration has no ethnicity intensity for '" +
+                              name + "'");
+    }
+    model.ethnicity_by_id_[v] = it->second;
+    model.ethnicity_names_[v] = name;
+  }
+  return model;
+}
+
+double PersonalizationModel::Intensity(const Demographics& user,
+                                       const std::string& base_query,
+                                       const std::string& category,
+                                       const std::string& term,
+                                       const std::string& location) const {
+  size_t g = static_cast<size_t>(user[static_cast<size_t>(gender_attr_)]);
+  size_t e = static_cast<size_t>(user[static_cast<size_t>(ethnicity_attr_)]);
+
+  double gender = gender_by_id_[g];
+  if (calibration_.gender_flip_locations.count(location) > 0) {
+    double total = 0.0;
+    for (double x : gender_by_id_) total += x;
+    gender = (total - gender) / static_cast<double>(gender_by_id_.size() - 1);
+  }
+  double cell = gender + ethnicity_by_id_[e];
+
+  double cat = LookupOr(calibration_.category_intensity, category,
+                        calibration_.default_category_intensity);
+  double loc = LookupOr(calibration_.location_severity, location,
+                        calibration_.default_location_severity);
+
+  double theta = loc * (0.3 * cell + 0.7 * cat);
+  theta += LookupOr(calibration_.ethnicity_query_adjust,
+                    ethnicity_names_[e] + "|" + base_query, 0.0);
+  theta += LookupOr(calibration_.location_term_adjust, location + "|" + term,
+                    0.0);
+  return std::clamp(theta, 0.0, 1.0);
+}
+
+}  // namespace fairjob

@@ -1,0 +1,67 @@
+#ifndef FAIRJOB_SEARCH_PERSONALIZATION_H_
+#define FAIRJOB_SEARCH_PERSONALIZATION_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "core/attribute_schema.h"
+
+namespace fairjob {
+
+// Bias-injection parameters of the Google-like search simulator: how much a
+// user's personalized results diverge from the canonical list, as a function
+// of demographics, query category, location and targeted interactions.
+// Calibrated to the paper's §5.2.2 quantification and Tables 16–21; see
+// DESIGN.md §6.
+struct SearchCalibration {
+  std::unordered_map<std::string, double> gender_intensity;
+  std::unordered_map<std::string, double> ethnicity_intensity;
+  std::unordered_map<std::string, double> location_severity;   // in [0, 1]
+  std::unordered_map<std::string, double> category_intensity;  // in [0, 1]
+  // Locations where the gender components are swapped (Tables 16/17).
+  std::unordered_set<std::string> gender_flip_locations;
+  // Additive tweaks keyed "<ethnicity>|<base query>" (Tables 18/19).
+  std::unordered_map<std::string, double> ethnicity_query_adjust;
+  // Additive tweaks keyed "<location>|<term>" (Tables 20/21).
+  std::unordered_map<std::string, double> location_term_adjust;
+
+  double default_location_severity = 0.5;
+  double default_category_intensity = 0.5;
+
+  static SearchCalibration PaperDefaults();
+};
+
+// Resolves a SearchCalibration against a schema and computes per-search
+// personalization intensities θ ∈ [0, 1]:
+//   θ = loc_severity · (w_demo · cell + w_cat · category) + interactions.
+class PersonalizationModel {
+ public:
+  // Errors: NotFound when the schema lacks gender/ethnicity or the
+  // calibration misses one of their values.
+  static Result<PersonalizationModel> Make(const AttributeSchema& schema,
+                                           SearchCalibration calibration);
+
+  const SearchCalibration& calibration() const { return calibration_; }
+
+  double Intensity(const Demographics& user, const std::string& base_query,
+                   const std::string& category, const std::string& term,
+                   const std::string& location) const;
+
+ private:
+  explicit PersonalizationModel(SearchCalibration calibration)
+      : calibration_(std::move(calibration)) {}
+
+  SearchCalibration calibration_;
+  AttributeId gender_attr_ = 0;
+  AttributeId ethnicity_attr_ = 0;
+  std::vector<double> gender_by_id_;
+  std::vector<double> ethnicity_by_id_;
+  std::vector<std::string> ethnicity_names_;
+};
+
+}  // namespace fairjob
+
+#endif  // FAIRJOB_SEARCH_PERSONALIZATION_H_

@@ -1,0 +1,147 @@
+#include "search/search_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace fairjob {
+namespace {
+
+uint64_t HashStrings(uint64_t seed, std::initializer_list<const std::string*>
+                                        parts) {
+  uint64_t h = 0xcbf29ce484222325ULL ^ seed;
+  for (const std::string* s : parts) {
+    for (char c : *s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3ULL;
+    }
+    h ^= 0x1f;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void AdjacentSwaps(std::vector<std::string>* list, size_t count, Rng* rng) {
+  if (list->size() < 2) return;
+  for (size_t i = 0; i < count; ++i) {
+    size_t at = rng->NextBelow(static_cast<uint32_t>(list->size() - 1));
+    std::swap((*list)[at], (*list)[at + 1]);
+  }
+}
+
+}  // namespace
+
+SimulatedSearchEngine::SimulatedSearchEngine(PersonalizationModel model,
+                                             Config config)
+    : model_(std::move(model)),
+      config_(config),
+      noise_rng_(config.seed ^ 0x4e015eULL) {}
+
+std::string SimulatedSearchEngine::DocKey(const std::string& base_query,
+                                          const std::string& location,
+                                          size_t index) const {
+  return "job(" + base_query + " @ " + location + ")#" + std::to_string(index);
+}
+
+std::vector<std::string> SimulatedSearchEngine::CanonicalResults(
+    const std::string& base_query, const std::string& term,
+    const std::string& location) const {
+  // A seeded shuffle of the corpus fixes the canonical order per
+  // (base query, location); the formulation adds a small deterministic
+  // variation (the paper chose terms whose results are similar, not equal).
+  std::vector<size_t> order(config_.corpus_per_query);
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  Rng rng(HashStrings(config_.seed, {&base_query, &location}));
+  rng.Shuffle(order);
+
+  size_t k = std::min(config_.result_size, order.size());
+  std::vector<std::string> results;
+  results.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    results.push_back(DocKey(base_query, location, order[i]));
+  }
+  Rng term_rng(HashStrings(config_.seed ^ 0x7e47ULL, {&term}));
+  AdjacentSwaps(&results, 2, &term_rng);
+  return results;
+}
+
+std::vector<std::string> SimulatedSearchEngine::Search(const Request& request,
+                                                       int64_t now_s) {
+  std::vector<std::string> results =
+      CanonicalResults(request.base_query, request.term, request.location);
+  size_t k = results.size();
+  if (k == 0) return results;
+
+  double theta = model_.Intensity(request.demographics, request.base_query,
+                                  request.category, request.term,
+                                  request.location);
+
+  // Profile-driven personalization: stable per (user, base query, location).
+  Rng user_rng(HashStrings(config_.seed ^ 0xbea7ULL,
+                           {&request.user, &request.base_query,
+                            &request.location}));
+  std::unordered_set<std::string> present(results.begin(), results.end());
+  // Substitutions pull in postings beyond the canonical top-k.
+  size_t extra = config_.corpus_per_query > k ? config_.corpus_per_query - k : 0;
+  for (size_t i = 0; i < k && extra > 0; ++i) {
+    if (user_rng.NextBernoulli(theta * config_.substitution_rate)) {
+      for (size_t attempt = 0; attempt < 8; ++attempt) {
+        size_t idx = k + user_rng.NextBelow(static_cast<uint32_t>(extra));
+        std::string doc = DocKey(request.base_query, request.location, idx);
+        if (present.insert(doc).second) {
+          present.erase(results[i]);
+          results[i] = std::move(doc);
+          break;
+        }
+      }
+    }
+  }
+  size_t swaps = static_cast<size_t>(
+      std::lround(theta * static_cast<double>(k) * config_.swap_factor));
+  AdjacentSwaps(&results, swaps, &user_rng);
+
+  // --- noise sources (non-reproducible stream) -----------------------------
+  UserHistory& history = history_[request.user];
+
+  // Carry-over effect: a recent previous search bleeds into this one.
+  if (history.last_search_s >= 0 &&
+      now_s - history.last_search_s <= config_.carry_over_window_s) {
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (!noise_rng_.NextBernoulli(config_.carry_over_rate)) continue;
+      if (history.last_results.empty()) break;
+      const std::string& candidate = history.last_results[noise_rng_.NextBelow(
+          static_cast<uint32_t>(history.last_results.size()))];
+      if (present.count(candidate) == 0) {
+        present.erase(results[i]);
+        present.insert(candidate);
+        results[i] = candidate;
+      }
+    }
+  }
+
+  // A/B testing bucket: occasional extra reordering.
+  if (noise_rng_.NextBernoulli(config_.ab_test_rate)) {
+    AdjacentSwaps(&results, config_.ab_swaps, &noise_rng_);
+  }
+
+  // Geolocation mismatch: results leak in from the origin location.
+  if (!request.proxy_location.empty() &&
+      request.proxy_location != request.location) {
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (!noise_rng_.NextBernoulli(config_.geo_mismatch_rate)) continue;
+      size_t idx = noise_rng_.NextBelow(
+          static_cast<uint32_t>(config_.corpus_per_query));
+      std::string doc = DocKey(request.base_query, request.proxy_location, idx);
+      if (present.insert(doc).second) {
+        present.erase(results[i]);
+        results[i] = std::move(doc);
+      }
+    }
+  }
+
+  history.last_search_s = now_s;
+  history.last_results = results;
+  return results;
+}
+
+}  // namespace fairjob

@@ -1,0 +1,83 @@
+#ifndef FAIRJOB_SEARCH_SEARCH_ENGINE_H_
+#define FAIRJOB_SEARCH_SEARCH_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "search/personalization.h"
+
+namespace fairjob {
+
+// A personalized job-search engine over a synthetic posting corpus. Each
+// (base query, location) pair has a canonical ranked list; a user's results
+// are a profile-stable perturbation of it whose magnitude is the
+// PersonalizationModel intensity θ. The engine also reproduces the noise
+// sources the paper controls for (Hannak et al.): carry-over effect, A/B
+// testing, and geolocation mismatch — so the StudyRunner's protocol
+// (12-minute spacing, repeated runs, fixed proxy) has something to defeat.
+class SimulatedSearchEngine {
+ public:
+  struct Config {
+    uint64_t seed = 7;
+    size_t result_size = 20;      // top-k lists users see
+    size_t corpus_per_query = 60; // postings per (base query, location)
+
+    // Personalization shape.
+    double swap_factor = 1.2;        // adjacent swaps ≈ θ · k · factor
+    double substitution_rate = 0.35; // per-item substitution prob = θ · rate
+
+    // Noise sources (all drawn from a non-reproducible stream).
+    int64_t carry_over_window_s = 600;
+    double carry_over_rate = 0.35;
+    double ab_test_rate = 0.08;
+    size_t ab_swaps = 3;
+    double geo_mismatch_rate = 0.5;
+  };
+
+  struct Request {
+    std::string user;
+    Demographics demographics;
+    std::string base_query;
+    std::string category;
+    std::string term;            // search-term formulation
+    std::string location;        // target location of the query
+    std::string proxy_location;  // where the request appears to originate
+  };
+
+  SimulatedSearchEngine(PersonalizationModel model, Config config);
+
+  // The un-personalized result list for a formulation.
+  std::vector<std::string> CanonicalResults(const std::string& base_query,
+                                            const std::string& term,
+                                            const std::string& location) const;
+
+  // Executes a search at virtual time `now_s`; returns document keys
+  // best-first. Same user + same (base query, location) always get the same
+  // personalized base list; noise sources add on top unless avoided by
+  // protocol.
+  std::vector<std::string> Search(const Request& request, int64_t now_s);
+
+  const Config& config() const { return config_; }
+  const PersonalizationModel& model() const { return model_; }
+
+ private:
+  std::string DocKey(const std::string& base_query,
+                     const std::string& location, size_t index) const;
+
+  PersonalizationModel model_;
+  Config config_;
+  Rng noise_rng_;
+
+  struct UserHistory {
+    int64_t last_search_s = -1;
+    std::vector<std::string> last_results;
+  };
+  std::unordered_map<std::string, UserHistory> history_;
+};
+
+}  // namespace fairjob
+
+#endif  // FAIRJOB_SEARCH_SEARCH_ENGINE_H_

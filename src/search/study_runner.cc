@@ -1,0 +1,94 @@
+#include "search/study_runner.h"
+
+namespace fairjob {
+
+StudyRunner::StudyRunner(SimulatedSearchEngine* engine, VirtualClock* clock,
+                         StudyRunnerConfig config)
+    : engine_(engine), clock_(clock), config_(config) {}
+
+Result<StudyOutcome> StudyRunner::Run(
+    const std::vector<StudyTask>& tasks,
+    const std::vector<Participant>& participants) {
+  if (tasks.empty()) return Status::InvalidArgument("study has no tasks");
+  if (participants.empty()) {
+    return Status::InvalidArgument("study has no participants");
+  }
+  if (config_.repetitions == 0) {
+    return Status::InvalidArgument("repetitions must be positive");
+  }
+  for (const StudyTask& task : tasks) {
+    if (task.terms.empty()) {
+      return Status::InvalidArgument("task '" + task.base_query +
+                                     "' has no search terms");
+    }
+  }
+
+  StudyOutcome outcome;
+  for (const StudyTask& task : tasks) {
+    for (const std::string& term : task.terms) {
+      outcome.base_query_of_term[term] = task.base_query;
+      outcome.category_of_term[term] = task.category;
+    }
+  }
+
+  for (const Participant& participant : participants) {
+    outcome.user_demographics[participant.name] = participant.demographics;
+    for (const StudyTask& task : tasks) {
+      for (const std::string& term : task.terms) {
+        SimulatedSearchEngine::Request request;
+        request.user = participant.name;
+        request.demographics = participant.demographics;
+        request.base_query = task.base_query;
+        request.category = task.category;
+        request.term = term;
+        request.location = task.location;
+        request.proxy_location =
+            config_.fix_proxy_to_target ? task.location : "";
+
+        std::vector<std::vector<std::string>> attempts;
+        for (size_t rep = 0; rep < config_.repetitions; ++rep) {
+          clock_->AdvanceSeconds(config_.spacing_s);
+          attempts.push_back(engine_->Search(request, clock_->NowSeconds()));
+        }
+        // Keep a list observed twice; a disagreement (A/B noise) triggers
+        // one tie-breaking run.
+        std::vector<std::string> final_list = attempts[0];
+        bool agreed = false;
+        for (size_t i = 0; i < attempts.size() && !agreed; ++i) {
+          for (size_t j = i + 1; j < attempts.size(); ++j) {
+            if (attempts[i] == attempts[j]) {
+              final_list = attempts[i];
+              agreed = true;
+              break;
+            }
+          }
+        }
+        if (!agreed) {
+          clock_->AdvanceSeconds(config_.spacing_s);
+          std::vector<std::string> extra =
+              engine_->Search(request, clock_->NowSeconds());
+          bool matched = false;
+          for (const auto& attempt : attempts) {
+            if (attempt == extra) {
+              final_list = extra;
+              matched = true;
+              break;
+            }
+          }
+          if (matched) {
+            ++outcome.ab_conflicts_resolved;
+          } else {
+            ++outcome.ab_conflicts_unresolved;
+          }
+        }
+
+        outcome.runs.push_back(SearchRunRecord{participant.name, term,
+                                               task.location,
+                                               std::move(final_list)});
+      }
+    }
+  }
+  return outcome;
+}
+
+}  // namespace fairjob

@@ -1,0 +1,72 @@
+#ifndef FAIRJOB_SEARCH_STUDY_RUNNER_H_
+#define FAIRJOB_SEARCH_STUDY_RUNNER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/virtual_clock.h"
+#include "crawl/dataset_assembly.h"
+#include "search/search_engine.h"
+
+namespace fairjob {
+
+// One unit of the user study: a base query asked at one location through a
+// set of search-term formulations.
+struct StudyTask {
+  std::string base_query;
+  std::string category;
+  std::string location;
+  std::vector<std::string> terms;
+};
+
+// A recruited participant (Prolific-style), with screened demographics.
+struct Participant {
+  std::string name;
+  Demographics demographics;
+};
+
+// The Chrome-extension protocol of Section 5.1.2, reproduced as code:
+//  * every term runs `repetitions` times, each `spacing_s` apart (the
+//    extension's 12 minutes), defeating the carry-over effect;
+//  * the proxy location is pinned to the query's location, defeating
+//    geolocation noise;
+//  * if the repeated runs disagree (A/B bucket), one extra run decides by
+//    majority; persistent disagreement keeps the first list and counts an
+//    unresolved conflict.
+struct StudyRunnerConfig {
+  size_t repetitions = 2;
+  int64_t spacing_s = 720;  // 12 minutes
+  bool fix_proxy_to_target = true;
+};
+
+struct StudyOutcome {
+  std::vector<SearchRunRecord> runs;  // one per (user, term, location)
+  std::unordered_map<std::string, Demographics> user_demographics;
+  std::unordered_map<std::string, std::string> base_query_of_term;
+  std::unordered_map<std::string, std::string> category_of_term;
+  size_t ab_conflicts_resolved = 0;
+  size_t ab_conflicts_unresolved = 0;
+};
+
+class StudyRunner {
+ public:
+  // `engine` and `clock` are borrowed and must outlive the runner.
+  StudyRunner(SimulatedSearchEngine* engine, VirtualClock* clock,
+              StudyRunnerConfig config);
+
+  // Every participant executes every task. Errors: InvalidArgument on empty
+  // tasks/participants or a task without terms.
+  Result<StudyOutcome> Run(const std::vector<StudyTask>& tasks,
+                           const std::vector<Participant>& participants);
+
+ private:
+  SimulatedSearchEngine* engine_;
+  VirtualClock* clock_;
+  StudyRunnerConfig config_;
+};
+
+}  // namespace fairjob
+
+#endif  // FAIRJOB_SEARCH_STUDY_RUNNER_H_

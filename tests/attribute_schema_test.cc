@@ -1,0 +1,90 @@
+#include "core/attribute_schema.h"
+
+#include <gtest/gtest.h>
+
+namespace fairjob {
+namespace {
+
+AttributeSchema TwoAttributeSchema() {
+  AttributeSchema schema;
+  EXPECT_TRUE(schema.AddAttribute("ethnicity", {"Asian", "Black", "White"}).ok());
+  EXPECT_TRUE(schema.AddAttribute("gender", {"Male", "Female"}).ok());
+  return schema;
+}
+
+TEST(AttributeSchemaTest, AddAssignsDenseIds) {
+  AttributeSchema schema;
+  Result<AttributeId> a = schema.AddAttribute("gender", {"Male", "Female"});
+  Result<AttributeId> b = schema.AddAttribute("ethnicity", {"Asian", "White"});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, 0);
+  EXPECT_EQ(*b, 1);
+  EXPECT_EQ(schema.num_attributes(), 2u);
+}
+
+TEST(AttributeSchemaTest, RejectsEmptyName) {
+  AttributeSchema schema;
+  EXPECT_FALSE(schema.AddAttribute("", {"x"}).ok());
+}
+
+TEST(AttributeSchemaTest, RejectsDuplicateAttribute) {
+  AttributeSchema schema;
+  ASSERT_TRUE(schema.AddAttribute("gender", {"Male", "Female"}).ok());
+  Result<AttributeId> dup = schema.AddAttribute("gender", {"A", "B"});
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(AttributeSchemaTest, RejectsEmptyDomain) {
+  AttributeSchema schema;
+  EXPECT_FALSE(schema.AddAttribute("gender", {}).ok());
+}
+
+TEST(AttributeSchemaTest, RejectsDuplicateValues) {
+  AttributeSchema schema;
+  EXPECT_FALSE(schema.AddAttribute("gender", {"Male", "Male"}).ok());
+}
+
+TEST(AttributeSchemaTest, RejectsEmptyValueName) {
+  AttributeSchema schema;
+  EXPECT_FALSE(schema.AddAttribute("gender", {"Male", ""}).ok());
+}
+
+TEST(AttributeSchemaTest, NameLookups) {
+  AttributeSchema schema = TwoAttributeSchema();
+  EXPECT_EQ(schema.attribute_name(0), "ethnicity");
+  EXPECT_EQ(schema.num_values(0), 3u);
+  EXPECT_EQ(schema.value_name(0, 1), "Black");
+  EXPECT_EQ(schema.value_name(1, 0), "Male");
+}
+
+TEST(AttributeSchemaTest, FindAttribute) {
+  AttributeSchema schema = TwoAttributeSchema();
+  EXPECT_EQ(*schema.FindAttribute("gender"), 1);
+  EXPECT_FALSE(schema.FindAttribute("age").ok());
+}
+
+TEST(AttributeSchemaTest, FindValue) {
+  AttributeSchema schema = TwoAttributeSchema();
+  EXPECT_EQ(*schema.FindValue(0, "White"), 2);
+  EXPECT_FALSE(schema.FindValue(0, "Martian").ok());
+  EXPECT_FALSE(schema.FindValue(7, "White").ok());
+}
+
+TEST(AttributeSchemaTest, ValidatesDemographics) {
+  AttributeSchema schema = TwoAttributeSchema();
+  EXPECT_TRUE(schema.IsValidDemographics({2, 1}));
+  EXPECT_FALSE(schema.IsValidDemographics({2}));       // wrong arity
+  EXPECT_FALSE(schema.IsValidDemographics({3, 0}));    // value out of range
+  EXPECT_FALSE(schema.IsValidDemographics({-1, 0}));   // negative
+  EXPECT_FALSE(schema.IsValidDemographics({0, 0, 0})); // too many
+}
+
+TEST(AttributeSchemaTest, FindValueIsCaseSensitive) {
+  AttributeSchema schema = TwoAttributeSchema();
+  EXPECT_FALSE(schema.FindValue(0, "white").ok());
+}
+
+}  // namespace
+}  // namespace fairjob

@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/virtual_clock.h"
+
+namespace fairjob {
+namespace {
+
+// --- Status / Result ---------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
+        StatusCode::kFailedPrecondition, StatusCode::kIOError,
+        StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+Result<int> Doubled(Result<int> in) {
+  FAIRJOB_ASSIGN_OR_RETURN(int v, std::move(in));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubled(21), 42);
+  Result<int> err = Doubled(Status::Internal("boom"));
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInternal);
+}
+
+// --- Rng ----------------------------------------------------------------------
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU32(), b.NextU32());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU32() == b.NextU32()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(13), 13u);
+  }
+}
+
+TEST(RngTest, NextBelowCoversAllValues) {
+  Rng rng(7);
+  std::set<uint32_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextBelow(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleRangeRespected) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    double d = rng.NextDouble(-2.0, 3.0);
+    EXPECT_GE(d, -2.0);
+    EXPECT_LT(d, 3.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(13);
+  EXPECT_FALSE(rng.NextBernoulli(0.0));
+  EXPECT_TRUE(rng.NextBernoulli(1.0));
+  EXPECT_FALSE(rng.NextBernoulli(-1.0));
+  EXPECT_TRUE(rng.NextBernoulli(2.0));
+}
+
+TEST(RngTest, BernoulliFrequencyTracksP) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(19);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 8000; ++i) ++counts[rng.NextCategorical(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.4);
+}
+
+TEST(RngTest, CategoricalAllZeroReturnsFirst) {
+  Rng rng(23);
+  EXPECT_EQ(rng.NextCategorical({0.0, 0.0}), 0u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(29);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.Fork();
+  // Child stream differs from the parent's continuation.
+  Rng parent_copy(31);
+  parent_copy.Fork();
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (child.NextU32() == parent.NextU32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+// --- string_util ---------------------------------------------------------------
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','),
+            (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(StringUtilTest, SplitSingleToken) {
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StringUtilTest, SplitEmptyString) {
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, JoinRoundTrip) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ", "), "x, y, z");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, TrimWhitespace) {
+  EXPECT_EQ(Trim("  hi \t\n"), "hi");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(StringUtilTest, ToLowerAscii) {
+  EXPECT_EQ(ToLower("AsIan FeMALE"), "asian female");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("yard work jobs", "yard"));
+  EXPECT_FALSE(StartsWith("ya", "yard"));
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(0.4567, 3), "0.457");
+  EXPECT_EQ(FormatDouble(2.0, 1), "2.0");
+}
+
+TEST(StringUtilTest, PadRight) {
+  EXPECT_EQ(PadRight("ab", 5), "ab   ");
+  EXPECT_EQ(PadRight("abcdef", 4), "abcd");
+}
+
+// --- VirtualClock ---------------------------------------------------------------
+
+TEST(VirtualClockTest, StartsAtConfiguredTime) {
+  VirtualClock clock(100);
+  EXPECT_EQ(clock.NowSeconds(), 100);
+}
+
+TEST(VirtualClockTest, AdvanceAccumulates) {
+  VirtualClock clock;
+  clock.AdvanceSeconds(10);
+  clock.AdvanceSeconds(5);
+  EXPECT_EQ(clock.NowSeconds(), 15);
+}
+
+TEST(VirtualClockTest, NeverGoesBackwards) {
+  VirtualClock clock(50);
+  clock.AdvanceSeconds(-20);
+  EXPECT_EQ(clock.NowSeconds(), 50);
+  clock.AdvanceTo(30);
+  EXPECT_EQ(clock.NowSeconds(), 50);
+  clock.AdvanceTo(60);
+  EXPECT_EQ(clock.NowSeconds(), 60);
+}
+
+}  // namespace
+}  // namespace fairjob

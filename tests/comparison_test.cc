@@ -1,0 +1,181 @@
+#include "core/comparison.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace fairjob {
+namespace {
+
+// The paper's Table 4 scenario: males vs females, broken down by location.
+// Overall females are treated less fairly, but the order flips in Oklahoma
+// City and Salt Lake City.
+class Table4ComparisonTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Groups {0=Male, 1=Female}, 1 query, locations {0..3} where 0 and 1 are
+    // "ordinary" cities, 2=Oklahoma City, 3=Salt Lake City.
+    cube_ = std::make_unique<UnfairnessCube>(
+        *UnfairnessCube::Make({0, 1}, {0}, {0, 1, 2, 3}));
+    //                      male  female
+    double male[4] =   {0.30, 0.35, 0.853, 0.933};
+    double female[4] = {0.70, 0.75, 0.732, 0.553};
+    for (size_t l = 0; l < 4; ++l) {
+      cube_->Set(0, 0, l, male[l]);
+      cube_->Set(1, 0, l, female[l]);
+    }
+  }
+
+  std::unique_ptr<UnfairnessCube> cube_;
+};
+
+TEST_F(Table4ComparisonTest, FindsReversedLocations) {
+  ComparisonRequest request;
+  request.compare_dim = Dimension::kGroup;
+  request.r1_pos = 0;  // Male
+  request.r2_pos = 1;  // Female
+  request.breakdown_dim = Dimension::kLocation;
+  Result<ComparisonResult> result = SolveComparison(*cube_, request);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->overall_d1, result->overall_d2);  // females worse overall
+  ASSERT_EQ(result->rows.size(), 4u);
+  ASSERT_EQ(result->reversed.size(), 2u);
+  EXPECT_EQ(result->reversed[0].breakdown_id, 2);
+  EXPECT_EQ(result->reversed[1].breakdown_id, 3);
+  EXPECT_DOUBLE_EQ(result->reversed[0].d1, 0.853);
+  EXPECT_DOUBLE_EQ(result->reversed[0].d2, 0.732);
+}
+
+TEST_F(Table4ComparisonTest, SwappingR1R2GivesSameReversedSet) {
+  ComparisonRequest request;
+  request.compare_dim = Dimension::kGroup;
+  request.r1_pos = 1;
+  request.r2_pos = 0;
+  request.breakdown_dim = Dimension::kLocation;
+  Result<ComparisonResult> result = SolveComparison(*cube_, request);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->reversed.size(), 2u);
+  EXPECT_EQ(result->reversed[0].breakdown_id, 2);
+}
+
+TEST_F(Table4ComparisonTest, BreakdownSubsetRestrictsRows) {
+  ComparisonRequest request;
+  request.compare_dim = Dimension::kGroup;
+  request.r1_pos = 0;
+  request.r2_pos = 1;
+  request.breakdown_dim = Dimension::kLocation;
+  request.breakdown = AxisSelector{{0, 2}};
+  Result<ComparisonResult> result = SolveComparison(*cube_, request);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 2u);
+  ASSERT_EQ(result->reversed.size(), 1u);
+  EXPECT_EQ(result->reversed[0].breakdown_id, 2);
+  // The overall values are computed over the restricted breakdown too.
+  EXPECT_NEAR(result->overall_d1, (0.30 + 0.853) / 2.0, 1e-12);
+}
+
+TEST_F(Table4ComparisonTest, TiedRowCountsAsDifferentWhenOverallIsStrict) {
+  cube_->Set(0, 0, 1, 0.5);
+  cube_->Set(1, 0, 1, 0.5);  // exact tie at location 1
+  ComparisonRequest request;
+  request.compare_dim = Dimension::kGroup;
+  request.r1_pos = 0;
+  request.r2_pos = 1;
+  request.breakdown_dim = Dimension::kLocation;
+  Result<ComparisonResult> result = SolveComparison(*cube_, request);
+  ASSERT_TRUE(result.ok());
+  // Location 1 satisfies d1 >= d2 while overall has d1 < d2: reported.
+  bool found = false;
+  for (const ComparisonRow& row : result->reversed) {
+    if (row.breakdown_id == 1) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(Table4ComparisonTest, ValidatesRequest) {
+  ComparisonRequest request;
+  request.compare_dim = Dimension::kGroup;
+  request.breakdown_dim = Dimension::kGroup;
+  request.r1_pos = 0;
+  request.r2_pos = 1;
+  EXPECT_FALSE(SolveComparison(*cube_, request).ok());  // same dims
+
+  request.breakdown_dim = Dimension::kLocation;
+  request.r2_pos = 0;
+  EXPECT_FALSE(SolveComparison(*cube_, request).ok());  // r1 == r2
+
+  request.r2_pos = 9;
+  EXPECT_FALSE(SolveComparison(*cube_, request).ok());  // out of range
+
+  request.r2_pos = 1;
+  request.breakdown = AxisSelector{{17}};
+  EXPECT_FALSE(SolveComparison(*cube_, request).ok());  // bad breakdown pos
+}
+
+TEST_F(Table4ComparisonTest, UndefinedBreakdownRowsAreSkipped) {
+  cube_->Clear(0, 0, 1);  // male value missing at location 1
+  cube_->Clear(1, 0, 1);
+  ComparisonRequest request;
+  request.compare_dim = Dimension::kGroup;
+  request.r1_pos = 0;
+  request.r2_pos = 1;
+  request.breakdown_dim = Dimension::kLocation;
+  Result<ComparisonResult> result = SolveComparison(*cube_, request);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 3u);
+}
+
+TEST(ComparisonByQueryTest, QueryComparisonWithGroupBreakdown) {
+  // Mirror of Table 13: two queries compared, broken down by groups.
+  UnfairnessCube cube = *UnfairnessCube::Make({0, 1, 2}, {0, 1}, {0});
+  // Query 0 ("lawn mowing") less fair overall, but for group 2 ("White")
+  // the order reverses.
+  double q0[3] = {0.70, 0.68, 0.552};
+  double q1[3] = {0.60, 0.62, 0.569};
+  for (size_t g = 0; g < 3; ++g) {
+    cube.Set(g, 0, 0, q0[g]);
+    cube.Set(g, 1, 0, q1[g]);
+  }
+  ComparisonRequest request;
+  request.compare_dim = Dimension::kQuery;
+  request.r1_pos = 0;
+  request.r2_pos = 1;
+  request.breakdown_dim = Dimension::kGroup;
+  Result<ComparisonResult> result = SolveComparison(cube, request);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->overall_d1, result->overall_d2);
+  ASSERT_EQ(result->reversed.size(), 1u);
+  EXPECT_EQ(result->reversed[0].breakdown_id, 2);
+}
+
+TEST(ComputeAggregateUnfairnessTest, MatchesCubeAverage) {
+  UnfairnessCube cube = *UnfairnessCube::Make({0, 1}, {0, 1}, {0});
+  cube.Set(0, 0, 0, 0.1);
+  cube.Set(0, 1, 0, 0.5);
+  cube.Set(1, 0, 0, 0.9);
+  Result<double> d = ComputeAggregateUnfairness(cube, Dimension::kGroup, 0);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(*d, 0.3);
+
+  // Restricted to query position 1 only (other1 = query axis for groups).
+  Result<double> restricted = ComputeAggregateUnfairness(
+      cube, Dimension::kGroup, 0, AxisSelector::Single(1), {});
+  ASSERT_TRUE(restricted.ok());
+  EXPECT_DOUBLE_EQ(*restricted, 0.5);
+}
+
+TEST(ComputeAggregateUnfairnessTest, UndefinedIsNotFound) {
+  UnfairnessCube cube = *UnfairnessCube::Make({0, 1}, {0}, {0});
+  cube.Set(0, 0, 0, 0.1);
+  Result<double> d = ComputeAggregateUnfairness(cube, Dimension::kGroup, 1);
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ComputeAggregateUnfairnessTest, ValidatesPosition) {
+  UnfairnessCube cube = *UnfairnessCube::Make({0}, {0}, {0});
+  EXPECT_FALSE(ComputeAggregateUnfairness(cube, Dimension::kGroup, 5).ok());
+}
+
+}  // namespace
+}  // namespace fairjob

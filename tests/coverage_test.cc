@@ -1,0 +1,103 @@
+#include "core/coverage.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+namespace fairjob {
+namespace {
+
+AttributeSchema Schema() {
+  AttributeSchema schema;
+  EXPECT_TRUE(schema.AddAttribute("ethnicity", {"Asian", "Black", "White"}).ok());
+  EXPECT_TRUE(schema.AddAttribute("gender", {"Male", "Female"}).ok());
+  return schema;
+}
+
+bool Contains(const std::vector<GroupId>& ids, GroupId id) {
+  return std::find(ids.begin(), ids.end(), id) != ids.end();
+}
+
+TEST(MarketplaceCoverageTest, CountsMembersPerCell) {
+  MarketplaceDataset data(Schema());
+  GroupSpace space = *GroupSpace::Enumerate(data.schema());
+  // 3 White Males, 1 Asian Female; no Black workers at all.
+  ASSERT_TRUE(data.AddWorker("wm1", {2, 0}).ok());
+  ASSERT_TRUE(data.AddWorker("wm2", {2, 0}).ok());
+  ASSERT_TRUE(data.AddWorker("wm3", {2, 0}).ok());
+  ASSERT_TRUE(data.AddWorker("af", {0, 1}).ok());
+  MarketRanking all;
+  all.workers = {0, 1, 2, 3};
+  MarketRanking males_only;
+  males_only.workers = {0, 1, 2};
+  ASSERT_TRUE(data.SetRanking(0, 0, all).ok());
+  ASSERT_TRUE(data.SetRanking(1, 0, males_only).ok());
+  data.queries().GetOrAdd("q0");
+  data.queries().GetOrAdd("q1");
+  data.locations().GetOrAdd("l0");
+
+  CoverageReport report = *AnalyzeMarketplaceCoverage(data, space, 3.0);
+  GroupId white_male = *space.FindByDisplayName("White Male");
+  GroupId asian_female = *space.FindByDisplayName("Asian Female");
+  GroupId black = *space.FindByDisplayName("Black");
+
+  const GroupCoverage& wm = report.groups[static_cast<size_t>(white_male)];
+  EXPECT_EQ(wm.cells_with_members, 2u);
+  EXPECT_EQ(wm.cells_total, 2u);
+  EXPECT_EQ(wm.min_members, 3u);
+  EXPECT_EQ(wm.max_members, 3u);
+  EXPECT_DOUBLE_EQ(wm.mean_members, 3.0);
+  EXPECT_FALSE(Contains(report.low_support, white_male));
+
+  const GroupCoverage& af = report.groups[static_cast<size_t>(asian_female)];
+  EXPECT_EQ(af.cells_with_members, 1u);
+  EXPECT_DOUBLE_EQ(af.mean_members, 1.0);
+  EXPECT_TRUE(Contains(report.low_support, asian_female));
+
+  EXPECT_TRUE(Contains(report.absent, black));
+  EXPECT_EQ(report.groups[static_cast<size_t>(black)].cells_with_members, 0u);
+}
+
+TEST(MarketplaceCoverageTest, EmptyDatasetIsInvalid) {
+  MarketplaceDataset data(Schema());
+  GroupSpace space = *GroupSpace::Enumerate(data.schema());
+  EXPECT_FALSE(AnalyzeMarketplaceCoverage(data, space).ok());
+}
+
+TEST(SearchCoverageTest, CountsObservationsPerCell) {
+  SearchDataset data(Schema());
+  GroupSpace space = *GroupSpace::Enumerate(data.schema());
+  ASSERT_TRUE(data.AddUser("wf1", {2, 1}).ok());
+  ASSERT_TRUE(data.AddUser("wf2", {2, 1}).ok());
+  ASSERT_TRUE(data.AddUser("bm", {1, 0}).ok());
+  data.queries().GetOrAdd("q");
+  data.locations().GetOrAdd("l");
+  ASSERT_TRUE(data.AddObservation(0, 0, {0, {1, 2}}).ok());
+  ASSERT_TRUE(data.AddObservation(0, 0, {1, {1, 3}}).ok());
+  ASSERT_TRUE(data.AddObservation(0, 0, {0, {4, 5}}).ok());  // repeat run
+  ASSERT_TRUE(data.AddObservation(0, 0, {2, {1, 2}}).ok());
+
+  CoverageReport report = *AnalyzeSearchCoverage(data, space, 2.0);
+  GroupId white_female = *space.FindByDisplayName("White Female");
+  GroupId black_male = *space.FindByDisplayName("Black Male");
+  // WF contributed 3 lists (two users, one repeated), BM one.
+  EXPECT_DOUBLE_EQ(
+      report.groups[static_cast<size_t>(white_female)].mean_members, 3.0);
+  EXPECT_DOUBLE_EQ(
+      report.groups[static_cast<size_t>(black_male)].mean_members, 1.0);
+  EXPECT_TRUE(Contains(report.low_support, black_male));
+  EXPECT_FALSE(Contains(report.low_support, white_female));
+  // Asian groups never appear.
+  EXPECT_TRUE(
+      Contains(report.absent, *space.FindByDisplayName("Asian Female")));
+}
+
+TEST(SearchCoverageTest, EmptyDatasetIsInvalid) {
+  SearchDataset data(Schema());
+  GroupSpace space = *GroupSpace::Enumerate(data.schema());
+  EXPECT_FALSE(AnalyzeSearchCoverage(data, space).ok());
+}
+
+}  // namespace
+}  // namespace fairjob

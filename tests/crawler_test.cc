@@ -1,0 +1,280 @@
+#include "crawl/crawler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace fairjob {
+namespace {
+
+// A scripted marketplace: fixed worker lists per (job, city), optional
+// scripted transient failures by request ordinal.
+class FakeSite : public MarketplaceSite {
+ public:
+  std::vector<std::string> Cities() const override { return cities_; }
+
+  std::vector<std::string> JobsIn(const std::string& city) const override {
+    auto it = jobs_.find(city);
+    return it == jobs_.end() ? std::vector<std::string>{} : it->second;
+  }
+
+  Result<ResultPage> FetchPage(const std::string& job, const std::string& city,
+                               size_t page, size_t page_size) override {
+    ++fetch_calls;
+    if (fail_ordinals.count(fetch_calls) > 0) {
+      return Status::IOError("scripted transient failure");
+    }
+    if (permanent_failure_job == job) {
+      return Status::Internal("scripted permanent failure");
+    }
+    auto it = results_.find(city + "|" + job);
+    if (it == results_.end()) return Status::NotFound("no such query");
+    const std::vector<std::string>& all = it->second;
+    ResultPage out;
+    size_t begin = page * page_size;
+    size_t end = std::min(all.size(), begin + page_size);
+    for (size_t i = begin; i < end; ++i) out.worker_names.push_back(all[i]);
+    out.has_more = end < all.size();
+    return out;
+  }
+
+  Result<RawProfile> FetchProfile(const std::string& worker_name) override {
+    ++profile_calls;
+    RawProfile p;
+    p.worker_name = worker_name;
+    p.picture_ref = "pic_" + worker_name;
+    p.hourly_rate = 25.0;
+    p.num_reviews = 10;
+    return p;
+  }
+
+  void AddQuery(const std::string& city, const std::string& job,
+                std::vector<std::string> workers) {
+    if (std::find(cities_.begin(), cities_.end(), city) == cities_.end()) {
+      cities_.push_back(city);
+    }
+    jobs_[city].push_back(job);
+    results_[city + "|" + job] = std::move(workers);
+  }
+
+  size_t fetch_calls = 0;
+  size_t profile_calls = 0;
+  std::set<size_t> fail_ordinals;  // which FetchPage calls fail transiently
+  std::string permanent_failure_job;
+
+ private:
+  std::vector<std::string> cities_;
+  std::map<std::string, std::vector<std::string>> jobs_;
+  std::map<std::string, std::vector<std::string>> results_;
+};
+
+std::vector<std::string> Workers(size_t n, const std::string& prefix = "w") {
+  std::vector<std::string> out;
+  for (size_t i = 0; i < n; ++i) out.push_back(prefix + std::to_string(i));
+  return out;
+}
+
+TEST(CrawlerTest, CrawlsAllPagesInRankOrder) {
+  FakeSite site;
+  site.AddQuery("NYC", "cleaning", Workers(23));
+  VirtualClock clock;
+  CrawlerConfig config;
+  config.page_size = 10;
+  Crawler crawler(&site, &clock, config);
+  Result<CrawlReport> report = crawler.CrawlAll();
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->records.size(), 23u);
+  for (size_t i = 0; i < 23; ++i) {
+    EXPECT_EQ(report->records[i].rank, i + 1);
+    EXPECT_EQ(report->records[i].worker_name, "w" + std::to_string(i));
+    EXPECT_EQ(report->records[i].job, "cleaning");
+    EXPECT_EQ(report->records[i].city, "NYC");
+  }
+}
+
+TEST(CrawlerTest, ResultCapTruncatesAtFifty) {
+  FakeSite site;
+  site.AddQuery("NYC", "cleaning", Workers(80));
+  VirtualClock clock;
+  Crawler crawler(&site, &clock, CrawlerConfig{});
+  Result<CrawlReport> report = crawler.CrawlAll();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->records.size(), 50u);
+  EXPECT_EQ(report->records.back().rank, 50u);
+  // 5 pages of 10 fetched, not 8.
+  EXPECT_EQ(site.fetch_calls, 5u);
+}
+
+TEST(CrawlerTest, RateLimitingAdvancesVirtualClock) {
+  FakeSite site;
+  site.AddQuery("NYC", "cleaning", Workers(30));
+  VirtualClock clock;
+  CrawlerConfig config;
+  config.min_request_interval_s = 7;
+  Crawler crawler(&site, &clock, config);
+  Result<CrawlReport> report = crawler.CrawlAll();
+  ASSERT_TRUE(report.ok());
+  // 3 requests: the 2nd and 3rd each wait 7s.
+  EXPECT_EQ(report->finished_at_s, 14);
+}
+
+TEST(CrawlerTest, TransientFailuresAreRetriedWithBackoff) {
+  FakeSite site;
+  site.AddQuery("NYC", "cleaning", Workers(5));
+  site.fail_ordinals = {1, 2};  // first two attempts fail
+  VirtualClock clock;
+  CrawlerConfig config;
+  config.retry_backoff_s = 3;
+  Crawler crawler(&site, &clock, config);
+  Result<CrawlReport> report = crawler.CrawlAll();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->records.size(), 5u);
+  EXPECT_EQ(report->retries, 2u);
+  EXPECT_EQ(report->failed_queries, 0u);
+  // Backoff 3s then 6s, plus politeness delays.
+  EXPECT_GE(report->finished_at_s, 9);
+}
+
+TEST(CrawlerTest, RetriesExhaustedCountsFailedQuery) {
+  FakeSite site;
+  site.AddQuery("NYC", "cleaning", Workers(5));
+  site.AddQuery("NYC", "moving", Workers(5));
+  // The first query's 1 + max_retries attempts all fail; the second query's
+  // first attempt (ordinal 4) succeeds.
+  site.fail_ordinals = {1, 2, 3};
+  VirtualClock clock;
+  CrawlerConfig config;
+  config.max_retries = 2;
+  Crawler crawler(&site, &clock, config);
+  Result<CrawlReport> report = crawler.CrawlAll();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->failed_queries, 1u);
+  // The crawl as a whole continues past a failed query.
+  ASSERT_EQ(report->records.size(), 5u);
+  EXPECT_EQ(report->records[0].job, "moving");
+}
+
+TEST(CrawlerTest, PermanentFailureNotRetried) {
+  FakeSite site;
+  site.AddQuery("NYC", "cleaning", Workers(5));
+  site.permanent_failure_job = "cleaning";
+  VirtualClock clock;
+  Crawler crawler(&site, &clock, CrawlerConfig{});
+  CrawlReport report;
+  Status s = crawler.CrawlQuery("cleaning", "NYC", &report);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(report.retries, 0u);
+  EXPECT_EQ(site.fetch_calls, 1u);
+}
+
+TEST(CrawlerTest, SelectiveRecrawlOnlyTouchesRequestedQueries) {
+  FakeSite site;
+  site.AddQuery("NYC", "cleaning", Workers(3, "a"));
+  site.AddQuery("NYC", "moving", Workers(2, "b"));
+  site.AddQuery("Chicago", "cleaning", Workers(4, "c"));
+  VirtualClock clock;
+  Crawler crawler(&site, &clock, CrawlerConfig{});
+  Result<CrawlReport> report =
+      crawler.CrawlQueries({{"cleaning", "NYC"}, {"cleaning", "Chicago"}});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->records.size(), 7u);  // 3 + 4; "moving" untouched
+  for (const CrawlRecord& record : report->records) {
+    EXPECT_EQ(record.job, "cleaning");
+  }
+  // Unknown queries count as failures but do not abort.
+  Result<CrawlReport> partial =
+      crawler.CrawlQueries({{"gardening", "NYC"}, {"moving", "NYC"}});
+  ASSERT_TRUE(partial.ok());
+  EXPECT_EQ(partial->failed_queries, 1u);
+  EXPECT_EQ(partial->records.size(), 2u);
+}
+
+TEST(CrawlerTest, MultipleCitiesAndJobs) {
+  FakeSite site;
+  site.AddQuery("NYC", "cleaning", Workers(3, "a"));
+  site.AddQuery("NYC", "moving", Workers(2, "b"));
+  site.AddQuery("Chicago", "cleaning", Workers(4, "c"));
+  VirtualClock clock;
+  Crawler crawler(&site, &clock, CrawlerConfig{});
+  Result<CrawlReport> report = crawler.CrawlAll();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->records.size(), 9u);
+}
+
+TEST(CrawlerTest, CollectProfilesDeduplicates) {
+  FakeSite site;
+  site.AddQuery("NYC", "cleaning", {"w0", "w1"});
+  site.AddQuery("NYC", "moving", {"w1", "w2"});
+  VirtualClock clock;
+  Crawler crawler(&site, &clock, CrawlerConfig{});
+  Result<CrawlReport> report = crawler.CrawlAll();
+  ASSERT_TRUE(report.ok());
+  ProfileStore store;
+  ASSERT_TRUE(crawler.CollectProfiles(report->records, &store, nullptr).ok());
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(site.profile_calls, 3u);  // w1 fetched once
+  EXPECT_TRUE(store.Contains("w2"));
+}
+
+TEST(CrawlRecordsCsvTest, RoundTrip) {
+  std::vector<CrawlRecord> records = {
+      {"cleaning", "NYC", 1, "w0"},
+      {"yard, work", "Chicago, IL", 2, "w\"1\""},
+  };
+  Result<std::vector<CrawlRecord>> parsed =
+      CrawlRecordsFromCsvRows(CrawlRecordsToCsvRows(records));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[1].job, "yard, work");
+  EXPECT_EQ((*parsed)[1].rank, 2u);
+  EXPECT_EQ((*parsed)[1].worker_name, "w\"1\"");
+}
+
+TEST(CrawlRecordsCsvTest, RejectsMalformedRows) {
+  EXPECT_FALSE(CrawlRecordsFromCsvRows({}).ok());
+  EXPECT_FALSE(CrawlRecordsFromCsvRows({{"bad", "header"}}).ok());
+  EXPECT_FALSE(
+      CrawlRecordsFromCsvRows({{"job", "city", "rank", "worker"},
+                               {"j", "c", "zero", "w"}})
+          .ok());
+  EXPECT_FALSE(
+      CrawlRecordsFromCsvRows({{"job", "city", "rank", "worker"},
+                               {"j", "c", "-3", "w"}})
+          .ok());
+}
+
+TEST(ProfileStoreTest, UpsertAndGet) {
+  ProfileStore store;
+  ASSERT_TRUE(store.Upsert({"w0", "pic0", 30.0, 5, "elite"}).ok());
+  ASSERT_TRUE(store.Upsert({"w0", "pic0b", 31.0, 6, ""}).ok());  // refresh
+  EXPECT_EQ(store.size(), 1u);
+  Result<RawProfile> p = store.Get("w0");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->picture_ref, "pic0b");
+  EXPECT_FALSE(store.Get("nope").ok());
+  EXPECT_FALSE(store.Upsert({"", "", 0, 0, ""}).ok());
+}
+
+TEST(ProfileStoreTest, CsvRoundTrip) {
+  ProfileStore store;
+  ASSERT_TRUE(store.Upsert({"w0", "pic0", 30.25, 5, "elite;fast"}).ok());
+  ASSERT_TRUE(store.Upsert({"w,1", "pic1", 18.0, 0, ""}).ok());
+  Result<ProfileStore> restored = ProfileStore::FromCsvRows(store.ToCsvRows());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->size(), 2u);
+  EXPECT_DOUBLE_EQ(restored->Get("w0")->hourly_rate, 30.25);
+  EXPECT_EQ(restored->Get("w,1")->picture_ref, "pic1");
+}
+
+TEST(ProfileStoreTest, FromCsvRejectsMalformed) {
+  EXPECT_FALSE(ProfileStore::FromCsvRows({}).ok());
+  EXPECT_FALSE(ProfileStore::FromCsvRows({{"worker", "picture", "hourly_rate",
+                                           "num_reviews", "badges"},
+                                          {"w", "p", "abc", "1", ""}})
+                   .ok());
+}
+
+}  // namespace
+}  // namespace fairjob

@@ -1,0 +1,131 @@
+#include "crawl/cube_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "crawl/csv.h"
+
+namespace fairjob {
+namespace {
+
+UnfairnessCube SampleCube() {
+  UnfairnessCube cube = *UnfairnessCube::Make({10, 11}, {20, 21, 22}, {30});
+  cube.Set(0, 0, 0, 0.123456789012345);
+  cube.Set(0, 2, 0, 0.5);
+  cube.Set(1, 1, 0, 1.0 / 3.0);
+  // (0,1,0), (1,0,0), (1,2,0) left missing.
+  return cube;
+}
+
+std::string TestNamer(Dimension d, int32_t id, const void*) {
+  return std::string(DimensionName(d)) + "#" + std::to_string(id);
+}
+
+TEST(CubeIoTest, RowsRoundTripValuesAndHoles) {
+  UnfairnessCube cube = SampleCube();
+  Result<UnfairnessCube> restored = CubeFromCsvRows(CubeToCsvRows(cube));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->axis_size(Dimension::kGroup), 2u);
+  EXPECT_EQ(restored->axis_size(Dimension::kQuery), 3u);
+  EXPECT_EQ(restored->axis_size(Dimension::kLocation), 1u);
+  EXPECT_EQ(restored->axis_id(Dimension::kQuery, 2), 22);
+  EXPECT_EQ(restored->num_present(), 3u);
+  EXPECT_NEAR(*restored->Get(0, 0, 0), 0.123456789012345, 1e-15);
+  EXPECT_NEAR(*restored->Get(1, 1, 0), 1.0 / 3.0, 1e-15);
+  EXPECT_FALSE(restored->Get(0, 1, 0).has_value());
+}
+
+TEST(CubeIoTest, NamesRoundTrip) {
+  UnfairnessCube cube = SampleCube();
+  auto rows = CubeToCsvRows(cube, &TestNamer, nullptr);
+  Result<CubeNames> names = CubeNamesFromCsvRows(rows);
+  ASSERT_TRUE(names.ok());
+  ASSERT_EQ(names->groups.size(), 2u);
+  EXPECT_EQ(names->groups[1], "group#11");
+  EXPECT_EQ(names->queries[0], "query#20");
+  EXPECT_EQ(names->locations[0], "location#30");
+}
+
+TEST(CubeIoTest, NamesDefaultToEmpty) {
+  auto rows = CubeToCsvRows(SampleCube());
+  CubeNames names = *CubeNamesFromCsvRows(rows);
+  EXPECT_EQ(names.groups[0], "");
+}
+
+TEST(CubeIoTest, SurvivesCsvTextSerialization) {
+  UnfairnessCube cube = SampleCube();
+  std::string text = WriteCsv(CubeToCsvRows(cube, &TestNamer, nullptr));
+  Result<UnfairnessCube> restored = CubeFromCsvRows(*ParseCsv(text));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->num_present(), 3u);
+}
+
+TEST(CubeIoTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/fairjob_cube_test.csv";
+  UnfairnessCube cube = SampleCube();
+  ASSERT_TRUE(SaveCube(path, cube).ok());
+  Result<UnfairnessCube> restored = LoadCube(path);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->num_present(), cube.num_present());
+  std::remove(path.c_str());
+}
+
+TEST(CubeIoTest, RejectsMalformedRows) {
+  EXPECT_FALSE(CubeFromCsvRows({{"axis", "group", "1"}}).ok());  // 3 fields
+  EXPECT_FALSE(CubeFromCsvRows({{"axis", "planet", "1", ""}}).ok());
+  EXPECT_FALSE(CubeFromCsvRows({{"blob", "x"}}).ok());
+  EXPECT_FALSE(
+      CubeFromCsvRows({{"axis", "group", "abc", ""}}).ok());  // bad id
+}
+
+TEST(CubeIoTest, RejectsCellsOutOfRange) {
+  auto rows = CubeToCsvRows(SampleCube());
+  rows.push_back({"cell", "9", "0", "0", "0.5"});
+  EXPECT_FALSE(CubeFromCsvRows(rows).ok());
+}
+
+TEST(CubeIoTest, RejectsBadCellValue) {
+  auto rows = CubeToCsvRows(SampleCube());
+  rows.push_back({"cell", "0", "0", "0", "zero point five"});
+  EXPECT_FALSE(CubeFromCsvRows(rows).ok());
+}
+
+TEST(CubeIoTest, RejectsDuplicateAxisIds) {
+  std::vector<std::vector<std::string>> rows = {
+      {"axis", "group", "1", ""}, {"axis", "group", "1", ""},
+      {"axis", "query", "1", ""}, {"axis", "location", "1", ""},
+  };
+  EXPECT_FALSE(CubeFromCsvRows(rows).ok());
+}
+
+TEST(CubeIoTest, LargeRandomCubeRoundTrips) {
+  UnfairnessCube cube = *UnfairnessCube::Make(
+      {0, 1, 2, 3, 4}, {0, 1, 2, 3, 4, 5, 6}, {0, 1, 2});
+  Rng rng(99);
+  for (size_t g = 0; g < 5; ++g) {
+    for (size_t q = 0; q < 7; ++q) {
+      for (size_t l = 0; l < 3; ++l) {
+        if (rng.NextBernoulli(0.6)) cube.Set(g, q, l, rng.NextDouble());
+      }
+    }
+  }
+  UnfairnessCube restored = *CubeFromCsvRows(CubeToCsvRows(cube));
+  ASSERT_EQ(restored.num_present(), cube.num_present());
+  for (size_t g = 0; g < 5; ++g) {
+    for (size_t q = 0; q < 7; ++q) {
+      for (size_t l = 0; l < 3; ++l) {
+        std::optional<double> a = cube.Get(g, q, l);
+        std::optional<double> b = restored.Get(g, q, l);
+        ASSERT_EQ(a.has_value(), b.has_value());
+        if (a.has_value()) {
+          EXPECT_NEAR(*a, *b, 1e-15);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fairjob

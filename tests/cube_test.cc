@@ -1,0 +1,431 @@
+#include "core/unfairness_cube.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+
+namespace fairjob {
+namespace {
+
+TEST(CubeTest, MakeValidatesAxes) {
+  EXPECT_FALSE(UnfairnessCube::Make({}, {0}, {0}).ok());
+  EXPECT_FALSE(UnfairnessCube::Make({0}, {}, {0}).ok());
+  EXPECT_FALSE(UnfairnessCube::Make({0}, {0}, {}).ok());
+  EXPECT_FALSE(UnfairnessCube::Make({0, 0}, {0}, {1}).ok());
+  EXPECT_TRUE(UnfairnessCube::Make({0, 1}, {5, 6}, {9}).ok());
+}
+
+TEST(CubeTest, CellsStartMissing) {
+  UnfairnessCube cube = *UnfairnessCube::Make({0, 1}, {0}, {0, 1});
+  EXPECT_EQ(cube.num_cells(), 4u);
+  EXPECT_EQ(cube.num_present(), 0u);
+  EXPECT_FALSE(cube.Get(0, 0, 0).has_value());
+}
+
+TEST(CubeTest, SetGetClear) {
+  UnfairnessCube cube = *UnfairnessCube::Make({0, 1}, {0}, {0, 1});
+  cube.Set(1, 0, 1, 0.75);
+  ASSERT_TRUE(cube.Get(1, 0, 1).has_value());
+  EXPECT_DOUBLE_EQ(*cube.Get(1, 0, 1), 0.75);
+  EXPECT_EQ(cube.num_present(), 1u);
+  cube.Clear(1, 0, 1);
+  EXPECT_FALSE(cube.Get(1, 0, 1).has_value());
+}
+
+TEST(CubeTest, AxisMetadata) {
+  UnfairnessCube cube = *UnfairnessCube::Make({3, 7}, {10}, {20, 21, 22});
+  EXPECT_EQ(cube.axis_size(Dimension::kGroup), 2u);
+  EXPECT_EQ(cube.axis_size(Dimension::kQuery), 1u);
+  EXPECT_EQ(cube.axis_size(Dimension::kLocation), 3u);
+  EXPECT_EQ(cube.axis_id(Dimension::kGroup, 1), 7);
+  EXPECT_EQ(*cube.PosOf(Dimension::kLocation, 21), 1u);
+  EXPECT_FALSE(cube.PosOf(Dimension::kLocation, 99).ok());
+}
+
+TEST(CubeTest, AverageOverAllAxes) {
+  UnfairnessCube cube = *UnfairnessCube::Make({0, 1}, {0, 1}, {0});
+  cube.Set(0, 0, 0, 0.2);
+  cube.Set(0, 1, 0, 0.4);
+  cube.Set(1, 0, 0, 0.6);
+  // (1,1,0) missing: averages skip it.
+  std::optional<double> avg =
+      cube.Average(AxisSelector::All(), AxisSelector::All(), AxisSelector::All());
+  ASSERT_TRUE(avg.has_value());
+  EXPECT_NEAR(*avg, (0.2 + 0.4 + 0.6) / 3.0, 1e-12);
+}
+
+TEST(CubeTest, AverageWithSelectors) {
+  UnfairnessCube cube = *UnfairnessCube::Make({0, 1}, {0, 1}, {0, 1});
+  for (size_t g = 0; g < 2; ++g) {
+    for (size_t q = 0; q < 2; ++q) {
+      for (size_t l = 0; l < 2; ++l) {
+        cube.Set(g, q, l, static_cast<double>(g * 4 + q * 2 + l));
+      }
+    }
+  }
+  std::optional<double> avg = cube.Average(
+      AxisSelector::Single(1), AxisSelector{{0, 1}}, AxisSelector::Single(0));
+  ASSERT_TRUE(avg.has_value());
+  EXPECT_DOUBLE_EQ(*avg, (4.0 + 6.0) / 2.0);  // cells (1,0,0) and (1,1,0)
+}
+
+TEST(CubeTest, AverageOfEmptySelectionIsNullopt) {
+  UnfairnessCube cube = *UnfairnessCube::Make({0}, {0}, {0});
+  EXPECT_FALSE(cube.AxisAverage(Dimension::kGroup, 0).has_value());
+}
+
+TEST(CubeTest, AxisAverageMatchesManualAverage) {
+  UnfairnessCube cube = *UnfairnessCube::Make({0, 1}, {0, 1}, {0});
+  cube.Set(0, 0, 0, 0.1);
+  cube.Set(0, 1, 0, 0.3);
+  cube.Set(1, 0, 0, 0.9);
+  EXPECT_DOUBLE_EQ(*cube.AxisAverage(Dimension::kGroup, 0), 0.2);
+  EXPECT_DOUBLE_EQ(*cube.AxisAverage(Dimension::kGroup, 1), 0.9);
+  EXPECT_DOUBLE_EQ(*cube.AxisAverage(Dimension::kQuery, 1), 0.3);
+  EXPECT_DOUBLE_EQ(*cube.AxisAverage(Dimension::kLocation, 0),
+                   (0.1 + 0.3 + 0.9) / 3.0);
+}
+
+TEST(CubeTest, DimensionNames) {
+  EXPECT_STREQ(DimensionName(Dimension::kGroup), "group");
+  EXPECT_STREQ(DimensionName(Dimension::kQuery), "query");
+  EXPECT_STREQ(DimensionName(Dimension::kLocation), "location");
+}
+
+// --- builders -----------------------------------------------------------------
+
+class CubeBuilderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    AttributeSchema schema;
+    ASSERT_TRUE(schema.AddAttribute("gender", {"Male", "Female"}).ok());
+    data_ = std::make_unique<MarketplaceDataset>(schema);
+    space_ = std::make_unique<GroupSpace>(
+        *GroupSpace::Enumerate(data_->schema()));
+    // Four workers, two queries at one location; one query missing.
+    ASSERT_TRUE(data_->AddWorker("m1", {0}).ok());
+    ASSERT_TRUE(data_->AddWorker("m2", {0}).ok());
+    ASSERT_TRUE(data_->AddWorker("f1", {1}).ok());
+    ASSERT_TRUE(data_->AddWorker("f2", {1}).ok());
+    QueryId q0 = data_->queries().GetOrAdd("cleaning");
+    data_->queries().GetOrAdd("moving");  // no observation for this query
+    LocationId l0 = data_->locations().GetOrAdd("NYC");
+    MarketRanking r;
+    r.workers = {0, 1, 2, 3};  // males on top
+    ASSERT_TRUE(data_->SetRanking(q0, l0, std::move(r)).ok());
+  }
+
+  std::unique_ptr<MarketplaceDataset> data_;
+  std::unique_ptr<GroupSpace> space_;
+};
+
+TEST_F(CubeBuilderTest, MarketplaceCubeShapeAndMissingCells) {
+  Result<UnfairnessCube> cube =
+      BuildMarketplaceCube(*data_, *space_, MarketMeasure::kEmd);
+  ASSERT_TRUE(cube.ok());
+  EXPECT_EQ(cube->axis_size(Dimension::kGroup), 2u);
+  EXPECT_EQ(cube->axis_size(Dimension::kQuery), 2u);
+  EXPECT_EQ(cube->axis_size(Dimension::kLocation), 1u);
+  // Observed query: both groups defined. Unobserved query: both missing.
+  EXPECT_TRUE(cube->Get(0, 0, 0).has_value());
+  EXPECT_TRUE(cube->Get(1, 0, 0).has_value());
+  EXPECT_FALSE(cube->Get(0, 1, 0).has_value());
+  EXPECT_EQ(cube->num_present(), 2u);
+}
+
+TEST_F(CubeBuilderTest, SingleAttributeSchemaGroupsAreSymmetric) {
+  UnfairnessCube cube =
+      *BuildMarketplaceCube(*data_, *space_, MarketMeasure::kEmd);
+  // Male vs Female EMD is symmetric: both groups see the same distance.
+  EXPECT_NEAR(*cube.Get(0, 0, 0), *cube.Get(1, 0, 0), 1e-12);
+  EXPECT_GT(*cube.Get(0, 0, 0), 0.0);
+}
+
+TEST_F(CubeBuilderTest, RestrictedAxesHonoured) {
+  CubeAxes axes;
+  axes.groups = {*space_->FindByDisplayName("Female")};
+  Result<UnfairnessCube> cube =
+      BuildMarketplaceCube(*data_, *space_, MarketMeasure::kExposure, {}, axes);
+  ASSERT_TRUE(cube.ok());
+  EXPECT_EQ(cube->axis_size(Dimension::kGroup), 1u);
+  EXPECT_EQ(cube->axis_id(Dimension::kGroup, 0), axes.groups[0]);
+}
+
+TEST_F(CubeBuilderTest, InvalidOptionsPropagate) {
+  MeasureOptions options;
+  options.histogram_bins = 0;
+  Result<UnfairnessCube> cube =
+      BuildMarketplaceCube(*data_, *space_, MarketMeasure::kEmd, options);
+  EXPECT_FALSE(cube.ok());
+}
+
+TEST(SearchCubeBuilderTest, BuildsFromObservations) {
+  AttributeSchema schema;
+  ASSERT_TRUE(schema.AddAttribute("gender", {"Male", "Female"}).ok());
+  SearchDataset data(schema);
+  GroupSpace space = *GroupSpace::Enumerate(data.schema());
+  ASSERT_TRUE(data.AddUser("m", {0}).ok());
+  ASSERT_TRUE(data.AddUser("f", {1}).ok());
+  QueryId q = data.queries().GetOrAdd("cleaning jobs");
+  LocationId l = data.locations().GetOrAdd("Boston, MA");
+  ASSERT_TRUE(data.AddObservation(q, l, {0, {1, 2, 3}}).ok());
+  ASSERT_TRUE(data.AddObservation(q, l, {1, {1, 2, 4}}).ok());
+
+  Result<UnfairnessCube> cube =
+      BuildSearchCube(data, space, SearchMeasure::kJaccard);
+  ASSERT_TRUE(cube.ok());
+  ASSERT_TRUE(cube->Get(0, 0, 0).has_value());
+  // Jaccard distance between {1,2,3} and {1,2,4} = 1 - 2/4.
+  EXPECT_DOUBLE_EQ(*cube->Get(0, 0, 0), 0.5);
+}
+
+TEST(SearchCubeBuilderTest, FastPathMatchesPerTripleMeasure) {
+  AttributeSchema schema;
+  ASSERT_TRUE(schema.AddAttribute("ethnicity", {"Asian", "Black", "White"}).ok());
+  ASSERT_TRUE(schema.AddAttribute("gender", {"Male", "Female"}).ok());
+  SearchDataset data(schema);
+  GroupSpace space = *GroupSpace::Enumerate(data.schema());
+  Rng rng(77);
+  for (int u = 0; u < 10; ++u) {
+    Demographics d = {static_cast<ValueId>(rng.NextBelow(3)),
+                      static_cast<ValueId>(rng.NextBelow(2))};
+    ASSERT_TRUE(data.AddUser("u" + std::to_string(u), d).ok());
+  }
+  for (QueryId q = 0; q < 2; ++q) {
+    for (LocationId l = 0; l < 2; ++l) {
+      if (q == 1 && l == 1) continue;  // leave a hole
+      for (UserId u = 0; u < 10; ++u) {
+        if (rng.NextBernoulli(0.3)) continue;  // not every user everywhere
+        RankedList results;
+        std::vector<int32_t> pool = {0, 1, 2, 3, 4, 5, 6, 7};
+        rng.Shuffle(pool);
+        results.assign(pool.begin(), pool.begin() + 5);
+        ASSERT_TRUE(data.AddObservation(q, l, {u, results}).ok());
+      }
+    }
+  }
+  data.queries().GetOrAdd("q0");
+  data.queries().GetOrAdd("q1");
+  data.locations().GetOrAdd("l0");
+  data.locations().GetOrAdd("l1");
+
+  for (SearchMeasure measure :
+       {SearchMeasure::kKendallTau, SearchMeasure::kJaccard}) {
+    UnfairnessCube cube = *BuildSearchCube(data, space, measure);
+    for (size_t g = 0; g < cube.axis_size(Dimension::kGroup); ++g) {
+      for (size_t q = 0; q < 2; ++q) {
+        for (size_t l = 0; l < 2; ++l) {
+          Result<double> reference =
+              SearchUnfairness(data, space, static_cast<GroupId>(g),
+                               static_cast<QueryId>(q),
+                               static_cast<LocationId>(l), measure);
+          std::optional<double> cell = cube.Get(g, q, l);
+          if (reference.ok()) {
+            ASSERT_TRUE(cell.has_value()) << g << " " << q << " " << l;
+            EXPECT_NEAR(*cell, *reference, 1e-12);
+          } else {
+            EXPECT_FALSE(cell.has_value());
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelBuildTest, ParallelMatchesSerialForBothBuilders) {
+  AttributeSchema schema;
+  ASSERT_TRUE(schema.AddAttribute("ethnicity", {"Asian", "Black", "White"}).ok());
+  ASSERT_TRUE(schema.AddAttribute("gender", {"Male", "Female"}).ok());
+
+  // Marketplace: random rankings over 12 workers, 5 queries × 3 locations.
+  MarketplaceDataset market(schema);
+  GroupSpace space = *GroupSpace::Enumerate(market.schema());
+  Rng rng(404);
+  std::vector<WorkerId> workers;
+  for (int i = 0; i < 12; ++i) {
+    Demographics d = {static_cast<ValueId>(rng.NextBelow(3)),
+                      static_cast<ValueId>(rng.NextBelow(2))};
+    workers.push_back(*market.AddWorker("w" + std::to_string(i), d));
+  }
+  for (QueryId q = 0; q < 5; ++q) {
+    market.queries().GetOrAdd("q" + std::to_string(q));
+    for (LocationId l = 0; l < 3; ++l) {
+      market.locations().GetOrAdd("l" + std::to_string(l));
+      MarketRanking r;
+      r.workers = workers;
+      rng.Shuffle(r.workers);
+      ASSERT_TRUE(market.SetRanking(q, l, std::move(r)).ok());
+    }
+  }
+  for (MarketMeasure measure :
+       {MarketMeasure::kEmd, MarketMeasure::kExposure}) {
+    UnfairnessCube serial =
+        *BuildMarketplaceCube(market, space, measure, {}, {}, 1);
+    UnfairnessCube parallel =
+        *BuildMarketplaceCube(market, space, measure, {}, {}, 4);
+    ASSERT_EQ(serial.num_present(), parallel.num_present());
+    for (size_t g = 0; g < serial.axis_size(Dimension::kGroup); ++g) {
+      for (size_t q = 0; q < 5; ++q) {
+        for (size_t l = 0; l < 3; ++l) {
+          ASSERT_EQ(serial.Get(g, q, l).has_value(),
+                    parallel.Get(g, q, l).has_value());
+          if (serial.Get(g, q, l).has_value()) {
+            EXPECT_DOUBLE_EQ(*serial.Get(g, q, l), *parallel.Get(g, q, l));
+          }
+        }
+      }
+    }
+  }
+
+  // Search: per-user lists across 4 queries × 2 locations.
+  SearchDataset search(schema);
+  for (int u = 0; u < 8; ++u) {
+    Demographics d = {static_cast<ValueId>(rng.NextBelow(3)),
+                      static_cast<ValueId>(rng.NextBelow(2))};
+    ASSERT_TRUE(search.AddUser("u" + std::to_string(u), d).ok());
+  }
+  for (QueryId q = 0; q < 4; ++q) {
+    search.queries().GetOrAdd("sq" + std::to_string(q));
+    for (LocationId l = 0; l < 2; ++l) {
+      search.locations().GetOrAdd("sl" + std::to_string(l));
+      for (UserId u = 0; u < 8; ++u) {
+        std::vector<int32_t> pool = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+        rng.Shuffle(pool);
+        RankedList results(pool.begin(), pool.begin() + 6);
+        ASSERT_TRUE(search.AddObservation(q, l, {u, results}).ok());
+      }
+    }
+  }
+  UnfairnessCube serial =
+      *BuildSearchCube(search, space, SearchMeasure::kKendallTau, {}, {}, 1);
+  UnfairnessCube parallel =
+      *BuildSearchCube(search, space, SearchMeasure::kKendallTau, {}, {}, 4);
+  ASSERT_EQ(serial.num_present(), parallel.num_present());
+  for (size_t g = 0; g < serial.axis_size(Dimension::kGroup); ++g) {
+    for (size_t q = 0; q < 4; ++q) {
+      for (size_t l = 0; l < 2; ++l) {
+        ASSERT_EQ(serial.Get(g, q, l).has_value(),
+                  parallel.Get(g, q, l).has_value());
+        if (serial.Get(g, q, l).has_value()) {
+          EXPECT_DOUBLE_EQ(*serial.Get(g, q, l), *parallel.Get(g, q, l));
+        }
+      }
+    }
+  }
+}
+
+TEST_F(CubeBuilderTest, RefreshColumnTracksDatasetChanges) {
+  UnfairnessCube cube =
+      *BuildMarketplaceCube(*data_, *space_, MarketMeasure::kEmd);
+  // Re-crawl query 1 (previously unobserved): now segregated by gender.
+  MarketRanking fresh;
+  fresh.workers = {0, 1, 2, 3};
+  ASSERT_TRUE(data_->SetRanking(1, 0, std::move(fresh)).ok());
+  ASSERT_TRUE(RefreshMarketplaceColumn(*data_, *space_, MarketMeasure::kEmd,
+                                       {}, &cube, 1, 0)
+                  .ok());
+  UnfairnessCube rebuilt =
+      *BuildMarketplaceCube(*data_, *space_, MarketMeasure::kEmd);
+  ASSERT_EQ(cube.num_present(), rebuilt.num_present());
+  for (size_t g = 0; g < cube.axis_size(Dimension::kGroup); ++g) {
+    for (size_t q = 0; q < 2; ++q) {
+      ASSERT_EQ(cube.Get(g, q, 0).has_value(),
+                rebuilt.Get(g, q, 0).has_value());
+      if (cube.Get(g, q, 0).has_value()) {
+        EXPECT_DOUBLE_EQ(*cube.Get(g, q, 0), *rebuilt.Get(g, q, 0));
+      }
+    }
+  }
+}
+
+TEST_F(CubeBuilderTest, RefreshColumnClearsUndefinedCells) {
+  UnfairnessCube cube =
+      *BuildMarketplaceCube(*data_, *space_, MarketMeasure::kEmd);
+  ASSERT_TRUE(cube.Get(0, 0, 0).has_value());
+  // Replace the ranking with a single-gender one: both groups undefined.
+  MarketRanking males_only;
+  males_only.workers = {0, 1};
+  ASSERT_TRUE(data_->SetRanking(0, 0, std::move(males_only)).ok());
+  ASSERT_TRUE(RefreshMarketplaceColumn(*data_, *space_, MarketMeasure::kEmd,
+                                       {}, &cube, 0, 0)
+                  .ok());
+  EXPECT_FALSE(cube.Get(0, 0, 0).has_value());
+  EXPECT_FALSE(cube.Get(1, 0, 0).has_value());
+}
+
+TEST_F(CubeBuilderTest, RefreshColumnValidates) {
+  UnfairnessCube cube =
+      *BuildMarketplaceCube(*data_, *space_, MarketMeasure::kEmd);
+  EXPECT_FALSE(RefreshMarketplaceColumn(*data_, *space_, MarketMeasure::kEmd,
+                                        {}, nullptr, 0, 0)
+                   .ok());
+  EXPECT_FALSE(RefreshMarketplaceColumn(*data_, *space_, MarketMeasure::kEmd,
+                                        {}, &cube, 9, 0)
+                   .ok());
+}
+
+TEST(ParallelBuildTest, ParallelPropagatesErrors) {
+  AttributeSchema schema;
+  ASSERT_TRUE(schema.AddAttribute("gender", {"Male", "Female"}).ok());
+  MarketplaceDataset market(schema);
+  GroupSpace space = *GroupSpace::Enumerate(market.schema());
+  ASSERT_TRUE(market.AddWorker("w", {0}).ok());
+  MarketRanking r;
+  r.workers = {0};
+  market.queries().GetOrAdd("q");
+  market.locations().GetOrAdd("l");
+  ASSERT_TRUE(market.SetRanking(0, 0, std::move(r)).ok());
+  MeasureOptions bad;
+  bad.histogram_bins = 0;
+  Result<UnfairnessCube> cube =
+      BuildMarketplaceCube(market, space, MarketMeasure::kEmd, bad, {}, 4);
+  ASSERT_FALSE(cube.ok());
+  EXPECT_EQ(cube.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SearchCubeBuilderTest, RefreshSearchColumnTracksNewObservations) {
+  AttributeSchema schema;
+  ASSERT_TRUE(schema.AddAttribute("gender", {"Male", "Female"}).ok());
+  SearchDataset data(schema);
+  GroupSpace space = *GroupSpace::Enumerate(data.schema());
+  ASSERT_TRUE(data.AddUser("m", {0}).ok());
+  ASSERT_TRUE(data.AddUser("f", {1}).ok());
+  QueryId q = data.queries().GetOrAdd("cleaning jobs");
+  data.queries().GetOrAdd("moving jobs");  // second query, never observed
+  LocationId l = data.locations().GetOrAdd("Boston, MA");
+  ASSERT_TRUE(data.AddObservation(q, l, {0, {1, 2, 3}}).ok());
+  ASSERT_TRUE(data.AddObservation(q, l, {1, {1, 2, 3}}).ok());
+
+  UnfairnessCube cube =
+      *BuildSearchCube(data, space, SearchMeasure::kJaccard);
+  EXPECT_DOUBLE_EQ(*cube.Get(0, 0, 0), 0.0);  // identical lists
+  EXPECT_FALSE(cube.Get(0, 1, 0).has_value());
+
+  // New runs arrive for the second query: disjoint result sets.
+  ASSERT_TRUE(data.AddObservation(1, l, {0, {4, 5}}).ok());
+  ASSERT_TRUE(data.AddObservation(1, l, {1, {8, 9}}).ok());
+  ASSERT_TRUE(RefreshSearchColumn(data, space, SearchMeasure::kJaccard, {},
+                                  &cube, 1, 0)
+                  .ok());
+  ASSERT_TRUE(cube.Get(0, 1, 0).has_value());
+  EXPECT_DOUBLE_EQ(*cube.Get(0, 1, 0), 1.0);
+  // Untouched column is untouched.
+  EXPECT_DOUBLE_EQ(*cube.Get(0, 0, 0), 0.0);
+  // Full rebuild agrees.
+  UnfairnessCube rebuilt =
+      *BuildSearchCube(data, space, SearchMeasure::kJaccard);
+  EXPECT_EQ(cube.num_present(), rebuilt.num_present());
+}
+
+TEST(SearchCubeBuilderTest, EmptyDatasetIsInvalid) {
+  AttributeSchema schema;
+  ASSERT_TRUE(schema.AddAttribute("gender", {"Male", "Female"}).ok());
+  SearchDataset data(schema);
+  GroupSpace space = *GroupSpace::Enumerate(data.schema());
+  EXPECT_FALSE(BuildSearchCube(data, space, SearchMeasure::kJaccard).ok());
+}
+
+}  // namespace
+}  // namespace fairjob

@@ -1,0 +1,160 @@
+#include "ranking/emd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace fairjob {
+namespace {
+
+TEST(Emd1DTest, IdenticalDistributionsZero) {
+  std::vector<double> p = {0.2, 0.3, 0.5};
+  EXPECT_DOUBLE_EQ(*Emd1D(p, p), 0.0);
+}
+
+TEST(Emd1DTest, OppositeEndsIsOne) {
+  std::vector<double> p = {1.0, 0.0, 0.0, 0.0};
+  std::vector<double> q = {0.0, 0.0, 0.0, 1.0};
+  EXPECT_DOUBLE_EQ(*Emd1D(p, q), 1.0);
+}
+
+TEST(Emd1DTest, AdjacentBinsScaledByBinCount) {
+  std::vector<double> p = {1.0, 0.0, 0.0, 0.0, 0.0};
+  std::vector<double> q = {0.0, 1.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(*Emd1D(p, q), 0.25);  // one step out of (5-1)
+}
+
+TEST(Emd1DTest, NormalizesUnnormalizedInput) {
+  std::vector<double> p = {2.0, 0.0};
+  std::vector<double> q = {0.0, 8.0};
+  EXPECT_DOUBLE_EQ(*Emd1D(p, q), 1.0);
+}
+
+TEST(Emd1DTest, SymmetricAndNonNegative) {
+  std::vector<double> p = {0.1, 0.4, 0.5, 0.0};
+  std::vector<double> q = {0.3, 0.3, 0.2, 0.2};
+  double d1 = *Emd1D(p, q);
+  double d2 = *Emd1D(q, p);
+  EXPECT_DOUBLE_EQ(d1, d2);
+  EXPECT_GT(d1, 0.0);
+}
+
+TEST(Emd1DTest, TriangleInequalityOnRandomTriples) {
+  Rng rng(31);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<double> p(8);
+    std::vector<double> q(8);
+    std::vector<double> r(8);
+    for (size_t i = 0; i < 8; ++i) {
+      p[i] = rng.NextDouble();
+      q[i] = rng.NextDouble();
+      r[i] = rng.NextDouble();
+    }
+    EXPECT_LE(*Emd1D(p, r), *Emd1D(p, q) + *Emd1D(q, r) + 1e-12);
+  }
+}
+
+TEST(Emd1DTest, SingleBinIsZero) {
+  EXPECT_DOUBLE_EQ(*Emd1D({5.0}, {3.0}), 0.0);
+}
+
+TEST(Emd1DTest, RejectsSizeMismatch) {
+  EXPECT_FALSE(Emd1D({1.0, 0.0}, {1.0, 0.0, 0.0}).ok());
+}
+
+TEST(Emd1DTest, RejectsEmpty) { EXPECT_FALSE(Emd1D({}, {}).ok()); }
+
+TEST(Emd1DTest, RejectsNegativeMass) {
+  EXPECT_FALSE(Emd1D({1.0, -0.5}, {0.5, 0.5}).ok());
+}
+
+TEST(Emd1DTest, RejectsZeroTotalMass) {
+  EXPECT_FALSE(Emd1D({0.0, 0.0}, {1.0, 0.0}).ok());
+}
+
+TEST(EmdHistogramTest, MatchesEmd1DOnNormalizedCounts) {
+  Histogram p = Histogram::Canonical();
+  Histogram q = Histogram::Canonical();
+  p.AddAll({0.05, 0.15, 0.15});
+  q.AddAll({0.85, 0.95});
+  Result<double> d = EmdBetweenHistograms(p, q);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(*d, *Emd1D(p.Normalized(), q.Normalized()));
+  EXPECT_GT(*d, 0.5);
+}
+
+TEST(EmdHistogramTest, RejectsLayoutMismatch) {
+  Histogram p = Histogram::Canonical();
+  Histogram q = *Histogram::Make(5, 0.0, 1.0);
+  p.Add(0.5);
+  q.Add(0.5);
+  EXPECT_FALSE(EmdBetweenHistograms(p, q).ok());
+}
+
+TEST(EmdHistogramTest, RejectsEmptyHistogram) {
+  Histogram p = Histogram::Canonical();
+  Histogram q = Histogram::Canonical();
+  p.Add(0.5);
+  EXPECT_FALSE(EmdBetweenHistograms(p, q).ok());
+}
+
+// --- general transportation solver -------------------------------------------
+
+std::vector<std::vector<double>> LineCost(size_t n) {
+  std::vector<std::vector<double>> cost(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      cost[i][j] = std::fabs(static_cast<double>(i) - static_cast<double>(j)) /
+                   static_cast<double>(n - 1);
+    }
+  }
+  return cost;
+}
+
+TEST(EmdGeneralTest, AgreesWithClosedFormOnLineCosts) {
+  Rng rng(37);
+  for (int trial = 0; trial < 25; ++trial) {
+    size_t n = 2 + rng.NextBelow(9);
+    std::vector<double> p(n);
+    std::vector<double> q(n);
+    for (size_t i = 0; i < n; ++i) {
+      p[i] = rng.NextDouble();
+      q[i] = rng.NextDouble();
+    }
+    double closed = *Emd1D(p, q);
+    double general = *EmdGeneral(p, q, LineCost(n));
+    EXPECT_NEAR(general, closed, 1e-9) << "n=" << n << " trial=" << trial;
+  }
+}
+
+TEST(EmdGeneralTest, ZeroCostMatrixGivesZero) {
+  std::vector<std::vector<double>> cost(2, std::vector<double>(3, 0.0));
+  EXPECT_NEAR(*EmdGeneral({0.5, 0.5}, {0.2, 0.3, 0.5}, cost), 0.0, 1e-12);
+}
+
+TEST(EmdGeneralTest, RectangularProblem) {
+  // All supply at one source; demand split between two sinks at costs 1, 3.
+  std::vector<std::vector<double>> cost = {{1.0, 3.0}};
+  EXPECT_NEAR(*EmdGeneral({1.0}, {0.5, 0.5}, cost), 2.0, 1e-9);
+}
+
+TEST(EmdGeneralTest, PicksCheapAssignment) {
+  // Two units each; crossing costs 0, parallel costs 1: optimal crosses.
+  std::vector<std::vector<double>> cost = {{1.0, 0.0}, {0.0, 1.0}};
+  EXPECT_NEAR(*EmdGeneral({0.5, 0.5}, {0.5, 0.5}, cost), 0.0, 1e-9);
+}
+
+TEST(EmdGeneralTest, RejectsBadCostMatrix) {
+  EXPECT_FALSE(EmdGeneral({1.0}, {1.0}, {{-1.0}}).ok());
+  EXPECT_FALSE(EmdGeneral({1.0, 1.0}, {1.0}, {{1.0}}).ok());
+  EXPECT_FALSE(EmdGeneral({1.0}, {1.0, 1.0}, {{1.0}}).ok());
+}
+
+TEST(EmdGeneralTest, RejectsZeroMass) {
+  EXPECT_FALSE(EmdGeneral({0.0}, {1.0}, {{1.0}}).ok());
+}
+
+}  // namespace
+}  // namespace fairjob

@@ -1,0 +1,198 @@
+#include "core/explain.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace fairjob {
+namespace {
+
+// The Table 2/3 toy again: Black Females at ranks 7, 8 of 10.
+class ExplainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    AttributeSchema schema;
+    ASSERT_TRUE(
+        schema.AddAttribute("ethnicity", {"Asian", "Black", "White"}).ok());
+    ASSERT_TRUE(schema.AddAttribute("gender", {"Male", "Female"}).ok());
+    data_ = std::make_unique<MarketplaceDataset>(schema);
+    space_ = std::make_unique<GroupSpace>(
+        *GroupSpace::Enumerate(data_->schema()));
+    struct W {
+      const char* name;
+      ValueId ethnicity;
+      ValueId gender;
+    };
+    const W workers[] = {
+        {"w1", 0, 1}, {"w2", 2, 0}, {"w3", 2, 1}, {"w4", 0, 0}, {"w5", 1, 1},
+        {"w6", 1, 0}, {"w7", 1, 1}, {"w8", 1, 0}, {"w9", 2, 0}, {"w10", 2, 1},
+    };
+    for (const W& w : workers) {
+      ASSERT_TRUE(data_->AddWorker(w.name, {w.ethnicity, w.gender}).ok());
+    }
+    q_ = data_->queries().GetOrAdd("Home Cleaning");
+    l_ = data_->locations().GetOrAdd("San Francisco");
+    MarketRanking ranking;
+    auto id = [&](const char* name) { return *data_->workers().Find(name); };
+    ranking.workers = {id("w3"), id("w8"), id("w6"), id("w2"), id("w1"),
+                       id("w4"), id("w7"), id("w5"), id("w9"), id("w10")};
+    ranking.scores = {0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1, 0.0};
+    ASSERT_TRUE(data_->SetRanking(q_, l_, std::move(ranking)).ok());
+  }
+
+  GroupId Group(const char* name) { return *space_->FindByDisplayName(name); }
+
+  std::unique_ptr<MarketplaceDataset> data_;
+  std::unique_ptr<GroupSpace> space_;
+  QueryId q_ = 0;
+  LocationId l_ = 0;
+};
+
+TEST_F(ExplainTest, ValueMatchesCanonicalMeasure) {
+  for (MarketMeasure measure :
+       {MarketMeasure::kEmd, MarketMeasure::kExposure}) {
+    Result<MarketTripleExplanation> explanation = ExplainMarketplaceTriple(
+        *data_, *space_, Group("Black Female"), q_, l_, measure);
+    ASSERT_TRUE(explanation.ok());
+    Result<double> direct = MarketplaceUnfairness(
+        *data_, *space_, Group("Black Female"), q_, l_, measure);
+    EXPECT_NEAR(explanation->value, *direct, 1e-12);
+  }
+}
+
+TEST_F(ExplainTest, ComparableBreakdownForBlackFemales) {
+  MarketTripleExplanation explanation = *ExplainMarketplaceTriple(
+      *data_, *space_, Group("Black Female"), q_, l_, MarketMeasure::kEmd);
+  EXPECT_EQ(explanation.group_members, 2u);   // w5, w7
+  EXPECT_EQ(explanation.result_size, 10u);
+  // Ranks 7, 8 (0-based 6, 7): mean fraction 6.5/10.
+  EXPECT_NEAR(explanation.group_mean_rank_fraction, 0.65, 1e-12);
+
+  ASSERT_EQ(explanation.comparables.size(), 3u);
+  // EMD distance to each comparable averages to the headline value.
+  double sum = 0.0;
+  for (const ComparableContribution& c : explanation.comparables) {
+    sum += c.distance;
+  }
+  EXPECT_NEAR(sum / 3.0, explanation.value, 1e-12);
+  // Black Males (ranks 2, 3) are the farthest comparable; sorted first.
+  EXPECT_EQ(space_->label(explanation.comparables[0].comparable)
+                .DisplayName(data_->schema()),
+            "Black Male");
+  EXPECT_EQ(explanation.comparables[0].members, 2u);
+  EXPECT_NEAR(explanation.comparables[0].mean_rank_fraction, 0.15, 1e-12);
+}
+
+TEST_F(ExplainTest, ExposureExplanationSortsByPairwiseDeviation) {
+  MarketTripleExplanation explanation = *ExplainMarketplaceTriple(
+      *data_, *space_, Group("Black Female"), q_, l_,
+      MarketMeasure::kExposure);
+  ASSERT_EQ(explanation.comparables.size(), 3u);
+  for (size_t i = 1; i < explanation.comparables.size(); ++i) {
+    EXPECT_GE(explanation.comparables[i - 1].distance,
+              explanation.comparables[i].distance);
+  }
+  for (const ComparableContribution& c : explanation.comparables) {
+    EXPECT_GE(c.distance, 0.0);
+    EXPECT_LE(c.distance, 1.0);
+  }
+}
+
+TEST_F(ExplainTest, UndefinedTripleIsNotFound) {
+  Result<MarketTripleExplanation> explanation = ExplainMarketplaceTriple(
+      *data_, *space_, Group("Black Female"), q_, l_ + 7,
+      MarketMeasure::kEmd);
+  ASSERT_FALSE(explanation.ok());
+  EXPECT_EQ(explanation.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ExplainSearchTest, BreaksDownByComparableGroup) {
+  AttributeSchema schema;
+  ASSERT_TRUE(
+      schema.AddAttribute("ethnicity", {"Asian", "Black", "White"}).ok());
+  ASSERT_TRUE(schema.AddAttribute("gender", {"Male", "Female"}).ok());
+  SearchDataset data(schema);
+  GroupSpace space = *GroupSpace::Enumerate(data.schema());
+  ASSERT_TRUE(data.AddUser("bf", {1, 1}).ok());
+  ASSERT_TRUE(data.AddUser("bm", {1, 0}).ok());
+  ASSERT_TRUE(data.AddUser("wf", {2, 1}).ok());
+  // BF's list is identical to WF's and disjoint from BM's.
+  ASSERT_TRUE(data.AddObservation(0, 0, {0, {1, 2, 3}}).ok());
+  ASSERT_TRUE(data.AddObservation(0, 0, {1, {7, 8, 9}}).ok());
+  ASSERT_TRUE(data.AddObservation(0, 0, {2, {1, 2, 3}}).ok());
+
+  GroupId black_female = *space.FindByDisplayName("Black Female");
+  Result<SearchTripleExplanation> explanation = ExplainSearchTriple(
+      data, space, black_female, 0, 0, SearchMeasure::kJaccard);
+  ASSERT_TRUE(explanation.ok());
+  EXPECT_DOUBLE_EQ(explanation->value, 0.5);  // (1 + 0) / 2
+  EXPECT_EQ(explanation->group_observations, 1u);
+  ASSERT_EQ(explanation->comparables.size(), 2u);
+  EXPECT_EQ(space.label(explanation->comparables[0].comparable)
+                .DisplayName(data.schema()),
+            "Black Male");
+  EXPECT_DOUBLE_EQ(explanation->comparables[0].distance, 1.0);
+  EXPECT_EQ(space.label(explanation->comparables[1].comparable)
+                .DisplayName(data.schema()),
+            "White Female");
+  EXPECT_DOUBLE_EQ(explanation->comparables[1].distance, 0.0);
+
+  // The per-comparable distances average to the headline value.
+  double sum = 0.0;
+  for (const auto& c : explanation->comparables) sum += c.distance;
+  EXPECT_DOUBLE_EQ(sum / 2.0, explanation->value);
+}
+
+TEST(ExplainSearchTest, UndefinedTripleIsNotFound) {
+  AttributeSchema schema;
+  ASSERT_TRUE(schema.AddAttribute("gender", {"Male", "Female"}).ok());
+  SearchDataset data(schema);
+  GroupSpace space = *GroupSpace::Enumerate(data.schema());
+  Result<SearchTripleExplanation> explanation =
+      ExplainSearchTriple(data, space, 0, 0, 0, SearchMeasure::kJaccard);
+  ASSERT_FALSE(explanation.ok());
+  EXPECT_EQ(explanation.status().code(), StatusCode::kNotFound);
+}
+
+TEST(TopContributingCellsTest, RanksCellsDescending) {
+  UnfairnessCube cube = *UnfairnessCube::Make({0}, {0, 1, 2}, {0, 1});
+  cube.Set(0, 0, 0, 0.1);
+  cube.Set(0, 1, 0, 0.9);
+  cube.Set(0, 2, 1, 0.5);
+  // (0, 0, 1) and (0, 1, 1) and (0, 2, 0) missing.
+  Result<std::vector<CellContribution>> top =
+      TopContributingCells(cube, Dimension::kGroup, 0, 2);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top->size(), 2u);
+  EXPECT_EQ((*top)[0].query_pos, 1u);
+  EXPECT_EQ((*top)[0].location_pos, 0u);
+  EXPECT_DOUBLE_EQ((*top)[0].value, 0.9);
+  EXPECT_DOUBLE_EQ((*top)[1].value, 0.5);
+}
+
+TEST(TopContributingCellsTest, WorksForOtherDimensions) {
+  UnfairnessCube cube = *UnfairnessCube::Make({0, 1}, {0}, {0, 1});
+  cube.Set(0, 0, 0, 0.2);
+  cube.Set(1, 0, 1, 0.8);
+  Result<std::vector<CellContribution>> top =
+      TopContributingCells(cube, Dimension::kQuery, 0, 5);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top->size(), 2u);
+  // For dim = kQuery the reported positions are (group, location).
+  EXPECT_DOUBLE_EQ((*top)[0].value, 0.8);
+  EXPECT_EQ((*top)[0].query_pos, 1u);     // group position
+  EXPECT_EQ((*top)[0].location_pos, 1u);  // location position
+}
+
+TEST(TopContributingCellsTest, Validation) {
+  UnfairnessCube cube = *UnfairnessCube::Make({0}, {0}, {0});
+  EXPECT_FALSE(TopContributingCells(cube, Dimension::kGroup, 5, 1).ok());
+  EXPECT_FALSE(TopContributingCells(cube, Dimension::kGroup, 0, 0).ok());
+  Result<std::vector<CellContribution>> empty =
+      TopContributingCells(cube, Dimension::kGroup, 0, 3);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+}  // namespace
+}  // namespace fairjob

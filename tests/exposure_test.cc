@@ -1,0 +1,79 @@
+#include "ranking/exposure.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fairjob {
+namespace {
+
+TEST(ExposureTest, Rank1Value) {
+  EXPECT_NEAR(ExposureAtRank(1), 1.0 / std::log(2.0), 1e-12);
+}
+
+TEST(ExposureTest, StrictlyDecreasingInRank) {
+  for (size_t r = 1; r < 100; ++r) {
+    EXPECT_GT(ExposureAtRank(r), ExposureAtRank(r + 1));
+  }
+}
+
+TEST(ExposureTest, AlwaysPositive) {
+  EXPECT_GT(ExposureAtRank(1000000), 0.0);
+}
+
+TEST(RelevanceTest, LinearInRank) {
+  EXPECT_DOUBLE_EQ(*RelevanceFromRank(1, 10), 0.9);
+  EXPECT_DOUBLE_EQ(*RelevanceFromRank(5, 10), 0.5);
+  EXPECT_DOUBLE_EQ(*RelevanceFromRank(10, 10), 0.0);
+}
+
+TEST(RelevanceTest, RejectsZeroRank) {
+  EXPECT_FALSE(RelevanceFromRank(0, 10).ok());
+}
+
+TEST(RelevanceTest, RejectsRankBeyondResultSet) {
+  EXPECT_FALSE(RelevanceFromRank(11, 10).ok());
+}
+
+TEST(TotalsTest, SumOverRanks) {
+  std::vector<size_t> ranks = {1, 3};
+  EXPECT_NEAR(TotalExposure(ranks),
+              1.0 / std::log(2.0) + 1.0 / std::log(4.0), 1e-12);
+  EXPECT_DOUBLE_EQ(*TotalRelevance(ranks, 10), 0.9 + 0.7);
+}
+
+TEST(TotalsTest, EmptyRanksAreZero) {
+  EXPECT_DOUBLE_EQ(TotalExposure({}), 0.0);
+  EXPECT_DOUBLE_EQ(*TotalRelevance({}, 10), 0.0);
+}
+
+TEST(TotalsTest, RelevancePropagatesErrors) {
+  EXPECT_FALSE(TotalRelevance({1, 99}, 10).ok());
+}
+
+// The paper's Figure 5 worked example, computed exactly: Black Females at
+// ranks 7 and 8 of a 10-worker ranking; comparable workers at ranks
+// 1, 2, 3, 5, 10.
+TEST(Figure5Test, BlackFemaleExposureAndRelevanceShares) {
+  std::vector<size_t> bf_ranks = {7, 8};
+  std::vector<size_t> comparable_ranks = {2, 3, 5, 1, 10};
+
+  double bf_exp = TotalExposure(bf_ranks);
+  double comp_exp = TotalExposure(comparable_ranks);
+  EXPECT_NEAR(bf_exp, 0.94, 0.01);   // the figure's 0.94
+  EXPECT_NEAR(comp_exp, 4.05, 0.01); // the figure's ≈4.0
+
+  double bf_rel = *TotalRelevance(bf_ranks, 10);
+  double comp_rel = *TotalRelevance(comparable_ranks, 10);
+  EXPECT_DOUBLE_EQ(bf_rel, 0.5);   // the figure's 0.5
+  EXPECT_DOUBLE_EQ(comp_rel, 2.9); // the figure's 2.9
+
+  double exp_share = bf_exp / (bf_exp + comp_exp);
+  double rel_share = bf_rel / (bf_rel + comp_rel);
+  EXPECT_NEAR(exp_share, 0.19, 0.005);
+  EXPECT_NEAR(rel_share, 0.15, 0.005);
+  EXPECT_NEAR(std::fabs(exp_share - rel_share), 0.04, 0.005);
+}
+
+}  // namespace
+}  // namespace fairjob

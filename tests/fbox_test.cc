@@ -1,0 +1,150 @@
+#include "core/fbox.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace fairjob {
+namespace {
+
+// A small marketplace with controlled bias: females pushed to the bottom in
+// "biased" queries, mixed elsewhere.
+class FBoxTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    AttributeSchema schema;
+    ASSERT_TRUE(schema.AddAttribute("gender", {"Male", "Female"}).ok());
+    data_ = std::make_unique<MarketplaceDataset>(schema);
+    space_ = std::make_unique<GroupSpace>(
+        *GroupSpace::Enumerate(data_->schema()));
+
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(data_->AddWorker("m" + std::to_string(i), {0}).ok());
+      ASSERT_TRUE(data_->AddWorker("f" + std::to_string(i), {1}).ok());
+    }
+    QueryId biased = data_->queries().GetOrAdd("handyman");
+    QueryId fair = data_->queries().GetOrAdd("delivery");
+    LocationId nyc = data_->locations().GetOrAdd("New York City, NY");
+    LocationId chi = data_->locations().GetOrAdd("Chicago, IL");
+
+    // Males are workers 0,2,4,6; females 1,3,5,7.
+    MarketRanking segregated;
+    segregated.workers = {0, 2, 4, 6, 1, 3, 5, 7};
+    MarketRanking interleaved;
+    interleaved.workers = {0, 1, 2, 3, 4, 5, 6, 7};
+    ASSERT_TRUE(data_->SetRanking(biased, nyc, segregated).ok());
+    ASSERT_TRUE(data_->SetRanking(biased, chi, segregated).ok());
+    ASSERT_TRUE(data_->SetRanking(fair, nyc, interleaved).ok());
+    ASSERT_TRUE(data_->SetRanking(fair, chi, interleaved).ok());
+
+    Result<FBox> fbox =
+        FBox::ForMarketplace(data_.get(), space_.get(), MarketMeasure::kEmd);
+    ASSERT_TRUE(fbox.ok());
+    fbox_ = std::make_unique<FBox>(std::move(*fbox));
+  }
+
+  std::unique_ptr<MarketplaceDataset> data_;
+  std::unique_ptr<GroupSpace> space_;
+  std::unique_ptr<FBox> fbox_;
+};
+
+TEST_F(FBoxTest, CubeCoversAllAxes) {
+  EXPECT_EQ(fbox_->cube().axis_size(Dimension::kGroup), 2u);
+  EXPECT_EQ(fbox_->cube().axis_size(Dimension::kQuery), 2u);
+  EXPECT_EQ(fbox_->cube().axis_size(Dimension::kLocation), 2u);
+  EXPECT_EQ(fbox_->cube().num_present(), 8u);
+}
+
+TEST_F(FBoxTest, TopKQueriesRanksBiasedFirst) {
+  Result<std::vector<FBox::NamedAnswer>> top =
+      fbox_->TopK(Dimension::kQuery, 2);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top->size(), 2u);
+  EXPECT_EQ((*top)[0].name, "handyman");
+  EXPECT_GT((*top)[0].value, (*top)[1].value);
+  EXPECT_EQ((*top)[1].name, "delivery");
+}
+
+TEST_F(FBoxTest, LeastUnfairDirection) {
+  Result<std::vector<FBox::NamedAnswer>> bottom =
+      fbox_->TopK(Dimension::kQuery, 1, RankDirection::kLeastUnfair);
+  ASSERT_TRUE(bottom.ok());
+  EXPECT_EQ((*bottom)[0].name, "delivery");
+}
+
+TEST_F(FBoxTest, PosOfResolvesNamesInEveryDimension) {
+  EXPECT_TRUE(fbox_->PosOf(Dimension::kGroup, "Female").ok());
+  EXPECT_TRUE(fbox_->PosOf(Dimension::kQuery, "handyman").ok());
+  EXPECT_TRUE(fbox_->PosOf(Dimension::kLocation, "Chicago, IL").ok());
+  EXPECT_FALSE(fbox_->PosOf(Dimension::kQuery, "gardening").ok());
+}
+
+TEST_F(FBoxTest, NameOfInverseOfPosOf) {
+  size_t pos = *fbox_->PosOf(Dimension::kLocation, "Chicago, IL");
+  int32_t id = fbox_->cube().axis_id(Dimension::kLocation, pos);
+  EXPECT_EQ(fbox_->NameOf(Dimension::kLocation, id), "Chicago, IL");
+}
+
+TEST_F(FBoxTest, CompareByNameGenderAcrossQueries) {
+  Result<ComparisonResult> result = fbox_->CompareByName(
+      Dimension::kGroup, "Male", "Female", Dimension::kQuery);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 2u);
+  // EMD between Male and Female histograms is symmetric: d1 == d2 per row.
+  for (const ComparisonRow& row : result->rows) {
+    EXPECT_NEAR(row.d1, row.d2, 1e-12);
+  }
+}
+
+TEST_F(FBoxTest, QuantifyWithScanMatchesFagin) {
+  QuantificationRequest request;
+  request.target = Dimension::kLocation;
+  request.k = 2;
+  Result<QuantificationResult> fagin = fbox_->Quantify(request);
+  request.algorithm = TopKAlgorithm::kScan;
+  Result<QuantificationResult> scan = fbox_->Quantify(request);
+  ASSERT_TRUE(fagin.ok());
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(fagin->answers.size(), scan->answers.size());
+  for (size_t i = 0; i < fagin->answers.size(); ++i) {
+    EXPECT_NEAR(fagin->answers[i].value, scan->answers[i].value, 1e-12);
+  }
+}
+
+TEST_F(FBoxTest, PositionsOfBatchLookup) {
+  Result<std::vector<size_t>> positions = fbox_->PositionsOf(
+      Dimension::kQuery, {"handyman", "delivery"});
+  ASSERT_TRUE(positions.ok());
+  EXPECT_EQ(positions->size(), 2u);
+  EXPECT_FALSE(
+      fbox_->PositionsOf(Dimension::kQuery, {"handyman", "nope"}).ok());
+}
+
+TEST(FBoxConstructionTest, RejectsNullInputs) {
+  EXPECT_FALSE(
+      FBox::ForMarketplace(nullptr, nullptr, MarketMeasure::kEmd).ok());
+}
+
+TEST(FBoxSearchTest, BuildsFromSearchDataset) {
+  AttributeSchema schema;
+  ASSERT_TRUE(schema.AddAttribute("gender", {"Male", "Female"}).ok());
+  auto data = std::make_unique<SearchDataset>(schema);
+  GroupSpace space = *GroupSpace::Enumerate(data->schema());
+  ASSERT_TRUE(data->AddUser("m", {0}).ok());
+  ASSERT_TRUE(data->AddUser("f", {1}).ok());
+  QueryId q = data->queries().GetOrAdd("cleaning jobs");
+  LocationId l = data->locations().GetOrAdd("Boston, MA");
+  ASSERT_TRUE(data->AddObservation(q, l, {0, {1, 2, 3}}).ok());
+  ASSERT_TRUE(data->AddObservation(q, l, {1, {4, 5, 6}}).ok());
+
+  Result<FBox> fbox =
+      FBox::ForSearch(data.get(), &space, SearchMeasure::kJaccard);
+  ASSERT_TRUE(fbox.ok());
+  Result<std::vector<FBox::NamedAnswer>> top = fbox->TopK(Dimension::kGroup, 2);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top->size(), 2u);
+  EXPECT_DOUBLE_EQ((*top)[0].value, 1.0);  // disjoint result sets
+}
+
+}  // namespace
+}  // namespace fairjob

@@ -1,0 +1,71 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace fairjob {
+namespace {
+
+TEST(FlagsTest, KeyValuePairs) {
+  Flags flags = *Flags::Parse({"--crawl", "a.csv", "--k", "7"});
+  EXPECT_EQ(flags.GetString("crawl"), "a.csv");
+  EXPECT_EQ(*flags.GetInt("k", 0), 7);
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  Flags flags = *Flags::Parse({"--measure=exposure", "--rate=0.5"});
+  EXPECT_EQ(flags.GetString("measure"), "exposure");
+  EXPECT_DOUBLE_EQ(*flags.GetDouble("rate", 0.0), 0.5);
+}
+
+TEST(FlagsTest, BooleanSwitches) {
+  Flags flags = *Flags::Parse({"--least", "--dim", "group"});
+  EXPECT_TRUE(flags.Has("least"));
+  EXPECT_EQ(flags.GetString("least"), "");
+  EXPECT_EQ(flags.GetString("dim"), "group");
+}
+
+TEST(FlagsTest, TrailingBooleanSwitch) {
+  Flags flags = *Flags::Parse({"--k", "3", "--least"});
+  EXPECT_TRUE(flags.Has("least"));
+  EXPECT_EQ(*flags.GetInt("k", 0), 3);
+}
+
+TEST(FlagsTest, ConsecutiveFlagsAreBoolean) {
+  Flags flags = *Flags::Parse({"--a", "--b", "value"});
+  EXPECT_TRUE(flags.Has("a"));
+  EXPECT_EQ(flags.GetString("a"), "");
+  EXPECT_EQ(flags.GetString("b"), "value");
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  Flags flags = *Flags::Parse({"audit", "--k", "3", "extra"});
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"audit", "extra"}));
+}
+
+TEST(FlagsTest, Defaults) {
+  Flags flags = *Flags::Parse({});
+  EXPECT_FALSE(flags.Has("missing"));
+  EXPECT_EQ(flags.GetString("missing", "fallback"), "fallback");
+  EXPECT_EQ(*flags.GetInt("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(*flags.GetDouble("missing", 1.5), 1.5);
+}
+
+TEST(FlagsTest, BadNumbersAreErrors) {
+  Flags flags = *Flags::Parse({"--k", "seven", "--rate", "fast"});
+  EXPECT_FALSE(flags.GetInt("k", 0).ok());
+  EXPECT_FALSE(flags.GetDouble("rate", 0.0).ok());
+}
+
+TEST(FlagsTest, MalformedFlagRejected) {
+  EXPECT_FALSE(Flags::Parse({"--"}).ok());
+  EXPECT_FALSE(Flags::Parse({"--=x"}).ok());
+}
+
+TEST(FlagsTest, EqualsValueMayContainDashes) {
+  Flags flags = *Flags::Parse({"--name=--weird--"});
+  EXPECT_EQ(flags.GetString("name"), "--weird--");
+}
+
+}  // namespace
+}  // namespace fairjob

@@ -1,0 +1,120 @@
+#include "ranking/footrule.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+#include "ranking/kendall_tau.h"
+
+namespace fairjob {
+namespace {
+
+TEST(FootruleTest, IdenticalIsZero) {
+  RankedList a = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(*FootruleDistance(a, a), 0.0);
+}
+
+TEST(FootruleTest, ReversalIsOne) {
+  RankedList a = {1, 2, 3, 4};
+  RankedList b = {4, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(*FootruleDistance(a, b), 1.0);
+  RankedList c = {1, 2, 3, 4, 5};
+  RankedList d = {5, 4, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(*FootruleDistance(c, d), 1.0);  // odd n: ⌊n²/2⌋ = 12
+}
+
+TEST(FootruleTest, AdjacentSwapExact) {
+  RankedList a = {1, 2, 3};
+  RankedList b = {2, 1, 3};
+  // Displacements 1 + 1 + 0 = 2; max ⌊9/2⌋ = 4.
+  EXPECT_DOUBLE_EQ(*FootruleDistance(a, b), 0.5);
+}
+
+TEST(FootruleTest, Symmetric) {
+  RankedList a = {1, 2, 3, 4, 5};
+  RankedList b = {2, 4, 1, 5, 3};
+  EXPECT_DOUBLE_EQ(*FootruleDistance(a, b), *FootruleDistance(b, a));
+}
+
+TEST(FootruleTest, SingletonIsZero) {
+  EXPECT_DOUBLE_EQ(*FootruleDistance({9}, {9}), 0.0);
+}
+
+TEST(FootruleTest, Validation) {
+  EXPECT_FALSE(FootruleDistance({}, {}).ok());
+  EXPECT_FALSE(FootruleDistance({1, 2}, {1}).ok());
+  EXPECT_FALSE(FootruleDistance({1, 2}, {1, 3}).ok());
+  EXPECT_FALSE(FootruleDistance({1, 1}, {1, 1}).ok());
+}
+
+TEST(FootruleTest, DiaconisGrahamInequality) {
+  // K ≤ F ≤ 2K where K = #discordant pairs, F = footrule sum (both
+  // unnormalized). Check via the normalized forms with exact constants.
+  Rng rng(21);
+  for (int trial = 0; trial < 30; ++trial) {
+    size_t n = 3 + rng.NextBelow(20);
+    RankedList a(n);
+    std::iota(a.begin(), a.end(), 0);
+    RankedList b = a;
+    rng.Shuffle(b);
+    double k_norm = *KendallTauDistance(a, b);       // K / C(n,2)
+    double f_norm = *FootruleDistance(a, b);         // F / ⌊n²/2⌋
+    double pairs = static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+    double f_max = std::floor(static_cast<double>(n * n) / 2.0);
+    double k_raw = k_norm * pairs;
+    double f_raw = f_norm * f_max;
+    EXPECT_LE(k_raw, f_raw + 1e-9);
+    EXPECT_LE(f_raw, 2.0 * k_raw + 1e-9);
+  }
+}
+
+TEST(FootruleTopKTest, IdenticalIsZeroDisjointIsOne) {
+  RankedList a = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(*FootruleTopK(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(*FootruleTopK({1, 2, 3}, {4, 5, 6}), 1.0);
+}
+
+TEST(FootruleTopKTest, PartialOverlapBetweenExtremes) {
+  RankedList a = {1, 2, 3, 4};
+  RankedList b = {1, 2, 7, 8};
+  double d = *FootruleTopK(a, b);
+  EXPECT_GT(d, 0.0);
+  EXPECT_LT(d, 1.0);
+}
+
+TEST(FootruleTopKTest, HandComputedValue) {
+  // a = {1,2}, b = {2,1}: both present, displacements |1-2| + |2-1| = 2.
+  // Disjoint normalizer: ℓ = 3 for both lists; Σ|r-3| over r=1,2 twice =
+  // (2+1)·2 = 6.
+  EXPECT_NEAR(*FootruleTopK({1, 2}, {2, 1}), 2.0 / 6.0, 1e-12);
+}
+
+TEST(FootruleTopKTest, UnequalLengthsSupported) {
+  Result<double> d = FootruleTopK({1, 2, 3, 4, 5}, {1, 9});
+  ASSERT_TRUE(d.ok());
+  EXPECT_GE(*d, 0.0);
+  EXPECT_LE(*d, 1.0);
+}
+
+TEST(FootruleTopKTest, SymmetricAndBounded) {
+  Rng rng(22);
+  for (int trial = 0; trial < 30; ++trial) {
+    size_t k = 2 + rng.NextBelow(15);
+    std::vector<int32_t> pool(2 * k);
+    std::iota(pool.begin(), pool.end(), 0);
+    rng.Shuffle(pool);
+    RankedList a(pool.begin(), pool.begin() + static_cast<long>(k));
+    rng.Shuffle(pool);
+    RankedList b(pool.begin(), pool.begin() + static_cast<long>(k));
+    double ab = *FootruleTopK(a, b);
+    double ba = *FootruleTopK(b, a);
+    EXPECT_DOUBLE_EQ(ab, ba);
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace fairjob

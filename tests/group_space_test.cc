@@ -1,0 +1,216 @@
+#include "core/group_space.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace fairjob {
+namespace {
+
+class GroupSpaceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        schema_.AddAttribute("ethnicity", {"Asian", "Black", "White"}).ok());
+    ASSERT_TRUE(schema_.AddAttribute("gender", {"Male", "Female"}).ok());
+    Result<GroupSpace> space = GroupSpace::Enumerate(schema_);
+    ASSERT_TRUE(space.ok());
+    space_ = std::make_unique<GroupSpace>(std::move(*space));
+  }
+
+  GroupId Id(std::vector<GroupLabel::Predicate> preds) {
+    return *space_->IdOf(*GroupLabel::Make(std::move(preds)));
+  }
+
+  AttributeSchema schema_;
+  std::unique_ptr<GroupSpace> space_;
+};
+
+TEST_F(GroupSpaceTest, EnumeratesElevenGroups) {
+  // (3+1)·(2+1) − 1 = 11: the row count of the paper's Table 8.
+  EXPECT_EQ(space_->num_groups(), 11u);
+}
+
+TEST_F(GroupSpaceTest, AllLabelsDistinct) {
+  std::set<std::string> names;
+  for (size_t g = 0; g < space_->num_groups(); ++g) {
+    names.insert(space_->label(static_cast<GroupId>(g)).ToString(schema_));
+  }
+  EXPECT_EQ(names.size(), 11u);
+}
+
+TEST_F(GroupSpaceTest, IdOfRoundTrips) {
+  for (size_t g = 0; g < space_->num_groups(); ++g) {
+    EXPECT_EQ(*space_->IdOf(space_->label(static_cast<GroupId>(g))),
+              static_cast<GroupId>(g));
+  }
+}
+
+TEST_F(GroupSpaceTest, IdOfUnknownLabelFails) {
+  // A label over an attribute id outside the schema.
+  GroupLabel bogus = *GroupLabel::Make({{5, 0}});
+  EXPECT_FALSE(space_->IdOf(bogus).ok());
+}
+
+TEST_F(GroupSpaceTest, VariantsOfTwoAttributeGroup) {
+  // The paper's Section 3.1 example with ethnicity/gender: variants of
+  // (Black, Male) on gender = {(Black, Female)}; on ethnicity =
+  // {(Asian, Male), (White, Male)}.
+  GroupId black_male = Id({{0, 1}, {1, 0}});
+  std::vector<GroupId> gender_variants = space_->Variants(black_male, 1);
+  ASSERT_EQ(gender_variants.size(), 1u);
+  EXPECT_EQ(space_->label(gender_variants[0]).DisplayName(schema_),
+            "Black Female");
+
+  std::vector<GroupId> eth_variants = space_->Variants(black_male, 0);
+  ASSERT_EQ(eth_variants.size(), 2u);
+  std::set<std::string> names;
+  for (GroupId g : eth_variants) {
+    names.insert(space_->label(g).DisplayName(schema_));
+  }
+  EXPECT_TRUE(names.count("Asian Male"));
+  EXPECT_TRUE(names.count("White Male"));
+}
+
+TEST_F(GroupSpaceTest, VariantsOnUnconstrainedAttributeAreEmpty) {
+  GroupId female = Id({{1, 1}});
+  EXPECT_TRUE(space_->Variants(female, 0).empty());
+}
+
+TEST_F(GroupSpaceTest, ComparablesOfBlackFemale) {
+  // comparable("Black Female") = {Black Male, Asian Female, White Female}.
+  GroupId black_female = Id({{0, 1}, {1, 1}});
+  const std::vector<GroupId>& comp = space_->Comparables(black_female);
+  std::set<std::string> names;
+  for (GroupId g : comp) names.insert(space_->label(g).DisplayName(schema_));
+  EXPECT_EQ(names, (std::set<std::string>{"Black Male", "Asian Female",
+                                          "White Female"}));
+}
+
+TEST_F(GroupSpaceTest, ComparablesOfSingleAttributeGroup) {
+  // comparable("Male") = {"Female"}.
+  GroupId male = Id({{1, 0}});
+  const std::vector<GroupId>& comp = space_->Comparables(male);
+  ASSERT_EQ(comp.size(), 1u);
+  EXPECT_EQ(space_->label(comp[0]).DisplayName(schema_), "Female");
+}
+
+TEST_F(GroupSpaceTest, ComparablesNeverContainSelf) {
+  for (size_t g = 0; g < space_->num_groups(); ++g) {
+    for (GroupId other : space_->Comparables(static_cast<GroupId>(g))) {
+      EXPECT_NE(other, static_cast<GroupId>(g));
+    }
+  }
+}
+
+TEST_F(GroupSpaceTest, ComparabilityIsSymmetric) {
+  for (size_t g = 0; g < space_->num_groups(); ++g) {
+    for (GroupId other : space_->Comparables(static_cast<GroupId>(g))) {
+      const std::vector<GroupId>& back = space_->Comparables(other);
+      EXPECT_TRUE(std::find(back.begin(), back.end(),
+                            static_cast<GroupId>(g)) != back.end());
+    }
+  }
+}
+
+TEST_F(GroupSpaceTest, FindByDisplayName) {
+  Result<GroupId> g = space_->FindByDisplayName("Asian Female");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(space_->label(*g).DisplayName(schema_), "Asian Female");
+}
+
+TEST_F(GroupSpaceTest, FindByDisplayNameIsCaseAndOrderInsensitive) {
+  Result<GroupId> a = space_->FindByDisplayName("asian female");
+  Result<GroupId> b = space_->FindByDisplayName("Female Asian");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST_F(GroupSpaceTest, FindByDisplayNameUnknownFails) {
+  EXPECT_FALSE(space_->FindByDisplayName("Martian").ok());
+}
+
+TEST_F(GroupSpaceTest, MembersAmongFiltersPopulation) {
+  std::vector<Demographics> population = {
+      {0, 1},  // Asian Female
+      {1, 0},  // Black Male
+      {0, 0},  // Asian Male
+      {0, 1},  // Asian Female
+  };
+  GroupId asian_female = Id({{0, 0}, {1, 1}});
+  EXPECT_EQ(space_->MembersAmong(asian_female, population),
+            (std::vector<size_t>{0, 3}));
+  GroupId asian = Id({{0, 0}});
+  EXPECT_EQ(space_->MembersAmong(asian, population),
+            (std::vector<size_t>{0, 2, 3}));
+}
+
+TEST(GroupSpaceEnumerationTest, RejectsEmptySchema) {
+  AttributeSchema schema;
+  EXPECT_FALSE(GroupSpace::Enumerate(schema).ok());
+}
+
+TEST(GroupSpaceEnumerationTest, SingleAttributeSpace) {
+  AttributeSchema schema;
+  ASSERT_TRUE(schema.AddAttribute("gender", {"Male", "Female"}).ok());
+  Result<GroupSpace> space = GroupSpace::Enumerate(schema);
+  ASSERT_TRUE(space.ok());
+  EXPECT_EQ(space->num_groups(), 2u);
+}
+
+TEST(GroupSpaceEnumerationTest, EnumerateUpToBoundsConjunctionSize) {
+  AttributeSchema schema;
+  ASSERT_TRUE(schema.AddAttribute("a", {"x", "y"}).ok());
+  ASSERT_TRUE(schema.AddAttribute("b", {"x", "y", "z"}).ok());
+  ASSERT_TRUE(schema.AddAttribute("c", {"x", "y"}).ok());
+  // Singles only: 2 + 3 + 2 = 7 groups.
+  GroupSpace singles = *GroupSpace::EnumerateUpTo(schema, 1);
+  EXPECT_EQ(singles.num_groups(), 7u);
+  for (size_t g = 0; g < singles.num_groups(); ++g) {
+    EXPECT_EQ(singles.label(static_cast<GroupId>(g)).size(), 1u);
+  }
+  // Up to pairs: 7 + (2·3 + 2·2 + 3·2) = 23.
+  GroupSpace pairs = *GroupSpace::EnumerateUpTo(schema, 2);
+  EXPECT_EQ(pairs.num_groups(), 23u);
+  // max >= attribute count degenerates to the full enumeration.
+  GroupSpace full = *GroupSpace::EnumerateUpTo(schema, 3);
+  EXPECT_EQ(full.num_groups(), GroupSpace::Enumerate(schema)->num_groups());
+}
+
+TEST(GroupSpaceEnumerationTest, RestrictedSpaceClosedUnderComparables) {
+  AttributeSchema schema;
+  ASSERT_TRUE(schema.AddAttribute("a", {"x", "y"}).ok());
+  ASSERT_TRUE(schema.AddAttribute("b", {"x", "y", "z"}).ok());
+  ASSERT_TRUE(schema.AddAttribute("c", {"x", "y"}).ok());
+  GroupSpace space = *GroupSpace::EnumerateUpTo(schema, 2);
+  for (size_t g = 0; g < space.num_groups(); ++g) {
+    size_t arity = space.label(static_cast<GroupId>(g)).size();
+    const std::vector<GroupId>& comp =
+        space.Comparables(static_cast<GroupId>(g));
+    EXPECT_FALSE(comp.empty());
+    for (GroupId other : comp) {
+      EXPECT_EQ(space.label(other).size(), arity);
+    }
+  }
+}
+
+TEST(GroupSpaceEnumerationTest, EnumerateUpToRejectsZero) {
+  AttributeSchema schema;
+  ASSERT_TRUE(schema.AddAttribute("a", {"x", "y"}).ok());
+  EXPECT_FALSE(GroupSpace::EnumerateUpTo(schema, 0).ok());
+}
+
+TEST(GroupSpaceEnumerationTest, ThreeAttributeCount) {
+  AttributeSchema schema;
+  ASSERT_TRUE(schema.AddAttribute("a", {"x", "y"}).ok());
+  ASSERT_TRUE(schema.AddAttribute("b", {"x", "y", "z"}).ok());
+  ASSERT_TRUE(schema.AddAttribute("c", {"x"}).ok());
+  Result<GroupSpace> space = GroupSpace::Enumerate(schema);
+  ASSERT_TRUE(space.ok());
+  EXPECT_EQ(space->num_groups(), 3u * 4u * 2u - 1u);
+}
+
+}  // namespace
+}  // namespace fairjob

@@ -1,0 +1,133 @@
+#include "core/group.h"
+
+#include <gtest/gtest.h>
+
+namespace fairjob {
+namespace {
+
+AttributeSchema Schema() {
+  AttributeSchema schema;
+  EXPECT_TRUE(schema.AddAttribute("ethnicity", {"Asian", "Black", "White"}).ok());
+  EXPECT_TRUE(schema.AddAttribute("gender", {"Male", "Female"}).ok());
+  return schema;
+}
+
+TEST(GroupLabelTest, MakeSortsPredicates) {
+  Result<GroupLabel> label = GroupLabel::Make({{1, 1}, {0, 2}});
+  ASSERT_TRUE(label.ok());
+  EXPECT_EQ(label->predicates()[0], (GroupLabel::Predicate{0, 2}));
+  EXPECT_EQ(label->predicates()[1], (GroupLabel::Predicate{1, 1}));
+}
+
+TEST(GroupLabelTest, RejectsEmpty) {
+  EXPECT_FALSE(GroupLabel::Make({}).ok());
+}
+
+TEST(GroupLabelTest, RejectsRepeatedAttribute) {
+  EXPECT_FALSE(GroupLabel::Make({{0, 1}, {0, 2}}).ok());
+}
+
+TEST(GroupLabelTest, AttributesAndValues) {
+  GroupLabel label = *GroupLabel::Make({{0, 1}, {1, 0}});
+  EXPECT_EQ(label.Attributes(), (std::vector<AttributeId>{0, 1}));
+  EXPECT_TRUE(label.HasAttribute(0));
+  EXPECT_FALSE(label.HasAttribute(2));
+  EXPECT_EQ(*label.ValueOf(0), 1);
+  EXPECT_FALSE(label.ValueOf(2).ok());
+}
+
+TEST(GroupLabelTest, WithValueReplaces) {
+  GroupLabel label = *GroupLabel::Make({{0, 1}, {1, 0}});
+  GroupLabel changed = label.WithValue(0, 2);
+  EXPECT_EQ(*changed.ValueOf(0), 2);
+  EXPECT_EQ(*changed.ValueOf(1), 0);
+  EXPECT_EQ(changed.size(), 2u);
+}
+
+TEST(GroupLabelTest, WithValueExtends) {
+  GroupLabel label = *GroupLabel::Make({{1, 1}});
+  GroupLabel extended = label.WithValue(0, 0);
+  EXPECT_EQ(extended.size(), 2u);
+  EXPECT_EQ(*extended.ValueOf(0), 0);
+  // Still sorted by attribute id.
+  EXPECT_EQ(extended.predicates()[0].first, 0);
+}
+
+TEST(GroupLabelTest, MatchesFullAssignment) {
+  GroupLabel black_female = *GroupLabel::Make({{0, 1}, {1, 1}});
+  EXPECT_TRUE(black_female.Matches({1, 1}));
+  EXPECT_FALSE(black_female.Matches({1, 0}));  // Black Male
+  EXPECT_FALSE(black_female.Matches({2, 1}));  // White Female
+}
+
+TEST(GroupLabelTest, PartialLabelMatchesAllValuesOfFreeAttributes) {
+  GroupLabel female = *GroupLabel::Make({{1, 1}});
+  EXPECT_TRUE(female.Matches({0, 1}));
+  EXPECT_TRUE(female.Matches({2, 1}));
+  EXPECT_FALSE(female.Matches({0, 0}));
+}
+
+TEST(GroupLabelTest, MatchesRejectsShortDemographics) {
+  GroupLabel label = *GroupLabel::Make({{1, 1}});
+  EXPECT_FALSE(label.Matches({}));
+}
+
+TEST(GroupLabelTest, ToStringAndDisplayName) {
+  AttributeSchema schema = Schema();
+  GroupLabel label = *GroupLabel::Make({{0, 0}, {1, 1}});
+  EXPECT_EQ(label.ToString(schema), "ethnicity=Asian ∧ gender=Female");
+  EXPECT_EQ(label.DisplayName(schema), "Asian Female");
+}
+
+TEST(GroupLabelTest, EqualityAndHash) {
+  GroupLabel a = *GroupLabel::Make({{0, 1}, {1, 0}});
+  GroupLabel b = *GroupLabel::Make({{1, 0}, {0, 1}});  // same, different order
+  GroupLabel c = *GroupLabel::Make({{0, 1}});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  GroupLabel::Hash hash;
+  EXPECT_EQ(hash(a), hash(b));
+}
+
+
+TEST(GroupLabelParseTest, ParsesToStringForms) {
+  AttributeSchema schema = Schema();
+  GroupLabel label = *GroupLabel::Make({{0, 1}, {1, 1}});
+  Result<GroupLabel> parsed = GroupLabel::Parse(label.ToString(schema), schema);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(*parsed == label);
+}
+
+TEST(GroupLabelParseTest, AcceptsAmpersandSpellings) {
+  AttributeSchema schema = Schema();
+  GroupLabel expected = *GroupLabel::Make({{0, 1}, {1, 1}});
+  for (const char* text :
+       {"ethnicity=Black & gender=Female", "gender=Female && ethnicity=Black",
+        "  ethnicity = Black  &  gender = Female "}) {
+    Result<GroupLabel> parsed = GroupLabel::Parse(text, schema);
+    ASSERT_TRUE(parsed.ok()) << text;
+    EXPECT_TRUE(*parsed == expected) << text;
+  }
+}
+
+TEST(GroupLabelParseTest, SinglePredicate) {
+  AttributeSchema schema = Schema();
+  Result<GroupLabel> parsed = GroupLabel::Parse("gender=Male", schema);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 1u);
+  EXPECT_EQ(*parsed->ValueOf(1), 0);
+}
+
+TEST(GroupLabelParseTest, RejectsMalformedInput) {
+  AttributeSchema schema = Schema();
+  EXPECT_FALSE(GroupLabel::Parse("", schema).ok());
+  EXPECT_FALSE(GroupLabel::Parse("gender", schema).ok());
+  EXPECT_FALSE(GroupLabel::Parse("age=Old", schema).ok());
+  EXPECT_FALSE(GroupLabel::Parse("gender=Martian", schema).ok());
+  EXPECT_FALSE(
+      GroupLabel::Parse("gender=Male & gender=Female", schema).ok());
+  EXPECT_FALSE(GroupLabel::Parse("gender=Male & ", schema).ok());
+}
+
+}  // namespace
+}  // namespace fairjob

@@ -1,0 +1,88 @@
+#include "ranking/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace fairjob {
+namespace {
+
+TEST(HistogramTest, RejectsZeroBins) {
+  EXPECT_FALSE(Histogram::Make(0, 0.0, 1.0).ok());
+}
+
+TEST(HistogramTest, RejectsInvertedRange) {
+  EXPECT_FALSE(Histogram::Make(5, 1.0, 0.0).ok());
+  EXPECT_FALSE(Histogram::Make(5, 1.0, 1.0).ok());
+}
+
+TEST(HistogramTest, CanonicalShape) {
+  Histogram h = Histogram::Canonical();
+  EXPECT_EQ(h.num_bins(), 10u);
+  EXPECT_EQ(h.lo(), 0.0);
+  EXPECT_EQ(h.hi(), 1.0);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(HistogramTest, BinAssignment) {
+  Histogram h = Histogram::Canonical();
+  EXPECT_EQ(h.BinOf(0.0), 0u);
+  EXPECT_EQ(h.BinOf(0.05), 0u);
+  EXPECT_EQ(h.BinOf(0.15), 1u);
+  EXPECT_EQ(h.BinOf(0.95), 9u);
+  EXPECT_EQ(h.BinOf(1.0), 9u);
+}
+
+TEST(HistogramTest, OutOfRangeValuesClampToBoundaryBins) {
+  Histogram h = Histogram::Canonical();
+  EXPECT_EQ(h.BinOf(-3.0), 0u);
+  EXPECT_EQ(h.BinOf(7.0), 9u);
+}
+
+TEST(HistogramTest, BinBoundaryGoesToUpperBin) {
+  // 0.1 is exactly on the 0/1 boundary; half-open bins put it in bin 1.
+  Histogram h = Histogram::Canonical();
+  EXPECT_EQ(h.BinOf(0.1), 1u);
+  EXPECT_EQ(h.BinOf(0.2), 2u);
+}
+
+TEST(HistogramTest, AddAccumulates) {
+  Histogram h = Histogram::Canonical();
+  h.AddAll({0.05, 0.07, 0.95});
+  EXPECT_EQ(h.total(), 3.0);
+  EXPECT_EQ(h.count(0), 2.0);
+  EXPECT_EQ(h.count(9), 1.0);
+  EXPECT_FALSE(h.empty());
+}
+
+TEST(HistogramTest, NormalizedSumsToOne) {
+  Histogram h = Histogram::Canonical();
+  h.AddAll({0.1, 0.2, 0.3, 0.9});
+  std::vector<double> n = h.Normalized();
+  double sum = 0.0;
+  for (double v : n) sum += v;
+  EXPECT_DOUBLE_EQ(sum, 1.0);
+  EXPECT_DOUBLE_EQ(n[1], 0.25);
+}
+
+TEST(HistogramTest, NormalizedOfEmptyIsAllZero) {
+  Histogram h = Histogram::Canonical();
+  for (double v : h.Normalized()) EXPECT_EQ(v, 0.0);
+}
+
+TEST(HistogramTest, NonUnitRange) {
+  Result<Histogram> h = Histogram::Make(4, -2.0, 2.0);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->BinOf(-2.0), 0u);
+  EXPECT_EQ(h->BinOf(-0.5), 1u);
+  EXPECT_EQ(h->BinOf(0.5), 2u);
+  EXPECT_EQ(h->BinOf(1.9), 3u);
+}
+
+TEST(HistogramTest, SingleBinTakesEverything) {
+  Result<Histogram> h = Histogram::Make(1, 0.0, 1.0);
+  ASSERT_TRUE(h.ok());
+  h->AddAll({0.0, 0.5, 1.0});
+  EXPECT_EQ(h->count(0), 3.0);
+}
+
+}  // namespace
+}  // namespace fairjob

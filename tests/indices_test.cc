@@ -1,0 +1,179 @@
+#include "core/indices.h"
+
+#include <gtest/gtest.h>
+
+namespace fairjob {
+namespace {
+
+TEST(InvertedIndexTest, SortsDescending) {
+  InvertedIndex index({{0, 0.3}, {1, 0.9}, {2, 0.5}});
+  ASSERT_EQ(index.size(), 3u);
+  EXPECT_EQ(index.entry(0).pos, 1);
+  EXPECT_EQ(index.entry(1).pos, 2);
+  EXPECT_EQ(index.entry(2).pos, 0);
+}
+
+TEST(InvertedIndexTest, TiesBrokenByPosition) {
+  InvertedIndex index({{5, 0.5}, {2, 0.5}, {9, 0.5}});
+  EXPECT_EQ(index.entry(0).pos, 2);
+  EXPECT_EQ(index.entry(1).pos, 5);
+  EXPECT_EQ(index.entry(2).pos, 9);
+}
+
+TEST(InvertedIndexTest, RandomAccess) {
+  InvertedIndex index({{0, 0.3}, {1, 0.9}});
+  EXPECT_DOUBLE_EQ(*index.Find(0), 0.3);
+  EXPECT_DOUBLE_EQ(*index.Find(1), 0.9);
+  EXPECT_FALSE(index.Find(7).has_value());
+}
+
+TEST(InvertedIndexTest, EmptyIndex) {
+  InvertedIndex index({});
+  EXPECT_TRUE(index.empty());
+  EXPECT_FALSE(index.Find(0).has_value());
+}
+
+class IndexSetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cube_ = std::make_unique<UnfairnessCube>(
+        *UnfairnessCube::Make({0, 1, 2}, {0, 1}, {0, 1}));
+    // d<g,q,l> = g + 10q + 100l for present cells; (2, *, *) left missing.
+    for (size_t g = 0; g < 2; ++g) {
+      for (size_t q = 0; q < 2; ++q) {
+        for (size_t l = 0; l < 2; ++l) {
+          cube_->Set(g, q, l, static_cast<double>(g + 10 * q + 100 * l));
+        }
+      }
+    }
+    indices_ = std::make_unique<IndexSet>(IndexSet::Build(*cube_));
+  }
+
+  std::unique_ptr<UnfairnessCube> cube_;
+  std::unique_ptr<IndexSet> indices_;
+};
+
+TEST_F(IndexSetTest, GroupBasedListPerQueryLocationPair) {
+  // I(q=1, l=0): groups with their d values, descending.
+  const InvertedIndex& list = indices_->ListAt(Dimension::kGroup, 1, 0);
+  ASSERT_EQ(list.size(), 2u);  // group 2 has no value
+  EXPECT_EQ(list.entry(0).pos, 1);
+  EXPECT_DOUBLE_EQ(list.entry(0).value, 11.0);
+  EXPECT_EQ(list.entry(1).pos, 0);
+  EXPECT_DOUBLE_EQ(list.entry(1).value, 10.0);
+}
+
+TEST_F(IndexSetTest, QueryBasedListPerGroupLocationPair) {
+  // I(g=0, l=1): queries descending: q1 -> 110, q0 -> 100.
+  const InvertedIndex& list = indices_->ListAt(Dimension::kQuery, 0, 1);
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list.entry(0).pos, 1);
+  EXPECT_DOUBLE_EQ(list.entry(0).value, 110.0);
+}
+
+TEST_F(IndexSetTest, LocationBasedListPerGroupQueryPair) {
+  const InvertedIndex& list = indices_->ListAt(Dimension::kLocation, 1, 1);
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list.entry(0).pos, 1);  // l=1 -> 111
+  EXPECT_DOUBLE_EQ(list.entry(0).value, 111.0);
+  EXPECT_DOUBLE_EQ(*list.Find(0), 11.0);
+}
+
+TEST_F(IndexSetTest, MissingGroupAbsentFromEveryList) {
+  for (size_t q = 0; q < 2; ++q) {
+    for (size_t l = 0; l < 2; ++l) {
+      EXPECT_FALSE(
+          indices_->ListAt(Dimension::kGroup, q, l).Find(2).has_value());
+    }
+  }
+}
+
+TEST_F(IndexSetTest, ListsForAllSelectorsCoversCrossProduct) {
+  std::vector<const InvertedIndex*> lists = indices_->ListsFor(
+      Dimension::kGroup, AxisSelector::All(), AxisSelector::All());
+  EXPECT_EQ(lists.size(), 4u);  // 2 queries × 2 locations
+}
+
+TEST_F(IndexSetTest, ListsForSubsetsSelectsPairs) {
+  std::vector<const InvertedIndex*> lists = indices_->ListsFor(
+      Dimension::kGroup, AxisSelector::Single(1), AxisSelector::All());
+  ASSERT_EQ(lists.size(), 2u);
+  EXPECT_DOUBLE_EQ(lists[0]->entry(0).value, 11.0);   // (q=1, l=0)
+  EXPECT_DOUBLE_EQ(lists[1]->entry(0).value, 111.0);  // (q=1, l=1)
+}
+
+TEST_F(IndexSetTest, AxisSizes) {
+  EXPECT_EQ(indices_->axis_size(Dimension::kGroup), 3u);
+  EXPECT_EQ(indices_->axis_size(Dimension::kQuery), 2u);
+  EXPECT_EQ(indices_->axis_size(Dimension::kLocation), 2u);
+}
+
+TEST(InvertedIndexUpdateTest, UpsertInsertsAndKeepsOrder) {
+  InvertedIndex index({{0, 0.3}, {1, 0.9}});
+  index.Upsert(2, 0.5);
+  ASSERT_EQ(index.size(), 3u);
+  EXPECT_EQ(index.entry(0).pos, 1);
+  EXPECT_EQ(index.entry(1).pos, 2);
+  EXPECT_EQ(index.entry(2).pos, 0);
+  EXPECT_DOUBLE_EQ(*index.Find(2), 0.5);
+}
+
+TEST(InvertedIndexUpdateTest, UpsertReplacesExisting) {
+  InvertedIndex index({{0, 0.3}, {1, 0.9}});
+  index.Upsert(0, 0.95);  // moves to the top
+  ASSERT_EQ(index.size(), 2u);
+  EXPECT_EQ(index.entry(0).pos, 0);
+  EXPECT_DOUBLE_EQ(*index.Find(0), 0.95);
+  index.Upsert(0, 0.95);  // no-op
+  EXPECT_EQ(index.size(), 2u);
+}
+
+TEST(InvertedIndexUpdateTest, RemoveDeletesOrIgnores) {
+  InvertedIndex index({{0, 0.3}, {1, 0.9}});
+  index.Remove(0);
+  EXPECT_EQ(index.size(), 1u);
+  EXPECT_FALSE(index.Find(0).has_value());
+  index.Remove(42);  // absent: no-op
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST_F(IndexSetTest, RefreshColumnMatchesFullRebuild) {
+  // Mutate a column of the cube, refresh incrementally, and compare every
+  // list against a from-scratch build.
+  cube_->Set(0, 1, 0, 99.0);
+  cube_->Set(2, 1, 0, 55.0);   // group 2 becomes defined here
+  cube_->Clear(1, 1, 0);       // group 1 becomes undefined here
+  indices_->RefreshColumn(*cube_, 1, 0);
+  IndexSet rebuilt = IndexSet::Build(*cube_);
+
+  for (Dimension target :
+       {Dimension::kGroup, Dimension::kQuery, Dimension::kLocation}) {
+    size_t n1;
+    size_t n2;
+    if (target == Dimension::kGroup) {
+      n1 = 2;  // queries
+      n2 = 2;  // locations
+    } else if (target == Dimension::kQuery) {
+      n1 = 3;  // groups
+      n2 = 2;  // locations
+    } else {
+      n1 = 3;  // groups
+      n2 = 2;  // queries
+    }
+    for (size_t p1 = 0; p1 < n1; ++p1) {
+      for (size_t p2 = 0; p2 < n2; ++p2) {
+        const InvertedIndex& incremental = indices_->ListAt(target, p1, p2);
+        const InvertedIndex& fresh = rebuilt.ListAt(target, p1, p2);
+        ASSERT_EQ(incremental.size(), fresh.size())
+            << DimensionName(target) << " " << p1 << " " << p2;
+        for (size_t i = 0; i < fresh.size(); ++i) {
+          EXPECT_EQ(incremental.entry(i).pos, fresh.entry(i).pos);
+          EXPECT_DOUBLE_EQ(incremental.entry(i).value, fresh.entry(i).value);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fairjob

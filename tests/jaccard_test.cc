@@ -1,0 +1,76 @@
+#include "ranking/jaccard.h"
+
+#include <gtest/gtest.h>
+
+namespace fairjob {
+namespace {
+
+TEST(JaccardTest, IdenticalSetsIndexOne) {
+  RankedList a = {1, 2, 3};
+  RankedList b = {3, 1, 2};  // order is irrelevant
+  EXPECT_DOUBLE_EQ(*JaccardIndex(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(*JaccardDistance(a, b), 0.0);
+}
+
+TEST(JaccardTest, DisjointSetsIndexZero) {
+  EXPECT_DOUBLE_EQ(*JaccardIndex({1, 2}, {3, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(*JaccardDistance({1, 2}, {3, 4}), 1.0);
+}
+
+TEST(JaccardTest, PartialOverlap) {
+  // {1,2,3} vs {2,3,4}: intersection 2, union 4.
+  EXPECT_DOUBLE_EQ(*JaccardIndex({1, 2, 3}, {2, 3, 4}), 0.5);
+}
+
+TEST(JaccardTest, DifferentSizes) {
+  // {1,2,3,4} vs {1}: intersection 1, union 4.
+  EXPECT_DOUBLE_EQ(*JaccardIndex({1, 2, 3, 4}, {1}), 0.25);
+}
+
+TEST(JaccardTest, Symmetric) {
+  RankedList a = {1, 5, 9};
+  RankedList b = {5, 9, 13, 17};
+  EXPECT_DOUBLE_EQ(*JaccardIndex(a, b), *JaccardIndex(b, a));
+}
+
+TEST(JaccardTest, RejectsEmptyLists) {
+  EXPECT_FALSE(JaccardIndex({}, {1}).ok());
+  EXPECT_FALSE(JaccardIndex({1}, {}).ok());
+}
+
+TEST(JaccardTest, RejectsDuplicates) {
+  Result<double> r = JaccardIndex({1, 1}, {2});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(JaccardTest, DistanceComplementsIndex) {
+  RankedList a = {1, 2, 3};
+  RankedList b = {3, 4, 5};
+  EXPECT_DOUBLE_EQ(*JaccardIndex(a, b) + *JaccardDistance(a, b), 1.0);
+}
+
+TEST(OverlapAtKTest, FullPrefixOverlap) {
+  RankedList a = {1, 2, 3, 4, 5};
+  RankedList b = {2, 1, 3, 9, 8};
+  EXPECT_DOUBLE_EQ(*OverlapAtK(a, b, 3), 1.0);
+}
+
+TEST(OverlapAtKTest, PartialPrefixOverlap) {
+  RankedList a = {1, 2, 3, 4};
+  RankedList b = {1, 9, 8, 7};
+  EXPECT_DOUBLE_EQ(*OverlapAtK(a, b, 2), 0.5);
+}
+
+TEST(OverlapAtKTest, KLargerThanListsUsesWhatExists) {
+  RankedList a = {1, 2};
+  RankedList b = {1, 2};
+  EXPECT_DOUBLE_EQ(*OverlapAtK(a, b, 4), 0.5);  // 2 common / k=4
+}
+
+TEST(OverlapAtKTest, RejectsZeroK) {
+  EXPECT_FALSE(OverlapAtK({1}, {1}, 0).ok());
+}
+
+}  // namespace
+}  // namespace fairjob

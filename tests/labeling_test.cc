@@ -1,0 +1,160 @@
+#include "crawl/labeling.h"
+
+#include <gtest/gtest.h>
+
+namespace fairjob {
+namespace {
+
+AttributeSchema Schema() {
+  AttributeSchema schema;
+  EXPECT_TRUE(schema.AddAttribute("ethnicity", {"Asian", "Black", "White"}).ok());
+  EXPECT_TRUE(schema.AddAttribute("gender", {"Male", "Female"}).ok());
+  return schema;
+}
+
+TEST(SimulateAnnotationTest, ZeroErrorReturnsTruth) {
+  AttributeSchema schema = Schema();
+  Rng rng(1);
+  Demographics truth = {1, 0};
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(SimulateAnnotation(schema, truth, 0.0, &rng), truth);
+  }
+}
+
+TEST(SimulateAnnotationTest, FullErrorNeverReturnsTrueValue) {
+  AttributeSchema schema = Schema();
+  Rng rng(2);
+  Demographics truth = {1, 0};
+  for (int i = 0; i < 50; ++i) {
+    Demographics label = SimulateAnnotation(schema, truth, 1.0, &rng);
+    EXPECT_NE(label[0], truth[0]);
+    EXPECT_NE(label[1], truth[1]);
+    EXPECT_TRUE(schema.IsValidDemographics(label));
+  }
+}
+
+TEST(SimulateAnnotationTest, ErrorRateRoughlyRespected) {
+  AttributeSchema schema = Schema();
+  Rng rng(3);
+  Demographics truth = {2, 1};
+  int wrong = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    Demographics label = SimulateAnnotation(schema, truth, 0.2, &rng);
+    if (label[0] != truth[0]) ++wrong;
+  }
+  EXPECT_NEAR(static_cast<double>(wrong) / n, 0.2, 0.03);
+}
+
+TEST(MajorityVoteTest, UnanimousWins) {
+  AttributeSchema schema = Schema();
+  Result<Demographics> voted =
+      MajorityVote(schema, {{1, 0}, {1, 0}, {1, 0}});
+  ASSERT_TRUE(voted.ok());
+  EXPECT_EQ(*voted, (Demographics{1, 0}));
+}
+
+TEST(MajorityVoteTest, TwoOfThreeWins) {
+  AttributeSchema schema = Schema();
+  Result<Demographics> voted =
+      MajorityVote(schema, {{1, 0}, {1, 1}, {2, 1}});
+  ASSERT_TRUE(voted.ok());
+  EXPECT_EQ(*voted, (Demographics{1, 1}));
+}
+
+TEST(MajorityVoteTest, PerAttributeIndependence) {
+  AttributeSchema schema = Schema();
+  // Ethnicity majority is 0; gender majority is 1 — from different labelers.
+  Result<Demographics> voted =
+      MajorityVote(schema, {{0, 0}, {0, 1}, {1, 1}});
+  ASSERT_TRUE(voted.ok());
+  EXPECT_EQ(*voted, (Demographics{0, 1}));
+}
+
+TEST(MajorityVoteTest, TieBreaksTowardSmallestValue) {
+  AttributeSchema schema = Schema();
+  Result<Demographics> voted = MajorityVote(schema, {{2, 0}, {0, 1}});
+  ASSERT_TRUE(voted.ok());
+  EXPECT_EQ((*voted)[0], 0);  // 0 vs 2 tie -> 0
+  EXPECT_EQ((*voted)[1], 0);  // 0 vs 1 tie -> 0
+}
+
+TEST(MajorityVoteTest, RejectsEmptyAndInvalid) {
+  AttributeSchema schema = Schema();
+  EXPECT_FALSE(MajorityVote(schema, {}).ok());
+  EXPECT_FALSE(MajorityVote(schema, {{9, 0}}).ok());
+  EXPECT_FALSE(MajorityVote(schema, {{0}}).ok());
+}
+
+TEST(RunLabelingTest, PerfectAnnotatorsReproduceTruth) {
+  AttributeSchema schema = Schema();
+  std::vector<Demographics> truths = {{0, 0}, {1, 1}, {2, 0}};
+  LabelingConfig config;
+  config.error_rate = 0.0;
+  Rng rng(5);
+  Result<LabelingOutcome> outcome = RunLabeling(schema, truths, config, &rng);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->labels, truths);
+  EXPECT_DOUBLE_EQ(outcome->attribute_accuracy, 1.0);
+  EXPECT_EQ(outcome->items_fully_correct, 3u);
+}
+
+TEST(RunLabelingTest, MajorityVoteBeatsSingleAnnotatorAccuracy) {
+  AttributeSchema schema = Schema();
+  std::vector<Demographics> truths(800, Demographics{1, 0});
+  Rng rng(7);
+
+  LabelingConfig single;
+  single.annotators_per_item = 1;
+  single.error_rate = 0.25;
+  Result<LabelingOutcome> one = RunLabeling(schema, truths, single, &rng);
+
+  LabelingConfig triple = single;
+  triple.annotators_per_item = 3;
+  Result<LabelingOutcome> three = RunLabeling(schema, truths, triple, &rng);
+
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(three.ok());
+  EXPECT_GT(three->attribute_accuracy, one->attribute_accuracy);
+}
+
+TEST(RunLabelingTest, AccuracyDegradesWithNoise) {
+  AttributeSchema schema = Schema();
+  std::vector<Demographics> truths(500, Demographics{0, 1});
+  Rng rng(9);
+  LabelingConfig low;
+  low.error_rate = 0.05;
+  LabelingConfig high;
+  high.error_rate = 0.45;
+  Result<LabelingOutcome> a = RunLabeling(schema, truths, low, &rng);
+  Result<LabelingOutcome> b = RunLabeling(schema, truths, high, &rng);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(a->attribute_accuracy, b->attribute_accuracy);
+  EXPECT_GT(a->attribute_accuracy, 0.97);
+}
+
+TEST(RunLabelingTest, ValidatesConfigAndTruths) {
+  AttributeSchema schema = Schema();
+  Rng rng(11);
+  LabelingConfig config;
+  config.annotators_per_item = 0;
+  EXPECT_FALSE(RunLabeling(schema, {{0, 0}}, config, &rng).ok());
+  config.annotators_per_item = 3;
+  config.error_rate = 1.5;
+  EXPECT_FALSE(RunLabeling(schema, {{0, 0}}, config, &rng).ok());
+  config.error_rate = 0.1;
+  EXPECT_FALSE(RunLabeling(schema, {{9, 9}}, config, &rng).ok());
+}
+
+TEST(RunLabelingTest, EmptyPopulationIsFine) {
+  AttributeSchema schema = Schema();
+  Rng rng(13);
+  Result<LabelingOutcome> outcome = RunLabeling(schema, {}, {}, &rng);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->labels.empty());
+  EXPECT_DOUBLE_EQ(outcome->attribute_accuracy, 1.0);
+}
+
+}  // namespace
+}  // namespace fairjob

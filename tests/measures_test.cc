@@ -1,0 +1,346 @@
+#include "core/unfairness_measures.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace fairjob {
+namespace {
+
+// The paper's toy marketplace: Table 2's 10 workers and Table 3's ranking
+// for "Home Cleaning" in San Francisco. Attribute 0 = ethnicity
+// {Asian, Black, White}, attribute 1 = gender {Male, Female}.
+class PaperToyMarketTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    AttributeSchema schema;
+    ASSERT_TRUE(
+        schema.AddAttribute("ethnicity", {"Asian", "Black", "White"}).ok());
+    ASSERT_TRUE(schema.AddAttribute("gender", {"Male", "Female"}).ok());
+    // The space must be enumerated over a schema that outlives it: use the
+    // dataset's own copy.
+    data_ = std::make_unique<MarketplaceDataset>(schema);
+    space_ = std::make_unique<GroupSpace>(*GroupSpace::Enumerate(data_->schema()));
+
+    struct W {
+      const char* name;
+      ValueId ethnicity;
+      ValueId gender;
+    };
+    // Table 2 (0=Asian,1=Black,2=White; 0=Male,1=Female).
+    const W workers[] = {
+        {"w1", 0, 1}, {"w2", 2, 0}, {"w3", 2, 1}, {"w4", 0, 0}, {"w5", 1, 1},
+        {"w6", 1, 0}, {"w7", 1, 1}, {"w8", 1, 0}, {"w9", 2, 0}, {"w10", 2, 1},
+    };
+    for (const W& w : workers) {
+      ASSERT_TRUE(data_->AddWorker(w.name, {w.ethnicity, w.gender}).ok());
+    }
+    q_ = data_->queries().GetOrAdd("Home Cleaning");
+    l_ = data_->locations().GetOrAdd("San Francisco");
+    // Table 3: rank order and scores f_q(w).
+    MarketRanking ranking;
+    auto id = [&](const char* name) {
+      return *data_->workers().Find(name);
+    };
+    ranking.workers = {id("w3"), id("w8"), id("w6"), id("w2"), id("w1"),
+                       id("w4"), id("w7"), id("w5"), id("w9"), id("w10")};
+    ranking.scores = {0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1, 0.0};
+    ASSERT_TRUE(data_->SetRanking(q_, l_, std::move(ranking)).ok());
+  }
+
+  GroupId Group(const char* display) {
+    return *space_->FindByDisplayName(display);
+  }
+
+  std::unique_ptr<MarketplaceDataset> data_;
+  std::unique_ptr<GroupSpace> space_;
+  QueryId q_ = 0;
+  LocationId l_ = 0;
+};
+
+TEST_F(PaperToyMarketTest, Figure5ExposureUnfairnessOfBlackFemales) {
+  Result<double> d = MarketplaceUnfairness(*data_, *space_, Group("Black Female"),
+                                           q_, l_, MarketMeasure::kExposure);
+  ASSERT_TRUE(d.ok());
+  // exp share 0.94/(0.94+4.05) = 0.188, rel share 0.5/3.4 = 0.147.
+  EXPECT_NEAR(*d, 0.0407, 1e-3);
+}
+
+TEST_F(PaperToyMarketTest, EmdUnfairnessOfBlackFemalesExact) {
+  Result<double> d = MarketplaceUnfairness(*data_, *space_, Group("Black Female"),
+                                           q_, l_, MarketMeasure::kEmd);
+  ASSERT_TRUE(d.ok());
+  // Hand-computed with 10 canonical bins: EMD to Black Males 5/9, to Asian
+  // Females 2.5/9, to White Females 4/9; average 0.4259.
+  EXPECT_NEAR(*d, (5.0 + 2.5 + 4.0) / 9.0 / 3.0, 1e-9);
+}
+
+TEST_F(PaperToyMarketTest, DiscriminatedGroupScoresWorseThanPrivileged) {
+  double bf = *MarketplaceUnfairness(*data_, *space_, Group("Black Female"), q_,
+                                     l_, MarketMeasure::kEmd);
+  // Black males sit at ranks 2-3: their score distribution is much closer
+  // to their comparables' overall.
+  double bm = *MarketplaceUnfairness(*data_, *space_, Group("Black Male"), q_,
+                                     l_, MarketMeasure::kEmd);
+  EXPECT_GT(bf, 0.0);
+  EXPECT_GT(bm, 0.0);
+}
+
+TEST_F(PaperToyMarketTest, RankDerivedRelevanceEqualsScoresHere) {
+  // Table 3's scores are exactly 1 - rank/N, so disabling score usage must
+  // not change the result. Exposure uses the values directly (no histogram
+  // binning), so the two paths agree to floating-point noise; the EMD paths
+  // may differ by one bin where 0.7·10 straddles a bin boundary.
+  MeasureOptions with_scores;
+  MeasureOptions without_scores;
+  without_scores.use_scores_if_available = false;
+  double a = *MarketplaceUnfairness(*data_, *space_, Group("Black Female"), q_,
+                                    l_, MarketMeasure::kExposure, with_scores);
+  double b = *MarketplaceUnfairness(*data_, *space_, Group("Black Female"), q_,
+                                    l_, MarketMeasure::kExposure,
+                                    without_scores);
+  EXPECT_NEAR(a, b, 1e-9);
+
+  double emd_a = *MarketplaceUnfairness(*data_, *space_, Group("Black Female"),
+                                        q_, l_, MarketMeasure::kEmd, with_scores);
+  double emd_b = *MarketplaceUnfairness(*data_, *space_, Group("Black Female"),
+                                        q_, l_, MarketMeasure::kEmd,
+                                        without_scores);
+  EXPECT_NEAR(emd_a, emd_b, 0.05);  // at most a one-bin shift
+}
+
+TEST_F(PaperToyMarketTest, UnknownQueryLocationIsNotFound) {
+  Result<double> d = MarketplaceUnfairness(*data_, *space_, Group("Black Female"),
+                                           q_, l_ + 10, MarketMeasure::kEmd);
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(PaperToyMarketTest, BadOptionsAreInvalidArgument) {
+  MeasureOptions options;
+  options.histogram_bins = 0;
+  Result<double> d = MarketplaceUnfairness(*data_, *space_, Group("Black Female"),
+                                           q_, l_, MarketMeasure::kEmd, options);
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PaperToyMarketTest, ExposureSharesAreBounded) {
+  for (const char* name :
+       {"Asian Female", "Asian Male", "Black Female", "Black Male",
+        "White Female", "White Male", "Asian", "Black", "White", "Male",
+        "Female"}) {
+    Result<double> d = MarketplaceUnfairness(*data_, *space_, Group(name), q_,
+                                             l_, MarketMeasure::kExposure);
+    ASSERT_TRUE(d.ok()) << name;
+    EXPECT_GE(*d, 0.0) << name;
+    EXPECT_LE(*d, 1.0) << name;
+  }
+}
+
+TEST_F(PaperToyMarketTest, EmdDefinedForAllElevenGroups) {
+  for (size_t g = 0; g < space_->num_groups(); ++g) {
+    Result<double> d = MarketplaceUnfairness(
+        *data_, *space_, static_cast<GroupId>(g), q_, l_, MarketMeasure::kEmd);
+    ASSERT_TRUE(d.ok());
+    EXPECT_GE(*d, 0.0);
+    EXPECT_LE(*d, 1.0);
+  }
+}
+
+// A ranking whose workers are all from one demographic cell: every group is
+// either absent or lacks comparable members.
+TEST(MarketMeasureEdgeTest, NoComparableMembersIsNotFound) {
+  AttributeSchema schema;
+  ASSERT_TRUE(schema.AddAttribute("ethnicity", {"Asian", "Black", "White"}).ok());
+  ASSERT_TRUE(schema.AddAttribute("gender", {"Male", "Female"}).ok());
+  GroupSpace space = *GroupSpace::Enumerate(schema);
+  MarketplaceDataset data(schema);
+  ASSERT_TRUE(data.AddWorker("a", {0, 0}).ok());
+  ASSERT_TRUE(data.AddWorker("b", {0, 0}).ok());
+  MarketRanking ranking;
+  ranking.workers = {0, 1};
+  ASSERT_TRUE(data.SetRanking(0, 0, std::move(ranking)).ok());
+
+  GroupId asian_male = *space.FindByDisplayName("Asian Male");
+  Result<double> d = MarketplaceUnfairness(data, space, asian_male, 0, 0,
+                                           MarketMeasure::kEmd);
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kNotFound);
+
+  GroupId black_male = *space.FindByDisplayName("Black Male");
+  Result<double> d2 = MarketplaceUnfairness(data, space, black_male, 0, 0,
+                                            MarketMeasure::kExposure);
+  ASSERT_FALSE(d2.ok());
+  EXPECT_EQ(d2.status().code(), StatusCode::kNotFound);
+}
+
+// --- search measures ----------------------------------------------------------
+
+class SearchMeasureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    AttributeSchema schema;
+    ASSERT_TRUE(
+        schema.AddAttribute("ethnicity", {"Asian", "Black", "White"}).ok());
+    ASSERT_TRUE(schema.AddAttribute("gender", {"Male", "Female"}).ok());
+    data_ = std::make_unique<SearchDataset>(schema);
+    space_ = std::make_unique<GroupSpace>(*GroupSpace::Enumerate(data_->schema()));
+    // Two Black Females, one Black Male, one White Female.
+    ASSERT_TRUE(data_->AddUser("bf1", {1, 1}).ok());
+    ASSERT_TRUE(data_->AddUser("bf2", {1, 1}).ok());
+    ASSERT_TRUE(data_->AddUser("bm", {1, 0}).ok());
+    ASSERT_TRUE(data_->AddUser("wf", {2, 1}).ok());
+  }
+
+  GroupId Group(const char* display) {
+    return *space_->FindByDisplayName(display);
+  }
+
+  std::unique_ptr<SearchDataset> data_;
+  std::unique_ptr<GroupSpace> space_;
+};
+
+TEST_F(SearchMeasureTest, JaccardUnfairnessHandComputed) {
+  // BF lists share nothing with BM's and everything with WF's.
+  ASSERT_TRUE(data_->AddObservation(0, 0, {0, {1, 2, 3}}).ok());
+  ASSERT_TRUE(data_->AddObservation(0, 0, {1, {1, 2, 3}}).ok());
+  ASSERT_TRUE(data_->AddObservation(0, 0, {2, {7, 8, 9}}).ok());
+  ASSERT_TRUE(data_->AddObservation(0, 0, {3, {1, 2, 3}}).ok());
+  Result<double> d = SearchUnfairness(*data_, *space_, Group("Black Female"), 0,
+                                      0, SearchMeasure::kJaccard);
+  ASSERT_TRUE(d.ok());
+  // DIST(BF, BM) = 1 (disjoint), DIST(BF, WF) = 0 (identical); average 0.5.
+  EXPECT_DOUBLE_EQ(*d, 0.5);
+}
+
+TEST_F(SearchMeasureTest, IdenticalResultsEverywhereIsPerfectlyFair) {
+  for (UserId u = 0; u < 4; ++u) {
+    ASSERT_TRUE(data_->AddObservation(0, 0, {u, {1, 2, 3, 4}}).ok());
+  }
+  for (SearchMeasure m : {SearchMeasure::kKendallTau, SearchMeasure::kJaccard}) {
+    Result<double> d =
+        SearchUnfairness(*data_, *space_, Group("Black Female"), 0, 0, m);
+    ASSERT_TRUE(d.ok());
+    EXPECT_DOUBLE_EQ(*d, 0.0);
+  }
+}
+
+TEST_F(SearchMeasureTest, KendallTauSeesOrderDivergence) {
+  ASSERT_TRUE(data_->AddObservation(0, 0, {0, {1, 2, 3, 4}}).ok());
+  ASSERT_TRUE(data_->AddObservation(0, 0, {2, {4, 3, 2, 1}}).ok());
+  Result<double> kt = SearchUnfairness(*data_, *space_, Group("Black Female"),
+                                       0, 0, SearchMeasure::kKendallTau);
+  Result<double> jac = SearchUnfairness(*data_, *space_, Group("Black Female"),
+                                        0, 0, SearchMeasure::kJaccard);
+  ASSERT_TRUE(kt.ok());
+  ASSERT_TRUE(jac.ok());
+  EXPECT_GT(*kt, 0.0);            // order reversed
+  EXPECT_DOUBLE_EQ(*jac, 0.0);    // same set
+}
+
+TEST_F(SearchMeasureTest, MultipleObservationsPerUserAveraged) {
+  ASSERT_TRUE(data_->AddObservation(0, 0, {0, {1, 2}}).ok());
+  ASSERT_TRUE(data_->AddObservation(0, 0, {0, {3, 4}}).ok());  // same user
+  ASSERT_TRUE(data_->AddObservation(0, 0, {2, {1, 2}}).ok());
+  Result<double> d = SearchUnfairness(*data_, *space_, Group("Black Female"), 0,
+                                      0, SearchMeasure::kJaccard);
+  ASSERT_TRUE(d.ok());
+  // Pairs vs BM: ({1,2},{1,2}) = 0 and ({3,4},{1,2}) = 1 -> 0.5.
+  EXPECT_DOUBLE_EQ(*d, 0.5);
+}
+
+TEST_F(SearchMeasureTest, GroupWithoutObservationsIsNotFound) {
+  ASSERT_TRUE(data_->AddObservation(0, 0, {2, {1, 2}}).ok());
+  Result<double> d = SearchUnfairness(*data_, *space_, Group("Black Female"), 0,
+                                      0, SearchMeasure::kJaccard);
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(SearchMeasureTest, NoComparableObservationsIsNotFound) {
+  ASSERT_TRUE(data_->AddObservation(0, 0, {0, {1, 2}}).ok());
+  ASSERT_TRUE(data_->AddObservation(0, 0, {1, {1, 2}}).ok());
+  Result<double> d = SearchUnfairness(*data_, *space_, Group("Black Female"), 0,
+                                      0, SearchMeasure::kJaccard);
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(SearchMeasureTest, EmptyCellIsNotFound) {
+  Result<double> d = SearchUnfairness(*data_, *space_, Group("Black Female"), 5,
+                                      5, SearchMeasure::kKendallTau);
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(SearchMeasureTest, BadPenaltyRejected) {
+  ASSERT_TRUE(data_->AddObservation(0, 0, {0, {1}}).ok());
+  MeasureOptions options;
+  options.kendall_penalty = 2.0;
+  Result<double> d = SearchUnfairness(*data_, *space_, Group("Black Female"), 0,
+                                      0, SearchMeasure::kKendallTau, options);
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MeasureNamesTest, StableStrings) {
+  EXPECT_STREQ(MarketMeasureName(MarketMeasure::kEmd), "EMD");
+  EXPECT_STREQ(MarketMeasureName(MarketMeasure::kExposure), "Exposure");
+  EXPECT_STREQ(SearchMeasureName(SearchMeasure::kKendallTau), "KendallTau");
+  EXPECT_STREQ(SearchMeasureName(SearchMeasure::kJaccard), "Jaccard");
+  EXPECT_STREQ(SearchMeasureName(SearchMeasure::kFootrule), "Footrule");
+  EXPECT_STREQ(SearchMeasureName(SearchMeasure::kRbo), "RBO");
+}
+
+TEST(SearchListDistanceTest, DispatchesEveryMeasure) {
+  RankedList a = {1, 2, 3};
+  RankedList b = {3, 2, 9};
+  for (SearchMeasure measure :
+       {SearchMeasure::kKendallTau, SearchMeasure::kJaccard,
+        SearchMeasure::kFootrule, SearchMeasure::kRbo}) {
+    Result<double> d = SearchListDistance(measure, a, b);
+    ASSERT_TRUE(d.ok()) << SearchMeasureName(measure);
+    EXPECT_GT(*d, 0.0) << SearchMeasureName(measure);
+    EXPECT_LE(*d, 1.0) << SearchMeasureName(measure);
+    EXPECT_DOUBLE_EQ(*SearchListDistance(measure, a, a), 0.0)
+        << SearchMeasureName(measure);
+  }
+}
+
+TEST_F(SearchMeasureTest, FootruleAndRboMeasuresWork) {
+  ASSERT_TRUE(data_->AddObservation(0, 0, {0, {1, 2, 3, 4}}).ok());
+  ASSERT_TRUE(data_->AddObservation(0, 0, {2, {4, 3, 2, 1}}).ok());
+  for (SearchMeasure measure :
+       {SearchMeasure::kFootrule, SearchMeasure::kRbo}) {
+    Result<double> d = SearchUnfairness(*data_, *space_,
+                                        Group("Black Female"), 0, 0, measure);
+    ASSERT_TRUE(d.ok()) << SearchMeasureName(measure);
+    EXPECT_GT(*d, 0.0);  // reversed order diverges under both
+  }
+}
+
+TEST_F(PaperToyMarketTest, PowerLawExposureModel) {
+  MeasureOptions power;
+  power.exposure_model = ExposureModel::kPowerLaw;
+  power.exposure_gamma = 1.0;
+  Result<double> d = MarketplaceUnfairness(*data_, *space_,
+                                           Group("Black Female"), q_, l_,
+                                           MarketMeasure::kExposure, power);
+  ASSERT_TRUE(d.ok());
+  EXPECT_GE(*d, 0.0);
+  EXPECT_LE(*d, 1.0);
+  // The curve shape differs from log-inverse, so the value differs too.
+  double log_inverse = *MarketplaceUnfairness(
+      *data_, *space_, Group("Black Female"), q_, l_,
+      MarketMeasure::kExposure);
+  EXPECT_NE(*d, log_inverse);
+
+  power.exposure_gamma = -1.0;
+  EXPECT_FALSE(MarketplaceUnfairness(*data_, *space_, Group("Black Female"),
+                                     q_, l_, MarketMeasure::kExposure, power)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace fairjob

@@ -1,0 +1,148 @@
+#include "core/quantification.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace fairjob {
+namespace {
+
+class QuantificationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Axis ids deliberately differ from positions: groups {10,11,12},
+    // queries {20,21}, locations {30,31}.
+    cube_ = std::make_unique<UnfairnessCube>(
+        *UnfairnessCube::Make({10, 11, 12}, {20, 21}, {30, 31}));
+    // Group 0 averages 0.2, group 1 averages 0.5, group 2 averages 0.8.
+    double base[3] = {0.2, 0.5, 0.8};
+    for (size_t g = 0; g < 3; ++g) {
+      for (size_t q = 0; q < 2; ++q) {
+        for (size_t l = 0; l < 2; ++l) {
+          double jitter = 0.01 * static_cast<double>(q) -
+                          0.01 * static_cast<double>(l);
+          cube_->Set(g, q, l, base[g] + jitter);
+        }
+      }
+    }
+    indices_ = std::make_unique<IndexSet>(IndexSet::Build(*cube_));
+  }
+
+  std::unique_ptr<UnfairnessCube> cube_;
+  std::unique_ptr<IndexSet> indices_;
+};
+
+TEST_F(QuantificationTest, TopGroupsMostUnfair) {
+  QuantificationRequest request;
+  request.target = Dimension::kGroup;
+  request.k = 2;
+  Result<QuantificationResult> result =
+      SolveQuantification(*cube_, *indices_, request);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->answers.size(), 2u);
+  EXPECT_EQ(result->answers[0].id, 12);  // axis id, not position
+  EXPECT_NEAR(result->answers[0].value, 0.8, 1e-9);
+  EXPECT_EQ(result->answers[1].id, 11);
+}
+
+TEST_F(QuantificationTest, BottomGroupsLeastUnfair) {
+  QuantificationRequest request;
+  request.target = Dimension::kGroup;
+  request.k = 1;
+  request.direction = RankDirection::kLeastUnfair;
+  Result<QuantificationResult> result =
+      SolveQuantification(*cube_, *indices_, request);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->answers[0].id, 10);
+}
+
+TEST_F(QuantificationTest, QueryAndLocationTargets) {
+  QuantificationRequest request;
+  request.target = Dimension::kQuery;
+  request.k = 1;
+  Result<QuantificationResult> result =
+      SolveQuantification(*cube_, *indices_, request);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->answers[0].id, 21);  // +0.01 jitter side
+
+  request.target = Dimension::kLocation;
+  result = SolveQuantification(*cube_, *indices_, request);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->answers[0].id, 30);  // -0.01 applies to l=1
+}
+
+TEST_F(QuantificationTest, AggregationSubsetsRestrictLists) {
+  // Restrict to query position 1 only: group averages shift by +0.01 - the
+  // jitter mean over locations; ordering unchanged but values differ.
+  QuantificationRequest request;
+  request.target = Dimension::kGroup;
+  request.k = 1;
+  request.agg1 = AxisSelector::Single(1);  // queries axis
+  Result<QuantificationResult> result =
+      SolveQuantification(*cube_, *indices_, request);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->answers[0].value, 0.8 + 0.01 - 0.005, 1e-9);
+}
+
+TEST_F(QuantificationTest, AllowedTargetsFilter) {
+  QuantificationRequest request;
+  request.target = Dimension::kGroup;
+  request.k = 2;
+  request.allowed_targets = {0, 1};  // exclude the most unfair group (pos 2)
+  Result<QuantificationResult> result =
+      SolveQuantification(*cube_, *indices_, request);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->answers.size(), 2u);
+  EXPECT_EQ(result->answers[0].id, 11);
+}
+
+TEST_F(QuantificationTest, ScanBackendAgreesWithFagin) {
+  for (Dimension target :
+       {Dimension::kGroup, Dimension::kQuery, Dimension::kLocation}) {
+    QuantificationRequest request;
+    request.target = target;
+    request.k = 3;
+    request.algorithm = TopKAlgorithm::kThresholdAlgorithm;
+    Result<QuantificationResult> fagin =
+        SolveQuantification(*cube_, *indices_, request);
+    request.algorithm = TopKAlgorithm::kScan;
+    Result<QuantificationResult> scan =
+        SolveQuantification(*cube_, *indices_, request);
+    ASSERT_TRUE(fagin.ok());
+    ASSERT_TRUE(scan.ok());
+    ASSERT_EQ(fagin->answers.size(), scan->answers.size());
+    for (size_t i = 0; i < fagin->answers.size(); ++i) {
+      EXPECT_EQ(fagin->answers[i].id, scan->answers[i].id);
+      EXPECT_NEAR(fagin->answers[i].value, scan->answers[i].value, 1e-12);
+    }
+  }
+}
+
+TEST_F(QuantificationTest, ValidatesRequest) {
+  QuantificationRequest request;
+  request.k = 0;
+  EXPECT_FALSE(SolveQuantification(*cube_, *indices_, request).ok());
+
+  request.k = 1;
+  request.agg1 = AxisSelector::Single(99);
+  EXPECT_FALSE(SolveQuantification(*cube_, *indices_, request).ok());
+
+  request.agg1 = {};
+  request.allowed_targets = {42};
+  EXPECT_FALSE(SolveQuantification(*cube_, *indices_, request).ok());
+}
+
+TEST_F(QuantificationTest, StatsArePopulated) {
+  QuantificationRequest request;
+  request.target = Dimension::kGroup;
+  request.k = 1;
+  Result<QuantificationResult> result =
+      SolveQuantification(*cube_, *indices_, request);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->stats.sorted_accesses, 0u);
+  EXPECT_GT(result->stats.random_accesses, 0u);
+  EXPECT_GT(result->stats.ids_scored, 0u);
+}
+
+}  // namespace
+}  // namespace fairjob

@@ -1,0 +1,91 @@
+#include "ranking/rbo.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace fairjob {
+namespace {
+
+TEST(RboTest, IdenticalListsAreOne) {
+  RankedList a = {1, 2, 3, 4, 5};
+  EXPECT_NEAR(*RboSimilarity(a, a, 0.9), 1.0, 1e-12);
+  EXPECT_NEAR(*RboDistance(a, a, 0.9), 0.0, 1e-12);
+}
+
+TEST(RboTest, DisjointListsAreZero) {
+  EXPECT_NEAR(*RboSimilarity({1, 2, 3}, {4, 5, 6}, 0.9), 0.0, 1e-12);
+}
+
+TEST(RboTest, TopWeighted) {
+  // Agreeing at the top matters more than agreeing at the bottom.
+  RankedList base = {1, 2, 3, 4, 5, 6};
+  RankedList top_agrees = {1, 2, 3, 9, 8, 7};
+  RankedList bottom_agrees = {9, 8, 7, 4, 5, 6};
+  EXPECT_GT(*RboSimilarity(base, top_agrees, 0.9),
+            *RboSimilarity(base, bottom_agrees, 0.9));
+}
+
+TEST(RboTest, SmallerPMoreTopWeighted) {
+  RankedList base = {1, 2, 3, 4, 5, 6};
+  RankedList top_agrees = {1, 2, 9, 8, 7, 6};
+  // With tiny p, only the top matters: similarity approaches 1.
+  EXPECT_GT(*RboSimilarity(base, top_agrees, 0.1),
+            *RboSimilarity(base, top_agrees, 0.95));
+}
+
+TEST(RboTest, HandComputedSingleDepth) {
+  // Depth-1 lists: RBO = (1−p)·A_1 + p·A_1 = A_1.
+  EXPECT_NEAR(*RboSimilarity({7}, {7}, 0.5), 1.0, 1e-12);
+  EXPECT_NEAR(*RboSimilarity({7}, {8}, 0.5), 0.0, 1e-12);
+}
+
+TEST(RboTest, HandComputedTwoDepths) {
+  // a = {1,2}, b = {2,1}, p = 0.5: A_1 = 0, A_2 = 1.
+  // RBO = (1−p)(A_1 + p·A_2) + p²·A_2 = 0.5·(0 + 0.5) + 0.25 = 0.5.
+  EXPECT_NEAR(*RboSimilarity({1, 2}, {2, 1}, 0.5), 0.5, 1e-12);
+}
+
+TEST(RboTest, SymmetricAndBounded) {
+  Rng rng(31);
+  for (int trial = 0; trial < 30; ++trial) {
+    size_t k = 2 + rng.NextBelow(15);
+    std::vector<int32_t> pool(2 * k);
+    std::iota(pool.begin(), pool.end(), 0);
+    rng.Shuffle(pool);
+    RankedList a(pool.begin(), pool.begin() + static_cast<long>(k));
+    rng.Shuffle(pool);
+    RankedList b(pool.begin(), pool.begin() + static_cast<long>(k));
+    double ab = *RboSimilarity(a, b, 0.9);
+    double ba = *RboSimilarity(b, a, 0.9);
+    EXPECT_NEAR(ab, ba, 1e-12);
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, 1.0);
+  }
+}
+
+TEST(RboTest, UnequalLengthsUseCommonDepth) {
+  RankedList a = {1, 2, 3, 4, 5};
+  RankedList b = {1, 2};
+  Result<double> r = RboSimilarity(a, b, 0.9);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(*r, 1.0, 1e-12);  // agreement 1 at every evaluated depth
+}
+
+TEST(RboTest, Validation) {
+  EXPECT_FALSE(RboSimilarity({}, {1}, 0.9).ok());
+  EXPECT_FALSE(RboSimilarity({1}, {1}, 0.0).ok());
+  EXPECT_FALSE(RboSimilarity({1}, {1}, 1.0).ok());
+  EXPECT_FALSE(RboSimilarity({1, 1}, {1, 2}, 0.9).ok());
+}
+
+TEST(RboTest, DistanceComplementsSimilarity) {
+  RankedList a = {1, 2, 3};
+  RankedList b = {3, 1, 9};
+  EXPECT_NEAR(*RboSimilarity(a, b, 0.9) + *RboDistance(a, b, 0.9), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace fairjob

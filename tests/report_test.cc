@@ -1,0 +1,118 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/coverage.h"
+
+namespace fairjob {
+namespace {
+
+class ReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    AttributeSchema schema;
+    ASSERT_TRUE(
+        schema.AddAttribute("ethnicity", {"Asian", "Black", "White"}).ok());
+    ASSERT_TRUE(schema.AddAttribute("gender", {"Male", "Female"}).ok());
+    data_ = std::make_unique<MarketplaceDataset>(schema);
+    space_ = std::make_unique<GroupSpace>(
+        *GroupSpace::Enumerate(data_->schema()));
+    // 12 workers; Asians pushed to the bottom of "handyman" rankings.
+    std::vector<WorkerId> asians;
+    std::vector<WorkerId> rest;
+    int i = 0;
+    for (ValueId e = 0; e < 3; ++e) {
+      for (ValueId g = 0; g < 2; ++g) {
+        for (int n = 0; n < 2; ++n) {
+          WorkerId id = *data_->AddWorker("w" + std::to_string(i++), {e, g});
+          (e == 0 ? asians : rest).push_back(id);
+        }
+      }
+    }
+    QueryId handyman = data_->queries().GetOrAdd("handyman");
+    QueryId delivery = data_->queries().GetOrAdd("delivery");
+    LocationId nyc = data_->locations().GetOrAdd("NYC");
+    LocationId chi = data_->locations().GetOrAdd("Chicago");
+    MarketRanking biased;
+    biased.workers = rest;
+    biased.workers.insert(biased.workers.end(), asians.begin(), asians.end());
+    MarketRanking mixed;
+    for (size_t k = 0; k < asians.size(); ++k) {
+      mixed.workers.push_back(rest[2 * k]);
+      mixed.workers.push_back(asians[k]);
+      mixed.workers.push_back(rest[2 * k + 1]);
+    }
+    ASSERT_TRUE(data_->SetRanking(handyman, nyc, biased).ok());
+    ASSERT_TRUE(data_->SetRanking(handyman, chi, biased).ok());
+    ASSERT_TRUE(data_->SetRanking(delivery, nyc, mixed).ok());
+    ASSERT_TRUE(data_->SetRanking(delivery, chi, mixed).ok());
+    fbox_ = std::make_unique<FBox>(*FBox::ForMarketplace(
+        data_.get(), space_.get(), MarketMeasure::kEmd));
+  }
+
+  std::unique_ptr<MarketplaceDataset> data_;
+  std::unique_ptr<GroupSpace> space_;
+  std::unique_ptr<FBox> fbox_;
+};
+
+TEST_F(ReportTest, ContainsAllSections) {
+  AuditReportOptions options;
+  options.title = "Test audit";
+  options.top_k = 3;
+  std::string report = *GenerateAuditReport(*fbox_, options);
+  EXPECT_NE(report.find("# Test audit"), std::string::npos);
+  EXPECT_NE(report.find("Least fairly treated groups"), std::string::npos);
+  EXPECT_NE(report.find("Fairest groups"), std::string::npos);
+  EXPECT_NE(report.find("Least fairly treated queries"), std::string::npos);
+  EXPECT_NE(report.find("Least fairly treated locations"), std::string::npos);
+  EXPECT_NE(report.find("### Comparison: "), std::string::npos);
+  EXPECT_NE(report.find("is treated worst"), std::string::npos);
+  EXPECT_NE(report.find("95% CI"), std::string::npos);
+  // The biased query must surface in the drill-down.
+  EXPECT_NE(report.find("handyman"), std::string::npos);
+}
+
+TEST_F(ReportTest, OptionalSectionsCanBeDisabled) {
+  AuditReportOptions options;
+  options.include_fairest = false;
+  options.drilldown_cells = 0;
+  options.bootstrap_resamples = 0;
+  std::string report = *GenerateAuditReport(*fbox_, options);
+  EXPECT_EQ(report.find("Fairest groups"), std::string::npos);
+  EXPECT_EQ(report.find("is treated worst"), std::string::npos);
+  EXPECT_EQ(report.find("95% CI"), std::string::npos);
+}
+
+TEST_F(ReportTest, DeterministicAcrossRuns) {
+  AuditReportOptions options;
+  std::string a = *GenerateAuditReport(*fbox_, options);
+  std::string b = *GenerateAuditReport(*fbox_, options);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(ReportTest, CoverageSectionWhenProvided) {
+  CoverageReport coverage =
+      *AnalyzeMarketplaceCoverage(*data_, *space_, /*min_mean_members=*/5.0);
+  AuditReportOptions options;
+  options.coverage = &coverage;
+  std::string report = *GenerateAuditReport(*fbox_, options);
+  EXPECT_NE(report.find("Data-quality warnings"), std::string::npos);
+  EXPECT_NE(report.find("noise-dominated"), std::string::npos);
+}
+
+TEST_F(ReportTest, RejectsZeroTopK) {
+  AuditReportOptions options;
+  options.top_k = 0;
+  EXPECT_FALSE(GenerateAuditReport(*fbox_, options).ok());
+}
+
+TEST_F(ReportTest, DefaultOverloadWorks) {
+  Result<std::string> report = GenerateAuditReport(*fbox_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->find("# Fairness audit"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fairjob

@@ -1,0 +1,350 @@
+#include "search/google_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "search/formulations.h"
+
+namespace fairjob {
+namespace {
+
+TEST(FormulationsTest, KnownQueriesUsePaperTerms) {
+  std::vector<std::string> terms = ExpandFormulations("general cleaning", 5);
+  ASSERT_EQ(terms.size(), 5u);
+  EXPECT_EQ(terms[1], "office cleaning jobs");
+  EXPECT_EQ(terms[2], "private cleaning jobs");
+}
+
+TEST(FormulationsTest, UnknownQueriesUseTemplates) {
+  std::vector<std::string> terms = ExpandFormulations("dog walking", 5);
+  ASSERT_EQ(terms.size(), 5u);
+  EXPECT_EQ(terms[0], "dog walking jobs");
+  std::set<std::string> unique(terms.begin(), terms.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(FormulationsTest, RespectsRequestedCount) {
+  EXPECT_EQ(ExpandFormulations("yard work", 3).size(), 3u);
+  EXPECT_EQ(ExpandFormulations("yard work", 8).size(), 8u);
+}
+
+TEST(PersonalizationTest, IntensityBounds) {
+  AttributeSchema schema = GoogleSchema();
+  PersonalizationModel model =
+      *PersonalizationModel::Make(schema, SearchCalibration::PaperDefaults());
+  for (ValueId e = 0; e < 3; ++e) {
+    for (ValueId g = 0; g < 2; ++g) {
+      double theta = model.Intensity({e, g}, "yard work", "yard work",
+                                     "yard work jobs", "London, UK");
+      EXPECT_GE(theta, 0.0);
+      EXPECT_LE(theta, 1.0);
+    }
+  }
+}
+
+TEST(PersonalizationTest, WhiteFemaleMostIntenseBlackMaleLeast) {
+  AttributeSchema schema = GoogleSchema();
+  PersonalizationModel model =
+      *PersonalizationModel::Make(schema, SearchCalibration::PaperDefaults());
+  // ethnicity ids: Asian=0, Black=1, White=2; gender: Male=0, Female=1.
+  double wf = model.Intensity({2, 1}, "moving job", "moving job", "t",
+                              "Boston, MA");
+  double bm = model.Intensity({1, 0}, "moving job", "moving job", "t",
+                              "Boston, MA");
+  double am = model.Intensity({0, 0}, "moving job", "moving job", "t",
+                              "Boston, MA");
+  EXPECT_GT(wf, am);
+  EXPECT_GT(am, bm);
+}
+
+TEST(PersonalizationTest, LocationSeverityScales) {
+  AttributeSchema schema = GoogleSchema();
+  PersonalizationModel model =
+      *PersonalizationModel::Make(schema, SearchCalibration::PaperDefaults());
+  double london = model.Intensity({2, 1}, "moving job", "moving job", "t",
+                                  "London, UK");
+  double dc = model.Intensity({2, 1}, "moving job", "moving job", "t",
+                              "Washington, DC");
+  EXPECT_GT(london, 5.0 * dc);
+}
+
+TEST(PersonalizationTest, GenderFlipLocations) {
+  AttributeSchema schema = GoogleSchema();
+  PersonalizationModel model =
+      *PersonalizationModel::Make(schema, SearchCalibration::PaperDefaults());
+  double f_normal = model.Intensity({1, 1}, "moving job", "moving job", "t",
+                                    "Boston, MA");
+  double m_normal = model.Intensity({1, 0}, "moving job", "moving job", "t",
+                                    "Boston, MA");
+  EXPECT_GT(f_normal, m_normal);
+  double f_flip = model.Intensity({1, 1}, "moving job", "moving job", "t",
+                                  "Detroit, MI");
+  double m_flip = model.Intensity({1, 0}, "moving job", "moving job", "t",
+                                  "Detroit, MI");
+  EXPECT_LT(f_flip, m_flip);
+}
+
+TEST(PersonalizationTest, MissingValuesRejected) {
+  AttributeSchema schema;
+  ASSERT_TRUE(schema.AddAttribute("ethnicity", {"Asian", "Blue"}).ok());
+  ASSERT_TRUE(schema.AddAttribute("gender", {"Male", "Female"}).ok());
+  EXPECT_FALSE(
+      PersonalizationModel::Make(schema, SearchCalibration::PaperDefaults())
+          .ok());
+}
+
+class SearchEngineTest : public ::testing::Test {
+ protected:
+  SearchEngineTest()
+      : engine_(*PersonalizationModel::Make(
+                    schema_, SearchCalibration::PaperDefaults()),
+                EngineConfig()) {}
+
+  static SimulatedSearchEngine::Config EngineConfig() {
+    SimulatedSearchEngine::Config config;
+    config.seed = 11;
+    return config;
+  }
+
+  SimulatedSearchEngine::Request Request(const std::string& user,
+                                         Demographics demo,
+                                         const std::string& location,
+                                         const std::string& proxy) {
+    SimulatedSearchEngine::Request r;
+    r.user = user;
+    r.demographics = std::move(demo);
+    r.base_query = "general cleaning";
+    r.category = "general cleaning";
+    r.term = "office cleaning jobs";
+    r.location = location;
+    r.proxy_location = proxy;
+    return r;
+  }
+
+  AttributeSchema schema_ = GoogleSchema();
+  SimulatedSearchEngine engine_;
+};
+
+TEST_F(SearchEngineTest, CanonicalResultsDeterministicAndSized) {
+  std::vector<std::string> a =
+      engine_.CanonicalResults("general cleaning", "t1", "Boston, MA");
+  std::vector<std::string> b =
+      engine_.CanonicalResults("general cleaning", "t1", "Boston, MA");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), engine_.config().result_size);
+  std::set<std::string> unique(a.begin(), a.end());
+  EXPECT_EQ(unique.size(), a.size());
+}
+
+TEST_F(SearchEngineTest, FormulationsReturnSimilarButNotIdenticalLists) {
+  std::vector<std::string> t1 =
+      engine_.CanonicalResults("general cleaning", "t1", "Boston, MA");
+  std::vector<std::string> t2 =
+      engine_.CanonicalResults("general cleaning", "t2", "Boston, MA");
+  std::set<std::string> s1(t1.begin(), t1.end());
+  std::set<std::string> s2(t2.begin(), t2.end());
+  EXPECT_EQ(s1, s2);   // same result *set* (term variation only reorders)
+  EXPECT_NE(t1, t2);   // different order
+}
+
+TEST_F(SearchEngineTest, PersonalizationIsStablePerUser) {
+  // Two well-spaced searches by the same user agree (no carry-over window,
+  // no A/B hit is guaranteed only statistically — use a quiet config).
+  SimulatedSearchEngine::Config config = EngineConfig();
+  config.ab_test_rate = 0.0;
+  SimulatedSearchEngine engine(
+      *PersonalizationModel::Make(schema_, SearchCalibration::PaperDefaults()),
+      config);
+  auto req = Request("u1", {2, 1}, "London, UK", "London, UK");
+  std::vector<std::string> first = engine.Search(req, 0);
+  std::vector<std::string> second = engine.Search(req, 100000);
+  EXPECT_EQ(first, second);
+}
+
+TEST_F(SearchEngineTest, HighIntensityUsersDivergeMoreThanLowIntensity) {
+  SimulatedSearchEngine::Config config = EngineConfig();
+  config.ab_test_rate = 0.0;
+  SimulatedSearchEngine engine(
+      *PersonalizationModel::Make(schema_, SearchCalibration::PaperDefaults()),
+      config);
+  // "moving job" carries no ethnicity-query interaction terms, so θ is
+  // driven purely by cell × location: White Female in London (θ ≈ 0.48)
+  // vs Black Male in Washington DC (θ ≈ 0.01).
+  auto wf = Request("wf", {2, 1}, "London, UK", "London, UK");
+  wf.base_query = wf.category = "moving job";
+  wf.term = "moving job jobs";
+  auto bm = Request("bm", {1, 0}, "Washington, DC", "Washington, DC");
+  bm.base_query = bm.category = "moving job";
+  bm.term = "moving job jobs";
+  auto changed_vs_canonical = [&](const SimulatedSearchEngine::Request& req) {
+    std::vector<std::string> canonical =
+        engine.CanonicalResults(req.base_query, req.term, req.location);
+    std::vector<std::string> list = engine.Search(req, 0);
+    size_t changed = 0;
+    for (size_t i = 0; i < list.size(); ++i) {
+      if (list[i] != canonical[i]) ++changed;
+    }
+    return changed;
+  };
+  EXPECT_GT(changed_vs_canonical(wf), changed_vs_canonical(bm));
+}
+
+TEST_F(SearchEngineTest, CarryOverContaminatesCloseQueries) {
+  SimulatedSearchEngine::Config config = EngineConfig();
+  config.ab_test_rate = 0.0;
+  config.carry_over_rate = 1.0;
+  SimulatedSearchEngine engine(
+      *PersonalizationModel::Make(schema_, SearchCalibration::PaperDefaults()),
+      config);
+  auto req1 = Request("u1", {2, 1}, "London, UK", "London, UK");
+  req1.base_query = "yard work";
+  req1.category = "yard work";
+  req1.term = "yard work jobs";
+  engine.Search(req1, 0);
+  // Same user, different query 10 seconds later: carry-over window active.
+  auto req2 = Request("u1", {2, 1}, "London, UK", "London, UK");
+  std::vector<std::string> contaminated = engine.Search(req2, 10);
+  bool has_yard_doc = false;
+  for (const std::string& doc : contaminated) {
+    if (doc.find("yard work") != std::string::npos) has_yard_doc = true;
+  }
+  EXPECT_TRUE(has_yard_doc);
+}
+
+TEST_F(SearchEngineTest, SpacedQueriesAvoidCarryOver) {
+  SimulatedSearchEngine::Config config = EngineConfig();
+  config.ab_test_rate = 0.0;
+  config.carry_over_rate = 1.0;
+  SimulatedSearchEngine engine(
+      *PersonalizationModel::Make(schema_, SearchCalibration::PaperDefaults()),
+      config);
+  auto req1 = Request("u1", {2, 1}, "London, UK", "London, UK");
+  req1.base_query = "yard work";
+  req1.category = "yard work";
+  req1.term = "yard work jobs";
+  engine.Search(req1, 0);
+  auto req2 = Request("u1", {2, 1}, "London, UK", "London, UK");
+  std::vector<std::string> clean = engine.Search(req2, 720);  // 12 min later
+  for (const std::string& doc : clean) {
+    EXPECT_EQ(doc.find("yard work"), std::string::npos) << doc;
+  }
+}
+
+TEST_F(SearchEngineTest, GeoMismatchLeaksProxyResults) {
+  SimulatedSearchEngine::Config config = EngineConfig();
+  config.ab_test_rate = 0.0;
+  config.geo_mismatch_rate = 1.0;
+  SimulatedSearchEngine engine(
+      *PersonalizationModel::Make(schema_, SearchCalibration::PaperDefaults()),
+      config);
+  auto req = Request("u1", {1, 0}, "London, UK", "Boston, MA");
+  std::vector<std::string> leaked = engine.Search(req, 0);
+  bool has_boston_doc = false;
+  for (const std::string& doc : leaked) {
+    if (doc.find("Boston") != std::string::npos) has_boston_doc = true;
+  }
+  EXPECT_TRUE(has_boston_doc);
+}
+
+TEST(StudyRunnerTest, ValidatesInput) {
+  AttributeSchema schema = GoogleSchema();
+  SimulatedSearchEngine engine(
+      *PersonalizationModel::Make(schema, SearchCalibration::PaperDefaults()),
+      {});
+  VirtualClock clock;
+  StudyRunner runner(&engine, &clock, {});
+  EXPECT_FALSE(runner.Run({}, {{"u", {0, 0}}}).ok());
+  StudyTask task{"q", "q", "Boston, MA", {"t"}};
+  EXPECT_FALSE(runner.Run({task}, {}).ok());
+  StudyTask no_terms{"q", "q", "Boston, MA", {}};
+  EXPECT_FALSE(runner.Run({no_terms}, {{"u", {0, 0}}}).ok());
+}
+
+TEST(StudyRunnerTest, ProducesOneRunPerUserTermPair) {
+  AttributeSchema schema = GoogleSchema();
+  SimulatedSearchEngine engine(
+      *PersonalizationModel::Make(schema, SearchCalibration::PaperDefaults()),
+      {});
+  VirtualClock clock;
+  StudyRunner runner(&engine, &clock, {});
+  StudyTask task{"general cleaning", "general cleaning", "Boston, MA",
+                 {"office cleaning jobs", "private cleaning jobs"}};
+  std::vector<Participant> users = {{"u1", {0, 0}}, {"u2", {2, 1}}};
+  Result<StudyOutcome> outcome = runner.Run({task}, users);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->runs.size(), 4u);
+  EXPECT_EQ(outcome->user_demographics.size(), 2u);
+  EXPECT_EQ(outcome->base_query_of_term.at("office cleaning jobs"),
+            "general cleaning");
+  for (const SearchRunRecord& run : outcome->runs) {
+    EXPECT_FALSE(run.results.empty());
+    EXPECT_EQ(run.location, "Boston, MA");
+  }
+}
+
+TEST(GoogleStudyTasksTest, ReproducesTable7Placement) {
+  std::vector<StudyTask> tasks = GoogleStudyTasks();
+  std::map<std::string, int> locations_per_job;
+  std::set<std::string> locations;
+  for (const StudyTask& t : tasks) {
+    ++locations_per_job[t.base_query];
+    locations.insert(t.location);
+    EXPECT_EQ(t.terms.size(), 5u);
+  }
+  EXPECT_EQ(locations_per_job["yard work"], 4);
+  EXPECT_EQ(locations_per_job["general cleaning"], 3);
+  EXPECT_EQ(locations_per_job["event staffing"], 1);
+  EXPECT_EQ(locations_per_job["moving job"], 1);
+  EXPECT_EQ(locations_per_job["run errand"], 1);
+  EXPECT_EQ(locations_per_job["furniture assembly"], 1);
+  EXPECT_EQ(locations.size(), 11u);
+  // Every study city hosts exactly two jobs (the paper's ~20 queries over
+  // 10 locations).
+  std::map<std::string, int> jobs_per_location;
+  for (const StudyTask& t : tasks) ++jobs_per_location[t.location];
+  for (const auto& [loc, count] : jobs_per_location) {
+    EXPECT_EQ(count, 2) << loc;
+  }
+}
+
+TEST(GoogleStudyTest, BuildsAssembledDataset) {
+  GoogleStudyConfig config;
+  config.users_per_cell = 1;       // keep the test fast
+  config.formulations_per_query = 2;
+  Result<GoogleWorld> world = BuildGoogleStudy(config);
+  ASSERT_TRUE(world.ok());
+  EXPECT_EQ(world->dataset.num_users(), 6u);
+  // 11 base queries × 2 formulations = 22 distinct terms.
+  EXPECT_EQ(world->dataset.queries().size(), 22u);
+  EXPECT_EQ(world->dataset.locations().size(), 11u);
+  // Observation cells: each term observed only at its task's locations.
+  EXPECT_EQ(world->dataset.num_observation_cells(),
+            world->tasks.size() * 2u);
+  EXPECT_EQ(world->base_query_of_term.size(), 22u);
+  EXPECT_EQ(world->dataset_by_base_query.queries().size(), 11u);
+}
+
+TEST(GoogleStudyTest, DeterministicAcrossRebuilds) {
+  GoogleStudyConfig config;
+  config.users_per_cell = 1;
+  config.formulations_per_query = 2;
+  GoogleWorld a = *BuildGoogleStudy(config);
+  GoogleWorld b = *BuildGoogleStudy(config);
+  QueryId q = *a.dataset.queries().Find("office cleaning jobs");
+  LocationId l = *a.dataset.locations().Find("Boston, MA");
+  const auto* oa = a.dataset.GetObservations(q, l);
+  const auto* ob = b.dataset.GetObservations(
+      *b.dataset.queries().Find("office cleaning jobs"),
+      *b.dataset.locations().Find("Boston, MA"));
+  ASSERT_NE(oa, nullptr);
+  ASSERT_NE(ob, nullptr);
+  ASSERT_EQ(oa->size(), ob->size());
+  for (size_t i = 0; i < oa->size(); ++i) {
+    EXPECT_EQ((*oa)[i].results, (*ob)[i].results);
+  }
+}
+
+}  // namespace
+}  // namespace fairjob

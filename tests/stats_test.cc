@@ -1,0 +1,251 @@
+#include "core/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace fairjob {
+namespace {
+
+class StatsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cube_ = std::make_unique<UnfairnessCube>(
+        *UnfairnessCube::Make({0, 1}, {0, 1, 2, 3, 4, 5, 6, 7},
+                              {0, 1, 2, 3, 4}));
+    Rng rng(7);
+    for (size_t q = 0; q < 8; ++q) {
+      for (size_t l = 0; l < 5; ++l) {
+        // Group 0 around 0.6, group 1 around 0.3, small per-cell jitter.
+        cube_->Set(0, q, l, 0.6 + 0.05 * (rng.NextDouble() - 0.5));
+        cube_->Set(1, q, l, 0.3 + 0.05 * (rng.NextDouble() - 0.5));
+      }
+    }
+  }
+
+  std::unique_ptr<UnfairnessCube> cube_;
+};
+
+TEST_F(StatsTest, BootstrapPointMatchesPlainAggregate) {
+  Rng rng(1);
+  Result<ConfidenceInterval> ci = BootstrapAggregate(
+      *cube_, Dimension::kGroup, 0, {}, {}, 500, 0.95, &rng);
+  ASSERT_TRUE(ci.ok());
+  EXPECT_NEAR(ci->point, *cube_->AxisAverage(Dimension::kGroup, 0), 1e-12);
+  EXPECT_EQ(ci->cells, 40u);
+  EXPECT_EQ(ci->resamples, 500u);
+}
+
+TEST_F(StatsTest, IntervalContainsPointAndIsTight) {
+  Rng rng(2);
+  ConfidenceInterval ci = *BootstrapAggregate(*cube_, Dimension::kGroup, 0, {},
+                                              {}, 1000, 0.95, &rng);
+  EXPECT_LE(ci.lo, ci.point);
+  EXPECT_GE(ci.hi, ci.point);
+  // Jitter is ±0.025: the CI of the mean over 40 cells is a few thousandths.
+  EXPECT_LT(ci.hi - ci.lo, 0.05);
+  EXPECT_GT(ci.hi - ci.lo, 0.0);
+}
+
+TEST_F(StatsTest, DisjointGroupsHaveDisjointIntervals) {
+  Rng rng(3);
+  ConfidenceInterval a = *BootstrapAggregate(*cube_, Dimension::kGroup, 0, {},
+                                             {}, 500, 0.99, &rng);
+  ConfidenceInterval b = *BootstrapAggregate(*cube_, Dimension::kGroup, 1, {},
+                                             {}, 500, 0.99, &rng);
+  EXPECT_GT(a.lo, b.hi);  // 0.6-group entirely above 0.3-group
+}
+
+TEST_F(StatsTest, BootstrapIsDeterministicGivenSeed) {
+  Rng rng1(9);
+  Rng rng2(9);
+  ConfidenceInterval a = *BootstrapAggregate(*cube_, Dimension::kGroup, 0, {},
+                                             {}, 200, 0.9, &rng1);
+  ConfidenceInterval b = *BootstrapAggregate(*cube_, Dimension::kGroup, 0, {},
+                                             {}, 200, 0.9, &rng2);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST_F(StatsTest, BootstrapRespectsSelectors) {
+  Rng rng(4);
+  ConfidenceInterval ci = *BootstrapAggregate(
+      *cube_, Dimension::kGroup, 0, AxisSelector{{0, 1}}, AxisSelector{{2}},
+      300, 0.95, &rng);
+  EXPECT_EQ(ci.cells, 2u);
+}
+
+TEST_F(StatsTest, BootstrapValidation) {
+  Rng rng(5);
+  EXPECT_FALSE(
+      BootstrapAggregate(*cube_, Dimension::kGroup, 9, {}, {}, 100, 0.95, &rng)
+          .ok());
+  EXPECT_FALSE(
+      BootstrapAggregate(*cube_, Dimension::kGroup, 0, {}, {}, 0, 0.95, &rng)
+          .ok());
+  EXPECT_FALSE(
+      BootstrapAggregate(*cube_, Dimension::kGroup, 0, {}, {}, 100, 1.5, &rng)
+          .ok());
+}
+
+TEST_F(StatsTest, BootstrapOnEmptySliceIsNotFound) {
+  UnfairnessCube empty = *UnfairnessCube::Make({0}, {0}, {0});
+  Rng rng(6);
+  Result<ConfidenceInterval> ci =
+      BootstrapAggregate(empty, Dimension::kGroup, 0, {}, {}, 100, 0.95, &rng);
+  ASSERT_FALSE(ci.ok());
+  EXPECT_EQ(ci.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(StatsTest, PermutationTestDetectsSystematicGap) {
+  Rng rng(11);
+  Result<PermutationTestResult> test = PairedPermutationTest(
+      *cube_, Dimension::kGroup, 0, 1, {}, {}, 2000, &rng);
+  ASSERT_TRUE(test.ok());
+  EXPECT_NEAR(test->observed_diff, 0.3, 0.03);
+  EXPECT_EQ(test->pairs, 40u);
+  // 2^40 sign patterns; nothing comes close to the observed gap.
+  EXPECT_LT(test->p_value, 0.01);
+}
+
+TEST_F(StatsTest, PermutationTestNullWhenNoDifference) {
+  // Two groups drawn from the same distribution.
+  UnfairnessCube cube = *UnfairnessCube::Make({0, 1}, {0, 1, 2, 3, 4, 5, 6, 7},
+                                              {0, 1, 2, 3});
+  Rng data_rng(13);
+  for (size_t q = 0; q < 8; ++q) {
+    for (size_t l = 0; l < 4; ++l) {
+      cube.Set(0, q, l, data_rng.NextDouble());
+      cube.Set(1, q, l, data_rng.NextDouble());
+    }
+  }
+  Rng rng(14);
+  PermutationTestResult test = *PairedPermutationTest(
+      cube, Dimension::kGroup, 0, 1, {}, {}, 2000, &rng);
+  EXPECT_GT(test.p_value, 0.05);
+}
+
+TEST_F(StatsTest, PermutationPairsOnlyCoverSharedCells) {
+  UnfairnessCube cube = *UnfairnessCube::Make({0, 1}, {0, 1, 2}, {0});
+  cube.Set(0, 0, 0, 0.5);
+  cube.Set(1, 0, 0, 0.4);
+  cube.Set(0, 1, 0, 0.6);  // group 1 missing here
+  cube.Set(1, 2, 0, 0.3);  // group 0 missing here
+  Rng rng(15);
+  Result<PermutationTestResult> test =
+      PairedPermutationTest(cube, Dimension::kGroup, 0, 1, {}, {}, 100, &rng);
+  // Only one shared cell -> FailedPrecondition.
+  ASSERT_FALSE(test.ok());
+  EXPECT_EQ(test.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(StatsTest, SignificantComparisonAnnotatesRows) {
+  ComparisonRequest request;
+  request.compare_dim = Dimension::kGroup;
+  request.r1_pos = 0;
+  request.r2_pos = 1;
+  request.breakdown_dim = Dimension::kQuery;
+  Rng rng(21);
+  Result<SignificantComparisonResult> result =
+      SolveComparisonWithSignificance(*cube_, request, 1000, &rng);
+  ASSERT_TRUE(result.ok());
+  // Systematic 0.3 gap: overall and every per-query row are significant.
+  EXPECT_LT(result->overall_p_value, 0.01);
+  ASSERT_EQ(result->rows.size(), result->base.rows.size());
+  for (const SignificantComparisonRow& row : result->rows) {
+    EXPECT_EQ(row.pairs, 5u);  // 5 locations per query
+    // With 5 pairs the sign-flip test has 2^5 patterns, so the attainable
+    // two-sided floor is 2/32 = 0.0625 (±Monte-Carlo noise): expect the
+    // rows to sit at that floor, not below an unreachable 0.05.
+    EXPECT_LT(row.p_value, 0.08);
+  }
+  // The plain comparison part matches SolveComparison exactly.
+  ComparisonResult plain = *SolveComparison(*cube_, request);
+  EXPECT_DOUBLE_EQ(result->base.overall_d1, plain.overall_d1);
+  EXPECT_EQ(result->base.reversed.size(), plain.reversed.size());
+}
+
+TEST_F(StatsTest, SignificantComparisonNullGapHasHighP) {
+  UnfairnessCube cube = *UnfairnessCube::Make({0, 1}, {0, 1, 2, 3, 4, 5},
+                                              {0, 1, 2, 3, 4});
+  Rng data_rng(22);
+  for (size_t q = 0; q < 6; ++q) {
+    for (size_t l = 0; l < 5; ++l) {
+      cube.Set(0, q, l, data_rng.NextDouble());
+      cube.Set(1, q, l, data_rng.NextDouble());
+    }
+  }
+  ComparisonRequest request;
+  request.compare_dim = Dimension::kGroup;
+  request.r1_pos = 0;
+  request.r2_pos = 1;
+  request.breakdown_dim = Dimension::kLocation;
+  Rng rng(23);
+  SignificantComparisonResult result =
+      *SolveComparisonWithSignificance(cube, request, 1000, &rng);
+  EXPECT_GT(result.overall_p_value, 0.05);
+}
+
+TEST_F(StatsTest, SignificantComparisonRejectsSets) {
+  ComparisonRequest request;
+  request.compare_dim = Dimension::kGroup;
+  request.r1_set = {0};
+  request.r2_set = {1};
+  Rng rng(24);
+  EXPECT_FALSE(
+      SolveComparisonWithSignificance(*cube_, request, 100, &rng).ok());
+}
+
+TEST_F(StatsTest, PermutationValidation) {
+  Rng rng(16);
+  EXPECT_FALSE(
+      PairedPermutationTest(*cube_, Dimension::kGroup, 0, 0, {}, {}, 100, &rng)
+          .ok());
+  EXPECT_FALSE(
+      PairedPermutationTest(*cube_, Dimension::kGroup, 0, 1, {}, {}, 0, &rng)
+          .ok());
+  EXPECT_FALSE(
+      PairedPermutationTest(*cube_, Dimension::kGroup, 0, 9, {}, {}, 100, &rng)
+          .ok());
+}
+
+
+TEST_F(StatsTest, RankWithStabilitySeparatesDistantGroups) {
+  Rng rng(31);
+  std::vector<StableRankEntry> ranking =
+      *RankWithStability(*cube_, Dimension::kGroup, 5, 400, 0.95, &rng);
+  ASSERT_EQ(ranking.size(), 2u);  // only two groups exist
+  EXPECT_EQ(ranking[0].id, 0);    // the 0.6-group leads
+  EXPECT_NEAR(ranking[0].value, 0.6, 0.01);
+  // 0.6 vs 0.3 with tiny jitter: clearly separated.
+  EXPECT_TRUE(ranking[0].separated_from_next);
+  EXPECT_FALSE(ranking[1].separated_from_next);  // last entry
+}
+
+TEST_F(StatsTest, RankWithStabilityFlagsOverlappingRanks) {
+  // Two groups with identical distributions: CIs overlap, no separation.
+  UnfairnessCube cube = *UnfairnessCube::Make({0, 1}, {0, 1, 2, 3}, {0, 1});
+  Rng data_rng(32);
+  for (size_t q = 0; q < 4; ++q) {
+    for (size_t l = 0; l < 2; ++l) {
+      cube.Set(0, q, l, 0.5 + 0.2 * (data_rng.NextDouble() - 0.5));
+      cube.Set(1, q, l, 0.5 + 0.2 * (data_rng.NextDouble() - 0.5));
+    }
+  }
+  Rng rng(33);
+  std::vector<StableRankEntry> ranking =
+      *RankWithStability(cube, Dimension::kGroup, 2, 400, 0.95, &rng);
+  ASSERT_EQ(ranking.size(), 2u);
+  EXPECT_FALSE(ranking[0].separated_from_next);
+}
+
+TEST_F(StatsTest, RankWithStabilityValidates) {
+  Rng rng(34);
+  EXPECT_FALSE(
+      RankWithStability(*cube_, Dimension::kGroup, 0, 100, 0.95, &rng).ok());
+  EXPECT_FALSE(
+      RankWithStability(*cube_, Dimension::kGroup, 2, 0, 0.95, &rng).ok());
+}
+
+}  // namespace
+}  // namespace fairjob

@@ -1,0 +1,100 @@
+#include "core/trend.h"
+
+#include <gtest/gtest.h>
+
+namespace fairjob {
+namespace {
+
+UnfairnessCube CubeWith(std::vector<double> group_values) {
+  std::vector<GroupId> groups;
+  for (size_t g = 0; g < group_values.size(); ++g) {
+    groups.push_back(static_cast<GroupId>(g));
+  }
+  UnfairnessCube cube = *UnfairnessCube::Make(groups, {0}, {0});
+  for (size_t g = 0; g < group_values.size(); ++g) {
+    if (group_values[g] >= 0.0) cube.Set(g, 0, 0, group_values[g]);
+    // negative sentinel = leave missing
+  }
+  return cube;
+}
+
+TEST(TrendTest, RecordsSeriesPerPosition) {
+  TrendTracker tracker;
+  ASSERT_TRUE(tracker.RecordEpoch(CubeWith({0.1, 0.5})).ok());
+  ASSERT_TRUE(tracker.RecordEpoch(CubeWith({0.2, 0.4})).ok());
+  ASSERT_TRUE(tracker.RecordEpoch(CubeWith({0.3, -1.0})).ok());
+  EXPECT_EQ(tracker.num_epochs(), 3u);
+  EXPECT_EQ(tracker.axis_size(), 2u);
+  std::vector<std::optional<double>> series0 = tracker.Series(0);
+  ASSERT_EQ(series0.size(), 3u);
+  EXPECT_DOUBLE_EQ(*series0[0], 0.1);
+  EXPECT_DOUBLE_EQ(*series0[2], 0.3);
+  std::vector<std::optional<double>> series1 = tracker.Series(1);
+  EXPECT_TRUE(series1[1].has_value());
+  EXPECT_FALSE(series1[2].has_value());  // became undefined
+}
+
+TEST(TrendTest, RejectsMismatchedAxis) {
+  TrendTracker tracker;
+  ASSERT_TRUE(tracker.RecordEpoch(CubeWith({0.1, 0.5})).ok());
+  EXPECT_FALSE(tracker.RecordEpoch(CubeWith({0.1, 0.5, 0.9})).ok());
+}
+
+TEST(TrendTest, TopDriftsOrderedByMagnitude) {
+  TrendTracker tracker;
+  ASSERT_TRUE(tracker.RecordEpoch(CubeWith({0.10, 0.50, 0.30})).ok());
+  ASSERT_TRUE(tracker.RecordEpoch(CubeWith({0.15, 0.20, 0.31})).ok());
+  std::vector<TrendTracker::Drift> drifts = *tracker.TopDrifts(2);
+  ASSERT_EQ(drifts.size(), 2u);
+  EXPECT_EQ(drifts[0].pos, 1u);  // -0.30 swing
+  EXPECT_NEAR(drifts[0].delta(), -0.30, 1e-12);
+  EXPECT_EQ(drifts[1].pos, 0u);  // +0.05
+}
+
+TEST(TrendTest, DriftsSkipUndefinedPositions) {
+  TrendTracker tracker;
+  ASSERT_TRUE(tracker.RecordEpoch(CubeWith({0.10, -1.0})).ok());
+  ASSERT_TRUE(tracker.RecordEpoch(CubeWith({0.20, 0.9})).ok());
+  std::vector<TrendTracker::Drift> drifts = *tracker.TopDrifts(5);
+  ASSERT_EQ(drifts.size(), 1u);
+  EXPECT_EQ(drifts[0].pos, 0u);
+}
+
+TEST(TrendTest, RankCrossingsDetected) {
+  TrendTracker tracker;
+  // Epoch 0: a(0.1) < b(0.2) < c(0.3). Epoch 1: a jumps above c.
+  ASSERT_TRUE(tracker.RecordEpoch(CubeWith({0.1, 0.2, 0.3})).ok());
+  ASSERT_TRUE(tracker.RecordEpoch(CubeWith({0.4, 0.2, 0.3})).ok());
+  std::vector<std::pair<size_t, size_t>> crossings = *tracker.RankCrossings();
+  // a crossed b and c.
+  ASSERT_EQ(crossings.size(), 2u);
+  EXPECT_EQ(crossings[0], (std::pair<size_t, size_t>{0, 1}));
+  EXPECT_EQ(crossings[1], (std::pair<size_t, size_t>{0, 2}));
+}
+
+TEST(TrendTest, NoCrossingsWhenOrderStable) {
+  TrendTracker tracker;
+  ASSERT_TRUE(tracker.RecordEpoch(CubeWith({0.1, 0.2})).ok());
+  ASSERT_TRUE(tracker.RecordEpoch(CubeWith({0.15, 0.25})).ok());
+  EXPECT_TRUE(tracker.RankCrossings()->empty());
+}
+
+TEST(TrendTest, RequiresTwoEpochs) {
+  TrendTracker tracker;
+  ASSERT_TRUE(tracker.RecordEpoch(CubeWith({0.1})).ok());
+  EXPECT_FALSE(tracker.TopDrifts(1).ok());
+  EXPECT_FALSE(tracker.RankCrossings().ok());
+}
+
+TEST(TrendTest, TracksOtherDimensions) {
+  TrendTracker tracker(Dimension::kLocation);
+  UnfairnessCube cube = *UnfairnessCube::Make({0}, {0}, {0, 1});
+  cube.Set(0, 0, 0, 0.4);
+  cube.Set(0, 0, 1, 0.6);
+  ASSERT_TRUE(tracker.RecordEpoch(cube).ok());
+  EXPECT_EQ(tracker.axis_size(), 2u);
+  EXPECT_DOUBLE_EQ(*tracker.Series(1)[0], 0.6);
+}
+
+}  // namespace
+}  // namespace fairjob

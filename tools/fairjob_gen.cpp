@@ -1,0 +1,166 @@
+// fairjob_gen — generate synthetic platform exports for experimenting with
+// fairjob_cli (and for teaching: the data carries the calibrated biases of
+// the paper reproduction, so audits of it find real structure).
+//
+//   fairjob_gen market --out <dir> [--workers 600] [--cities 6]
+//                      [--subjobs 3] [--seed 20190601] [--epoch 0]
+//       writes <dir>/crawl.csv + <dir>/workers.csv
+//   fairjob_gen search --out <dir> [--users-per-cell 3] [--seed 20190715]
+//       writes <dir>/runs.csv + <dir>/users.csv
+//
+// Typical loop:
+//   fairjob_gen market --out /tmp/demo
+//   fairjob_cli audit --crawl /tmp/demo/crawl.csv ...
+//       ... --workers /tmp/demo/workers.csv --report audit.md
+
+#include <cstdio>
+#include <string>
+
+#include "common/flags.h"
+#include "crawl/csv.h"
+#include "crawl/dataset_assembly.h"
+#include "market/taskrabbit_sim.h"
+#include "search/google_sim.h"
+
+namespace fairjob {
+namespace {
+
+int Usage() {
+  std::printf(
+      "usage: fairjob_gen <market|search> --out <dir> [flags]\n"
+      "  market: [--workers N] [--cities N] [--subjobs N] [--seed S]\n"
+      "          [--epoch E]   -> crawl.csv + workers.csv\n"
+      "  search: [--users-per-cell N] [--seed S] -> runs.csv + users.csv\n");
+  return 0;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int GenerateMarket(const Flags& flags, const std::string& out_dir) {
+  TaskRabbitConfig config;
+  Result<long> workers = flags.GetInt("workers", 600);
+  Result<long> cities = flags.GetInt("cities", 6);
+  Result<long> subjobs = flags.GetInt("subjobs", 3);
+  Result<long> seed = flags.GetInt("seed", 20190601);
+  Result<long> epoch = flags.GetInt("epoch", 0);
+  for (const auto* value : {&workers, &cities, &subjobs, &seed, &epoch}) {
+    if (!value->ok()) return Fail(value->status());
+  }
+  config.num_workers = static_cast<size_t>(*workers);
+  config.max_cities = static_cast<size_t>(*cities);
+  config.max_subjobs_per_category = static_cast<size_t>(*subjobs);
+  config.seed = static_cast<uint64_t>(*seed);
+  config.target_query_count = 1 << 20;
+
+  // Build through the site so --epoch can shift the rankings.
+  Result<std::unique_ptr<SimulatedMarketplace>> site =
+      BuildTaskRabbitSite(config);
+  if (!site.ok()) return Fail(site.status());
+  (*site)->SetEpoch(static_cast<uint32_t>(*epoch));
+
+  MarketplaceDataset data((*site)->schema());
+  std::vector<WorkerId> ids((*site)->num_workers());
+  for (size_t i = 0; i < (*site)->num_workers(); ++i) {
+    Result<WorkerId> id = data.AddWorker((*site)->worker(i).name,
+                                         (*site)->worker(i).demographics);
+    if (!id.ok()) return Fail(id.status());
+    ids[i] = *id;
+  }
+  for (const std::string& city : (*site)->Cities()) {
+    for (const std::string& job : (*site)->JobsIn(city)) {
+      Result<std::vector<size_t>> ranking = (*site)->RankFor(job, city);
+      if (!ranking.ok()) return Fail(ranking.status());
+      MarketRanking market_ranking;
+      size_t n = std::min<size_t>(ranking->size(), 50);
+      for (size_t i = 0; i < n; ++i) {
+        market_ranking.workers.push_back(ids[(*ranking)[i]]);
+      }
+      QueryId q = data.queries().GetOrAdd(job);
+      LocationId l = data.locations().GetOrAdd(city);
+      Status set = data.SetRanking(q, l, std::move(market_ranking));
+      if (!set.ok()) return Fail(set);
+    }
+  }
+
+  std::string crawl_path = out_dir + "/crawl.csv";
+  std::string workers_path = out_dir + "/workers.csv";
+  Status wrote = WriteCsvFile(crawl_path,
+                              CrawlRecordsToCsvRows(DatasetToCrawlRecords(data)));
+  if (!wrote.ok()) return Fail(wrote);
+  wrote = WriteCsvFile(workers_path, WorkerTableToCsvRows(data));
+  if (!wrote.ok()) return Fail(wrote);
+  std::printf("wrote %s (%zu rankings) and %s (%zu workers), epoch %ld\n",
+              crawl_path.c_str(), data.num_rankings(), workers_path.c_str(),
+              data.num_workers(), *epoch);
+  return 0;
+}
+
+int GenerateSearch(const Flags& flags, const std::string& out_dir) {
+  GoogleStudyConfig config;
+  Result<long> users = flags.GetInt("users-per-cell", 3);
+  Result<long> seed = flags.GetInt("seed", 20190715);
+  if (!users.ok()) return Fail(users.status());
+  if (!seed.ok()) return Fail(seed.status());
+  config.users_per_cell = static_cast<size_t>(*users);
+  config.seed = static_cast<uint64_t>(*seed);
+
+  Result<GoogleWorld> world = BuildGoogleStudy(config);
+  if (!world.ok()) return Fail(world.status());
+  Result<std::vector<SearchRunRecord>> runs =
+      DatasetToSearchRunRecords(world->dataset, world->documents);
+  if (!runs.ok()) return Fail(runs.status());
+  Result<std::vector<std::vector<std::string>>> run_rows =
+      SearchRunRecordsToCsvRows(*runs);
+  if (!run_rows.ok()) return Fail(run_rows.status());
+
+  // users.csv via the worker-table format with a "user" header.
+  const AttributeSchema& schema = world->dataset.schema();
+  std::vector<std::vector<std::string>> user_rows;
+  std::vector<std::string> header = {"user"};
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    header.push_back(schema.attribute_name(static_cast<AttributeId>(a)));
+  }
+  user_rows.push_back(std::move(header));
+  for (size_t u = 0; u < world->dataset.num_users(); ++u) {
+    std::vector<std::string> row = {
+        world->dataset.users().NameOf(static_cast<UserId>(u))};
+    const Demographics& d =
+        world->dataset.user_demographics(static_cast<UserId>(u));
+    for (size_t a = 0; a < schema.num_attributes(); ++a) {
+      row.push_back(schema.value_name(static_cast<AttributeId>(a), d[a]));
+    }
+    user_rows.push_back(std::move(row));
+  }
+
+  std::string runs_path = out_dir + "/runs.csv";
+  std::string users_path = out_dir + "/users.csv";
+  Status wrote = WriteCsvFile(runs_path, *run_rows);
+  if (!wrote.ok()) return Fail(wrote);
+  wrote = WriteCsvFile(users_path, user_rows);
+  if (!wrote.ok()) return Fail(wrote);
+  std::printf("wrote %s (%zu runs) and %s (%zu users)\n", runs_path.c_str(),
+              runs->size(), users_path.c_str(), world->dataset.num_users());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Result<Flags> flags = Flags::Parse({argv + 2, argv + argc});
+  if (!flags.ok()) return Fail(flags.status());
+  std::string out_dir = flags->GetString("out");
+  if (out_dir.empty()) {
+    return Fail(Status::InvalidArgument("--out <dir> is required"));
+  }
+  std::string command = argv[1];
+  if (command == "market") return GenerateMarket(*flags, out_dir);
+  if (command == "search") return GenerateSearch(*flags, out_dir);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace fairjob
+
+int main(int argc, char** argv) { return fairjob::Main(argc, argv); }
