@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fagin_perf.cc" "bench/CMakeFiles/bench_fagin_perf.dir/bench_fagin_perf.cc.o" "gcc" "bench/CMakeFiles/bench_fagin_perf.dir/bench_fagin_perf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fairjob_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairjob_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairjob_crawl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairjob_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairjob_ranking.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairjob_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

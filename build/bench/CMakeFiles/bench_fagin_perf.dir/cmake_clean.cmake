@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fagin_perf.dir/bench_fagin_perf.cc.o"
+  "CMakeFiles/bench_fagin_perf.dir/bench_fagin_perf.cc.o.d"
+  "bench_fagin_perf"
+  "bench_fagin_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fagin_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

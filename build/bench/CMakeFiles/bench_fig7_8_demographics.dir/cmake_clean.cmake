@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_8_demographics.dir/bench_fig7_8_demographics.cc.o"
+  "CMakeFiles/bench_fig7_8_demographics.dir/bench_fig7_8_demographics.cc.o.d"
+  "bench_fig7_8_demographics"
+  "bench_fig7_8_demographics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_8_demographics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_google_quant.dir/bench_google_quant.cc.o"
+  "CMakeFiles/bench_google_quant.dir/bench_google_quant.cc.o.d"
+  "bench_google_quant"
+  "bench_google_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_google_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

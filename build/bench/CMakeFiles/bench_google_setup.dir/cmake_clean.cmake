@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_google_setup.dir/bench_google_setup.cc.o"
+  "CMakeFiles/bench_google_setup.dir/bench_google_setup.cc.o.d"
+  "bench_google_setup"
+  "bench_google_setup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_google_setup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_incremental_perf.dir/bench_incremental_perf.cc.o"
+  "CMakeFiles/bench_incremental_perf.dir/bench_incremental_perf.cc.o.d"
+  "bench_incremental_perf"
+  "bench_incremental_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_incremental_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_measure_agreement.dir/bench_measure_agreement.cc.o"
+  "CMakeFiles/bench_measure_agreement.dir/bench_measure_agreement.cc.o.d"
+  "bench_measure_agreement"
+  "bench_measure_agreement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_measure_agreement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_measures_perf.dir/bench_measures_perf.cc.o"
+  "CMakeFiles/bench_measures_perf.dir/bench_measures_perf.cc.o.d"
+  "bench_measures_perf"
+  "bench_measures_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_measures_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

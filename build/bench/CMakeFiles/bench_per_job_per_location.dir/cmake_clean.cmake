@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_per_job_per_location.dir/bench_per_job_per_location.cc.o"
+  "CMakeFiles/bench_per_job_per_location.dir/bench_per_job_per_location.cc.o.d"
+  "bench_per_job_per_location"
+  "bench_per_job_per_location.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_per_job_per_location.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_per_job_per_location.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stats_significance.dir/bench_stats_significance.cc.o"
+  "CMakeFiles/bench_stats_significance.dir/bench_stats_significance.cc.o.d"
+  "bench_stats_significance"
+  "bench_stats_significance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stats_significance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

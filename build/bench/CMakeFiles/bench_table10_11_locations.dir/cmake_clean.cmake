@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_11_locations.dir/bench_table10_11_locations.cc.o"
+  "CMakeFiles/bench_table10_11_locations.dir/bench_table10_11_locations.cc.o.d"
+  "bench_table10_11_locations"
+  "bench_table10_11_locations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_11_locations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table12_gender_by_location.dir/bench_table12_gender_by_location.cc.o"
+  "CMakeFiles/bench_table12_gender_by_location.dir/bench_table12_gender_by_location.cc.o.d"
+  "bench_table12_gender_by_location"
+  "bench_table12_gender_by_location.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table12_gender_by_location.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

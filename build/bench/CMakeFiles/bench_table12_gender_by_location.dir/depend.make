@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table12_gender_by_location.
+# This may be replaced when dependencies are built.

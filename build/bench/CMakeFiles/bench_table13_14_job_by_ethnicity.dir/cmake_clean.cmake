@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table13_14_job_by_ethnicity.dir/bench_table13_14_job_by_ethnicity.cc.o"
+  "CMakeFiles/bench_table13_14_job_by_ethnicity.dir/bench_table13_14_job_by_ethnicity.cc.o.d"
+  "bench_table13_14_job_by_ethnicity"
+  "bench_table13_14_job_by_ethnicity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table13_14_job_by_ethnicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

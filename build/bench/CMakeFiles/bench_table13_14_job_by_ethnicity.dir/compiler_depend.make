@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table13_14_job_by_ethnicity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table15_sf_vs_chicago.dir/bench_table15_sf_vs_chicago.cc.o"
+  "CMakeFiles/bench_table15_sf_vs_chicago.dir/bench_table15_sf_vs_chicago.cc.o.d"
+  "bench_table15_sf_vs_chicago"
+  "bench_table15_sf_vs_chicago.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table15_sf_vs_chicago.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

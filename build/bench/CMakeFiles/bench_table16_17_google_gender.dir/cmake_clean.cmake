@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table16_17_google_gender.dir/bench_table16_17_google_gender.cc.o"
+  "CMakeFiles/bench_table16_17_google_gender.dir/bench_table16_17_google_gender.cc.o.d"
+  "bench_table16_17_google_gender"
+  "bench_table16_17_google_gender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table16_17_google_gender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

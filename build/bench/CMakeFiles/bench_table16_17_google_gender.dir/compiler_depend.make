@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table16_17_google_gender.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table18_19_google_jobs.dir/bench_table18_19_google_jobs.cc.o"
+  "CMakeFiles/bench_table18_19_google_jobs.dir/bench_table18_19_google_jobs.cc.o.d"
+  "bench_table18_19_google_jobs"
+  "bench_table18_19_google_jobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table18_19_google_jobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table18_19_google_jobs.
+# This may be replaced when dependencies are built.

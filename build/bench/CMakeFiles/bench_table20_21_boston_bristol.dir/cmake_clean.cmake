@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table20_21_boston_bristol.dir/bench_table20_21_boston_bristol.cc.o"
+  "CMakeFiles/bench_table20_21_boston_bristol.dir/bench_table20_21_boston_bristol.cc.o.d"
+  "bench_table20_21_boston_bristol"
+  "bench_table20_21_boston_bristol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table20_21_boston_bristol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

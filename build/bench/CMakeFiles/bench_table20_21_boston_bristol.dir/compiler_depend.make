@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table20_21_boston_bristol.
+# This may be replaced when dependencies are built.

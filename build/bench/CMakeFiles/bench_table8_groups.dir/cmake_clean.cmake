@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_groups.dir/bench_table8_groups.cc.o"
+  "CMakeFiles/bench_table8_groups.dir/bench_table8_groups.cc.o.d"
+  "bench_table8_groups"
+  "bench_table8_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

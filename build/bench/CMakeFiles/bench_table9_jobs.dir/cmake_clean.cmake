@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_jobs.dir/bench_table9_jobs.cc.o"
+  "CMakeFiles/bench_table9_jobs.dir/bench_table9_jobs.cc.o.d"
+  "bench_table9_jobs"
+  "bench_table9_jobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_jobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_worked_examples.dir/bench_worked_examples.cc.o"
+  "CMakeFiles/bench_worked_examples.dir/bench_worked_examples.cc.o.d"
+  "bench_worked_examples"
+  "bench_worked_examples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_worked_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_platform.dir/custom_platform.cpp.o"
+  "CMakeFiles/custom_platform.dir/custom_platform.cpp.o.d"
+  "custom_platform"
+  "custom_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for custom_platform.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/google_audit.dir/google_audit.cpp.o"
+  "CMakeFiles/google_audit.dir/google_audit.cpp.o.d"
+  "google_audit"
+  "google_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/google_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

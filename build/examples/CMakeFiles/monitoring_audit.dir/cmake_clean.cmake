@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitoring_audit.dir/monitoring_audit.cpp.o"
+  "CMakeFiles/monitoring_audit.dir/monitoring_audit.cpp.o.d"
+  "monitoring_audit"
+  "monitoring_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitoring_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qapa_dual_audit.dir/qapa_dual_audit.cpp.o"
+  "CMakeFiles/qapa_dual_audit.dir/qapa_dual_audit.cpp.o.d"
+  "qapa_dual_audit"
+  "qapa_dual_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qapa_dual_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for qapa_dual_audit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taskrabbit_audit.dir/taskrabbit_audit.cpp.o"
+  "CMakeFiles/taskrabbit_audit.dir/taskrabbit_audit.cpp.o.d"
+  "taskrabbit_audit"
+  "taskrabbit_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taskrabbit_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

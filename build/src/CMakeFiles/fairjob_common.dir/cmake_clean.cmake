@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairjob_common.dir/common/flags.cc.o"
+  "CMakeFiles/fairjob_common.dir/common/flags.cc.o.d"
+  "CMakeFiles/fairjob_common.dir/common/rng.cc.o"
+  "CMakeFiles/fairjob_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/fairjob_common.dir/common/status.cc.o"
+  "CMakeFiles/fairjob_common.dir/common/status.cc.o.d"
+  "CMakeFiles/fairjob_common.dir/common/string_util.cc.o"
+  "CMakeFiles/fairjob_common.dir/common/string_util.cc.o.d"
+  "CMakeFiles/fairjob_common.dir/common/virtual_clock.cc.o"
+  "CMakeFiles/fairjob_common.dir/common/virtual_clock.cc.o.d"
+  "libfairjob_common.a"
+  "libfairjob_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairjob_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

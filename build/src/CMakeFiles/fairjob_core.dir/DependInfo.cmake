@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/attribute_schema.cc" "src/CMakeFiles/fairjob_core.dir/core/attribute_schema.cc.o" "gcc" "src/CMakeFiles/fairjob_core.dir/core/attribute_schema.cc.o.d"
+  "/root/repo/src/core/comparison.cc" "src/CMakeFiles/fairjob_core.dir/core/comparison.cc.o" "gcc" "src/CMakeFiles/fairjob_core.dir/core/comparison.cc.o.d"
+  "/root/repo/src/core/coverage.cc" "src/CMakeFiles/fairjob_core.dir/core/coverage.cc.o" "gcc" "src/CMakeFiles/fairjob_core.dir/core/coverage.cc.o.d"
+  "/root/repo/src/core/data_model.cc" "src/CMakeFiles/fairjob_core.dir/core/data_model.cc.o" "gcc" "src/CMakeFiles/fairjob_core.dir/core/data_model.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/CMakeFiles/fairjob_core.dir/core/explain.cc.o" "gcc" "src/CMakeFiles/fairjob_core.dir/core/explain.cc.o.d"
+  "/root/repo/src/core/fagin.cc" "src/CMakeFiles/fairjob_core.dir/core/fagin.cc.o" "gcc" "src/CMakeFiles/fairjob_core.dir/core/fagin.cc.o.d"
+  "/root/repo/src/core/fagin_family.cc" "src/CMakeFiles/fairjob_core.dir/core/fagin_family.cc.o" "gcc" "src/CMakeFiles/fairjob_core.dir/core/fagin_family.cc.o.d"
+  "/root/repo/src/core/fbox.cc" "src/CMakeFiles/fairjob_core.dir/core/fbox.cc.o" "gcc" "src/CMakeFiles/fairjob_core.dir/core/fbox.cc.o.d"
+  "/root/repo/src/core/group.cc" "src/CMakeFiles/fairjob_core.dir/core/group.cc.o" "gcc" "src/CMakeFiles/fairjob_core.dir/core/group.cc.o.d"
+  "/root/repo/src/core/group_space.cc" "src/CMakeFiles/fairjob_core.dir/core/group_space.cc.o" "gcc" "src/CMakeFiles/fairjob_core.dir/core/group_space.cc.o.d"
+  "/root/repo/src/core/indices.cc" "src/CMakeFiles/fairjob_core.dir/core/indices.cc.o" "gcc" "src/CMakeFiles/fairjob_core.dir/core/indices.cc.o.d"
+  "/root/repo/src/core/quantification.cc" "src/CMakeFiles/fairjob_core.dir/core/quantification.cc.o" "gcc" "src/CMakeFiles/fairjob_core.dir/core/quantification.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/fairjob_core.dir/core/report.cc.o" "gcc" "src/CMakeFiles/fairjob_core.dir/core/report.cc.o.d"
+  "/root/repo/src/core/stats.cc" "src/CMakeFiles/fairjob_core.dir/core/stats.cc.o" "gcc" "src/CMakeFiles/fairjob_core.dir/core/stats.cc.o.d"
+  "/root/repo/src/core/transfer.cc" "src/CMakeFiles/fairjob_core.dir/core/transfer.cc.o" "gcc" "src/CMakeFiles/fairjob_core.dir/core/transfer.cc.o.d"
+  "/root/repo/src/core/trend.cc" "src/CMakeFiles/fairjob_core.dir/core/trend.cc.o" "gcc" "src/CMakeFiles/fairjob_core.dir/core/trend.cc.o.d"
+  "/root/repo/src/core/unfairness_cube.cc" "src/CMakeFiles/fairjob_core.dir/core/unfairness_cube.cc.o" "gcc" "src/CMakeFiles/fairjob_core.dir/core/unfairness_cube.cc.o.d"
+  "/root/repo/src/core/unfairness_measures.cc" "src/CMakeFiles/fairjob_core.dir/core/unfairness_measures.cc.o" "gcc" "src/CMakeFiles/fairjob_core.dir/core/unfairness_measures.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fairjob_ranking.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairjob_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

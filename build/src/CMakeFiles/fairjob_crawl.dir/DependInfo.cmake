@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crawl/crawler.cc" "src/CMakeFiles/fairjob_crawl.dir/crawl/crawler.cc.o" "gcc" "src/CMakeFiles/fairjob_crawl.dir/crawl/crawler.cc.o.d"
+  "/root/repo/src/crawl/csv.cc" "src/CMakeFiles/fairjob_crawl.dir/crawl/csv.cc.o" "gcc" "src/CMakeFiles/fairjob_crawl.dir/crawl/csv.cc.o.d"
+  "/root/repo/src/crawl/cube_io.cc" "src/CMakeFiles/fairjob_crawl.dir/crawl/cube_io.cc.o" "gcc" "src/CMakeFiles/fairjob_crawl.dir/crawl/cube_io.cc.o.d"
+  "/root/repo/src/crawl/dataset_assembly.cc" "src/CMakeFiles/fairjob_crawl.dir/crawl/dataset_assembly.cc.o" "gcc" "src/CMakeFiles/fairjob_crawl.dir/crawl/dataset_assembly.cc.o.d"
+  "/root/repo/src/crawl/labeling.cc" "src/CMakeFiles/fairjob_crawl.dir/crawl/labeling.cc.o" "gcc" "src/CMakeFiles/fairjob_crawl.dir/crawl/labeling.cc.o.d"
+  "/root/repo/src/crawl/profile_store.cc" "src/CMakeFiles/fairjob_crawl.dir/crawl/profile_store.cc.o" "gcc" "src/CMakeFiles/fairjob_crawl.dir/crawl/profile_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fairjob_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairjob_ranking.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairjob_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

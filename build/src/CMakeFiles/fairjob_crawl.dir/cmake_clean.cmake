@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairjob_crawl.dir/crawl/crawler.cc.o"
+  "CMakeFiles/fairjob_crawl.dir/crawl/crawler.cc.o.d"
+  "CMakeFiles/fairjob_crawl.dir/crawl/csv.cc.o"
+  "CMakeFiles/fairjob_crawl.dir/crawl/csv.cc.o.d"
+  "CMakeFiles/fairjob_crawl.dir/crawl/cube_io.cc.o"
+  "CMakeFiles/fairjob_crawl.dir/crawl/cube_io.cc.o.d"
+  "CMakeFiles/fairjob_crawl.dir/crawl/dataset_assembly.cc.o"
+  "CMakeFiles/fairjob_crawl.dir/crawl/dataset_assembly.cc.o.d"
+  "CMakeFiles/fairjob_crawl.dir/crawl/labeling.cc.o"
+  "CMakeFiles/fairjob_crawl.dir/crawl/labeling.cc.o.d"
+  "CMakeFiles/fairjob_crawl.dir/crawl/profile_store.cc.o"
+  "CMakeFiles/fairjob_crawl.dir/crawl/profile_store.cc.o.d"
+  "libfairjob_crawl.a"
+  "libfairjob_crawl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairjob_crawl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

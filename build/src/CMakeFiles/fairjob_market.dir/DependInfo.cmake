@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/market/calibration.cc" "src/CMakeFiles/fairjob_market.dir/market/calibration.cc.o" "gcc" "src/CMakeFiles/fairjob_market.dir/market/calibration.cc.o.d"
+  "/root/repo/src/market/marketplace.cc" "src/CMakeFiles/fairjob_market.dir/market/marketplace.cc.o" "gcc" "src/CMakeFiles/fairjob_market.dir/market/marketplace.cc.o.d"
+  "/root/repo/src/market/scoring.cc" "src/CMakeFiles/fairjob_market.dir/market/scoring.cc.o" "gcc" "src/CMakeFiles/fairjob_market.dir/market/scoring.cc.o.d"
+  "/root/repo/src/market/taskrabbit_sim.cc" "src/CMakeFiles/fairjob_market.dir/market/taskrabbit_sim.cc.o" "gcc" "src/CMakeFiles/fairjob_market.dir/market/taskrabbit_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fairjob_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairjob_crawl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairjob_ranking.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairjob_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairjob_market.dir/market/calibration.cc.o"
+  "CMakeFiles/fairjob_market.dir/market/calibration.cc.o.d"
+  "CMakeFiles/fairjob_market.dir/market/marketplace.cc.o"
+  "CMakeFiles/fairjob_market.dir/market/marketplace.cc.o.d"
+  "CMakeFiles/fairjob_market.dir/market/scoring.cc.o"
+  "CMakeFiles/fairjob_market.dir/market/scoring.cc.o.d"
+  "CMakeFiles/fairjob_market.dir/market/taskrabbit_sim.cc.o"
+  "CMakeFiles/fairjob_market.dir/market/taskrabbit_sim.cc.o.d"
+  "libfairjob_market.a"
+  "libfairjob_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairjob_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

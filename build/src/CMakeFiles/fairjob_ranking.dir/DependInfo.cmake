@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ranking/emd.cc" "src/CMakeFiles/fairjob_ranking.dir/ranking/emd.cc.o" "gcc" "src/CMakeFiles/fairjob_ranking.dir/ranking/emd.cc.o.d"
+  "/root/repo/src/ranking/exposure.cc" "src/CMakeFiles/fairjob_ranking.dir/ranking/exposure.cc.o" "gcc" "src/CMakeFiles/fairjob_ranking.dir/ranking/exposure.cc.o.d"
+  "/root/repo/src/ranking/footrule.cc" "src/CMakeFiles/fairjob_ranking.dir/ranking/footrule.cc.o" "gcc" "src/CMakeFiles/fairjob_ranking.dir/ranking/footrule.cc.o.d"
+  "/root/repo/src/ranking/histogram.cc" "src/CMakeFiles/fairjob_ranking.dir/ranking/histogram.cc.o" "gcc" "src/CMakeFiles/fairjob_ranking.dir/ranking/histogram.cc.o.d"
+  "/root/repo/src/ranking/jaccard.cc" "src/CMakeFiles/fairjob_ranking.dir/ranking/jaccard.cc.o" "gcc" "src/CMakeFiles/fairjob_ranking.dir/ranking/jaccard.cc.o.d"
+  "/root/repo/src/ranking/kendall_tau.cc" "src/CMakeFiles/fairjob_ranking.dir/ranking/kendall_tau.cc.o" "gcc" "src/CMakeFiles/fairjob_ranking.dir/ranking/kendall_tau.cc.o.d"
+  "/root/repo/src/ranking/rbo.cc" "src/CMakeFiles/fairjob_ranking.dir/ranking/rbo.cc.o" "gcc" "src/CMakeFiles/fairjob_ranking.dir/ranking/rbo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fairjob_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairjob_ranking.dir/ranking/emd.cc.o"
+  "CMakeFiles/fairjob_ranking.dir/ranking/emd.cc.o.d"
+  "CMakeFiles/fairjob_ranking.dir/ranking/exposure.cc.o"
+  "CMakeFiles/fairjob_ranking.dir/ranking/exposure.cc.o.d"
+  "CMakeFiles/fairjob_ranking.dir/ranking/footrule.cc.o"
+  "CMakeFiles/fairjob_ranking.dir/ranking/footrule.cc.o.d"
+  "CMakeFiles/fairjob_ranking.dir/ranking/histogram.cc.o"
+  "CMakeFiles/fairjob_ranking.dir/ranking/histogram.cc.o.d"
+  "CMakeFiles/fairjob_ranking.dir/ranking/jaccard.cc.o"
+  "CMakeFiles/fairjob_ranking.dir/ranking/jaccard.cc.o.d"
+  "CMakeFiles/fairjob_ranking.dir/ranking/kendall_tau.cc.o"
+  "CMakeFiles/fairjob_ranking.dir/ranking/kendall_tau.cc.o.d"
+  "CMakeFiles/fairjob_ranking.dir/ranking/rbo.cc.o"
+  "CMakeFiles/fairjob_ranking.dir/ranking/rbo.cc.o.d"
+  "libfairjob_ranking.a"
+  "libfairjob_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairjob_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfairjob_ranking.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fairjob_ranking.
+# This may be replaced when dependencies are built.

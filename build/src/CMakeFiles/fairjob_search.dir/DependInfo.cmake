@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/search/formulations.cc" "src/CMakeFiles/fairjob_search.dir/search/formulations.cc.o" "gcc" "src/CMakeFiles/fairjob_search.dir/search/formulations.cc.o.d"
+  "/root/repo/src/search/google_sim.cc" "src/CMakeFiles/fairjob_search.dir/search/google_sim.cc.o" "gcc" "src/CMakeFiles/fairjob_search.dir/search/google_sim.cc.o.d"
+  "/root/repo/src/search/personalization.cc" "src/CMakeFiles/fairjob_search.dir/search/personalization.cc.o" "gcc" "src/CMakeFiles/fairjob_search.dir/search/personalization.cc.o.d"
+  "/root/repo/src/search/search_engine.cc" "src/CMakeFiles/fairjob_search.dir/search/search_engine.cc.o" "gcc" "src/CMakeFiles/fairjob_search.dir/search/search_engine.cc.o.d"
+  "/root/repo/src/search/study_runner.cc" "src/CMakeFiles/fairjob_search.dir/search/study_runner.cc.o" "gcc" "src/CMakeFiles/fairjob_search.dir/search/study_runner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fairjob_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairjob_crawl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairjob_ranking.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairjob_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairjob_search.dir/search/formulations.cc.o"
+  "CMakeFiles/fairjob_search.dir/search/formulations.cc.o.d"
+  "CMakeFiles/fairjob_search.dir/search/google_sim.cc.o"
+  "CMakeFiles/fairjob_search.dir/search/google_sim.cc.o.d"
+  "CMakeFiles/fairjob_search.dir/search/personalization.cc.o"
+  "CMakeFiles/fairjob_search.dir/search/personalization.cc.o.d"
+  "CMakeFiles/fairjob_search.dir/search/search_engine.cc.o"
+  "CMakeFiles/fairjob_search.dir/search/search_engine.cc.o.d"
+  "CMakeFiles/fairjob_search.dir/search/study_runner.cc.o"
+  "CMakeFiles/fairjob_search.dir/search/study_runner.cc.o.d"
+  "libfairjob_search.a"
+  "libfairjob_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairjob_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/assembly_test.cc" "tests/CMakeFiles/fairjob_tests.dir/assembly_test.cc.o" "gcc" "tests/CMakeFiles/fairjob_tests.dir/assembly_test.cc.o.d"
+  "/root/repo/tests/attribute_schema_test.cc" "tests/CMakeFiles/fairjob_tests.dir/attribute_schema_test.cc.o" "gcc" "tests/CMakeFiles/fairjob_tests.dir/attribute_schema_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/fairjob_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/fairjob_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/comparison_test.cc" "tests/CMakeFiles/fairjob_tests.dir/comparison_test.cc.o" "gcc" "tests/CMakeFiles/fairjob_tests.dir/comparison_test.cc.o.d"
+  "/root/repo/tests/coverage_test.cc" "tests/CMakeFiles/fairjob_tests.dir/coverage_test.cc.o" "gcc" "tests/CMakeFiles/fairjob_tests.dir/coverage_test.cc.o.d"
+  "/root/repo/tests/crawler_test.cc" "tests/CMakeFiles/fairjob_tests.dir/crawler_test.cc.o" "gcc" "tests/CMakeFiles/fairjob_tests.dir/crawler_test.cc.o.d"
+  "/root/repo/tests/csv_test.cc" "tests/CMakeFiles/fairjob_tests.dir/csv_test.cc.o" "gcc" "tests/CMakeFiles/fairjob_tests.dir/csv_test.cc.o.d"
+  "/root/repo/tests/cube_io_test.cc" "tests/CMakeFiles/fairjob_tests.dir/cube_io_test.cc.o" "gcc" "tests/CMakeFiles/fairjob_tests.dir/cube_io_test.cc.o.d"
+  "/root/repo/tests/cube_test.cc" "tests/CMakeFiles/fairjob_tests.dir/cube_test.cc.o" "gcc" "tests/CMakeFiles/fairjob_tests.dir/cube_test.cc.o.d"
+  "/root/repo/tests/data_model_test.cc" "tests/CMakeFiles/fairjob_tests.dir/data_model_test.cc.o" "gcc" "tests/CMakeFiles/fairjob_tests.dir/data_model_test.cc.o.d"
+  "/root/repo/tests/emd_test.cc" "tests/CMakeFiles/fairjob_tests.dir/emd_test.cc.o" "gcc" "tests/CMakeFiles/fairjob_tests.dir/emd_test.cc.o.d"
+  "/root/repo/tests/explain_test.cc" "tests/CMakeFiles/fairjob_tests.dir/explain_test.cc.o" "gcc" "tests/CMakeFiles/fairjob_tests.dir/explain_test.cc.o.d"
+  "/root/repo/tests/exposure_test.cc" "tests/CMakeFiles/fairjob_tests.dir/exposure_test.cc.o" "gcc" "tests/CMakeFiles/fairjob_tests.dir/exposure_test.cc.o.d"
+  "/root/repo/tests/fagin_family_test.cc" "tests/CMakeFiles/fairjob_tests.dir/fagin_family_test.cc.o" "gcc" "tests/CMakeFiles/fairjob_tests.dir/fagin_family_test.cc.o.d"
+  "/root/repo/tests/fagin_test.cc" "tests/CMakeFiles/fairjob_tests.dir/fagin_test.cc.o" "gcc" "tests/CMakeFiles/fairjob_tests.dir/fagin_test.cc.o.d"
+  "/root/repo/tests/fbox_test.cc" "tests/CMakeFiles/fairjob_tests.dir/fbox_test.cc.o" "gcc" "tests/CMakeFiles/fairjob_tests.dir/fbox_test.cc.o.d"
+  "/root/repo/tests/flags_test.cc" "tests/CMakeFiles/fairjob_tests.dir/flags_test.cc.o" "gcc" "tests/CMakeFiles/fairjob_tests.dir/flags_test.cc.o.d"
+  "/root/repo/tests/footrule_test.cc" "tests/CMakeFiles/fairjob_tests.dir/footrule_test.cc.o" "gcc" "tests/CMakeFiles/fairjob_tests.dir/footrule_test.cc.o.d"
+  "/root/repo/tests/golden_shapes_test.cc" "tests/CMakeFiles/fairjob_tests.dir/golden_shapes_test.cc.o" "gcc" "tests/CMakeFiles/fairjob_tests.dir/golden_shapes_test.cc.o.d"
+  "/root/repo/tests/group_space_test.cc" "tests/CMakeFiles/fairjob_tests.dir/group_space_test.cc.o" "gcc" "tests/CMakeFiles/fairjob_tests.dir/group_space_test.cc.o.d"
+  "/root/repo/tests/group_test.cc" "tests/CMakeFiles/fairjob_tests.dir/group_test.cc.o" "gcc" "tests/CMakeFiles/fairjob_tests.dir/group_test.cc.o.d"
+  "/root/repo/tests/histogram_test.cc" "tests/CMakeFiles/fairjob_tests.dir/histogram_test.cc.o" "gcc" "tests/CMakeFiles/fairjob_tests.dir/histogram_test.cc.o.d"
+  "/root/repo/tests/indices_test.cc" "tests/CMakeFiles/fairjob_tests.dir/indices_test.cc.o" "gcc" "tests/CMakeFiles/fairjob_tests.dir/indices_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/fairjob_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/fairjob_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/jaccard_test.cc" "tests/CMakeFiles/fairjob_tests.dir/jaccard_test.cc.o" "gcc" "tests/CMakeFiles/fairjob_tests.dir/jaccard_test.cc.o.d"
+  "/root/repo/tests/kendall_tau_test.cc" "tests/CMakeFiles/fairjob_tests.dir/kendall_tau_test.cc.o" "gcc" "tests/CMakeFiles/fairjob_tests.dir/kendall_tau_test.cc.o.d"
+  "/root/repo/tests/labeling_test.cc" "tests/CMakeFiles/fairjob_tests.dir/labeling_test.cc.o" "gcc" "tests/CMakeFiles/fairjob_tests.dir/labeling_test.cc.o.d"
+  "/root/repo/tests/market_test.cc" "tests/CMakeFiles/fairjob_tests.dir/market_test.cc.o" "gcc" "tests/CMakeFiles/fairjob_tests.dir/market_test.cc.o.d"
+  "/root/repo/tests/measures_test.cc" "tests/CMakeFiles/fairjob_tests.dir/measures_test.cc.o" "gcc" "tests/CMakeFiles/fairjob_tests.dir/measures_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/fairjob_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/fairjob_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/quantification_test.cc" "tests/CMakeFiles/fairjob_tests.dir/quantification_test.cc.o" "gcc" "tests/CMakeFiles/fairjob_tests.dir/quantification_test.cc.o.d"
+  "/root/repo/tests/rbo_test.cc" "tests/CMakeFiles/fairjob_tests.dir/rbo_test.cc.o" "gcc" "tests/CMakeFiles/fairjob_tests.dir/rbo_test.cc.o.d"
+  "/root/repo/tests/report_test.cc" "tests/CMakeFiles/fairjob_tests.dir/report_test.cc.o" "gcc" "tests/CMakeFiles/fairjob_tests.dir/report_test.cc.o.d"
+  "/root/repo/tests/search_test.cc" "tests/CMakeFiles/fairjob_tests.dir/search_test.cc.o" "gcc" "tests/CMakeFiles/fairjob_tests.dir/search_test.cc.o.d"
+  "/root/repo/tests/stats_test.cc" "tests/CMakeFiles/fairjob_tests.dir/stats_test.cc.o" "gcc" "tests/CMakeFiles/fairjob_tests.dir/stats_test.cc.o.d"
+  "/root/repo/tests/transfer_test.cc" "tests/CMakeFiles/fairjob_tests.dir/transfer_test.cc.o" "gcc" "tests/CMakeFiles/fairjob_tests.dir/transfer_test.cc.o.d"
+  "/root/repo/tests/trend_test.cc" "tests/CMakeFiles/fairjob_tests.dir/trend_test.cc.o" "gcc" "tests/CMakeFiles/fairjob_tests.dir/trend_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fairjob_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairjob_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairjob_crawl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairjob_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairjob_ranking.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairjob_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairjob_cli.dir/fairjob_cli.cpp.o"
+  "CMakeFiles/fairjob_cli.dir/fairjob_cli.cpp.o.d"
+  "fairjob_cli"
+  "fairjob_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairjob_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairjob_gen.dir/fairjob_gen.cpp.o"
+  "CMakeFiles/fairjob_gen.dir/fairjob_gen.cpp.o.d"
+  "fairjob_gen"
+  "fairjob_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairjob_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
