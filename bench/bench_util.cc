@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 
 #include "common/string_util.h"
 
@@ -45,6 +46,15 @@ void PrintTable(const std::vector<std::string>& headers,
 
 std::string Fmt(double value, int decimals) {
   return FormatDouble(value, decimals);
+}
+
+Status WriteTextFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << content;
+  out.close();
+  if (!out) return Status::IOError("short write to " + path);
+  return Status::OK();
 }
 
 Result<TaskRabbitBoxes> BuildTaskRabbitBoxes(const TaskRabbitConfig& config) {

@@ -24,6 +24,10 @@ std::string Fmt(double value, int decimals = 3);
 // bench output is self-describing.
 void PrintPaperNote(const std::string& note);
 
+// Overwrites `path` with `content`; used for machine-readable BENCH_*.json
+// outputs next to the human-readable tables.
+Status WriteTextFile(const std::string& path, const std::string& content);
+
 // --- prebuilt worlds -----------------------------------------------------------
 
 // The full synthetic TaskRabbit crawl, with one FBox per marketplace

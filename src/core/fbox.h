@@ -23,7 +23,8 @@ class FBox {
   struct BuildOptions {
     MeasureOptions measure;
     CubeAxes axes;  // empty axes = full universes
-    // Threads used to evaluate the cube (1 = serial; results identical).
+    // Threads of the shared ThreadPool used to evaluate the cube (1 =
+    // serial; results bitwise-identical — see docs/performance.md).
     size_t parallelism = 1;
   };
 

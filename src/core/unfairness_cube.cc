@@ -1,12 +1,11 @@
 #include "core/unfairness_cube.h"
 
-#include <atomic>
 #include <functional>
-#include <mutex>
-#include <thread>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/thread_pool.h"
 #include "ranking/jaccard.h"
 
 namespace fairjob {
@@ -65,6 +64,12 @@ Result<UnfairnessCube> UnfairnessCube::Make(std::vector<GroupId> groups,
   cube.ids_[0] = std::move(groups);
   cube.ids_[1] = std::move(queries);
   cube.ids_[2] = std::move(locations);
+  for (size_t axis = 0; axis < 3; ++axis) {
+    cube.pos_of_[axis].reserve(cube.ids_[axis].size());
+    for (size_t i = 0; i < cube.ids_[axis].size(); ++i) {
+      cube.pos_of_[axis].emplace(cube.ids_[axis][i], i);
+    }
+  }
   cube.values_.assign(
       cube.ids_[0].size() * cube.ids_[1].size() * cube.ids_[2].size(),
       std::nullopt);
@@ -72,10 +77,9 @@ Result<UnfairnessCube> UnfairnessCube::Make(std::vector<GroupId> groups,
 }
 
 Result<size_t> UnfairnessCube::PosOf(Dimension d, int32_t id) const {
-  const std::vector<int32_t>& axis = ids_[AxisIndex(d)];
-  for (size_t i = 0; i < axis.size(); ++i) {
-    if (axis[i] == id) return i;
-  }
+  const std::unordered_map<int32_t, size_t>& index = pos_of_[AxisIndex(d)];
+  auto it = index.find(id);
+  if (it != index.end()) return it->second;
   return Status::NotFound(std::string("id ") + std::to_string(id) +
                           " not on cube axis '" + DimensionName(d) + "'");
 }
@@ -127,46 +131,27 @@ std::optional<double> UnfairnessCube::AxisAverage(Dimension d,
 
 namespace {
 
-// Runs fn(i, j) for every pair in [0, n1) × [0, n2), on `parallelism`
-// threads when > 1. The first non-OK status wins and stops remaining work;
-// fn must only touch disjoint state per pair (the cube builders write
-// disjoint cells).
-Status ParallelForPairs(size_t n1, size_t n2, size_t parallelism,
-                        const std::function<Status(size_t, size_t)>& fn) {
-  size_t total = n1 * n2;
-  if (parallelism <= 1 || total <= 1) {
-    for (size_t i = 0; i < n1; ++i) {
-      for (size_t j = 0; j < n2; ++j) {
-        FAIRJOB_RETURN_IF_ERROR(fn(i, j));
-      }
+// Runs fn(i) for every i in [0, n) on up to `parallelism` threads of the
+// process-wide pool; serial calls never touch (or create) the pool. The
+// first non-OK status wins and stops remaining work; fn must only touch
+// disjoint state per index (the cube builders write disjoint cells).
+Status ParallelFor(size_t n, size_t parallelism,
+                   const std::function<Status(size_t)>& fn) {
+  if (parallelism <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      FAIRJOB_RETURN_IF_ERROR(fn(i));
     }
     return Status::OK();
   }
+  return ThreadPool::Shared().ParallelFor(n, parallelism, fn);
+}
 
-  std::atomic<size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::mutex error_mutex;
-  Status first_error;
-  auto worker = [&]() {
-    for (;;) {
-      if (failed.load(std::memory_order_relaxed)) return;
-      size_t index = next.fetch_add(1, std::memory_order_relaxed);
-      if (index >= total) return;
-      Status s = fn(index / n2, index % n2);
-      if (!s.ok()) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (first_error.ok()) first_error = s;
-        failed.store(true, std::memory_order_relaxed);
-        return;
-      }
-    }
-  };
-  std::vector<std::thread> threads;
-  size_t num_threads = std::min(parallelism, total);
-  threads.reserve(num_threads);
-  for (size_t t = 0; t < num_threads; ++t) threads.emplace_back(worker);
-  for (std::thread& t : threads) t.join();
-  return first_error;
+// fn(i, j) over [0, n1) × [0, n2), same contract as ParallelFor.
+Status ParallelForPairs(size_t n1, size_t n2, size_t parallelism,
+                        const std::function<Status(size_t, size_t)>& fn) {
+  if (n1 == 0 || n2 == 0) return Status::OK();
+  return ParallelFor(n1 * n2, parallelism,
+                     [&](size_t index) { return fn(index / n2, index % n2); });
 }
 
 Result<CubeAxes> ResolveAxes(const CubeAxes& axes, size_t num_groups,
@@ -180,6 +165,111 @@ Result<CubeAxes> ResolveAxes(const CubeAxes& axes, size_t num_groups,
         "dataset has no queries or no locations to build a cube over");
   }
   return out;
+}
+
+// Evaluates one marketplace (query, location) column over `groups` into
+// `out` (nullopt = undefined triple), sharing a single MarketplaceCellContext
+// across the whole group axis. `out` must be pre-sized to groups.size().
+Status EvaluateMarketplaceColumn(const MarketplaceDataset& data,
+                                 const GroupSpace& space, MarketMeasure measure,
+                                 const MeasureOptions& options, QueryId q,
+                                 LocationId l,
+                                 const std::vector<GroupId>& groups,
+                                 std::vector<std::optional<double>>* out,
+                                 size_t parallelism) {
+  Result<MarketplaceCellContext> ctx =
+      MarketplaceCellContext::Make(data, space, data.GetRanking(q, l), options);
+  if (!ctx.ok()) {
+    if (ctx.status().code() == StatusCode::kNotFound) {
+      for (auto& cell : *out) cell.reset();
+      return Status::OK();
+    }
+    return ctx.status();
+  }
+  return ParallelFor(groups.size(), parallelism, [&](size_t g) -> Status {
+    Result<double> v = ctx->Unfairness(groups[g], measure);
+    if (v.ok()) {
+      (*out)[g] = *v;
+    } else if (v.status().code() == StatusCode::kNotFound) {
+      (*out)[g].reset();
+    } else {
+      return v.status();
+    }
+    return Status::OK();
+  });
+}
+
+// Search-side twin: evaluates one (query, location) column over `groups`
+// into `out`, computing the pairwise list-distance matrix once per cell and
+// reusing it across the whole group axis. With `parallelism` > 1 the O(n²)
+// distance rows are computed on the pool, so a few large cells no longer
+// serialize a whole build. Semantics are identical to calling
+// SearchUnfairness per triple (cross-checked in tests).
+Status EvaluateSearchColumn(const SearchDataset& data, const GroupSpace& space,
+                            SearchMeasure measure,
+                            const MeasureOptions& options, QueryId query,
+                            LocationId location,
+                            const std::vector<GroupId>& groups,
+                            std::vector<std::optional<double>>* out,
+                            size_t parallelism) {
+  for (auto& cell : *out) cell.reset();
+  const std::vector<SearchObservation>* obs =
+      data.GetObservations(query, location);
+  if (obs == nullptr || obs->empty()) return Status::OK();
+  size_t n = obs->size();
+
+  // Flat n × n distance matrix (row-major); only i < j is computed, the
+  // mirror entry is written alongside.
+  std::vector<double> dist(n * n, 0.0);
+  Status dist_status =
+      ParallelFor(n, parallelism, [&](size_t i) -> Status {
+        for (size_t j = i + 1; j < n; ++j) {
+          Result<double> d = SearchListDistance(measure, (*obs)[i].results,
+                                                (*obs)[j].results, options);
+          if (!d.ok()) return d.status();
+          dist[i * n + j] = dist[j * n + i] = *d;
+        }
+        return Status::OK();
+      });
+  FAIRJOB_RETURN_IF_ERROR(dist_status);
+
+  // Observation indices per group, for every group that can appear as a
+  // cube row or as someone's comparable.
+  std::unordered_map<GroupId, std::vector<size_t>> members;
+  auto members_of = [&](GroupId group) -> const std::vector<size_t>& {
+    auto it = members.find(group);
+    if (it != members.end()) return it->second;
+    std::vector<size_t> indices;
+    const GroupLabel& label = space.label(group);
+    for (size_t i = 0; i < n; ++i) {
+      if (label.Matches(data.user_demographics((*obs)[i].user))) {
+        indices.push_back(i);
+      }
+    }
+    return members.emplace(group, std::move(indices)).first->second;
+  };
+
+  for (size_t g = 0; g < groups.size(); ++g) {
+    GroupId group = groups[g];
+    const std::vector<size_t>& own = members_of(group);
+    if (own.empty()) continue;
+    double group_sum = 0.0;
+    size_t group_count = 0;
+    for (GroupId other : space.Comparables(group)) {
+      const std::vector<size_t>& theirs = members_of(other);
+      if (theirs.empty()) continue;
+      double pair_sum = 0.0;
+      for (size_t a : own) {
+        for (size_t b : theirs) pair_sum += dist[a * n + b];
+      }
+      group_sum += pair_sum / static_cast<double>(own.size() * theirs.size());
+      ++group_count;
+    }
+    if (group_count > 0) {
+      (*out)[g] = group_sum / static_cast<double>(group_count);
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -201,15 +291,13 @@ Result<UnfairnessCube> BuildMarketplaceCube(const MarketplaceDataset& data,
   Status built = ParallelForPairs(
       resolved.queries.size(), resolved.locations.size(), parallelism,
       [&](size_t q, size_t l) -> Status {
-        for (size_t g = 0; g < resolved.groups.size(); ++g) {
-          Result<double> v = MarketplaceUnfairness(
-              data, space, resolved.groups[g], resolved.queries[q],
-              resolved.locations[l], measure, options);
-          if (v.ok()) {
-            cube.Set(g, q, l, *v);
-          } else if (v.status().code() != StatusCode::kNotFound) {
-            return v.status();
-          }
+        std::vector<std::optional<double>> column(resolved.groups.size());
+        FAIRJOB_RETURN_IF_ERROR(EvaluateMarketplaceColumn(
+            data, space, measure, options, resolved.queries[q],
+            resolved.locations[l], resolved.groups, &column,
+            /*parallelism=*/1));
+        for (size_t g = 0; g < column.size(); ++g) {
+          if (column[g].has_value()) cube.Set(g, q, l, *column[g]);
         }
         return Status::OK();
       });
@@ -217,11 +305,15 @@ Result<UnfairnessCube> BuildMarketplaceCube(const MarketplaceDataset& data,
   return cube;
 }
 
-Status RefreshMarketplaceColumn(const MarketplaceDataset& data,
-                                const GroupSpace& space, MarketMeasure measure,
-                                const MeasureOptions& options,
-                                UnfairnessCube* cube, size_t query_pos,
-                                size_t location_pos) {
+namespace {
+
+// Shared frame of the two column-refresh entry points: validates positions,
+// evaluates the column via `eval`, then applies set/clear to the cube.
+Status RefreshColumn(
+    UnfairnessCube* cube, size_t query_pos, size_t location_pos,
+    const std::function<Status(QueryId, LocationId,
+                               const std::vector<GroupId>&,
+                               std::vector<std::optional<double>>*)>& eval) {
   if (cube == nullptr) return Status::InvalidArgument("null cube");
   if (query_pos >= cube->axis_size(Dimension::kQuery) ||
       location_pos >= cube->axis_size(Dimension::kLocation)) {
@@ -229,45 +321,53 @@ Status RefreshMarketplaceColumn(const MarketplaceDataset& data,
   }
   QueryId q = cube->axis_id(Dimension::kQuery, query_pos);
   LocationId l = cube->axis_id(Dimension::kLocation, location_pos);
-  for (size_t g = 0; g < cube->axis_size(Dimension::kGroup); ++g) {
-    GroupId group = cube->axis_id(Dimension::kGroup, g);
-    Result<double> v =
-        MarketplaceUnfairness(data, space, group, q, l, measure, options);
-    if (v.ok()) {
-      cube->Set(g, query_pos, location_pos, *v);
-    } else if (v.status().code() == StatusCode::kNotFound) {
-      cube->Clear(g, query_pos, location_pos);
+  std::vector<GroupId> groups(cube->axis_size(Dimension::kGroup));
+  for (size_t g = 0; g < groups.size(); ++g) {
+    groups[g] = cube->axis_id(Dimension::kGroup, g);
+  }
+  std::vector<std::optional<double>> column(groups.size());
+  FAIRJOB_RETURN_IF_ERROR(eval(q, l, groups, &column));
+  for (size_t g = 0; g < column.size(); ++g) {
+    if (column[g].has_value()) {
+      cube->Set(g, query_pos, location_pos, *column[g]);
     } else {
-      return v.status();
+      cube->Clear(g, query_pos, location_pos);
     }
   }
   return Status::OK();
 }
 
+}  // namespace
+
+Status RefreshMarketplaceColumn(const MarketplaceDataset& data,
+                                const GroupSpace& space, MarketMeasure measure,
+                                const MeasureOptions& options,
+                                UnfairnessCube* cube, size_t query_pos,
+                                size_t location_pos, size_t parallelism) {
+  return RefreshColumn(
+      cube, query_pos, location_pos,
+      [&](QueryId q, LocationId l, const std::vector<GroupId>& groups,
+          std::vector<std::optional<double>>* column) {
+        return EvaluateMarketplaceColumn(data, space, measure, options, q, l,
+                                         groups, column, parallelism);
+      });
+}
+
 Status RefreshSearchColumn(const SearchDataset& data, const GroupSpace& space,
                            SearchMeasure measure,
                            const MeasureOptions& options, UnfairnessCube* cube,
-                           size_t query_pos, size_t location_pos) {
-  if (cube == nullptr) return Status::InvalidArgument("null cube");
-  if (query_pos >= cube->axis_size(Dimension::kQuery) ||
-      location_pos >= cube->axis_size(Dimension::kLocation)) {
-    return Status::InvalidArgument("column position out of range");
+                           size_t query_pos, size_t location_pos,
+                           size_t parallelism) {
+  if (options.kendall_penalty < 0.0 || options.kendall_penalty > 1.0) {
+    return Status::InvalidArgument("kendall_penalty must lie in [0, 1]");
   }
-  QueryId q = cube->axis_id(Dimension::kQuery, query_pos);
-  LocationId l = cube->axis_id(Dimension::kLocation, location_pos);
-  for (size_t g = 0; g < cube->axis_size(Dimension::kGroup); ++g) {
-    GroupId group = cube->axis_id(Dimension::kGroup, g);
-    Result<double> v =
-        SearchUnfairness(data, space, group, q, l, measure, options);
-    if (v.ok()) {
-      cube->Set(g, query_pos, location_pos, *v);
-    } else if (v.status().code() == StatusCode::kNotFound) {
-      cube->Clear(g, query_pos, location_pos);
-    } else {
-      return v.status();
-    }
-  }
-  return Status::OK();
+  return RefreshColumn(
+      cube, query_pos, location_pos,
+      [&](QueryId q, LocationId l, const std::vector<GroupId>& groups,
+          std::vector<std::optional<double>>* column) {
+        return EvaluateSearchColumn(data, space, measure, options, q, l,
+                                    groups, column, parallelism);
+      });
 }
 
 Result<UnfairnessCube> BuildSearchCube(const SearchDataset& data,
@@ -288,67 +388,21 @@ Result<UnfairnessCube> BuildSearchCube(const SearchDataset& data,
       UnfairnessCube::Make(resolved.groups, resolved.queries,
                            resolved.locations));
 
-  // Unlike the marketplace path, pairwise list distances dominate here and
-  // are shared by every group at a cell: compute one distance matrix per
-  // (query, location) and reuse it across the whole group axis. Semantics
-  // are identical to calling SearchUnfairness per triple (cross-checked in
-  // tests).
+  // Unlike the marketplace path, pairwise list distances dominate here, so
+  // the within-cell rows are parallelized too (nested ParallelFor calls on
+  // the shared pool): a few large (query, location) cells no longer
+  // serialize a whole build.
   Status built = ParallelForPairs(
       resolved.queries.size(), resolved.locations.size(), parallelism,
       [&](size_t q, size_t l) -> Status {
-      const std::vector<SearchObservation>* obs = data.GetObservations(
-          resolved.queries[q], resolved.locations[l]);
-      if (obs == nullptr || obs->empty()) return Status::OK();
-      size_t n = obs->size();
-
-      std::vector<std::vector<double>> dist(n, std::vector<double>(n, 0.0));
-      for (size_t i = 0; i < n; ++i) {
-        for (size_t j = i + 1; j < n; ++j) {
-          Result<double> d = SearchListDistance(measure, (*obs)[i].results,
-                                                (*obs)[j].results, options);
-          if (!d.ok()) return d.status();
-          dist[i][j] = dist[j][i] = *d;
+        std::vector<std::optional<double>> column(resolved.groups.size());
+        FAIRJOB_RETURN_IF_ERROR(EvaluateSearchColumn(
+            data, space, measure, options, resolved.queries[q],
+            resolved.locations[l], resolved.groups, &column, parallelism));
+        for (size_t g = 0; g < column.size(); ++g) {
+          if (column[g].has_value()) cube.Set(g, q, l, *column[g]);
         }
-      }
-
-      // Observation indices per group, for every group that can appear as a
-      // cube row or as someone's comparable.
-      std::unordered_map<GroupId, std::vector<size_t>> members;
-      auto members_of = [&](GroupId group) -> const std::vector<size_t>& {
-        auto it = members.find(group);
-        if (it != members.end()) return it->second;
-        std::vector<size_t> indices;
-        const GroupLabel& label = space.label(group);
-        for (size_t i = 0; i < n; ++i) {
-          if (label.Matches(data.user_demographics((*obs)[i].user))) {
-            indices.push_back(i);
-          }
-        }
-        return members.emplace(group, std::move(indices)).first->second;
-      };
-
-      for (size_t g = 0; g < resolved.groups.size(); ++g) {
-        GroupId group = resolved.groups[g];
-        const std::vector<size_t>& own = members_of(group);
-        if (own.empty()) continue;
-        double group_sum = 0.0;
-        size_t group_count = 0;
-        for (GroupId other : space.Comparables(group)) {
-          const std::vector<size_t>& theirs = members_of(other);
-          if (theirs.empty()) continue;
-          double pair_sum = 0.0;
-          for (size_t a : own) {
-            for (size_t b : theirs) pair_sum += dist[a][b];
-          }
-          group_sum +=
-              pair_sum / static_cast<double>(own.size() * theirs.size());
-          ++group_count;
-        }
-        if (group_count > 0) {
-          cube.Set(g, q, l, group_sum / static_cast<double>(group_count));
-        }
-      }
-      return Status::OK();
+        return Status::OK();
       });
   FAIRJOB_RETURN_IF_ERROR(built);
   return cube;

@@ -2,6 +2,7 @@
 #define FAIRJOB_CORE_UNFAIRNESS_CUBE_H_
 
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -41,7 +42,8 @@ class UnfairnessCube {
   int32_t axis_id(Dimension d, size_t pos) const {
     return ids_[AxisIndex(d)][pos];
   }
-  // Errors: NotFound if `id` is not on axis `d`.
+  // O(1) via the per-axis position index built in Make. Errors: NotFound if
+  // `id` is not on axis `d`.
   Result<size_t> PosOf(Dimension d, int32_t id) const;
 
   void Set(size_t g, size_t q, size_t l, double value) {
@@ -76,6 +78,7 @@ class UnfairnessCube {
   }
 
   std::vector<int32_t> ids_[3];  // group / query / location ids per axis
+  std::unordered_map<int32_t, size_t> pos_of_[3];  // id -> axis position
   std::vector<std::optional<double>> values_;
 };
 
@@ -88,9 +91,13 @@ struct CubeAxes {
 };
 
 // Evaluates the chosen measure for every (g, q, l) in the axes; undefined
-// triples stay missing. With `parallelism` > 1, (query, location) columns
-// are evaluated on that many threads (cells are disjoint, datasets are read
-// only; results are identical to the serial build). Errors: only on
+// triples stay missing. Per-cell state (worker values, group memberships,
+// histograms, exposure sums — see MarketplaceCellContext) is computed once
+// per (query, location) and shared across the whole group axis, so each cell
+// costs O(G · n) label matching instead of the per-triple O(G² · n). With
+// `parallelism` > 1, (query, location) columns are evaluated on that many
+// threads of the shared ThreadPool (cells are disjoint, datasets are read
+// only; results are bitwise-identical to the serial build). Errors: only on
 // structurally invalid input (bad options, bad axes) — per-cell NotFound is
 // expected and absorbed.
 Result<UnfairnessCube> BuildMarketplaceCube(const MarketplaceDataset& data,
@@ -110,20 +117,24 @@ Result<UnfairnessCube> BuildSearchCube(const SearchDataset& data,
 // Incremental maintenance: re-evaluates the group cells of one
 // (query, location) column after its underlying ranking changed (a crawl
 // refresh); triples that became undefined are cleared. Pair with
-// IndexSet::RefreshColumn to keep the inverted lists in sync.
+// IndexSet::RefreshColumn to keep the inverted lists in sync. Shares one
+// MarketplaceCellContext across the column; with `parallelism` > 1 the
+// group cells are evaluated on the shared ThreadPool (no per-call thread
+// spawns, so tight refresh loops stay cheap).
 // Errors: InvalidArgument on out-of-range positions or bad options.
 Status RefreshMarketplaceColumn(const MarketplaceDataset& data,
                                 const GroupSpace& space, MarketMeasure measure,
                                 const MeasureOptions& options,
                                 UnfairnessCube* cube, size_t query_pos,
-                                size_t location_pos);
+                                size_t location_pos, size_t parallelism = 1);
 
 // Search-side twin of RefreshMarketplaceColumn (e.g. after a study collected
 // new runs for one (term, location)).
 Status RefreshSearchColumn(const SearchDataset& data, const GroupSpace& space,
                            SearchMeasure measure,
                            const MeasureOptions& options, UnfairnessCube* cube,
-                           size_t query_pos, size_t location_pos);
+                           size_t query_pos, size_t location_pos,
+                           size_t parallelism = 1);
 
 }  // namespace fairjob
 

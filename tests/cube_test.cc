@@ -234,6 +234,139 @@ TEST(SearchCubeBuilderTest, FastPathMatchesPerTripleMeasure) {
   }
 }
 
+// A marketplace world rich enough to exercise every cell-context edge:
+// 3 attributes (35 groups), rankings with and without site scores, an
+// unobserved column, and a worker pool small enough that many groups have no
+// members in a given ranking.
+struct CrossCheckWorld {
+  std::unique_ptr<MarketplaceDataset> data;
+  std::unique_ptr<GroupSpace> space;
+};
+
+CrossCheckWorld MakeCrossCheckWorld() {
+  AttributeSchema schema;
+  EXPECT_TRUE(
+      schema.AddAttribute("ethnicity", {"Asian", "Black", "White"}).ok());
+  EXPECT_TRUE(schema.AddAttribute("gender", {"Male", "Female"}).ok());
+  EXPECT_TRUE(schema.AddAttribute("age", {"Young", "Old"}).ok());
+  CrossCheckWorld world;
+  world.data = std::make_unique<MarketplaceDataset>(schema);
+  world.space =
+      std::make_unique<GroupSpace>(*GroupSpace::Enumerate(world.data->schema()));
+  Rng rng(2020);
+  std::vector<WorkerId> workers;
+  for (int i = 0; i < 20; ++i) {
+    Demographics d = {static_cast<ValueId>(rng.NextBelow(3)),
+                      static_cast<ValueId>(rng.NextBelow(2)),
+                      static_cast<ValueId>(rng.NextBelow(2))};
+    workers.push_back(*world.data->AddWorker("w" + std::to_string(i), d));
+  }
+  for (QueryId q = 0; q < 4; ++q) {
+    world.data->queries().GetOrAdd("q" + std::to_string(q));
+    for (LocationId l = 0; l < 3; ++l) {
+      world.data->locations().GetOrAdd("l" + std::to_string(l));
+      if (q == 2 && l == 1) continue;  // unobserved column
+      MarketRanking r;
+      r.workers = workers;
+      rng.Shuffle(r.workers);
+      // Rankings of uneven length, half of them carrying site scores.
+      r.workers.resize(8 + rng.NextBelow(12));
+      if (l % 2 == 0) {
+        for (size_t i = 0; i < r.workers.size(); ++i) {
+          r.scores.push_back(rng.NextDouble());
+        }
+      }
+      EXPECT_TRUE(world.data->SetRanking(q, l, std::move(r)).ok());
+    }
+  }
+  return world;
+}
+
+// The tentpole guarantee: the cell-shared fast path (MarketplaceCellContext
+// under BuildMarketplaceCube) must be BITWISE equal to the per-triple
+// reference MarketplaceUnfairness, for both measures, serial and pooled.
+TEST(MarketplaceCellContextTest, CubeMatchesPerTripleReferenceBitwise) {
+  CrossCheckWorld world = MakeCrossCheckWorld();
+  std::vector<MeasureOptions> option_sets(3);
+  option_sets[1].exposure_model = ExposureModel::kPowerLaw;
+  option_sets[1].exposure_gamma = 1.5;
+  option_sets[1].histogram_bins = 7;
+  option_sets[2].use_scores_if_available = false;
+  for (const MeasureOptions& options : option_sets) {
+    for (MarketMeasure measure :
+         {MarketMeasure::kEmd, MarketMeasure::kExposure}) {
+      for (size_t parallelism : {size_t{1}, size_t{4}}) {
+        UnfairnessCube cube = *BuildMarketplaceCube(
+            *world.data, *world.space, measure, options, {}, parallelism);
+        for (size_t g = 0; g < cube.axis_size(Dimension::kGroup); ++g) {
+          for (size_t q = 0; q < cube.axis_size(Dimension::kQuery); ++q) {
+            for (size_t l = 0; l < cube.axis_size(Dimension::kLocation); ++l) {
+              Result<double> reference = MarketplaceUnfairness(
+                  *world.data, *world.space, static_cast<GroupId>(g),
+                  static_cast<QueryId>(q), static_cast<LocationId>(l), measure,
+                  options);
+              std::optional<double> cell = cube.Get(g, q, l);
+              if (reference.ok()) {
+                ASSERT_TRUE(cell.has_value())
+                    << MarketMeasureName(measure) << " " << g << " " << q
+                    << " " << l;
+                // EXPECT_EQ, not NEAR: the fast path performs the identical
+                // floating-point operations in the identical order.
+                EXPECT_EQ(*cell, *reference)
+                    << MarketMeasureName(measure) << " " << g << " " << q
+                    << " " << l;
+              } else {
+                EXPECT_EQ(reference.status().code(), StatusCode::kNotFound);
+                EXPECT_FALSE(cell.has_value());
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(MarketplaceCellContextTest, DirectUseMatchesReference) {
+  CrossCheckWorld world = MakeCrossCheckWorld();
+  const MarketRanking* ranking = world.data->GetRanking(0, 0);
+  ASSERT_NE(ranking, nullptr);
+  MarketplaceCellContext ctx =
+      *MarketplaceCellContext::Make(*world.data, *world.space, ranking, {});
+  for (size_t g = 0; g < world.space->num_groups(); ++g) {
+    for (MarketMeasure measure :
+         {MarketMeasure::kEmd, MarketMeasure::kExposure}) {
+      Result<double> fast =
+          ctx.Unfairness(static_cast<GroupId>(g), measure);
+      Result<double> reference =
+          MarketplaceUnfairness(*world.data, *world.space,
+                                static_cast<GroupId>(g), 0, 0, measure, {});
+      ASSERT_EQ(fast.ok(), reference.ok());
+      if (fast.ok()) {
+        EXPECT_EQ(*fast, *reference);
+      } else {
+        EXPECT_EQ(fast.status().code(), reference.status().code());
+      }
+    }
+  }
+}
+
+TEST(MarketplaceCellContextTest, ValidatesInputs) {
+  CrossCheckWorld world = MakeCrossCheckWorld();
+  // Null / empty rankings are NotFound (an undefined column, not an error).
+  Result<MarketplaceCellContext> missing =
+      MarketplaceCellContext::Make(*world.data, *world.space, nullptr, {});
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  // Malformed options are InvalidArgument, as in the reference path.
+  MeasureOptions bad;
+  bad.histogram_bins = 0;
+  Result<MarketplaceCellContext> invalid = MarketplaceCellContext::Make(
+      *world.data, *world.space, world.data->GetRanking(0, 0), bad);
+  ASSERT_FALSE(invalid.ok());
+  EXPECT_EQ(invalid.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(ParallelBuildTest, ParallelMatchesSerialForBothBuilders) {
   AttributeSchema schema;
   ASSERT_TRUE(schema.AddAttribute("ethnicity", {"Asian", "Black", "White"}).ok());
