@@ -12,7 +12,12 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/flags.h"
+#include "common/metrics.h"
 #include "common/rng.h"
+#include "common/trace.h"
+#include "core/indices.h"
+#include "core/quantification.h"
 #include "core/unfairness_cube.h"
 
 namespace fairjob {
@@ -169,11 +174,52 @@ bool CubesIdentical(const UnfairnessCube& a, const UnfairnessCube& b) {
   return true;
 }
 
+// One fully instrumented pass over the smallest size: cube builds through
+// the pool, plus a Fagin top-k over the resulting cube, so every metric
+// family (threadpool.*, cube.*, fagin.*, measure.*) has data. Runs after the
+// timing loops — the timed numbers above are always metrics-off.
+std::string InstrumentedPassJson(size_t pool) {
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  metrics.Reset();
+  Tracer::Global().Reset();
+  metrics.SetEnabled(true);
+  Tracer::Global().SetEnabled(true);
+
+  const SizeSpec& size = kSizes[0];
+  MarketplaceDataset market = MakeMarket(size);
+  GroupSpace space = OrDie(GroupSpace::Enumerate(market.schema()), "space");
+  UnfairnessCube cube = OrDie(
+      BuildMarketplaceCube(market, space, MarketMeasure::kEmd, {}, {}, pool),
+      "instrumented market build");
+  SearchDataset search = MakeSearch(size);
+  GroupSpace search_space =
+      OrDie(GroupSpace::Enumerate(search.schema()), "search space");
+  BuildSearchCube(search, search_space, SearchMeasure::kKendallTau, {}, {},
+                  pool)
+      .value();
+  IndexSet indices = IndexSet::Build(cube);
+  QuantificationRequest request;
+  request.target = Dimension::kGroup;
+  request.k = 5;
+  OrDie(SolveQuantification(cube, indices, request), "instrumented top-k");
+
+  metrics.SetEnabled(false);
+  Tracer::Global().SetEnabled(false);
+  return metrics.ToJson();
+}
+
 }  // namespace
 
-int Main() {
-  constexpr size_t kReps = 5;
+int Main(int argc, char** argv) {
+  Result<Flags> flags = Flags::Parse({argv + 1, argv + argc});
+  if (!flags.ok()) {
+    PrintTitle("FATAL: " + flags.status().ToString());
+    return 1;
+  }
+  const bool smoke = flags->Has("smoke");
+  const size_t kReps = smoke ? 1 : 5;
   constexpr size_t kPool = 4;
+  const size_t num_sizes = smoke ? 1 : sizeof(kSizes) / sizeof(kSizes[0]);
 
   PrintTitle("Cube construction: seed per-triple vs cell-shared, serial vs pool");
   PrintPaperNote(
@@ -194,7 +240,7 @@ int Main() {
   std::vector<std::vector<std::string>> search_rows;
   bool all_identical = true;
 
-  for (size_t s = 0; s < sizeof(kSizes) / sizeof(kSizes[0]); ++s) {
+  for (size_t s = 0; s < num_sizes; ++s) {
     const SizeSpec& size = kSizes[s];
     MarketplaceDataset market = MakeMarket(size);
     GroupSpace space = OrDie(GroupSpace::Enumerate(market.schema()), "space");
@@ -266,9 +312,15 @@ int Main() {
             ", \"pool_ms\": " + Fmt(search_pool_ms) +
             ", \"speedup_pool\": " + Fmt(search_serial_ms / search_pool_ms, 2) +
             "}}";
-    json += (s + 1 < sizeof(kSizes) / sizeof(kSizes[0])) ? ",\n" : "\n";
+    json += (s + 1 < num_sizes) ? ",\n" : "\n";
   }
-  json += "  ]\n}\n";
+  json += "  ],\n";
+
+  // The timing loops above always run metrics-off; this separate pass feeds
+  // the "metrics" section (and the optional --metrics_json/--trace_json
+  // exports) without perturbing the numbers.
+  std::string metrics_json = InstrumentedPassJson(kPool);
+  json += "  \"metrics\": " + metrics_json + "\n}\n";
 
   PrintTitle("BuildMarketplaceCube (EMD, 47 groups)");
   PrintTable({"size", "groups", "cells", "n", "reference ms", "cell-shared ms",
@@ -284,6 +336,26 @@ int Main() {
     return 1;
   }
   std::printf("\nwrote BENCH_cube_build.json\n");
+
+  std::string metrics_path = flags->GetString("metrics_json");
+  if (!metrics_path.empty()) {
+    Status s = WriteTextFile(metrics_path, metrics_json);
+    if (!s.ok()) {
+      PrintTitle("FATAL: " + s.ToString());
+      return 1;
+    }
+    std::printf("wrote %s\n", metrics_path.c_str());
+  }
+  std::string trace_path = flags->GetString("trace_json");
+  if (!trace_path.empty()) {
+    Status s = Tracer::Global().WriteJson(trace_path);
+    if (!s.ok()) {
+      PrintTitle("FATAL: " + s.ToString());
+      return 1;
+    }
+    std::printf("wrote %s\n", trace_path.c_str());
+  }
+
   if (!all_identical) {
     PrintTitle("FATAL: fast-path cube contents diverged from the reference");
     return 1;
@@ -294,4 +366,4 @@ int Main() {
 }  // namespace bench
 }  // namespace fairjob
 
-int main() { return fairjob::bench::Main(); }
+int main(int argc, char** argv) { return fairjob::bench::Main(argc, argv); }

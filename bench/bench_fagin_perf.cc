@@ -6,7 +6,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/metrics.h"
 #include "common/rng.h"
+#include "common/trace.h"
 #include "core/fagin.h"
 #include "core/fagin_family.h"
 
@@ -139,6 +145,74 @@ void BM_IndexBuild(benchmark::State& state) {
                           static_cast<int64_t>(universe));
 }
 
+// CI smoke path (--smoke): one metrics-enabled run of each family member on
+// a small instance, written to BENCH_fagin_smoke.json, bypassing the
+// google-benchmark driver entirely so it finishes in milliseconds.
+int SmokeMain(const char* metrics_path, const char* trace_path) {
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  metrics.SetEnabled(true);
+  Tracer::Global().SetEnabled(true);
+
+  std::vector<InvertedIndex> lists = MakeLists(512, 8, 42);
+  std::vector<const InvertedIndex*> ptrs = Pointers(lists);
+  std::string json = "{\n  \"bench\": \"fagin_smoke\",\n  \"universe\": 512,"
+                     "\n  \"lists\": 8,\n  \"algorithms\": [\n";
+
+  struct Algo {
+    const char* name;
+    TopKAlgorithm algorithm;
+    MissingCellPolicy missing;
+  };
+  const Algo algos[] = {
+      {"ta", TopKAlgorithm::kThresholdAlgorithm, MissingCellPolicy::kSkip},
+      {"fa", TopKAlgorithm::kFA, MissingCellPolicy::kZero},
+      {"nra", TopKAlgorithm::kNRA, MissingCellPolicy::kZero},
+      {"scan", TopKAlgorithm::kScan, MissingCellPolicy::kSkip},
+  };
+  for (size_t i = 0; i < sizeof(algos) / sizeof(algos[0]); ++i) {
+    TopKOptions options;
+    options.k = 5;
+    options.missing = algos[i].missing;
+    FaginStats stats;
+    auto result = RunTopK(algos[i].algorithm, ptrs, options, &stats);
+    if (!result.ok()) {
+      std::fprintf(stderr, "smoke %s failed: %s\n", algos[i].name,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    json += std::string("    {\"algorithm\": \"") + algos[i].name +
+            "\", \"sorted_accesses\": " + std::to_string(stats.sorted_accesses) +
+            ", \"random_accesses\": " + std::to_string(stats.random_accesses) +
+            ", \"ids_scored\": " + std::to_string(stats.ids_scored) +
+            ", \"rounds\": " + std::to_string(stats.rounds) +
+            ", \"threshold_checks\": " + std::to_string(stats.threshold_checks) +
+            "}";
+    json += (i + 1 < sizeof(algos) / sizeof(algos[0])) ? ",\n" : "\n";
+  }
+  json += "  ],\n  \"metrics\": " + metrics.ToJson() + "\n}\n";
+
+  auto write = [](const char* path, const std::string& body) {
+    FILE* f = std::fopen(path, "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path);
+      return 1;
+    }
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+    return 0;
+  };
+  if (write("BENCH_fagin_smoke.json", json) != 0) return 1;
+  if (metrics_path != nullptr && write(metrics_path, metrics.ToJson()) != 0) {
+    return 1;
+  }
+  if (trace_path != nullptr &&
+      write(trace_path, Tracer::Global().ToJson()) != 0) {
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace fairjob
 
@@ -161,4 +235,24 @@ BENCHMARK(fairjob::BM_FaginBottomK)
 BENCHMARK(fairjob::BM_IndexBuild)->Arg(1024)->Arg(16384)->Unit(
     benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+// --smoke short-circuits into SmokeMain before google-benchmark sees the
+// command line, so the flag set stays stable across benchmark versions.
+int main(int argc, char** argv) {
+  const char* metrics_path = nullptr;
+  const char* trace_path = nullptr;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strncmp(argv[i], "--metrics_json=", 15) == 0) {
+      metrics_path = argv[i] + 15;
+    }
+    if (std::strncmp(argv[i], "--trace_json=", 13) == 0) {
+      trace_path = argv[i] + 13;
+    }
+  }
+  if (smoke) return fairjob::SmokeMain(metrics_path, trace_path);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

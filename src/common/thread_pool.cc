@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "common/trace.h"
+
 namespace fairjob {
 
 // One ParallelFor call. Indices are claimed via `next`; `completed` counts
@@ -25,6 +27,12 @@ struct ThreadPool::Batch {
 };
 
 ThreadPool::ThreadPool(size_t num_threads) {
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  tasks_executed_metric_ = metrics.counter("threadpool.tasks_executed");
+  batches_submitted_metric_ = metrics.counter("threadpool.batches_submitted");
+  queue_depth_metric_ = metrics.gauge("threadpool.queue_depth");
+  worker_wait_metric_ = metrics.histogram("threadpool.worker_wait_us");
+  parallel_for_metric_ = metrics.histogram("threadpool.parallel_for_us");
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     threads_.emplace_back([this] { WorkerLoop(); });
@@ -47,10 +55,12 @@ ThreadPool& ThreadPool::Shared() {
 }
 
 void ThreadPool::RunBatch(Batch* batch) {
+  size_t executed = 0;  // flushed to the metric once per participation
   for (;;) {
     size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
-    if (i >= batch->n) return;
+    if (i >= batch->n) break;
     if (!batch->failed.load(std::memory_order_relaxed)) {
+      ++executed;
       Status s = (*batch->fn)(i);
       if (!s.ok()) {
         std::lock_guard<std::mutex> lock(batch->mu);
@@ -66,12 +76,14 @@ void ThreadPool::RunBatch(Batch* batch) {
       batch->done.notify_all();
     }
   }
+  if (executed > 0) tasks_executed_metric_->Add(executed);
 }
 
 void ThreadPool::RemoveBatchLocked(const std::shared_ptr<Batch>& batch) {
   for (auto it = batches_.begin(); it != batches_.end(); ++it) {
     if (*it == batch) {
       batches_.erase(it);
+      queue_depth_metric_->Set(static_cast<double>(batches_.size()));
       return;
     }
   }
@@ -90,6 +102,9 @@ void ThreadPool::WorkerLoop() {
       }
     }
     if (batch == nullptr) {
+      // The wait itself is the interesting quantity: long waits mean the
+      // pool is over-provisioned for the submitted batches.
+      ScopedTimer wait_timer(worker_wait_metric_);
       wake_.wait(lock);
       continue;
     }
@@ -106,11 +121,18 @@ Status ThreadPool::ParallelFor(size_t n, size_t parallelism,
   if (n == 0) return Status::OK();
   if (parallelism <= 1 || n == 1 || threads_.empty()) {
     for (size_t i = 0; i < n; ++i) {
-      FAIRJOB_RETURN_IF_ERROR(fn(i));
+      Status s = fn(i);
+      if (!s.ok()) {
+        tasks_executed_metric_->Add(i + 1);
+        return s;
+      }
     }
+    tasks_executed_metric_->Add(n);
     return Status::OK();
   }
 
+  ScopedTimer batch_timer(parallel_for_metric_);
+  batches_submitted_metric_->Add(1);
   auto batch = std::make_shared<Batch>();
   batch->n = n;
   batch->max_workers = parallelism;
@@ -119,6 +141,7 @@ Status ThreadPool::ParallelFor(size_t n, size_t parallelism,
   {
     std::lock_guard<std::mutex> lock(mutex_);
     batches_.push_back(batch);
+    queue_depth_metric_->Set(static_cast<double>(batches_.size()));
   }
   wake_.notify_all();
 

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 
 namespace fairjob {
@@ -75,6 +76,14 @@ class ThreadPool {
   std::condition_variable wake_;    // workers wait here for new batches
   std::deque<std::shared_ptr<Batch>> batches_;
   bool stop_ = false;
+
+  // Observability (see docs/observability.md): all pools share the global
+  // metric objects, cached here to keep the hot paths lookup-free.
+  Counter* tasks_executed_metric_;      // threadpool.tasks_executed
+  Counter* batches_submitted_metric_;   // threadpool.batches_submitted
+  Gauge* queue_depth_metric_;           // threadpool.queue_depth
+  LatencyHistogram* worker_wait_metric_;       // threadpool.worker_wait_us
+  LatencyHistogram* parallel_for_metric_;      // threadpool.parallel_for_us
 };
 
 }  // namespace fairjob

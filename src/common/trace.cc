@@ -1,0 +1,89 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace fairjob {
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+Tracer::Buffer* Tracer::BufferForThisThread() {
+  // The thread-local pointer is raw: buffers are owned by the tracer's list
+  // and never destroyed (Reset only clears their contents), so a pointer
+  // cached by a long-lived thread cannot dangle.
+  thread_local Buffer* buffer = nullptr;
+  if (buffer == nullptr) {
+    auto owned = std::make_shared<Buffer>();
+    std::lock_guard<std::mutex> lock(buffers_mutex_);
+    owned->tid = static_cast<uint32_t>(buffers_.size());
+    buffers_.push_back(owned);
+    buffer = owned.get();
+  }
+  return buffer;
+}
+
+void Tracer::Record(const char* name, const char* category, char phase) {
+  double ts = NowUs();
+  Buffer* buffer = BufferForThisThread();
+  std::lock_guard<std::mutex> lock(buffer->mutex);
+  buffer->events.push_back(Event{name, category, phase, ts, buffer->tid});
+}
+
+void Tracer::Reset() {
+  std::lock_guard<std::mutex> lock(buffers_mutex_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->events.clear();
+  }
+}
+
+std::vector<Tracer::Event> Tracer::Snapshot() const {
+  std::vector<Event> events;
+  {
+    std::lock_guard<std::mutex> lock(buffers_mutex_);
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      events.insert(events.end(), buffer->events.begin(),
+                    buffer->events.end());
+    }
+  }
+  // Stable sort: equal timestamps keep their per-buffer order, which is the
+  // recording order within a thread, preserving begin-before-end nesting.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                     return a.tid < b.tid;
+                   });
+  return events;
+}
+
+std::string Tracer::ToJson() const {
+  std::vector<Event> events = Snapshot();
+  std::string json = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  char buf[64];
+  for (size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    json += i == 0 ? "\n" : ",\n";
+    std::snprintf(buf, sizeof(buf), "%.3f", e.ts_us);
+    json += std::string("  {\"name\": \"") + e.name + "\", \"cat\": \"" +
+            e.category + "\", \"ph\": \"" + e.phase + "\", \"ts\": " + buf +
+            ", \"pid\": 1, \"tid\": " + std::to_string(e.tid) + "}";
+  }
+  json += events.empty() ? "]}\n" : "\n]}\n";
+  return json;
+}
+
+Status Tracer::WriteJson(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << ToJson();
+  out.close();
+  if (!out) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+}  // namespace fairjob

@@ -1,0 +1,141 @@
+#ifndef FAIRJOB_COMMON_TRACE_H_
+#define FAIRJOB_COMMON_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+
+namespace fairjob {
+
+// Scoped-span tracing that emits a Chrome trace_event JSON timeline
+// (chrome://tracing / https://ui.perfetto.dev can open the output directly).
+// Spans nest naturally: a TraceSpan constructed while another is alive on
+// the same thread becomes its child in the viewer, because begin/end events
+// are strictly LIFO per thread (RAII guarantees the balance).
+//
+// Like metrics, tracing is disabled by default: a span on a disabled tracer
+// is one relaxed atomic load. Events are buffered per thread (one mutex per
+// buffer, only ever contended by the exporting reader), so parallel cube
+// builds trace without cross-thread contention.
+class Tracer {
+ public:
+  // Structured view of one recorded event, exposed for tests and tools.
+  struct Event {
+    const char* name;      // static string supplied by the span
+    const char* category;  // static string, groups spans in the viewer
+    char phase;            // 'B' begin / 'E' end
+    double ts_us;          // microseconds since tracer construction
+    uint32_t tid;          // stable per-thread ordinal
+  };
+
+  // Process-wide tracer, created on first use and intentionally leaked
+  // (same shutdown rationale as MetricsRegistry::Global()).
+  static Tracer& Global();
+
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Drops all buffered events (buffers themselves survive, threads keep
+  // their registration). Meant for tests and multi-phase benches.
+  void Reset();
+
+  // All buffered events merged and sorted by timestamp, for structured
+  // inspection without parsing JSON.
+  std::vector<Event> Snapshot() const;
+
+  // Chrome trace_event JSON: {"displayTimeUnit":"ms","traceEvents":[...]}.
+  // Every event carries pid/tid/ts/ph/name/cat; begin/end counts balance.
+  std::string ToJson() const;
+  Status WriteJson(const std::string& path) const;
+
+  // Records one event now. `name` and `category` must point to storage that
+  // outlives the tracer — string literals in practice. Called by TraceSpan;
+  // rarely needed directly.
+  void Record(const char* name, const char* category, char phase);
+
+  double NowUs() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+ private:
+  struct Buffer {
+    mutable std::mutex mutex;
+    std::vector<Event> events;
+    uint32_t tid = 0;
+  };
+
+  Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+  Buffer* BufferForThisThread();
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex buffers_mutex_;  // guards the buffer list itself
+  std::vector<std::shared_ptr<Buffer>> buffers_;
+};
+
+// RAII span: records a begin event on construction and the matching end
+// event on destruction. If tracing is disabled at construction the span is
+// inert (and stays inert even if tracing is enabled mid-scope, keeping the
+// event stream balanced).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* category = "fairjob")
+      : name_(name), category_(category) {
+    if (!kObservabilityCompiledIn) return;
+    Tracer& tracer = Tracer::Global();
+    if (!tracer.enabled()) return;
+    active_ = true;
+    tracer.Record(name_, category_, 'B');
+  }
+  ~TraceSpan() {
+    if (active_) Tracer::Global().Record(name_, category_, 'E');
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  const char* category_;
+  bool active_ = false;
+};
+
+// RAII timer feeding a latency histogram (microseconds). Inert when the
+// histogram is null or metrics are disabled at construction, so call sites
+// can unconditionally place one in a hot path.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(LatencyHistogram* histogram) {
+    if (histogram == nullptr || !histogram->recording()) return;
+    histogram_ = histogram;
+    start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (histogram_ == nullptr) return;
+    histogram_->Record(std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() - start_)
+                           .count());
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  LatencyHistogram* histogram_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace fairjob
+
+#endif  // FAIRJOB_COMMON_TRACE_H_

@@ -1,12 +1,18 @@
 #include "core/fagin.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <unordered_set>
 
+#include "common/trace.h"
+#include "core/fagin_run_metrics.h"
+
 namespace fairjob {
 namespace {
+
+using fagin_internal::MeteredRun;
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
@@ -85,10 +91,26 @@ double Threshold(const std::vector<const InvertedIndex*>& lists,
 
 }  // namespace
 
+void RecordFaginMetrics(const char* algorithm, const FaginStats& stats,
+                        double elapsed_us) {
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  if (!metrics.enabled()) return;
+  std::string prefix = std::string("fagin.") + algorithm;
+  metrics.counter(prefix + ".runs")->Add(1);
+  metrics.counter(prefix + ".sorted_accesses")->Add(stats.sorted_accesses);
+  metrics.counter(prefix + ".random_accesses")->Add(stats.random_accesses);
+  metrics.counter(prefix + ".ids_scored")->Add(stats.ids_scored);
+  metrics.counter(prefix + ".rounds")->Add(stats.rounds);
+  metrics.counter(prefix + ".threshold_checks")->Add(stats.threshold_checks);
+  metrics.histogram(prefix + ".latency_us")->Record(elapsed_us);
+}
+
 Result<std::vector<ScoredEntry>> FaginTopK(
     const std::vector<const InvertedIndex*>& lists, const TopKOptions& options,
     FaginStats* stats) {
   FAIRJOB_RETURN_IF_ERROR(Validate(lists, options.k));
+  TraceSpan span("FaginTopK", "fagin");
+  MeteredRun run("ta", &stats);
   bool most = options.direction == RankDirection::kMostUnfair;
 
   std::unordered_set<int32_t> allowed;
@@ -136,8 +158,10 @@ Result<std::vector<ScoredEntry>> FaginTopK(
       }
     }
     if (!any_read) break;  // every list exhausted
+    ++stats->rounds;
 
     if (kept.size() >= options.k) {
+      ++stats->threshold_checks;
       double tau = Threshold(lists, cursors, options);
       double kth = kept.front().value;
       bool done = most ? (kth >= tau) : (kth <= tau);
@@ -153,12 +177,16 @@ Result<std::vector<ScoredEntry>> ScanTopK(
     const std::vector<const InvertedIndex*>& lists, const TopKOptions& options,
     FaginStats* stats) {
   FAIRJOB_RETURN_IF_ERROR(Validate(lists, options.k));
+  TraceSpan span("ScanTopK", "fagin");
+  MeteredRun run("scan", &stats);
   std::unordered_set<int32_t> allowed;
   if (options.allowed != nullptr) {
     allowed.insert(options.allowed->begin(), options.allowed->end());
   }
   std::unordered_set<int32_t> ids;
   for (const InvertedIndex* list : lists) {
+    // A scan's "depth" is the longest list: it reads everything.
+    stats->rounds = std::max(stats->rounds, list->size());
     for (size_t i = 0; i < list->size(); ++i) {
       if (stats != nullptr) ++stats->sorted_accesses;
       int32_t pos = list->entry(i).pos;

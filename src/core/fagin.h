@@ -22,12 +22,25 @@ enum class RankDirection { kMostUnfair, kLeastUnfair };
 enum class MissingCellPolicy { kSkip, kZero };
 
 // Instrumentation for the sorted/random access counts the Fagin family is
-// judged by.
+// judged by (the paper's Figure-9-style efficiency metrics).
 struct FaginStats {
   size_t sorted_accesses = 0;
   size_t random_accesses = 0;
   size_t ids_scored = 0;
+  // Round-robin passes over the lists before termination — the early-stop
+  // depth (a full scan of lists of length n reports n rounds).
+  size_t rounds = 0;
+  // Times the termination bound was evaluated against the k-th best value.
+  size_t threshold_checks = 0;
 };
+
+// Publishes one run's stats to the global MetricsRegistry under
+// "fagin.<algorithm>.*" (runs, access counts, rounds, threshold checks and a
+// latency histogram); no-op while metrics are disabled. Called by every
+// member of the family; exposed so future serving layers can attribute runs
+// to their own algorithm labels.
+void RecordFaginMetrics(const char* algorithm, const FaginStats& stats,
+                        double elapsed_us);
 
 // Options for a top-k run.
 struct TopKOptions {

@@ -6,8 +6,13 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/trace.h"
+#include "core/fagin_run_metrics.h"
+
 namespace fairjob {
 namespace {
+
+using fagin_internal::MeteredRun;
 
 bool Better(double a, double b, RankDirection dir) {
   return dir == RankDirection::kMostUnfair ? a > b : a < b;
@@ -72,6 +77,8 @@ Result<std::vector<ScoredEntry>> FaginFA(
     const std::vector<const InvertedIndex*>& lists, const TopKOptions& options,
     FaginStats* stats) {
   FAIRJOB_RETURN_IF_ERROR(Validate(lists, options.k));
+  TraceSpan span("FaginFA", "fagin");
+  MeteredRun run("fa", &stats);
   bool most = options.direction == RankDirection::kMostUnfair;
   std::unordered_set<int32_t> allowed;
   if (options.allowed != nullptr) {
@@ -102,7 +109,11 @@ Result<std::vector<ScoredEntry>> FaginFA(
       if (seen == lists.size()) ++complete_ids;
     }
     if (!any_read) break;
-    if (can_stop_early && complete_ids >= options.k) break;
+    ++stats->rounds;
+    if (can_stop_early) {
+      ++stats->threshold_checks;
+      if (complete_ids >= options.k) break;
+    }
   }
 
   // Phase 2: random access to score every seen id.
@@ -133,6 +144,8 @@ Result<std::vector<ScoredEntry>> FaginNRA(
     return Status::InvalidArgument(
         "NRA supports kMostUnfair only; use TA or the scan for bottom-k");
   }
+  TraceSpan span("FaginNRA", "fagin");
+  MeteredRun run("nra", &stats);
   std::unordered_set<int32_t> allowed;
   if (options.allowed != nullptr) {
     allowed.insert(options.allowed->begin(), options.allowed->end());
@@ -173,8 +186,10 @@ Result<std::vector<ScoredEntry>> FaginNRA(
       c.known_mask |= (1ull << i);
     }
     if (!any_read) break;
+    ++stats->rounds;
 
     if (candidates.size() < options.k) continue;
+    ++stats->threshold_checks;
 
     // Lower bound: unknown entries contribute 0 (kZero). Upper bound:
     // unknown entries are at most the list frontier.

@@ -1,0 +1,47 @@
+#ifndef FAIRJOB_CORE_FAGIN_RUN_METRICS_H_
+#define FAIRJOB_CORE_FAGIN_RUN_METRICS_H_
+
+#include <chrono>
+
+#include "common/metrics.h"
+#include "core/fagin.h"
+
+namespace fairjob {
+namespace fagin_internal {
+
+// Run-scope frame shared by every member of the Fagin family (fagin.cc,
+// fagin_family.cc): redirects a null caller `stats` to local storage so the
+// metrics layer always has access counts, times the run, and publishes via
+// RecordFaginMetrics on destruction. When metrics are disabled the frame
+// costs one relaxed atomic load and no clock reads.
+class MeteredRun {
+ public:
+  MeteredRun(const char* algorithm, FaginStats** stats)
+      : algorithm_(algorithm), timed_(MetricsRegistry::Global().enabled()) {
+    if (*stats == nullptr) *stats = &local_;
+    stats_ = *stats;
+    if (timed_) start_ = std::chrono::steady_clock::now();
+  }
+  ~MeteredRun() {
+    if (!timed_) return;
+    RecordFaginMetrics(algorithm_, *stats_,
+                       std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() - start_)
+                           .count());
+  }
+
+  MeteredRun(const MeteredRun&) = delete;
+  MeteredRun& operator=(const MeteredRun&) = delete;
+
+ private:
+  const char* algorithm_;
+  bool timed_;
+  FaginStats local_;
+  FaginStats* stats_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace fagin_internal
+}  // namespace fairjob
+
+#endif  // FAIRJOB_CORE_FAGIN_RUN_METRICS_H_

@@ -1,11 +1,14 @@
 #include "core/fbox.h"
 
+#include "common/trace.h"
+
 namespace fairjob {
 
 Result<FBox> FBox::ForMarketplace(const MarketplaceDataset* data,
                                   const GroupSpace* space,
                                   MarketMeasure measure,
                                   const BuildOptions& options) {
+  TraceSpan span("FBox::ForMarketplace", "fbox");
   if (data == nullptr || space == nullptr) {
     return Status::InvalidArgument("FBox needs a dataset and a group space");
   }
@@ -19,6 +22,7 @@ Result<FBox> FBox::ForMarketplace(const MarketplaceDataset* data,
 Result<FBox> FBox::ForSearch(const SearchDataset* data, const GroupSpace* space,
                              SearchMeasure measure,
                              const BuildOptions& options) {
+  TraceSpan span("FBox::ForSearch", "fbox");
   if (data == nullptr || space == nullptr) {
     return Status::InvalidArgument("FBox needs a dataset and a group space");
   }

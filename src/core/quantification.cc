@@ -1,5 +1,7 @@
 #include "core/quantification.h"
 
+#include "common/trace.h"
+
 namespace fairjob {
 namespace {
 
@@ -39,6 +41,7 @@ void OtherDims(Dimension target, Dimension* d1, Dimension* d2) {
 Result<QuantificationResult> SolveQuantification(
     const UnfairnessCube& cube, const IndexSet& indices,
     const QuantificationRequest& request) {
+  TraceSpan span("SolveQuantification", "quantification");
   Dimension d1;
   Dimension d2;
   OtherDims(request.target, &d1, &d2);

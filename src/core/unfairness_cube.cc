@@ -1,11 +1,13 @@
 #include "core/unfairness_cube.h"
 
+#include <chrono>
 #include <functional>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "ranking/jaccard.h"
 
 namespace fairjob {
@@ -177,26 +179,55 @@ Status EvaluateMarketplaceColumn(const MarketplaceDataset& data,
                                  const std::vector<GroupId>& groups,
                                  std::vector<std::optional<double>>* out,
                                  size_t parallelism) {
-  Result<MarketplaceCellContext> ctx =
-      MarketplaceCellContext::Make(data, space, data.GetRanking(q, l), options);
+  // Per-phase observability: context construction (label matching,
+  // histograms, exposure sums) versus per-group measure evaluation.
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  static LatencyHistogram* const column_us =
+      metrics.histogram("cube.market.column_us");
+  static LatencyHistogram* const context_us =
+      metrics.histogram("cube.market.cell_context_us");
+  static LatencyHistogram* const group_eval_us =
+      metrics.histogram("cube.market.group_eval_us");
+  static Counter* const cells_present =
+      metrics.counter("cube.market.cells_present");
+  static Counter* const cells_missing =
+      metrics.counter("cube.market.cells_missing");
+  ScopedTimer column_timer(column_us);
+  TraceSpan span("market_column", "cube");
+
+  Result<MarketplaceCellContext> ctx = [&] {
+    ScopedTimer context_timer(context_us);
+    return MarketplaceCellContext::Make(data, space, data.GetRanking(q, l),
+                                        options);
+  }();
   if (!ctx.ok()) {
     if (ctx.status().code() == StatusCode::kNotFound) {
       for (auto& cell : *out) cell.reset();
+      cells_missing->Add(out->size());
       return Status::OK();
     }
     return ctx.status();
   }
-  return ParallelFor(groups.size(), parallelism, [&](size_t g) -> Status {
-    Result<double> v = ctx->Unfairness(groups[g], measure);
-    if (v.ok()) {
-      (*out)[g] = *v;
-    } else if (v.status().code() == StatusCode::kNotFound) {
-      (*out)[g].reset();
-    } else {
-      return v.status();
-    }
-    return Status::OK();
-  });
+  ScopedTimer group_timer(group_eval_us);
+  Status evaluated =
+      ParallelFor(groups.size(), parallelism, [&](size_t g) -> Status {
+        Result<double> v = ctx->Unfairness(groups[g], measure);
+        if (v.ok()) {
+          (*out)[g] = *v;
+        } else if (v.status().code() == StatusCode::kNotFound) {
+          (*out)[g].reset();
+        } else {
+          return v.status();
+        }
+        return Status::OK();
+      });
+  if (evaluated.ok()) {
+    size_t present = 0;
+    for (const auto& cell : *out) present += cell.has_value() ? 1 : 0;
+    cells_present->Add(present);
+    cells_missing->Add(out->size() - present);
+  }
+  return evaluated;
 }
 
 // Search-side twin: evaluates one (query, location) column over `groups`
@@ -212,26 +243,47 @@ Status EvaluateSearchColumn(const SearchDataset& data, const GroupSpace& space,
                             const std::vector<GroupId>& groups,
                             std::vector<std::optional<double>>* out,
                             size_t parallelism) {
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  static LatencyHistogram* const column_us =
+      metrics.histogram("cube.search.column_us");
+  static LatencyHistogram* const matrix_us =
+      metrics.histogram("cube.search.distance_matrix_us");
+  static LatencyHistogram* const group_eval_us =
+      metrics.histogram("cube.search.group_eval_us");
+  static Counter* const cells_present =
+      metrics.counter("cube.search.cells_present");
+  static Counter* const cells_missing =
+      metrics.counter("cube.search.cells_missing");
+  ScopedTimer column_timer(column_us);
+  TraceSpan span("search_column", "cube");
+
   for (auto& cell : *out) cell.reset();
   const std::vector<SearchObservation>* obs =
       data.GetObservations(query, location);
-  if (obs == nullptr || obs->empty()) return Status::OK();
+  if (obs == nullptr || obs->empty()) {
+    cells_missing->Add(out->size());
+    return Status::OK();
+  }
   size_t n = obs->size();
 
   // Flat n × n distance matrix (row-major); only i < j is computed, the
   // mirror entry is written alongside.
   std::vector<double> dist(n * n, 0.0);
-  Status dist_status =
-      ParallelFor(n, parallelism, [&](size_t i) -> Status {
-        for (size_t j = i + 1; j < n; ++j) {
-          Result<double> d = SearchListDistance(measure, (*obs)[i].results,
-                                                (*obs)[j].results, options);
-          if (!d.ok()) return d.status();
-          dist[i * n + j] = dist[j * n + i] = *d;
-        }
-        return Status::OK();
-      });
+  Status dist_status = [&] {
+    ScopedTimer matrix_timer(matrix_us);
+    TraceSpan matrix_span("distance_matrix", "cube");
+    return ParallelFor(n, parallelism, [&](size_t i) -> Status {
+      for (size_t j = i + 1; j < n; ++j) {
+        Result<double> d = SearchListDistance(measure, (*obs)[i].results,
+                                              (*obs)[j].results, options);
+        if (!d.ok()) return d.status();
+        dist[i * n + j] = dist[j * n + i] = *d;
+      }
+      return Status::OK();
+    });
+  }();
   FAIRJOB_RETURN_IF_ERROR(dist_status);
+  ScopedTimer group_timer(group_eval_us);
 
   // Observation indices per group, for every group that can appear as a
   // cube row or as someone's comparable.
@@ -269,7 +321,22 @@ Status EvaluateSearchColumn(const SearchDataset& data, const GroupSpace& space,
       (*out)[g] = group_sum / static_cast<double>(group_count);
     }
   }
+  size_t present = 0;
+  for (const auto& cell : *out) present += cell.has_value() ? 1 : 0;
+  cells_present->Add(present);
+  cells_missing->Add(out->size() - present);
   return Status::OK();
+}
+
+// Build-level summary gauges shared by the two cube builders: wall-clock of
+// the most recent build and its cell throughput (the "cells/sec" headline).
+void RecordBuildSummary(const char* family, double elapsed_us, size_t cells) {
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  if (!metrics.enabled() || elapsed_us <= 0.0) return;
+  std::string prefix = std::string("cube.") + family;
+  metrics.gauge(prefix + ".last_build_ms")->Set(elapsed_us / 1e3);
+  metrics.gauge(prefix + ".last_build_cells_per_sec")
+      ->Set(static_cast<double>(cells) / (elapsed_us / 1e6));
 }
 
 }  // namespace
@@ -280,6 +347,8 @@ Result<UnfairnessCube> BuildMarketplaceCube(const MarketplaceDataset& data,
                                             const MeasureOptions& options,
                                             const CubeAxes& axes,
                                             size_t parallelism) {
+  TraceSpan span("BuildMarketplaceCube", "cube");
+  auto start = std::chrono::steady_clock::now();
   FAIRJOB_ASSIGN_OR_RETURN(
       CubeAxes resolved,
       ResolveAxes(axes, space.num_groups(), data.queries().size(),
@@ -302,6 +371,11 @@ Result<UnfairnessCube> BuildMarketplaceCube(const MarketplaceDataset& data,
         return Status::OK();
       });
   FAIRJOB_RETURN_IF_ERROR(built);
+  RecordBuildSummary("market",
+                     std::chrono::duration<double, std::micro>(
+                         std::chrono::steady_clock::now() - start)
+                         .count(),
+                     cube.num_cells());
   return cube;
 }
 
@@ -376,6 +450,8 @@ Result<UnfairnessCube> BuildSearchCube(const SearchDataset& data,
                                        const MeasureOptions& options,
                                        const CubeAxes& axes,
                                        size_t parallelism) {
+  TraceSpan span("BuildSearchCube", "cube");
+  auto start = std::chrono::steady_clock::now();
   if (options.kendall_penalty < 0.0 || options.kendall_penalty > 1.0) {
     return Status::InvalidArgument("kendall_penalty must lie in [0, 1]");
   }
@@ -405,6 +481,11 @@ Result<UnfairnessCube> BuildSearchCube(const SearchDataset& data,
         return Status::OK();
       });
   FAIRJOB_RETURN_IF_ERROR(built);
+  RecordBuildSummary("search",
+                     std::chrono::duration<double, std::micro>(
+                         std::chrono::steady_clock::now() - start)
+                         .count(),
+                     cube.num_cells());
   return cube;
 }
 

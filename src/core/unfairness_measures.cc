@@ -3,6 +3,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/trace.h"
 #include "ranking/emd.h"
 #include "ranking/exposure.h"
 #include "ranking/footrule.h"
@@ -39,6 +40,29 @@ Status ValidateMarketOptions(const MeasureOptions& options) {
     return Status::InvalidArgument("exposure_gamma must be positive");
   }
   return Status::OK();
+}
+
+// Marketplace kernel metrics, shared by the per-triple reference path and
+// the cell-shared context path so both report into the same series.
+Counter* EmdInvocations() {
+  static Counter* const counter =
+      MetricsRegistry::Global().counter("measure.emd.invocations");
+  return counter;
+}
+LatencyHistogram* EmdLatency() {
+  static LatencyHistogram* const histogram =
+      MetricsRegistry::Global().histogram("measure.emd.latency_us");
+  return histogram;
+}
+Counter* ExposureInvocations() {
+  static Counter* const counter =
+      MetricsRegistry::Global().counter("measure.exposure.invocations");
+  return counter;
+}
+LatencyHistogram* ExposureLatency() {
+  static LatencyHistogram* const histogram =
+      MetricsRegistry::Global().histogram("measure.exposure.latency_us");
+  return histogram;
 }
 
 // Position bias of one 0-based ranking position under the chosen model.
@@ -78,12 +102,18 @@ Result<double> MarketplaceEmd(const MarketplaceDataset& data,
 
   double sum = 0.0;
   size_t counted = 0;
+  // Resolved outside the loop so the per-kernel cost while disabled is the
+  // two relaxed loads inside Add/ScopedTimer, not the statics' init guards.
+  Counter* const emd_invocations = EmdInvocations();
+  LatencyHistogram* const emd_latency = EmdLatency();
   for (GroupId other : space.Comparables(g)) {
     std::vector<size_t> theirs = GroupPositions(data, space, other, ranking);
     if (theirs.empty()) continue;
     FAIRJOB_ASSIGN_OR_RETURN(Histogram their_hist,
                              Histogram::Make(options.histogram_bins, 0.0, 1.0));
     for (size_t pos : theirs) their_hist.Add(values[pos]);
+    emd_invocations->Add(1);
+    ScopedTimer timer(emd_latency);
     FAIRJOB_ASSIGN_OR_RETURN(double emd,
                              EmdBetweenHistograms(own_hist, their_hist));
     sum += emd;
@@ -105,6 +135,9 @@ Result<double> MarketplaceExposure(const MarketplaceDataset& data,
   if (own.empty()) {
     return Status::NotFound("group has no members in this ranking");
   }
+
+  ExposureInvocations()->Add(1);
+  ScopedTimer timer(ExposureLatency());
 
   auto exposure_of = [&](const std::vector<size_t>& positions) {
     double total = 0.0;
@@ -168,6 +201,33 @@ const char* SearchMeasureName(SearchMeasure m) {
 Result<double> SearchListDistance(SearchMeasure measure, const RankedList& a,
                                   const RankedList& b,
                                   const MeasureOptions& options) {
+  // Kernel-level observability, indexed by the SearchMeasure enum order.
+  // One static (one init-guard load per call); while metrics are off the
+  // only other work is a single relaxed load and a branch — this function
+  // is the innermost kernel of the search cube build.
+  struct KernelMetrics {
+    Counter* invocations[4];
+    LatencyHistogram* latencies[4];
+  };
+  static const KernelMetrics km = [] {
+    MetricsRegistry& r = MetricsRegistry::Global();
+    return KernelMetrics{
+        {r.counter("measure.kendall_tau.invocations"),
+         r.counter("measure.jaccard.invocations"),
+         r.counter("measure.footrule.invocations"),
+         r.counter("measure.rbo.invocations")},
+        {r.histogram("measure.kendall_tau.latency_us"),
+         r.histogram("measure.jaccard.latency_us"),
+         r.histogram("measure.footrule.latency_us"),
+         r.histogram("measure.rbo.latency_us")}};
+  }();
+  size_t index = static_cast<size_t>(measure);
+  LatencyHistogram* hist = nullptr;
+  if (index < 4 && km.latencies[index]->recording()) {
+    km.invocations[index]->Add(1);
+    hist = km.latencies[index];
+  }
+  ScopedTimer timer(hist);
   switch (measure) {
     case SearchMeasure::kKendallTau:
       return KendallTauTopK(a, b, options.kendall_penalty);
@@ -251,8 +311,12 @@ Result<double> MarketplaceCellContext::Emd(GroupId g) const {
   }
   double sum = 0.0;
   size_t counted = 0;
+  Counter* const emd_invocations = EmdInvocations();
+  LatencyHistogram* const emd_latency = EmdLatency();
   for (GroupId other : space_->Comparables(g)) {
     if (positions(other).empty()) continue;
+    emd_invocations->Add(1);
+    ScopedTimer timer(emd_latency);
     FAIRJOB_ASSIGN_OR_RETURN(
         double emd,
         EmdBetweenHistograms(histograms_[static_cast<size_t>(g)],
@@ -271,6 +335,8 @@ Result<double> MarketplaceCellContext::Exposure(GroupId g) const {
   if (own.empty()) {
     return Status::NotFound("group has no members in this ranking");
   }
+  ExposureInvocations()->Add(1);
+  ScopedTimer timer(ExposureLatency());
   double own_exp = exposure_sums_[static_cast<size_t>(g)];
   double own_rel = relevance_sums_[static_cast<size_t>(g)];
   double exp_denominator = own_exp;

@@ -1,0 +1,177 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace fairjob {
+namespace {
+
+TEST(CounterTest, DisabledByDefaultDropsWrites) {
+  MetricsRegistry registry;
+  Counter* c = registry.counter("test.counter");
+  c->Add();
+  c->Add(41);
+  EXPECT_EQ(c->Value(), 0u);
+}
+
+TEST(CounterTest, AccumulatesWhenEnabled) {
+  MetricsRegistry registry;
+  registry.SetEnabled(true);
+  Counter* c = registry.counter("test.counter");
+  c->Add();
+  c->Add(41);
+  EXPECT_EQ(c->Value(), 42u);
+}
+
+TEST(CounterTest, DisableMidStreamKeepsRecordedValue) {
+  MetricsRegistry registry;
+  registry.SetEnabled(true);
+  Counter* c = registry.counter("test.counter");
+  c->Add(7);
+  registry.SetEnabled(false);
+  c->Add(100);
+  EXPECT_EQ(c->Value(), 7u);
+}
+
+TEST(CounterTest, ShardsAggregateAcrossThreadPoolWorkers) {
+  MetricsRegistry registry;
+  registry.SetEnabled(true);
+  Counter* c = registry.counter("test.parallel");
+  ThreadPool pool(4);
+  constexpr size_t kIterations = 10000;
+  Status s = pool.ParallelFor(kIterations, 4, [&](size_t) {
+    c->Add();
+    return Status::OK();
+  });
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(c->Value(), kIterations);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  MetricsRegistry registry;
+  registry.SetEnabled(true);
+  Gauge* g = registry.gauge("test.gauge");
+  g->Set(2.5);
+  EXPECT_DOUBLE_EQ(g->Value(), 2.5);
+  g->Add(1.5);
+  EXPECT_DOUBLE_EQ(g->Value(), 4.0);
+  g->Set(-1.0);
+  EXPECT_DOUBLE_EQ(g->Value(), -1.0);
+}
+
+TEST(GaugeTest, DisabledGaugeIgnoresWrites) {
+  MetricsRegistry registry;
+  Gauge* g = registry.gauge("test.gauge");
+  g->Set(9.0);
+  g->Add(1.0);
+  EXPECT_DOUBLE_EQ(g->Value(), 0.0);
+}
+
+TEST(HistogramTest, CountsSumAndBucketPlacement) {
+  MetricsRegistry registry;
+  registry.SetEnabled(true);
+  LatencyHistogram* h = registry.histogram("test.hist", {1.0, 10.0, 100.0});
+  h->Record(0.5);    // <= 1
+  h->Record(5.0);    // <= 10
+  h->Record(50.0);   // <= 100
+  h->Record(500.0);  // +inf bucket
+  LatencyHistogram::Snapshot s = h->Aggregate();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.sum, 555.5);
+  ASSERT_EQ(s.buckets.size(), 4u);  // three finite bounds + inf
+  EXPECT_EQ(s.buckets[0], 1u);
+  EXPECT_EQ(s.buckets[1], 1u);
+  EXPECT_EQ(s.buckets[2], 1u);
+  EXPECT_EQ(s.buckets[3], 1u);
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinBuckets) {
+  MetricsRegistry registry;
+  registry.SetEnabled(true);
+  LatencyHistogram* h = registry.histogram("test.hist", {10.0, 20.0});
+  for (int i = 0; i < 10; ++i) h->Record(5.0);   // first bucket
+  for (int i = 0; i < 10; ++i) h->Record(15.0);  // second bucket
+  LatencyHistogram::Snapshot s = h->Aggregate();
+  EXPECT_EQ(s.count, 20u);
+  // The median falls on the boundary between the two buckets.
+  EXPECT_NEAR(s.Quantile(0.5), 10.0, 1.0);
+  EXPECT_LE(s.Quantile(0.1), 10.0);
+  EXPECT_GE(s.Quantile(0.9), 10.0);
+}
+
+TEST(HistogramTest, EmptyQuantileIsZero) {
+  MetricsRegistry registry;
+  LatencyHistogram* h = registry.histogram("test.hist");
+  EXPECT_DOUBLE_EQ(h->Aggregate().Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, RecordingTracksRegistrySwitch) {
+  MetricsRegistry registry;
+  LatencyHistogram* h = registry.histogram("test.hist");
+  EXPECT_FALSE(h->recording());
+  registry.SetEnabled(true);
+  EXPECT_TRUE(h->recording());
+}
+
+TEST(HistogramTest, DefaultLatencyBucketsAreAscending) {
+  std::vector<double> bounds = LatencyHistogram::LatencyBucketsUs();
+  ASSERT_GE(bounds.size(), 2u);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST(RegistryTest, FindOrCreateReturnsStablePointers) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.counter("a"), registry.counter("a"));
+  EXPECT_EQ(registry.gauge("b"), registry.gauge("b"));
+  EXPECT_EQ(registry.histogram("c"), registry.histogram("c"));
+  EXPECT_NE(registry.counter("a"), registry.counter("a2"));
+}
+
+TEST(RegistryTest, ResetZeroesButKeepsMetricsAlive) {
+  MetricsRegistry registry;
+  registry.SetEnabled(true);
+  Counter* c = registry.counter("a");
+  LatencyHistogram* h = registry.histogram("h");
+  c->Add(5);
+  h->Record(3.0);
+  registry.Reset();
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_EQ(h->Aggregate().count, 0u);
+  EXPECT_EQ(registry.counter("a"), c);  // same object after reset
+  c->Add(2);
+  EXPECT_EQ(c->Value(), 2u);
+}
+
+TEST(RegistryTest, ToJsonIsSortedAndContainsAllMetricKinds) {
+  MetricsRegistry registry;
+  registry.SetEnabled(true);
+  registry.counter("z.count")->Add(3);
+  registry.counter("a.count")->Add(1);
+  registry.gauge("m.gauge")->Set(1.5);
+  registry.histogram("h.latency_us")->Record(42.0);
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"z.count\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"m.gauge\": 1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"h.latency_us\""), std::string::npos);
+  // Sorted: "a.count" printed before "z.count".
+  EXPECT_LT(json.find("\"a.count\""), json.find("\"z.count\""));
+}
+
+TEST(RegistryTest, GlobalIsASingleton) {
+  EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
+}
+
+}  // namespace
+}  // namespace fairjob

@@ -1,0 +1,183 @@
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/unfairness_cube.h"
+
+namespace fairjob {
+namespace {
+
+// The tracer is a process-global: tests enable it, exercise spans, then
+// disable and clear so later tests start from a clean slate.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Global().Reset();
+    Tracer::Global().SetEnabled(true);
+  }
+  void TearDown() override {
+    Tracer::Global().SetEnabled(false);
+    Tracer::Global().Reset();
+  }
+};
+
+TEST_F(TraceTest, SpanRecordsBalancedBeginEnd) {
+  { TraceSpan span("unit_span", "test"); }
+  std::vector<Tracer::Event> events = Tracer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].name, "unit_span");
+  EXPECT_EQ(events[0].phase, 'B');
+  EXPECT_EQ(events[1].phase, 'E');
+  EXPECT_LE(events[0].ts_us, events[1].ts_us);
+}
+
+TEST_F(TraceTest, NestedSpansAreLifoOrdered) {
+  {
+    TraceSpan outer("outer", "test");
+    TraceSpan inner("inner", "test");
+  }
+  std::vector<Tracer::Event> events = Tracer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_STREQ(events[0].name, "outer");
+  EXPECT_EQ(events[0].phase, 'B');
+  EXPECT_STREQ(events[1].name, "inner");
+  EXPECT_EQ(events[1].phase, 'B');
+  EXPECT_STREQ(events[2].name, "inner");
+  EXPECT_EQ(events[2].phase, 'E');
+  EXPECT_STREQ(events[3].name, "outer");
+  EXPECT_EQ(events[3].phase, 'E');
+}
+
+TEST_F(TraceTest, DisabledTracerRecordsNothing) {
+  Tracer::Global().SetEnabled(false);
+  { TraceSpan span("ghost", "test"); }
+  EXPECT_TRUE(Tracer::Global().Snapshot().empty());
+}
+
+TEST_F(TraceTest, SpanStartedWhileDisabledStaysInert) {
+  Tracer::Global().SetEnabled(false);
+  {
+    TraceSpan span("half", "test");
+    // Enabling mid-span must not produce a lone end event.
+    Tracer::Global().SetEnabled(true);
+  }
+  EXPECT_TRUE(Tracer::Global().Snapshot().empty());
+}
+
+TEST_F(TraceTest, ResetDropsEventsButKeepsRecording) {
+  { TraceSpan span("before", "test"); }
+  Tracer::Global().Reset();
+  EXPECT_TRUE(Tracer::Global().Snapshot().empty());
+  { TraceSpan span("after", "test"); }
+  std::vector<Tracer::Event> events = Tracer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].name, "after");
+}
+
+TEST_F(TraceTest, ToJsonHasChromeTraceShape) {
+  { TraceSpan span("json_span", "test"); }
+  std::string json = Tracer::Global().ToJson();
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"json_span\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"test\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\": 1"), std::string::npos);
+}
+
+TEST(ScopedTimerTest, FeedsHistogramWhenEnabled) {
+  MetricsRegistry registry;
+  registry.SetEnabled(true);
+  LatencyHistogram* h = registry.histogram("test.timer_us");
+  { ScopedTimer timer(h); }
+  EXPECT_EQ(h->Aggregate().count, 1u);
+}
+
+TEST(ScopedTimerTest, InertWhenDisabledOrNull) {
+  MetricsRegistry registry;
+  LatencyHistogram* h = registry.histogram("test.timer_us");
+  { ScopedTimer timer(h); }        // registry disabled
+  { ScopedTimer timer(nullptr); }  // no histogram at all
+  EXPECT_EQ(h->Aggregate().count, 0u);
+}
+
+// Golden shape: a traced cube build emits well-formed Chrome trace JSON
+// whose begin/end events balance per span name, with one column span per
+// (query, location) cell.
+TEST_F(TraceTest, TracedMarketplaceBuildEmitsBalancedTimeline) {
+  AttributeSchema schema;
+  ASSERT_TRUE(schema.AddAttribute("ethnicity", {"Asian", "Black"}).ok());
+  ASSERT_TRUE(schema.AddAttribute("gender", {"Male", "Female"}).ok());
+  GroupSpace space = *GroupSpace::Enumerate(schema);
+  MarketplaceDataset data(schema);
+  for (int w = 0; w < 8; ++w) {
+    ASSERT_TRUE(data.AddWorker("w" + std::to_string(w),
+                               {static_cast<ValueId>(w % 2),
+                                static_cast<ValueId>((w / 2) % 2)})
+                    .ok());
+  }
+  constexpr size_t kQueries = 2;
+  constexpr size_t kLocations = 3;
+  for (size_t q = 0; q < kQueries; ++q) {
+    data.queries().GetOrAdd("q" + std::to_string(q));
+    for (size_t l = 0; l < kLocations; ++l) {
+      data.locations().GetOrAdd("l" + std::to_string(l));
+      MarketRanking ranking;
+      for (int w = 0; w < 8; ++w) ranking.workers.push_back(w);
+      ASSERT_TRUE(data.SetRanking(static_cast<QueryId>(q),
+                                  static_cast<LocationId>(l),
+                                  std::move(ranking))
+                      .ok());
+    }
+  }
+
+  Result<UnfairnessCube> cube =
+      BuildMarketplaceCube(data, space, MarketMeasure::kEmd, {}, {}, 1);
+  ASSERT_TRUE(cube.ok());
+
+  std::vector<Tracer::Event> events = Tracer::Global().Snapshot();
+  ASSERT_FALSE(events.empty());
+  std::map<std::string, int> begins;
+  std::map<std::string, int> ends;
+  int depth = 0;
+  for (const Tracer::Event& e : events) {
+    if (e.phase == 'B') {
+      ++begins[e.name];
+      ++depth;
+    } else {
+      ASSERT_EQ(e.phase, 'E');
+      ++ends[e.name];
+      --depth;
+    }
+    ASSERT_GE(depth, 0);  // an end never precedes its begin (serial build)
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(begins, ends);  // per-name balance
+  EXPECT_EQ(begins["BuildMarketplaceCube"], 1);
+  EXPECT_EQ(begins["market_column"],
+            static_cast<int>(kQueries * kLocations));
+
+  // The exported JSON is loadable by chrome://tracing: one object per event,
+  // equal counts of begin and end markers.
+  std::string json = Tracer::Global().ToJson();
+  size_t b_count = 0;
+  size_t e_count = 0;
+  for (size_t at = json.find("\"ph\": \"B\""); at != std::string::npos;
+       at = json.find("\"ph\": \"B\"", at + 1)) {
+    ++b_count;
+  }
+  for (size_t at = json.find("\"ph\": \"E\""); at != std::string::npos;
+       at = json.find("\"ph\": \"E\"", at + 1)) {
+    ++e_count;
+  }
+  EXPECT_EQ(b_count, events.size() / 2);
+  EXPECT_EQ(b_count, e_count);
+}
+
+}  // namespace
+}  // namespace fairjob

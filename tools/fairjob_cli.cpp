@@ -16,6 +16,8 @@
 #include <cstdio>
 
 #include "common/flags.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "core/explain.h"
 #include "core/coverage.h"
 #include "core/report.h"
@@ -43,7 +45,10 @@ int Usage() {
       "          [--k 5]\n"
       "  explain --crawl <csv> --workers <csv> --group <name>\n"
       "          --query <q> --location <l> [--measure emd|exposure]\n"
-      "  demo\n");
+      "  demo\n"
+      "observability (any command):\n"
+      "  --metrics_json <path>  write counters/gauges/histograms as JSON\n"
+      "  --trace_json <path>    write a Chrome trace_event timeline\n");
   return 0;
 }
 
@@ -456,19 +461,54 @@ int RunDemo() {
   return 0;
 }
 
+int WriteFileOr(const std::string& path, const std::string& body,
+                const char* what) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Fail(Status::IOError("cannot write '" + path + "'"));
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  std::printf("%s written to %s\n", what, path.c_str());
+  return 0;
+}
+
+int Dispatch(const std::string& command, const Flags& flags) {
+  if (command == "audit") return RunAudit(flags);
+  if (command == "audit-search") return RunAuditSearch(flags);
+  if (command == "trend") return RunTrend(flags);
+  if (command == "topk") return RunTopKCommand(flags);
+  if (command == "explain") return RunExplain(flags);
+  if (command == "demo") return RunDemo();
+  return Usage();
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::vector<std::string> args(argv + 2, argv + argc);
   Result<Flags> flags = Flags::Parse(args);
   if (!flags.ok()) return Fail(flags.status());
-  std::string command = argv[1];
-  if (command == "audit") return RunAudit(*flags);
-  if (command == "audit-search") return RunAuditSearch(*flags);
-  if (command == "trend") return RunTrend(*flags);
-  if (command == "topk") return RunTopKCommand(*flags);
-  if (command == "explain") return RunExplain(*flags);
-  if (command == "demo") return RunDemo();
-  return Usage();
+
+  // Observability hooks: enable collection before the command runs, export
+  // after it finishes (whatever its exit code, so failed runs still leave a
+  // timeline behind).
+  std::string metrics_path = flags->GetString("metrics_json");
+  std::string trace_path = flags->GetString("trace_json");
+  if (!metrics_path.empty()) MetricsRegistry::Global().SetEnabled(true);
+  if (!trace_path.empty()) Tracer::Global().SetEnabled(true);
+
+  int code = Dispatch(argv[1], *flags);
+
+  if (!metrics_path.empty()) {
+    int wrote = WriteFileOr(metrics_path, MetricsRegistry::Global().ToJson(),
+                            "metrics");
+    if (code == 0) code = wrote;
+  }
+  if (!trace_path.empty()) {
+    int wrote = WriteFileOr(trace_path, Tracer::Global().ToJson(), "trace");
+    if (code == 0) code = wrote;
+  }
+  return code;
 }
 
 }  // namespace
