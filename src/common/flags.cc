@@ -1,5 +1,6 @@
 #include "common/flags.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "common/string_util.h"
@@ -47,6 +48,14 @@ Result<long> Flags::GetInt(const std::string& name, long fallback) const {
     return Status::InvalidArgument("flag --" + name + " expects an integer");
   }
   return v;
+}
+
+std::vector<std::string> Flags::Names() const {
+  std::vector<std::string> names;
+  names.reserve(values_.size());
+  for (const auto& [name, value] : values_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
 }
 
 Result<double> Flags::GetDouble(const std::string& name,

@@ -31,6 +31,10 @@ class Flags {
 
   const std::vector<std::string>& positional() const { return positional_; }
 
+  // Every flag name that was parsed, sorted; lets commands reject flags they
+  // do not understand instead of silently ignoring typos.
+  std::vector<std::string> Names() const;
+
  private:
   std::unordered_map<std::string, std::string> values_;
   std::vector<std::string> positional_;

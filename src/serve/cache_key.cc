@@ -1,0 +1,166 @@
+#include "serve/cache_key.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace fairjob {
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+inline void HashBytes(uint64_t* h, const void* data, size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    *h ^= p[i];
+    *h *= kFnvPrime;
+  }
+}
+
+template <typename T>
+inline void HashValue(uint64_t* h, T value) {
+  HashBytes(h, &value, sizeof(value));
+}
+
+// Sorted copy; empty when the explicit list is exactly the whole axis
+// (selecting every position once aggregates exactly the "all" lists).
+// Duplicates are deliberately KEPT: IndexSet::ListsFor resolves positions
+// verbatim, so a duplicated position contributes its list twice to the
+// aggregate — {0, 0} is a genuinely different request from {0}. Sorting
+// alone makes the key a multiset identity: permutations of the same
+// selector share one cache entry (their answers agree up to floating-point
+// summation order; see docs/serving.md).
+std::vector<size_t> NormalizePositions(const std::vector<size_t>& positions,
+                                       size_t axis_size) {
+  std::vector<size_t> out = positions;
+  std::sort(out.begin(), out.end());
+  if (out.size() == axis_size) {
+    bool full = true;
+    for (size_t i = 0; i < out.size(); ++i) {
+      if (out[i] != i) {
+        full = false;
+        break;
+      }
+    }
+    if (full) out.clear();
+  }
+  return out;
+}
+
+// allowed_targets IS a set (the top-k runners build a hash set from it), so
+// here duplicates are dropped as well as sorted.
+std::vector<int32_t> NormalizeTargets(const std::vector<int32_t>& targets,
+                                      size_t axis_size) {
+  std::vector<int32_t> out = targets;
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  if (out.size() == axis_size) {
+    bool full = true;
+    for (size_t i = 0; i < out.size(); ++i) {
+      if (out[i] != static_cast<int32_t>(i)) {
+        full = false;
+        break;
+      }
+    }
+    if (full) out.clear();
+  }
+  return out;
+}
+
+// The two non-target dimensions in ascending order, mirroring
+// SolveQuantification's agg1/agg2 convention.
+void OtherDims(Dimension target, Dimension* d1, Dimension* d2) {
+  switch (target) {
+    case Dimension::kGroup:
+      *d1 = Dimension::kQuery;
+      *d2 = Dimension::kLocation;
+      return;
+    case Dimension::kQuery:
+      *d1 = Dimension::kGroup;
+      *d2 = Dimension::kLocation;
+      return;
+    case Dimension::kLocation:
+    default:
+      *d1 = Dimension::kGroup;
+      *d2 = Dimension::kQuery;
+      return;
+  }
+}
+
+}  // namespace
+
+RequestCacheKey::RequestCacheKey(const QuantificationRequest& request,
+                                 const UnfairnessCube& cube,
+                                 uint64_t fingerprint)
+    : cube_fingerprint(fingerprint),
+      target(request.target),
+      k(static_cast<uint32_t>(request.k)),
+      direction(request.direction),
+      missing(request.missing),
+      algorithm(request.algorithm) {
+  Dimension d1;
+  Dimension d2;
+  OtherDims(request.target, &d1, &d2);
+  agg1 = NormalizePositions(request.agg1.positions, cube.axis_size(d1));
+  agg2 = NormalizePositions(request.agg2.positions, cube.axis_size(d2));
+  allowed =
+      NormalizeTargets(request.allowed_targets, cube.axis_size(request.target));
+}
+
+bool RequestCacheKey::operator==(const RequestCacheKey& other) const {
+  return cube_fingerprint == other.cube_fingerprint &&
+         target == other.target && k == other.k &&
+         direction == other.direction && missing == other.missing &&
+         algorithm == other.algorithm && agg1 == other.agg1 &&
+         agg2 == other.agg2 && allowed == other.allowed;
+}
+
+size_t RequestCacheKeyHash::operator()(const RequestCacheKey& key) const {
+  uint64_t h = kFnvOffset;
+  HashValue(&h, key.cube_fingerprint);
+  HashValue(&h, static_cast<uint32_t>(key.target));
+  HashValue(&h, key.k);
+  HashValue(&h, static_cast<uint32_t>(key.direction));
+  HashValue(&h, static_cast<uint32_t>(key.missing));
+  HashValue(&h, static_cast<uint32_t>(key.algorithm));
+  // Length separators keep ({1},{}) distinct from ({},{1}).
+  HashValue(&h, static_cast<uint64_t>(key.agg1.size()));
+  for (size_t pos : key.agg1) HashValue(&h, static_cast<uint64_t>(pos));
+  HashValue(&h, static_cast<uint64_t>(key.agg2.size()));
+  for (size_t pos : key.agg2) HashValue(&h, static_cast<uint64_t>(pos));
+  HashValue(&h, static_cast<uint64_t>(key.allowed.size()));
+  for (int32_t t : key.allowed) HashValue(&h, t);
+  return static_cast<size_t>(h);
+}
+
+uint64_t FingerprintCube(const UnfairnessCube& cube) {
+  uint64_t h = kFnvOffset;
+  for (Dimension d :
+       {Dimension::kGroup, Dimension::kQuery, Dimension::kLocation}) {
+    size_t n = cube.axis_size(d);
+    HashValue(&h, static_cast<uint64_t>(n));
+    for (size_t pos = 0; pos < n; ++pos) HashValue(&h, cube.axis_id(d, pos));
+  }
+  size_t groups = cube.axis_size(Dimension::kGroup);
+  size_t queries = cube.axis_size(Dimension::kQuery);
+  size_t locations = cube.axis_size(Dimension::kLocation);
+  for (size_t g = 0; g < groups; ++g) {
+    for (size_t q = 0; q < queries; ++q) {
+      for (size_t l = 0; l < locations; ++l) {
+        std::optional<double> value = cube.Get(g, q, l);
+        HashValue(&h, static_cast<unsigned char>(value.has_value() ? 1 : 0));
+        if (value.has_value()) {
+          // Bit pattern, not the double itself: 0.0 vs -0.0 and NaN payloads
+          // must all perturb the digest deterministically.
+          uint64_t bits;
+          static_assert(sizeof(bits) == sizeof(*value));
+          std::memcpy(&bits, &*value, sizeof(bits));
+          HashValue(&h, bits);
+        }
+      }
+    }
+  }
+  return h;
+}
+
+}  // namespace fairjob

@@ -1,0 +1,68 @@
+#ifndef FAIRJOB_SERVE_CACHE_KEY_H_
+#define FAIRJOB_SERVE_CACHE_KEY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/quantification.h"
+#include "core/unfairness_cube.h"
+
+namespace fairjob {
+
+// Canonical identity of a QuantificationRequest against one specific cube,
+// used as the answer-cache / single-flight key (docs/serving.md).
+//
+// Two requests that provably return the same answers must map to the same
+// key, so the constructor normalizes every selector:
+//  * axis selector positions are sorted — duplicates are kept, because a
+//    duplicated position aggregates its inverted list twice and is a
+//    different request (permutations, though, share one entry);
+//  * a selector that explicitly lists every position of its axis once
+//    collapses to the empty "all" form (it aggregates the same lists);
+//  * allowed_targets is sorted and deduplicated (it is consumed as a set);
+//    a filter admitting the whole axis is no filter at all.
+// Two requests that may return different payloads must map to different
+// keys, so the algorithm is part of the identity (the family agrees on the
+// top-k only up to ties, and each run carries its own FaginStats), as are
+// the missing-cell policy, direction and k.
+//
+// `cube_fingerprint` binds the key to the exact cube contents the answer
+// was computed from: a rebuilt or refreshed cube hashes differently, so
+// stale entries can never be served — they simply stop matching and age
+// out of the LRU.
+struct RequestCacheKey {
+  uint64_t cube_fingerprint = 0;
+  Dimension target = Dimension::kGroup;
+  uint32_t k = 0;
+  RankDirection direction = RankDirection::kMostUnfair;
+  MissingCellPolicy missing = MissingCellPolicy::kSkip;
+  TopKAlgorithm algorithm = TopKAlgorithm::kThresholdAlgorithm;
+  std::vector<size_t> agg1;             // normalized; empty = all
+  std::vector<size_t> agg2;             // normalized; empty = all
+  std::vector<int32_t> allowed;         // normalized; empty = all
+
+  // Builds the canonical key for `request` over `cube`. Axis sizes come from
+  // the cube; `cube_fingerprint` is passed in (it is O(cells) to compute, so
+  // the service computes it once per backend, not per request).
+  RequestCacheKey(const QuantificationRequest& request,
+                  const UnfairnessCube& cube, uint64_t cube_fingerprint);
+  RequestCacheKey() = default;
+
+  bool operator==(const RequestCacheKey& other) const;
+};
+
+struct RequestCacheKeyHash {
+  size_t operator()(const RequestCacheKey& key) const;
+};
+
+// Order-sensitive 64-bit FNV-1a digest of the cube's full identity: axis
+// ids per dimension and, for every cell, presence plus the exact bit
+// pattern of the stored double. Any Set/Clear/rebuild that changes an
+// answer changes the fingerprint; identical contents (however produced)
+// collide on purpose, so re-building an unchanged cube keeps the cache
+// warm.
+uint64_t FingerprintCube(const UnfairnessCube& cube);
+
+}  // namespace fairjob
+
+#endif  // FAIRJOB_SERVE_CACHE_KEY_H_

@@ -1,0 +1,223 @@
+#include "serve/quantification_service.h"
+
+#include <utility>
+
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "common/trace.h"
+
+namespace fairjob {
+namespace {
+
+struct ServeMetrics {
+  Counter* requests;
+  Counter* computations;
+  Counter* coalesced;
+  Counter* errors;
+  Counter* batch_calls;
+  Counter* batch_requests;
+  Counter* batch_deduped;
+  LatencyHistogram* answer_us;
+  LatencyHistogram* batch_us;
+};
+
+// Shared across all services (metric objects are process-wide anyway);
+// resolved once, cached like every other hot path (docs/observability.md).
+const ServeMetrics& Metrics() {
+  static const ServeMetrics metrics = [] {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    ServeMetrics m;
+    m.requests = registry.counter("serve.requests");
+    m.computations = registry.counter("serve.computations");
+    m.coalesced = registry.counter("serve.singleflight.coalesced");
+    m.errors = registry.counter("serve.errors");
+    m.batch_calls = registry.counter("serve.batch.calls");
+    m.batch_requests = registry.counter("serve.batch.requests");
+    m.batch_deduped = registry.counter("serve.batch.deduped");
+    m.answer_us = registry.histogram("serve.answer_us");
+    m.batch_us = registry.histogram("serve.batch_us");
+    return m;
+  }();
+  return metrics;
+}
+
+}  // namespace
+
+QuantificationService::QuantificationService(const UnfairnessCube* cube,
+                                             const IndexSet* indices)
+    : QuantificationService(cube, indices, Options()) {}
+
+QuantificationService::QuantificationService(const UnfairnessCube* cube,
+                                             const IndexSet* indices,
+                                             Options options)
+    : options_(std::move(options)),
+      cube_(cube),
+      indices_(indices),
+      fingerprint_(FingerprintCube(*cube)),
+      cache_(options_.cache_capacity, options_.cache_shards, "serve.cache") {}
+
+void QuantificationService::SetBackend(const UnfairnessCube* cube,
+                                       const IndexSet* indices) {
+  // Fingerprinting is O(cells); do it before taking the exclusive lock so
+  // request threads are only paused for the pointer swap.
+  uint64_t fingerprint = FingerprintCube(*cube);
+  std::unique_lock<std::shared_mutex> lock(backend_mutex_);
+  cube_ = cube;
+  indices_ = indices;
+  fingerprint_ = fingerprint;
+}
+
+uint64_t QuantificationService::cube_fingerprint() const {
+  std::shared_lock<std::shared_mutex> lock(backend_mutex_);
+  return fingerprint_;
+}
+
+Result<QuantificationResult> QuantificationService::Answer(
+    const QuantificationRequest& request) {
+  return AnswerInternal(request, /*from_batch=*/false);
+}
+
+Result<QuantificationResult> QuantificationService::AnswerInternal(
+    const QuantificationRequest& request, bool from_batch) {
+  TraceSpan span("QuantificationService::Answer", "serve");
+  ScopedTimer timer(Metrics().answer_us);
+  Metrics().requests->Add(1);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (from_batch) batch_requests_.fetch_add(1, std::memory_order_relaxed);
+
+  // Hold the backend for the whole request: the computation must see the
+  // same cube/indices/fingerprint triple it was keyed under.
+  std::shared_lock<std::shared_mutex> backend(backend_mutex_);
+  RequestCacheKey key(request, *cube_, fingerprint_);
+
+  if (options_.cache_capacity > 0) {
+    std::optional<std::shared_ptr<const QuantificationResult>> cached =
+        cache_.Get(key);
+    if (cached.has_value()) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return **cached;
+    }
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Single flight: the first thread to claim `key` computes; every thread
+  // that finds an in-flight future waits on it instead of recomputing.
+  std::shared_ptr<std::promise<FlightOutcome>> promise;
+  std::shared_future<FlightOutcome> flight;
+  {
+    std::lock_guard<std::mutex> lock(flights_mutex_);
+    auto it = flights_.find(key);
+    if (it != flights_.end()) {
+      flight = it->second;
+    } else {
+      promise = std::make_shared<std::promise<FlightOutcome>>();
+      flight = promise->get_future().share();
+      flights_.emplace(key, flight);
+    }
+  }
+
+  if (promise == nullptr) {
+    // Follower: share the leader's outcome.
+    coalesced_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().coalesced->Add(1);
+    FlightOutcome outcome = flight.get();
+    if (!outcome.status.ok()) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().errors->Add(1);
+      return outcome.status;
+    }
+    return *outcome.result;
+  }
+
+  // Leader: compute, publish to cache, resolve the flight, retire it.
+  if (options_.compute_started_hook) options_.compute_started_hook();
+  computations_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().computations->Add(1);
+  FlightOutcome outcome;
+  {
+    TraceSpan compute_span("serve.compute", "serve");
+    Result<QuantificationResult> computed =
+        SolveQuantification(*cube_, *indices_, request);
+    if (computed.ok()) {
+      outcome.result = std::make_shared<const QuantificationResult>(
+          std::move(*computed));
+    } else {
+      outcome.status = computed.status();
+    }
+  }
+  if (outcome.status.ok() && options_.cache_capacity > 0) {
+    cache_.Put(key, outcome.result);
+  }
+  promise->set_value(outcome);
+  {
+    std::lock_guard<std::mutex> lock(flights_mutex_);
+    flights_.erase(key);
+  }
+  if (!outcome.status.ok()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().errors->Add(1);
+    return outcome.status;
+  }
+  return *outcome.result;
+}
+
+std::vector<Result<QuantificationResult>> QuantificationService::AnswerBatch(
+    const std::vector<QuantificationRequest>& requests) {
+  TraceSpan span("QuantificationService::AnswerBatch", "serve");
+  ScopedTimer timer(Metrics().batch_us);
+  Metrics().batch_calls->Add(1);
+  Metrics().batch_requests->Add(requests.size());
+
+  // Group duplicate requests by canonical key; only the first of each group
+  // (the representative) is answered, everyone else copies its result.
+  std::vector<size_t> representative_of(requests.size());
+  std::vector<size_t> representatives;
+  {
+    std::shared_lock<std::shared_mutex> backend(backend_mutex_);
+    std::unordered_map<RequestCacheKey, size_t, RequestCacheKeyHash> seen;
+    for (size_t i = 0; i < requests.size(); ++i) {
+      RequestCacheKey key(requests[i], *cube_, fingerprint_);
+      auto [it, inserted] = seen.emplace(std::move(key), i);
+      representative_of[i] = it->second;
+      if (inserted) representatives.push_back(i);
+    }
+  }
+  Metrics().batch_deduped->Add(requests.size() - representatives.size());
+
+  std::vector<std::optional<Result<QuantificationResult>>> answered(
+      requests.size());
+  size_t parallelism = options_.batch_parallelism > 0
+                           ? options_.batch_parallelism
+                           : ThreadPool::Shared().num_threads() + 1;
+  // The body only writes disjoint slots; AnswerInternal is thread-safe. The
+  // fan-out itself cannot fail, so the ParallelFor status is always OK.
+  ThreadPool::Shared()
+      .ParallelFor(representatives.size(), parallelism,
+                   [&](size_t r) {
+                     size_t i = representatives[r];
+                     answered[i] =
+                         AnswerInternal(requests[i], /*from_batch=*/true);
+                     return Status::OK();
+                   });
+
+  std::vector<Result<QuantificationResult>> results;
+  results.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    results.push_back(*answered[representative_of[i]]);
+  }
+  return results;
+}
+
+QuantificationService::Stats QuantificationService::stats() const {
+  Stats stats;
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.batch_requests = batch_requests_.load(std::memory_order_relaxed);
+  stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  stats.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  stats.computations = computations_.load(std::memory_order_relaxed);
+  stats.coalesced = coalesced_.load(std::memory_order_relaxed);
+  stats.errors = errors_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace fairjob

@@ -1,0 +1,143 @@
+#ifndef FAIRJOB_SERVE_QUANTIFICATION_SERVICE_H_
+#define FAIRJOB_SERVE_QUANTIFICATION_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/lru_cache.h"
+#include "common/status.h"
+#include "core/quantification.h"
+#include "serve/cache_key.h"
+
+namespace fairjob {
+
+// Thread-safe query-serving front end for Problem 1 (docs/serving.md): wraps
+// an UnfairnessCube + IndexSet behind
+//  * a sharded LRU answer cache keyed by RequestCacheKey (which embeds the
+//    cube fingerprint, so a rebuilt backend invalidates every stale entry
+//    by construction),
+//  * a single-flight layer: concurrent identical requests run
+//    SolveQuantification once and share the result, and
+//  * a batch API that deduplicates keys and fans distinct requests out over
+//    ThreadPool::Shared().
+//
+// The cube and indices are borrowed, never owned, and must outlive the
+// service; the indices must have been built from that cube. Answer and
+// AnswerBatch may be called from any number of threads. SetBackend may be
+// called concurrently with requests: in-flight computations finish against
+// the backend they started with (they hold the read lock), and entries
+// cached under the old fingerprint can no longer be returned.
+class QuantificationService {
+ public:
+  struct Options {
+    // Answer-cache capacity in entries; 0 disables caching entirely
+    // (single-flight still coalesces concurrent duplicates).
+    size_t cache_capacity = 4096;
+    size_t cache_shards = 8;
+    // Threads used by AnswerBatch for distinct requests (counting the
+    // caller); 0 = size of ThreadPool::Shared() + 1.
+    size_t batch_parallelism = 0;
+    // Test hook, run by the single-flight leader after winning the key and
+    // before computing; lets tests widen the coalescing window
+    // deterministically. Leave null in production.
+    std::function<void()> compute_started_hook;
+  };
+
+  // Exact request-path counts, maintained independently of the metrics
+  // registry (relaxed atomics; snapshot after quiescing for exact totals).
+  struct Stats {
+    uint64_t requests = 0;        // Answer calls, incl. those via AnswerBatch
+    uint64_t batch_requests = 0;  // requests that arrived through AnswerBatch
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
+    uint64_t computations = 0;    // SolveQuantification actually executed
+    uint64_t coalesced = 0;       // requests served by another's computation
+    uint64_t errors = 0;          // non-OK answers
+  };
+
+  // The two-argument overload uses default Options. (A default argument
+  // cannot be used here: the nested aggregate is incomplete inside the
+  // enclosing class as far as GCC is concerned.)
+  QuantificationService(const UnfairnessCube* cube, const IndexSet* indices);
+  QuantificationService(const UnfairnessCube* cube, const IndexSet* indices,
+                        Options options);
+
+  // Answers one request through cache + single-flight. Identical contract to
+  // SolveQuantification(*cube, *indices, request): same answers (bit-equal
+  // values), same errors; cached answers replay the FaginStats of the run
+  // that computed them.
+  Result<QuantificationResult> Answer(const QuantificationRequest& request);
+
+  // Answers a mixed batch. Requests with equal canonical keys are computed
+  // once; distinct keys are fanned out over the shared pool. results[i]
+  // corresponds to requests[i].
+  std::vector<Result<QuantificationResult>> AnswerBatch(
+      const std::vector<QuantificationRequest>& requests);
+
+  // Points the service at a (re)built cube + indices and re-fingerprints.
+  // Entries cached for the old contents stop matching and age out of the
+  // LRU; if the rebuilt cube hashes identically, the cache stays warm.
+  // Returns only once no in-flight request still reads the old backend, so
+  // the caller may free it afterwards. Note that on reader-preferring
+  // shared_mutex implementations (glibc) this can wait a long time while
+  // request threads saturate every core.
+  void SetBackend(const UnfairnessCube* cube, const IndexSet* indices);
+
+  uint64_t cube_fingerprint() const;
+
+  Stats stats() const;
+  // hits + misses + evictions of the underlying answer cache.
+  ShardedLruCache<RequestCacheKey,
+                  std::shared_ptr<const QuantificationResult>,
+                  RequestCacheKeyHash>::Stats cache_stats() const {
+    return cache_.stats();
+  }
+
+ private:
+  // Outcome of one single-flight computation, shared between the leader and
+  // every coalesced follower.
+  struct FlightOutcome {
+    Status status;
+    std::shared_ptr<const QuantificationResult> result;
+  };
+
+  Result<QuantificationResult> AnswerInternal(
+      const QuantificationRequest& request, bool from_batch);
+
+  Options options_;
+
+  // Backend (cube / indices / fingerprint) swaps atomically under this lock;
+  // request threads hold it shared for the duration of their computation.
+  mutable std::shared_mutex backend_mutex_;
+  const UnfairnessCube* cube_;
+  const IndexSet* indices_;
+  uint64_t fingerprint_;
+
+  ShardedLruCache<RequestCacheKey, std::shared_ptr<const QuantificationResult>,
+                  RequestCacheKeyHash>
+      cache_;
+
+  std::mutex flights_mutex_;
+  std::unordered_map<RequestCacheKey, std::shared_future<FlightOutcome>,
+                     RequestCacheKeyHash>
+      flights_;
+
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> batch_requests_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> computations_{0};
+  std::atomic<uint64_t> coalesced_{0};
+  std::atomic<uint64_t> errors_{0};
+};
+
+}  // namespace fairjob
+
+#endif  // FAIRJOB_SERVE_QUANTIFICATION_SERVICE_H_

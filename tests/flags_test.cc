@@ -67,5 +67,12 @@ TEST(FlagsTest, EqualsValueMayContainDashes) {
   EXPECT_EQ(flags.GetString("name"), "--weird--");
 }
 
+TEST(FlagsTest, NamesListsEveryParsedFlagSorted) {
+  Flags flags = *Flags::Parse({"--zeta", "1", "--alpha=2", "--mid", "pos"});
+  EXPECT_EQ(flags.Names(),
+            (std::vector<std::string>{"alpha", "mid", "zeta"}));
+  EXPECT_TRUE((*Flags::Parse({"positional", "only"})).Names().empty());
+}
+
 }  // namespace
 }  // namespace fairjob

@@ -1,0 +1,238 @@
+#include "common/lru_cache.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace fairjob {
+namespace {
+
+using IntCache = ShardedLruCache<int, int>;
+
+// Reference model of one shard: entries most-recent-first, mirroring the
+// documented semantics (Get refreshes, Put inserts/overwrites at the front,
+// overflow evicts the back).
+struct ModelShard {
+  size_t capacity = 0;
+  std::vector<std::pair<int, int>> entries;  // front = most recent
+
+  std::pair<int, int>* Find(int key) {
+    for (auto& entry : entries) {
+      if (entry.first == key) return &entry;
+    }
+    return nullptr;
+  }
+
+  void MoveToFront(int key) {
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (entries[i].first == key) {
+        std::pair<int, int> entry = entries[i];
+        entries.erase(entries.begin() + i);
+        entries.insert(entries.begin(), entry);
+        return;
+      }
+    }
+  }
+};
+
+// The full reference model: one ModelShard per cache shard, with the same
+// capacity split the cache documents (capacity / shards, remainder to the
+// first shards).
+class Model {
+ public:
+  Model(const IntCache& cache, size_t capacity) {
+    shards_.resize(cache.num_shards());
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      shards_[i].capacity =
+          capacity / shards_.size() + (i < capacity % shards_.size() ? 1 : 0);
+    }
+  }
+
+  std::optional<int> Get(const IntCache& cache, int key) {
+    ModelShard& shard = shards_[cache.ShardOf(key)];
+    std::pair<int, int>* entry = shard.Find(key);
+    if (entry == nullptr) return std::nullopt;
+    int value = entry->second;
+    shard.MoveToFront(key);
+    return value;
+  }
+
+  // Returns the evicted key, if the Put overflowed the shard.
+  std::optional<int> Put(const IntCache& cache, int key, int value) {
+    ModelShard& shard = shards_[cache.ShardOf(key)];
+    std::pair<int, int>* entry = shard.Find(key);
+    if (entry != nullptr) {
+      entry->second = value;
+      shard.MoveToFront(key);
+      return std::nullopt;
+    }
+    shard.entries.insert(shard.entries.begin(), {key, value});
+    if (shard.entries.size() > shard.capacity) {
+      int victim = shard.entries.back().first;
+      shard.entries.pop_back();
+      return victim;
+    }
+    return std::nullopt;
+  }
+
+  bool Erase(const IntCache& cache, int key) {
+    ModelShard& shard = shards_[cache.ShardOf(key)];
+    for (size_t i = 0; i < shard.entries.size(); ++i) {
+      if (shard.entries[i].first == key) {
+        shard.entries.erase(shard.entries.begin() + i);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  size_t size() const {
+    size_t total = 0;
+    for (const ModelShard& shard : shards_) total += shard.entries.size();
+    return total;
+  }
+
+  const std::vector<ModelShard>& shards() const { return shards_; }
+
+ private:
+  std::vector<ModelShard> shards_;
+};
+
+// Every shard's recency order must match the model exactly — this pins both
+// contents and the eviction victim at every step, since a wrong victim shows
+// up as a diverging key list.
+void ExpectSameState(const IntCache& cache, const Model& model) {
+  size_t total = 0;
+  for (size_t s = 0; s < cache.num_shards(); ++s) {
+    std::vector<int> expected;
+    for (const auto& entry : model.shards()[s].entries) {
+      expected.push_back(entry.first);
+    }
+    EXPECT_EQ(cache.ShardKeysMostRecentFirst(s), expected) << "shard " << s;
+    total += expected.size();
+  }
+  EXPECT_EQ(cache.size(), total);
+}
+
+void RunRandomOps(IntCache& cache, Model& model, size_t ops, int keyspace,
+                  uint64_t seed) {
+  Rng rng(seed);
+  for (size_t i = 0; i < ops; ++i) {
+    int key = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(keyspace)));
+    uint64_t op = rng.NextBelow(10);
+    if (op < 5) {  // Put
+      int value = static_cast<int>(rng.NextBelow(1000));
+      std::optional<int> victim = model.Put(cache, key, value);
+      cache.Put(key, value);
+      if (victim.has_value()) {
+        // The evicted key must actually be gone (checked without Get so the
+        // probe does not disturb recency).
+        std::vector<int> keys =
+            cache.ShardKeysMostRecentFirst(cache.ShardOf(*victim));
+        for (int k : keys) EXPECT_NE(k, *victim);
+      }
+    } else if (op < 9) {  // Get
+      std::optional<int> expected = model.Get(cache, key);
+      std::optional<int> actual = cache.Get(key);
+      EXPECT_EQ(actual, expected) << "step " << i << " key " << key;
+    } else {  // Erase
+      EXPECT_EQ(cache.Erase(key), model.Erase(cache, key));
+    }
+    ExpectSameState(cache, model);
+    if (::testing::Test::HasFailure()) return;  // avoid 1000s of repeats
+  }
+}
+
+TEST(LruCachePropertyTest, SingleShardMatchesReferenceModel) {
+  IntCache cache(/*capacity=*/8, /*num_shards=*/1);
+  Model model(cache, 8);
+  RunRandomOps(cache, model, /*ops=*/2000, /*keyspace=*/32, /*seed=*/11);
+  IntCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, stats.lookups);
+  EXPECT_EQ(stats.insertions - stats.evictions - stats.erasures, cache.size());
+}
+
+TEST(LruCachePropertyTest, MultiShardMatchesReferenceModel) {
+  // 13 entries over 4 shards: capacities 4,3,3,3 — the uneven split is the
+  // interesting case.
+  IntCache cache(/*capacity=*/13, /*num_shards=*/4);
+  Model model(cache, 13);
+  RunRandomOps(cache, model, /*ops=*/4000, /*keyspace=*/64, /*seed=*/29);
+  IntCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, stats.lookups);
+  EXPECT_EQ(stats.insertions - stats.evictions - stats.erasures, cache.size());
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsedNotLeastRecentlyInserted) {
+  IntCache cache(/*capacity=*/3, /*num_shards=*/1);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Put(3, 30);
+  EXPECT_EQ(cache.Get(1), std::optional<int>(10));  // refresh 1; LRU is now 2
+  cache.Put(4, 40);
+  EXPECT_EQ(cache.Get(2), std::nullopt);  // 2 was the victim
+  EXPECT_EQ(cache.Get(1), std::optional<int>(10));
+  EXPECT_EQ(cache.ShardKeysMostRecentFirst(0), (std::vector<int>{1, 4, 3}))
+      << "unexpected recency order";
+}
+
+TEST(LruCacheTest, PutRefreshesRecencyAndOverwritesValue) {
+  IntCache cache(/*capacity=*/2, /*num_shards=*/1);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Put(1, 11);  // overwrite refreshes: LRU is now 2
+  cache.Put(3, 30);
+  EXPECT_EQ(cache.Get(2), std::nullopt);
+  EXPECT_EQ(cache.Get(1), std::optional<int>(11));
+  EXPECT_EQ(cache.stats().updates, 1u);
+}
+
+TEST(LruCacheTest, ZeroCapacityDisablesCaching) {
+  IntCache cache(/*capacity=*/0, /*num_shards=*/8);
+  EXPECT_EQ(cache.num_shards(), 1u);
+  cache.Put(1, 10);
+  EXPECT_EQ(cache.Get(1), std::nullopt);
+  EXPECT_EQ(cache.size(), 0u);
+  IntCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.lookups, 1u);  // lookups still counted for hit-rate math
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(LruCacheTest, NeverMoreShardsThanEntries) {
+  IntCache cache(/*capacity=*/2, /*num_shards=*/8);
+  EXPECT_EQ(cache.num_shards(), 2u);
+}
+
+TEST(LruCacheTest, EraseAndClear) {
+  IntCache cache(/*capacity=*/8, /*num_shards=*/2);
+  for (int k = 0; k < 6; ++k) cache.Put(k, k);
+  EXPECT_TRUE(cache.Erase(3));
+  EXPECT_FALSE(cache.Erase(3));
+  EXPECT_EQ(cache.size(), 5u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  for (int k = 0; k < 6; ++k) EXPECT_EQ(cache.Get(k), std::nullopt);
+  EXPECT_EQ(cache.stats().erasures, 6u);  // 1 Erase + 5 cleared
+}
+
+TEST(LruCacheTest, StringKeysAndCustomHashSpread) {
+  ShardedLruCache<std::string, std::string> cache(/*capacity=*/64,
+                                                  /*num_shards=*/4);
+  for (int k = 0; k < 64; ++k) {
+    cache.Put("key-" + std::to_string(k), std::to_string(k));
+  }
+  // The mixed hash must actually spread keys: no shard may be empty with 64
+  // keys over 4 shards (16 expected per shard).
+  for (size_t s = 0; s < cache.num_shards(); ++s) {
+    EXPECT_FALSE(cache.ShardKeysMostRecentFirst(s).empty()) << "shard " << s;
+  }
+  EXPECT_EQ(cache.Get("key-63"), std::optional<std::string>("63"));
+}
+
+}  // namespace
+}  // namespace fairjob

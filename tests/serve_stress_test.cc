@@ -1,0 +1,276 @@
+// Concurrency stress for the query-serving layer: many threads hammering a
+// small key space through the sharded cache and single-flight layer. Run
+// with -DFAIRJOB_SANITIZE=thread in CI; the assertions here are about
+// torn results (answers must stay bit-equal to precomputed direct solves),
+// exact stats accounting, and single-flight coalescing.
+
+#include "serve/quantification_service.h"
+
+#include <barrier>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/quantification.h"
+
+namespace fairjob {
+namespace {
+
+constexpr size_t kThreads = 8;
+
+std::unique_ptr<UnfairnessCube> MakeCube(uint64_t seed) {
+  auto cube = std::make_unique<UnfairnessCube>(
+      *UnfairnessCube::Make({1, 2, 3, 4, 5}, {10, 11, 12}, {20, 21}));
+  Rng rng(seed);
+  for (size_t g = 0; g < 5; ++g) {
+    for (size_t q = 0; q < 3; ++q) {
+      for (size_t l = 0; l < 2; ++l) {
+        cube->Set(g, q, l, rng.NextDouble());
+      }
+    }
+  }
+  return cube;
+}
+
+// A small key space mixing algorithms and targets, with the expected answer
+// for each key precomputed serially — the oracle for torn-result checks.
+struct KeySpace {
+  std::vector<QuantificationRequest> requests;
+  std::vector<QuantificationResult> expected;
+};
+
+KeySpace MakeKeySpace(const UnfairnessCube& cube, const IndexSet& indices) {
+  KeySpace space;
+  for (TopKAlgorithm algorithm :
+       {TopKAlgorithm::kThresholdAlgorithm, TopKAlgorithm::kFA,
+        TopKAlgorithm::kNRA, TopKAlgorithm::kScan}) {
+    for (Dimension target :
+         {Dimension::kGroup, Dimension::kQuery, Dimension::kLocation}) {
+      QuantificationRequest request;
+      request.target = target;
+      request.k = 2;
+      request.algorithm = algorithm;
+      request.missing = MissingCellPolicy::kZero;
+      space.requests.push_back(request);
+    }
+  }
+  for (const QuantificationRequest& request : space.requests) {
+    Result<QuantificationResult> direct =
+        SolveQuantification(cube, indices, request);
+    EXPECT_TRUE(direct.ok()) << direct.status().ToString();
+    space.expected.push_back(*direct);
+  }
+  return space;
+}
+
+bool SameAnswers(const QuantificationResult& a, const QuantificationResult& b) {
+  if (a.answers.size() != b.answers.size()) return false;
+  for (size_t i = 0; i < a.answers.size(); ++i) {
+    if (a.answers[i].id != b.answers[i].id) return false;
+    if (a.answers[i].value != b.answers[i].value) return false;
+  }
+  return true;
+}
+
+TEST(ServeStressTest, ManyThreadsSmallKeySpaceNoTornResults) {
+  std::unique_ptr<UnfairnessCube> cube = MakeCube(/*seed=*/31);
+  IndexSet indices = IndexSet::Build(*cube);
+  KeySpace space = MakeKeySpace(*cube, indices);
+  ASSERT_FALSE(::testing::Test::HasFailure());
+
+  // Capacity below the key space (12 keys, 6 entries over 2 shards) so the
+  // cache churns: hits, misses, evictions and flights all happen at once.
+  QuantificationService::Options options;
+  options.cache_capacity = 6;
+  options.cache_shards = 2;
+  QuantificationService service(cube.get(), &indices, options);
+
+  constexpr size_t kIterations = 500;
+  std::barrier start(kThreads);
+  std::vector<size_t> torn_per_thread(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(1000 + t);
+      start.arrive_and_wait();
+      for (size_t i = 0; i < kIterations; ++i) {
+        size_t key = rng.NextBelow(space.requests.size());
+        Result<QuantificationResult> served =
+            service.Answer(space.requests[key]);
+        if (!served.ok() || !SameAnswers(*served, space.expected[key])) {
+          ++torn_per_thread[t];
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(torn_per_thread[t], 0u) << "thread " << t;
+  }
+
+  // Exact accounting: every request was either a cache hit or a cache miss,
+  // and every miss was resolved by exactly one leader or coalesced onto one.
+  QuantificationService::Stats stats = service.stats();
+  EXPECT_EQ(stats.requests, kThreads * kIterations);
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.requests);
+  EXPECT_EQ(stats.computations + stats.coalesced, stats.cache_misses);
+  auto cache = service.cache_stats();
+  EXPECT_EQ(cache.hits + cache.misses, cache.lookups);
+  EXPECT_EQ(cache.lookups, stats.requests);
+}
+
+TEST(ServeStressTest, SingleFlightCoalescesConcurrentIdenticalRequests) {
+  std::unique_ptr<UnfairnessCube> cube = MakeCube(/*seed=*/47);
+  IndexSet indices = IndexSet::Build(*cube);
+  KeySpace space = MakeKeySpace(*cube, indices);
+  ASSERT_FALSE(::testing::Test::HasFailure());
+
+  // Cache off: without single-flight every request would recompute. The
+  // hook widens the window deterministically — the leader sleeps after
+  // claiming the flight, so the other threads must find it in flight.
+  QuantificationService::Options options;
+  options.cache_capacity = 0;
+  options.compute_started_hook = [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  };
+  QuantificationService service(cube.get(), &indices, options);
+
+  std::barrier start(kThreads);
+  std::vector<size_t> torn_per_thread(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      start.arrive_and_wait();
+      Result<QuantificationResult> served = service.Answer(space.requests[0]);
+      if (!served.ok() || !SameAnswers(*served, space.expected[0])) {
+        ++torn_per_thread[t];
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(torn_per_thread[t], 0u) << "thread " << t;
+  }
+
+  QuantificationService::Stats stats = service.stats();
+  EXPECT_EQ(stats.requests, kThreads);
+  // The single-flight layer must have coalesced at least some of the burst:
+  // strictly fewer computations than requests, and every request accounted
+  // for as either a leader or a follower.
+  EXPECT_LT(stats.computations, stats.requests);
+  EXPECT_GE(stats.coalesced, 1u);
+  EXPECT_EQ(stats.computations + stats.coalesced, stats.requests);
+}
+
+TEST(ServeStressTest, ConcurrentBatchesAgreeWithOracle) {
+  std::unique_ptr<UnfairnessCube> cube = MakeCube(/*seed=*/59);
+  IndexSet indices = IndexSet::Build(*cube);
+  KeySpace space = MakeKeySpace(*cube, indices);
+  ASSERT_FALSE(::testing::Test::HasFailure());
+
+  QuantificationService::Options options;
+  options.cache_capacity = 32;
+  options.cache_shards = 4;
+  QuantificationService service(cube.get(), &indices, options);
+
+  std::barrier start(kThreads);
+  std::vector<size_t> torn_per_thread(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Each thread's batch covers the whole key space in a rotated order,
+      // with duplicates appended to exercise in-batch dedup.
+      std::vector<QuantificationRequest> batch;
+      std::vector<size_t> oracle;
+      for (size_t i = 0; i < space.requests.size(); ++i) {
+        size_t key = (i + t) % space.requests.size();
+        batch.push_back(space.requests[key]);
+        oracle.push_back(key);
+      }
+      batch.push_back(space.requests[t % space.requests.size()]);
+      oracle.push_back(t % space.requests.size());
+      start.arrive_and_wait();
+      std::vector<Result<QuantificationResult>> results =
+          service.AnswerBatch(batch);
+      if (results.size() != batch.size()) {
+        ++torn_per_thread[t];
+        return;
+      }
+      for (size_t i = 0; i < results.size(); ++i) {
+        if (!results[i].ok() ||
+            !SameAnswers(*results[i], space.expected[oracle[i]])) {
+          ++torn_per_thread[t];
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(torn_per_thread[t], 0u) << "thread " << t;
+  }
+  QuantificationService::Stats stats = service.stats();
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.requests);
+}
+
+TEST(ServeStressTest, RebuildUnderLoadServesOneOfTheTwoBackends) {
+  std::unique_ptr<UnfairnessCube> cube_a = MakeCube(/*seed=*/61);
+  std::unique_ptr<UnfairnessCube> cube_b = MakeCube(/*seed=*/67);
+  IndexSet indices_a = IndexSet::Build(*cube_a);
+  IndexSet indices_b = IndexSet::Build(*cube_b);
+  KeySpace space_a = MakeKeySpace(*cube_a, indices_a);
+  KeySpace space_b = MakeKeySpace(*cube_b, indices_b);
+  ASSERT_FALSE(::testing::Test::HasFailure());
+
+  QuantificationService::Options options;
+  options.cache_capacity = 16;
+  QuantificationService service(cube_a.get(), &indices_a, options);
+
+  // Readers run a BOUNDED number of iterations and yield between them: an
+  // open-ended stop-flag loop starves SetBackend forever on platforms whose
+  // shared_mutex prefers readers (glibc) when requests saturate every core.
+  constexpr size_t kIterations = 300;
+  std::barrier start(kThreads + 1);
+  std::vector<size_t> torn_per_thread(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(2000 + t);
+      start.arrive_and_wait();
+      for (size_t i = 0; i < kIterations; ++i) {
+        size_t key = rng.NextBelow(space_a.requests.size());
+        Result<QuantificationResult> served =
+            service.Answer(space_a.requests[key]);
+        // Linearizability across swaps: the answer must exactly match one
+        // of the two backends' oracles — never a blend.
+        if (!served.ok() || (!SameAnswers(*served, space_a.expected[key]) &&
+                             !SameAnswers(*served, space_b.expected[key]))) {
+          ++torn_per_thread[t];
+        }
+        std::this_thread::yield();
+      }
+    });
+  }
+  start.arrive_and_wait();
+  for (int swap = 0; swap < 20; ++swap) {
+    if (swap % 2 == 0) {
+      service.SetBackend(cube_b.get(), &indices_b);
+    } else {
+      service.SetBackend(cube_a.get(), &indices_a);
+    }
+    std::this_thread::yield();
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(torn_per_thread[t], 0u) << "thread " << t;
+  }
+  EXPECT_EQ(service.stats().errors, 0u);
+}
+
+}  // namespace
+}  // namespace fairjob

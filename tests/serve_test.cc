@@ -1,0 +1,287 @@
+// Differential suite for the query-serving layer: every Fagin-family
+// algorithm, answered cache-off, cache-on (miss then hit) and batched, must
+// be bit-equal to a direct SolveQuantification against the same cube — and
+// must stay correct after a deliberate cube rebuild invalidates the
+// fingerprint.
+
+#include "serve/quantification_service.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/quantification.h"
+#include "serve/cache_key.h"
+
+namespace fairjob {
+namespace {
+
+// A cube with distinct pseudo-random values (and a few missing cells) so
+// every request has a unique, order-sensitive answer.
+std::unique_ptr<UnfairnessCube> MakeCube(uint64_t seed) {
+  auto cube = std::make_unique<UnfairnessCube>(*UnfairnessCube::Make(
+      {10, 11, 12, 13, 14, 15}, {20, 21, 22, 23}, {30, 31, 32}));
+  Rng rng(seed);
+  for (size_t g = 0; g < 6; ++g) {
+    for (size_t q = 0; q < 4; ++q) {
+      for (size_t l = 0; l < 3; ++l) {
+        if (rng.NextBelow(10) == 0) continue;  // missing cell
+        cube->Set(g, q, l, rng.NextDouble());
+      }
+    }
+  }
+  return cube;
+}
+
+// Every algorithm × target × direction × k, plus selector variants
+// (subsets, duplicates, allowed-target filters). NRA only supports
+// most-unfair with zeroed missing cells, so the whole mix uses kZero.
+std::vector<QuantificationRequest> RequestSpace() {
+  std::vector<QuantificationRequest> space;
+  for (TopKAlgorithm algorithm :
+       {TopKAlgorithm::kThresholdAlgorithm, TopKAlgorithm::kFA,
+        TopKAlgorithm::kNRA, TopKAlgorithm::kScan}) {
+    for (Dimension target :
+         {Dimension::kGroup, Dimension::kQuery, Dimension::kLocation}) {
+      for (RankDirection direction :
+           {RankDirection::kMostUnfair, RankDirection::kLeastUnfair}) {
+        if (algorithm == TopKAlgorithm::kNRA &&
+            direction == RankDirection::kLeastUnfair) {
+          continue;
+        }
+        for (size_t k : {1u, 3u, 100u}) {  // 100 > axis size: full ranking
+          QuantificationRequest request;
+          request.target = target;
+          request.k = k;
+          request.direction = direction;
+          request.algorithm = algorithm;
+          request.missing = MissingCellPolicy::kZero;
+          space.push_back(request);
+
+          QuantificationRequest subset = request;
+          subset.agg1 = AxisSelector{{1, 0}};     // unsorted on purpose
+          subset.agg2 = AxisSelector{{0, 1, 1}};  // duplicate position
+          // Target-axis positions (valid on every axis), with a duplicate.
+          subset.allowed_targets = {2, 0, 1, 1};
+          space.push_back(subset);
+        }
+      }
+    }
+  }
+  return space;
+}
+
+void ExpectBitEqual(const QuantificationResult& served,
+                    const QuantificationResult& direct, const char* mode,
+                    size_t index) {
+  ASSERT_EQ(served.answers.size(), direct.answers.size())
+      << mode << " request " << index;
+  for (size_t i = 0; i < served.answers.size(); ++i) {
+    EXPECT_EQ(served.answers[i].id, direct.answers[i].id)
+        << mode << " request " << index << " rank " << i;
+    // Bit-equality, not approximate: the service must return the exact
+    // doubles SolveQuantification produced.
+    EXPECT_EQ(served.answers[i].value, direct.answers[i].value)
+        << mode << " request " << index << " rank " << i;
+  }
+}
+
+class ServeDifferentialTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cube_ = MakeCube(/*seed=*/101);
+    indices_ = std::make_unique<IndexSet>(IndexSet::Build(*cube_));
+    requests_ = RequestSpace();
+  }
+
+  std::unique_ptr<UnfairnessCube> cube_;
+  std::unique_ptr<IndexSet> indices_;
+  std::vector<QuantificationRequest> requests_;
+};
+
+TEST_F(ServeDifferentialTest, CacheOffMatchesDirectForAllAlgorithms) {
+  QuantificationService::Options options;
+  options.cache_capacity = 0;
+  QuantificationService service(cube_.get(), indices_.get(), options);
+  for (size_t i = 0; i < requests_.size(); ++i) {
+    Result<QuantificationResult> direct =
+        SolveQuantification(*cube_, *indices_, requests_[i]);
+    Result<QuantificationResult> served = service.Answer(requests_[i]);
+    ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+    ASSERT_TRUE(served.ok()) << served.status().ToString();
+    ExpectBitEqual(*served, *direct, "cache-off", i);
+  }
+  EXPECT_EQ(service.stats().computations, requests_.size());
+  EXPECT_EQ(service.stats().cache_hits, 0u);
+}
+
+TEST_F(ServeDifferentialTest, CachedMissAndHitMatchDirect) {
+  QuantificationService service(cube_.get(), indices_.get());
+  for (size_t i = 0; i < requests_.size(); ++i) {
+    Result<QuantificationResult> direct =
+        SolveQuantification(*cube_, *indices_, requests_[i]);
+    ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+    Result<QuantificationResult> miss = service.Answer(requests_[i]);
+    Result<QuantificationResult> hit = service.Answer(requests_[i]);
+    ASSERT_TRUE(miss.ok()) << miss.status().ToString();
+    ASSERT_TRUE(hit.ok()) << hit.status().ToString();
+    ExpectBitEqual(*miss, *direct, "cache-miss", i);
+    ExpectBitEqual(*hit, *direct, "cache-hit", i);
+  }
+  QuantificationService::Stats stats = service.stats();
+  EXPECT_GE(stats.cache_hits, requests_.size() / 2);  // every repeat hit
+  EXPECT_LT(stats.computations, stats.requests);
+}
+
+TEST_F(ServeDifferentialTest, BatchedMatchesDirectIncludingDuplicates) {
+  QuantificationService service(cube_.get(), indices_.get());
+  // The batch carries every request twice (adjacent duplicates), so the
+  // dedup path is exercised while results must still line up index-by-index.
+  std::vector<QuantificationRequest> batch;
+  for (const QuantificationRequest& request : requests_) {
+    batch.push_back(request);
+    batch.push_back(request);
+  }
+  std::vector<Result<QuantificationResult>> results =
+      service.AnswerBatch(batch);
+  ASSERT_EQ(results.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Result<QuantificationResult> direct =
+        SolveQuantification(*cube_, *indices_, batch[i]);
+    ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+    ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();
+    ExpectBitEqual(*results[i], *direct, "batched", i);
+  }
+  // Duplicates computed once each.
+  EXPECT_EQ(service.stats().computations, requests_.size());
+}
+
+TEST_F(ServeDifferentialTest, RebuildInvalidatesFingerprintAndStaysCorrect) {
+  QuantificationService service(cube_.get(), indices_.get());
+  uint64_t fingerprint_before = service.cube_fingerprint();
+  for (const QuantificationRequest& request : requests_) {
+    ASSERT_TRUE(service.Answer(request).ok());  // warm the cache
+  }
+
+  // Deliberate rebuild with different contents: every cached entry must
+  // stop matching, and answers must track the new cube.
+  std::unique_ptr<UnfairnessCube> rebuilt = MakeCube(/*seed=*/202);
+  std::unique_ptr<IndexSet> rebuilt_indices =
+      std::make_unique<IndexSet>(IndexSet::Build(*rebuilt));
+  service.SetBackend(rebuilt.get(), rebuilt_indices.get());
+  EXPECT_NE(service.cube_fingerprint(), fingerprint_before);
+
+  uint64_t computations_before = service.stats().computations;
+  for (size_t i = 0; i < requests_.size(); ++i) {
+    Result<QuantificationResult> direct =
+        SolveQuantification(*rebuilt, *rebuilt_indices, requests_[i]);
+    Result<QuantificationResult> served = service.Answer(requests_[i]);
+    ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+    ASSERT_TRUE(served.ok()) << served.status().ToString();
+    ExpectBitEqual(*served, *direct, "post-rebuild", i);
+  }
+  // None of the old entries may have been served.
+  EXPECT_EQ(service.stats().computations,
+            computations_before + requests_.size());
+
+  // An identical rebuild, though, hashes the same: the cache stays warm.
+  std::unique_ptr<UnfairnessCube> same = MakeCube(/*seed=*/202);
+  std::unique_ptr<IndexSet> same_indices =
+      std::make_unique<IndexSet>(IndexSet::Build(*same));
+  service.SetBackend(same.get(), same_indices.get());
+  uint64_t computations_after = service.stats().computations;
+  for (const QuantificationRequest& request : requests_) {
+    ASSERT_TRUE(service.Answer(request).ok());
+  }
+  EXPECT_EQ(service.stats().computations, computations_after);
+}
+
+TEST_F(ServeDifferentialTest, EquivalentSpellingsShareOneCacheEntry) {
+  QuantificationService service(cube_.get(), indices_.get());
+
+  QuantificationRequest plain;
+  plain.target = Dimension::kGroup;
+  plain.k = 3;
+  plain.missing = MissingCellPolicy::kZero;
+
+  // Same request, spelled differently: permuted selector order, an explicit
+  // full-axis list, and a full-axis allowed filter all normalize away.
+  QuantificationRequest spelled = plain;
+  spelled.agg1 = AxisSelector{{3, 1, 0, 2}};  // all 4 query positions
+  spelled.agg2 = AxisSelector{{2, 0, 1}};     // all 3 location positions
+  spelled.allowed_targets = {5, 0, 1, 2, 3, 4, 0};  // whole axis + dup
+
+  ASSERT_TRUE(service.Answer(plain).ok());
+  ASSERT_TRUE(service.Answer(spelled).ok());
+  EXPECT_EQ(service.stats().computations, 1u);
+  EXPECT_EQ(service.stats().cache_hits, 1u);
+
+  // A duplicated selector position weighs that list twice in the average —
+  // it must NOT share a cache entry with the deduplicated spelling (and the
+  // answers genuinely differ).
+  QuantificationRequest doubled = plain;
+  doubled.agg1 = AxisSelector{{0, 0, 1}};
+  QuantificationRequest single = plain;
+  single.agg1 = AxisSelector{{0, 1}};
+  Result<QuantificationResult> doubled_answer = service.Answer(doubled);
+  Result<QuantificationResult> single_answer = service.Answer(single);
+  ASSERT_TRUE(doubled_answer.ok());
+  ASSERT_TRUE(single_answer.ok());
+  EXPECT_EQ(service.stats().computations, 3u);
+  EXPECT_NE(doubled_answer->answers[0].value, single_answer->answers[0].value);
+}
+
+TEST_F(ServeDifferentialTest, ErrorsPropagateAndAreNotCached) {
+  QuantificationService service(cube_.get(), indices_.get());
+  QuantificationRequest bad;
+  bad.k = 0;  // SolveQuantification rejects k = 0
+  Status direct = SolveQuantification(*cube_, *indices_, bad).status();
+  ASSERT_FALSE(direct.ok());
+  EXPECT_FALSE(service.Answer(bad).ok());
+  EXPECT_FALSE(service.Answer(bad).ok());
+  QuantificationService::Stats stats = service.stats();
+  EXPECT_EQ(stats.errors, 2u);
+  EXPECT_EQ(stats.computations, 2u);  // failures are never cached
+  EXPECT_EQ(stats.cache_hits, 0u);
+}
+
+TEST(RequestCacheKeyTest, AlgorithmAndPolicyArePartOfTheIdentity) {
+  std::unique_ptr<UnfairnessCube> cube = MakeCube(/*seed=*/7);
+  uint64_t fingerprint = FingerprintCube(*cube);
+  QuantificationRequest request;
+  request.missing = MissingCellPolicy::kZero;
+  RequestCacheKey base(request, *cube, fingerprint);
+
+  QuantificationRequest other_algorithm = request;
+  other_algorithm.algorithm = TopKAlgorithm::kScan;
+  EXPECT_FALSE(base ==
+               RequestCacheKey(other_algorithm, *cube, fingerprint));
+
+  QuantificationRequest other_policy = request;
+  other_policy.missing = MissingCellPolicy::kSkip;
+  EXPECT_FALSE(base == RequestCacheKey(other_policy, *cube, fingerprint));
+
+  EXPECT_FALSE(base == RequestCacheKey(request, *cube, fingerprint + 1));
+  EXPECT_TRUE(base == RequestCacheKey(request, *cube, fingerprint));
+}
+
+TEST(FingerprintCubeTest, SensitiveToValuesPresenceAndShape) {
+  std::unique_ptr<UnfairnessCube> cube = MakeCube(/*seed=*/7);
+  uint64_t fingerprint = FingerprintCube(*cube);
+
+  EXPECT_EQ(FingerprintCube(*MakeCube(/*seed=*/7)), fingerprint);
+
+  UnfairnessCube changed = *cube;
+  changed.Set(0, 0, 0, 0.123456789);
+  EXPECT_NE(FingerprintCube(changed), fingerprint);
+
+  // Clearing a cell that is definitely present must also change the digest.
+  UnfairnessCube cleared = changed;
+  cleared.Clear(0, 0, 0);
+  EXPECT_NE(FingerprintCube(cleared), FingerprintCube(changed));
+}
+
+}  // namespace
+}  // namespace fairjob

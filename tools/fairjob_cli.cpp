@@ -13,10 +13,16 @@
 // crawl.csv:   job,city,rank,worker        (1-based ranks, best first)
 // workers.csv: worker,<attr>,<attr>,...    (schema inferred from the data)
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <thread>
+#include <initializer_list>
+#include <unordered_set>
 
 #include "common/flags.h"
 #include "common/metrics.h"
+#include "common/rng.h"
 #include "common/trace.h"
 #include "core/explain.h"
 #include "core/coverage.h"
@@ -27,18 +33,26 @@
 #include "crawl/cube_io.h"
 #include "crawl/dataset_assembly.h"
 #include "market/taskrabbit_sim.h"
+#include "serve/quantification_service.h"
 
 namespace fairjob {
 namespace {
 
-int Usage() {
-  std::printf(
-      "usage: fairjob_cli <audit|audit-search|topk|explain|trend|demo> [flags]\n"
+// Printed to stdout for `help`, to stderr (exit 2) for bad input.
+int Usage(FILE* out, int code) {
+  std::fprintf(
+      out,
+      "usage: fairjob_cli "
+      "<audit|audit-search|topk|serve-bench|explain|trend|demo|help> [flags]\n"
       "  audit   --crawl <csv> --workers <csv> [--measure emd|exposure]\n"
       "          [--out cube.csv] [--report audit.md] [--k 5]\n"
       "          [--max-conjunction N]\n"
       "  topk    --cube <csv> --dim group|query|location [--k 5] [--least]\n"
       "          [--algorithm ta|fa|nra|scan]\n"
+      "  serve-bench  [--cube <csv>] [--requests 2000] [--keyspace 24]\n"
+      "          [--algorithm mix|ta|fa|nra|scan] [--batch 0]\n"
+      "          [--cache-capacity 4096] [--cache-shards 8]\n"
+      "          [--workers 400] [--cities 6] [--seed 7]\n"
       "  audit-search --runs <csv> --users <csv>\n"
       "          [--measure kendall|jaccard|footrule|rbo] [--report out.md]\n"
       "  trend   --cube <epoch0.csv> --cube2 <epoch1.csv> [--dim group]\n"
@@ -49,12 +63,27 @@ int Usage() {
       "observability (any command):\n"
       "  --metrics_json <path>  write counters/gauges/histograms as JSON\n"
       "  --trace_json <path>    write a Chrome trace_event timeline\n");
-  return 0;
+  return code;
 }
 
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+// Rejects flags the command does not understand (a typo'd flag silently
+// falling back to its default is the worst failure mode a CLI can have).
+// The observability flags are accepted everywhere.
+Status RejectUnknownFlags(const Flags& flags,
+                          std::initializer_list<const char*> allowed) {
+  std::unordered_set<std::string> known = {"metrics_json", "trace_json"};
+  for (const char* name : allowed) known.insert(name);
+  for (const std::string& name : flags.Names()) {
+    if (known.count(name) == 0) {
+      return Status::InvalidArgument("unknown flag '--" + name + "'");
+    }
+  }
+  return Status::OK();
 }
 
 Result<MarketMeasure> MeasureFromFlag(const Flags& flags) {
@@ -461,6 +490,184 @@ int RunDemo() {
   return 0;
 }
 
+Result<TopKAlgorithm> AlgorithmFromName(const std::string& name) {
+  if (name == "ta") return TopKAlgorithm::kThresholdAlgorithm;
+  if (name == "fa") return TopKAlgorithm::kFA;
+  if (name == "nra") return TopKAlgorithm::kNRA;
+  if (name == "scan") return TopKAlgorithm::kScan;
+  return Status::InvalidArgument("unknown --algorithm '" + name + "'");
+}
+
+// serve-bench: throughput of the query-serving layer (docs/serving.md) over
+// a skewed request mix — cold (cache off), hot (cache on, warmed) and
+// batched (AnswerBatch) — against either a cube loaded from --cube or a
+// synthetic TaskRabbit world.
+int RunServeBench(const Flags& flags) {
+  long requests = 0, keyspace = 0, batch = 0, capacity = 0, shards = 0,
+       workers = 0, cities = 0, seed = 0;
+  const struct {
+    const char* name;
+    long fallback;
+    long* out;
+  } int_flags[] = {
+      {"requests", 2000, &requests},     {"keyspace", 24, &keyspace},
+      {"batch", 0, &batch},              {"cache-capacity", 4096, &capacity},
+      {"cache-shards", 8, &shards},      {"workers", 400, &workers},
+      {"cities", 6, &cities},            {"seed", 7, &seed},
+  };
+  for (const auto& flag : int_flags) {
+    Result<long> value = flags.GetInt(flag.name, flag.fallback);
+    if (!value.ok()) return Fail(value.status());
+    *flag.out = *value;
+  }
+  if (requests <= 0 || keyspace <= 0 || batch < 0 || capacity < 0 ||
+      shards <= 0 || workers <= 0 || cities <= 0) {
+    return Fail(Status::InvalidArgument(
+        "--requests/--keyspace/--workers/--cities/--cache-shards must be "
+        "positive; --batch/--cache-capacity non-negative"));
+  }
+  std::string algorithm_name = flags.GetString("algorithm", "mix");
+  std::vector<TopKAlgorithm> algorithms;
+  if (algorithm_name == "mix") {
+    algorithms = {TopKAlgorithm::kThresholdAlgorithm, TopKAlgorithm::kFA,
+                  TopKAlgorithm::kNRA, TopKAlgorithm::kScan};
+  } else {
+    Result<TopKAlgorithm> algorithm = AlgorithmFromName(algorithm_name);
+    if (!algorithm.ok()) return Fail(algorithm.status());
+    algorithms = {*algorithm};
+  }
+
+  // Backend: loaded cube or synthetic demo world.
+  std::unique_ptr<UnfairnessCube> cube;
+  std::unique_ptr<TaskRabbitDataset> world;  // keeps the dataset alive
+  std::string cube_path = flags.GetString("cube");
+  if (!cube_path.empty()) {
+    Result<UnfairnessCube> loaded = LoadCube(cube_path);
+    if (!loaded.ok()) return Fail(loaded.status());
+    cube = std::make_unique<UnfairnessCube>(*std::move(loaded));
+  } else {
+    TaskRabbitConfig config;
+    config.num_workers = static_cast<size_t>(workers);
+    config.max_cities = static_cast<size_t>(cities);
+    config.max_subjobs_per_category = 2;
+    Result<TaskRabbitDataset> data = BuildTaskRabbitDataset(config);
+    if (!data.ok()) return Fail(data.status());
+    world = std::make_unique<TaskRabbitDataset>(*std::move(data));
+    Result<GroupSpace> space = GroupSpace::Enumerate(world->dataset.schema());
+    if (!space.ok()) return Fail(space.status());
+    Result<UnfairnessCube> built = BuildMarketplaceCube(
+        world->dataset, *space, MarketMeasure::kEmd, MeasureOptions{},
+        CubeAxes{}, std::thread::hardware_concurrency());
+    if (!built.ok()) return Fail(built.status());
+    cube = std::make_unique<UnfairnessCube>(*std::move(built));
+  }
+  IndexSet indices = IndexSet::Build(*cube);
+
+  // Distinct request keyspace: target × direction × k × algorithm, trimmed
+  // to --keyspace; the trace samples it with an 80/20-style skew.
+  std::vector<QuantificationRequest> request_space;
+  for (Dimension target :
+       {Dimension::kGroup, Dimension::kQuery, Dimension::kLocation}) {
+    size_t aggregated_lists = cube->num_cells() / cube->axis_size(target);
+    for (RankDirection direction :
+         {RankDirection::kMostUnfair, RankDirection::kLeastUnfair}) {
+      for (size_t k : {3u, 5u, 10u}) {
+        for (TopKAlgorithm algorithm : algorithms) {
+          // NRA's bounds only work top-down with zeroed missing cells, over
+          // at most 64 aggregated lists.
+          if (algorithm == TopKAlgorithm::kNRA &&
+              (direction == RankDirection::kLeastUnfair ||
+               aggregated_lists > 64)) {
+            continue;
+          }
+          QuantificationRequest request;
+          request.target = target;
+          request.k = k;
+          request.direction = direction;
+          request.algorithm = algorithm;
+          // kZero keeps NRA eligible, so "mix" compares all four members.
+          request.missing = MissingCellPolicy::kZero;
+          request_space.push_back(request);
+        }
+      }
+    }
+  }
+  if (request_space.size() > static_cast<size_t>(keyspace)) {
+    request_space.resize(static_cast<size_t>(keyspace));
+  }
+  Rng rng(static_cast<uint64_t>(seed));
+  std::vector<QuantificationRequest> trace;
+  trace.reserve(static_cast<size_t>(requests));
+  for (long i = 0; i < requests; ++i) {
+    double u = rng.NextDouble();
+    trace.push_back(
+        request_space[static_cast<size_t>(u * u * request_space.size())]);
+  }
+
+  auto run_pass = [&](QuantificationService& service,
+                      const char* name) -> Result<double> {
+    auto start = std::chrono::steady_clock::now();
+    if (batch > 0) {
+      for (size_t i = 0; i < trace.size(); i += static_cast<size_t>(batch)) {
+        size_t end = std::min(trace.size(), i + static_cast<size_t>(batch));
+        std::vector<QuantificationRequest> chunk(trace.begin() + i,
+                                                 trace.begin() + end);
+        for (const auto& result : service.AnswerBatch(chunk)) {
+          if (!result.ok()) return result.status();
+        }
+      }
+    } else {
+      for (const QuantificationRequest& request : trace) {
+        Result<QuantificationResult> result = service.Answer(request);
+        if (!result.ok()) return result.status();
+      }
+    }
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    double qps = ms > 0 ? 1000.0 * static_cast<double>(trace.size()) / ms : 0;
+    QuantificationService::Stats stats = service.stats();
+    std::printf("  %-14s %8.2f ms  %10.0f req/s  (computed %llu of %llu)\n",
+                name, ms, qps,
+                static_cast<unsigned long long>(stats.computations),
+                static_cast<unsigned long long>(stats.requests));
+    return qps;
+  };
+
+  std::printf("serve-bench: %zu distinct requests, trace of %ld, cube %zu "
+              "cells, cache capacity %ld (%ld shards)%s\n",
+              request_space.size(), requests, cube->num_cells(), capacity,
+              shards,
+              batch > 0 ? ", batched" : "");
+
+  QuantificationService::Options cold_options;
+  cold_options.cache_capacity = 0;
+  QuantificationService cold(cube.get(), &indices, cold_options);
+  Result<double> cold_qps = run_pass(cold, "cold (no cache)");
+  if (!cold_qps.ok()) return Fail(cold_qps.status());
+
+  QuantificationService::Options hot_options;
+  hot_options.cache_capacity = static_cast<size_t>(capacity);
+  hot_options.cache_shards = static_cast<size_t>(shards);
+  QuantificationService hot(cube.get(), &indices, hot_options);
+  for (const QuantificationRequest& request : request_space) {
+    Result<QuantificationResult> warmed = hot.Answer(request);  // warm
+    if (!warmed.ok()) return Fail(warmed.status());
+  }
+  Result<double> hot_qps = run_pass(hot, "hot (cached)");
+  if (!hot_qps.ok()) return Fail(hot_qps.status());
+
+  auto cache = hot.cache_stats();
+  std::printf("  cache: %llu hits / %llu lookups, %llu evictions\n",
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.lookups),
+              static_cast<unsigned long long>(cache.evictions));
+  if (*cold_qps > 0) {
+    std::printf("  hot/cold speedup: %.1fx\n", *hot_qps / *cold_qps);
+  }
+  return 0;
+}
+
 int WriteFileOr(const std::string& path, const std::string& body,
                 const char* what) {
   FILE* f = std::fopen(path.c_str(), "wb");
@@ -474,17 +681,59 @@ int WriteFileOr(const std::string& path, const std::string& body,
 }
 
 int Dispatch(const std::string& command, const Flags& flags) {
-  if (command == "audit") return RunAudit(flags);
-  if (command == "audit-search") return RunAuditSearch(flags);
-  if (command == "trend") return RunTrend(flags);
-  if (command == "topk") return RunTopKCommand(flags);
-  if (command == "explain") return RunExplain(flags);
-  if (command == "demo") return RunDemo();
-  return Usage();
+  // Each command declares the flags it understands; anything else is a typo
+  // and fails loudly (exit 1) rather than silently using defaults.
+  struct CommandSpec {
+    const char* name;
+    int (*run)(const Flags&);
+    std::initializer_list<const char*> allowed;
+  };
+  static const CommandSpec kCommands[] = {
+      {"audit", RunAudit,
+       {"crawl", "workers", "measure", "out", "report", "k",
+        "max-conjunction"}},
+      {"audit-search", RunAuditSearch,
+       {"runs", "users", "measure", "report", "k"}},
+      {"trend", RunTrend, {"cube", "cube2", "dim", "k"}},
+      {"topk", RunTopKCommand, {"cube", "dim", "k", "least", "algorithm"}},
+      {"serve-bench", RunServeBench,
+       {"cube", "requests", "keyspace", "algorithm", "batch", "cache-capacity",
+        "cache-shards", "workers", "cities", "seed"}},
+      {"explain", RunExplain,
+       {"crawl", "workers", "group", "query", "location", "measure"}},
+  };
+  for (const CommandSpec& spec : kCommands) {
+    if (command == spec.name) {
+      Status flags_ok = RejectUnknownFlags(flags, spec.allowed);
+      if (!flags_ok.ok()) {
+        int code = Fail(flags_ok);
+        Usage(stderr, code);
+        return code;
+      }
+      return spec.run(flags);
+    }
+  }
+  if (command == "demo") {
+    Status flags_ok = RejectUnknownFlags(flags, {});
+    if (!flags_ok.ok()) {
+      int code = Fail(flags_ok);
+      Usage(stderr, code);
+      return code;
+    }
+    return RunDemo();
+  }
+  if (command == "help" || command == "--help" || command == "-h") {
+    return Usage(stdout, 0);
+  }
+  std::fprintf(stderr, "error: unknown command '%s'\n", command.c_str());
+  return Usage(stderr, 2);
 }
 
 int Main(int argc, char** argv) {
-  if (argc < 2) return Usage();
+  if (argc < 2) {
+    std::fprintf(stderr, "error: no command given\n");
+    return Usage(stderr, 2);
+  }
   std::vector<std::string> args(argv + 2, argv + argc);
   Result<Flags> flags = Flags::Parse(args);
   if (!flags.ok()) return Fail(flags.status());
