@@ -4,39 +4,23 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
-#include <unordered_set>
 
 #include "common/trace.h"
+#include "core/fagin_dense.h"
 #include "core/fagin_run_metrics.h"
 
 namespace fairjob {
 namespace {
 
+using fagin_internal::BuildAllowedBitmap;
+using fagin_internal::DenseAggregate;
+using fagin_internal::IsAllowed;
 using fagin_internal::MeteredRun;
+using fagin_internal::ScoreCandidates;
+using fagin_internal::UniverseOf;
+using fagin_internal::UseParallelScoring;
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
-
-// Aggregate of `pos` across all lists under the missing-cell policy;
-// nullopt when the id appears in no list.
-std::optional<double> Aggregate(const std::vector<const InvertedIndex*>& lists,
-                                int32_t pos, MissingCellPolicy policy,
-                                FaginStats* stats) {
-  double sum = 0.0;
-  size_t present = 0;
-  for (const InvertedIndex* list : lists) {
-    if (stats != nullptr) ++stats->random_accesses;
-    std::optional<double> v = list->Find(pos);
-    if (v.has_value()) {
-      sum += *v;
-      ++present;
-    }
-  }
-  if (present == 0) return std::nullopt;
-  if (policy == MissingCellPolicy::kSkip) {
-    return sum / static_cast<double>(present);
-  }
-  return sum / static_cast<double>(lists.size());
-}
 
 // True when `a` should rank ahead of `b` for the requested direction.
 bool Better(double a, double b, RankDirection dir) {
@@ -102,6 +86,8 @@ void RecordFaginMetrics(const char* algorithm, const FaginStats& stats,
   metrics.counter(prefix + ".ids_scored")->Add(stats.ids_scored);
   metrics.counter(prefix + ".rounds")->Add(stats.rounds);
   metrics.counter(prefix + ".threshold_checks")->Add(stats.threshold_checks);
+  metrics.counter(prefix + ".dense_accesses")->Add(stats.dense_accesses);
+  metrics.counter(prefix + ".hash_accesses")->Add(stats.hash_accesses);
   metrics.histogram(prefix + ".latency_us")->Record(elapsed_us);
 }
 
@@ -113,16 +99,13 @@ Result<std::vector<ScoredEntry>> FaginTopK(
   MeteredRun run("ta", &stats);
   bool most = options.direction == RankDirection::kMostUnfair;
 
-  std::unordered_set<int32_t> allowed;
-  if (options.allowed != nullptr) {
-    allowed.insert(options.allowed->begin(), options.allowed->end());
-  }
-  auto is_allowed = [&](int32_t pos) {
-    return options.allowed == nullptr || allowed.count(pos) > 0;
-  };
+  const size_t universe = UniverseOf(lists, options.universe_hint);
+  std::vector<uint8_t> allowed_scratch;
+  const uint8_t* allowed =
+      BuildAllowedBitmap(options.allowed, universe, &allowed_scratch);
 
   std::vector<size_t> cursors(lists.size(), 0);
-  std::unordered_set<int32_t> seen;
+  std::vector<uint8_t> seen(universe, 0);
 
   // `kept` is a heap whose top is the *worst* retained entry, so it can be
   // evicted when a better candidate arrives. std::push_heap puts the
@@ -140,13 +123,16 @@ Result<std::vector<ScoredEntry>> FaginTopK(
       size_t at = most ? cursors[i] : lists[i]->size() - 1 - cursors[i];
       const ScoredEntry& e = lists[i]->entry(at);
       ++cursors[i];
-      if (stats != nullptr) ++stats->sorted_accesses;
+      ++stats->sorted_accesses;
       any_read = true;
-      if (!is_allowed(e.pos) || !seen.insert(e.pos).second) continue;
+      if (!IsAllowed(allowed, e.pos) || seen[static_cast<size_t>(e.pos)] != 0) {
+        continue;
+      }
+      seen[static_cast<size_t>(e.pos)] = 1;
       std::optional<double> agg =
-          Aggregate(lists, e.pos, options.missing, stats);
+          DenseAggregate(lists, e.pos, options.missing, stats);
       if (!agg.has_value()) continue;  // unreachable: e.pos is in list i
-      if (stats != nullptr) ++stats->ids_scored;
+      ++stats->ids_scored;
       ScoredEntry scored{e.pos, *agg};
       if (kept.size() < options.k) {
         kept.push_back(scored);
@@ -179,31 +165,62 @@ Result<std::vector<ScoredEntry>> ScanTopK(
   FAIRJOB_RETURN_IF_ERROR(Validate(lists, options.k));
   TraceSpan span("ScanTopK", "fagin");
   MeteredRun run("scan", &stats);
-  std::unordered_set<int32_t> allowed;
-  if (options.allowed != nullptr) {
-    allowed.insert(options.allowed->begin(), options.allowed->end());
-  }
-  std::unordered_set<int32_t> ids;
-  for (const InvertedIndex* list : lists) {
-    // A scan's "depth" is the longest list: it reads everything.
-    stats->rounds = std::max(stats->rounds, list->size());
-    for (size_t i = 0; i < list->size(); ++i) {
-      if (stats != nullptr) ++stats->sorted_accesses;
-      int32_t pos = list->entry(i).pos;
-      if (options.allowed == nullptr || allowed.count(pos) > 0) {
-        ids.insert(pos);
+
+  const size_t universe = UniverseOf(lists, options.universe_hint);
+  std::vector<uint8_t> allowed_scratch;
+  const uint8_t* allowed =
+      BuildAllowedBitmap(options.allowed, universe, &allowed_scratch);
+
+  std::vector<ScoredEntry> scored;
+  if (UseParallelScoring(lists.size(), universe)) {
+    // Wide fan-out: mark candidates in one cheap pass over the entries, then
+    // fan candidate scoring out across position chunks.
+    std::vector<uint8_t> candidates(universe, 0);
+    for (const InvertedIndex* list : lists) {
+      stats->rounds = std::max(stats->rounds, list->size());
+      stats->sorted_accesses += list->size();
+      for (size_t i = 0; i < list->size(); ++i) {
+        int32_t pos = list->entry(i).pos;
+        if (IsAllowed(allowed, pos)) candidates[static_cast<size_t>(pos)] = 1;
       }
     }
-  }
-  std::vector<ScoredEntry> scored;
-  scored.reserve(ids.size());
-  for (int32_t pos : ids) {
-    std::optional<double> agg = Aggregate(lists, pos, options.missing, stats);
-    if (agg.has_value()) {
-      if (stats != nullptr) ++stats->ids_scored;
-      scored.push_back(ScoredEntry{pos, *agg});
+    ScoreCandidates(lists, universe, candidates, options.missing, stats,
+                    &scored);
+  } else {
+    // Single pass over all list entries into per-position accumulators:
+    // O(total entries) instead of O(candidates × lists) random accesses.
+    // Lists are visited in order, so each position's sum accumulates in the
+    // same FP order as per-candidate random access.
+    std::vector<double> sums(universe, 0.0);
+    std::vector<uint32_t> counts(universe, 0);
+    for (const InvertedIndex* list : lists) {
+      // A scan's "depth" is the longest list: it reads everything.
+      stats->rounds = std::max(stats->rounds, list->size());
+      stats->sorted_accesses += list->size();
+      for (size_t i = 0; i < list->size(); ++i) {
+        const ScoredEntry& e = list->entry(i);
+        if (!IsAllowed(allowed, e.pos)) continue;
+        sums[static_cast<size_t>(e.pos)] += e.value;
+        ++counts[static_cast<size_t>(e.pos)];
+      }
+    }
+    // counts[pos] > 0 already implies the position was allowed: disallowed
+    // entries never reach the accumulators.
+    for (size_t pos = 0; pos < universe; ++pos) {
+      if (counts[pos] == 0) continue;
+      // The legacy engine answered each candidate with one random access per
+      // list; the accumulator pass keeps those counter semantics.
+      stats->random_accesses += lists.size();
+      stats->dense_accesses += lists.size();
+      ++stats->ids_scored;
+      double denom = options.missing == MissingCellPolicy::kSkip
+                         ? static_cast<double>(counts[pos])
+                         : static_cast<double>(lists.size());
+      scored.push_back(
+          ScoredEntry{static_cast<int32_t>(pos), sums[pos] / denom});
     }
   }
+
   SortResults(&scored, options.direction);
   if (scored.size() > options.k) scored.resize(options.k);
   return scored;

@@ -32,6 +32,14 @@ struct FaginStats {
   size_t rounds = 0;
   // Times the termination bound was evaluated against the k-th best value.
   size_t threshold_checks = 0;
+  // Storage-engine attribution for the random accesses above: the dense
+  // engine answers them from flat position-indexed columns
+  // (dense_accesses == random_accesses), the legacy hash reference from
+  // unordered_map probes (hash_accesses == random_accesses). Exported as
+  // fagin.<algorithm>.{dense,hash}_accesses so dashboards can tell which
+  // engine served a run without parsing names.
+  size_t dense_accesses = 0;
+  size_t hash_accesses = 0;
 };
 
 // Publishes one run's stats to the global MetricsRegistry under
@@ -49,7 +57,14 @@ struct TopKOptions {
   MissingCellPolicy missing = MissingCellPolicy::kSkip;
   // When non-null, only these target positions are eligible (e.g. "out of
   // Black Males, Asian Males and White Females, ..."); others are skipped.
+  // Materialized once per run into a position-indexed bitmap.
   const std::vector<int32_t>* allowed = nullptr;
+  // Size of the target axis when known (SolveQuantification passes the cube
+  // axis size). 0 = derive from the lists' dense columns. The engines size
+  // their flat accumulator arrays and bitmaps to
+  // max(universe_hint, max list dense_size), so an understated hint is
+  // harmless.
+  size_t universe_hint = 0;
 };
 
 // Adaptation of Fagin's Threshold Algorithm (Algorithm 1): round-robin
@@ -69,9 +84,15 @@ Result<std::vector<ScoredEntry>> FaginTopK(
     const std::vector<const InvertedIndex*>& lists, const TopKOptions& options,
     FaginStats* stats = nullptr);
 
-// Baseline: scores every id appearing in any list via full random access.
-// Same contract as FaginTopK; used for correctness cross-checks and as the
-// comparison point in bench_fagin_perf.
+// Baseline: scores every id appearing in any list. The dense engine does
+// this in a single pass over all list entries into per-position sum /
+// present-count accumulator arrays — O(total entries) instead of
+// O(candidates × lists) random accesses — and, for large selector fan-outs
+// (hundreds of lists), parallelizes candidate scoring across positions via
+// ThreadPool::Shared(). Both paths keep the per-candidate list-iteration
+// order, so aggregates are bitwise-identical to per-candidate random
+// access. Same contract as FaginTopK; used for correctness cross-checks
+// and as the comparison point in bench_fagin_perf.
 Result<std::vector<ScoredEntry>> ScanTopK(
     const std::vector<const InvertedIndex*>& lists, const TopKOptions& options,
     FaginStats* stats = nullptr);

@@ -1,0 +1,160 @@
+#ifndef FAIRJOB_CORE_FAGIN_DENSE_H_
+#define FAIRJOB_CORE_FAGIN_DENSE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/fagin.h"
+#include "core/indices.h"
+
+// Internal helpers for the dense Fagin engine, shared by fagin.cc and
+// fagin_family.cc. Axis positions are dense 0..N-1 cube coordinates, so all
+// per-run candidate state lives in flat position-indexed arrays: the allowed
+// filter is a byte bitmap, random accesses are O(1) column loads, and bulk
+// candidate scoring is either a single pass over all list entries or a
+// ThreadPool fan-out across position ranges.
+
+namespace fairjob {
+namespace fagin_internal {
+
+// Candidate scoring switches to ThreadPool::Shared() when the selector
+// fan-out (number of aggregated lists) and the target axis are both large
+// enough that the fan-out amortizes the pool handoff.
+constexpr size_t kParallelScoringMinLists = 64;
+constexpr size_t kParallelScoringMinUniverse = 128;
+// Positions handed to a pool worker per claimed index; chunks write to
+// disjoint slices of the accumulator arrays.
+constexpr size_t kParallelScoringChunk = 256;
+
+// Extent of the position space: every entry pos of every list lies in
+// [0, universe). An understated hint is corrected from the lists.
+inline size_t UniverseOf(const std::vector<const InvertedIndex*>& lists,
+                         size_t hint) {
+  size_t universe = hint;
+  for (const InvertedIndex* list : lists) {
+    universe = std::max(universe, list->dense_size());
+  }
+  return universe;
+}
+
+// Materializes TopKOptions::allowed into a position-indexed byte bitmap
+// inside `scratch` (reused across runs by capacity). Returns nullptr when
+// every position is allowed, so the hot loops keep a single branch.
+inline const uint8_t* BuildAllowedBitmap(const std::vector<int32_t>* allowed,
+                                         size_t universe,
+                                         std::vector<uint8_t>* scratch) {
+  if (allowed == nullptr) return nullptr;
+  scratch->assign(universe, 0);
+  for (int32_t pos : *allowed) {
+    if (pos >= 0 && static_cast<size_t>(pos) < universe) {
+      (*scratch)[static_cast<size_t>(pos)] = 1;
+    }
+  }
+  return scratch->data();
+}
+
+// `pos` must lie in [0, universe) — true for every position read from a
+// list entry.
+inline bool IsAllowed(const uint8_t* allowed, int32_t pos) {
+  return allowed == nullptr || allowed[static_cast<size_t>(pos)] != 0;
+}
+
+// Aggregate of `pos` across all lists under the missing-cell policy via
+// dense random access; nullopt when the id appears in no list. Lists are
+// visited in order, so the FP summation order matches the legacy engine.
+inline std::optional<double> DenseAggregate(
+    const std::vector<const InvertedIndex*>& lists, int32_t pos,
+    MissingCellPolicy policy, FaginStats* stats) {
+  double sum = 0.0;
+  size_t present = 0;
+  stats->random_accesses += lists.size();
+  stats->dense_accesses += lists.size();
+  for (const InvertedIndex* list : lists) {
+    std::optional<double> v = list->Find(pos);
+    if (v.has_value()) {
+      sum += *v;
+      ++present;
+    }
+  }
+  if (present == 0) return std::nullopt;
+  if (policy == MissingCellPolicy::kSkip) {
+    return sum / static_cast<double>(present);
+  }
+  return sum / static_cast<double>(lists.size());
+}
+
+inline bool UseParallelScoring(size_t num_lists, size_t universe) {
+  return num_lists >= kParallelScoringMinLists &&
+         universe >= kParallelScoringMinUniverse;
+}
+
+// Scores every position with candidates[pos] != 0 and appends the results
+// to `out` in ascending position order. Each candidate's aggregate iterates
+// the lists in order — the same FP summation order as DenseAggregate — so
+// results are bitwise-identical whether this runs serially or fanned out
+// across position chunks on ThreadPool::Shared(). Workers write disjoint
+// slices of the sum/count arrays, keeping the path TSan-clean. Counts one
+// random (dense) access per list per candidate, like per-candidate random
+// access would.
+inline void ScoreCandidates(const std::vector<const InvertedIndex*>& lists,
+                            size_t universe,
+                            const std::vector<uint8_t>& candidates,
+                            MissingCellPolicy policy, FaginStats* stats,
+                            std::vector<ScoredEntry>* out) {
+  const size_t num_lists = lists.size();
+  auto score_range = [&](size_t lo, size_t hi, std::vector<double>& sums,
+                         std::vector<uint32_t>& counts) {
+    for (size_t pos = lo; pos < hi; ++pos) {
+      if (candidates[pos] == 0) continue;
+      double sum = 0.0;
+      uint32_t present = 0;
+      for (const InvertedIndex* list : lists) {
+        std::optional<double> v = list->Find(static_cast<int32_t>(pos));
+        if (v.has_value()) {
+          sum += *v;
+          ++present;
+        }
+      }
+      sums[pos] = sum;
+      counts[pos] = present;
+    }
+  };
+
+  std::vector<double> sums(universe, 0.0);
+  std::vector<uint32_t> counts(universe, 0);
+  bool scored = false;
+  if (UseParallelScoring(num_lists, universe)) {
+    ThreadPool& pool = ThreadPool::Shared();
+    size_t chunks =
+        (universe + kParallelScoringChunk - 1) / kParallelScoringChunk;
+    Status status =
+        pool.ParallelFor(chunks, pool.num_threads() + 1, [&](size_t c) {
+          size_t lo = c * kParallelScoringChunk;
+          size_t hi = std::min(universe, lo + kParallelScoringChunk);
+          score_range(lo, hi, sums, counts);
+          return Status::OK();
+        });
+    scored = status.ok();
+  }
+  if (!scored) score_range(0, universe, sums, counts);
+
+  for (size_t pos = 0; pos < universe; ++pos) {
+    if (candidates[pos] == 0) continue;
+    stats->random_accesses += num_lists;
+    stats->dense_accesses += num_lists;
+    if (counts[pos] == 0) continue;
+    ++stats->ids_scored;
+    double denom = policy == MissingCellPolicy::kSkip
+                       ? static_cast<double>(counts[pos])
+                       : static_cast<double>(num_lists);
+    out->push_back(ScoredEntry{static_cast<int32_t>(pos), sums[pos] / denom});
+  }
+}
+
+}  // namespace fagin_internal
+}  // namespace fairjob
+
+#endif  // FAIRJOB_CORE_FAGIN_DENSE_H_

@@ -3,16 +3,20 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "common/trace.h"
+#include "core/fagin_dense.h"
 #include "core/fagin_run_metrics.h"
 
 namespace fairjob {
 namespace {
 
+using fagin_internal::BuildAllowedBitmap;
+using fagin_internal::DenseAggregate;
+using fagin_internal::IsAllowed;
 using fagin_internal::MeteredRun;
+using fagin_internal::ScoreCandidates;
+using fagin_internal::UniverseOf;
 
 bool Better(double a, double b, RankDirection dir) {
   return dir == RankDirection::kMostUnfair ? a > b : a < b;
@@ -35,26 +39,6 @@ Status Validate(const std::vector<const InvertedIndex*>& lists, size_t k) {
     if (list == nullptr) return Status::InvalidArgument("null inverted list");
   }
   return Status::OK();
-}
-
-std::optional<double> Aggregate(const std::vector<const InvertedIndex*>& lists,
-                                int32_t pos, MissingCellPolicy policy,
-                                FaginStats* stats) {
-  double sum = 0.0;
-  size_t present = 0;
-  for (const InvertedIndex* list : lists) {
-    if (stats != nullptr) ++stats->random_accesses;
-    std::optional<double> v = list->Find(pos);
-    if (v.has_value()) {
-      sum += *v;
-      ++present;
-    }
-  }
-  if (present == 0) return std::nullopt;
-  if (policy == MissingCellPolicy::kSkip) {
-    return sum / static_cast<double>(present);
-  }
-  return sum / static_cast<double>(lists.size());
 }
 
 }  // namespace
@@ -80,19 +64,18 @@ Result<std::vector<ScoredEntry>> FaginFA(
   TraceSpan span("FaginFA", "fagin");
   MeteredRun run("fa", &stats);
   bool most = options.direction == RankDirection::kMostUnfair;
-  std::unordered_set<int32_t> allowed;
-  if (options.allowed != nullptr) {
-    allowed.insert(options.allowed->begin(), options.allowed->end());
-  }
-  auto is_allowed = [&](int32_t pos) {
-    return options.allowed == nullptr || allowed.count(pos) > 0;
-  };
+
+  const size_t universe = UniverseOf(lists, options.universe_hint);
+  std::vector<uint8_t> allowed_scratch;
+  const uint8_t* allowed =
+      BuildAllowedBitmap(options.allowed, universe, &allowed_scratch);
 
   // Phase 1: round-robin sorted access until k (allowed) ids have been seen
   // on every list, or all lists are exhausted. Early stopping is only sound
   // under kZero semantics (see header); under kSkip we read everything.
+  // Per-position sorted-access counts live in a flat array.
   std::vector<size_t> cursors(lists.size(), 0);
-  std::unordered_map<int32_t, size_t> lists_seen;
+  std::vector<uint32_t> seen_count(universe, 0);
   size_t complete_ids = 0;
   bool can_stop_early = options.missing == MissingCellPolicy::kZero;
   for (;;) {
@@ -102,10 +85,10 @@ Result<std::vector<ScoredEntry>> FaginFA(
       size_t at = most ? cursors[i] : lists[i]->size() - 1 - cursors[i];
       const ScoredEntry& e = lists[i]->entry(at);
       ++cursors[i];
-      if (stats != nullptr) ++stats->sorted_accesses;
+      ++stats->sorted_accesses;
       any_read = true;
-      if (!is_allowed(e.pos)) continue;
-      size_t seen = ++lists_seen[e.pos];
+      if (!IsAllowed(allowed, e.pos)) continue;
+      uint32_t seen = ++seen_count[static_cast<size_t>(e.pos)];
       if (seen == lists.size()) ++complete_ids;
     }
     if (!any_read) break;
@@ -116,16 +99,14 @@ Result<std::vector<ScoredEntry>> FaginFA(
     }
   }
 
-  // Phase 2: random access to score every seen id.
-  std::vector<ScoredEntry> scored;
-  scored.reserve(lists_seen.size());
-  for (const auto& [pos, seen] : lists_seen) {
-    std::optional<double> agg = Aggregate(lists, pos, options.missing, stats);
-    if (agg.has_value()) {
-      if (stats != nullptr) ++stats->ids_scored;
-      scored.push_back(ScoredEntry{pos, *agg});
-    }
+  // Phase 2: random access to score every seen id, ascending by position.
+  std::vector<uint8_t> candidates(universe, 0);
+  for (size_t pos = 0; pos < universe; ++pos) {
+    if (seen_count[pos] > 0) candidates[pos] = 1;
   }
+  std::vector<ScoredEntry> scored;
+  ScoreCandidates(lists, universe, candidates, options.missing, stats,
+                  &scored);
   SortResults(&scored, options.direction);
   if (scored.size() > options.k) scored.resize(options.k);
   return scored;
@@ -146,107 +127,207 @@ Result<std::vector<ScoredEntry>> FaginNRA(
   }
   TraceSpan span("FaginNRA", "fagin");
   MeteredRun run("nra", &stats);
-  std::unordered_set<int32_t> allowed;
-  if (options.allowed != nullptr) {
-    allowed.insert(options.allowed->begin(), options.allowed->end());
-  }
-  auto is_allowed = [&](int32_t pos) {
-    return options.allowed == nullptr || allowed.count(pos) > 0;
-  };
 
   const size_t num_lists = lists.size();
   const double denom = static_cast<double>(num_lists);
-  struct Candidate {
-    double known_sum = 0.0;
-    // Bitmask of lists whose value is known (sorted access saw this id).
-    uint64_t known_mask = 0;
-  };
   if (num_lists > 64) {
     return Status::InvalidArgument("NRA supports at most 64 lists");
   }
-  std::unordered_map<int32_t, Candidate> candidates;
+
+  const size_t universe = UniverseOf(lists, options.universe_hint);
+  std::vector<uint8_t> allowed_scratch;
+  const uint8_t* allowed =
+      BuildAllowedBitmap(options.allowed, universe, &allowed_scratch);
+
+  // Candidate bookkeeping in flat position-indexed arrays: the partial sum
+  // of known entries, its /denom quotient (the lower bound, cached so each
+  // threshold check reads it instead of re-dividing per candidate — the
+  // quotient only changes when sorted access touches the position), and a
+  // bitmask of the lists sorted access has seen. `seen_positions` records
+  // first-touch order so threshold checks iterate candidates, not the whole
+  // axis.
+  std::vector<double> known_sum(universe, 0.0);
+  std::vector<double> lower_bound(universe, 0.0);
+  std::vector<uint64_t> known_mask(universe, 0);
+  std::vector<int32_t> seen_positions;
+  std::vector<uint8_t> in_top(universe, 0);
   std::vector<size_t> cursors(num_lists, 0);
 
   auto frontier = [&](size_t i) -> double {
     if (cursors[i] >= lists[i]->size()) return 0.0;  // exhausted: rest is 0
     return std::max(lists[i]->entry(cursors[i]).value, 0.0);
   };
+  // Reused across threshold checks (frontiers are constant within a check;
+  // lowers keeps its capacity) so the per-round bookkeeping allocates once.
+  std::vector<double> frontiers(num_lists, 0.0);
+  std::vector<std::pair<double, int32_t>> lowers;
+
+  // Lower bounds are compared under the total order (value desc, pos asc),
+  // which makes the current top-k set unique — any selection method yields
+  // the same set. When every list value is non-negative (lists are sorted
+  // descending, so the tail entry is the minimum) the bounds are monotone
+  // non-decreasing, and the top-k can be maintained incrementally from the
+  // <= num_lists positions touched per round — O(k) per check instead of
+  // rebuilding + selecting over all candidates. Negative values fall back
+  // to the per-check nth_element.
+  auto lower_cmp = [](const std::pair<double, int32_t>& a,
+                      const std::pair<double, int32_t>& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  };
+  bool monotone = true;
+  for (const InvertedIndex* list : lists) {
+    if (!list->empty() && list->entry(list->size() - 1).value < 0.0) {
+      monotone = false;
+      break;
+    }
+  }
+  std::vector<std::pair<double, int32_t>> top;  // sorted by lower_cmp
+  bool top_built = false;
+  std::vector<int32_t> touched;  // positions updated this round
 
   for (;;) {
     bool any_read = false;
+    touched.clear();
     for (size_t i = 0; i < num_lists; ++i) {
       if (cursors[i] >= lists[i]->size()) continue;
       const ScoredEntry& e = lists[i]->entry(cursors[i]);
       ++cursors[i];
-      if (stats != nullptr) ++stats->sorted_accesses;
+      ++stats->sorted_accesses;
       any_read = true;
-      if (!is_allowed(e.pos)) continue;
-      Candidate& c = candidates[e.pos];
-      c.known_sum += e.value;
-      c.known_mask |= (1ull << i);
+      if (!IsAllowed(allowed, e.pos)) continue;
+      size_t p = static_cast<size_t>(e.pos);
+      if (known_mask[p] == 0) seen_positions.push_back(e.pos);
+      known_sum[p] += e.value;
+      lower_bound[p] = known_sum[p] / denom;
+      known_mask[p] |= (1ull << i);
+      if (top_built) touched.push_back(e.pos);
     }
     if (!any_read) break;
     ++stats->rounds;
 
-    if (candidates.size() < options.k) continue;
+    if (seen_positions.size() < options.k) continue;
     ++stats->threshold_checks;
 
     // Lower bound: unknown entries contribute 0 (kZero). Upper bound:
     // unknown entries are at most the list frontier.
     double frontier_sum = 0.0;
-    for (size_t i = 0; i < num_lists; ++i) frontier_sum += frontier(i);
+    for (size_t i = 0; i < num_lists; ++i) {
+      frontiers[i] = frontier(i);
+      frontier_sum += frontiers[i];
+    }
 
     // k-th best lower bound.
-    std::vector<std::pair<double, int32_t>> lowers;
-    lowers.reserve(candidates.size());
-    for (const auto& [pos, c] : candidates) {
-      lowers.emplace_back(c.known_sum / denom, pos);
+    double kth_lower;
+    if (monotone) {
+      if (!top_built) {
+        // Bootstrap from the full candidate set once; incremental from here.
+        lowers.clear();
+        lowers.reserve(seen_positions.size());
+        for (int32_t pos : seen_positions) {
+          lowers.emplace_back(lower_bound[static_cast<size_t>(pos)], pos);
+        }
+        std::partial_sort(lowers.begin(),
+                          lowers.begin() + static_cast<long>(options.k),
+                          lowers.end(), lower_cmp);
+        top.assign(lowers.begin(),
+                   lowers.begin() + static_cast<long>(options.k));
+        for (const auto& entry : top) {
+          in_top[static_cast<size_t>(entry.second)] = 1;
+        }
+        top_built = true;
+      } else {
+        // Only touched positions can enter or move (bounds never decrease
+        // and untouched members keep their keys). Duplicates are harmless:
+        // reprocessing reads the same final lower bound.
+        for (int32_t pos : touched) {
+          size_t p = static_cast<size_t>(pos);
+          std::pair<double, int32_t> key{lower_bound[p], pos};
+          if (in_top[p] != 0) {
+            size_t j = 0;
+            while (top[j].second != pos) ++j;
+            top[j] = key;
+            for (; j > 0 && lower_cmp(top[j], top[j - 1]); --j) {
+              std::swap(top[j], top[j - 1]);
+            }
+          } else if (lower_cmp(key, top.back())) {
+            in_top[static_cast<size_t>(top.back().second)] = 0;
+            top.back() = key;
+            in_top[p] = 1;
+            for (size_t j = top.size() - 1;
+                 j > 0 && lower_cmp(top[j], top[j - 1]); --j) {
+              std::swap(top[j], top[j - 1]);
+            }
+          }
+        }
+      }
+      kth_lower = top.back().first;
+    } else {
+      lowers.clear();
+      lowers.reserve(seen_positions.size());
+      for (int32_t pos : seen_positions) {
+        lowers.emplace_back(lower_bound[static_cast<size_t>(pos)], pos);
+      }
+      std::nth_element(lowers.begin(),
+                       lowers.begin() + static_cast<long>(options.k - 1),
+                       lowers.end(), lower_cmp);
+      kth_lower = lowers[options.k - 1].first;
+      for (size_t i = 0; i < options.k; ++i) {
+        in_top[static_cast<size_t>(lowers[i].second)] = 1;
+      }
     }
-    std::nth_element(
-        lowers.begin(), lowers.begin() + static_cast<long>(options.k - 1),
-        lowers.end(), [](const auto& a, const auto& b) {
-          if (a.first != b.first) return a.first > b.first;
-          return a.second < b.second;
-        });
-    double kth_lower = lowers[options.k - 1].first;
-    std::unordered_set<int32_t> top_positions;
-    for (size_t i = 0; i < options.k; ++i) top_positions.insert(lowers[i].second);
 
     // Upper bound of any id outside the current top-k (seen or unseen).
-    double outside_upper = frontier_sum / denom;  // fully unseen id
-    for (const auto& [pos, c] : candidates) {
-      if (top_positions.count(pos) > 0) continue;
-      double upper = c.known_sum;
+    // The max is taken over the raw sums and divided once at the end:
+    // correctly-rounded division by a positive constant is monotone, so it
+    // commutes with max and the quotient is bitwise-identical to dividing
+    // each term.
+    double outside_upper_raw = frontier_sum;  // fully unseen id
+    for (int32_t pos : seen_positions) {
+      size_t p = static_cast<size_t>(pos);
+      if (in_top[p] != 0) continue;
+      double upper = known_sum[p];
       for (size_t i = 0; i < num_lists; ++i) {
-        if ((c.known_mask & (1ull << i)) == 0) upper += frontier(i);
+        if ((known_mask[p] & (1ull << i)) == 0) upper += frontiers[i];
       }
-      outside_upper = std::max(outside_upper, upper / denom);
+      outside_upper_raw = std::max(outside_upper_raw, upper);
     }
-    if (kth_lower >= outside_upper) {
+    double outside_upper = outside_upper_raw / denom;
+    bool done = kth_lower >= outside_upper;
+    if (done) {
       // The top-k id set is final. Resolve exact aggregates for those ids
       // (a pragmatic k·L random-access epilogue; classic NRA would return
       // bounds).
       std::vector<ScoredEntry> out;
       out.reserve(options.k);
-      for (int32_t pos : top_positions) {
+      for (size_t i = 0; i < options.k; ++i) {
+        int32_t pos = monotone ? top[i].second : lowers[i].second;
         std::optional<double> agg =
-            Aggregate(lists, pos, options.missing, stats);
+            DenseAggregate(lists, pos, options.missing, stats);
         if (agg.has_value()) {
-          if (stats != nullptr) ++stats->ids_scored;
+          ++stats->ids_scored;
           out.push_back(ScoredEntry{pos, *agg});
         }
       }
       SortResults(&out, options.direction);
       return out;
     }
+    // The incremental top keeps its marks; the fallback rebuilds each check,
+    // so reset only the k marked slots (a full clear would be O(universe)).
+    if (!monotone) {
+      for (size_t i = 0; i < options.k; ++i) {
+        in_top[static_cast<size_t>(lowers[i].second)] = 0;
+      }
+    }
   }
 
   // Lists exhausted: every candidate's aggregate is fully known.
   std::vector<ScoredEntry> out;
-  out.reserve(candidates.size());
-  for (const auto& [pos, c] : candidates) {
-    if (stats != nullptr) ++stats->ids_scored;
-    out.push_back(ScoredEntry{pos, c.known_sum / denom});
+  out.reserve(seen_positions.size());
+  for (int32_t pos : seen_positions) {
+    ++stats->ids_scored;
+    out.push_back(
+        ScoredEntry{pos, known_sum[static_cast<size_t>(pos)] / denom});
   }
   SortResults(&out, options.direction);
   if (out.size() > options.k) out.resize(options.k);

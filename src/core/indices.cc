@@ -41,23 +41,33 @@ InvertedIndex::InvertedIndex(std::vector<ScoredEntry> entries)
               if (a.value != b.value) return a.value > b.value;
               return a.pos < b.pos;
             });
-  by_pos_.reserve(entries_.size());
-  for (const ScoredEntry& e : entries_) by_pos_.emplace(e.pos, e.value);
-}
-
-std::optional<double> InvertedIndex::Find(int32_t pos) const {
-  auto it = by_pos_.find(pos);
-  if (it == by_pos_.end()) return std::nullopt;
-  return it->second;
+  int32_t max_pos = -1;
+  for (const ScoredEntry& e : entries_) max_pos = std::max(max_pos, e.pos);
+  values_.assign(static_cast<size_t>(max_pos + 1), 0.0);
+  present_.assign(static_cast<size_t>(max_pos + 1), 0);
+  // On duplicate positions the first (highest-value) entry wins, matching
+  // the pre-dense hash map's emplace semantics.
+  for (const ScoredEntry& e : entries_) {
+    size_t pos = static_cast<size_t>(e.pos);
+    if (present_[pos] == 0) {
+      present_[pos] = 1;
+      values_[pos] = e.value;
+    }
+  }
 }
 
 void InvertedIndex::Upsert(int32_t pos, double value) {
-  auto it = by_pos_.find(pos);
-  if (it != by_pos_.end()) {
-    if (it->second == value) return;
+  std::optional<double> existing = Find(pos);
+  if (existing.has_value()) {
+    if (*existing == value) return;
     Remove(pos);
   }
-  by_pos_.emplace(pos, value);
+  if (static_cast<size_t>(pos) >= values_.size()) {
+    values_.resize(static_cast<size_t>(pos) + 1, 0.0);
+    present_.resize(static_cast<size_t>(pos) + 1, 0);
+  }
+  values_[static_cast<size_t>(pos)] = value;
+  present_[static_cast<size_t>(pos)] = 1;
   ScoredEntry entry{pos, value};
   auto insert_at = std::lower_bound(
       entries_.begin(), entries_.end(), entry,
@@ -69,9 +79,12 @@ void InvertedIndex::Upsert(int32_t pos, double value) {
 }
 
 void InvertedIndex::Remove(int32_t pos) {
-  auto it = by_pos_.find(pos);
-  if (it == by_pos_.end()) return;
-  by_pos_.erase(it);
+  if (pos < 0 || static_cast<size_t>(pos) >= present_.size() ||
+      present_[static_cast<size_t>(pos)] == 0) {
+    return;
+  }
+  present_[static_cast<size_t>(pos)] = 0;
+  values_[static_cast<size_t>(pos)] = 0.0;
   for (auto entry = entries_.begin(); entry != entries_.end(); ++entry) {
     if (entry->pos == pos) {
       entries_.erase(entry);

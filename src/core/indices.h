@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "core/unfairness_cube.h"
@@ -22,8 +21,11 @@ struct ScoredEntry {
 
 // A sorted inverted list with random access (Table 5 of the paper): entries
 // descending by value for sorted access from the top (most unfair) and
-// ascending access from the tail (least unfair), plus a hash map for
-// Fagin-style random accesses.
+// ascending access from the tail (least unfair), plus a dense
+// position-indexed value column for Fagin-style random accesses. Axis
+// positions are dense 0..N-1 cube coordinates, so the column is a flat
+// vector (with a companion presence bitmap) and Find is a cache-friendly
+// O(1) array load — no hashing anywhere on the query path.
 class InvertedIndex {
  public:
   // Takes entries in any order; sorts descending by value (ties by pos for
@@ -37,17 +39,29 @@ class InvertedIndex {
   const ScoredEntry& entry(size_t i) const { return entries_[i]; }
 
   // Random access: value of `pos`, or nullopt when absent from this list.
-  std::optional<double> Find(int32_t pos) const;
+  std::optional<double> Find(int32_t pos) const {
+    if (pos < 0 || static_cast<size_t>(pos) >= present_.size() ||
+        present_[static_cast<size_t>(pos)] == 0) {
+      return std::nullopt;
+    }
+    return values_[static_cast<size_t>(pos)];
+  }
+
+  // Extent of the dense column: 1 + the largest position ever stored (0 for
+  // an empty list). Every entry pos lies in [0, dense_size()).
+  size_t dense_size() const { return values_.size(); }
 
   // Incremental maintenance (crawl refreshes): inserts or updates `pos`,
-  // keeping the descending order. O(n).
+  // keeping the descending order and the dense column in sync. O(n).
   void Upsert(int32_t pos, double value);
   // Removes `pos` if present (the cell became undefined). O(n).
   void Remove(int32_t pos);
 
  private:
   std::vector<ScoredEntry> entries_;
-  std::unordered_map<int32_t, double> by_pos_;
+  // Dense random-access column: values_[pos] is valid iff present_[pos].
+  std::vector<double> values_;
+  std::vector<uint8_t> present_;
 };
 
 // The three index families of Section 4.2, built once from a cube:

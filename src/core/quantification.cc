@@ -65,6 +65,9 @@ Result<QuantificationResult> SolveQuantification(
   options.missing = request.missing;
   options.allowed =
       request.allowed_targets.empty() ? nullptr : &request.allowed_targets;
+  // The target axis size bounds every list position, so the dense engine can
+  // size its flat accumulators and bitmaps without scanning the lists.
+  options.universe_hint = cube.axis_size(request.target);
 
   QuantificationResult result;
   Result<std::vector<ScoredEntry>> top =

@@ -119,43 +119,50 @@ Result<double> KendallTauTopK(const RankedList& a, const RankedList& b,
     if (pos_a.count(item) == 0) union_items.push_back(item);
   }
 
-  auto rank_or_infinity = [](const std::unordered_map<int32_t, size_t>& pos,
-                             int32_t item, size_t list_size) -> size_t {
-    auto it = pos.find(item);
-    // Items absent from a top-k list are implicitly ranked below everything.
-    return it == pos.end() ? list_size + 1000000 : it->second;
-  };
+  // Hoist per-item membership flags and ranks out of the O(u²) pair scan:
+  // one hash lookup per union item here replaces four count() plus up to
+  // four at()/find() probes per *pair* below. Items absent from a top-k
+  // list are implicitly ranked below everything.
+  const size_t u = union_items.size();
+  std::vector<uint8_t> in_a(u), in_b(u);
+  std::vector<size_t> rank_a(u), rank_b(u);
+  for (size_t x = 0; x < u; ++x) {
+    auto it_a = pos_a.find(union_items[x]);
+    in_a[x] = it_a != pos_a.end() ? 1 : 0;
+    rank_a[x] = in_a[x] ? it_a->second : a.size() + 1000000;
+    auto it_b = pos_b.find(union_items[x]);
+    in_b[x] = it_b != pos_b.end() ? 1 : 0;
+    rank_b[x] = in_b[x] ? it_b->second : b.size() + 1000000;
+  }
 
-  for (size_t x = 0; x < union_items.size(); ++x) {
-    for (size_t y = x + 1; y < union_items.size(); ++y) {
-      int32_t i = union_items[x];
-      int32_t j = union_items[y];
-      bool i_in_a = pos_a.count(i) > 0;
-      bool j_in_a = pos_a.count(j) > 0;
-      bool i_in_b = pos_b.count(i) > 0;
-      bool j_in_b = pos_b.count(j) > 0;
+  for (size_t x = 0; x < u; ++x) {
+    for (size_t y = x + 1; y < u; ++y) {
+      bool i_in_a = in_a[x] != 0;
+      bool j_in_a = in_a[y] != 0;
+      bool i_in_b = in_b[x] != 0;
+      bool j_in_b = in_b[y] != 0;
       int lists_with_both = static_cast<int>(i_in_a && j_in_a) +
                             static_cast<int>(i_in_b && j_in_b);
       if (lists_with_both == 2) {
         // Case 1: both lists rank both items.
-        bool agree = (pos_a.at(i) < pos_a.at(j)) == (pos_b.at(i) < pos_b.at(j));
+        bool agree = (rank_a[x] < rank_a[y]) == (rank_b[x] < rank_b[y]);
         if (!agree) penalty += 1.0;
-      } else if ((i_in_a != i_in_b) && (j_in_a != j_in_b) && (i_in_a != j_in_a)) {
+      } else if ((i_in_a != i_in_b) && (j_in_a != j_in_b) &&
+                 (i_in_a != j_in_a)) {
         // Case 3: i appears only in one list, j only in the other.
         penalty += 1.0;
       } else if (lists_with_both == 1) {
-        bool both_absent_somewhere = (!i_in_a && !j_in_a) || (!i_in_b && !j_in_b);
+        bool both_absent_somewhere =
+            (!i_in_a && !j_in_a) || (!i_in_b && !j_in_b);
         if (both_absent_somewhere) {
           // Case 4: both items confined to the same single list.
           penalty += p;
         } else {
           // Case 2: one list ranks both, the other ranks exactly one. The
           // absent item is implicitly below the present one there.
-          size_t ra_i = rank_or_infinity(pos_a, i, a.size());
-          size_t ra_j = rank_or_infinity(pos_a, j, a.size());
-          size_t rb_i = rank_or_infinity(pos_b, i, b.size());
-          size_t rb_j = rank_or_infinity(pos_b, j, b.size());
-          if ((ra_i < ra_j) != (rb_i < rb_j)) penalty += 1.0;
+          if ((rank_a[x] < rank_a[y]) != (rank_b[x] < rank_b[y])) {
+            penalty += 1.0;
+          }
         }
       }
     }

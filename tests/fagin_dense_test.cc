@@ -1,0 +1,393 @@
+// Differential suite: the dense position-indexed Fagin engine must return
+// bitwise-identical top-k answers — and identical access-count semantics —
+// to the legacy hash-based reference engine (core/fagin_reference.h), across
+// every algorithm, direction, missing-cell policy and allowed-filter
+// variant, on cubes with missing cells, and after incremental index
+// maintenance. A dedicated binary (see tests/CMakeLists.txt) so CI can run
+// it directly under ASan/TSan; the parallel scoring cases below must be
+// TSan-clean.
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/fagin.h"
+#include "core/fagin_family.h"
+#include "core/fagin_reference.h"
+#include "core/indices.h"
+#include "core/unfairness_cube.h"
+
+namespace fairjob {
+namespace {
+
+uint64_t BitsOf(double d) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+// A cube with the requested density of present cells; values uniform [0,1).
+UnfairnessCube MakeRandomCube(Rng& rng, size_t groups, size_t queries,
+                              size_t locations, double density) {
+  std::vector<int32_t> g_ids, q_ids, l_ids;
+  for (size_t i = 0; i < groups; ++i) g_ids.push_back(static_cast<int32_t>(i));
+  for (size_t i = 0; i < queries; ++i) {
+    q_ids.push_back(static_cast<int32_t>(100 + i));
+  }
+  for (size_t i = 0; i < locations; ++i) {
+    l_ids.push_back(static_cast<int32_t>(200 + i));
+  }
+  auto cube = UnfairnessCube::Make(g_ids, q_ids, l_ids);
+  EXPECT_TRUE(cube.ok()) << cube.status().message();
+  for (size_t g = 0; g < groups; ++g) {
+    for (size_t q = 0; q < queries; ++q) {
+      for (size_t l = 0; l < locations; ++l) {
+        if (rng.NextBernoulli(density)) cube->Set(g, q, l, rng.NextDouble());
+      }
+    }
+  }
+  return *std::move(cube);
+}
+
+// Runs one configuration through both engines and checks full agreement:
+// same ok/error outcome, bitwise-equal answers, equal legacy stats fields,
+// and correct storage-engine attribution of the random accesses.
+void ExpectEnginesAgree(TopKAlgorithm algorithm,
+                        const std::vector<const InvertedIndex*>& lists,
+                        const TopKOptions& options) {
+  SCOPED_TRACE(::testing::Message()
+               << "algorithm=" << TopKAlgorithmName(algorithm)
+               << " k=" << options.k << " most_unfair="
+               << (options.direction == RankDirection::kMostUnfair)
+               << " skip=" << (options.missing == MissingCellPolicy::kSkip)
+               << " allowed=" << (options.allowed != nullptr));
+
+  FaginStats dense_stats;
+  Result<std::vector<ScoredEntry>> dense =
+      RunTopK(algorithm, lists, options, &dense_stats);
+
+  std::vector<HashedListView> views = BuildHashedViews(lists);
+  FaginStats ref_stats;
+  Result<std::vector<ScoredEntry>> ref =
+      ReferenceRunTopK(algorithm, views, options, &ref_stats);
+
+  ASSERT_EQ(dense.ok(), ref.ok())
+      << "dense: " << dense.status().message()
+      << " / reference: " << ref.status().message();
+  if (!dense.ok()) return;
+
+  ASSERT_EQ(dense->size(), ref->size());
+  for (size_t i = 0; i < dense->size(); ++i) {
+    EXPECT_EQ((*dense)[i].pos, (*ref)[i].pos) << "entry " << i;
+    EXPECT_EQ(BitsOf((*dense)[i].value), BitsOf((*ref)[i].value))
+        << "entry " << i << ": " << (*dense)[i].value << " vs "
+        << (*ref)[i].value;
+  }
+
+  EXPECT_EQ(dense_stats.sorted_accesses, ref_stats.sorted_accesses);
+  EXPECT_EQ(dense_stats.random_accesses, ref_stats.random_accesses);
+  EXPECT_EQ(dense_stats.ids_scored, ref_stats.ids_scored);
+  EXPECT_EQ(dense_stats.rounds, ref_stats.rounds);
+  EXPECT_EQ(dense_stats.threshold_checks, ref_stats.threshold_checks);
+
+  // Every random access is attributed to exactly one storage engine.
+  EXPECT_EQ(dense_stats.dense_accesses, dense_stats.random_accesses);
+  EXPECT_EQ(dense_stats.hash_accesses, 0u);
+  EXPECT_EQ(ref_stats.hash_accesses, ref_stats.random_accesses);
+  EXPECT_EQ(ref_stats.dense_accesses, 0u);
+}
+
+constexpr TopKAlgorithm kAlgorithms[] = {
+    TopKAlgorithm::kThresholdAlgorithm, TopKAlgorithm::kFA,
+    TopKAlgorithm::kNRA, TopKAlgorithm::kScan};
+constexpr RankDirection kDirections[] = {RankDirection::kMostUnfair,
+                                         RankDirection::kLeastUnfair};
+constexpr MissingCellPolicy kPolicies[] = {MissingCellPolicy::kSkip,
+                                           MissingCellPolicy::kZero};
+
+// Every algorithm × direction × policy × allowed variant for the given
+// lists. NRA rejects kSkip and kLeastUnfair; those configurations still run
+// to assert error parity between the engines.
+void RunFullGrid(const std::vector<const InvertedIndex*>& lists,
+                 size_t universe, const std::vector<int32_t>& allowed,
+                 size_t k) {
+  for (TopKAlgorithm algorithm : kAlgorithms) {
+    for (RankDirection direction : kDirections) {
+      for (MissingCellPolicy missing : kPolicies) {
+        for (bool restrict_targets : {false, true}) {
+          TopKOptions options;
+          options.k = k;
+          options.direction = direction;
+          options.missing = missing;
+          options.allowed = restrict_targets ? &allowed : nullptr;
+          options.universe_hint = universe;
+          ExpectEnginesAgree(algorithm, lists, options);
+        }
+      }
+    }
+  }
+}
+
+TEST(FaginDenseDifferential, RandomCubesFullGrid) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    Rng rng(seed);
+    // Shapes chosen so every dimension gets a turn as the large axis; 0.6
+    // density leaves plenty of missing cells.
+    size_t groups = 3 + rng.NextBelow(6);
+    size_t queries = 2 + rng.NextBelow(5);
+    size_t locations = 2 + rng.NextBelow(4);
+    UnfairnessCube cube =
+        MakeRandomCube(rng, groups, queries, locations, 0.6);
+    IndexSet indices = IndexSet::Build(cube);
+
+    for (Dimension target :
+         {Dimension::kGroup, Dimension::kQuery, Dimension::kLocation}) {
+      SCOPED_TRACE(::testing::Message() << "seed=" << seed << " target="
+                                        << DimensionName(target));
+      std::vector<const InvertedIndex*> lists =
+          indices.ListsFor(target, AxisSelector::All(), AxisSelector::All());
+      size_t universe = cube.axis_size(target);
+      // An arbitrary-but-deterministic subset of eligible targets.
+      std::vector<int32_t> allowed;
+      for (size_t pos = 0; pos < universe; pos += 2) {
+        allowed.push_back(static_cast<int32_t>(pos));
+      }
+      for (size_t k : {size_t{1}, size_t{3}, universe + 2}) {
+        RunFullGrid(lists, universe, allowed, k);
+      }
+    }
+  }
+}
+
+TEST(FaginDenseDifferential, SelectorSubsetsAgree) {
+  Rng rng(7);
+  UnfairnessCube cube = MakeRandomCube(rng, 6, 5, 4, 0.5);
+  IndexSet indices = IndexSet::Build(cube);
+  // Restrict the aggregation box: only some queries and locations.
+  std::vector<const InvertedIndex*> lists = indices.ListsFor(
+      Dimension::kGroup, AxisSelector{{0, 2, 4}}, AxisSelector{{1, 3}});
+  std::vector<int32_t> allowed = {0, 1, 5};
+  RunFullGrid(lists, cube.axis_size(Dimension::kGroup), allowed, 3);
+}
+
+// After IndexSet::RefreshColumn upserts/removes, the dense value columns
+// must stay in sync: the refreshed set must match a set rebuilt from
+// scratch, list by list, both via sorted access and via random access.
+TEST(FaginDenseDifferential, RefreshColumnKeepsDenseColumnsInSync) {
+  Rng rng(11);
+  UnfairnessCube cube = MakeRandomCube(rng, 6, 5, 4, 0.7);
+  IndexSet indices = IndexSet::Build(cube);
+
+  // Touch two (query, location) columns: updates, inserts and removals.
+  for (auto [q, l] : {std::pair<size_t, size_t>{1, 2}, {3, 0}}) {
+    for (size_t g = 0; g < cube.axis_size(Dimension::kGroup); ++g) {
+      double coin = rng.NextDouble();
+      if (coin < 0.35) {
+        cube.Clear(g, q, l);
+      } else if (coin < 0.8) {
+        cube.Set(g, q, l, rng.NextDouble());
+      }
+    }
+    indices.RefreshColumn(cube, q, l);
+  }
+
+  IndexSet rebuilt = IndexSet::Build(cube);
+  for (Dimension target :
+       {Dimension::kGroup, Dimension::kQuery, Dimension::kLocation}) {
+    Dimension o1 = target == Dimension::kGroup ? Dimension::kQuery
+                                               : Dimension::kGroup;
+    Dimension o2 = target == Dimension::kLocation ? Dimension::kQuery
+                                                  : Dimension::kLocation;
+    for (size_t a = 0; a < cube.axis_size(o1); ++a) {
+      for (size_t b = 0; b < cube.axis_size(o2); ++b) {
+        const InvertedIndex& got = indices.ListAt(target, a, b);
+        const InvertedIndex& want = rebuilt.ListAt(target, a, b);
+        SCOPED_TRACE(::testing::Message() << DimensionName(target) << " list ("
+                                          << a << ", " << b << ")");
+        ASSERT_EQ(got.size(), want.size());
+        for (size_t i = 0; i < got.size(); ++i) {
+          EXPECT_EQ(got.entry(i).pos, want.entry(i).pos);
+          EXPECT_EQ(BitsOf(got.entry(i).value), BitsOf(want.entry(i).value));
+        }
+        for (size_t pos = 0; pos < cube.axis_size(target); ++pos) {
+          std::optional<double> gv = got.Find(static_cast<int32_t>(pos));
+          std::optional<double> wv = want.Find(static_cast<int32_t>(pos));
+          ASSERT_EQ(gv.has_value(), wv.has_value()) << "pos " << pos;
+          if (gv.has_value()) {
+            EXPECT_EQ(BitsOf(*gv), BitsOf(*wv));
+          }
+        }
+      }
+    }
+  }
+
+  // And the refreshed lists still drive every algorithm identically.
+  std::vector<const InvertedIndex*> lists = indices.ListsFor(
+      Dimension::kGroup, AxisSelector::All(), AxisSelector::All());
+  std::vector<int32_t> allowed = {0, 2, 3};
+  RunFullGrid(lists, cube.axis_size(Dimension::kGroup), allowed, 4);
+}
+
+// Upsert beyond the current dense extent must grow the column, and Remove
+// must clear the slot; checked against a rebuilt-from-entries twin.
+TEST(FaginDenseDifferential, UpsertGrowsAndRemoveClearsDenseColumn) {
+  InvertedIndex list({{0, 0.5}, {2, 0.9}});
+  ASSERT_EQ(list.dense_size(), 3u);
+  list.Upsert(7, 0.25);
+  EXPECT_GE(list.dense_size(), 8u);
+  EXPECT_EQ(list.Find(7), std::optional<double>(0.25));
+  list.Upsert(2, 0.1);
+  EXPECT_EQ(list.Find(2), std::optional<double>(0.1));
+  list.Remove(0);
+  EXPECT_EQ(list.Find(0), std::nullopt);
+  EXPECT_EQ(list.Find(-1), std::nullopt);
+  EXPECT_EQ(list.Find(100), std::nullopt);
+
+  std::vector<ScoredEntry> entries;
+  for (size_t i = 0; i < list.size(); ++i) entries.push_back(list.entry(i));
+  InvertedIndex twin(std::move(entries));
+  for (int32_t pos = 0; pos < 10; ++pos) {
+    EXPECT_EQ(list.Find(pos), twin.Find(pos)) << "pos " << pos;
+  }
+}
+
+// Large selector fan-out: enough lists and a large enough universe to take
+// the parallel candidate-scoring path in ScanTopK and FA phase 2
+// (fagin_internal::kParallelScoringMinLists = 64, MinUniverse = 128). The
+// answers must still be bitwise-identical to the serial reference, and the
+// path must be TSan-clean.
+TEST(FaginDenseDifferential, ParallelScoringPathMatchesReference) {
+  Rng rng(13);
+  constexpr size_t kUniverse = 160;
+  constexpr size_t kLists = 70;
+  std::vector<InvertedIndex> store;
+  store.reserve(kLists);
+  std::vector<int32_t> positions(kUniverse);
+  for (size_t i = 0; i < kUniverse; ++i) {
+    positions[i] = static_cast<int32_t>(i);
+  }
+  for (size_t l = 0; l < kLists; ++l) {
+    rng.Shuffle(positions);
+    size_t present = kUniverse / 2 + rng.NextBelow(kUniverse / 2);
+    std::vector<ScoredEntry> entries;
+    entries.reserve(present);
+    for (size_t i = 0; i < present; ++i) {
+      entries.push_back({positions[i], rng.NextDouble()});
+    }
+    store.emplace_back(std::move(entries));
+  }
+  std::vector<const InvertedIndex*> lists;
+  for (const InvertedIndex& list : store) lists.push_back(&list);
+
+  std::vector<int32_t> allowed;
+  for (size_t pos = 0; pos < kUniverse; pos += 3) {
+    allowed.push_back(static_cast<int32_t>(pos));
+  }
+  for (TopKAlgorithm algorithm : {TopKAlgorithm::kScan, TopKAlgorithm::kFA}) {
+    for (MissingCellPolicy missing : kPolicies) {
+      for (bool restrict_targets : {false, true}) {
+        TopKOptions options;
+        options.k = 10;
+        options.missing = missing;
+        options.allowed = restrict_targets ? &allowed : nullptr;
+        options.universe_hint = kUniverse;
+        ExpectEnginesAgree(algorithm, lists, options);
+      }
+    }
+  }
+}
+
+// Negative list values disable NRA's monotone incremental top-k bookkeeping
+// (lower bounds may decrease); the per-check selection fallback must still
+// match the reference exactly.
+TEST(FaginDenseDifferential, NegativeValuesTakeNraFallbackPath) {
+  Rng rng(17);
+  constexpr size_t kUniverse = 64;
+  std::vector<InvertedIndex> store;
+  for (size_t l = 0; l < 6; ++l) {
+    std::vector<ScoredEntry> entries;
+    for (size_t pos = 0; pos < kUniverse; ++pos) {
+      if (rng.NextBernoulli(0.8)) {
+        entries.push_back(
+            {static_cast<int32_t>(pos), rng.NextDouble(-1.0, 1.0)});
+      }
+    }
+    store.emplace_back(std::move(entries));
+  }
+  std::vector<const InvertedIndex*> lists;
+  for (const InvertedIndex& list : store) lists.push_back(&list);
+
+  for (size_t k : {size_t{1}, size_t{5}, size_t{20}}) {
+    TopKOptions options;
+    options.k = k;
+    options.missing = MissingCellPolicy::kZero;
+    options.universe_hint = kUniverse;
+    ExpectEnginesAgree(TopKAlgorithm::kNRA, lists, options);
+  }
+  std::vector<int32_t> allowed = {1, 7, 9, 30, 55};
+  RunFullGrid(lists, kUniverse, allowed, 5);
+}
+
+// Error parity: both engines must reject the same invalid inputs.
+TEST(FaginDenseDifferential, ErrorCasesMatchReference) {
+  InvertedIndex list({{0, 0.5}, {1, 0.25}});
+  std::vector<const InvertedIndex*> one = {&list};
+  std::vector<HashedListView> one_view = BuildHashedViews(one);
+
+  {  // k == 0.
+    TopKOptions options;
+    options.k = 0;
+    for (TopKAlgorithm algorithm : kAlgorithms) {
+      EXPECT_FALSE(RunTopK(algorithm, one, options).ok());
+      EXPECT_FALSE(ReferenceRunTopK(algorithm, one_view, options).ok());
+    }
+  }
+  {  // No lists.
+    TopKOptions options;
+    std::vector<const InvertedIndex*> none;
+    std::vector<HashedListView> no_views;
+    for (TopKAlgorithm algorithm : kAlgorithms) {
+      EXPECT_FALSE(RunTopK(algorithm, none, options).ok());
+      EXPECT_FALSE(ReferenceRunTopK(algorithm, no_views, options).ok());
+    }
+  }
+  {  // NRA restrictions: kSkip and kLeastUnfair are rejected.
+    TopKOptions options;
+    options.missing = MissingCellPolicy::kSkip;
+    EXPECT_FALSE(FaginNRA(one, options).ok());
+    EXPECT_FALSE(ReferenceFaginNRA(one_view, options).ok());
+    options.missing = MissingCellPolicy::kZero;
+    options.direction = RankDirection::kLeastUnfair;
+    EXPECT_FALSE(FaginNRA(one, options).ok());
+    EXPECT_FALSE(ReferenceFaginNRA(one_view, options).ok());
+  }
+  {  // NRA's 64-list bitmask cap.
+    std::vector<InvertedIndex> store;
+    std::vector<const InvertedIndex*> many;
+    for (size_t i = 0; i < 65; ++i) {
+      store.emplace_back(std::vector<ScoredEntry>{{0, 0.5}});
+    }
+    for (const InvertedIndex& l : store) many.push_back(&l);
+    std::vector<HashedListView> many_views = BuildHashedViews(many);
+    TopKOptions options;
+    options.missing = MissingCellPolicy::kZero;
+    EXPECT_FALSE(FaginNRA(many, options).ok());
+    EXPECT_FALSE(ReferenceFaginNRA(many_views, options).ok());
+  }
+}
+
+// Empty lists (a cube column with no present cells) must be handled, not
+// crash, and agree across engines.
+TEST(FaginDenseDifferential, EmptyAndSingletonListsAgree) {
+  InvertedIndex empty({});
+  InvertedIndex single({{3, 0.75}});
+  std::vector<const InvertedIndex*> lists = {&empty, &single, &empty};
+  RunFullGrid(lists, 4, {3}, 2);
+}
+
+}  // namespace
+}  // namespace fairjob
