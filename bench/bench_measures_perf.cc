@@ -1,17 +1,30 @@
 // Throughput of the unfairness measures and their ranking-distance
 // primitives: full/top-k Kendall-Tau, Jaccard, 1-D and general EMD, and the
-// per-triple marketplace measures on a 50-worker ranking.
+// per-triple marketplace measures on a 50-worker ranking. With
+// --batch_compare, instead times one search cell's distance-matrix phase on
+// the batched engine (ranking/list_batch.h) against the per-pair reference
+// kernels, verifies bitwise-identical matrices, and writes
+// BENCH_search_batch.json.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
 #include <memory>
 #include <numeric>
+#include <string>
 
+#include "bench_util.h"
 #include "common/rng.h"
 #include "core/unfairness_measures.h"
 #include "ranking/emd.h"
+#include "ranking/footrule.h"
 #include "ranking/jaccard.h"
 #include "ranking/kendall_tau.h"
+#include "ranking/list_batch.h"
+#include "ranking/rbo.h"
 
 namespace fairjob {
 namespace {
@@ -134,6 +147,237 @@ void BM_MarketplaceMeasure(benchmark::State& state) {
       static_cast<int64_t>(fixture->space->num_groups()));
 }
 
+// --- batched vs per-pair search kernels (--batch_compare) --------------------
+
+uint64_t BitsOf(double d) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+// Best-of-`reps` average milliseconds per call of `fn` over `iters` calls.
+double BestMsPerRun(int reps, int iters, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) fn();
+    auto t1 = std::chrono::steady_clock::now();
+    double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count() / iters;
+    best = std::min(best, ms);
+  }
+  return best;
+}
+
+// The five kernels behind EvaluateSearchColumn's distance matrix. kKtFull is
+// not on the cube path (the cube uses the top-k generalization) and is
+// reported unenforced.
+enum class BatchKernel { kKtTopK, kJaccard, kFootrule, kRbo, kKtFull };
+
+Result<double> ReferencePair(BatchKernel kernel, const RankedList& a,
+                             const RankedList& b,
+                             const MeasureOptions& options) {
+  switch (kernel) {
+    case BatchKernel::kKtTopK:
+      return SearchListDistance(SearchMeasure::kKendallTau, a, b, options);
+    case BatchKernel::kJaccard:
+      return SearchListDistance(SearchMeasure::kJaccard, a, b, options);
+    case BatchKernel::kFootrule:
+      return SearchListDistance(SearchMeasure::kFootrule, a, b, options);
+    case BatchKernel::kRbo:
+      return SearchListDistance(SearchMeasure::kRbo, a, b, options);
+    case BatchKernel::kKtFull:
+      return KendallTauDistance(a, b);
+  }
+  return Status::InvalidArgument("unknown kernel");
+}
+
+Result<double> BatchPair(BatchKernel kernel, const ListDistanceBatch& batch,
+                         size_t i, size_t j, const MeasureOptions& options,
+                         ListDistanceBatch::Scratch* scratch) {
+  switch (kernel) {
+    case BatchKernel::kKtTopK:
+      return batch.KendallTauTopK(i, j, options.kendall_penalty, scratch);
+    case BatchKernel::kJaccard:
+      return batch.Jaccard(i, j);
+    case BatchKernel::kFootrule:
+      return batch.FootruleTopK(i, j);
+    case BatchKernel::kRbo:
+      return batch.Rbo(i, j, options.rbo_persistence);
+    case BatchKernel::kKtFull:
+      return batch.KendallTauFull(i, j, scratch);
+  }
+  return Status::InvalidArgument("unknown kernel");
+}
+
+// Times one search cell's distance-matrix phase — all n(n−1)/2 upper-triangle
+// pairs of n personalized result lists — on the batched engine (including
+// ListDistanceBatch::Make, which the cube pays once per cell) against the
+// per-pair reference kernels, verifies the two matrices are bitwise
+// identical, and writes BENCH_search_batch.json. The four cube measures
+// carry an enforced speedup bar: the process exits non-zero when the batch
+// engine is not at least `kSpeedupBar` times faster, or when any identity
+// check fails.
+constexpr double kSpeedupBar = 2.0;
+
+int BatchCompareMain(bool smoke) {
+  struct Config {
+    const char* name;
+    BatchKernel kernel;
+    size_t num_lists;  // users in the cell → n(n−1)/2 pairs
+    size_t k;          // list length (paper-realistic Google top-k ≈ 20)
+    bool enforce;      // carries the >= kSpeedupBar bar
+    int iters;
+  };
+  const Config configs[] = {
+      {"kendall_topk", BatchKernel::kKtTopK, smoke ? size_t{10} : size_t{30},
+       20, true, smoke ? 5 : 20},
+      {"jaccard", BatchKernel::kJaccard, smoke ? size_t{10} : size_t{30}, 20,
+       true, smoke ? 20 : 100},
+      {"footrule", BatchKernel::kFootrule, smoke ? size_t{10} : size_t{30},
+       20, true, smoke ? 20 : 100},
+      {"rbo", BatchKernel::kRbo, smoke ? size_t{10} : size_t{30}, 20, true,
+       smoke ? 20 : 100},
+      {"kendall_full", BatchKernel::kKtFull, smoke ? size_t{10} : size_t{30},
+       50, false, smoke ? 10 : 50},
+  };
+  const int reps = smoke ? 3 : 5;
+  MeasureOptions options;  // paper defaults: penalty 0.5, persistence 0.9
+
+  bench::PrintTitle(
+      std::string("Batched search kernels vs per-pair reference (") +
+      (smoke ? "smoke" : "full") + ")");
+  std::vector<std::vector<std::string>> rows;
+  std::string json = std::string("{\n  \"bench\": \"search_batch\",\n") +
+                     "  \"mode\": \"" + (smoke ? "smoke" : "full") +
+                     "\",\n  \"speedup_bar\": " + bench::Fmt(kSpeedupBar, 1) +
+                     ",\n  \"configs\": [\n";
+  bool failed = false;
+
+  for (size_t c = 0; c < sizeof(configs) / sizeof(configs[0]); ++c) {
+    const Config& config = configs[c];
+    // Personalized result lists of one cell: prefixes of shuffled pools over
+    // a 2k universe (full Kendall-Tau needs a shared item set, so there the
+    // lists are permutations of one pool).
+    Rng rng(20190715 + static_cast<uint64_t>(c));
+    std::vector<RankedList> lists;
+    RankedList base = RandomPermutation(2 * config.k, &rng);
+    for (size_t l = 0; l < config.num_lists; ++l) {
+      if (config.kernel == BatchKernel::kKtFull) {
+        RankedList perm(base.begin(), base.begin() +
+                                          static_cast<long>(config.k));
+        rng.Shuffle(perm);
+        lists.push_back(perm);
+      } else {
+        RankedList pool = base;
+        rng.Shuffle(pool);
+        lists.push_back(RankedList(pool.begin(),
+                                   pool.begin() +
+                                       static_cast<long>(config.k)));
+      }
+    }
+    std::vector<const RankedList*> ptrs;
+    for (const RankedList& l : lists) ptrs.push_back(&l);
+    size_t n = lists.size();
+    size_t num_pairs = n * (n - 1) / 2;
+
+    auto fill_batch = [&](std::vector<double>* tri) -> Status {
+      FAIRJOB_ASSIGN_OR_RETURN(ListDistanceBatch batch,
+                               ListDistanceBatch::Make(ptrs));
+      ListDistanceBatch::Scratch scratch;
+      size_t idx = 0;
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t j = i + 1; j < n; ++j, ++idx) {
+          FAIRJOB_ASSIGN_OR_RETURN(
+              (*tri)[idx],
+              BatchPair(config.kernel, batch, i, j, options, &scratch));
+        }
+      }
+      return Status::OK();
+    };
+    auto fill_reference = [&](std::vector<double>* tri) -> Status {
+      size_t idx = 0;
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t j = i + 1; j < n; ++j, ++idx) {
+          FAIRJOB_ASSIGN_OR_RETURN(
+              (*tri)[idx],
+              ReferencePair(config.kernel, lists[i], lists[j], options));
+        }
+      }
+      return Status::OK();
+    };
+
+    // Correctness gate first: bitwise-identical distance matrices.
+    std::vector<double> batch_tri(num_pairs, 0.0);
+    std::vector<double> ref_tri(num_pairs, 0.0);
+    Status batch_ok = fill_batch(&batch_tri);
+    Status ref_ok = fill_reference(&ref_tri);
+    if (!batch_ok.ok() || !ref_ok.ok()) {
+      std::fprintf(stderr, "%s: run failed: %s / %s\n", config.name,
+                   batch_ok.ToString().c_str(), ref_ok.ToString().c_str());
+      return 1;
+    }
+    bool identical = true;
+    for (size_t idx = 0; identical && idx < num_pairs; ++idx) {
+      identical = BitsOf(batch_tri[idx]) == BitsOf(ref_tri[idx]);
+    }
+    if (!identical) {
+      std::fprintf(stderr, "%s: batch/reference matrices diverge\n",
+                   config.name);
+      failed = true;
+    }
+
+    double batch_ms = BestMsPerRun(reps, config.iters, [&] {
+      std::vector<double> tri(num_pairs, 0.0);
+      Status status = fill_batch(&tri);
+      benchmark::DoNotOptimize(status);
+      benchmark::DoNotOptimize(tri.data());
+    });
+    double ref_ms = BestMsPerRun(reps, config.iters, [&] {
+      std::vector<double> tri(num_pairs, 0.0);
+      Status status = fill_reference(&tri);
+      benchmark::DoNotOptimize(status);
+      benchmark::DoNotOptimize(tri.data());
+    });
+    double speedup = batch_ms > 0.0 ? ref_ms / batch_ms : 0.0;
+    bool below_bar = config.enforce && speedup < kSpeedupBar;
+    if (below_bar) {
+      std::fprintf(stderr, "%s: batch speedup %.2fx below the %.1fx bar\n",
+                   config.name, speedup, kSpeedupBar);
+      failed = true;
+    }
+
+    rows.push_back({config.name, std::to_string(n), std::to_string(config.k),
+                    std::to_string(num_pairs), bench::Fmt(batch_ms),
+                    bench::Fmt(ref_ms), bench::Fmt(speedup, 2) + "x",
+                    config.enforce ? (below_bar ? "FAIL" : "ok") : "-"});
+    json += std::string("    {\"name\": \"") + config.name +
+            "\", \"lists\": " + std::to_string(n) +
+            ", \"k\": " + std::to_string(config.k) +
+            ", \"pairs\": " + std::to_string(num_pairs) +
+            ", \"batch_ms\": " + bench::Fmt(batch_ms, 4) +
+            ", \"reference_ms\": " + bench::Fmt(ref_ms, 4) +
+            ", \"speedup\": " + bench::Fmt(speedup, 2) +
+            ", \"enforced\": " + (config.enforce ? "true" : "false") +
+            ", \"identical_results\": " + (identical ? "true" : "false") +
+            "}" +
+            (c + 1 < sizeof(configs) / sizeof(configs[0]) ? ",\n" : "\n");
+  }
+
+  bench::PrintTable(
+      {"config", "lists", "k", "pairs", "batch ms", "per-pair ms", "speedup",
+       "bar"},
+      rows);
+  json += "  ]\n}\n";
+  Status written = bench::WriteTextFile("BENCH_search_batch.json", json);
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote BENCH_search_batch.json\n");
+  return failed ? 1 : 0;
+}
+
 }  // namespace
 }  // namespace fairjob
 
@@ -159,4 +403,19 @@ BENCHMARK(fairjob::BM_MarketplaceMeasure)
     ->Arg(1)
     ->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+// --batch_compare short-circuits before google-benchmark sees the command
+// line (same convention as bench_fagin_perf); "--batch_compare --smoke" runs
+// the comparison at CI-smoke sizes.
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool batch_compare = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--batch_compare") == 0) batch_compare = true;
+  }
+  if (batch_compare) return fairjob::BatchCompareMain(smoke);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -9,6 +9,7 @@
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "ranking/jaccard.h"
+#include "ranking/list_batch.h"
 
 namespace fairjob {
 namespace {
@@ -230,13 +231,56 @@ Status EvaluateMarketplaceColumn(const MarketplaceDataset& data,
   return evaluated;
 }
 
+// Per-user group membership, hoisted across (query, location) columns:
+// whether a user matches a group label depends only on demographics, so the
+// O(G · users) label matching is done once per build instead of once per
+// column (observation *indices* still differ per column and are derived
+// from this table with flat probes).
+class SearchGroupMembership {
+ public:
+  SearchGroupMembership(const SearchDataset& data, const GroupSpace& space)
+      : num_users_(data.num_users()) {
+    size_t num_groups = space.num_groups();
+    member_.assign(num_groups * num_users_, 0);
+    for (size_t g = 0; g < num_groups; ++g) {
+      const GroupLabel& label = space.label(static_cast<GroupId>(g));
+      for (size_t u = 0; u < num_users_; ++u) {
+        if (label.Matches(data.user_demographics(static_cast<UserId>(u)))) {
+          member_[g * num_users_ + u] = 1;
+        }
+      }
+    }
+  }
+
+  bool Matches(GroupId g, UserId u) const {
+    return member_[static_cast<size_t>(g) * num_users_ +
+                   static_cast<size_t>(u)] != 0;
+  }
+
+ private:
+  size_t num_users_;
+  std::vector<uint8_t> member_;
+};
+
+// Index of the (i, j) entry, i < j, in an upper-triangle row-major layout
+// over n items: row i starts after the i rows above it, which hold
+// (n-1) + (n-2) + ... + (n-i) entries.
+inline size_t TriangleIndex(size_t i, size_t j, size_t n) {
+  return i * (2 * n - i - 1) / 2 + (j - i - 1);
+}
+
 // Search-side twin: evaluates one (query, location) column over `groups`
-// into `out`, computing the pairwise list-distance matrix once per cell and
-// reusing it across the whole group axis. With `parallelism` > 1 the O(n²)
-// distance rows are computed on the pool, so a few large cells no longer
-// serialize a whole build. Semantics are identical to calling
-// SearchUnfairness per triple (cross-checked in tests).
+// into `out`, filling the pairwise list-distance matrix once per cell via
+// the batched engine (ranking/list_batch.h) — lists interned once, pair
+// kernels allocation-free — and reusing it across the whole group axis.
+// Only the upper triangle is stored (TriangleIndex), halving the matrix
+// memory. With `parallelism` > 1 the O(n²) distance rows are computed on
+// the pool, so a few large cells no longer serialize a whole build.
+// Semantics are identical to calling SearchUnfairness per triple — bitwise,
+// not approximately (cross-checked in tests/list_batch_test.cc and
+// bench_measures_perf --batch_compare).
 Status EvaluateSearchColumn(const SearchDataset& data, const GroupSpace& space,
+                            const SearchGroupMembership& membership,
                             SearchMeasure measure,
                             const MeasureOptions& options, QueryId query,
                             LocationId location,
@@ -254,6 +298,18 @@ Status EvaluateSearchColumn(const SearchDataset& data, const GroupSpace& space,
       metrics.counter("cube.search.cells_present");
   static Counter* const cells_missing =
       metrics.counter("cube.search.cells_missing");
+  static Counter* const triangle_entries =
+      metrics.counter("cube.search.batch.triangle_entries");
+  static Counter* const colsum_vectors =
+      metrics.counter("cube.search.batch.colsum_vectors");
+  // The batch path still feeds the per-measure invocation counters (one
+  // bulk Add per cell); per-pair latency sampling is intentionally absent —
+  // cube.search.distance_matrix_us covers the whole phase.
+  static Counter* const measure_invocations[4] = {
+      metrics.counter("measure.kendall_tau.invocations"),
+      metrics.counter("measure.jaccard.invocations"),
+      metrics.counter("measure.footrule.invocations"),
+      metrics.counter("measure.rbo.invocations")};
   ScopedTimer column_timer(column_us);
   TraceSpan span("search_column", "cube");
 
@@ -265,40 +321,99 @@ Status EvaluateSearchColumn(const SearchDataset& data, const GroupSpace& space,
     return Status::OK();
   }
   size_t n = obs->size();
+  if (n == 1) {
+    // No pairs: a lone user cannot match both a group and one of its
+    // comparables, so every cell of the column is undefined.
+    cells_missing->Add(out->size());
+    return Status::OK();
+  }
 
-  // Flat n × n distance matrix (row-major); only i < j is computed, the
-  // mirror entry is written alongside.
-  std::vector<double> dist(n * n, 0.0);
+  std::vector<const RankedList*> lists;
+  lists.reserve(n);
+  for (const SearchObservation& o : *obs) lists.push_back(&o.results);
+  FAIRJOB_ASSIGN_OR_RETURN(ListDistanceBatch batch,
+                           ListDistanceBatch::Make(lists));
+
+  // Upper-triangle distance matrix, rows pool-parallel; each row reuses one
+  // Scratch across its pair kernels.
+  size_t num_pairs = n * (n - 1) / 2;
+  std::vector<double> tri(num_pairs, 0.0);
   Status dist_status = [&] {
     ScopedTimer matrix_timer(matrix_us);
     TraceSpan matrix_span("distance_matrix", "cube");
     return ParallelFor(n, parallelism, [&](size_t i) -> Status {
+      ListDistanceBatch::Scratch scratch;
       for (size_t j = i + 1; j < n; ++j) {
-        Result<double> d = SearchListDistance(measure, (*obs)[i].results,
-                                              (*obs)[j].results, options);
+        Result<double> d = [&]() -> Result<double> {
+          switch (measure) {
+            case SearchMeasure::kKendallTau:
+              return batch.KendallTauTopK(i, j, options.kendall_penalty,
+                                          &scratch);
+            case SearchMeasure::kJaccard:
+              return batch.Jaccard(i, j);
+            case SearchMeasure::kFootrule:
+              return batch.FootruleTopK(i, j);
+            case SearchMeasure::kRbo:
+              return batch.Rbo(i, j, options.rbo_persistence);
+          }
+          return Status::InvalidArgument("unknown search measure");
+        }();
         if (!d.ok()) return d.status();
-        dist[i * n + j] = dist[j * n + i] = *d;
+        tri[TriangleIndex(i, j, n)] = *d;
       }
       return Status::OK();
     });
   }();
   FAIRJOB_RETURN_IF_ERROR(dist_status);
+  size_t measure_index = static_cast<size_t>(measure);
+  if (measure_index < 4) measure_invocations[measure_index]->Add(num_pairs);
+  triangle_entries->Add(num_pairs);
   ScopedTimer group_timer(group_eval_us);
 
-  // Observation indices per group, for every group that can appear as a
-  // cube row or as someone's comparable.
-  std::unordered_map<GroupId, std::vector<size_t>> members;
+  auto dist_at = [&](size_t x, size_t y) -> double {
+    if (x == y) return 0.0;
+    return x < y ? tri[TriangleIndex(x, y, n)] : tri[TriangleIndex(y, x, n)];
+  };
+
+  // Observation indices per group (lazy; flat membership probes, no label
+  // matching) for every group appearing as a cube row or as a comparable.
+  size_t num_groups = space.num_groups();
+  std::vector<std::vector<size_t>> members(num_groups);
+  std::vector<uint8_t> members_done(num_groups, 0);
   auto members_of = [&](GroupId group) -> const std::vector<size_t>& {
-    auto it = members.find(group);
-    if (it != members.end()) return it->second;
-    std::vector<size_t> indices;
-    const GroupLabel& label = space.label(group);
-    for (size_t i = 0; i < n; ++i) {
-      if (label.Matches(data.user_demographics((*obs)[i].user))) {
-        indices.push_back(i);
+    size_t gi = static_cast<size_t>(group);
+    if (!members_done[gi]) {
+      members_done[gi] = 1;
+      for (size_t i = 0; i < n; ++i) {
+        if (membership.Matches(group, (*obs)[i].user)) {
+          members[gi].push_back(i);
+        }
       }
     }
-    return members.emplace(group, std::move(indices)).first->second;
+    return members[gi];
+  };
+
+  // Column-sum vectors, one per comparable group (lazy, shared across every
+  // row that lists the group as comparable): colsum[g'][i] = Σ_{b ∈ g'}
+  // D(i, b) with b ascending, so a group row later costs O(|own|) instead
+  // of O(|own| · |theirs|). The b-ascending inner order keeps each entry
+  // bitwise-identical to the per-triple row sums of SearchUnfairness.
+  std::vector<std::vector<double>> colsum(num_groups);
+  std::vector<uint8_t> colsum_done(num_groups, 0);
+  auto colsum_of = [&](GroupId group) -> const std::vector<double>& {
+    size_t gi = static_cast<size_t>(group);
+    if (!colsum_done[gi]) {
+      colsum_done[gi] = 1;
+      colsum[gi].assign(n, 0.0);
+      for (size_t b : members[gi]) {
+        for (size_t i = 0; i < n; ++i) {
+          if (i == b) continue;  // never queried: groups are disjoint
+          colsum[gi][i] += dist_at(i, b);
+        }
+      }
+      colsum_vectors->Add(1);
+    }
+    return colsum[gi];
   };
 
   for (size_t g = 0; g < groups.size(); ++g) {
@@ -310,10 +425,9 @@ Status EvaluateSearchColumn(const SearchDataset& data, const GroupSpace& space,
     for (GroupId other : space.Comparables(group)) {
       const std::vector<size_t>& theirs = members_of(other);
       if (theirs.empty()) continue;
+      const std::vector<double>& sums = colsum_of(other);
       double pair_sum = 0.0;
-      for (size_t a : own) {
-        for (size_t b : theirs) pair_sum += dist[a * n + b];
-      }
+      for (size_t a : own) pair_sum += sums[a];
       group_sum += pair_sum / static_cast<double>(own.size() * theirs.size());
       ++group_count;
     }
@@ -435,12 +549,13 @@ Status RefreshSearchColumn(const SearchDataset& data, const GroupSpace& space,
   if (options.kendall_penalty < 0.0 || options.kendall_penalty > 1.0) {
     return Status::InvalidArgument("kendall_penalty must lie in [0, 1]");
   }
+  SearchGroupMembership membership(data, space);
   return RefreshColumn(
       cube, query_pos, location_pos,
       [&](QueryId q, LocationId l, const std::vector<GroupId>& groups,
           std::vector<std::optional<double>>* column) {
-        return EvaluateSearchColumn(data, space, measure, options, q, l,
-                                    groups, column, parallelism);
+        return EvaluateSearchColumn(data, space, membership, measure, options,
+                                    q, l, groups, column, parallelism);
       });
 }
 
@@ -464,6 +579,11 @@ Result<UnfairnessCube> BuildSearchCube(const SearchDataset& data,
       UnfairnessCube::Make(resolved.groups, resolved.queries,
                            resolved.locations));
 
+  // Group membership depends only on user demographics, never on the
+  // (query, location) column, so the label matching is hoisted out of the
+  // column loop and shared read-only across all column tasks.
+  SearchGroupMembership membership(data, space);
+
   // Unlike the marketplace path, pairwise list distances dominate here, so
   // the within-cell rows are parallelized too (nested ParallelFor calls on
   // the shared pool): a few large (query, location) cells no longer
@@ -473,7 +593,7 @@ Result<UnfairnessCube> BuildSearchCube(const SearchDataset& data,
       [&](size_t q, size_t l) -> Status {
         std::vector<std::optional<double>> column(resolved.groups.size());
         FAIRJOB_RETURN_IF_ERROR(EvaluateSearchColumn(
-            data, space, measure, options, resolved.queries[q],
+            data, space, membership, measure, options, resolved.queries[q],
             resolved.locations[l], resolved.groups, &column, parallelism));
         for (size_t g = 0; g < column.size(); ++g) {
           if (column[g].has_value()) cube.Set(g, q, l, *column[g]);

@@ -399,17 +399,21 @@ Result<double> SearchUnfairness(const SearchDataset& data,
   for (GroupId other : space.Comparables(g)) {
     std::vector<const RankedList*> theirs = lists_of_group(other);
     if (theirs.empty()) continue;
+    // Row-partial-sum order: each of `own`'s rows is accumulated on its own
+    // before joining the pair total. This is the same association the batched
+    // cube path uses (per-comparable-group column sums, see
+    // EvaluateSearchColumn), which keeps the two bitwise identical.
     double pair_sum = 0.0;
-    size_t pair_count = 0;
     for (const RankedList* a : own) {
+      double row_sum = 0.0;
       for (const RankedList* b : theirs) {
         FAIRJOB_ASSIGN_OR_RETURN(double d,
                                  SearchListDistance(measure, *a, *b, options));
-        pair_sum += d;
-        ++pair_count;
+        row_sum += d;
       }
+      pair_sum += row_sum;
     }
-    group_sum += pair_sum / static_cast<double>(pair_count);
+    group_sum += pair_sum / static_cast<double>(own.size() * theirs.size());
     ++group_count;
   }
   if (group_count == 0) {

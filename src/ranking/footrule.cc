@@ -1,23 +1,16 @@
 #include "ranking/footrule.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <unordered_map>
 
+#include "ranking/list_internal.h"
+
 namespace fairjob {
 namespace {
 
-Result<std::unordered_map<int32_t, size_t>> PositionsOf(const RankedList& list) {
-  std::unordered_map<int32_t, size_t> pos;
-  pos.reserve(list.size());
-  for (size_t i = 0; i < list.size(); ++i) {
-    if (!pos.emplace(list[i], i + 1).second) {  // 1-based positions
-      return Status::InvalidArgument("ranked list contains duplicate item id " +
-                                     std::to_string(list[i]));
-    }
-  }
-  return pos;
-}
+using ranking_internal::RankPositions;
 
 }  // namespace
 
@@ -30,15 +23,16 @@ Result<double> FootruleDistance(const RankedList& a, const RankedList& b) {
         "full footrule needs lists over the same item set; use "
         "FootruleTopK for top-k lists");
   }
-  FAIRJOB_ASSIGN_OR_RETURN(auto pos_a, PositionsOf(a));
-  FAIRJOB_ASSIGN_OR_RETURN(auto pos_b, PositionsOf(b));
+  FAIRJOB_ASSIGN_OR_RETURN(auto pos_a, RankPositions(a, 1));
+  FAIRJOB_ASSIGN_OR_RETURN(auto pos_b, RankPositions(b, 1));
   size_t n = a.size();
   uint64_t total = 0;
-  for (const auto& [item, pa] : pos_a) {
-    auto it = pos_b.find(item);
+  for (size_t r = 0; r < n; ++r) {
+    size_t pa = r + 1;  // 1-based position of a[r] in a
+    auto it = pos_b.find(a[r]);
     if (it == pos_b.end()) {
       return Status::InvalidArgument("lists rank different item sets (item " +
-                                     std::to_string(item) + " missing)");
+                                     std::to_string(a[r]) + " missing)");
     }
     total += static_cast<uint64_t>(
         std::llabs(static_cast<long long>(pa) -
@@ -55,20 +49,26 @@ Result<double> FootruleTopK(const RankedList& a, const RankedList& b) {
   if (a.empty() || b.empty()) {
     return Status::InvalidArgument("footrule needs non-empty lists");
   }
-  FAIRJOB_ASSIGN_OR_RETURN(auto pos_a, PositionsOf(a));
-  FAIRJOB_ASSIGN_OR_RETURN(auto pos_b, PositionsOf(b));
+  FAIRJOB_ASSIGN_OR_RETURN(auto pos_a, RankPositions(a, 1));
+  FAIRJOB_ASSIGN_OR_RETURN(auto pos_b, RankPositions(b, 1));
   double la = static_cast<double>(a.size()) + 1.0;  // virtual position ℓ_a
   double lb = static_cast<double>(b.size()) + 1.0;
 
+  // Canonical summation order — a's items in rank order, then b-only items
+  // in rank order. The batched kernel (ranking/list_batch.h) accumulates the
+  // same terms in the same order, which keeps the two paths bitwise
+  // identical (iterating the hash maps here would tie the rounding to their
+  // bucket layout instead).
   double total = 0.0;
-  for (const auto& [item, pa] : pos_a) {
-    auto it = pos_b.find(item);
+  for (size_t r = 0; r < a.size(); ++r) {
+    size_t pa = r + 1;
+    auto it = pos_b.find(a[r]);
     double pb = it == pos_b.end() ? lb : static_cast<double>(it->second);
     total += std::fabs(static_cast<double>(pa) - pb);
   }
-  for (const auto& [item, pb] : pos_b) {
-    if (pos_a.count(item) == 0) {
-      total += std::fabs(la - static_cast<double>(pb));
+  for (size_t r = 0; r < b.size(); ++r) {
+    if (pos_a.count(b[r]) == 0) {
+      total += std::fabs(la - static_cast<double>(r + 1));
     }
   }
 

@@ -2,23 +2,13 @@
 
 #include <algorithm>
 #include <unordered_map>
-#include <unordered_set>
+
+#include "ranking/list_internal.h"
 
 namespace fairjob {
 namespace {
 
-// Returns a rank lookup (item -> position) or an error on duplicates.
-Result<std::unordered_map<int32_t, size_t>> PositionsOf(const RankedList& list) {
-  std::unordered_map<int32_t, size_t> pos;
-  pos.reserve(list.size());
-  for (size_t i = 0; i < list.size(); ++i) {
-    if (!pos.emplace(list[i], i).second) {
-      return Status::InvalidArgument("ranked list contains duplicate item id " +
-                                     std::to_string(list[i]));
-    }
-  }
-  return pos;
-}
+using ranking_internal::RankPositions;
 
 uint64_t MergeCount(std::vector<int32_t>& v, std::vector<int32_t>& scratch,
                     size_t lo, size_t hi) {
@@ -46,6 +36,12 @@ uint64_t MergeCount(std::vector<int32_t>& v, std::vector<int32_t>& scratch,
 
 }  // namespace
 
+uint64_t CountInversionsInPlace(std::vector<int32_t>& v,
+                                std::vector<int32_t>& scratch) {
+  if (scratch.size() < v.size()) scratch.resize(v.size());
+  return MergeCount(v, scratch, 0, v.size());
+}
+
 uint64_t CountInversions(std::vector<int32_t> v) {
   std::vector<int32_t> scratch(v.size());
   return MergeCount(v, scratch, 0, v.size());
@@ -60,21 +56,25 @@ Result<double> KendallTauDistance(const RankedList& a, const RankedList& b) {
         "full Kendall-Tau needs lists over the same item set; use "
         "KendallTauTopK for top-k lists");
   }
-  FAIRJOB_ASSIGN_OR_RETURN(auto pos_a, PositionsOf(a));
+  FAIRJOB_ASSIGN_OR_RETURN(auto pos_a, RankPositions(a, 0));
   // Rewrite b in terms of a's positions; discordant pairs become inversions.
+  // a's positions are distinct, so a duplicate in b surfaces as a repeated
+  // mapped position — a flat byte vector validates b without a second hash
+  // set per call.
   std::vector<int32_t> mapped;
   mapped.reserve(b.size());
-  std::unordered_set<int32_t> seen;
+  std::vector<uint8_t> seen_pos(a.size(), 0);
   for (int32_t item : b) {
     auto it = pos_a.find(item);
     if (it == pos_a.end()) {
       return Status::InvalidArgument("lists rank different item sets (item " +
                                      std::to_string(item) + " missing)");
     }
-    if (!seen.insert(item).second) {
+    if (seen_pos[it->second] != 0) {
       return Status::InvalidArgument("ranked list contains duplicate item id " +
                                      std::to_string(item));
     }
+    seen_pos[it->second] = 1;
     mapped.push_back(static_cast<int32_t>(it->second));
   }
   size_t n = a.size();
@@ -97,8 +97,8 @@ Result<double> KendallTauTopK(const RankedList& a, const RankedList& b,
   if (p < 0.0 || p > 1.0) {
     return Status::InvalidArgument("penalty p must lie in [0, 1]");
   }
-  FAIRJOB_ASSIGN_OR_RETURN(auto pos_a, PositionsOf(a));
-  FAIRJOB_ASSIGN_OR_RETURN(auto pos_b, PositionsOf(b));
+  FAIRJOB_ASSIGN_OR_RETURN(auto pos_a, RankPositions(a, 0));
+  FAIRJOB_ASSIGN_OR_RETURN(auto pos_b, RankPositions(b, 0));
 
   // Partition the union: Z (both), S (only a), T (only b).
   size_t z = 0;
@@ -110,8 +110,12 @@ Result<double> KendallTauTopK(const RankedList& a, const RankedList& b,
   double penalty = 0.0;
 
   // Case 1 + case 2 contributions, via explicit pair scan over the union.
-  // Sizes are top-k lists (k <= a few hundred), so the quadratic scan is both
-  // simple and fast enough; the O(n log n) path exists for full permutations.
+  // This per-pair path rebuilds the position maps on every call; when many
+  // lists of one cell are compared pairwise, ListDistanceBatch
+  // (ranking/list_batch.h) interns each list once and runs the same pair
+  // scan over flat arrays — it supersedes this function on that workload
+  // and is kept bitwise-identical to it (the penalty accumulation below is
+  // the contract both sides implement).
   std::vector<int32_t> union_items;
   union_items.reserve(a.size() + only_b);
   union_items.insert(union_items.end(), a.begin(), a.end());

@@ -41,6 +41,12 @@ Result<double> KendallTauTopK(const RankedList& a, const RankedList& b,
 // benchmarks. O(n log n).
 uint64_t CountInversions(std::vector<int32_t> v);
 
+// Allocation-free variant for batched kernels: sorts `v` in place, reusing
+// `scratch` (grown as needed, never shrunk) for the merge buffer. Identical
+// counts to CountInversions.
+uint64_t CountInversionsInPlace(std::vector<int32_t>& v,
+                                std::vector<int32_t>& scratch);
+
 }  // namespace fairjob
 
 #endif  // FAIRJOB_RANKING_KENDALL_TAU_H_

@@ -1,0 +1,343 @@
+#include "ranking/list_batch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace fairjob {
+namespace {
+
+// Position arrays are num_lists × universe ints; cap the arena at 2^28
+// entries (1 GiB) so a pathological cell fails loudly instead of thrashing.
+constexpr uint64_t kMaxArenaEntries = uint64_t{1} << 28;
+
+// `measure.batch.*` observability (docs/observability.md). Resolved once;
+// while metrics are disabled each hook costs one relaxed load.
+Counter* PairsEvaluated() {
+  static Counter* const counter =
+      MetricsRegistry::Global().counter("measure.batch.pairs_evaluated");
+  return counter;
+}
+Counter* ListsInterned() {
+  static Counter* const counter =
+      MetricsRegistry::Global().counter("measure.batch.lists_interned");
+  return counter;
+}
+Counter* ItemsInterned() {
+  static Counter* const counter =
+      MetricsRegistry::Global().counter("measure.batch.items_interned");
+  return counter;
+}
+LatencyHistogram* MakeLatency() {
+  static LatencyHistogram* const histogram =
+      MetricsRegistry::Global().histogram("measure.batch.make_us");
+  return histogram;
+}
+
+}  // namespace
+
+Result<ListDistanceBatch> ListDistanceBatch::Make(
+    const std::vector<const RankedList*>& lists) {
+  ScopedTimer timer(MakeLatency());
+  ListDistanceBatch batch;
+  size_t n = lists.size();
+  batch.offsets_.reserve(n + 1);
+  batch.offsets_.push_back(0);
+
+  // Pass 1: intern every item id into the dense [0, U) universe and lay the
+  // lists out contiguously.
+  size_t total_items = 0;
+  for (const RankedList* list : lists) {
+    if (list == nullptr) {
+      return Status::InvalidArgument("list batch given a null list");
+    }
+    total_items += list->size();
+  }
+  std::unordered_map<int32_t, int32_t> dense_of;
+  dense_of.reserve(total_items);
+  batch.dense_.reserve(total_items);
+  for (size_t l = 0; l < n; ++l) {
+    const RankedList& list = *lists[l];
+    if (list.empty()) {
+      return Status::InvalidArgument(
+          "list " + std::to_string(l) +
+          " is empty; distance kernels need non-empty lists");
+    }
+    for (int32_t item : list) {
+      auto [it, inserted] = dense_of.emplace(
+          item, static_cast<int32_t>(batch.item_ids_.size()));
+      if (inserted) batch.item_ids_.push_back(item);
+      batch.dense_.push_back(it->second);
+    }
+    batch.offsets_.push_back(batch.dense_.size());
+  }
+
+  size_t universe = batch.item_ids_.size();
+  if (static_cast<uint64_t>(n) * universe > kMaxArenaEntries) {
+    return Status::InvalidArgument(
+        "list batch arena too large: " + std::to_string(n) + " lists x " +
+        std::to_string(universe) + " distinct items");
+  }
+
+  // Pass 2: per-list position arrays and membership bitmaps. A repeated
+  // dense id within one list is a duplicate — validated here once instead
+  // of once per pair.
+  batch.words_ = (universe + 63) / 64;
+  batch.pos_.assign(n * universe, -1);
+  batch.bits_.assign(n * batch.words_, 0);
+  for (size_t l = 0; l < n; ++l) {
+    int32_t* pos = batch.pos_.data() + l * universe;
+    uint64_t* bits = batch.bits_.data() + l * batch.words_;
+    const int32_t* ids = batch.dense_.data() + batch.offsets_[l];
+    size_t len = batch.offsets_[l + 1] - batch.offsets_[l];
+    for (size_t r = 0; r < len; ++r) {
+      int32_t u = ids[r];
+      if (pos[u] != -1) {
+        return Status::InvalidArgument(
+            "ranked list contains duplicate item id " +
+            std::to_string(batch.item_ids_[static_cast<size_t>(u)]));
+      }
+      pos[u] = static_cast<int32_t>(r);
+      bits[static_cast<size_t>(u) / 64] |= uint64_t{1}
+                                           << (static_cast<size_t>(u) % 64);
+    }
+  }
+
+  batch.stats_.lists_interned = n;
+  batch.stats_.items_interned = total_items;
+  batch.stats_.universe_size = universe;
+  ListsInterned()->Add(n);
+  ItemsInterned()->Add(total_items);
+  return batch;
+}
+
+Status ListDistanceBatch::CheckPair(size_t i, size_t j) const {
+  if (i >= num_lists() || j >= num_lists()) {
+    return Status::InvalidArgument("list index out of range");
+  }
+  return Status::OK();
+}
+
+Result<double> ListDistanceBatch::KendallTauFull(size_t i, size_t j,
+                                                 Scratch* scratch) const {
+  FAIRJOB_RETURN_IF_ERROR(CheckPair(i, j));
+  PairsEvaluated()->Add(1);
+  size_t na = list_size(i);
+  size_t nb = list_size(j);
+  if (na != nb) {
+    return Status::InvalidArgument(
+        "full Kendall-Tau needs lists over the same item set; use "
+        "KendallTauTopK for top-k lists");
+  }
+  const int32_t* pa = pos_.data() + i * universe_size();
+  const int32_t* db = dense_.data() + offsets_[j];
+  // Rewrite j's list in terms of i's positions (the reference's `mapped`
+  // vector); equal sizes and duplicate-free lists make "every item of j is
+  // ranked by i" equivalent to "same item set".
+  std::vector<int32_t>& mapped = scratch->mapped_;
+  mapped.clear();
+  for (size_t r = 0; r < nb; ++r) {
+    int32_t p = pa[db[r]];
+    if (p < 0) {
+      return Status::InvalidArgument(
+          "lists rank different item sets (item " +
+          std::to_string(item_ids_[static_cast<size_t>(db[r])]) + " missing)");
+    }
+    mapped.push_back(p);
+  }
+  if (na == 1) return 0.0;
+  uint64_t inv = CountInversionsInPlace(mapped, scratch->merge_);
+  double max_pairs =
+      static_cast<double>(na) * static_cast<double>(na - 1) / 2.0;
+  return static_cast<double>(inv) / max_pairs;
+}
+
+Result<double> ListDistanceBatch::KendallTauTopK(size_t i, size_t j, double p,
+                                                 Scratch* scratch) const {
+  FAIRJOB_RETURN_IF_ERROR(CheckPair(i, j));
+  if (p < 0.0 || p > 1.0) {
+    return Status::InvalidArgument("penalty p must lie in [0, 1]");
+  }
+  PairsEvaluated()->Add(1);
+  size_t na = list_size(i);
+  size_t nb = list_size(j);
+  const int32_t* pa = pos_.data() + i * universe_size();
+  const int32_t* pb = pos_.data() + j * universe_size();
+  const int32_t* da = dense_.data() + offsets_[i];
+  const int32_t* db = dense_.data() + offsets_[j];
+
+  // b-ranks over the union in the reference's order — a's items in rank
+  // order, then b-only items in rank order — with `sentinel` marking items
+  // absent from b (the reference's implicit below-everything rank).
+  const size_t sentinel = nb + 1000000;
+  std::vector<size_t>& rank_b = scratch->rank_b_;
+  if (rank_b.size() < na + nb) rank_b.resize(na + nb);
+  for (size_t r = 0; r < na; ++r) {
+    int32_t rb = pb[da[r]];
+    rank_b[r] = rb >= 0 ? static_cast<size_t>(rb) : sentinel;
+  }
+  size_t u = na;
+  for (size_t r = 0; r < nb; ++r) {
+    if (pa[db[r]] < 0) rank_b[u++] = r;
+  }
+
+  // The reference's 4-case pair scan, collapsed against this union layout.
+  // Positions x < na carry rank_a[x] = x (a's items in rank order), so for
+  // x < y the reference's rank_a[x] < rank_a[y] test is always true there
+  // and every case reduces to a rank_b comparison:
+  //  · x, y < na, both absent from b              → case 4, term p;
+  //  · x, y < na otherwise                        → case 1 (both in b) or
+  //    case 2 (one in b; the sentinel stands in for the absent rank): term
+  //    1.0 iff rank_b[x] ≥ rank_b[y];
+  //  · x < na ≤ y (y is b-only, real b-rank): case 2 when x ∈ b, case 3
+  //    (term 1.0) when not — and the sentinel makes both read
+  //    rank_b[x] ≥ rank_b[y];
+  //  · na ≤ x < y (both b-only)                   → case 4, term p.
+  // The scan emits exactly the reference's terms in the reference's (x, y)
+  // order, so the penalty stays bitwise-identical while each pair costs one
+  // comparison instead of the 4-flag case analysis.
+  double penalty = 0.0;
+  for (size_t x = 0; x < na; ++x) {
+    size_t rbx = rank_b[x];
+    for (size_t y = x + 1; y < na; ++y) {
+      size_t rby = rank_b[y];
+      if (rbx == sentinel && rby == sentinel) {
+        penalty += p;
+      } else if (rbx >= rby) {
+        penalty += 1.0;
+      }
+    }
+    for (size_t y = na; y < u; ++y) {
+      if (rbx >= rank_b[y]) penalty += 1.0;
+    }
+  }
+  for (size_t x = na; x < u; ++x) {
+    for (size_t y = x + 1; y < u; ++y) penalty += p;
+  }
+
+  auto pairs_within = [](size_t n) {
+    return static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+  };
+  double max_penalty = static_cast<double>(na) * static_cast<double>(nb) +
+                       p * (pairs_within(na) + pairs_within(nb));
+  if (max_penalty <= 0.0) return 0.0;
+  double d = penalty / max_penalty;
+  return std::min(1.0, std::max(0.0, d));
+}
+
+Result<double> ListDistanceBatch::Jaccard(size_t i, size_t j) const {
+  FAIRJOB_RETURN_IF_ERROR(CheckPair(i, j));
+  PairsEvaluated()->Add(1);
+  size_t na = list_size(i);
+  size_t nb = list_size(j);
+  size_t shorter = std::min(na, nb);
+  size_t inter = 0;
+  if (words_ <= shorter) {
+    // Dense universe: one popcount sweep over the bitmaps beats probing.
+    const uint64_t* ba = bits_.data() + i * words_;
+    const uint64_t* bb = bits_.data() + j * words_;
+    for (size_t w = 0; w < words_; ++w) {
+      inter += static_cast<size_t>(__builtin_popcountll(ba[w] & bb[w]));
+    }
+  } else {
+    // Sparse universe: probe the shorter list against the other's
+    // position array.
+    size_t probe = na <= nb ? i : j;
+    size_t other = na <= nb ? j : i;
+    const int32_t* ids = dense_.data() + offsets_[probe];
+    const int32_t* pos = pos_.data() + other * universe_size();
+    for (size_t r = 0; r < shorter; ++r) {
+      if (pos[ids[r]] >= 0) ++inter;
+    }
+  }
+  size_t uni = na + nb - inter;
+  // Same expression as JaccardIndex / JaccardDistance.
+  double index = static_cast<double>(inter) / static_cast<double>(uni);
+  return 1.0 - index;
+}
+
+Result<double> ListDistanceBatch::FootruleTopK(size_t i, size_t j) const {
+  FAIRJOB_RETURN_IF_ERROR(CheckPair(i, j));
+  PairsEvaluated()->Add(1);
+  size_t na = list_size(i);
+  size_t nb = list_size(j);
+  const int32_t* pa = pos_.data() + i * universe_size();
+  const int32_t* pb = pos_.data() + j * universe_size();
+  const int32_t* da = dense_.data() + offsets_[i];
+  const int32_t* db = dense_.data() + offsets_[j];
+  double la = static_cast<double>(na) + 1.0;  // virtual position ℓ_a
+  double lb = static_cast<double>(nb) + 1.0;
+
+  // Same canonical order as the per-pair FootruleTopK: a's items in rank
+  // order, then b-only items in rank order.
+  double total = 0.0;
+  for (size_t r = 0; r < na; ++r) {
+    size_t position_a = r + 1;
+    int32_t rb = pb[da[r]];
+    double position_b = rb >= 0 ? static_cast<double>(rb + 1) : lb;
+    total += std::fabs(static_cast<double>(position_a) - position_b);
+  }
+  for (size_t r = 0; r < nb; ++r) {
+    if (pa[db[r]] < 0) {
+      total += std::fabs(la - static_cast<double>(r + 1));
+    }
+  }
+
+  double max_total = 0.0;
+  for (size_t r = 1; r <= na; ++r) {
+    max_total += std::fabs(static_cast<double>(r) - lb);
+  }
+  for (size_t r = 1; r <= nb; ++r) {
+    max_total += std::fabs(static_cast<double>(r) - la);
+  }
+  if (max_total <= 0.0) return 0.0;
+  double d = total / max_total;
+  return std::min(1.0, std::max(0.0, d));
+}
+
+Result<double> ListDistanceBatch::Rbo(size_t i, size_t j, double p) const {
+  FAIRJOB_RETURN_IF_ERROR(CheckPair(i, j));
+  if (!(p > 0.0) || !(p < 1.0)) {
+    return Status::InvalidArgument("RBO persistence p must lie in (0, 1)");
+  }
+  PairsEvaluated()->Add(1);
+  size_t na = list_size(i);
+  size_t nb = list_size(j);
+  const int32_t* pa = pos_.data() + i * universe_size();
+  const int32_t* pb = pos_.data() + j * universe_size();
+  const int32_t* da = dense_.data() + offsets_[i];
+  const int32_t* db = dense_.data() + offsets_[j];
+  size_t depth = std::min(na, nb);
+
+  double weight = 1.0 - p;  // (1 − p)·p^{d−1} at d = 1
+  double sum = 0.0;
+  size_t overlap = 0;
+  double agreement_at_depth = 0.0;
+  for (size_t d = 0; d < depth; ++d) {
+    int32_t ai = da[d];
+    int32_t bi = db[d];
+    // The reference's incremental hash-set overlap, on position arrays:
+    // "a[d] already seen in b" is pos_b[a[d]] <= d (b[d] included, as the
+    // reference inserts before testing), and symmetrically.
+    if (ai == bi) {
+      ++overlap;
+    } else {
+      int32_t rb = pb[ai];
+      if (rb >= 0 && static_cast<size_t>(rb) <= d) ++overlap;
+      int32_t ra = pa[bi];
+      if (ra >= 0 && static_cast<size_t>(ra) <= d) ++overlap;
+    }
+    agreement_at_depth =
+        static_cast<double>(overlap) / static_cast<double>(d + 1);
+    sum += weight * agreement_at_depth;
+    weight *= p;
+  }
+  double rbo = sum + std::pow(p, static_cast<double>(depth)) *
+                         agreement_at_depth;
+  return 1.0 - std::clamp(rbo, 0.0, 1.0);
+}
+
+}  // namespace fairjob

@@ -1,0 +1,33 @@
+#ifndef FAIRJOB_RANKING_LIST_INTERNAL_H_
+#define FAIRJOB_RANKING_LIST_INTERNAL_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "ranking/kendall_tau.h"
+
+namespace fairjob {
+namespace ranking_internal {
+
+// Rank lookup (item -> base + rank) with duplicate validation, shared by the
+// per-pair kernels (kendall_tau.cc uses base 0, footrule.cc base 1 — the
+// papers' positions are 1-based). The batched engine (list_batch.h) performs
+// this validation once per list instead of once per pair.
+inline Result<std::unordered_map<int32_t, size_t>> RankPositions(
+    const RankedList& list, size_t base) {
+  std::unordered_map<int32_t, size_t> pos;
+  pos.reserve(list.size());
+  for (size_t i = 0; i < list.size(); ++i) {
+    if (!pos.emplace(list[i], base + i).second) {
+      return Status::InvalidArgument("ranked list contains duplicate item id " +
+                                     std::to_string(list[i]));
+    }
+  }
+  return pos;
+}
+
+}  // namespace ranking_internal
+}  // namespace fairjob
+
+#endif  // FAIRJOB_RANKING_LIST_INTERNAL_H_

@@ -1,0 +1,333 @@
+// Differential suite for the batched list-distance engine
+// (ranking/list_batch.h): every kernel must be *bitwise* identical to its
+// per-pair reference on inputs both paths accept, error paths must match,
+// and a full BuildSearchCube built on the batch path must agree with the
+// per-triple SearchUnfairness reference. Own binary so the sanitizer matrix
+// can run it directly (the shared-batch kernels must be TSan-clean).
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/group_space.h"
+#include "core/unfairness_cube.h"
+#include "core/unfairness_measures.h"
+#include "ranking/footrule.h"
+#include "ranking/jaccard.h"
+#include "ranking/kendall_tau.h"
+#include "ranking/list_batch.h"
+#include "ranking/rbo.h"
+#include "search/google_sim.h"
+
+namespace fairjob {
+namespace {
+
+uint64_t BitsOf(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+// Asserts bitwise equality — EXPECT_DOUBLE_EQ allows 4 ulps, which would
+// hide the exact-replication property the engine promises.
+void ExpectBitwise(const Result<double>& batch, const Result<double>& ref,
+                   const std::string& what) {
+  ASSERT_EQ(batch.ok(), ref.ok()) << what;
+  if (ref.ok()) {
+    EXPECT_EQ(BitsOf(*batch), BitsOf(*ref))
+        << what << ": batch=" << *batch << " ref=" << *ref;
+  } else {
+    EXPECT_EQ(batch.status().message(), ref.status().message()) << what;
+  }
+}
+
+// A prefix of a shuffled pool over `universe` items: lists drawn this way
+// overlap partially, fully, or not at all depending on the universe size.
+RankedList RandomList(Rng& rng, int32_t universe, size_t len) {
+  std::vector<int32_t> pool(static_cast<size_t>(universe));
+  for (int32_t v = 0; v < universe; ++v) pool[static_cast<size_t>(v)] = v;
+  rng.Shuffle(pool);
+  return RankedList(pool.begin(), pool.begin() + static_cast<long>(len));
+}
+
+std::vector<const RankedList*> Pointers(const std::vector<RankedList>& lists) {
+  std::vector<const RankedList*> ptrs;
+  for (const RankedList& l : lists) ptrs.push_back(&l);
+  return ptrs;
+}
+
+TEST(ListBatchTest, TopKKernelsMatchPerPairReferenceBitwise) {
+  Rng rng(20190715);
+  // Deliberately off-dyadic parameters: any summation-order drift between
+  // the two paths shows up in the last bits.
+  const double penalties[] = {0.0, 0.3, 0.5, 1.0};
+  const double persistences[] = {0.1, 0.9, 0.97};
+  for (int trial = 0; trial < 20; ++trial) {
+    // Small universes force heavy overlap, large ones near-disjoint lists;
+    // both regimes exercise every membership case of the pair scans.
+    int32_t universe = trial % 2 == 0 ? 12 : 60;
+    std::vector<RankedList> lists;
+    for (int l = 0; l < 6; ++l) {
+      lists.push_back(RandomList(rng, universe, 1 + rng.NextBelow(10)));
+    }
+    Result<ListDistanceBatch> batch = ListDistanceBatch::Make(Pointers(lists));
+    ASSERT_TRUE(batch.ok()) << batch.status().message();
+    ListDistanceBatch::Scratch scratch;
+    for (size_t i = 0; i < lists.size(); ++i) {
+      for (size_t j = 0; j < lists.size(); ++j) {
+        if (i == j) continue;
+        std::string pair = "trial " + std::to_string(trial) + " pair " +
+                           std::to_string(i) + "," + std::to_string(j);
+        for (double p : penalties) {
+          ExpectBitwise(batch->KendallTauTopK(i, j, p, &scratch),
+                        KendallTauTopK(lists[i], lists[j], p),
+                        pair + " kendall p=" + std::to_string(p));
+        }
+        ExpectBitwise(batch->Jaccard(i, j),
+                      JaccardDistance(lists[i], lists[j]), pair + " jaccard");
+        ExpectBitwise(batch->FootruleTopK(i, j),
+                      FootruleTopK(lists[i], lists[j]), pair + " footrule");
+        for (double p : persistences) {
+          ExpectBitwise(batch->Rbo(i, j, p),
+                        RboDistance(lists[i], lists[j], p),
+                        pair + " rbo p=" + std::to_string(p));
+        }
+      }
+    }
+  }
+}
+
+TEST(ListBatchTest, KendallTauFullMatchesReferenceOnPermutations) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t n = 1 + rng.NextBelow(12);
+    RankedList base = RandomList(rng, 40, n);
+    std::vector<RankedList> lists;
+    for (int l = 0; l < 4; ++l) {
+      RankedList perm = base;
+      rng.Shuffle(perm);
+      lists.push_back(perm);
+    }
+    Result<ListDistanceBatch> batch = ListDistanceBatch::Make(Pointers(lists));
+    ASSERT_TRUE(batch.ok()) << batch.status().message();
+    ListDistanceBatch::Scratch scratch;
+    for (size_t i = 0; i < lists.size(); ++i) {
+      for (size_t j = 0; j < lists.size(); ++j) {
+        if (i == j) continue;
+        ExpectBitwise(batch->KendallTauFull(i, j, &scratch),
+                      KendallTauDistance(lists[i], lists[j]),
+                      "trial " + std::to_string(trial) + " pair " +
+                          std::to_string(i) + "," + std::to_string(j));
+      }
+    }
+  }
+}
+
+TEST(ListBatchTest, KendallTauFullErrorsMatchReference) {
+  RankedList a = {1, 2, 3};
+  RankedList b = {1, 2, 4};       // same size, different set
+  RankedList shorter = {1, 2};    // size mismatch
+  std::vector<RankedList> lists = {a, b, shorter};
+  Result<ListDistanceBatch> batch = ListDistanceBatch::Make(Pointers(lists));
+  ASSERT_TRUE(batch.ok());
+  ListDistanceBatch::Scratch scratch;
+  ExpectBitwise(batch->KendallTauFull(0, 1, &scratch), KendallTauDistance(a, b),
+                "different item sets");
+  ExpectBitwise(batch->KendallTauFull(0, 2, &scratch),
+                KendallTauDistance(a, shorter), "size mismatch");
+}
+
+TEST(ListBatchTest, SingletonListsMatchReference) {
+  RankedList same = {42};
+  RankedList other = {7};
+  std::vector<RankedList> lists = {same, other, same};
+  Result<ListDistanceBatch> batch = ListDistanceBatch::Make(Pointers(lists));
+  ASSERT_TRUE(batch.ok());
+  ListDistanceBatch::Scratch scratch;
+  for (size_t i : {size_t{0}, size_t{2}}) {
+    size_t j = 1;
+    ExpectBitwise(batch->KendallTauTopK(i, j, 0.5, &scratch),
+                  KendallTauTopK(lists[i], lists[j], 0.5), "kt disjoint");
+    ExpectBitwise(batch->Jaccard(i, j), JaccardDistance(lists[i], lists[j]),
+                  "jaccard disjoint");
+    ExpectBitwise(batch->FootruleTopK(i, j), FootruleTopK(lists[i], lists[j]),
+                  "footrule disjoint");
+    ExpectBitwise(batch->Rbo(i, j, 0.9), RboDistance(lists[i], lists[j], 0.9),
+                  "rbo disjoint");
+  }
+  // Two identical singletons: max_penalty degenerates to 0 → defined as 0.
+  ExpectBitwise(batch->KendallTauTopK(0, 2, 0.0, &scratch),
+                KendallTauTopK(same, same, 0.0), "kt identical singleton");
+  ExpectBitwise(batch->KendallTauFull(0, 2, &scratch),
+                KendallTauDistance(same, same), "kt-full identical singleton");
+}
+
+TEST(ListBatchTest, MakeRejectsMalformedLists) {
+  RankedList ok_list = {1, 2, 3};
+  RankedList dup = {5, 6, 5};
+  RankedList empty;
+
+  std::vector<const RankedList*> with_dup = {&ok_list, &dup};
+  Result<ListDistanceBatch> r = ListDistanceBatch::Make(with_dup);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().message(), "ranked list contains duplicate item id 5");
+
+  std::vector<const RankedList*> with_empty = {&ok_list, &empty};
+  r = ListDistanceBatch::Make(with_empty);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("list 1 is empty"), std::string::npos);
+
+  std::vector<const RankedList*> with_null = {&ok_list, nullptr};
+  r = ListDistanceBatch::Make(with_null);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("null list"), std::string::npos);
+}
+
+TEST(ListBatchTest, ParameterAndIndexErrorsMatchReference) {
+  RankedList a = {1, 2, 3};
+  RankedList b = {3, 4, 5};
+  std::vector<RankedList> lists = {a, b};
+  Result<ListDistanceBatch> batch = ListDistanceBatch::Make(Pointers(lists));
+  ASSERT_TRUE(batch.ok());
+  ListDistanceBatch::Scratch scratch;
+
+  ExpectBitwise(batch->KendallTauTopK(0, 1, -0.1, &scratch),
+                KendallTauTopK(a, b, -0.1), "penalty below range");
+  ExpectBitwise(batch->KendallTauTopK(0, 1, 1.5, &scratch),
+                KendallTauTopK(a, b, 1.5), "penalty above range");
+  ExpectBitwise(batch->Rbo(0, 1, 0.0), RboDistance(a, b, 0.0), "rbo p=0");
+  ExpectBitwise(batch->Rbo(0, 1, 1.0), RboDistance(a, b, 1.0), "rbo p=1");
+
+  EXPECT_FALSE(batch->Jaccard(0, 2).ok());
+  EXPECT_FALSE(batch->KendallTauTopK(2, 0, 0.5, &scratch).ok());
+  EXPECT_FALSE(batch->Rbo(7, 0, 0.9).ok());
+}
+
+TEST(ListBatchTest, EmptyBatchHasNoListsAndRejectsKernelCalls) {
+  Result<ListDistanceBatch> batch = ListDistanceBatch::Make({});
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->num_lists(), 0u);
+  EXPECT_EQ(batch->universe_size(), 0u);
+  EXPECT_FALSE(batch->Jaccard(0, 0).ok());
+}
+
+TEST(ListBatchTest, StatsCountInterningWork) {
+  RankedList a = {1, 2, 3};
+  RankedList b = {3, 4, 5};    // shares item 3 with a
+  RankedList c = {1, 5};       // nothing new
+  std::vector<RankedList> lists = {a, b, c};
+  Result<ListDistanceBatch> batch = ListDistanceBatch::Make(Pointers(lists));
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->stats().lists_interned, 3u);
+  EXPECT_EQ(batch->stats().items_interned, 8u);
+  EXPECT_EQ(batch->stats().universe_size, 5u);
+  EXPECT_EQ(batch->num_lists(), 3u);
+  EXPECT_EQ(batch->list_size(0), 3u);
+  EXPECT_EQ(batch->list_size(2), 2u);
+}
+
+// A shared immutable batch evaluated from many threads (each with its own
+// Scratch) must produce the same values as the serial pass — this is the
+// access pattern of EvaluateSearchColumn's pool-parallel rows, and the
+// sanitizer matrix runs this binary under TSan.
+TEST(ListBatchTest, ConcurrentKernelsOnSharedBatchAreDeterministic) {
+  Rng rng(99);
+  std::vector<RankedList> lists;
+  for (int l = 0; l < 12; ++l) {
+    lists.push_back(RandomList(rng, 30, 1 + rng.NextBelow(12)));
+  }
+  Result<ListDistanceBatch> batch = ListDistanceBatch::Make(Pointers(lists));
+  ASSERT_TRUE(batch.ok());
+  size_t n = lists.size();
+
+  std::vector<double> serial(n * n, 0.0);
+  ListDistanceBatch::Scratch scratch;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      serial[i * n + j] = *batch->KendallTauTopK(i, j, 0.5, &scratch);
+    }
+  }
+
+  std::vector<double> parallel(n * n, 0.0);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      ListDistanceBatch::Scratch local;
+      for (size_t i = t; i < n; i += 4) {
+        for (size_t j = i + 1; j < n; ++j) {
+          parallel[i * n + j] = *batch->KendallTauTopK(i, j, 0.5, &local);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (size_t idx = 0; idx < serial.size(); ++idx) {
+    EXPECT_EQ(BitsOf(serial[idx]), BitsOf(parallel[idx])) << idx;
+  }
+}
+
+// End-to-end: a search cube built on the batch fast path must agree with the
+// per-triple SearchUnfairness reference on the simulated Google study —
+// a dataset with real missing cells (each query only exists at its Table-7
+// locations) and multi-attribute comparable groups. Jaccard and footrule
+// kernels are exactly symmetric, so those cubes are bitwise equal to the
+// reference; Kendall-Tau and RBO cells may differ in the last ulp because
+// the cube evaluates each unordered pair once (i < j) while the reference
+// evaluates both orientations.
+TEST(ListBatchTest, GoogleStudyCubeMatchesPerTripleReference) {
+  GoogleStudyConfig config;
+  config.users_per_cell = 2;
+  config.formulations_per_query = 2;
+  Result<GoogleWorld> world = BuildGoogleStudy(config);
+  ASSERT_TRUE(world.ok()) << world.status().message();
+  const SearchDataset& data = world->dataset;
+  GroupSpace space = *GroupSpace::Enumerate(data.schema());
+
+  for (SearchMeasure measure :
+       {SearchMeasure::kKendallTau, SearchMeasure::kJaccard,
+        SearchMeasure::kFootrule, SearchMeasure::kRbo}) {
+    Result<UnfairnessCube> cube = BuildSearchCube(data, space, measure);
+    ASSERT_TRUE(cube.ok()) << cube.status().message();
+    size_t present = 0;
+    size_t missing = 0;
+    for (size_t g = 0; g < cube->axis_size(Dimension::kGroup); ++g) {
+      for (size_t q = 0; q < cube->axis_size(Dimension::kQuery); ++q) {
+        for (size_t l = 0; l < cube->axis_size(Dimension::kLocation); ++l) {
+          Result<double> reference = SearchUnfairness(
+              data, space,
+              static_cast<GroupId>(cube->axis_id(Dimension::kGroup, g)),
+              static_cast<QueryId>(cube->axis_id(Dimension::kQuery, q)),
+              static_cast<LocationId>(cube->axis_id(Dimension::kLocation, l)),
+              measure);
+          std::optional<double> cell = cube->Get(g, q, l);
+          if (reference.ok()) {
+            ASSERT_TRUE(cell.has_value()) << g << " " << q << " " << l;
+            ++present;
+            if (measure == SearchMeasure::kJaccard ||
+                measure == SearchMeasure::kFootrule) {
+              EXPECT_EQ(BitsOf(*cell), BitsOf(*reference))
+                  << g << " " << q << " " << l;
+            } else {
+              EXPECT_NEAR(*cell, *reference, 1e-12)
+                  << g << " " << q << " " << l;
+            }
+          } else {
+            EXPECT_FALSE(cell.has_value()) << g << " " << q << " " << l;
+            ++missing;
+          }
+        }
+      }
+    }
+    // The study layout guarantees both populated and missing cells.
+    EXPECT_GT(present, 0u);
+    EXPECT_GT(missing, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace fairjob
