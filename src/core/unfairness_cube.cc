@@ -1,5 +1,6 @@
 #include "core/unfairness_cube.h"
 
+#include <algorithm>
 #include <chrono>
 #include <functional>
 #include <optional>
@@ -556,6 +557,135 @@ Status RefreshSearchColumn(const SearchDataset& data, const GroupSpace& space,
           std::vector<std::optional<double>>* column) {
         return EvaluateSearchColumn(data, space, membership, measure, options,
                                     q, l, groups, column, parallelism);
+      });
+}
+
+Result<CubeAxes> ResolveMarketplaceCubeAxes(const MarketplaceDataset& data,
+                                            const GroupSpace& space,
+                                            const CubeAxes& axes) {
+  return ResolveAxes(axes, space.num_groups(), data.queries().size(),
+                     data.locations().size());
+}
+
+Result<CubeAxes> ResolveSearchCubeAxes(const SearchDataset& data,
+                                       const GroupSpace& space,
+                                       const CubeAxes& axes) {
+  return ResolveAxes(axes, space.num_groups(), data.queries().size(),
+                     data.locations().size());
+}
+
+Status CubeMaterializeSink::Consume(size_t query_pos, size_t location_pos,
+                                    const std::optional<double>* values,
+                                    size_t num_groups) {
+  if (num_groups != cube_->axis_size(Dimension::kGroup) ||
+      query_pos >= cube_->axis_size(Dimension::kQuery) ||
+      location_pos >= cube_->axis_size(Dimension::kLocation)) {
+    return Status::InvalidArgument(
+        "streamed column does not match the sink cube's axes");
+  }
+  for (size_t g = 0; g < num_groups; ++g) {
+    if (values[g].has_value()) {
+      cube_->Set(g, query_pos, location_pos, *values[g]);
+    } else {
+      cube_->Clear(g, query_pos, location_pos);
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Shared frame of the two sharded builders: shard loop + column fan-out;
+// `eval` runs the family-specific column evaluation.
+Status BuildCubeSharded(
+    const CubeAxes& resolved, const ShardedBuildOptions& sharded,
+    CubeColumnSink* sink, const char* family,
+    const std::function<Status(QueryId, LocationId,
+                               std::vector<std::optional<double>>*)>& eval) {
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  static Counter* const columns_streamed =
+      metrics.counter("cube.sharded.columns_streamed");
+  static Counter* const shards_built = metrics.counter("cube.sharded.shards");
+  auto start = std::chrono::steady_clock::now();
+
+  if (sink == nullptr) {
+    return Status::InvalidArgument("sharded cube build needs a sink");
+  }
+  if (sharded.shard_columns == 0) {
+    return Status::InvalidArgument("shard_columns must be at least 1");
+  }
+  size_t num_locations = resolved.locations.size();
+  size_t total_columns = resolved.queries.size() * num_locations;
+  for (size_t shard_start = 0; shard_start < total_columns;
+       shard_start += sharded.shard_columns) {
+    size_t shard_size =
+        std::min(sharded.shard_columns, total_columns - shard_start);
+    Status built = ParallelFor(
+        shard_size, sharded.parallelism, [&](size_t offset) -> Status {
+          size_t index = shard_start + offset;
+          size_t q = index / num_locations;
+          size_t l = index % num_locations;
+          std::vector<std::optional<double>> column(resolved.groups.size());
+          FAIRJOB_RETURN_IF_ERROR(
+              eval(resolved.queries[q], resolved.locations[l], &column));
+          FAIRJOB_RETURN_IF_ERROR(
+              sink->Consume(q, l, column.data(), column.size()));
+          columns_streamed->Add(1);
+          return Status::OK();
+        });
+    FAIRJOB_RETURN_IF_ERROR(built);
+    shards_built->Add(1);
+  }
+  RecordBuildSummary(family,
+                     std::chrono::duration<double, std::micro>(
+                         std::chrono::steady_clock::now() - start)
+                         .count(),
+                     total_columns * resolved.groups.size());
+  return Status::OK();
+}
+
+}  // namespace
+
+Status BuildMarketplaceCubeSharded(const MarketplaceDataset& data,
+                                   const GroupSpace& space,
+                                   MarketMeasure measure,
+                                   const MeasureOptions& options,
+                                   const CubeAxes& axes,
+                                   const ShardedBuildOptions& sharded,
+                                   CubeColumnSink* sink) {
+  TraceSpan span("BuildMarketplaceCubeSharded", "cube");
+  FAIRJOB_ASSIGN_OR_RETURN(CubeAxes resolved,
+                           ResolveMarketplaceCubeAxes(data, space, axes));
+  return BuildCubeSharded(
+      resolved, sharded, sink, "market",
+      [&](QueryId q, LocationId l,
+          std::vector<std::optional<double>>* column) {
+        return EvaluateMarketplaceColumn(data, space, measure, options, q, l,
+                                         resolved.groups, column,
+                                         /*parallelism=*/1);
+      });
+}
+
+Status BuildSearchCubeSharded(const SearchDataset& data,
+                              const GroupSpace& space, SearchMeasure measure,
+                              const MeasureOptions& options,
+                              const CubeAxes& axes,
+                              const ShardedBuildOptions& sharded,
+                              CubeColumnSink* sink) {
+  TraceSpan span("BuildSearchCubeSharded", "cube");
+  if (options.kendall_penalty < 0.0 || options.kendall_penalty > 1.0) {
+    return Status::InvalidArgument("kendall_penalty must lie in [0, 1]");
+  }
+  FAIRJOB_ASSIGN_OR_RETURN(CubeAxes resolved,
+                           ResolveSearchCubeAxes(data, space, axes));
+  SearchGroupMembership membership(data, space);
+  return BuildCubeSharded(
+      resolved, sharded, sink, "search",
+      [&](QueryId q, LocationId l,
+          std::vector<std::optional<double>>* column) {
+        return EvaluateSearchColumn(data, space, membership, measure, options,
+                                    q, l, resolved.groups, column,
+                                    sharded.parallelism);
       });
 }
 

@@ -90,6 +90,57 @@ struct CubeAxes {
   std::vector<LocationId> locations;
 };
 
+// The axes a builder would actually use: `axes` with empty vectors defaulted
+// against the dataset/space. Lets a caller size a CubeColumnSink (e.g. a
+// binary cube file header) before starting a sharded build over the same
+// axes. Errors: InvalidArgument when the dataset has no queries/locations.
+Result<CubeAxes> ResolveMarketplaceCubeAxes(const MarketplaceDataset& data,
+                                            const GroupSpace& space,
+                                            const CubeAxes& axes = {});
+Result<CubeAxes> ResolveSearchCubeAxes(const SearchDataset& data,
+                                       const GroupSpace& space,
+                                       const CubeAxes& axes = {});
+
+// Receives finished (query, location) columns from a sharded cube build.
+// `values[g]` is the cell for group-axis position g (nullopt = undefined
+// triple); positions index the resolved cube axes. Consume is called from
+// pool threads in no particular column order — implementations must be
+// thread-safe — but each column is delivered exactly once.
+class CubeColumnSink {
+ public:
+  virtual ~CubeColumnSink() = default;
+  virtual Status Consume(size_t query_pos, size_t location_pos,
+                         const std::optional<double>* values,
+                         size_t num_groups) = 0;
+};
+
+// Sink that materializes the streamed columns into a pre-made cube (the
+// cube's axes must equal the build's resolved axes). Lock-free: concurrent
+// columns write disjoint cells. Used for differential testing and for small
+// builds where bounded memory is not a concern.
+class CubeMaterializeSink final : public CubeColumnSink {
+ public:
+  explicit CubeMaterializeSink(UnfairnessCube* cube) : cube_(cube) {}
+  Status Consume(size_t query_pos, size_t location_pos,
+                 const std::optional<double>* values,
+                 size_t num_groups) override;
+
+ private:
+  UnfairnessCube* cube_;
+};
+
+// Sharded construction: (query, location) columns are partitioned into
+// shards of `shard_columns`; within a shard, columns are evaluated on
+// `parallelism` threads of the shared pool and streamed into the sink as
+// they finish. Peak memory is O(parallelism) column buffers plus whatever
+// the sink holds — the G×Q×L tensor never materializes — so million-user
+// datasets build in bounded RSS with the cube landing on disk (see
+// BinaryCubeColumnWriter in crawl/cube_io.h).
+struct ShardedBuildOptions {
+  size_t shard_columns = 1024;  // columns per shard; bounds in-flight work
+  size_t parallelism = 1;
+};
+
 // Evaluates the chosen measure for every (g, q, l) in the axes; undefined
 // triples stay missing. Per-cell state (worker values, group memberships,
 // histograms, exposure sums — see MarketplaceCellContext) is computed once
@@ -113,6 +164,26 @@ Result<UnfairnessCube> BuildSearchCube(const SearchDataset& data,
                                        const MeasureOptions& options = {},
                                        const CubeAxes& axes = {},
                                        size_t parallelism = 1);
+
+// Bounded-memory variants of the two builders (see ShardedBuildOptions).
+// Column values are bitwise-identical to the in-memory builds: the same
+// EvaluateMarketplaceColumn / EvaluateSearchColumn code paths run, only the
+// destination differs. Errors: InvalidArgument on a null sink or bad
+// options/axes, plus whatever the sink's Consume returns (first failure
+// stops the build).
+Status BuildMarketplaceCubeSharded(const MarketplaceDataset& data,
+                                   const GroupSpace& space,
+                                   MarketMeasure measure,
+                                   const MeasureOptions& options,
+                                   const CubeAxes& axes,
+                                   const ShardedBuildOptions& sharded,
+                                   CubeColumnSink* sink);
+Status BuildSearchCubeSharded(const SearchDataset& data,
+                              const GroupSpace& space, SearchMeasure measure,
+                              const MeasureOptions& options,
+                              const CubeAxes& axes,
+                              const ShardedBuildOptions& sharded,
+                              CubeColumnSink* sink);
 
 // Incremental maintenance: re-evaluates the group cells of one
 // (query, location) column after its underlying ranking changed (a crawl

@@ -1,6 +1,9 @@
 #ifndef FAIRJOB_CRAWL_CUBE_IO_H_
 #define FAIRJOB_CRAWL_CUBE_IO_H_
 
+#include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -13,7 +16,21 @@ namespace fairjob {
 // is evaluating the measures over a crawl; a saved cube lets later analysis
 // sessions (top-k, comparisons, statistics) skip it.
 //
-// Format: CSV rows
+// Two interchangeable formats hold the same information (axes + names +
+// present cells) and round-trip bitwise-identically through each other
+// (cross-checked in tests/cube_io_test.cc):
+//
+//  * CSV — human-readable interop format and the differential reference.
+//  * Binary — versioned little-endian format for scale: a fixed header
+//    (magic, version, layout flag, axis sizes, present count, payload CRC32)
+//    followed by axis-id tables, a name table, and either a dense cell
+//    section (f64 values in (query · L + location) · G + group order plus a
+//    presence bitmap — the order a sharded build streams columns in) or a
+//    sparse section (delta-encoded varint cell indices interleaved with f64
+//    values). Dense files open O(ms) via mmap (MappedCube) with random-access
+//    Get; both layouts materialize back into an UnfairnessCube.
+//
+// CSV format: rows
 //   axis,<group|query|location>,<id>,<name>      one per axis entry
 //   cell,<group pos>,<query pos>,<location pos>,<value>   one per present cell
 // Names are optional context (resolved via the resolver callbacks below) and
@@ -45,6 +62,119 @@ Result<CubeNames> CubeNamesFromCsvRows(
 Status SaveCube(const std::string& path, const UnfairnessCube& cube,
                 AxisNamer namer = nullptr, const void* namer_context = nullptr);
 Result<UnfairnessCube> LoadCube(const std::string& path);
+
+// ---------------------------------------------------------------------------
+// Binary format
+// ---------------------------------------------------------------------------
+
+// Bumped on any incompatible layout change; readers reject other versions.
+inline constexpr uint32_t kBinaryCubeVersion = 1;
+
+struct BinaryCubeWriteOptions {
+  enum class Layout { kAuto, kDense, kSparse };
+  // kAuto picks dense when at least a quarter of the cells are present
+  // (a sparse cell costs ~9–13 bytes against dense's 8 + 1 bit, and only
+  // dense supports mmap random access).
+  Layout layout = Layout::kAuto;
+};
+
+// Writes `cube` (and optional axis names, parallel to the cube axes) as one
+// binary file. Errors: IOError on filesystem failure, InvalidArgument when
+// `names` axis lengths do not match the cube.
+Status SaveCubeBinary(const std::string& path, const UnfairnessCube& cube,
+                      const CubeNames* names = nullptr,
+                      const BinaryCubeWriteOptions& options = {});
+
+// Reads a binary cube file back into memory (either layout). Errors:
+// IOError on filesystem failure; InvalidArgument on bad magic, unsupported
+// version, truncation, or CRC mismatch.
+Result<UnfairnessCube> LoadCubeBinary(const std::string& path);
+
+// mmap-backed random-access view of a binary cube file: Open maps the file
+// and validates the header (plus the payload CRC unless disabled), so a
+// multi-GB cube is servable in milliseconds without copying cell data.
+// Get is O(1) on dense files; sparse files support Materialize/Names only.
+// The mapping is read-only and safely shared across threads.
+class MappedCube {
+ public:
+  struct Options {
+    // Full-payload CRC32 check at Open (one sequential pass). Disable to
+    // make Open O(1) when the file is trusted (e.g. written this process).
+    bool verify_checksum = true;
+  };
+
+  static Result<MappedCube> Open(const std::string& path,
+                                 const Options& options);
+  static Result<MappedCube> Open(const std::string& path) {
+    return Open(path, Options());
+  }
+
+  MappedCube(MappedCube&& other) noexcept;
+  MappedCube& operator=(MappedCube&& other) noexcept;
+  MappedCube(const MappedCube&) = delete;
+  MappedCube& operator=(const MappedCube&) = delete;
+  ~MappedCube();
+
+  size_t axis_size(Dimension d) const { return axis_sizes_[AxisIndex(d)]; }
+  int32_t axis_id(Dimension d, size_t pos) const;
+  bool dense() const { return dense_; }
+  size_t num_cells() const;
+  uint64_t num_present() const { return present_; }
+  size_t file_bytes() const { return bytes_; }
+
+  // Dense files only (returns nullopt unconditionally on sparse files, like
+  // an all-missing cube); positions must be in range.
+  std::optional<double> Get(size_t g, size_t q, size_t l) const;
+
+  // Decodes the full file into an UnfairnessCube / CubeNames (both layouts).
+  Result<UnfairnessCube> Materialize() const;
+  Result<CubeNames> Names() const;
+
+ private:
+  MappedCube() = default;
+
+  void Release();
+
+  static size_t AxisIndex(Dimension d) { return static_cast<size_t>(d); }
+
+  const unsigned char* data_ = nullptr;  // whole file
+  size_t bytes_ = 0;
+  bool mapped_ = false;  // mmap'd (else heap-owned fallback)
+  bool dense_ = false;
+  uint64_t present_ = 0;
+  size_t axis_sizes_[3] = {0, 0, 0};
+  const unsigned char* axis_ids_ = nullptr;   // 3 consecutive i32 tables
+  const unsigned char* names_ = nullptr;      // length-prefixed name table
+  const unsigned char* cells_ = nullptr;      // dense values / sparse stream
+  const unsigned char* presence_ = nullptr;   // dense bitmap (dense only)
+  size_t cells_bytes_ = 0;
+};
+
+// Streams a dense binary cube file column-by-column: the CubeColumnSink fed
+// to BuildMarketplaceCubeSharded / BuildSearchCubeSharded when the cube
+// should land on disk instead of in memory. Create sizes the file from the
+// resolved axes (unstreamed columns stay all-missing); Consume accepts
+// columns from any thread in any order (writes to disjoint offsets);
+// Finish seals the file — presence bitmap, CRC, header — and must be called
+// exactly once before destruction for the file to be readable.
+class BinaryCubeColumnWriter final : public CubeColumnSink {
+ public:
+  static Result<std::unique_ptr<BinaryCubeColumnWriter>> Create(
+      const std::string& path, const CubeAxes& axes,
+      const CubeNames* names = nullptr);
+
+  ~BinaryCubeColumnWriter() override;
+
+  Status Consume(size_t query_pos, size_t location_pos,
+                 const std::optional<double>* values,
+                 size_t num_groups) override;
+  Status Finish();
+
+ private:
+  class Impl;
+  explicit BinaryCubeColumnWriter(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace fairjob
 

@@ -1,0 +1,312 @@
+#include "market/scale_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_set>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace fairjob {
+namespace {
+
+// O(log n) Zipf draws via a cumulative table + binary search (NextCategorical
+// is a linear scan — too slow for 10k-wide axes × 20k draws).
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double exponent) : cumulative_(n) {
+    double total = 0.0;
+    for (size_t r = 0; r < n; ++r) {
+      total += 1.0 / std::pow(static_cast<double>(r + 1), exponent);
+      cumulative_[r] = total;
+    }
+  }
+
+  size_t Sample(Rng& rng) const {
+    double u = rng.NextDouble() * cumulative_.back();
+    auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+    size_t index = static_cast<size_t>(it - cumulative_.begin());
+    return std::min(index, cumulative_.size() - 1);
+  }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+// Skewed (not uniform) per-attribute value draws, so intersectional group
+// sizes span orders of magnitude like a real population's.
+ValueId DrawValue(Rng& rng, const std::vector<double>& weights) {
+  return static_cast<ValueId>(rng.NextCategorical(weights));
+}
+
+Demographics DrawDemographics(Rng& rng) {
+  static const std::vector<double> ethnicity = {0.12, 0.15, 0.18, 0.45, 0.10};
+  static const std::vector<double> gender = {0.48, 0.48, 0.04};
+  static const std::vector<double> age = {0.30, 0.35, 0.22, 0.13};
+  return {DrawValue(rng, ethnicity), DrawValue(rng, gender),
+          DrawValue(rng, age)};
+}
+
+// Samples `count` distinct values from [0, n) (count ≪ n in every caller;
+// rejection is cheap).
+std::vector<int32_t> SampleDistinct(Rng& rng, size_t n, size_t count,
+                                    std::unordered_set<int32_t>* scratch) {
+  scratch->clear();
+  std::vector<int32_t> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    int32_t v = static_cast<int32_t>(rng.NextBelow(static_cast<uint32_t>(n)));
+    if (scratch->insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<AttributeSchema> MakeScaleSchema() {
+  AttributeSchema schema;
+  FAIRJOB_RETURN_IF_ERROR(
+      schema
+          .AddAttribute("ethnicity",
+                        {"asian", "black", "hispanic", "white", "other"})
+          .status());
+  FAIRJOB_RETURN_IF_ERROR(
+      schema.AddAttribute("gender", {"female", "male", "nonbinary"})
+          .status());
+  FAIRJOB_RETURN_IF_ERROR(
+      schema.AddAttribute("age", {"18-29", "30-44", "45-59", "60plus"})
+          .status());
+  return schema;
+}
+
+Result<MarketplaceDataset> GenerateScaleMarketplace(const ScaleSpec& spec) {
+  if (spec.num_workers == 0 || spec.num_queries == 0 ||
+      spec.num_locations == 0) {
+    return Status::InvalidArgument(
+        "scale spec needs workers, queries and locations");
+  }
+  if (spec.min_ranking_length == 0 ||
+      spec.min_ranking_length > spec.max_ranking_length) {
+    return Status::InvalidArgument(
+        "scale spec needs 0 < min_ranking_length <= max_ranking_length");
+  }
+  if (spec.max_ranking_length > spec.num_workers) {
+    return Status::InvalidArgument(
+        "scale spec ranks more workers per page than exist");
+  }
+
+  FAIRJOB_ASSIGN_OR_RETURN(AttributeSchema schema, MakeScaleSchema());
+  MarketplaceDataset data(std::move(schema));
+
+  Rng rng(spec.seed);
+  Rng worker_rng = rng.Fork();
+  Rng column_rng = rng.Fork();
+  Rng page_rng = rng.Fork();
+
+  // Population. Names are the dense index ("w123") — the axes stay
+  // addressable without a side table.
+  std::string name;
+  for (size_t i = 0; i < spec.num_workers; ++i) {
+    name = "w" + std::to_string(i);
+    FAIRJOB_RETURN_IF_ERROR(
+        data.AddWorker(name, DrawDemographics(worker_rng)).status());
+  }
+  for (size_t i = 0; i < spec.num_queries; ++i) {
+    data.queries().GetOrAdd("q" + std::to_string(i));
+  }
+  for (size_t i = 0; i < spec.num_locations; ++i) {
+    data.locations().GetOrAdd("city" + std::to_string(i));
+  }
+
+  // Observed columns: Zipf-weighted query choice × uniform location,
+  // deduplicated; saturates early when the requested column count nears the
+  // full grid, so cap the draw attempts.
+  ZipfSampler query_traffic(spec.num_queries, spec.zipf_exponent);
+  std::unordered_set<uint64_t> seen_columns;
+  std::unordered_set<int32_t> scratch;
+  size_t target_columns = std::min(
+      spec.num_ranked_columns, spec.num_queries * spec.num_locations);
+  size_t attempts = 0;
+  size_t max_attempts = 20 * target_columns + 1000;
+  size_t span = spec.max_ranking_length - spec.min_ranking_length + 1;
+  while (seen_columns.size() < target_columns && attempts < max_attempts) {
+    ++attempts;
+    QueryId q = static_cast<QueryId>(query_traffic.Sample(column_rng));
+    LocationId l = static_cast<LocationId>(
+        column_rng.NextBelow(static_cast<uint32_t>(spec.num_locations)));
+    uint64_t key = static_cast<uint64_t>(q) << 32 | static_cast<uint32_t>(l);
+    if (!seen_columns.insert(key).second) continue;
+
+    size_t len = spec.min_ranking_length +
+                 page_rng.NextBelow(static_cast<uint32_t>(span));
+    MarketRanking ranking;
+    ranking.workers =
+        SampleDistinct(page_rng, spec.num_workers, len, &scratch);
+    ranking.scores.reserve(len);
+    // Scores best-first: a decaying base with deterministic jitter, kept
+    // strictly descending so exposure models see a realistic page.
+    double score = 1.0;
+    for (size_t r = 0; r < len; ++r) {
+      score *= 0.9 + 0.09 * page_rng.NextDouble();
+      ranking.scores.push_back(score);
+    }
+    FAIRJOB_RETURN_IF_ERROR(data.SetRanking(q, l, std::move(ranking)));
+  }
+  return data;
+}
+
+Result<SearchDataset> GenerateScaleSearch(const SearchScaleSpec& spec) {
+  if (spec.num_users == 0 || spec.num_queries == 0 ||
+      spec.num_locations == 0) {
+    return Status::InvalidArgument(
+        "search scale spec needs users, queries and locations");
+  }
+  if (spec.list_length == 0 || spec.list_length > spec.document_universe) {
+    return Status::InvalidArgument(
+        "search scale spec needs 0 < list_length <= document_universe");
+  }
+  if (spec.observations_per_column > spec.num_users) {
+    return Status::InvalidArgument(
+        "search scale spec samples more users per column than exist");
+  }
+  if (spec.num_shared_variants == 0) {
+    return Status::InvalidArgument(
+        "search scale spec needs at least one shared variant");
+  }
+
+  FAIRJOB_ASSIGN_OR_RETURN(AttributeSchema schema, MakeScaleSchema());
+  SearchDataset data(std::move(schema));
+
+  Rng rng(spec.seed);
+  Rng user_rng = rng.Fork();
+  Rng column_rng = rng.Fork();
+  Rng list_rng = rng.Fork();
+
+  for (size_t i = 0; i < spec.num_users; ++i) {
+    FAIRJOB_RETURN_IF_ERROR(
+        data.AddUser("u" + std::to_string(i), DrawDemographics(user_rng))
+            .status());
+  }
+  for (size_t i = 0; i < spec.num_queries; ++i) {
+    data.queries().GetOrAdd("term" + std::to_string(i));
+  }
+  for (size_t i = 0; i < spec.num_locations; ++i) {
+    data.locations().GetOrAdd("city" + std::to_string(i));
+  }
+
+  ZipfSampler query_traffic(spec.num_queries, 1.0);
+  std::unordered_set<uint64_t> seen_columns;
+  std::unordered_set<int32_t> scratch;
+  size_t target_columns = std::min(
+      spec.num_observed_columns, spec.num_queries * spec.num_locations);
+  size_t attempts = 0;
+  size_t max_attempts = 20 * target_columns + 1000;
+  while (seen_columns.size() < target_columns && attempts < max_attempts) {
+    ++attempts;
+    QueryId q = static_cast<QueryId>(query_traffic.Sample(column_rng));
+    LocationId l = static_cast<LocationId>(
+        column_rng.NextBelow(static_cast<uint32_t>(spec.num_locations)));
+    uint64_t key = static_cast<uint64_t>(q) << 32 | static_cast<uint32_t>(l);
+    if (!seen_columns.insert(key).second) continue;
+
+    // Canonical result-page variants for this column.
+    std::vector<RankedList> variants(spec.num_shared_variants);
+    for (RankedList& v : variants) {
+      v = SampleDistinct(list_rng, spec.document_universe, spec.list_length,
+                         &scratch);
+    }
+
+    std::vector<int32_t> users = SampleDistinct(
+        list_rng, spec.num_users, spec.observations_per_column, &scratch);
+    std::unordered_set<int32_t> members;
+    for (int32_t user : users) {
+      const RankedList& base = variants[list_rng.NextBelow(
+          static_cast<uint32_t>(variants.size()))];
+      SearchObservation obs;
+      obs.user = user;
+      if (list_rng.NextBernoulli(spec.shared_list_fraction)) {
+        obs.results = base;  // verbatim — dedups onto one arena slot
+      } else {
+        // Personalized: the variant with a handful of position swaps and a
+        // few substituted documents.
+        obs.results = base;
+        members.clear();
+        members.insert(obs.results.begin(), obs.results.end());
+        size_t swaps = 1 + list_rng.NextBelow(4);
+        for (size_t s = 0; s < swaps; ++s) {
+          size_t a = list_rng.NextBelow(
+              static_cast<uint32_t>(obs.results.size()));
+          size_t b = list_rng.NextBelow(
+              static_cast<uint32_t>(obs.results.size()));
+          std::swap(obs.results[a], obs.results[b]);
+        }
+        size_t substitutions = list_rng.NextBelow(4);
+        for (size_t s = 0; s < substitutions; ++s) {
+          int32_t doc = static_cast<int32_t>(list_rng.NextBelow(
+              static_cast<uint32_t>(spec.document_universe)));
+          if (!members.insert(doc).second) continue;  // already on the page
+          size_t at = list_rng.NextBelow(
+              static_cast<uint32_t>(obs.results.size()));
+          members.erase(obs.results[at]);
+          obs.results[at] = doc;
+        }
+      }
+      FAIRJOB_RETURN_IF_ERROR(data.AddObservation(q, l, std::move(obs)));
+    }
+  }
+  return data;
+}
+
+std::vector<QuantificationRequest> GenerateServeRequests(
+    const ServeLoadSpec& spec, size_t num_groups, size_t num_queries,
+    size_t num_locations) {
+  std::vector<QuantificationRequest> requests;
+  if (num_groups == 0 || num_queries == 0 || num_locations == 0 ||
+      spec.distinct_patterns == 0) {
+    return requests;
+  }
+  Rng rng(spec.seed);
+
+  size_t axis_sizes[3] = {num_groups, num_queries, num_locations};
+  auto random_selector = [&](size_t axis_size) {
+    // Half the patterns aggregate everything; the rest restrict the axis to
+    // a random contiguous window (a "these cities only" style filter).
+    if (rng.NextBernoulli(0.5) || axis_size < 2) return AxisSelector::All();
+    size_t width =
+        1 + rng.NextBelow(static_cast<uint32_t>(std::min<size_t>(
+                axis_size, 16)));
+    size_t start =
+        rng.NextBelow(static_cast<uint32_t>(axis_size - width + 1));
+    AxisSelector sel;
+    sel.positions.reserve(width);
+    for (size_t i = 0; i < width; ++i) sel.positions.push_back(start + i);
+    return sel;
+  };
+
+  std::vector<QuantificationRequest> patterns;
+  patterns.reserve(spec.distinct_patterns);
+  static const size_t kChoices[4] = {1, 5, 10, 20};
+  for (size_t i = 0; i < spec.distinct_patterns; ++i) {
+    QuantificationRequest r;
+    r.target = static_cast<Dimension>(rng.NextBelow(3));
+    size_t target_size = axis_sizes[static_cast<size_t>(r.target)];
+    r.k = std::min(kChoices[rng.NextBelow(4)], target_size);
+    r.direction = rng.NextBernoulli(0.8) ? RankDirection::kMostUnfair
+                                         : RankDirection::kLeastUnfair;
+    size_t agg1_axis = r.target == Dimension::kGroup ? 1 : 0;
+    size_t agg2_axis = r.target == Dimension::kLocation ? 1 : 2;
+    r.agg1 = random_selector(axis_sizes[agg1_axis]);
+    r.agg2 = random_selector(axis_sizes[agg2_axis]);
+    patterns.push_back(std::move(r));
+  }
+
+  ZipfSampler popularity(patterns.size(), spec.zipf_exponent);
+  requests.reserve(spec.num_requests);
+  for (size_t i = 0; i < spec.num_requests; ++i) {
+    requests.push_back(patterns[popularity.Sample(rng)]);
+  }
+  return requests;
+}
+
+}  // namespace fairjob

@@ -1,0 +1,92 @@
+#ifndef FAIRJOB_MARKET_SCALE_GEN_H_
+#define FAIRJOB_MARKET_SCALE_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/data_model.h"
+#include "core/quantification.h"
+
+namespace fairjob {
+
+// Deterministic million-user-scale workload generator behind bench_scale:
+// one seed reproduces the exact population, rankings, observations and
+// request stream, so runs are comparable across machines and commits.
+// Everything is generated incrementally into the destination dataset —
+// no intermediate tables proportional to workers × columns — so generator
+// peak memory is the dataset itself.
+
+// Three protected attributes sized for an intersectional-group axis of
+// production shape: ethnicity{5} × gender{3} × age{4} enumerate to
+// (5+1)·(3+1)·(4+1) − 1 = 119 groups (every non-empty partial assignment).
+Result<AttributeSchema> MakeScaleSchema();
+
+struct ScaleSpec {
+  uint64_t seed = 1;
+  // Marketplace population and axes.
+  size_t num_workers = 1'000'000;
+  size_t num_queries = 10'000;
+  size_t num_locations = 50;
+  // Observed (query, location) columns. Query traffic is Zipf-distributed:
+  // the rank-r query draws weight (r+1)^-zipf_exponent, so a handful of
+  // head queries dominate — the shape real marketplaces show.
+  size_t num_ranked_columns = 20'000;
+  double zipf_exponent = 1.0;
+  // Result-page length per observed column, uniform in [min, max].
+  size_t min_ranking_length = 20;
+  size_t max_ranking_length = 120;
+};
+
+// TaskRabbit-at-scale: registers num_workers workers ("w0", "w1", ...) with
+// skewed demographic draws, num_queries/num_locations vocabularies, and one
+// scored ranking per sampled column. Errors: InvalidArgument on a spec that
+// cannot be satisfied (no workers/queries/locations, min > max ranking
+// length, ranking longer than the population).
+Result<MarketplaceDataset> GenerateScaleMarketplace(const ScaleSpec& spec);
+
+struct SearchScaleSpec {
+  uint64_t seed = 1;
+  size_t num_users = 512;
+  size_t num_queries = 64;
+  size_t num_locations = 8;
+  size_t num_observed_columns = 96;
+  // Lists per observed column (the O(n²) pair count per cell).
+  size_t observations_per_column = 48;
+  // Documents sampled per column; with list_length ≥ universe/64 the
+  // per-cell universe is dense enough that the Jaccard kernel takes the
+  // bitmap-popcount path (the SIMD sweep bench_scale gates on).
+  size_t document_universe = 2048;
+  size_t list_length = 96;
+  // Fraction of users shown one of num_shared_variants canonical result
+  // lists verbatim (platforms serve few distinct pages); exercises the
+  // list-batch arena's content deduplication. The rest see per-user
+  // perturbations of a variant.
+  double shared_list_fraction = 0.5;
+  size_t num_shared_variants = 8;
+};
+
+// Google-style search study at SIMD-relevant cell shapes. Errors:
+// InvalidArgument on an unsatisfiable spec (empty axes, list_length >
+// document_universe, observations_per_column > num_users, ...).
+Result<SearchDataset> GenerateScaleSearch(const SearchScaleSpec& spec);
+
+struct ServeLoadSpec {
+  uint64_t seed = 1;
+  size_t num_requests = 10'000;
+  // Distinct request shapes; requests are drawn from them Zipf-weighted, so
+  // the stream has the repeat structure an answer cache is built for.
+  size_t distinct_patterns = 256;
+  double zipf_exponent = 1.0;
+};
+
+// Quantification request stream over a cube of the given axis sizes: varies
+// target dimension, k, direction and axis restrictions per pattern.
+// Requires all axis sizes ≥ 1 (returns an empty stream otherwise).
+std::vector<QuantificationRequest> GenerateServeRequests(
+    const ServeLoadSpec& spec, size_t num_groups, size_t num_queries,
+    size_t num_locations);
+
+}  // namespace fairjob
+
+#endif  // FAIRJOB_MARKET_SCALE_GEN_H_

@@ -14,6 +14,7 @@ namespace fairjob {
 // docs/observability.md).
 struct ListBatchStats {
   uint64_t lists_interned = 0;  // lists sharing the arena
+  uint64_t unique_lists = 0;    // distinct list contents (arena slots)
   uint64_t items_interned = 0;  // total item slots across all lists
   uint64_t universe_size = 0;   // distinct item ids across all lists
 };
@@ -30,6 +31,18 @@ struct ListBatchStats {
 // (rank of every universe item, −1 when absent) plus a membership bitmap —
 // after which every pair kernel runs on flat arrays only: no hashing, no
 // per-pair allocation, duplicate/size validation already done per list.
+//
+// Lists with identical contents share one arena slot (positions + bitmap
+// stored once): at scale most users of a cell see one of a few personalized
+// variants of the same ranking, so a million-observation cell costs
+// arena memory proportional to its *distinct* lists. Kernels are pure
+// functions of list contents, so deduplication cannot change any result.
+//
+// The integer hot loops (the dense-universe Jaccard popcount sweep and the
+// membership/rank gathers feeding Kendall-Tau / Footrule / RBO) run through
+// the runtime-dispatched SIMD kernels of ranking/simd.h — AVX2 when
+// compiled in and supported, scalar otherwise; both are bitwise-equivalent
+// by construction (integer-only work).
 //
 // Bitwise contract: on inputs both paths accept, every kernel accumulates
 // exactly the same floating-point terms in exactly the same order as its
@@ -54,6 +67,7 @@ class ListDistanceBatch {
     std::vector<int32_t> mapped_;
     std::vector<int32_t> merge_;
     std::vector<size_t> rank_b_;
+    std::vector<int32_t> gather_;
   };
 
   // Interns `lists` (which may be empty) into a shared arena. Errors:
@@ -63,9 +77,12 @@ class ListDistanceBatch {
   static Result<ListDistanceBatch> Make(
       const std::vector<const RankedList*>& lists);
 
-  size_t num_lists() const { return offsets_.size() - 1; }
+  size_t num_lists() const { return rep_.size(); }
   size_t universe_size() const { return item_ids_.size(); }
-  size_t list_size(size_t i) const { return offsets_[i + 1] - offsets_[i]; }
+  size_t list_size(size_t i) const {
+    size_t slot = rep_[i];
+    return offsets_[slot + 1] - offsets_[slot];
+  }
   const ListBatchStats& stats() const { return stats_; }
 
   // Pair kernels over the lists passed to Make (indices into that vector).
@@ -92,13 +109,16 @@ class ListDistanceBatch {
 
   // Dense id → original item id (error messages, tests).
   std::vector<int32_t> item_ids_;
-  // List l's dense ids in rank order live in
-  // dense_[offsets_[l], offsets_[l + 1]).
+  // Logical list index → arena slot; lists with identical contents share a
+  // slot, so the arrays below are sized by distinct lists, not by n.
+  std::vector<size_t> rep_;
+  // Slot s's dense ids in rank order live in
+  // dense_[offsets_[s], offsets_[s + 1]).
   std::vector<size_t> offsets_;
   std::vector<int32_t> dense_;
-  // pos_[l * U + u]: 0-based rank of universe item u in list l, −1 absent.
+  // pos_[s * U + u]: 0-based rank of universe item u in slot s, −1 absent.
   std::vector<int32_t> pos_;
-  // bits_[l * words_ + w]: membership bitmap of list l (bit u%64 of word
+  // bits_[s * words_ + w]: membership bitmap of slot s (bit u%64 of word
   // u/64 set iff u present). Used by the Jaccard kernel when a popcount
   // sweep beats probing the shorter list.
   std::vector<uint64_t> bits_;

@@ -1,0 +1,132 @@
+#include "ranking/simd.h"
+
+#include <atomic>
+#include <bit>
+
+#if defined(FAIRJOB_ENABLE_AVX2)
+#include <immintrin.h>
+#endif
+
+namespace fairjob {
+namespace simd {
+
+size_t IntersectPopcountScalar(const uint64_t* a, const uint64_t* b,
+                               size_t words) {
+  size_t total = 0;
+  for (size_t w = 0; w < words; ++w) {
+    total += static_cast<size_t>(std::popcount(a[w] & b[w]));
+  }
+  return total;
+}
+
+void GatherPositionsScalar(const int32_t* pos, const int32_t* ids, size_t n,
+                           int32_t* out) {
+  for (size_t r = 0; r < n; ++r) {
+    out[r] = pos[ids[r]];
+  }
+}
+
+#if defined(FAIRJOB_ENABLE_AVX2)
+
+// AND + positional-popcount sweep: the 4-bit-nibble LUT popcount (vpshufb)
+// with per-iteration psadbw reduction into four 64-bit lanes. Exact for any
+// `words`; the <4-word tail falls back to the scalar loop, so off-width
+// bitmaps (universe % 256 != 0) produce identical counts.
+__attribute__((target("avx2"))) size_t IntersectPopcountAvx2(
+    const uint64_t* a, const uint64_t* b, size_t words) {
+  const __m256i lut = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i acc = zero;
+  size_t w = 0;
+  for (; w + 4 <= words; w += 4) {
+    __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w));
+    __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + w));
+    __m256i v = _mm256_and_si256(va, vb);
+    __m256i lo = _mm256_and_si256(v, low_mask);
+    __m256i hi = _mm256_and_si256(_mm256_srli_epi32(v, 4), low_mask);
+    __m256i counts = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                     _mm256_shuffle_epi8(lut, hi));
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(counts, zero));
+  }
+  uint64_t lanes[4];
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  size_t total =
+      static_cast<size_t>(lanes[0] + lanes[1] + lanes[2] + lanes[3]);
+  for (; w < words; ++w) {
+    total += static_cast<size_t>(std::popcount(a[w] & b[w]));
+  }
+  return total;
+}
+
+__attribute__((target("avx2"))) void GatherPositionsAvx2(const int32_t* pos,
+                                                         const int32_t* ids,
+                                                         size_t n,
+                                                         int32_t* out) {
+  size_t r = 0;
+  for (; r + 8 <= n; r += 8) {
+    __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ids + r));
+    __m256i v = _mm256_i32gather_epi32(pos, idx, 4);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + r), v);
+  }
+  for (; r < n; ++r) {
+    out[r] = pos[ids[r]];
+  }
+}
+
+#endif  // FAIRJOB_ENABLE_AVX2
+
+namespace {
+
+std::atomic<bool> g_force_scalar{false};
+
+bool DetectAvx2() {
+#if defined(FAIRJOB_ENABLE_AVX2) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+inline bool UseAvx2() {
+  return Avx2Available() && !g_force_scalar.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+bool Avx2Available() {
+  static const bool available = DetectAvx2();
+  return available;
+}
+
+size_t IntersectPopcount(const uint64_t* a, const uint64_t* b, size_t words) {
+#if defined(FAIRJOB_ENABLE_AVX2)
+  if (UseAvx2()) return IntersectPopcountAvx2(a, b, words);
+#endif
+  return IntersectPopcountScalar(a, b, words);
+}
+
+void GatherPositions(const int32_t* pos, const int32_t* ids, size_t n,
+                     int32_t* out) {
+#if defined(FAIRJOB_ENABLE_AVX2)
+  if (UseAvx2()) {
+    GatherPositionsAvx2(pos, ids, n, out);
+    return;
+  }
+#endif
+  GatherPositionsScalar(pos, ids, n, out);
+}
+
+const char* ActiveKernel() { return UseAvx2() ? "avx2" : "scalar"; }
+
+void ForceScalar(bool force) {
+  g_force_scalar.store(force, std::memory_order_relaxed);
+}
+
+}  // namespace simd
+}  // namespace fairjob

@@ -1,0 +1,67 @@
+#ifndef FAIRJOB_RANKING_SIMD_H_
+#define FAIRJOB_RANKING_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fairjob {
+namespace simd {
+
+// Runtime-dispatched SIMD kernels behind the batched list-distance engine
+// (ranking/list_batch.h). Two primitives cover the hot loops:
+//
+//  * IntersectPopcount — popcount of the AND of two membership bitmaps, the
+//    whole cost of the dense-universe Jaccard sweep;
+//  * GatherPositions — out[r] = pos[ids[r]], the membership/rank scan that
+//    feeds the Kendall-Tau / Footrule / RBO kernels (position arrays are
+//    int32 with −1 for "absent", so one gather answers both "what rank" and
+//    "is it a member").
+//
+// Both are integer-only, so the SIMD variants are *bitwise* equivalent to
+// the scalar ones — no floating-point reassociation is possible — and the
+// engine's bitwise contract against the per-pair references is preserved
+// unconditionally (tests/list_batch_test.cc runs the differential over
+// off-width tails and random inputs).
+//
+// Dispatch: the scalar fallback (portable, std::popcount) always exists;
+// when the binary was compiled with FAIRJOB_ENABLE_AVX2 *and* the CPU
+// reports AVX2 at runtime, the function pointers below resolve to the AVX2
+// variants on first use. `ForceScalar` pins the dispatch for benchmarking.
+
+// Scalar reference implementations (always available; the differential
+// baseline).
+size_t IntersectPopcountScalar(const uint64_t* a, const uint64_t* b,
+                               size_t words);
+void GatherPositionsScalar(const int32_t* pos, const int32_t* ids, size_t n,
+                           int32_t* out);
+
+// AVX2 variants. Compiled only when FAIRJOB_ENABLE_AVX2 is defined (the
+// CMake option of the same name); calling them requires Avx2Available().
+#if defined(FAIRJOB_ENABLE_AVX2)
+size_t IntersectPopcountAvx2(const uint64_t* a, const uint64_t* b,
+                             size_t words);
+void GatherPositionsAvx2(const int32_t* pos, const int32_t* ids, size_t n,
+                         int32_t* out);
+#endif
+
+// True when the AVX2 variants are both compiled in and supported by the
+// running CPU.
+bool Avx2Available();
+
+// Dispatched entry points used by the engine's hot loops.
+size_t IntersectPopcount(const uint64_t* a, const uint64_t* b, size_t words);
+void GatherPositions(const int32_t* pos, const int32_t* ids, size_t n,
+                     int32_t* out);
+
+// "avx2" or "scalar" — what the dispatched entry points currently run.
+const char* ActiveKernel();
+
+// Benchmark hook: true pins dispatch to the scalar variants, false restores
+// auto-detection. Not thread-safe against concurrent kernel calls; flip it
+// only around single-threaded timing loops.
+void ForceScalar(bool force);
+
+}  // namespace simd
+}  // namespace fairjob
+
+#endif  // FAIRJOB_RANKING_SIMD_H_

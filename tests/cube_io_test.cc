@@ -3,12 +3,50 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "crawl/csv.h"
 
 namespace fairjob {
 namespace {
+
+// Exact (bitwise) cell equality, the contract every persistence path and
+// the sharded build share with the in-memory reference.
+void ExpectCubesIdentical(const UnfairnessCube& a, const UnfairnessCube& b) {
+  ASSERT_EQ(a.axis_size(Dimension::kGroup), b.axis_size(Dimension::kGroup));
+  ASSERT_EQ(a.axis_size(Dimension::kQuery), b.axis_size(Dimension::kQuery));
+  ASSERT_EQ(a.axis_size(Dimension::kLocation),
+            b.axis_size(Dimension::kLocation));
+  for (Dimension d :
+       {Dimension::kGroup, Dimension::kQuery, Dimension::kLocation}) {
+    for (size_t pos = 0; pos < a.axis_size(d); ++pos) {
+      ASSERT_EQ(a.axis_id(d, pos), b.axis_id(d, pos));
+    }
+  }
+  for (size_t g = 0; g < a.axis_size(Dimension::kGroup); ++g) {
+    for (size_t q = 0; q < a.axis_size(Dimension::kQuery); ++q) {
+      for (size_t l = 0; l < a.axis_size(Dimension::kLocation); ++l) {
+        ASSERT_EQ(a.Get(g, q, l), b.Get(g, q, l))
+            << "g=" << g << " q=" << q << " l=" << l;
+      }
+    }
+  }
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
 
 UnfairnessCube SampleCube() {
   UnfairnessCube cube = *UnfairnessCube::Make({10, 11}, {20, 21, 22}, {30});
@@ -125,6 +163,326 @@ TEST(CubeIoTest, LargeRandomCubeRoundTrips) {
       }
     }
   }
+}
+
+// --- binary format ----------------------------------------------------------
+
+// Values picked to break lossy serialization: non-terminating binary
+// fractions, tiny magnitudes (where fixed-decimal CSV formatting used to
+// truncate), negatives, and exact integers.
+UnfairnessCube AwkwardCube() {
+  UnfairnessCube cube =
+      *UnfairnessCube::Make({10, 11, 12}, {20, 21, 22, 23}, {30, 31});
+  cube.Set(0, 0, 0, 1.0 / 3.0);
+  cube.Set(0, 3, 1, 4.9406564584124654e-312);
+  cube.Set(1, 1, 0, -0.000123456789012345678);
+  cube.Set(1, 2, 1, 1.0);
+  cube.Set(2, 0, 1, 0.1 + 0.2);
+  cube.Set(2, 3, 0, 7.389056098930650e-9);
+  return cube;
+}
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(BinaryCubeIoTest, DenseRoundTripIsBitwise) {
+  std::string path = TempPath("dense.fjcube");
+  UnfairnessCube cube = AwkwardCube();
+  BinaryCubeWriteOptions options;
+  options.layout = BinaryCubeWriteOptions::Layout::kDense;
+  ASSERT_TRUE(SaveCubeBinary(path, cube, nullptr, options).ok());
+  Result<UnfairnessCube> restored = LoadCubeBinary(path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ExpectCubesIdentical(cube, *restored);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryCubeIoTest, SparseRoundTripIsBitwise) {
+  std::string path = TempPath("sparse.fjcube");
+  UnfairnessCube cube = AwkwardCube();
+  BinaryCubeWriteOptions options;
+  options.layout = BinaryCubeWriteOptions::Layout::kSparse;
+  ASSERT_TRUE(SaveCubeBinary(path, cube, nullptr, options).ok());
+  Result<UnfairnessCube> restored = LoadCubeBinary(path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ExpectCubesIdentical(cube, *restored);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryCubeIoTest, CsvAndBinaryLoadsAreBitwiseIdentical) {
+  std::string bin_path = TempPath("diff.fjcube");
+  std::string csv_path = TempPath("diff.csv");
+  UnfairnessCube cube = AwkwardCube();
+  ASSERT_TRUE(SaveCubeBinary(bin_path, cube).ok());
+  ASSERT_TRUE(SaveCube(csv_path, cube).ok());
+  UnfairnessCube from_binary = *LoadCubeBinary(bin_path);
+  UnfairnessCube from_csv = *LoadCube(csv_path);
+  ExpectCubesIdentical(from_binary, from_csv);
+  ExpectCubesIdentical(cube, from_binary);
+  std::remove(bin_path.c_str());
+  std::remove(csv_path.c_str());
+}
+
+TEST(BinaryCubeIoTest, AutoLayoutTracksDensity) {
+  std::string path = TempPath("auto.fjcube");
+  // 6 of 24 cells present = 25%: at the threshold, dense.
+  ASSERT_TRUE(SaveCubeBinary(path, AwkwardCube()).ok());
+  EXPECT_TRUE(MappedCube::Open(path)->dense());
+  // 1 of 24 present: sparse.
+  UnfairnessCube sparse =
+      *UnfairnessCube::Make({10, 11, 12}, {20, 21, 22, 23}, {30, 31});
+  sparse.Set(1, 1, 1, 0.5);
+  ASSERT_TRUE(SaveCubeBinary(path, sparse).ok());
+  EXPECT_FALSE(MappedCube::Open(path)->dense());
+  ExpectCubesIdentical(sparse, *LoadCubeBinary(path));
+  std::remove(path.c_str());
+}
+
+TEST(BinaryCubeIoTest, NamesRoundTripVerbatim) {
+  std::string path = TempPath("named.fjcube");
+  UnfairnessCube cube = *UnfairnessCube::Make({10, 11}, {20}, {30});
+  cube.Set(0, 0, 0, 0.25);
+  CubeNames names;
+  names.groups = {"gender=Female", ""};
+  names.queries = {"handyman, with \"quotes\" and, commas"};
+  names.locations = {"San Francisco"};
+  ASSERT_TRUE(SaveCubeBinary(path, cube, &names).ok());
+  Result<MappedCube> mapped = MappedCube::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  Result<CubeNames> restored = mapped->Names();
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->groups, names.groups);
+  EXPECT_EQ(restored->queries, names.queries);
+  EXPECT_EQ(restored->locations, names.locations);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryCubeIoTest, RejectsNamesOfWrongLength) {
+  std::string path = TempPath("badnames.fjcube");
+  UnfairnessCube cube = *UnfairnessCube::Make({10, 11}, {20}, {30});
+  CubeNames names;
+  names.groups = {"only one"};
+  EXPECT_EQ(SaveCubeBinary(path, cube, &names).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(BinaryCubeIoTest, MappedGetMatchesMaterializedCube) {
+  std::string path = TempPath("mapped.fjcube");
+  UnfairnessCube cube = AwkwardCube();
+  BinaryCubeWriteOptions options;
+  options.layout = BinaryCubeWriteOptions::Layout::kDense;
+  ASSERT_TRUE(SaveCubeBinary(path, cube, nullptr, options).ok());
+  Result<MappedCube> mapped = MappedCube::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_EQ(mapped->num_present(), cube.num_present());
+  EXPECT_EQ(mapped->num_cells(), cube.num_cells());
+  for (size_t g = 0; g < cube.axis_size(Dimension::kGroup); ++g) {
+    for (size_t q = 0; q < cube.axis_size(Dimension::kQuery); ++q) {
+      for (size_t l = 0; l < cube.axis_size(Dimension::kLocation); ++l) {
+        EXPECT_EQ(mapped->Get(g, q, l), cube.Get(g, q, l));
+      }
+    }
+  }
+  for (Dimension d :
+       {Dimension::kGroup, Dimension::kQuery, Dimension::kLocation}) {
+    for (size_t pos = 0; pos < cube.axis_size(d); ++pos) {
+      EXPECT_EQ(mapped->axis_id(d, pos), cube.axis_id(d, pos));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BinaryCubeIoTest, SparseMappedGetReturnsMissing) {
+  std::string path = TempPath("sparseget.fjcube");
+  UnfairnessCube cube = AwkwardCube();
+  BinaryCubeWriteOptions options;
+  options.layout = BinaryCubeWriteOptions::Layout::kSparse;
+  ASSERT_TRUE(SaveCubeBinary(path, cube, nullptr, options).ok());
+  MappedCube mapped = *MappedCube::Open(path);
+  EXPECT_FALSE(mapped.dense());
+  EXPECT_EQ(mapped.Get(0, 0, 0), std::nullopt);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryCubeIoTest, RejectsTruncatedCorruptAndMismatchedFiles) {
+  std::string path = TempPath("mangle.fjcube");
+  ASSERT_TRUE(SaveCubeBinary(path, AwkwardCube()).ok());
+  std::string good = ReadFileBytes(path);
+  ASSERT_GT(good.size(), 80u);
+
+  // Truncated below the header.
+  WriteFileBytes(path, good.substr(0, 10));
+  Result<UnfairnessCube> r = LoadCubeBinary(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("truncated"), std::string::npos);
+
+  // Truncated payload.
+  WriteFileBytes(path, good.substr(0, good.size() - 5));
+  EXPECT_FALSE(LoadCubeBinary(path).ok());
+
+  // Bad magic.
+  std::string bad_magic = good;
+  bad_magic[0] = 'X';
+  WriteFileBytes(path, bad_magic);
+  r = LoadCubeBinary(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("magic"), std::string::npos);
+
+  // Unsupported version (checked before the header CRC).
+  std::string bad_version = good;
+  bad_version[8] = 99;
+  WriteFileBytes(path, bad_version);
+  r = LoadCubeBinary(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("version"), std::string::npos);
+
+  // Corrupt header field (axis size) fails the header checksum.
+  std::string bad_header = good;
+  bad_header[17] ^= 0x40;
+  WriteFileBytes(path, bad_header);
+  r = LoadCubeBinary(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("checksum"), std::string::npos);
+
+  // Corrupt payload byte fails the payload CRC...
+  std::string bad_payload = good;
+  bad_payload[good.size() - 3] ^= 0x01;
+  WriteFileBytes(path, bad_payload);
+  EXPECT_FALSE(LoadCubeBinary(path).ok());
+  // ...unless checksum verification is explicitly disabled.
+  MappedCube::Options trusting;
+  trusting.verify_checksum = false;
+  EXPECT_TRUE(MappedCube::Open(path, trusting).ok());
+
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadCubeBinary(path).ok());  // missing file
+}
+
+TEST(BinaryCubeIoTest, ColumnWriterProducesSameFileAsSaveCubeBinary) {
+  std::string streamed_path = TempPath("streamed.fjcube");
+  std::string direct_path = TempPath("direct.fjcube");
+  UnfairnessCube cube = AwkwardCube();
+  CubeAxes axes;
+  for (size_t g = 0; g < cube.axis_size(Dimension::kGroup); ++g) {
+    axes.groups.push_back(cube.axis_id(Dimension::kGroup, g));
+  }
+  for (size_t q = 0; q < cube.axis_size(Dimension::kQuery); ++q) {
+    axes.queries.push_back(cube.axis_id(Dimension::kQuery, q));
+  }
+  for (size_t l = 0; l < cube.axis_size(Dimension::kLocation); ++l) {
+    axes.locations.push_back(cube.axis_id(Dimension::kLocation, l));
+  }
+  auto writer = BinaryCubeColumnWriter::Create(streamed_path, axes);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  std::vector<std::optional<double>> column(axes.groups.size());
+  for (size_t q = 0; q < axes.queries.size(); ++q) {
+    for (size_t l = 0; l < axes.locations.size(); ++l) {
+      for (size_t g = 0; g < axes.groups.size(); ++g) {
+        column[g] = cube.Get(g, q, l);
+      }
+      ASSERT_TRUE(
+          (*writer)->Consume(q, l, column.data(), column.size()).ok());
+    }
+  }
+  ASSERT_TRUE((*writer)->Finish().ok());
+
+  BinaryCubeWriteOptions options;
+  options.layout = BinaryCubeWriteOptions::Layout::kDense;
+  ASSERT_TRUE(SaveCubeBinary(direct_path, cube, nullptr, options).ok());
+  EXPECT_EQ(ReadFileBytes(streamed_path), ReadFileBytes(direct_path));
+  ExpectCubesIdentical(cube, *LoadCubeBinary(streamed_path));
+  std::remove(streamed_path.c_str());
+  std::remove(direct_path.c_str());
+}
+
+TEST(BinaryCubeIoTest, ColumnWriterSkippedColumnsStayMissing) {
+  std::string path = TempPath("skipped.fjcube");
+  CubeAxes axes;
+  axes.groups = {1, 2};
+  axes.queries = {3, 4, 5};
+  axes.locations = {6};
+  auto writer = BinaryCubeColumnWriter::Create(path, axes);
+  ASSERT_TRUE(writer.ok());
+  std::optional<double> column[2] = {0.75, std::nullopt};
+  ASSERT_TRUE((*writer)->Consume(1, 0, column, 2).ok());
+  // Error paths: out-of-range column, wrong group count, use after Finish.
+  EXPECT_EQ((*writer)->Consume(3, 0, column, 2).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ((*writer)->Consume(0, 0, column, 1).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE((*writer)->Finish().ok());
+  EXPECT_FALSE((*writer)->Consume(0, 0, column, 2).ok());
+
+  UnfairnessCube restored = *LoadCubeBinary(path);
+  EXPECT_EQ(restored.num_present(), 1u);
+  EXPECT_EQ(restored.Get(0, 1, 0), std::optional<double>(0.75));
+  EXPECT_EQ(restored.Get(0, 0, 0), std::nullopt);
+  EXPECT_EQ(restored.Get(1, 2, 0), std::nullopt);
+  std::remove(path.c_str());
+}
+
+// End-to-end scale path in miniature: a sharded marketplace build streamed
+// straight to disk must load back bitwise-equal to the in-memory builder.
+TEST(BinaryCubeIoTest, ShardedBuildToFileMatchesInMemoryBuild) {
+  AttributeSchema schema;
+  ASSERT_TRUE(schema.AddAttribute("gender", {"Male", "Female"}).ok());
+  ASSERT_TRUE(schema.AddAttribute("age", {"young", "old"}).ok());
+  MarketplaceDataset market(schema);
+  GroupSpace space = *GroupSpace::Enumerate(market.schema());
+  Rng rng(77);
+  std::vector<WorkerId> workers;
+  for (int i = 0; i < 10; ++i) {
+    Demographics d = {static_cast<ValueId>(rng.NextBelow(2)),
+                      static_cast<ValueId>(rng.NextBelow(2))};
+    workers.push_back(*market.AddWorker("w" + std::to_string(i), d));
+  }
+  for (QueryId q = 0; q < 4; ++q) {
+    market.queries().GetOrAdd("q" + std::to_string(q));
+    for (LocationId l = 0; l < 2; ++l) {
+      market.locations().GetOrAdd("l" + std::to_string(l));
+      if (q == 2 && l == 1) continue;  // hole
+      MarketRanking r;
+      r.workers = workers;
+      rng.Shuffle(r.workers);
+      ASSERT_TRUE(market.SetRanking(q, l, std::move(r)).ok());
+    }
+  }
+  CubeAxes axes = *ResolveMarketplaceCubeAxes(market, space);
+  std::string path = TempPath("sharded.fjcube");
+  auto writer = BinaryCubeColumnWriter::Create(path, axes);
+  ASSERT_TRUE(writer.ok());
+  ShardedBuildOptions sharded;
+  sharded.shard_columns = 3;
+  sharded.parallelism = 2;
+  ASSERT_TRUE(BuildMarketplaceCubeSharded(market, space, MarketMeasure::kEmd,
+                                          {}, axes, sharded, writer->get())
+                  .ok());
+  ASSERT_TRUE((*writer)->Finish().ok());
+  UnfairnessCube from_file = *LoadCubeBinary(path);
+  UnfairnessCube in_memory =
+      *BuildMarketplaceCube(market, space, MarketMeasure::kEmd);
+  ExpectCubesIdentical(in_memory, from_file);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryCubeIoTest, Crc32MatchesKnownCheckValue) {
+  // The standard CRC-32 check value: crc32("123456789") == 0xCBF43926. Guards
+  // the sliced implementation against table or byte-order regressions, which
+  // would silently change the on-disk format.
+  std::string path = TempPath("crc.fjcube");
+  UnfairnessCube cube = *UnfairnessCube::Make({1}, {2}, {3});
+  cube.Set(0, 0, 0, 0.5);
+  ASSERT_TRUE(SaveCubeBinary(path, cube).ok());
+  std::string bytes = ReadFileBytes(path);
+  // Flipping any single payload byte must flip the stored CRC check.
+  for (size_t i : {size_t{64}, bytes.size() - 1}) {
+    std::string mangled = bytes;
+    mangled[i] = static_cast<char>(mangled[i] ^ 0x10);
+    WriteFileBytes(path, mangled);
+    EXPECT_FALSE(LoadCubeBinary(path).ok()) << "byte " << i;
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -449,6 +449,121 @@ TEST(ParallelBuildTest, ParallelMatchesSerialForBothBuilders) {
   }
 }
 
+// The bounded-memory sharded builders must stream exactly the columns the
+// in-memory builders materialize — bitwise, whatever the shard size or
+// parallelism, since both run the same column evaluators.
+TEST(ShardedBuildTest, ShardedMatchesInMemoryForBothBuilders) {
+  AttributeSchema schema;
+  ASSERT_TRUE(
+      schema.AddAttribute("ethnicity", {"Asian", "Black", "White"}).ok());
+  ASSERT_TRUE(schema.AddAttribute("gender", {"Male", "Female"}).ok());
+
+  MarketplaceDataset market(schema);
+  GroupSpace space = *GroupSpace::Enumerate(market.schema());
+  Rng rng(606);
+  std::vector<WorkerId> workers;
+  for (int i = 0; i < 12; ++i) {
+    Demographics d = {static_cast<ValueId>(rng.NextBelow(3)),
+                      static_cast<ValueId>(rng.NextBelow(2))};
+    workers.push_back(*market.AddWorker("w" + std::to_string(i), d));
+  }
+  for (QueryId q = 0; q < 5; ++q) {
+    market.queries().GetOrAdd("q" + std::to_string(q));
+    for (LocationId l = 0; l < 3; ++l) {
+      market.locations().GetOrAdd("l" + std::to_string(l));
+      if (q == 3) continue;  // unobserved column: must stay all-missing
+      MarketRanking r;
+      r.workers = workers;
+      rng.Shuffle(r.workers);
+      ASSERT_TRUE(market.SetRanking(q, l, std::move(r)).ok());
+    }
+  }
+  CubeAxes axes = *ResolveMarketplaceCubeAxes(market, space);
+  UnfairnessCube full =
+      *BuildMarketplaceCube(market, space, MarketMeasure::kEmd);
+  for (ShardedBuildOptions sharded :
+       {ShardedBuildOptions{2, 1}, ShardedBuildOptions{4, 3},
+        ShardedBuildOptions{1000, 2}}) {
+    UnfairnessCube streamed =
+        *UnfairnessCube::Make(axes.groups, axes.queries, axes.locations);
+    CubeMaterializeSink sink(&streamed);
+    ASSERT_TRUE(BuildMarketplaceCubeSharded(market, space, MarketMeasure::kEmd,
+                                            {}, axes, sharded, &sink)
+                    .ok());
+    ASSERT_EQ(streamed.num_present(), full.num_present());
+    for (size_t g = 0; g < full.axis_size(Dimension::kGroup); ++g) {
+      for (size_t q = 0; q < 5; ++q) {
+        for (size_t l = 0; l < 3; ++l) {
+          ASSERT_EQ(streamed.Get(g, q, l), full.Get(g, q, l))
+              << "g=" << g << " q=" << q << " l=" << l
+              << " shard_columns=" << sharded.shard_columns;
+        }
+      }
+    }
+  }
+
+  SearchDataset search(schema);
+  for (int u = 0; u < 8; ++u) {
+    Demographics d = {static_cast<ValueId>(rng.NextBelow(3)),
+                      static_cast<ValueId>(rng.NextBelow(2))};
+    ASSERT_TRUE(search.AddUser("u" + std::to_string(u), d).ok());
+  }
+  for (QueryId q = 0; q < 4; ++q) {
+    search.queries().GetOrAdd("sq" + std::to_string(q));
+    for (LocationId l = 0; l < 2; ++l) {
+      search.locations().GetOrAdd("sl" + std::to_string(l));
+      for (UserId u = 0; u < 8; ++u) {
+        std::vector<int32_t> pool = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+        rng.Shuffle(pool);
+        RankedList results(pool.begin(), pool.begin() + 6);
+        ASSERT_TRUE(search.AddObservation(q, l, {u, results}).ok());
+      }
+    }
+  }
+  CubeAxes search_axes = *ResolveSearchCubeAxes(search, space);
+  UnfairnessCube search_full =
+      *BuildSearchCube(search, space, SearchMeasure::kJaccard);
+  UnfairnessCube search_streamed = *UnfairnessCube::Make(
+      search_axes.groups, search_axes.queries, search_axes.locations);
+  CubeMaterializeSink search_sink(&search_streamed);
+  ASSERT_TRUE(BuildSearchCubeSharded(search, space, SearchMeasure::kJaccard,
+                                     {}, search_axes, {3, 2}, &search_sink)
+                  .ok());
+  ASSERT_EQ(search_streamed.num_present(), search_full.num_present());
+  for (size_t g = 0; g < search_full.axis_size(Dimension::kGroup); ++g) {
+    for (size_t q = 0; q < 4; ++q) {
+      for (size_t l = 0; l < 2; ++l) {
+        ASSERT_EQ(search_streamed.Get(g, q, l), search_full.Get(g, q, l));
+      }
+    }
+  }
+}
+
+TEST(ShardedBuildTest, RejectsBadArguments) {
+  AttributeSchema schema;
+  ASSERT_TRUE(schema.AddAttribute("gender", {"Male", "Female"}).ok());
+  MarketplaceDataset market(schema);
+  GroupSpace space = *GroupSpace::Enumerate(market.schema());
+  ASSERT_TRUE(market.AddWorker("w0", {0}).ok());
+  market.queries().GetOrAdd("q0");
+  market.locations().GetOrAdd("l0");
+  MarketRanking r;
+  r.workers = {0};
+  ASSERT_TRUE(market.SetRanking(0, 0, std::move(r)).ok());
+  CubeAxes axes = *ResolveMarketplaceCubeAxes(market, space);
+  UnfairnessCube cube =
+      *UnfairnessCube::Make(axes.groups, axes.queries, axes.locations);
+  CubeMaterializeSink sink(&cube);
+  EXPECT_EQ(BuildMarketplaceCubeSharded(market, space, MarketMeasure::kEmd, {},
+                                        axes, {}, nullptr)
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(BuildMarketplaceCubeSharded(market, space, MarketMeasure::kEmd, {},
+                                        axes, {0, 1}, &sink)
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST_F(CubeBuilderTest, RefreshColumnTracksDatasetChanges) {
   UnfairnessCube cube =
       *BuildMarketplaceCube(*data_, *space_, MarketMeasure::kEmd);

@@ -22,6 +22,7 @@
 #include "ranking/kendall_tau.h"
 #include "ranking/list_batch.h"
 #include "ranking/rbo.h"
+#include "ranking/simd.h"
 #include "search/google_sim.h"
 
 namespace fairjob {
@@ -224,11 +225,134 @@ TEST(ListBatchTest, StatsCountInterningWork) {
   Result<ListDistanceBatch> batch = ListDistanceBatch::Make(Pointers(lists));
   ASSERT_TRUE(batch.ok());
   EXPECT_EQ(batch->stats().lists_interned, 3u);
+  EXPECT_EQ(batch->stats().unique_lists, 3u);  // all contents distinct
   EXPECT_EQ(batch->stats().items_interned, 8u);
   EXPECT_EQ(batch->stats().universe_size, 5u);
   EXPECT_EQ(batch->num_lists(), 3u);
   EXPECT_EQ(batch->list_size(0), 3u);
   EXPECT_EQ(batch->list_size(2), 2u);
+}
+
+// Lists with identical content share one arena slot; kernels are pure
+// functions of list content, so every logical index must keep answering
+// exactly as if the arena were not deduplicated.
+TEST(ListBatchTest, DeduplicatesIdenticalListContent) {
+  RankedList a = {4, 1, 9};
+  RankedList b = {9, 1, 4};  // same set, different order: NOT a duplicate
+  RankedList c = {7, 2};
+  std::vector<RankedList> lists = {a, b, a, c, a, c};
+  Result<ListDistanceBatch> batch = ListDistanceBatch::Make(Pointers(lists));
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->stats().lists_interned, 6u);
+  EXPECT_EQ(batch->stats().unique_lists, 3u);  // {a, b, c}
+  EXPECT_EQ(batch->num_lists(), 6u);
+  EXPECT_EQ(batch->list_size(4), 3u);
+  ListDistanceBatch::Scratch scratch;
+  for (size_t i = 0; i < lists.size(); ++i) {
+    for (size_t j = 0; j < lists.size(); ++j) {
+      if (i == j) continue;
+      std::string pair =
+          "pair " + std::to_string(i) + "," + std::to_string(j);
+      ExpectBitwise(batch->KendallTauTopK(i, j, 0.5, &scratch),
+                    KendallTauTopK(lists[i], lists[j], 0.5), pair + " kt");
+      ExpectBitwise(batch->Jaccard(i, j), JaccardDistance(lists[i], lists[j]),
+                    pair + " jaccard");
+      ExpectBitwise(batch->FootruleTopK(i, j),
+                    FootruleTopK(lists[i], lists[j]), pair + " footrule");
+      ExpectBitwise(batch->Rbo(i, j, 0.9),
+                    RboDistance(lists[i], lists[j], 0.9), pair + " rbo");
+    }
+  }
+  // Shared-slot pairs must report exact-zero distances.
+  EXPECT_EQ(*batch->Jaccard(0, 2), 0.0);
+  EXPECT_EQ(*batch->FootruleTopK(2, 4), 0.0);
+}
+
+// Restores the dispatcher on scope exit so a failing assertion cannot leave
+// the process pinned to the scalar kernels.
+struct ScopedForceScalar {
+  explicit ScopedForceScalar(bool on) { simd::ForceScalar(on); }
+  ~ScopedForceScalar() { simd::ForceScalar(false); }
+};
+
+// Direct kernel-level differential: the dispatched kernels must agree with
+// the scalar reference on every word count around the AVX2 block width of 4
+// words / 8 gather lanes — including the off-width tails the vector path
+// hands to its scalar remainder loop.
+TEST(ListBatchTest, SimdKernelsMatchScalarOnOffWidthTails) {
+  Rng rng(123);
+  for (size_t words : {size_t{1}, size_t{2}, size_t{3}, size_t{4}, size_t{5},
+                       size_t{7}, size_t{8}, size_t{9}, size_t{12},
+                       size_t{13}, size_t{31}}) {
+    std::vector<uint64_t> a(words), b(words);
+    for (size_t w = 0; w < words; ++w) {
+      a[w] = static_cast<uint64_t>(rng.NextU32()) << 32 | rng.NextU32();
+      b[w] = static_cast<uint64_t>(rng.NextU32()) << 32 | rng.NextU32();
+    }
+    EXPECT_EQ(simd::IntersectPopcount(a.data(), b.data(), words),
+              simd::IntersectPopcountScalar(a.data(), b.data(), words))
+        << words << " words";
+  }
+  for (size_t n : {size_t{1}, size_t{5}, size_t{8}, size_t{9}, size_t{16},
+                   size_t{19}, size_t{24}, size_t{100}}) {
+    std::vector<int32_t> pos(64);
+    for (int32_t& p : pos) {
+      p = rng.NextBernoulli(0.5) ? static_cast<int32_t>(rng.NextBelow(1000))
+                                 : -1;
+    }
+    std::vector<int32_t> ids(n);
+    for (int32_t& id : ids) {
+      id = static_cast<int32_t>(rng.NextBelow(64));
+    }
+    std::vector<int32_t> got(n, -7), want(n, -7);
+    simd::GatherPositions(pos.data(), ids.data(), n, got.data());
+    simd::GatherPositionsScalar(pos.data(), ids.data(), n, want.data());
+    EXPECT_EQ(got, want) << n << " ids";
+  }
+}
+
+// Whole-engine differential across the dispatch boundary: every kernel,
+// forced scalar vs dispatched, on universes straddling the vector width
+// (1–4 words, with tails), must be bitwise identical.
+TEST(ListBatchTest, ForcedScalarAndDispatchedKernelsAgreeBitwise) {
+  Rng rng(20260809);
+  for (int trial = 0; trial < 8; ++trial) {
+    int32_t universe = 17 + 61 * trial;  // 1..4 words, never word-aligned
+    std::vector<RankedList> lists;
+    for (int l = 0; l < 5; ++l) {
+      lists.push_back(RandomList(
+          rng, universe,
+          1 + rng.NextBelow(static_cast<uint32_t>(universe) / 2)));
+    }
+    Result<ListDistanceBatch> batch = ListDistanceBatch::Make(Pointers(lists));
+    ASSERT_TRUE(batch.ok());
+    ListDistanceBatch::Scratch scratch;
+    for (size_t i = 0; i < lists.size(); ++i) {
+      for (size_t j = 0; j < lists.size(); ++j) {
+        if (i == j) continue;
+        Status unset = Status::Internal("unset");
+        Result<double> kt_s = unset, j_s = unset, f_s = unset, rbo_s = unset,
+                       ktf_s = unset;
+        {
+          ScopedForceScalar force(true);
+          kt_s = batch->KendallTauTopK(i, j, 0.3, &scratch);
+          j_s = batch->Jaccard(i, j);
+          f_s = batch->FootruleTopK(i, j);
+          rbo_s = batch->Rbo(i, j, 0.97);
+          ktf_s = batch->KendallTauFull(i, j, &scratch);
+        }
+        std::string pair = "trial " + std::to_string(trial) + " pair " +
+                           std::to_string(i) + "," + std::to_string(j);
+        ExpectBitwise(batch->KendallTauTopK(i, j, 0.3, &scratch), kt_s,
+                      pair + " kt");
+        ExpectBitwise(batch->Jaccard(i, j), j_s, pair + " jaccard");
+        ExpectBitwise(batch->FootruleTopK(i, j), f_s, pair + " footrule");
+        ExpectBitwise(batch->Rbo(i, j, 0.97), rbo_s, pair + " rbo");
+        ExpectBitwise(batch->KendallTauFull(i, j, &scratch), ktf_s,
+                      pair + " kt-full");
+      }
+    }
+  }
 }
 
 // A shared immutable batch evaluated from many threads (each with its own
