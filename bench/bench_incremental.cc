@@ -1,0 +1,383 @@
+// Incremental maintenance vs cold rebuild at serving time: the same
+// sequence of re-crawl batches applied via MarketplaceCubeMaintainer
+// (recompute only the touched columns, derived snapshot keeps the cache
+// warm) and via full BuildMarketplaceCube + fresh snapshot (new lineage,
+// every cache entry dead). Gates the upsert path's speedup, the bitwise
+// differential contract, and the exact C - k cache-survival arithmetic.
+// Writes BENCH_incremental.json.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/trace.h"
+#include "core/quantification.h"
+#include "core/unfairness_cube.h"
+#include "market/scale_gen.h"
+#include "serve/cache_key.h"
+#include "serve/cube_snapshot.h"
+#include "serve/incremental.h"
+#include "serve/quantification_service.h"
+
+namespace fairjob {
+namespace bench {
+namespace {
+
+double ElapsedMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+bool BitwiseEqual(const std::optional<double>& a,
+                  const std::optional<double>& b) {
+  if (a.has_value() != b.has_value()) return false;
+  if (!a.has_value()) return true;
+  uint64_t ba;
+  uint64_t bb;
+  std::memcpy(&ba, &*a, sizeof(ba));
+  std::memcpy(&bb, &*b, sizeof(bb));
+  return ba == bb;
+}
+
+bool CubesBitwiseEqual(const UnfairnessCube& a, const UnfairnessCube& b) {
+  for (Dimension d :
+       {Dimension::kGroup, Dimension::kQuery, Dimension::kLocation}) {
+    if (a.axis_size(d) != b.axis_size(d)) return false;
+  }
+  for (size_t g = 0; g < a.axis_size(Dimension::kGroup); ++g) {
+    for (size_t q = 0; q < a.axis_size(Dimension::kQuery); ++q) {
+      for (size_t l = 0; l < a.axis_size(Dimension::kLocation); ++l) {
+        if (!BitwiseEqual(a.Get(g, q, l), b.Get(g, q, l))) return false;
+      }
+    }
+  }
+  return FingerprintCube(a) == FingerprintCube(b);
+}
+
+// The observed (query, location) columns of the generated marketplace, in
+// grid order — the C of the C - k survival arithmetic.
+std::vector<std::pair<QueryId, LocationId>> ObservedColumns(
+    const MarketplaceDataset& data, const ScaleSpec& spec) {
+  std::vector<std::pair<QueryId, LocationId>> columns;
+  for (QueryId q = 0; q < static_cast<QueryId>(spec.num_queries); ++q) {
+    for (LocationId l = 0; l < static_cast<LocationId>(spec.num_locations);
+         ++l) {
+      if (data.GetRanking(q, l) != nullptr) columns.emplace_back(q, l);
+    }
+  }
+  return columns;
+}
+
+// Re-crawl batches generated against an evolving scratch dataset, so both
+// the upsert pass and the rebuild pass replay the exact same deltas and
+// converge on the same final dataset. Each batch re-crawls `per_batch`
+// distinct columns and rotates the observed ranking — same workers, new
+// order — which is the cheapest edit guaranteed to move group positions.
+std::vector<CrawlBatch> MakeBatches(const MarketplaceDataset& initial,
+                                    const std::vector<std::pair<
+                                        QueryId, LocationId>>& columns,
+                                    size_t num_batches, size_t per_batch,
+                                    uint64_t seed) {
+  MarketplaceDataset scratch = initial;
+  Rng rng(seed);
+  std::vector<size_t> order(columns.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<CrawlBatch> batches;
+  for (size_t b = 0; b < num_batches; ++b) {
+    rng.Shuffle(order);
+    CrawlBatch batch;
+    for (size_t i = 0; i < per_batch && i < order.size(); ++i) {
+      auto [q, l] = columns[order[i]];
+      MarketRanking ranking = *scratch.GetRanking(q, l);
+      size_t shift = 1 + rng.NextBelow(ranking.workers.size() - 1);
+      std::rotate(ranking.workers.begin(), ranking.workers.begin() + shift,
+                  ranking.workers.end());
+      Status applied = scratch.SetRanking(q, l, ranking);
+      if (!applied.ok()) {
+        PrintTitle("FATAL: scratch apply: " + applied.ToString());
+        std::exit(1);
+      }
+      batch.rows.push_back(CrawlBatchRow{q, l, std::move(ranking)});
+    }
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+// One group-target request per observed column, each binding exactly its
+// own column's epoch; positions resolved through the cube's axis index.
+std::vector<QuantificationRequest> PerColumnRequests(
+    const UnfairnessCube& cube,
+    const std::vector<std::pair<QueryId, LocationId>>& columns) {
+  std::vector<QuantificationRequest> requests;
+  requests.reserve(columns.size());
+  for (auto [q, l] : columns) {
+    QuantificationRequest request;
+    request.target = Dimension::kGroup;
+    request.k = 5;
+    request.missing = MissingCellPolicy::kZero;
+    request.agg1 = AxisSelector::Single(
+        OrDie(cube.PosOf(Dimension::kQuery, q), "query position"));
+    request.agg2 = AxisSelector::Single(
+        OrDie(cube.PosOf(Dimension::kLocation, l), "location position"));
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+void Replay(QuantificationService& service,
+            const std::vector<QuantificationRequest>& requests) {
+  for (const QuantificationRequest& request : requests) {
+    OrDie(service.Answer(request), "replayed answer");
+  }
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  Result<Flags> flags = Flags::Parse({argv + 1, argv + argc});
+  if (!flags.ok()) {
+    PrintTitle("FATAL: " + flags.status().ToString());
+    return 1;
+  }
+  const bool smoke = flags->Has("smoke");
+
+  ScaleSpec spec;
+  spec.seed = 11;
+  if (smoke) {
+    spec.num_workers = 4000;
+    spec.num_queries = 100;
+    spec.num_locations = 6;
+    spec.num_ranked_columns = 240;
+    spec.min_ranking_length = 6;
+    spec.max_ranking_length = 24;
+  } else {
+    spec.num_workers = 200'000;
+    spec.num_queries = 2000;
+    spec.num_locations = 25;
+    spec.num_ranked_columns = 5000;
+  }
+  const size_t kRounds = smoke ? 3 : 5;
+  const size_t kBatchColumns = smoke ? 4 : 25;
+
+  PrintTitle("Incremental maintenance: upsert-then-serve vs rebuild-then-serve");
+  PrintPaperNote(
+      "Section 4's quantification is interactive while crawls keep landing; "
+      "this bench guards the delta path that keeps answers fresh without "
+      "paying a cube rebuild per batch.");
+
+  size_t hardware = std::thread::hardware_concurrency();
+  std::printf("hardware_concurrency: %zu\n", hardware);
+
+  MarketplaceDataset data =
+      OrDie(GenerateScaleMarketplace(spec), "scale marketplace");
+  GroupSpace space = OrDie(
+      GroupSpace::Enumerate(OrDie(MakeScaleSchema(), "schema")), "space");
+  std::vector<std::pair<QueryId, LocationId>> columns =
+      ObservedColumns(data, spec);
+  const size_t kColumns = columns.size();
+  std::printf(
+      "workers: %zu, columns: %zu, groups: %zu, rounds: %zu x %zu-column "
+      "batches\n",
+      spec.num_workers, kColumns, space.num_groups(), kRounds, kBatchColumns);
+
+  // kRounds timed batches plus one extra for the instrumented metrics pass.
+  std::vector<CrawlBatch> batches =
+      MakeBatches(data, columns, kRounds + 1, kBatchColumns, spec.seed * 977);
+
+  QuantificationService::Options options;
+  options.cache_capacity = 2 * kColumns;
+
+  // --- upsert-then-serve -----------------------------------------------------
+  // One cold build, then every round pays only its touched columns; the
+  // derived snapshot keeps lineage, so untouched cache entries survive.
+  MarketplaceCubeMaintainer maintainer = OrDie(
+      MarketplaceCubeMaintainer::Make(data, space, MarketMeasure::kEmd,
+                                      MeasureOptions{}, CubeAxes{}, hardware),
+      "maintainer");
+  std::shared_ptr<const CubeSnapshot> initial = maintainer.snapshot();
+  std::vector<QuantificationRequest> per_column =
+      PerColumnRequests(initial->cube(), columns);
+
+  QuantificationService upsert_service(initial, options);
+  Replay(upsert_service, per_column);  // cold fill
+  Replay(upsert_service, per_column);  // all hits
+  QuantificationService::Stats warm = upsert_service.stats();
+
+  size_t columns_changed_total = 0;
+  auto upsert_start = std::chrono::steady_clock::now();
+  for (size_t r = 0; r < kRounds; ++r) {
+    UpsertReport report =
+        OrDie(maintainer.UpsertCrawlBatch(batches[r]), "upsert");
+    columns_changed_total += report.columns_changed;
+    upsert_service.SetSnapshot(maintainer.snapshot());
+    Replay(upsert_service, per_column);
+  }
+  double upsert_ms = ElapsedMs(upsert_start);
+  QuantificationService::Stats after = upsert_service.stats();
+
+  // Exact survival accounting across all rounds: only the changed columns
+  // re-keyed, everything else was served from the surviving entries.
+  const uint64_t expected_misses = columns_changed_total;
+  const uint64_t expected_hits = kRounds * kColumns - columns_changed_total;
+  const bool survival_exact =
+      after.cache_misses - warm.cache_misses == expected_misses &&
+      after.cache_hits - warm.cache_hits == expected_hits &&
+      after.computations - warm.computations == expected_misses &&
+      after.snapshot_flips == kRounds &&
+      after.cache_hits + after.cache_misses == after.requests &&
+      after.computations + after.coalesced == after.cache_misses;
+
+  // --- rebuild-then-serve ----------------------------------------------------
+  // The same batches, but every round pays a full cube + index build and a
+  // fresh lineage: the whole keyspace recomputes.
+  MarketplaceDataset rebuilt = data;
+  QuantificationService rebuild_service(initial, options);
+  Replay(rebuild_service, per_column);
+  Replay(rebuild_service, per_column);
+  QuantificationService::Stats rebuild_warm = rebuild_service.stats();
+
+  std::shared_ptr<const CubeSnapshot> rebuild_final;
+  auto rebuild_start = std::chrono::steady_clock::now();
+  for (size_t r = 0; r < kRounds; ++r) {
+    for (const CrawlBatchRow& row : batches[r].rows) {
+      Status applied = rebuilt.SetRanking(row.query, row.location, row.ranking);
+      if (!applied.ok()) {
+        PrintTitle("FATAL: rebuild apply: " + applied.ToString());
+        return 1;
+      }
+    }
+    UnfairnessCube cube = OrDie(
+        BuildMarketplaceCube(rebuilt, space, MarketMeasure::kEmd,
+                             MeasureOptions{}, CubeAxes{}, hardware),
+        "full rebuild");
+    rebuild_final = CubeSnapshot::Make(std::move(cube));
+    rebuild_service.SetSnapshot(rebuild_final);
+    Replay(rebuild_service, per_column);
+  }
+  double rebuild_ms = ElapsedMs(rebuild_start);
+  QuantificationService::Stats rebuild_after = rebuild_service.stats();
+  // New lineage per round kills every entry: all C requests recompute.
+  const bool rebuild_all_cold =
+      rebuild_after.cache_misses - rebuild_warm.cache_misses ==
+      kRounds * kColumns;
+
+  // --- differential contract -------------------------------------------------
+  // The rebuild pass's final cube IS the cold rebuild over the fully
+  // mutated dataset, so the bitwise check costs nothing extra.
+  const bool bitwise_identical =
+      CubesBitwiseEqual(maintainer.snapshot()->cube(), rebuild_final->cube());
+
+  double speedup = upsert_ms > 0 ? rebuild_ms / upsert_ms : 0;
+  PrintTable(
+      {"pass", "ms/round", "total ms", "vs rebuild"},
+      {{"rebuild-then-serve", Fmt(rebuild_ms / kRounds), Fmt(rebuild_ms),
+        "1.00x"},
+       {"upsert-then-serve", Fmt(upsert_ms / kRounds), Fmt(upsert_ms),
+        Fmt(speedup, 2) + "x"}});
+  std::printf("columns changed: %zu of %zu touched across %zu rounds\n",
+              columns_changed_total, kRounds * kBatchColumns, kRounds);
+  std::printf("cache survival exact (C - k): %s\n",
+              survival_exact ? "yes" : "NO");
+  std::printf("rebuild re-keys everything: %s\n",
+              rebuild_all_cold ? "yes" : "NO");
+  std::printf("upserts bitwise identical to cold rebuild: %s\n",
+              bitwise_identical ? "yes" : "NO");
+
+  // Instrumented pass: one more batch with metrics on, so the cube.epoch.*
+  // and serve.snapshot.* families carry data into the JSON.
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  metrics.Reset();
+  Tracer::Global().Reset();
+  metrics.SetEnabled(true);
+  Tracer::Global().SetEnabled(true);
+  OrDie(maintainer.UpsertCrawlBatch(batches[kRounds]), "instrumented upsert");
+  upsert_service.SetSnapshot(maintainer.snapshot());
+  Replay(upsert_service, per_column);
+  metrics.SetEnabled(false);
+  Tracer::Global().SetEnabled(false);
+  std::string metrics_json = metrics.ToJson();
+
+  std::string json =
+      "{\n  \"bench\": \"incremental\",\n  \"hardware_concurrency\": " +
+      std::to_string(hardware) +
+      ",\n  \"workers\": " + std::to_string(spec.num_workers) +
+      ",\n  \"columns\": " + std::to_string(kColumns) +
+      ",\n  \"groups\": " + std::to_string(space.num_groups()) +
+      ",\n  \"rounds\": " + std::to_string(kRounds) +
+      ",\n  \"batch_columns\": " + std::to_string(kBatchColumns) +
+      ",\n  \"columns_changed\": " + std::to_string(columns_changed_total) +
+      ",\n  \"rebuild_ms\": " + Fmt(rebuild_ms) +
+      ",\n  \"upsert_ms\": " + Fmt(upsert_ms) +
+      ",\n  \"speedup\": " + Fmt(speedup, 2) +
+      ",\n  \"cache_survival\": {\"expected_hits\": " +
+      std::to_string(expected_hits) +
+      ", \"hits\": " + std::to_string(after.cache_hits - warm.cache_hits) +
+      ", \"expected_misses\": " + std::to_string(expected_misses) +
+      ", \"misses\": " +
+      std::to_string(after.cache_misses - warm.cache_misses) +
+      ", \"exact\": " + (survival_exact ? "true" : "false") +
+      "},\n  \"rebuild_all_cold\": " + (rebuild_all_cold ? "true" : "false") +
+      ",\n  \"bitwise_identical\": " + (bitwise_identical ? "true" : "false") +
+      ",\n  \"metrics\": " + metrics_json + "\n}\n";
+  Status written = WriteTextFile("BENCH_incremental.json", json);
+  if (!written.ok()) {
+    PrintTitle("FATAL: " + written.ToString());
+    return 1;
+  }
+  std::printf("\nwrote BENCH_incremental.json\n");
+
+  std::string metrics_path = flags->GetString("metrics_json");
+  if (!metrics_path.empty()) {
+    Status s = WriteTextFile(metrics_path, metrics_json);
+    if (!s.ok()) {
+      PrintTitle("FATAL: " + s.ToString());
+      return 1;
+    }
+    std::printf("wrote %s\n", metrics_path.c_str());
+  }
+  std::string trace_path = flags->GetString("trace_json");
+  if (!trace_path.empty()) {
+    Status s = Tracer::Global().WriteJson(trace_path);
+    if (!s.ok()) {
+      PrintTitle("FATAL: " + s.ToString());
+      return 1;
+    }
+    std::printf("wrote %s\n", trace_path.c_str());
+  }
+
+  if (!bitwise_identical) {
+    PrintTitle("FATAL: upserted cube diverged from the cold rebuild");
+    return 1;
+  }
+  if (!survival_exact || !rebuild_all_cold) {
+    PrintTitle("FATAL: cache survival accounting is not exact");
+    return 1;
+  }
+  // Enforced gate: the delta path must beat rebuild-per-batch decisively.
+  // The smoke tier's cube is small enough that fixed costs blunt the win,
+  // so its bar is 2x; the nightly full tier demands 10x.
+  const double min_speedup = smoke ? 2.0 : 10.0;
+  if (speedup < min_speedup) {
+    PrintTitle("FATAL: upsert speedup " + Fmt(speedup, 2) + "x below the " +
+               Fmt(min_speedup, 1) + "x gate");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace fairjob
+
+int main(int argc, char** argv) { return fairjob::bench::Main(argc, argv); }

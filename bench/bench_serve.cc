@@ -293,6 +293,15 @@ int Main(int argc, char** argv) {
     PrintTitle("FATAL: served answers diverged from direct solve");
     return 1;
   }
+  // Enforced gate: the warm cache must actually pay for itself. The full
+  // tier demands 5x over cold; smoke runs on tiny datasets where compute is
+  // cheap, so the bar drops to 2x instead of flapping.
+  const double min_hot_speedup = smoke ? 2.0 : 5.0;
+  if (speedup < min_hot_speedup) {
+    PrintTitle("FATAL: hot speedup " + Fmt(speedup, 2) + "x below the " +
+               Fmt(min_hot_speedup, 1) + "x gate");
+    return 1;
+  }
   return 0;
 }
 

@@ -37,8 +37,7 @@ Result<WorkerId> MarketplaceDataset::AddWorker(std::string_view name,
   return id;
 }
 
-Status MarketplaceDataset::SetRanking(QueryId q, LocationId l,
-                                      MarketRanking ranking) {
+Status MarketplaceDataset::ValidateRanking(const MarketRanking& ranking) const {
   if (!ranking.scores.empty() &&
       ranking.scores.size() != ranking.workers.size()) {
     return Status::InvalidArgument(
@@ -55,6 +54,12 @@ Status MarketplaceDataset::SetRanking(QueryId q, LocationId l,
                                      std::to_string(w) + " twice");
     }
   }
+  return Status::OK();
+}
+
+Status MarketplaceDataset::SetRanking(QueryId q, LocationId l,
+                                      MarketRanking ranking) {
+  FAIRJOB_RETURN_IF_ERROR(ValidateRanking(ranking));
   rankings_[QueryLocation{q, l}] = std::move(ranking);
   return Status::OK();
 }
@@ -92,9 +97,10 @@ Result<UserId> SearchDataset::AddUser(std::string_view name,
   return id;
 }
 
-Status SearchDataset::AddObservation(QueryId q, LocationId l,
-                                     SearchObservation obs) {
-  if (obs.user < 0 || static_cast<size_t>(obs.user) >= demographics_.size()) {
+namespace {
+
+Status ValidateObservation(const SearchObservation& obs, size_t num_users) {
+  if (obs.user < 0 || static_cast<size_t>(obs.user) >= num_users) {
     return Status::InvalidArgument("observation references unknown user id " +
                                    std::to_string(obs.user));
   }
@@ -108,7 +114,34 @@ Status SearchDataset::AddObservation(QueryId q, LocationId l,
                                      std::to_string(doc) + " twice");
     }
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SearchDataset::AddObservation(QueryId q, LocationId l,
+                                     SearchObservation obs) {
+  FAIRJOB_RETURN_IF_ERROR(ValidateObservation(obs, demographics_.size()));
   observations_[QueryLocation{q, l}].push_back(std::move(obs));
+  return Status::OK();
+}
+
+Status SearchDataset::ValidateObservations(
+    const std::vector<SearchObservation>& observations) const {
+  for (const SearchObservation& obs : observations) {
+    FAIRJOB_RETURN_IF_ERROR(ValidateObservation(obs, demographics_.size()));
+  }
+  return Status::OK();
+}
+
+Status SearchDataset::SetObservations(
+    QueryId q, LocationId l, std::vector<SearchObservation> observations) {
+  FAIRJOB_RETURN_IF_ERROR(ValidateObservations(observations));
+  if (observations.empty()) {
+    observations_.erase(QueryLocation{q, l});
+  } else {
+    observations_[QueryLocation{q, l}] = std::move(observations);
+  }
   return Status::OK();
 }
 

@@ -93,6 +93,11 @@ class MarketplaceDataset {
   // length disagrees with the worker list.
   Status SetRanking(QueryId q, LocationId l, MarketRanking ranking);
 
+  // The exact checks SetRanking applies, without mutating anything — lets
+  // batch ingestion (serve/incremental.h) validate a whole crawl batch
+  // before applying any row of it.
+  Status ValidateRanking(const MarketRanking& ranking) const;
+
   // Null when (q, l) was never observed.
   const MarketRanking* GetRanking(QueryId q, LocationId l) const;
 
@@ -146,6 +151,21 @@ class SearchDataset {
   // Appends an observation. Errors: InvalidArgument on unknown user or an
   // empty / duplicate-bearing result list.
   Status AddObservation(QueryId q, LocationId l, SearchObservation obs);
+
+  // Replaces the whole observation set of (q, l) — the delta-ingestion seam
+  // for study snapshots (serve/incremental.h): a fresh study run for one
+  // cell supersedes whatever was collected before. An empty vector removes
+  // the cell (it becomes unobserved). Validation runs over the entire
+  // vector before anything mutates, so a failed call leaves the dataset
+  // untouched. Errors: same conditions as AddObservation.
+  Status SetObservations(QueryId q, LocationId l,
+                         std::vector<SearchObservation> observations);
+
+  // The exact checks SetObservations applies, without mutating anything —
+  // lets batch ingestion validate a whole study snapshot before applying
+  // any cell of it.
+  Status ValidateObservations(
+      const std::vector<SearchObservation>& observations) const;
 
   // Null when (q, l) has no observations.
   const std::vector<SearchObservation>* GetObservations(QueryId q,

@@ -77,6 +77,7 @@ Result<UnfairnessCube> UnfairnessCube::Make(std::vector<GroupId> groups,
   cube.values_.assign(
       cube.ids_[0].size() * cube.ids_[1].size() * cube.ids_[2].size(),
       std::nullopt);
+  cube.epochs_.assign(cube.ids_[1].size() * cube.ids_[2].size(), 0);
   return cube;
 }
 
@@ -645,6 +646,80 @@ Status BuildCubeSharded(
 }
 
 }  // namespace
+
+namespace {
+
+// Shared frame of the two delta builders: validate the column list against
+// the resolved axes, then fan the listed columns out to the sink.
+Status BuildCubeColumns(
+    const CubeAxes& resolved, const std::vector<CubeColumnRef>& columns,
+    size_t parallelism, CubeColumnSink* sink,
+    const std::function<Status(QueryId, LocationId,
+                               std::vector<std::optional<double>>*)>& eval) {
+  if (sink == nullptr) {
+    return Status::InvalidArgument("delta cube build needs a sink");
+  }
+  for (const CubeColumnRef& column : columns) {
+    if (column.query_pos >= resolved.queries.size() ||
+        column.location_pos >= resolved.locations.size()) {
+      return Status::InvalidArgument("delta column position out of range");
+    }
+  }
+  return ParallelFor(columns.size(), parallelism, [&](size_t i) -> Status {
+    const CubeColumnRef& column = columns[i];
+    std::vector<std::optional<double>> values(resolved.groups.size());
+    FAIRJOB_RETURN_IF_ERROR(eval(resolved.queries[column.query_pos],
+                                 resolved.locations[column.location_pos],
+                                 &values));
+    return sink->Consume(column.query_pos, column.location_pos, values.data(),
+                         values.size());
+  });
+}
+
+}  // namespace
+
+Status BuildMarketplaceCubeColumns(const MarketplaceDataset& data,
+                                   const GroupSpace& space,
+                                   MarketMeasure measure,
+                                   const MeasureOptions& options,
+                                   const CubeAxes& axes,
+                                   const std::vector<CubeColumnRef>& columns,
+                                   size_t parallelism, CubeColumnSink* sink) {
+  TraceSpan span("BuildMarketplaceCubeColumns", "cube");
+  FAIRJOB_ASSIGN_OR_RETURN(CubeAxes resolved,
+                           ResolveMarketplaceCubeAxes(data, space, axes));
+  return BuildCubeColumns(
+      resolved, columns, parallelism, sink,
+      [&](QueryId q, LocationId l,
+          std::vector<std::optional<double>>* column) {
+        return EvaluateMarketplaceColumn(data, space, measure, options, q, l,
+                                         resolved.groups, column,
+                                         /*parallelism=*/1);
+      });
+}
+
+Status BuildSearchCubeColumns(const SearchDataset& data,
+                              const GroupSpace& space, SearchMeasure measure,
+                              const MeasureOptions& options,
+                              const CubeAxes& axes,
+                              const std::vector<CubeColumnRef>& columns,
+                              size_t parallelism, CubeColumnSink* sink) {
+  TraceSpan span("BuildSearchCubeColumns", "cube");
+  if (options.kendall_penalty < 0.0 || options.kendall_penalty > 1.0) {
+    return Status::InvalidArgument("kendall_penalty must lie in [0, 1]");
+  }
+  FAIRJOB_ASSIGN_OR_RETURN(CubeAxes resolved,
+                           ResolveSearchCubeAxes(data, space, axes));
+  SearchGroupMembership membership(data, space);
+  return BuildCubeColumns(
+      resolved, columns, parallelism, sink,
+      [&](QueryId q, LocationId l,
+          std::vector<std::optional<double>>* column) {
+        return EvaluateSearchColumn(data, space, membership, measure, options,
+                                    q, l, resolved.groups, column,
+                                    /*parallelism=*/1);
+      });
+}
 
 Status BuildMarketplaceCubeSharded(const MarketplaceDataset& data,
                                    const GroupSpace& space,

@@ -1,6 +1,7 @@
 #ifndef FAIRJOB_CORE_UNFAIRNESS_CUBE_H_
 #define FAIRJOB_CORE_UNFAIRNESS_CUBE_H_
 
+#include <cstdint>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -59,6 +60,18 @@ class UnfairnessCube {
   size_t num_cells() const { return values_.size(); }
   size_t num_present() const;
 
+  // Per-(query, location) column epochs for incremental maintenance
+  // (docs/serving.md): a counter that the delta path bumps whenever the
+  // column's cells were recomputed to *different* values, so snapshot cache
+  // keys can bind to exactly the columns a request reads instead of the
+  // whole cube. Epochs start at 0, are carried along by cube copies, and
+  // are NOT part of FingerprintCube (they describe history, not contents).
+  uint64_t column_epoch(size_t q, size_t l) const {
+    return epochs_[ColumnOffset(q, l)];
+  }
+  void BumpColumnEpoch(size_t q, size_t l) { ++epochs_[ColumnOffset(q, l)]; }
+  size_t num_columns() const { return epochs_.size(); }
+
   // Mean of the present cells within the selected sub-box; nullopt when the
   // selection contains no present cell. This realizes every aggregate in
   // Section 3.4 (d<g,Q,L>, d<G,Q,l>, d<G,q,L>, ...).
@@ -76,10 +89,14 @@ class UnfairnessCube {
   size_t Offset(size_t g, size_t q, size_t l) const {
     return (g * ids_[1].size() + q) * ids_[2].size() + l;
   }
+  size_t ColumnOffset(size_t q, size_t l) const {
+    return q * ids_[2].size() + l;
+  }
 
   std::vector<int32_t> ids_[3];  // group / query / location ids per axis
   std::unordered_map<int32_t, size_t> pos_of_[3];  // id -> axis position
   std::vector<std::optional<double>> values_;
+  std::vector<uint64_t> epochs_;  // per-(query, location) column epochs
 };
 
 // Axis universes for cube construction; empty vectors default to "all groups
@@ -184,6 +201,35 @@ Status BuildSearchCubeSharded(const SearchDataset& data,
                               const CubeAxes& axes,
                               const ShardedBuildOptions& sharded,
                               CubeColumnSink* sink);
+
+// One (query, location) column by cube-axis position; the unit of delta
+// recomputation (and of the column epochs above).
+struct CubeColumnRef {
+  size_t query_pos = 0;
+  size_t location_pos = 0;
+};
+
+// Delta builds: evaluate ONLY the listed columns over the resolved axes and
+// stream them through the same CubeColumnSink seam the sharded builders use
+// — the G×Q×L tensor never materializes, and column values are bitwise
+// identical to the full builders' (same EvaluateMarketplaceColumn /
+// EvaluateSearchColumn code paths). Columns are fanned out on up to
+// `parallelism` threads of the shared pool; Consume sees each column exactly
+// once, in no particular order. Errors: InvalidArgument on a null sink, bad
+// axes, or a column position outside the resolved axes.
+Status BuildMarketplaceCubeColumns(const MarketplaceDataset& data,
+                                   const GroupSpace& space,
+                                   MarketMeasure measure,
+                                   const MeasureOptions& options,
+                                   const CubeAxes& axes,
+                                   const std::vector<CubeColumnRef>& columns,
+                                   size_t parallelism, CubeColumnSink* sink);
+Status BuildSearchCubeColumns(const SearchDataset& data,
+                              const GroupSpace& space, SearchMeasure measure,
+                              const MeasureOptions& options,
+                              const CubeAxes& axes,
+                              const std::vector<CubeColumnRef>& columns,
+                              size_t parallelism, CubeColumnSink* sink);
 
 // Incremental maintenance: re-evaluates the group cells of one
 // (query, location) column after its underlying ranking changed (a crawl

@@ -3,24 +3,11 @@
 #include <algorithm>
 #include <cstring>
 
+#include "serve/cube_snapshot.h"
+#include "serve/fnv.h"
+
 namespace fairjob {
 namespace {
-
-constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
-constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
-
-inline void HashBytes(uint64_t* h, const void* data, size_t n) {
-  const unsigned char* p = static_cast<const unsigned char*>(data);
-  for (size_t i = 0; i < n; ++i) {
-    *h ^= p[i];
-    *h *= kFnvPrime;
-  }
-}
-
-template <typename T>
-inline void HashValue(uint64_t* h, T value) {
-  HashBytes(h, &value, sizeof(value));
-}
 
 // Sorted copy; empty when the explicit list is exactly the whole axis
 // (selecting every position once aggregates exactly the "all" lists).
@@ -90,14 +77,13 @@ void OtherDims(Dimension target, Dimension* d1, Dimension* d2) {
 }  // namespace
 
 RequestCacheKey::RequestCacheKey(const QuantificationRequest& request,
-                                 const UnfairnessCube& cube,
-                                 uint64_t fingerprint)
-    : cube_fingerprint(fingerprint),
-      target(request.target),
+                                 const CubeSnapshot& snapshot)
+    : target(request.target),
       k(static_cast<uint32_t>(request.k)),
       direction(request.direction),
       missing(request.missing),
       algorithm(request.algorithm) {
+  const UnfairnessCube& cube = snapshot.cube();
   Dimension d1;
   Dimension d2;
   OtherDims(request.target, &d1, &d2);
@@ -105,41 +91,45 @@ RequestCacheKey::RequestCacheKey(const QuantificationRequest& request,
   agg2 = NormalizePositions(request.agg2.positions, cube.axis_size(d2));
   allowed =
       NormalizeTargets(request.allowed_targets, cube.axis_size(request.target));
+  // After normalization, so equivalent selector spellings bind the same
+  // column epochs (and the all/all fast path actually fires).
+  epoch_digest = snapshot.EpochDigest(target, agg1, agg2);
 }
 
 bool RequestCacheKey::operator==(const RequestCacheKey& other) const {
-  return cube_fingerprint == other.cube_fingerprint &&
-         target == other.target && k == other.k &&
-         direction == other.direction && missing == other.missing &&
-         algorithm == other.algorithm && agg1 == other.agg1 &&
-         agg2 == other.agg2 && allowed == other.allowed;
+  return epoch_digest == other.epoch_digest && target == other.target &&
+         k == other.k && direction == other.direction &&
+         missing == other.missing && algorithm == other.algorithm &&
+         agg1 == other.agg1 && agg2 == other.agg2 && allowed == other.allowed;
 }
 
 size_t RequestCacheKeyHash::operator()(const RequestCacheKey& key) const {
-  uint64_t h = kFnvOffset;
-  HashValue(&h, key.cube_fingerprint);
-  HashValue(&h, static_cast<uint32_t>(key.target));
-  HashValue(&h, key.k);
-  HashValue(&h, static_cast<uint32_t>(key.direction));
-  HashValue(&h, static_cast<uint32_t>(key.missing));
-  HashValue(&h, static_cast<uint32_t>(key.algorithm));
+  uint64_t h = fnv::kOffset;
+  fnv::HashValue(&h, key.epoch_digest);
+  fnv::HashValue(&h, static_cast<uint32_t>(key.target));
+  fnv::HashValue(&h, key.k);
+  fnv::HashValue(&h, static_cast<uint32_t>(key.direction));
+  fnv::HashValue(&h, static_cast<uint32_t>(key.missing));
+  fnv::HashValue(&h, static_cast<uint32_t>(key.algorithm));
   // Length separators keep ({1},{}) distinct from ({},{1}).
-  HashValue(&h, static_cast<uint64_t>(key.agg1.size()));
-  for (size_t pos : key.agg1) HashValue(&h, static_cast<uint64_t>(pos));
-  HashValue(&h, static_cast<uint64_t>(key.agg2.size()));
-  for (size_t pos : key.agg2) HashValue(&h, static_cast<uint64_t>(pos));
-  HashValue(&h, static_cast<uint64_t>(key.allowed.size()));
-  for (int32_t t : key.allowed) HashValue(&h, t);
+  fnv::HashValue(&h, static_cast<uint64_t>(key.agg1.size()));
+  for (size_t pos : key.agg1) fnv::HashValue(&h, static_cast<uint64_t>(pos));
+  fnv::HashValue(&h, static_cast<uint64_t>(key.agg2.size()));
+  for (size_t pos : key.agg2) fnv::HashValue(&h, static_cast<uint64_t>(pos));
+  fnv::HashValue(&h, static_cast<uint64_t>(key.allowed.size()));
+  for (int32_t t : key.allowed) fnv::HashValue(&h, t);
   return static_cast<size_t>(h);
 }
 
 uint64_t FingerprintCube(const UnfairnessCube& cube) {
-  uint64_t h = kFnvOffset;
+  uint64_t h = fnv::kOffset;
   for (Dimension d :
        {Dimension::kGroup, Dimension::kQuery, Dimension::kLocation}) {
     size_t n = cube.axis_size(d);
-    HashValue(&h, static_cast<uint64_t>(n));
-    for (size_t pos = 0; pos < n; ++pos) HashValue(&h, cube.axis_id(d, pos));
+    fnv::HashValue(&h, static_cast<uint64_t>(n));
+    for (size_t pos = 0; pos < n; ++pos) {
+      fnv::HashValue(&h, cube.axis_id(d, pos));
+    }
   }
   size_t groups = cube.axis_size(Dimension::kGroup);
   size_t queries = cube.axis_size(Dimension::kQuery);
@@ -148,14 +138,15 @@ uint64_t FingerprintCube(const UnfairnessCube& cube) {
     for (size_t q = 0; q < queries; ++q) {
       for (size_t l = 0; l < locations; ++l) {
         std::optional<double> value = cube.Get(g, q, l);
-        HashValue(&h, static_cast<unsigned char>(value.has_value() ? 1 : 0));
+        fnv::HashValue(&h,
+                       static_cast<unsigned char>(value.has_value() ? 1 : 0));
         if (value.has_value()) {
           // Bit pattern, not the double itself: 0.0 vs -0.0 and NaN payloads
           // must all perturb the digest deterministically.
           uint64_t bits;
           static_assert(sizeof(bits) == sizeof(*value));
           std::memcpy(&bits, &*value, sizeof(bits));
-          HashValue(&h, bits);
+          fnv::HashValue(&h, bits);
         }
       }
     }

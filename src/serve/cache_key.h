@@ -9,8 +9,10 @@
 
 namespace fairjob {
 
-// Canonical identity of a QuantificationRequest against one specific cube,
-// used as the answer-cache / single-flight key (docs/serving.md).
+class CubeSnapshot;
+
+// Canonical identity of a QuantificationRequest against one specific serving
+// snapshot, used as the answer-cache / single-flight key (docs/serving.md).
 //
 // Two requests that provably return the same answers must map to the same
 // key, so the constructor normalizes every selector:
@@ -26,12 +28,17 @@ namespace fairjob {
 // top-k only up to ties, and each run carries its own FaginStats), as are
 // the missing-cell policy, direction and k.
 //
-// `cube_fingerprint` binds the key to the exact cube contents the answer
-// was computed from: a rebuilt or refreshed cube hashes differently, so
-// stale entries can never be served — they simply stop matching and age
-// out of the LRU.
+// `epoch_digest` binds the key to the data the answer was computed from —
+// but only the part it read: it digests the snapshot lineage plus the
+// per-(query, location) column epochs of exactly the columns the normalized
+// selectors touch (CubeSnapshot::EpochDigest). An incremental upsert bumps
+// epochs for the columns it changed, so entries over untouched columns keep
+// matching across the flip while entries over changed columns stop matching
+// and age out of the LRU. A full rebuild changes the lineage and therefore
+// every key — unless the rebuilt cube is bitwise identical, in which case
+// the whole cache stays warm on purpose.
 struct RequestCacheKey {
-  uint64_t cube_fingerprint = 0;
+  uint64_t epoch_digest = 0;
   Dimension target = Dimension::kGroup;
   uint32_t k = 0;
   RankDirection direction = RankDirection::kMostUnfair;
@@ -41,11 +48,12 @@ struct RequestCacheKey {
   std::vector<size_t> agg2;             // normalized; empty = all
   std::vector<int32_t> allowed;         // normalized; empty = all
 
-  // Builds the canonical key for `request` over `cube`. Axis sizes come from
-  // the cube; `cube_fingerprint` is passed in (it is O(cells) to compute, so
-  // the service computes it once per backend, not per request).
+  // Builds the canonical key for `request` over `snapshot`. Axis sizes come
+  // from the snapshot's cube; the epoch digest is computed from the
+  // *normalized* selectors so equivalent requests also agree on which column
+  // epochs they bind.
   RequestCacheKey(const QuantificationRequest& request,
-                  const UnfairnessCube& cube, uint64_t cube_fingerprint);
+                  const CubeSnapshot& snapshot);
   RequestCacheKey() = default;
 
   bool operator==(const RequestCacheKey& other) const;
@@ -60,7 +68,10 @@ struct RequestCacheKeyHash {
 // pattern of the stored double. Any Set/Clear/rebuild that changes an
 // answer changes the fingerprint; identical contents (however produced)
 // collide on purpose, so re-building an unchanged cube keeps the cache
-// warm.
+// warm. Per-column epochs are deliberately NOT part of the fingerprint —
+// the fingerprint is the *content* identity (snapshot lineage), epochs are
+// the *change* ledger layered on top, and the differential contract
+// (incremental upserts ≡ cold rebuild) requires the two to stay disjoint.
 uint64_t FingerprintCube(const UnfairnessCube& cube);
 
 }  // namespace fairjob

@@ -1,0 +1,102 @@
+#include "serve/cube_snapshot.h"
+
+#include <utility>
+
+#include "serve/cache_key.h"
+#include "serve/fnv.h"
+
+namespace fairjob {
+namespace {
+
+// Epoch contribution of the column block (qs × ls) in canonical order:
+// queries outer, locations inner, selector order as normalized by the cache
+// key (sorted; duplicates kept — deterministic either way).
+void HashColumnEpochs(uint64_t* h, const UnfairnessCube& cube,
+                      const std::vector<size_t>& qs,
+                      const std::vector<size_t>& ls) {
+  size_t num_queries = cube.axis_size(Dimension::kQuery);
+  size_t num_locations = cube.axis_size(Dimension::kLocation);
+  auto hash_row = [&](size_t q) {
+    if (ls.empty()) {
+      for (size_t l = 0; l < num_locations; ++l) {
+        fnv::HashValue(h, cube.column_epoch(q, l));
+      }
+    } else {
+      for (size_t l : ls) fnv::HashValue(h, cube.column_epoch(q, l));
+    }
+  };
+  if (qs.empty()) {
+    for (size_t q = 0; q < num_queries; ++q) hash_row(q);
+  } else {
+    for (size_t q : qs) hash_row(q);
+  }
+}
+
+}  // namespace
+
+void CubeSnapshot::Finish() {
+  cube_ = owned_cube_.has_value() ? &*owned_cube_ : cube_;
+  indices_ = owned_indices_.has_value() ? &*owned_indices_ : indices_;
+  uint64_t h = fnv::kOffset;
+  fnv::HashValue(&h, lineage_);
+  HashColumnEpochs(&h, *cube_, {}, {});
+  full_epoch_digest_ = h;
+}
+
+std::shared_ptr<const CubeSnapshot> CubeSnapshot::Make(UnfairnessCube cube) {
+  auto snapshot = std::shared_ptr<CubeSnapshot>(new CubeSnapshot());
+  snapshot->owned_cube_ = std::move(cube);
+  snapshot->owned_indices_ = IndexSet::Build(*snapshot->owned_cube_);
+  snapshot->lineage_ = FingerprintCube(*snapshot->owned_cube_);
+  snapshot->Finish();
+  return snapshot;
+}
+
+std::shared_ptr<const CubeSnapshot> CubeSnapshot::MakeDerived(
+    UnfairnessCube cube, IndexSet indices, uint64_t lineage,
+    uint64_t version) {
+  auto snapshot = std::shared_ptr<CubeSnapshot>(new CubeSnapshot());
+  snapshot->owned_cube_ = std::move(cube);
+  snapshot->owned_indices_ = std::move(indices);
+  snapshot->lineage_ = lineage;
+  snapshot->version_ = version;
+  snapshot->Finish();
+  return snapshot;
+}
+
+std::shared_ptr<const CubeSnapshot> CubeSnapshot::Borrow(
+    const UnfairnessCube* cube, const IndexSet* indices) {
+  auto snapshot = std::shared_ptr<CubeSnapshot>(new CubeSnapshot());
+  snapshot->cube_ = cube;
+  snapshot->indices_ = indices;
+  snapshot->lineage_ = FingerprintCube(*cube);
+  snapshot->Finish();
+  return snapshot;
+}
+
+uint64_t CubeSnapshot::EpochDigest(Dimension target,
+                                   const std::vector<size_t>& agg1,
+                                   const std::vector<size_t>& agg2) const {
+  static const std::vector<size_t> kAll;
+  const std::vector<size_t>* qs = &kAll;
+  const std::vector<size_t>* ls = &kAll;
+  switch (target) {
+    case Dimension::kGroup:  // agg1 = queries, agg2 = locations
+      qs = &agg1;
+      ls = &agg2;
+      break;
+    case Dimension::kQuery:  // agg1 = groups, agg2 = locations
+      ls = &agg2;
+      break;
+    case Dimension::kLocation:  // agg1 = groups, agg2 = queries
+      qs = &agg2;
+      break;
+  }
+  if (qs->empty() && ls->empty()) return full_epoch_digest_;
+  uint64_t h = fnv::kOffset;
+  fnv::HashValue(&h, lineage_);
+  HashColumnEpochs(&h, *cube_, *qs, *ls);
+  return h;
+}
+
+}  // namespace fairjob

@@ -17,6 +17,8 @@ struct ServeMetrics {
   Counter* batch_calls;
   Counter* batch_requests;
   Counter* batch_deduped;
+  Counter* snapshot_flips;
+  Gauge* snapshot_version;
   LatencyHistogram* answer_us;
   LatencyHistogram* batch_us;
 };
@@ -34,6 +36,8 @@ const ServeMetrics& Metrics() {
     m.batch_calls = registry.counter("serve.batch.calls");
     m.batch_requests = registry.counter("serve.batch.requests");
     m.batch_deduped = registry.counter("serve.batch.deduped");
+    m.snapshot_flips = registry.counter("serve.snapshot.flips");
+    m.snapshot_version = registry.gauge("serve.snapshot.version");
     m.answer_us = registry.histogram("serve.answer_us");
     m.batch_us = registry.histogram("serve.batch_us");
     return m;
@@ -43,52 +47,67 @@ const ServeMetrics& Metrics() {
 
 }  // namespace
 
+QuantificationService::QuantificationService(
+    std::shared_ptr<const CubeSnapshot> snapshot)
+    : QuantificationService(std::move(snapshot), Options()) {}
+
+QuantificationService::QuantificationService(
+    std::shared_ptr<const CubeSnapshot> snapshot, Options options)
+    : options_(std::move(options)),
+      snapshot_(std::move(snapshot)),
+      cache_(options_.cache_capacity, options_.cache_shards, "serve.cache") {}
+
 QuantificationService::QuantificationService(const UnfairnessCube* cube,
                                              const IndexSet* indices)
-    : QuantificationService(cube, indices, Options()) {}
+    : QuantificationService(CubeSnapshot::Borrow(cube, indices), Options()) {}
 
 QuantificationService::QuantificationService(const UnfairnessCube* cube,
                                              const IndexSet* indices,
                                              Options options)
-    : options_(std::move(options)),
-      cube_(cube),
-      indices_(indices),
-      fingerprint_(FingerprintCube(*cube)),
-      cache_(options_.cache_capacity, options_.cache_shards, "serve.cache") {}
+    : QuantificationService(CubeSnapshot::Borrow(cube, indices),
+                            std::move(options)) {}
+
+void QuantificationService::SetSnapshot(
+    std::shared_ptr<const CubeSnapshot> snapshot) {
+  Metrics().snapshot_version->Set(static_cast<double>(snapshot->version()));
+  snapshot_.Publish(std::move(snapshot));
+  snapshot_flips_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().snapshot_flips->Add(1);
+}
 
 void QuantificationService::SetBackend(const UnfairnessCube* cube,
                                        const IndexSet* indices) {
-  // Fingerprinting is O(cells); do it before taking the exclusive lock so
-  // request threads are only paused for the pointer swap.
-  uint64_t fingerprint = FingerprintCube(*cube);
-  std::unique_lock<std::shared_mutex> lock(backend_mutex_);
-  cube_ = cube;
-  indices_ = indices;
-  fingerprint_ = fingerprint;
+  // Borrow re-fingerprints (O(cells)) before publishing, so requests are
+  // never paused behind the hash — the flip itself is one pointer swap.
+  SetSnapshot(CubeSnapshot::Borrow(cube, indices));
+}
+
+std::shared_ptr<const CubeSnapshot> QuantificationService::snapshot() const {
+  return snapshot_.Acquire();
 }
 
 uint64_t QuantificationService::cube_fingerprint() const {
-  std::shared_lock<std::shared_mutex> lock(backend_mutex_);
-  return fingerprint_;
+  return snapshot_.Acquire()->lineage();
 }
 
 Result<QuantificationResult> QuantificationService::Answer(
     const QuantificationRequest& request) {
-  return AnswerInternal(request, /*from_batch=*/false);
+  return AnswerInternal(request, /*from_batch=*/false,
+                        snapshot_.Acquire());
 }
 
 Result<QuantificationResult> QuantificationService::AnswerInternal(
-    const QuantificationRequest& request, bool from_batch) {
+    const QuantificationRequest& request, bool from_batch,
+    const std::shared_ptr<const CubeSnapshot>& snapshot) {
   TraceSpan span("QuantificationService::Answer", "serve");
   ScopedTimer timer(Metrics().answer_us);
   Metrics().requests->Add(1);
   requests_.fetch_add(1, std::memory_order_relaxed);
   if (from_batch) batch_requests_.fetch_add(1, std::memory_order_relaxed);
 
-  // Hold the backend for the whole request: the computation must see the
-  // same cube/indices/fingerprint triple it was keyed under.
-  std::shared_lock<std::shared_mutex> backend(backend_mutex_);
-  RequestCacheKey key(request, *cube_, fingerprint_);
+  // `snapshot` was pinned once by the caller; everything below — key,
+  // cache probe, computation — sees that one immutable state.
+  RequestCacheKey key(request, *snapshot);
 
   if (options_.cache_capacity > 0) {
     std::optional<std::shared_ptr<const QuantificationResult>> cached =
@@ -102,6 +121,8 @@ Result<QuantificationResult> QuantificationService::AnswerInternal(
 
   // Single flight: the first thread to claim `key` computes; every thread
   // that finds an in-flight future waits on it instead of recomputing.
+  // Keys embed the epoch digest, so requests pinned to different snapshots
+  // with differing read sets never coalesce onto each other's flight.
   std::shared_ptr<std::promise<FlightOutcome>> promise;
   std::shared_future<FlightOutcome> flight;
   {
@@ -137,7 +158,7 @@ Result<QuantificationResult> QuantificationService::AnswerInternal(
   {
     TraceSpan compute_span("serve.compute", "serve");
     Result<QuantificationResult> computed =
-        SolveQuantification(*cube_, *indices_, request);
+        SolveQuantification(snapshot->cube(), snapshot->indices(), request);
     if (computed.ok()) {
       outcome.result = std::make_shared<const QuantificationResult>(
           std::move(*computed));
@@ -168,15 +189,19 @@ std::vector<Result<QuantificationResult>> QuantificationService::AnswerBatch(
   Metrics().batch_calls->Add(1);
   Metrics().batch_requests->Add(requests.size());
 
+  // Pin ONE snapshot for the whole batch: dedup and every fanned-out answer
+  // run against the same state, so a concurrent flip cannot split a batch
+  // across two cubes (dedup-equal requests stay answer-equal).
+  std::shared_ptr<const CubeSnapshot> snapshot = snapshot_.Acquire();
+
   // Group duplicate requests by canonical key; only the first of each group
   // (the representative) is answered, everyone else copies its result.
   std::vector<size_t> representative_of(requests.size());
   std::vector<size_t> representatives;
   {
-    std::shared_lock<std::shared_mutex> backend(backend_mutex_);
     std::unordered_map<RequestCacheKey, size_t, RequestCacheKeyHash> seen;
     for (size_t i = 0; i < requests.size(); ++i) {
-      RequestCacheKey key(requests[i], *cube_, fingerprint_);
+      RequestCacheKey key(requests[i], *snapshot);
       auto [it, inserted] = seen.emplace(std::move(key), i);
       representative_of[i] = it->second;
       if (inserted) representatives.push_back(i);
@@ -195,8 +220,9 @@ std::vector<Result<QuantificationResult>> QuantificationService::AnswerBatch(
       .ParallelFor(representatives.size(), parallelism,
                    [&](size_t r) {
                      size_t i = representatives[r];
-                     answered[i] =
-                         AnswerInternal(requests[i], /*from_batch=*/true);
+                     answered[i] = AnswerInternal(requests[i],
+                                                  /*from_batch=*/true,
+                                                  snapshot);
                      return Status::OK();
                    });
 
@@ -217,6 +243,7 @@ QuantificationService::Stats QuantificationService::stats() const {
   stats.computations = computations_.load(std::memory_order_relaxed);
   stats.coalesced = coalesced_.load(std::memory_order_relaxed);
   stats.errors = errors_.load(std::memory_order_relaxed);
+  stats.snapshot_flips = snapshot_flips_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -7,7 +7,6 @@
 #include <future>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -15,25 +14,31 @@
 #include "common/status.h"
 #include "core/quantification.h"
 #include "serve/cache_key.h"
+#include "serve/cube_snapshot.h"
 
 namespace fairjob {
 
 // Thread-safe query-serving front end for Problem 1 (docs/serving.md): wraps
-// an UnfairnessCube + IndexSet behind
+// an immutable CubeSnapshot (cube + indices + per-column epochs) behind
 //  * a sharded LRU answer cache keyed by RequestCacheKey (which embeds the
-//    cube fingerprint, so a rebuilt backend invalidates every stale entry
-//    by construction),
+//    epoch digest of the columns the request reads, so an incremental upsert
+//    invalidates exactly the entries over touched columns and a rebuild
+//    invalidates everything),
 //  * a single-flight layer: concurrent identical requests run
 //    SolveQuantification once and share the result, and
 //  * a batch API that deduplicates keys and fans distinct requests out over
 //    ThreadPool::Shared().
 //
-// The cube and indices are borrowed, never owned, and must outlive the
-// service; the indices must have been built from that cube. Answer and
-// AnswerBatch may be called from any number of threads. SetBackend may be
-// called concurrently with requests: in-flight computations finish against
-// the backend they started with (they hold the read lock), and entries
-// cached under the old fingerprint can no longer be returned.
+// Serving is RCU-style: each request pins the current snapshot once (a
+// shared_ptr copy through SnapshotPtr, a few instructions) and computes
+// against it for its whole lifetime; SetSnapshot publishes a new snapshot
+// with one pointer swap and returns immediately — a flip never waits for a
+// request and a request never waits for a rebuild. There is no quiescence
+// barrier — the shared_ptr refcount keeps a replaced snapshot alive until
+// the last in-flight request that pinned it drops it.
+// Answer, AnswerBatch and SetSnapshot may be called concurrently from any
+// number of threads; a request observes exactly one snapshot, never a torn
+// mix of two.
 class QuantificationService {
  public:
   struct Options {
@@ -60,36 +65,60 @@ class QuantificationService {
     uint64_t computations = 0;    // SolveQuantification actually executed
     uint64_t coalesced = 0;       // requests served by another's computation
     uint64_t errors = 0;          // non-OK answers
+    uint64_t snapshot_flips = 0;  // SetSnapshot/SetBackend publications
   };
 
-  // The two-argument overload uses default Options. (A default argument
-  // cannot be used here: the nested aggregate is incomplete inside the
-  // enclosing class as far as GCC is concerned.)
+  // Owning entry point: the service serves `snapshot` until the next flip.
+  explicit QuantificationService(std::shared_ptr<const CubeSnapshot> snapshot);
+  QuantificationService(std::shared_ptr<const CubeSnapshot> snapshot,
+                        Options options);
+
+  // Borrowing compatibility entry points: wrap caller-owned cube + indices
+  // in a non-owning snapshot (CubeSnapshot::Borrow). The backing objects
+  // must outlive the service AND every request in flight when they are
+  // replaced — with RCU serving there is no quiescence barrier to wait on.
+  // (The two-argument overload uses default Options; a default argument
+  // cannot be used here because the nested aggregate is incomplete inside
+  // the enclosing class as far as GCC is concerned.)
   QuantificationService(const UnfairnessCube* cube, const IndexSet* indices);
   QuantificationService(const UnfairnessCube* cube, const IndexSet* indices,
                         Options options);
 
   // Answers one request through cache + single-flight. Identical contract to
-  // SolveQuantification(*cube, *indices, request): same answers (bit-equal
-  // values), same errors; cached answers replay the FaginStats of the run
-  // that computed them.
+  // SolveQuantification(snapshot->cube(), snapshot->indices(), request) for
+  // the snapshot current at the pin: same answers (bit-equal values), same
+  // errors; cached answers replay the FaginStats of the run that computed
+  // them.
   Result<QuantificationResult> Answer(const QuantificationRequest& request);
 
-  // Answers a mixed batch. Requests with equal canonical keys are computed
-  // once; distinct keys are fanned out over the shared pool. results[i]
-  // corresponds to requests[i].
+  // Answers a mixed batch against ONE pinned snapshot (every request in the
+  // batch sees the same data even if a writer flips mid-batch). Requests
+  // with equal canonical keys are computed once; distinct keys are fanned
+  // out over the shared pool. results[i] corresponds to requests[i].
   std::vector<Result<QuantificationResult>> AnswerBatch(
       const std::vector<QuantificationRequest>& requests);
 
-  // Points the service at a (re)built cube + indices and re-fingerprints.
-  // Entries cached for the old contents stop matching and age out of the
-  // LRU; if the rebuilt cube hashes identically, the cache stays warm.
-  // Returns only once no in-flight request still reads the old backend, so
-  // the caller may free it afterwards. Note that on reader-preferring
-  // shared_mutex implementations (glibc) this can wait a long time while
-  // request threads saturate every core.
+  // Publishes a new serving snapshot (one pointer swap) and returns
+  // immediately; requests that already pinned the old snapshot finish
+  // against it. Cache entries whose epoch digests no longer match stop
+  // being served and age out of the LRU; entries over columns the new
+  // snapshot left untouched (same lineage, same epochs) keep hitting.
+  void SetSnapshot(std::shared_ptr<const CubeSnapshot> snapshot);
+
+  // Compatibility shim for callers that own raw cube + indices: publishes
+  // CubeSnapshot::Borrow(cube, indices). Re-fingerprints (O(cells)) before
+  // publishing; if the new cube hashes identically the cache stays warm.
+  // Returns as soon as the snapshot is published — the caller must keep the
+  // OLD backing alive until in-flight requests have drained (e.g. by not
+  // freeing it until the service is quiesced or destroyed).
   void SetBackend(const UnfairnessCube* cube, const IndexSet* indices);
 
+  // Pins and returns the current serving snapshot.
+  std::shared_ptr<const CubeSnapshot> snapshot() const;
+
+  // Lineage fingerprint of the current snapshot's cube family — the content
+  // identity established when the family was cold-built (incremental flips
+  // within a family keep it; see serve/cube_snapshot.h).
   uint64_t cube_fingerprint() const;
 
   Stats stats() const;
@@ -109,16 +138,15 @@ class QuantificationService {
   };
 
   Result<QuantificationResult> AnswerInternal(
-      const QuantificationRequest& request, bool from_batch);
+      const QuantificationRequest& request, bool from_batch,
+      const std::shared_ptr<const CubeSnapshot>& snapshot);
 
   Options options_;
 
-  // Backend (cube / indices / fingerprint) swaps atomically under this lock;
-  // request threads hold it shared for the duration of their computation.
-  mutable std::shared_mutex backend_mutex_;
-  const UnfairnessCube* cube_;
-  const IndexSet* indices_;
-  uint64_t fingerprint_;
+  // The RCU publication point: readers pin once per request (and once per
+  // batch), a flip is one pointer swap. See SnapshotPtr for why this is not
+  // std::atomic<std::shared_ptr>.
+  SnapshotPtr snapshot_;
 
   ShardedLruCache<RequestCacheKey, std::shared_ptr<const QuantificationResult>,
                   RequestCacheKeyHash>
@@ -136,6 +164,7 @@ class QuantificationService {
   std::atomic<uint64_t> computations_{0};
   std::atomic<uint64_t> coalesced_{0};
   std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> snapshot_flips_{0};
 };
 
 }  // namespace fairjob

@@ -11,6 +11,7 @@
 
 #include "core/group_space.h"
 #include "serve/cache_key.h"
+#include "serve/cube_snapshot.h"
 
 namespace fairjob {
 namespace {
@@ -208,11 +209,14 @@ TEST(ScaleGenTest, ServeRequestsAreDeterministicBoundedAndSkewed) {
     locations[i] = static_cast<int>(i);
   }
   UnfairnessCube cube = *UnfairnessCube::Make(groups, queries, locations);
+  IndexSet indices = IndexSet::Build(cube);
+  std::shared_ptr<const CubeSnapshot> snapshot =
+      CubeSnapshot::Borrow(&cube, &indices);
   RequestCacheKeyHash hash;
   std::map<size_t, size_t> pattern_counts;
   for (size_t i = 0; i < a.size(); ++i) {
-    RequestCacheKey ka(a[i], cube, 0);
-    RequestCacheKey kb(b[i], cube, 0);
+    RequestCacheKey ka(a[i], *snapshot);
+    RequestCacheKey kb(b[i], *snapshot);
     EXPECT_TRUE(ka == kb) << "request " << i;
     EXPECT_GE(a[i].k, 1u);
     ++pattern_counts[hash(ka)];

@@ -15,7 +15,9 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "core/group_space.h"
 #include "core/quantification.h"
+#include "serve/incremental.h"
 
 namespace fairjob {
 namespace {
@@ -231,9 +233,8 @@ TEST(ServeStressTest, RebuildUnderLoadServesOneOfTheTwoBackends) {
   options.cache_capacity = 16;
   QuantificationService service(cube_a.get(), &indices_a, options);
 
-  // Readers run a BOUNDED number of iterations and yield between them: an
-  // open-ended stop-flag loop starves SetBackend forever on platforms whose
-  // shared_mutex prefers readers (glibc) when requests saturate every core.
+  // Snapshot flips are one pointer swap — they cannot be starved by reader
+  // load — so the bounded iteration count is only about test runtime.
   constexpr size_t kIterations = 300;
   std::barrier start(kThreads + 1);
   std::vector<size_t> torn_per_thread(kThreads, 0);
@@ -270,6 +271,243 @@ TEST(ServeStressTest, RebuildUnderLoadServesOneOfTheTwoBackends) {
     EXPECT_EQ(torn_per_thread[t], 0u) << "thread " << t;
   }
   EXPECT_EQ(service.stats().errors, 0u);
+}
+
+// --- RCU flip stress ---------------------------------------------------------
+// Readers hammer Answer/AnswerBatch while a writer loops incremental upserts
+// and snapshot flips. Every served answer must exactly match the oracle of
+// ONE of the writer's published snapshots (no torn mixes), the stats must
+// account exactly, and after the dust settles entries over untouched columns
+// must still be served from cache.
+
+constexpr size_t kStressQueries = 4;
+constexpr size_t kStressLocations = 3;
+constexpr size_t kStressWorkers = 12;
+constexpr size_t kFlips = 10;
+
+MarketRanking StressRanking(Rng& rng) {
+  MarketRanking ranking;
+  std::vector<WorkerId> pool(kStressWorkers);
+  for (size_t w = 0; w < kStressWorkers; ++w) {
+    pool[w] = static_cast<WorkerId>(w);
+  }
+  rng.Shuffle(pool);
+  size_t length = 3 + rng.NextBelow(kStressWorkers - 3);
+  ranking.workers.assign(pool.begin(), pool.begin() + length);
+  return ranking;
+}
+
+MarketplaceDataset StressMarketplace(const AttributeSchema& schema,
+                                     uint64_t seed) {
+  MarketplaceDataset data(schema);
+  Rng rng(seed);
+  for (size_t w = 0; w < kStressWorkers; ++w) {
+    EXPECT_TRUE(data.AddWorker("w" + std::to_string(w),
+                               {static_cast<int32_t>(rng.NextBelow(2))})
+                    .ok());
+  }
+  for (size_t q = 0; q < kStressQueries; ++q) {
+    data.queries().GetOrAdd("q" + std::to_string(q));
+  }
+  for (size_t l = 0; l < kStressLocations; ++l) {
+    data.locations().GetOrAdd("l" + std::to_string(l));
+  }
+  for (size_t q = 0; q < kStressQueries; ++q) {
+    for (size_t l = 0; l < kStressLocations; ++l) {
+      EXPECT_TRUE(data.SetRanking(static_cast<QueryId>(q),
+                                  static_cast<LocationId>(l),
+                                  StressRanking(rng))
+                      .ok());
+    }
+  }
+  return data;
+}
+
+// The writer's flip schedule, fixed up front so the oracle can be computed
+// serially before the stress and the stressed maintainer replays it exactly.
+std::vector<CrawlBatch> StressBatches(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<CrawlBatch> batches(kFlips);
+  for (CrawlBatch& batch : batches) {
+    size_t rows = 1 + rng.NextBelow(2);
+    for (size_t r = 0; r < rows; ++r) {
+      CrawlBatchRow row;
+      row.query = static_cast<QueryId>(rng.NextBelow(kStressQueries));
+      row.location = static_cast<LocationId>(rng.NextBelow(kStressLocations));
+      row.ranking = StressRanking(rng);
+      batch.rows.push_back(std::move(row));
+    }
+  }
+  return batches;
+}
+
+TEST(ServeStressTest, RcuFlipsUnderIncrementalUpsertsServeUntornAnswers) {
+  AttributeSchema schema;
+  ASSERT_TRUE(schema.AddAttribute("gender", {"Male", "Female"}).ok());
+  GroupSpace space = *GroupSpace::Enumerate(schema);
+  std::vector<CrawlBatch> batches = StressBatches(/*seed=*/73);
+
+  // One group-target request per (query, location) column plus one
+  // unrestricted request — the key space readers draw from.
+  std::vector<QuantificationRequest> requests;
+  for (size_t q = 0; q < kStressQueries; ++q) {
+    for (size_t l = 0; l < kStressLocations; ++l) {
+      QuantificationRequest request;
+      request.target = Dimension::kGroup;
+      request.k = 2;
+      request.missing = MissingCellPolicy::kZero;
+      request.agg1 = AxisSelector::Single(q);
+      request.agg2 = AxisSelector::Single(l);
+      requests.push_back(request);
+    }
+  }
+  {
+    QuantificationRequest full;
+    full.target = Dimension::kGroup;
+    full.k = 2;
+    full.missing = MissingCellPolicy::kZero;
+    requests.push_back(full);
+  }
+
+  // Serial pass: replay the whole flip schedule once to precompute, per
+  // published snapshot version, the expected answer of every request.
+  std::vector<std::vector<QuantificationResult>> oracle;
+  {
+    Result<MarketplaceCubeMaintainer> made = MarketplaceCubeMaintainer::Make(
+        StressMarketplace(schema, /*seed=*/17), space,
+        MarketMeasure::kExposure);
+    ASSERT_TRUE(made.ok()) << made.status().ToString();
+    MarketplaceCubeMaintainer maintainer = std::move(*made);
+    auto record = [&] {
+      std::vector<QuantificationResult> expected;
+      for (const QuantificationRequest& request : requests) {
+        Result<QuantificationResult> direct =
+            SolveQuantification(maintainer.snapshot()->cube(),
+                                maintainer.snapshot()->indices(), request);
+        ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+        expected.push_back(std::move(*direct));
+      }
+      oracle.push_back(std::move(expected));
+    };
+    record();
+    for (const CrawlBatch& batch : batches) {
+      ASSERT_TRUE(maintainer.UpsertCrawlBatch(batch).ok());
+      record();
+    }
+  }
+  ASSERT_FALSE(::testing::Test::HasFailure());
+
+  // Stressed pass: identical dataset and schedule, now with readers racing
+  // the flips.
+  Result<MarketplaceCubeMaintainer> made = MarketplaceCubeMaintainer::Make(
+      StressMarketplace(schema, /*seed=*/17), space, MarketMeasure::kExposure);
+  ASSERT_TRUE(made.ok()) << made.status().ToString();
+  MarketplaceCubeMaintainer maintainer = std::move(*made);
+  QuantificationService::Options options;
+  options.cache_capacity = 64;
+  options.cache_shards = 4;
+  QuantificationService service(maintainer.snapshot(), options);
+
+  auto matches_some_version = [&](size_t key,
+                                  const QuantificationResult& served) {
+    for (const std::vector<QuantificationResult>& version : oracle) {
+      if (SameAnswers(served, version[key])) return true;
+    }
+    return false;
+  };
+
+  constexpr size_t kIterations = 400;
+  std::barrier start(kThreads + 1);
+  std::vector<size_t> torn_per_thread(kThreads, 0);
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(3000 + t);
+      start.arrive_and_wait();
+      for (size_t i = 0; i < kIterations; ++i) {
+        if (rng.NextBernoulli(0.25)) {
+          // Batch path: a handful of keys answered against ONE snapshot.
+          std::vector<QuantificationRequest> batch;
+          std::vector<size_t> keys;
+          size_t count = 2 + rng.NextBelow(3);
+          for (size_t b = 0; b < count; ++b) {
+            size_t key = rng.NextBelow(requests.size());
+            batch.push_back(requests[key]);
+            keys.push_back(key);
+          }
+          std::vector<Result<QuantificationResult>> results =
+              service.AnswerBatch(batch);
+          if (results.size() != batch.size()) {
+            ++torn_per_thread[t];
+            continue;
+          }
+          for (size_t b = 0; b < results.size(); ++b) {
+            if (!results[b].ok() ||
+                !matches_some_version(keys[b], *results[b])) {
+              ++torn_per_thread[t];
+            }
+          }
+        } else {
+          size_t key = rng.NextBelow(requests.size());
+          Result<QuantificationResult> served = service.Answer(requests[key]);
+          if (!served.ok() || !matches_some_version(key, *served)) {
+            ++torn_per_thread[t];
+          }
+        }
+      }
+    });
+  }
+
+  // Writer: replay the schedule, publishing a flip after every upsert that
+  // produced a new snapshot.
+  start.arrive_and_wait();
+  size_t published = 0;
+  for (const CrawlBatch& batch : batches) {
+    Result<UpsertReport> report = maintainer.UpsertCrawlBatch(batch);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    if (report->published_new_snapshot) {
+      service.SetSnapshot(maintainer.snapshot());
+      ++published;
+    }
+    std::this_thread::yield();
+  }
+  for (std::thread& reader : readers) reader.join();
+
+  for (size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(torn_per_thread[t], 0u) << "thread " << t;
+  }
+  QuantificationService::Stats stats = service.stats();
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(stats.snapshot_flips, published);
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.requests);
+  EXPECT_EQ(stats.computations + stats.coalesced, stats.cache_misses);
+
+  // Quiesced epilogue: warm every per-column entry on the final snapshot,
+  // then upsert exactly one column and flip. The C − 1 untouched columns'
+  // entries must survive — served as hits, zero recomputation.
+  const size_t kColumns = kStressQueries * kStressLocations;
+  for (size_t key = 0; key < kColumns; ++key) {
+    ASSERT_TRUE(service.Answer(requests[key]).ok());
+  }
+  QuantificationService::Stats warm = service.stats();
+  Rng rng(/*seed=*/97);
+  UpsertReport report;
+  do {  // loop until the random ranking genuinely changes the column
+    CrawlBatch final_batch;
+    final_batch.rows.push_back(CrawlBatchRow{0, 0, StressRanking(rng)});
+    Result<UpsertReport> applied = maintainer.UpsertCrawlBatch(final_batch);
+    ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+    report = *applied;
+  } while (report.columns_changed == 0);
+  ASSERT_EQ(report.columns_changed, 1u);
+  service.SetSnapshot(maintainer.snapshot());
+  for (size_t key = 0; key < kColumns; ++key) {
+    ASSERT_TRUE(service.Answer(requests[key]).ok());
+  }
+  QuantificationService::Stats survived = service.stats();
+  EXPECT_EQ(survived.cache_hits, warm.cache_hits + (kColumns - 1));
+  EXPECT_EQ(survived.cache_misses, warm.cache_misses + 1);
+  EXPECT_EQ(survived.computations, warm.computations + 1);
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 #include "common/rng.h"
 #include "core/quantification.h"
 #include "serve/cache_key.h"
+#include "serve/cube_snapshot.h"
 
 namespace fairjob {
 namespace {
@@ -249,22 +250,68 @@ TEST_F(ServeDifferentialTest, ErrorsPropagateAndAreNotCached) {
 
 TEST(RequestCacheKeyTest, AlgorithmAndPolicyArePartOfTheIdentity) {
   std::unique_ptr<UnfairnessCube> cube = MakeCube(/*seed=*/7);
-  uint64_t fingerprint = FingerprintCube(*cube);
+  IndexSet indices = IndexSet::Build(*cube);
+  std::shared_ptr<const CubeSnapshot> snapshot =
+      CubeSnapshot::Borrow(cube.get(), &indices);
   QuantificationRequest request;
   request.missing = MissingCellPolicy::kZero;
-  RequestCacheKey base(request, *cube, fingerprint);
+  RequestCacheKey base(request, *snapshot);
 
   QuantificationRequest other_algorithm = request;
   other_algorithm.algorithm = TopKAlgorithm::kScan;
-  EXPECT_FALSE(base ==
-               RequestCacheKey(other_algorithm, *cube, fingerprint));
+  EXPECT_FALSE(base == RequestCacheKey(other_algorithm, *snapshot));
 
   QuantificationRequest other_policy = request;
   other_policy.missing = MissingCellPolicy::kSkip;
-  EXPECT_FALSE(base == RequestCacheKey(other_policy, *cube, fingerprint));
+  EXPECT_FALSE(base == RequestCacheKey(other_policy, *snapshot));
 
-  EXPECT_FALSE(base == RequestCacheKey(request, *cube, fingerprint + 1));
-  EXPECT_TRUE(base == RequestCacheKey(request, *cube, fingerprint));
+  // A snapshot over different contents has a different lineage, so the same
+  // request stops matching; the same snapshot reproduces the same key.
+  std::unique_ptr<UnfairnessCube> other_cube = MakeCube(/*seed=*/8);
+  IndexSet other_indices = IndexSet::Build(*other_cube);
+  std::shared_ptr<const CubeSnapshot> other_snapshot =
+      CubeSnapshot::Borrow(other_cube.get(), &other_indices);
+  EXPECT_FALSE(base == RequestCacheKey(request, *other_snapshot));
+  EXPECT_TRUE(base == RequestCacheKey(request, *snapshot));
+}
+
+TEST(RequestCacheKeyTest, EpochDigestBindsOnlyTheColumnsARequestReads) {
+  std::unique_ptr<UnfairnessCube> cube = MakeCube(/*seed=*/7);
+  IndexSet indices = IndexSet::Build(*cube);
+  std::shared_ptr<const CubeSnapshot> before =
+      CubeSnapshot::Borrow(cube.get(), &indices);
+
+  // Group-target request reading only query column 0 (all locations).
+  QuantificationRequest narrow;
+  narrow.target = Dimension::kGroup;
+  narrow.missing = MissingCellPolicy::kZero;
+  narrow.agg1 = AxisSelector::Single(0);
+  // And one reading only query column 1.
+  QuantificationRequest disjoint = narrow;
+  disjoint.agg1 = AxisSelector::Single(1);
+  // And an unrestricted one, which reads every column.
+  QuantificationRequest full;
+  full.target = Dimension::kGroup;
+  full.missing = MissingCellPolicy::kZero;
+
+  RequestCacheKey narrow_before(narrow, *before);
+  RequestCacheKey disjoint_before(disjoint, *before);
+  RequestCacheKey full_before(full, *before);
+
+  // Bump the epoch of every (query 1, location) column, as the delta path
+  // would after an upsert changed query 1's cells.
+  for (size_t l = 0; l < cube->axis_size(Dimension::kLocation); ++l) {
+    cube->BumpColumnEpoch(1, l);
+  }
+  std::shared_ptr<const CubeSnapshot> after =
+      CubeSnapshot::MakeDerived(*cube, indices, before->lineage(),
+                                before->version() + 1);
+
+  // The request over untouched columns keeps its key (its cache entry
+  // survives); requests reading a touched column get re-keyed.
+  EXPECT_TRUE(narrow_before == RequestCacheKey(narrow, *after));
+  EXPECT_FALSE(disjoint_before == RequestCacheKey(disjoint, *after));
+  EXPECT_FALSE(full_before == RequestCacheKey(full, *after));
 }
 
 TEST(FingerprintCubeTest, SensitiveToValuesPresenceAndShape) {
