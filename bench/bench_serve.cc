@@ -4,7 +4,9 @@
 // BENCH_serve.json and cross-checks that served answers stay bit-equal to
 // direct SolveQuantification.
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -198,16 +200,45 @@ int Main(int argc, char** argv) {
     }
   });
 
-  // Hot: cache warmed over the whole keyspace, then the trace replayed.
+  // Hot: cache warmed over the whole keyspace, then the trace replayed. The
+  // first replay after warm-up still pays one-time costs the cache cannot
+  // hide (lazily faulted pages, cold branch predictors, allocator growth),
+  // so it is timed separately as hot_first_ms; the gated hot_ms is steady
+  // state — best of kReps replays taken only after that first one.
   QuantificationService hot(&cube, &indices);
   for (const QuantificationRequest& request : request_space) {
     OrDie(hot.Answer(request), "warmup answer");
   }
-  double hot_ms = TimeMs(kReps, [&] {
+  auto replay_hot = [&] {
     for (const QuantificationRequest& request : trace) {
       OrDie(hot.Answer(request), "hot answer");
     }
-  });
+  };
+  double hot_first_ms = TimeMs(1, replay_hot);
+  double hot_ms = TimeMs(kReps, replay_hot);
+  // Steady-state per-request latency distribution, one timed call at a time
+  // (exact sorted-sample percentiles, same method as serve/load_gen).
+  std::vector<double> hot_samples;
+  hot_samples.reserve(trace.size());
+  for (const QuantificationRequest& request : trace) {
+    auto start = std::chrono::steady_clock::now();
+    OrDie(hot.Answer(request), "hot sampled answer");
+    auto stop = std::chrono::steady_clock::now();
+    hot_samples.push_back(
+        std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+            stop - start)
+            .count());
+  }
+  std::sort(hot_samples.begin(), hot_samples.end());
+  auto quantile = [&](double q) {
+    if (hot_samples.empty()) return 0.0;
+    size_t rank = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(hot_samples.size())));
+    return hot_samples[std::min(rank == 0 ? 0 : rank - 1,
+                                hot_samples.size() - 1)];
+  };
+  double hot_p50_us = quantile(0.50);
+  double hot_p99_us = quantile(0.99);
   auto cache = hot.cache_stats();
 
   // Batched: fresh service per rep, trace chunked through AnswerBatch —
@@ -233,10 +264,14 @@ int Main(int argc, char** argv) {
   PrintTable(
       {"pass", "ms", "req/s", "vs cold"},
       {{"cold (no cache)", Fmt(cold_ms), Fmt(cold_qps, 0), "1.00x"},
-       {"hot (cached)", Fmt(hot_ms), Fmt(hot_qps, 0),
+       {"hot first replay", Fmt(hot_first_ms),
+        Fmt(hot_first_ms > 0 ? 1000.0 * n / hot_first_ms : 0, 0), "-"},
+       {"hot (steady state)", Fmt(hot_ms), Fmt(hot_qps, 0),
         Fmt(speedup, 2) + "x"},
        {"batched", Fmt(batched_ms), Fmt(batched_qps, 0),
         Fmt(cold_qps > 0 ? batched_qps / cold_qps : 0, 2) + "x"}});
+  std::printf("hot steady-state per-request: p50 %.1f us, p99 %.1f us\n",
+              hot_p50_us, hot_p99_us);
   std::printf("cache: %llu hits / %llu lookups, %llu evictions\n",
               static_cast<unsigned long long>(cache.hits),
               static_cast<unsigned long long>(cache.lookups),
@@ -252,7 +287,10 @@ int Main(int argc, char** argv) {
       ",\n  \"trace_len\": " + std::to_string(trace.size()) +
       ",\n  \"batch_size\": " + std::to_string(kBatchSize) +
       ",\n  \"cold_ms\": " + Fmt(cold_ms) +
+      ",\n  \"hot_first_ms\": " + Fmt(hot_first_ms) +
       ",\n  \"hot_ms\": " + Fmt(hot_ms) +
+      ",\n  \"hot_p50_us\": " + Fmt(hot_p50_us, 1) +
+      ",\n  \"hot_p99_us\": " + Fmt(hot_p99_us, 1) +
       ",\n  \"batched_ms\": " + Fmt(batched_ms) +
       ",\n  \"cold_qps\": " + Fmt(cold_qps, 0) +
       ",\n  \"hot_qps\": " + Fmt(hot_qps, 0) +

@@ -1,0 +1,26 @@
+#include "common/clock.h"
+
+#include <chrono>
+
+namespace fairjob {
+namespace {
+
+class SteadyClock final : public Clock {
+ public:
+  int64_t NowMicros() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+}  // namespace
+
+const Clock* Clock::Real() {
+  // Leaked on purpose (same rationale as MetricsRegistry::Global()): the
+  // serving layer may read the clock during static destruction.
+  static const SteadyClock* clock = new SteadyClock();
+  return clock;
+}
+
+}  // namespace fairjob

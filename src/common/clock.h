@@ -1,0 +1,29 @@
+#ifndef FAIRJOB_COMMON_CLOCK_H_
+#define FAIRJOB_COMMON_CLOCK_H_
+
+#include <cstdint>
+
+namespace fairjob {
+
+// Microsecond time source the serving layer's admission control and cache
+// TTLs are written against. Production code uses Real() (a monotonic
+// steady_clock reading); tests inject a VirtualClock (common/virtual_clock.h)
+// so deadline shedding and TTL expiry are deterministic — time moves only
+// when the test says so.
+//
+// NowMicros must be monotone non-decreasing and safe to call from any
+// thread. The epoch is arbitrary: only differences are meaningful.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  virtual int64_t NowMicros() const = 0;
+
+  // Process-wide monotonic clock (steady_clock); never destroyed, so cached
+  // pointers stay valid through shutdown like the metrics singletons.
+  static const Clock* Real();
+};
+
+}  // namespace fairjob
+
+#endif  // FAIRJOB_COMMON_CLOCK_H_

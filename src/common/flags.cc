@@ -1,11 +1,40 @@
 #include "common/flags.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 #include "common/string_util.h"
 
 namespace fairjob {
+namespace {
+
+// Shared pre-checks for every numeric accessor, so all types agree on what
+// a malformed value is. Zero is a value like any other — `--deadline_ms=0`
+// and `--deadline_ms 0` must parse to 0, never be rejected or confused with
+// "flag absent" — so the only rejections are structural: an empty value (a
+// boolean switch queried as a number gets its own message, since `--x`
+// followed by another flag silently parses as a switch) and surrounding
+// whitespace (strtol/strtod would skip it on one side only, so spellings
+// would round-trip inconsistently).
+Status CheckNumericShape(const std::string& name, const std::string& value,
+                         const char* type_name) {
+  if (value.empty()) {
+    return Status::InvalidArgument("flag --" + name +
+                                   " has no value; pass --" + name + "=<" +
+                                   type_name + ">");
+  }
+  if (std::isspace(static_cast<unsigned char>(value.front())) ||
+      std::isspace(static_cast<unsigned char>(value.back()))) {
+    return Status::InvalidArgument("flag --" + name +
+                                   " has whitespace around its value");
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 Result<Flags> Flags::Parse(const std::vector<std::string>& args) {
   Flags flags;
@@ -42,10 +71,17 @@ std::string Flags::GetString(const std::string& name,
 Result<long> Flags::GetInt(const std::string& name, long fallback) const {
   auto it = values_.find(name);
   if (it == values_.end()) return fallback;
+  Status shape = CheckNumericShape(name, it->second, "int");
+  if (!shape.ok()) return shape;
   char* end = nullptr;
+  errno = 0;
   long v = std::strtol(it->second.c_str(), &end, 10);
   if (end == it->second.c_str() || *end != '\0') {
     return Status::InvalidArgument("flag --" + name + " expects an integer");
+  }
+  if (errno == ERANGE) {
+    return Status::InvalidArgument("flag --" + name +
+                                   " overflows the integer range");
   }
   return v;
 }
@@ -62,10 +98,17 @@ Result<double> Flags::GetDouble(const std::string& name,
                                 double fallback) const {
   auto it = values_.find(name);
   if (it == values_.end()) return fallback;
+  Status shape = CheckNumericShape(name, it->second, "number");
+  if (!shape.ok()) return shape;
   char* end = nullptr;
+  errno = 0;
   double v = std::strtod(it->second.c_str(), &end);
   if (end == it->second.c_str() || *end != '\0') {
     return Status::InvalidArgument("flag --" + name + " expects a number");
+  }
+  if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL)) {
+    return Status::InvalidArgument("flag --" + name +
+                                   " overflows the double range");
   }
   return v;
 }

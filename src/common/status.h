@@ -20,6 +20,13 @@ enum class StatusCode {
   kFailedPrecondition,
   kIOError,
   kInternal,
+  // Serving-layer overload taxonomy (docs/serving.md, "Load & overload"):
+  // kUnavailable = rejected by admission control (bounded queue or follower
+  // queue full — retry later), kDeadlineExceeded = shed because the request's
+  // deadline passed before it could be computed. Both are returned *instead*
+  // of an answer, never alongside a partial one.
+  kUnavailable,
+  kDeadlineExceeded,
 };
 
 // Returns a stable human-readable name for `code` ("OK", "InvalidArgument"...).
@@ -58,6 +65,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

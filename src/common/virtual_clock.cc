@@ -3,11 +3,24 @@
 namespace fairjob {
 
 void VirtualClock::AdvanceSeconds(int64_t seconds) {
-  if (seconds > 0) now_ += seconds;
+  if (seconds > 0) AdvanceMicros(seconds * kMicrosPerSecond);
 }
 
-void VirtualClock::AdvanceTo(int64_t t) {
-  if (t > now_) now_ = t;
+void VirtualClock::AdvanceMicros(int64_t micros) {
+  if (micros > 0) now_micros_.fetch_add(micros, std::memory_order_acq_rel);
+}
+
+void VirtualClock::AdvanceTo(int64_t t_seconds) {
+  AdvanceToMicros(t_seconds * kMicrosPerSecond);
+}
+
+void VirtualClock::AdvanceToMicros(int64_t t_micros) {
+  int64_t current = now_micros_.load(std::memory_order_acquire);
+  while (t_micros > current &&
+         !now_micros_.compare_exchange_weak(current, t_micros,
+                                            std::memory_order_acq_rel)) {
+    // `current` reloaded by the failed CAS; loop re-checks monotonicity.
+  }
 }
 
 }  // namespace fairjob

@@ -1,28 +1,46 @@
 #ifndef FAIRJOB_COMMON_VIRTUAL_CLOCK_H_
 #define FAIRJOB_COMMON_VIRTUAL_CLOCK_H_
 
+#include <atomic>
 #include <cstdint>
+
+#include "common/clock.h"
 
 namespace fairjob {
 
-// A fully deterministic simulated clock (seconds since an arbitrary epoch).
-// The crawler and user-study runner advance this clock instead of sleeping,
-// so rate limiting, 12-minute re-query intervals and carry-over-effect decay
-// are reproducible and instantaneous in tests.
-class VirtualClock {
+// A fully deterministic simulated clock. The crawler and user-study runner
+// advance this clock instead of sleeping, so rate limiting, 12-minute
+// re-query intervals and carry-over-effect decay are reproducible and
+// instantaneous in tests.
+//
+// Internally the clock counts microseconds (the resolution the serving
+// layer's admission deadlines and cache TTLs are written in); the original
+// seconds API is preserved on top of it. It implements the Clock interface
+// so tests can hand it to QuantificationService and make deadline shedding
+// deterministic. Reads and advances are atomic: load-harness tests advance
+// the clock from one thread while service threads poll it.
+class VirtualClock : public Clock {
  public:
-  explicit VirtualClock(int64_t start_seconds = 0) : now_(start_seconds) {}
+  explicit VirtualClock(int64_t start_seconds = 0)
+      : now_micros_(start_seconds * kMicrosPerSecond) {}
 
-  int64_t NowSeconds() const { return now_; }
+  int64_t NowSeconds() const { return NowMicros() / kMicrosPerSecond; }
+  int64_t NowMicros() const override {
+    return now_micros_.load(std::memory_order_acquire);
+  }
 
   // Advances time; negative amounts are ignored (time never goes backwards).
   void AdvanceSeconds(int64_t seconds);
+  void AdvanceMicros(int64_t micros);
 
   // Advances to `t` if it lies in the future.
-  void AdvanceTo(int64_t t);
+  void AdvanceTo(int64_t t_seconds);
+  void AdvanceToMicros(int64_t t_micros);
 
  private:
-  int64_t now_;
+  static constexpr int64_t kMicrosPerSecond = 1'000'000;
+
+  std::atomic<int64_t> now_micros_;
 };
 
 }  // namespace fairjob

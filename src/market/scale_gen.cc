@@ -309,4 +309,24 @@ std::vector<QuantificationRequest> GenerateServeRequests(
   return requests;
 }
 
+std::vector<int64_t> GenerateArrivalTimesMicros(const ArrivalSpec& spec) {
+  std::vector<int64_t> arrivals;
+  if (spec.target_qps <= 0.0 || spec.duration_seconds <= 0.0) return arrivals;
+  Rng rng(spec.seed);
+  const double horizon_us = spec.duration_seconds * 1e6;
+  const double mean_gap_us = 1e6 / spec.target_qps;
+  arrivals.reserve(static_cast<size_t>(spec.target_qps *
+                                       spec.duration_seconds * 1.1) + 16);
+  double t = 0.0;
+  for (;;) {
+    // Inverse-transform exponential gap. 1 − u keeps the argument strictly
+    // positive when NextDouble() returns exactly 0.
+    double u = rng.NextDouble();
+    t += -std::log(1.0 - u) * mean_gap_us;
+    if (t >= horizon_us) break;
+    arrivals.push_back(static_cast<int64_t>(t));
+  }
+  return arrivals;
+}
+
 }  // namespace fairjob

@@ -87,6 +87,21 @@ std::vector<QuantificationRequest> GenerateServeRequests(
     const ServeLoadSpec& spec, size_t num_groups, size_t num_queries,
     size_t num_locations);
 
+struct ArrivalSpec {
+  uint64_t seed = 1;
+  // Mean offered rate of the open-loop stream.
+  double target_qps = 1000.0;
+  double duration_seconds = 1.0;
+};
+
+// Poisson arrival schedule for the open-loop load harness (serve/load_gen.h):
+// i.i.d. exponential inter-arrival gaps with mean 1/target_qps, accumulated
+// into sorted absolute offsets (microseconds from stream start) and truncated
+// at the duration. Deterministic per seed; the expected length is
+// target_qps × duration_seconds. Returns empty if either rate or duration is
+// non-positive.
+std::vector<int64_t> GenerateArrivalTimesMicros(const ArrivalSpec& spec);
+
 }  // namespace fairjob
 
 #endif  // FAIRJOB_MARKET_SCALE_GEN_H_

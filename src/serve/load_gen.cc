@@ -1,0 +1,182 @@
+#include "serve/load_gen.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/metrics.h"
+
+namespace fairjob {
+namespace {
+
+// Latencies land in the shared registry too (serve.load.latency_us) so a
+// bench run's JSON export carries the full distribution, but the report's
+// percentiles are exact: computed from the raw sorted samples.
+LatencyHistogram* LoadHistogram() {
+  static LatencyHistogram* histogram =
+      MetricsRegistry::Global().histogram("serve.load.latency_us");
+  return histogram;
+}
+
+void Classify(const Status& status, LoadCounts* counts) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      ++counts->ok;
+      break;
+    case StatusCode::kDeadlineExceeded:
+      ++counts->deadline_exceeded;
+      break;
+    case StatusCode::kUnavailable:
+      ++counts->unavailable;
+      break;
+    default:
+      ++counts->other_errors;
+      break;
+  }
+}
+
+void MergeCounts(const LoadCounts& from, LoadCounts* into) {
+  into->offered += from.offered;
+  into->ok += from.ok;
+  into->deadline_exceeded += from.deadline_exceeded;
+  into->unavailable += from.unavailable;
+  into->other_errors += from.other_errors;
+}
+
+double ExactQuantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  size_t index = static_cast<size_t>(std::ceil(q * sorted.size()));
+  if (index == 0) index = 1;
+  if (index > sorted.size()) index = sorted.size();
+  return sorted[index - 1];
+}
+
+LoadReport FinishReport(LoadCounts counts,
+                        std::vector<std::vector<double>> per_worker_latencies,
+                        double wall_seconds) {
+  LoadReport report;
+  report.counts = counts;
+  report.wall_seconds = wall_seconds;
+  report.achieved_qps =
+      wall_seconds > 0.0 ? static_cast<double>(counts.ok) / wall_seconds : 0.0;
+  std::vector<double> latencies;
+  for (const std::vector<double>& worker : per_worker_latencies) {
+    latencies.insert(latencies.end(), worker.begin(), worker.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  report.p50_us = ExactQuantile(latencies, 0.50);
+  report.p99_us = ExactQuantile(latencies, 0.99);
+  report.p999_us = ExactQuantile(latencies, 0.999);
+  report.max_us = latencies.empty() ? 0.0 : latencies.back();
+  return report;
+}
+
+}  // namespace
+
+LoadReport RunOpenLoopLoad(QuantificationService& service,
+                           const std::vector<QuantificationRequest>& trace,
+                           const std::vector<int64_t>& arrivals_micros,
+                           const LoadGenOptions& options) {
+  if (trace.empty() || arrivals_micros.empty()) return LoadReport();
+  const size_t num_workers = std::max<size_t>(1, options.num_workers);
+  const Clock* clock = Clock::Real();
+
+  std::atomic<size_t> next_arrival{0};
+  std::vector<LoadCounts> counts(num_workers);
+  std::vector<std::vector<double>> latencies(num_workers);
+
+  const int64_t start_micros = clock->NowMicros();
+  auto worker = [&](size_t w) {
+    LoadCounts& my_counts = counts[w];
+    std::vector<double>& my_latencies = latencies[w];
+    for (;;) {
+      size_t i = next_arrival.fetch_add(1, std::memory_order_relaxed);
+      if (i >= arrivals_micros.size()) return;
+      const int64_t scheduled = start_micros + arrivals_micros[i];
+      int64_t now = clock->NowMicros();
+      if (now < scheduled) {
+        std::this_thread::sleep_for(std::chrono::microseconds(scheduled - now));
+        now = clock->NowMicros();
+      }
+      // Anchor the deadline at the scheduled arrival: a request this
+      // generator issued late has already burned part (or all — then the
+      // budget goes negative and the service sheds it at entry) of it.
+      int64_t budget = options.deadline_budget_micros;
+      if (budget > 0) {
+        budget = scheduled + options.deadline_budget_micros - now;
+        if (budget == 0) budget = -1;  // exactly exhausted, not "default"
+      }
+      ++my_counts.offered;
+      Result<QuantificationResult> answer =
+          service.Answer(trace[i % trace.size()], budget);
+      Classify(answer.ok() ? Status::OK() : answer.status(), &my_counts);
+      if (answer.ok()) {
+        double latency =
+            static_cast<double>(clock->NowMicros() - scheduled);
+        my_latencies.push_back(latency);
+        LoadHistogram()->Record(latency);
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(num_workers);
+  for (size_t w = 0; w < num_workers; ++w) threads.emplace_back(worker, w);
+  for (std::thread& thread : threads) thread.join();
+  const double wall_seconds =
+      static_cast<double>(clock->NowMicros() - start_micros) / 1e6;
+
+  LoadCounts total;
+  for (const LoadCounts& c : counts) MergeCounts(c, &total);
+  return FinishReport(total, std::move(latencies), wall_seconds);
+}
+
+LoadReport RunClosedLoopLoad(QuantificationService& service,
+                             const std::vector<QuantificationRequest>& trace,
+                             double duration_seconds,
+                             const LoadGenOptions& options) {
+  if (trace.empty() || duration_seconds <= 0.0) return LoadReport();
+  const size_t num_workers = std::max<size_t>(1, options.num_workers);
+  const Clock* clock = Clock::Real();
+
+  std::atomic<size_t> next_index{0};
+  std::vector<LoadCounts> counts(num_workers);
+  std::vector<std::vector<double>> latencies(num_workers);
+
+  const int64_t start_micros = clock->NowMicros();
+  const int64_t stop_micros =
+      start_micros + static_cast<int64_t>(duration_seconds * 1e6);
+  auto worker = [&](size_t w) {
+    LoadCounts& my_counts = counts[w];
+    std::vector<double>& my_latencies = latencies[w];
+    while (clock->NowMicros() < stop_micros) {
+      size_t i = next_index.fetch_add(1, std::memory_order_relaxed);
+      ++my_counts.offered;
+      const int64_t issued = clock->NowMicros();
+      Result<QuantificationResult> answer = service.Answer(
+          trace[i % trace.size()], options.deadline_budget_micros);
+      Classify(answer.ok() ? Status::OK() : answer.status(), &my_counts);
+      if (answer.ok()) {
+        double latency = static_cast<double>(clock->NowMicros() - issued);
+        my_latencies.push_back(latency);
+        LoadHistogram()->Record(latency);
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(num_workers);
+  for (size_t w = 0; w < num_workers; ++w) threads.emplace_back(worker, w);
+  for (std::thread& thread : threads) thread.join();
+  const double wall_seconds =
+      static_cast<double>(clock->NowMicros() - start_micros) / 1e6;
+
+  LoadCounts total;
+  for (const LoadCounts& c : counts) MergeCounts(c, &total);
+  return FinishReport(total, std::move(latencies), wall_seconds);
+}
+
+}  // namespace fairjob

@@ -1,0 +1,80 @@
+#ifndef FAIRJOB_SERVE_LOAD_GEN_H_
+#define FAIRJOB_SERVE_LOAD_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/quantification.h"
+#include "serve/quantification_service.h"
+
+namespace fairjob {
+
+// Deterministic load harness for QuantificationService (docs/serving.md,
+// "Load & overload"). Two drive modes:
+//  * open loop — requests arrive on a precomputed schedule (typically
+//    GenerateArrivalTimesMicros' Poisson stream) regardless of how fast the
+//    service answers, the regime real traffic applies. Latency is measured
+//    from the SCHEDULED arrival, not the actual issue time, so queueing
+//    delay the generator itself accumulates when the service falls behind is
+//    charged to the service (no coordinated omission).
+//  * closed loop — each worker issues the next request the moment the
+//    previous one returns; measures the service's capacity (max sustainable
+//    throughput), the denominator the SLO targets are set from.
+
+// How every offered request was resolved. The service's typed rejections are
+// first-class outcomes, not errors: an overloaded run is healthy exactly
+// when offered == ok + deadline_exceeded + unavailable and other_errors == 0.
+struct LoadCounts {
+  uint64_t offered = 0;
+  uint64_t ok = 0;
+  uint64_t deadline_exceeded = 0;  // shed (kDeadlineExceeded)
+  uint64_t unavailable = 0;        // rejected (kUnavailable)
+  uint64_t other_errors = 0;       // anything else non-OK
+};
+
+struct LoadReport {
+  LoadCounts counts;
+  double wall_seconds = 0.0;
+  // Completed (ok) answers per wall second.
+  double achieved_qps = 0.0;
+  // Exact percentiles (sorted per-request samples, not histogram buckets)
+  // over completed requests' latency in microseconds: scheduled-arrival to
+  // completion in open loop, call duration in closed loop. Zero when no
+  // request completed.
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  double max_us = 0.0;
+};
+
+struct LoadGenOptions {
+  // Concurrent driver threads. Open loop needs enough workers that the
+  // schedule never starves for an issuer while all workers are blocked in
+  // the service; closed loop uses exactly this many as the concurrency.
+  size_t num_workers = 4;
+  // Per-request deadline budget in microseconds, anchored at the scheduled
+  // arrival in open loop (a request issued late has the lateness already
+  // deducted; one late past the whole budget is passed through with a
+  // negative budget for the service to shed at entry). 0 = let the service
+  // apply its configured default.
+  int64_t deadline_budget_micros = 0;
+};
+
+// Drives `trace` (request i at arrivals_micros[i], offsets from stream
+// start; schedule longer than the trace wraps around) through the service.
+// Blocks until every scheduled request resolved.
+LoadReport RunOpenLoopLoad(QuantificationService& service,
+                           const std::vector<QuantificationRequest>& trace,
+                           const std::vector<int64_t>& arrivals_micros,
+                           const LoadGenOptions& options);
+
+// Workers issue trace requests back-to-back (round-robin over the trace,
+// disjoint strides per worker) for `duration_seconds` of wall time.
+LoadReport RunClosedLoopLoad(QuantificationService& service,
+                             const std::vector<QuantificationRequest>& trace,
+                             double duration_seconds,
+                             const LoadGenOptions& options);
+
+}  // namespace fairjob
+
+#endif  // FAIRJOB_SERVE_LOAD_GEN_H_

@@ -1,5 +1,7 @@
 #include "serve/quantification_service.h"
 
+#include <chrono>
+#include <limits>
 #include <utility>
 
 #include "common/metrics.h"
@@ -8,6 +10,14 @@
 
 namespace fairjob {
 namespace {
+
+// Deadline sentinel: "no deadline" compares later than any clock reading.
+constexpr int64_t kNoDeadline = std::numeric_limits<int64_t>::max();
+
+// Queued waiters re-check the deadline on this cadence. Short enough that a
+// virtual-clock advance is observed promptly in tests, long enough not to
+// thrash the admission mutex under real load.
+constexpr std::chrono::microseconds kAdmissionPoll{200};
 
 struct ServeMetrics {
   Counter* requests;
@@ -18,9 +28,18 @@ struct ServeMetrics {
   Counter* batch_requests;
   Counter* batch_deduped;
   Counter* snapshot_flips;
+  Counter* admitted;
+  Counter* admission_rejected;
+  Counter* shed_deadline;
+  Counter* shed_followers;
+  Counter* stale_hits;
+  Counter* stale_refreshes;
+  Counter* stale_ttl_expired;
   Gauge* snapshot_version;
+  Gauge* admission_queue_depth;
   LatencyHistogram* answer_us;
   LatencyHistogram* batch_us;
+  LatencyHistogram* admission_wait_us;
 };
 
 // Shared across all services (metric objects are process-wide anyway);
@@ -37,12 +56,30 @@ const ServeMetrics& Metrics() {
     m.batch_requests = registry.counter("serve.batch.requests");
     m.batch_deduped = registry.counter("serve.batch.deduped");
     m.snapshot_flips = registry.counter("serve.snapshot.flips");
+    m.admitted = registry.counter("serve.admission.admitted");
+    m.admission_rejected = registry.counter("serve.admission.rejected");
+    m.shed_deadline = registry.counter("serve.shed.deadline");
+    m.shed_followers = registry.counter("serve.shed.followers");
+    m.stale_hits = registry.counter("serve.stale.hits");
+    m.stale_refreshes = registry.counter("serve.stale.refreshes");
+    m.stale_ttl_expired = registry.counter("serve.stale.ttl_expired");
     m.snapshot_version = registry.gauge("serve.snapshot.version");
+    m.admission_queue_depth = registry.gauge("serve.admission.queue_depth");
     m.answer_us = registry.histogram("serve.answer_us");
     m.batch_us = registry.histogram("serve.batch_us");
+    m.admission_wait_us = registry.histogram("serve.admission.wait_us");
     return m;
   }();
   return metrics;
+}
+
+// The LRU is keyed by the canonical request shape alone; the epoch digest
+// the answer was computed against lives in the value, so one upsert turns
+// an entry stale in place instead of stranding it under a dead key.
+RequestCacheKey StorageKey(const RequestCacheKey& key) {
+  RequestCacheKey storage = key;
+  storage.epoch_digest = 0;
+  return storage;
 }
 
 }  // namespace
@@ -54,6 +91,7 @@ QuantificationService::QuantificationService(
 QuantificationService::QuantificationService(
     std::shared_ptr<const CubeSnapshot> snapshot, Options options)
     : options_(std::move(options)),
+      clock_(options_.clock != nullptr ? options_.clock : Clock::Real()),
       snapshot_(std::move(snapshot)),
       cache_(options_.cache_capacity, options_.cache_shards, "serve.cache") {}
 
@@ -93,11 +131,93 @@ uint64_t QuantificationService::cube_fingerprint() const {
 Result<QuantificationResult> QuantificationService::Answer(
     const QuantificationRequest& request) {
   return AnswerInternal(request, /*from_batch=*/false,
+                        /*deadline_budget_micros=*/0, snapshot_.Acquire());
+}
+
+Result<QuantificationResult> QuantificationService::Answer(
+    const QuantificationRequest& request, int64_t deadline_budget_micros) {
+  return AnswerInternal(request, /*from_batch=*/false, deadline_budget_micros,
                         snapshot_.Acquire());
+}
+
+QuantificationService::Probe QuantificationService::ProbeCache(
+    const RequestCacheKey& storage_key, uint64_t epoch_digest, int64_t now,
+    std::shared_ptr<const QuantificationResult>* answer) {
+  if (options_.cache_capacity == 0) return Probe::kDisabled;
+  std::optional<CachedAnswer> cached = cache_.Get(storage_key);
+  if (!cached.has_value()) return Probe::kMiss;
+  if (options_.cache_ttl_micros > 0 &&
+      now - cached->inserted_micros >= options_.cache_ttl_micros) {
+    return Probe::kTtlExpired;
+  }
+  if (cached->epoch_digest == epoch_digest) {
+    *answer = std::move(cached->result);
+    return Probe::kFresh;
+  }
+  // Stale-while-revalidate: the entry predates an upsert that bumped an
+  // epoch this request reads. fetch_add hands out budget slots exactly
+  // once each across concurrent serves (all value copies share the
+  // counter), so the entry is served at most stale_budget times.
+  if (options_.stale_budget > 0 &&
+      cached->stale_served->fetch_add(1, std::memory_order_acq_rel) <
+          options_.stale_budget) {
+    *answer = std::move(cached->result);
+    return Probe::kStaleServed;
+  }
+  return Probe::kStaleExhausted;
+}
+
+Status QuantificationService::AcquirePermit(int64_t deadline_abs_micros,
+                                            bool* waited) {
+  std::unique_lock<std::mutex> lock(admission_mutex_);
+  if (inflight_ < options_.max_inflight) {
+    ++inflight_;
+    return Status::OK();
+  }
+  if (queued_ >= options_.max_queue_depth) {
+    return Status::Unavailable("admission queue full");
+  }
+  *waited = true;
+  ++queued_;
+  Metrics().admission_queue_depth->Set(static_cast<double>(queued_));
+  ScopedTimer wait_timer(Metrics().admission_wait_us);
+  for (;;) {
+    // wait_for (not wait-until-deadline) because the deadline is measured
+    // on an abstract Clock: a virtual clock advanced by a test thread has
+    // no relation to the condvar's steady_clock, so waiters poll it.
+    admission_cv_.wait_for(lock, kAdmissionPoll);
+    if (inflight_ < options_.max_inflight) {
+      --queued_;
+      ++inflight_;
+      Metrics().admission_queue_depth->Set(static_cast<double>(queued_));
+      return Status::OK();
+    }
+    if (clock_->NowMicros() >= deadline_abs_micros) {
+      --queued_;
+      Metrics().admission_queue_depth->Set(static_cast<double>(queued_));
+      return Status::DeadlineExceeded("deadline passed in admission queue");
+    }
+  }
+}
+
+void QuantificationService::ReleasePermit() {
+  {
+    std::lock_guard<std::mutex> lock(admission_mutex_);
+    --inflight_;
+  }
+  // notify_all: waiters race for the permit and the losers re-check their
+  // deadlines, which is exactly the poll the virtual clock relies on.
+  admission_cv_.notify_all();
+}
+
+size_t QuantificationService::admission_queue_depth() const {
+  std::lock_guard<std::mutex> lock(admission_mutex_);
+  return queued_;
 }
 
 Result<QuantificationResult> QuantificationService::AnswerInternal(
     const QuantificationRequest& request, bool from_batch,
+    int64_t deadline_budget_micros,
     const std::shared_ptr<const CubeSnapshot>& snapshot) {
   TraceSpan span("QuantificationService::Answer", "serve");
   ScopedTimer timer(Metrics().answer_us);
@@ -105,18 +225,92 @@ Result<QuantificationResult> QuantificationService::AnswerInternal(
   requests_.fetch_add(1, std::memory_order_relaxed);
   if (from_batch) batch_requests_.fetch_add(1, std::memory_order_relaxed);
 
+  // Deadline resolution: explicit budget wins, 0 falls back to the
+  // configured default, negative means the request was already late on
+  // arrival (an open-loop generator running behind schedule) — shed it
+  // before spending anything on it, cache probe included.
+  int64_t budget = deadline_budget_micros != 0 ? deadline_budget_micros
+                                               : options_.default_deadline_micros;
+  if (budget < 0) {
+    shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().shed_deadline->Add(1);
+    return Status::DeadlineExceeded("deadline passed before arrival");
+  }
+  const bool needs_time = budget > 0 || options_.cache_ttl_micros > 0;
+  const int64_t now = needs_time ? clock_->NowMicros() : 0;
+  const int64_t deadline_abs = budget > 0 ? now + budget : kNoDeadline;
+
   // `snapshot` was pinned once by the caller; everything below — key,
   // cache probe, computation — sees that one immutable state.
   RequestCacheKey key(request, *snapshot);
+  const RequestCacheKey storage_key = StorageKey(key);
 
-  if (options_.cache_capacity > 0) {
-    std::optional<std::shared_ptr<const QuantificationResult>> cached =
-        cache_.Get(key);
-    if (cached.has_value()) {
+  // Cache probe runs before the admission gate: hits (fresh or bounded
+  // stale) cost no permit, so a warm cache keeps absorbing load even when
+  // the compute path is saturated.
+  std::shared_ptr<const QuantificationResult> cached_answer;
+  Probe probe = ProbeCache(storage_key, key.epoch_digest, now, &cached_answer);
+  switch (probe) {
+    case Probe::kFresh:
+      admitted_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().admitted->Add(1);
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
-      return **cached;
+      return *cached_answer;
+    case Probe::kStaleServed:
+      admitted_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().admitted->Add(1);
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      stale_hits_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().stale_hits->Add(1);
+      return *cached_answer;
+    case Probe::kTtlExpired:
+      ttl_expired_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().stale_ttl_expired->Add(1);
+      break;
+    case Probe::kDisabled:
+    case Probe::kMiss:
+    case Probe::kStaleExhausted:
+      break;
+  }
+  // Misses past this point either compute or coalesce; remember whether
+  // the computation will replace an outdated entry (for stale_refreshes).
+  const bool refreshing =
+      probe == Probe::kTtlExpired || probe == Probe::kStaleExhausted;
+
+  // Admission gate (miss path only). A permit bounds concurrent compute;
+  // followers give theirs back before blocking on the leader's future.
+  const bool admission_on = options_.max_inflight > 0;
+  if (admission_on) {
+    bool waited = false;
+    Status admit = AcquirePermit(deadline_abs, &waited);
+    if (!admit.ok()) {
+      if (admit.code() == StatusCode::kDeadlineExceeded) {
+        shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+        Metrics().shed_deadline->Add(1);
+      } else {
+        rejected_queue_.fetch_add(1, std::memory_order_relaxed);
+        Metrics().admission_rejected->Add(1);
+      }
+      return admit;
     }
-    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    if (waited) {
+      // The answer may have been computed and cached while this request
+      // was parked; serving it now avoids a duplicate computation.
+      Probe reprobe =
+          ProbeCache(storage_key, key.epoch_digest,
+                     needs_time ? clock_->NowMicros() : 0, &cached_answer);
+      if (reprobe == Probe::kFresh || reprobe == Probe::kStaleServed) {
+        ReleasePermit();
+        admitted_.fetch_add(1, std::memory_order_relaxed);
+        Metrics().admitted->Add(1);
+        cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        if (reprobe == Probe::kStaleServed) {
+          stale_hits_.fetch_add(1, std::memory_order_relaxed);
+          Metrics().stale_hits->Add(1);
+        }
+        return *cached_answer;
+      }
+    }
   }
 
   // Single flight: the first thread to claim `key` computes; every thread
@@ -124,24 +318,42 @@ Result<QuantificationResult> QuantificationService::AnswerInternal(
   // Keys embed the epoch digest, so requests pinned to different snapshots
   // with differing read sets never coalesce onto each other's flight.
   std::shared_ptr<std::promise<FlightOutcome>> promise;
-  std::shared_future<FlightOutcome> flight;
+  std::shared_future<FlightOutcome> flight_future;
   {
     std::lock_guard<std::mutex> lock(flights_mutex_);
     auto it = flights_.find(key);
     if (it != flights_.end()) {
-      flight = it->second;
+      if (options_.max_followers_per_flight > 0 &&
+          it->second.followers->fetch_add(1, std::memory_order_acq_rel) >=
+              options_.max_followers_per_flight) {
+        // Bounded follower queue: refuse to pile a further duplicate onto
+        // this computation. Typed rejection, no miss/coalesce counted.
+        if (admission_on) ReleasePermit();
+        rejected_followers_.fetch_add(1, std::memory_order_relaxed);
+        Metrics().shed_followers->Add(1);
+        return Status::Unavailable("single-flight follower bound reached");
+      }
+      flight_future = it->second.future;
     } else {
       promise = std::make_shared<std::promise<FlightOutcome>>();
-      flight = promise->get_future().share();
-      flights_.emplace(key, flight);
+      Flight flight;
+      flight.future = promise->get_future().share();
+      flight.followers = std::make_shared<std::atomic<uint32_t>>(0);
+      flight_future = flight.future;
+      flights_.emplace(key, std::move(flight));
     }
   }
 
   if (promise == nullptr) {
-    // Follower: share the leader's outcome.
+    // Follower: give the compute permit back before blocking — a parked
+    // follower must not starve the computations it is waiting on.
+    if (admission_on) ReleasePermit();
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().admitted->Add(1);
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
     coalesced_.fetch_add(1, std::memory_order_relaxed);
     Metrics().coalesced->Add(1);
-    FlightOutcome outcome = flight.get();
+    FlightOutcome outcome = flight_future.get();
     if (!outcome.status.ok()) {
       errors_.fetch_add(1, std::memory_order_relaxed);
       Metrics().errors->Add(1);
@@ -152,6 +364,9 @@ Result<QuantificationResult> QuantificationService::AnswerInternal(
 
   // Leader: compute, publish to cache, resolve the flight, retire it.
   if (options_.compute_started_hook) options_.compute_started_hook();
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().admitted->Add(1);
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
   computations_.fetch_add(1, std::memory_order_relaxed);
   Metrics().computations->Add(1);
   FlightOutcome outcome;
@@ -167,13 +382,24 @@ Result<QuantificationResult> QuantificationService::AnswerInternal(
     }
   }
   if (outcome.status.ok() && options_.cache_capacity > 0) {
-    cache_.Put(key, outcome.result);
+    CachedAnswer entry;
+    entry.result = outcome.result;
+    entry.epoch_digest = key.epoch_digest;
+    entry.inserted_micros =
+        options_.cache_ttl_micros > 0 ? clock_->NowMicros() : now;
+    entry.stale_served = std::make_shared<std::atomic<uint32_t>>(0);
+    cache_.Put(storage_key, std::move(entry));
+    if (refreshing) {
+      stale_refreshes_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().stale_refreshes->Add(1);
+    }
   }
   promise->set_value(outcome);
   {
     std::lock_guard<std::mutex> lock(flights_mutex_);
     flights_.erase(key);
   }
+  if (admission_on) ReleasePermit();
   if (!outcome.status.ok()) {
     errors_.fetch_add(1, std::memory_order_relaxed);
     Metrics().errors->Add(1);
@@ -222,6 +448,7 @@ std::vector<Result<QuantificationResult>> QuantificationService::AnswerBatch(
                      size_t i = representatives[r];
                      answered[i] = AnswerInternal(requests[i],
                                                   /*from_batch=*/true,
+                                                  /*deadline_budget_micros=*/0,
                                                   snapshot);
                      return Status::OK();
                    });
@@ -238,8 +465,16 @@ QuantificationService::Stats QuantificationService::stats() const {
   Stats stats;
   stats.requests = requests_.load(std::memory_order_relaxed);
   stats.batch_requests = batch_requests_.load(std::memory_order_relaxed);
+  stats.admitted = admitted_.load(std::memory_order_relaxed);
+  stats.rejected_queue = rejected_queue_.load(std::memory_order_relaxed);
+  stats.rejected_followers =
+      rejected_followers_.load(std::memory_order_relaxed);
+  stats.shed_deadline = shed_deadline_.load(std::memory_order_relaxed);
   stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   stats.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  stats.stale_hits = stale_hits_.load(std::memory_order_relaxed);
+  stats.stale_refreshes = stale_refreshes_.load(std::memory_order_relaxed);
+  stats.ttl_expired = ttl_expired_.load(std::memory_order_relaxed);
   stats.computations = computations_.load(std::memory_order_relaxed);
   stats.coalesced = coalesced_.load(std::memory_order_relaxed);
   stats.errors = errors_.load(std::memory_order_relaxed);

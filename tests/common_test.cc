@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 
+#include "common/clock.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/string_util.h"
@@ -260,6 +261,36 @@ TEST(VirtualClockTest, NeverGoesBackwards) {
   EXPECT_EQ(clock.NowSeconds(), 50);
   clock.AdvanceTo(60);
   EXPECT_EQ(clock.NowSeconds(), 60);
+}
+
+TEST(VirtualClockTest, MicrosecondApiTracksSecondsApi) {
+  VirtualClock clock(2);
+  EXPECT_EQ(clock.NowMicros(), 2'000'000);
+  clock.AdvanceMicros(1'500'000);
+  EXPECT_EQ(clock.NowMicros(), 3'500'000);
+  EXPECT_EQ(clock.NowSeconds(), 3);  // truncating division, not rounding
+  clock.AdvanceMicros(-10);          // ignored, like AdvanceSeconds
+  EXPECT_EQ(clock.NowMicros(), 3'500'000);
+  clock.AdvanceToMicros(3'000'000);  // in the past: no-op
+  EXPECT_EQ(clock.NowMicros(), 3'500'000);
+  clock.AdvanceToMicros(4'000'001);
+  EXPECT_EQ(clock.NowMicros(), 4'000'001);
+}
+
+TEST(VirtualClockTest, UsableThroughTheClockInterface) {
+  VirtualClock virtual_clock(7);
+  const Clock* clock = &virtual_clock;
+  EXPECT_EQ(clock->NowMicros(), 7'000'000);
+  virtual_clock.AdvanceMicros(5);
+  EXPECT_EQ(clock->NowMicros(), 7'000'005);
+}
+
+TEST(RealClockTest, IsMonotoneNonDecreasing) {
+  const Clock* clock = Clock::Real();
+  int64_t a = clock->NowMicros();
+  int64_t b = clock->NowMicros();
+  EXPECT_LE(a, b);
+  EXPECT_EQ(clock, Clock::Real());  // one shared singleton
 }
 
 }  // namespace

@@ -57,6 +57,53 @@ TEST(FlagsTest, BadNumbersAreErrors) {
   EXPECT_FALSE(flags.GetDouble("rate", 0.0).ok());
 }
 
+TEST(FlagsTest, ZeroValuesParsePerNumericType) {
+  // Zero is a legitimate value in both spellings — it must never be
+  // rejected or mistaken for "flag absent" (fallbacks are non-zero to
+  // prove the parsed zero is what comes back).
+  Flags flags = *Flags::Parse({"--deadline_ms=0", "--rate=0.0"});
+  EXPECT_EQ(*flags.GetInt("deadline_ms", 99), 0);
+  EXPECT_DOUBLE_EQ(*flags.GetDouble("rate", 9.9), 0.0);
+  EXPECT_DOUBLE_EQ(*flags.GetDouble("deadline_ms", 9.9), 0.0);
+
+  Flags spaced = *Flags::Parse({"--deadline_ms", "0", "--rate", "0.0"});
+  EXPECT_EQ(*spaced.GetInt("deadline_ms", 99), 0);
+  EXPECT_DOUBLE_EQ(*spaced.GetDouble("rate", 9.9), 0.0);
+  EXPECT_EQ(*spaced.GetInt("deadline_ms", 99), *flags.GetInt("deadline_ms", 1));
+}
+
+TEST(FlagsTest, NegativeZeroAndSignedValuesParse) {
+  Flags flags = *Flags::Parse({"--delta=-0", "--offset=-3", "--gain=-0.5"});
+  EXPECT_EQ(*flags.GetInt("delta", 99), 0);
+  EXPECT_EQ(*flags.GetInt("offset", 0), -3);
+  EXPECT_DOUBLE_EQ(*flags.GetDouble("gain", 0.0), -0.5);
+}
+
+TEST(FlagsTest, EmptyNumericValueIsAnErrorNotZero) {
+  // `--k=` and a bare `--k` switch both store the empty string; strtol
+  // would silently parse neither, so the accessor must produce a clear
+  // error instead of 0 for either numeric type.
+  Flags flags = *Flags::Parse({"--k=", "--least"});
+  EXPECT_FALSE(flags.GetInt("k", 7).ok());
+  EXPECT_FALSE(flags.GetDouble("k", 7.0).ok());
+  EXPECT_FALSE(flags.GetInt("least", 7).ok());
+  EXPECT_NE(flags.GetInt("k", 7).status().message().find("no value"),
+            std::string::npos);
+}
+
+TEST(FlagsTest, WhitespaceAroundNumericValueRejected) {
+  Flags flags = *Flags::Parse({"--k= 5", "--rate=0.5 "});
+  EXPECT_FALSE(flags.GetInt("k", 0).ok());
+  EXPECT_FALSE(flags.GetDouble("rate", 0.0).ok());
+}
+
+TEST(FlagsTest, NumericOverflowRejected) {
+  Flags flags = *Flags::Parse(
+      {"--big=99999999999999999999999999", "--huge=1e999999"});
+  EXPECT_FALSE(flags.GetInt("big", 0).ok());
+  EXPECT_FALSE(flags.GetDouble("huge", 0.0).ok());
+}
+
 TEST(FlagsTest, MalformedFlagRejected) {
   EXPECT_FALSE(Flags::Parse({"--"}).ok());
   EXPECT_FALSE(Flags::Parse({"--=x"}).ok());

@@ -510,5 +510,76 @@ TEST(ServeStressTest, RcuFlipsUnderIncrementalUpsertsServeUntornAnswers) {
   EXPECT_EQ(survived.computations, warm.computations + 1);
 }
 
+// --- Overload phase ----------------------------------------------------------
+// Offered load far above capacity (one slow permit, one queue slot, a tight
+// deadline) with the cache ON: the shed path runs concurrently with cache
+// fills. Afterwards, quiesced, every key must still serve the exact oracle
+// answer — sheds and rejections must never poison the cache with partial or
+// torn values.
+
+TEST(ServeStressTest, OverloadShedsTypedAndNeverPoisonsCache) {
+  std::unique_ptr<UnfairnessCube> cube = MakeCube(/*seed=*/79);
+  IndexSet indices = IndexSet::Build(*cube);
+  KeySpace space = MakeKeySpace(*cube, indices);
+  ASSERT_FALSE(::testing::Test::HasFailure());
+
+  QuantificationService::Options options;
+  options.cache_capacity = 32;
+  options.max_inflight = 1;
+  options.max_queue_depth = 1;
+  options.max_followers_per_flight = 1;
+  options.default_deadline_micros = 2000;
+  options.compute_started_hook = [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  };
+  QuantificationService service(cube.get(), &indices, options);
+
+  constexpr size_t kIterations = 40;
+  std::barrier start(kThreads);
+  std::vector<size_t> bad_per_thread(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(7000 + t);
+      start.arrive_and_wait();
+      for (size_t i = 0; i < kIterations; ++i) {
+        size_t key = rng.NextBelow(space.requests.size());
+        Result<QuantificationResult> served =
+            service.Answer(space.requests[key]);
+        if (served.ok()) {
+          // An answered request is bit-exact, overload or not.
+          if (!SameAnswers(*served, space.expected[key])) ++bad_per_thread[t];
+        } else if (served.status().code() != StatusCode::kUnavailable &&
+                   served.status().code() != StatusCode::kDeadlineExceeded) {
+          // Anything non-OK must be one of the two typed overload outcomes.
+          ++bad_per_thread[t];
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(bad_per_thread[t], 0u) << "thread " << t;
+  }
+
+  QuantificationService::Stats overload = service.stats();
+  EXPECT_EQ(overload.requests, kThreads * kIterations);
+  EXPECT_EQ(overload.errors, 0u);
+  EXPECT_EQ(overload.admitted + overload.shed_deadline +
+                overload.rejected_queue + overload.rejected_followers,
+            overload.requests);
+  EXPECT_EQ(overload.cache_hits + overload.cache_misses, overload.admitted);
+  EXPECT_EQ(overload.computations + overload.coalesced, overload.cache_misses);
+
+  // Quiesced epilogue: whatever mixture of hits, sheds and rejections the
+  // overload produced, every key now answers the oracle exactly — a cache
+  // fill racing a shed never left a wrong value behind.
+  for (size_t key = 0; key < space.requests.size(); ++key) {
+    Result<QuantificationResult> served = service.Answer(space.requests[key]);
+    ASSERT_TRUE(served.ok()) << served.status().ToString();
+    EXPECT_TRUE(SameAnswers(*served, space.expected[key])) << "key " << key;
+  }
+}
+
 }  // namespace
 }  // namespace fairjob
