@@ -12,66 +12,17 @@
 namespace fairjob {
 namespace {
 
+using fagin_internal::Better;
 using fagin_internal::BuildAllowedBitmap;
 using fagin_internal::DenseAggregate;
 using fagin_internal::IsAllowed;
 using fagin_internal::MeteredRun;
 using fagin_internal::ScoreCandidates;
+using fagin_internal::SortResults;
+using fagin_internal::ThresholdBound;
 using fagin_internal::UniverseOf;
 using fagin_internal::UseParallelScoring;
-
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
-// True when `a` should rank ahead of `b` for the requested direction.
-bool Better(double a, double b, RankDirection dir) {
-  return dir == RankDirection::kMostUnfair ? a > b : a < b;
-}
-
-void SortResults(std::vector<ScoredEntry>* out, RankDirection dir) {
-  std::sort(out->begin(), out->end(),
-            [dir](const ScoredEntry& a, const ScoredEntry& b) {
-              if (a.value != b.value) return Better(a.value, b.value, dir);
-              return a.pos < b.pos;
-            });
-}
-
-Status Validate(const std::vector<const InvertedIndex*>& lists, size_t k) {
-  if (k == 0) return Status::InvalidArgument("k must be positive");
-  if (lists.empty()) {
-    return Status::InvalidArgument("top-k needs at least one inverted list");
-  }
-  for (const InvertedIndex* list : lists) {
-    if (list == nullptr) {
-      return Status::InvalidArgument("null inverted list");
-    }
-  }
-  return Status::OK();
-}
-
-// Bound on the aggregate of any id never returned by sorted access so far.
-double Threshold(const std::vector<const InvertedIndex*>& lists,
-                 const std::vector<size_t>& cursors, const TopKOptions& opt) {
-  bool most = opt.direction == RankDirection::kMostUnfair;
-  if (opt.missing == MissingCellPolicy::kSkip) {
-    double bound = most ? -kInf : kInf;
-    for (size_t i = 0; i < lists.size(); ++i) {
-      if (cursors[i] >= lists[i]->size()) continue;  // exhausted: no unseen ids
-      size_t next = most ? cursors[i] : lists[i]->size() - 1 - cursors[i];
-      double frontier = lists[i]->entry(next).value;
-      bound = most ? std::max(bound, frontier) : std::min(bound, frontier);
-    }
-    return bound;
-  }
-  // kZero: average of per-list bounds; a missing cell contributes exactly 0.
-  double sum = 0.0;
-  for (size_t i = 0; i < lists.size(); ++i) {
-    if (cursors[i] >= lists[i]->size()) continue;  // per-list bound is 0
-    size_t next = most ? cursors[i] : lists[i]->size() - 1 - cursors[i];
-    double frontier = lists[i]->entry(next).value;
-    sum += most ? std::max(frontier, 0.0) : std::min(frontier, 0.0);
-  }
-  return sum / static_cast<double>(lists.size());
-}
+using fagin_internal::ValidateTopK;
 
 }  // namespace
 
@@ -94,7 +45,7 @@ void RecordFaginMetrics(const char* algorithm, const FaginStats& stats,
 Result<std::vector<ScoredEntry>> FaginTopK(
     const std::vector<const InvertedIndex*>& lists, const TopKOptions& options,
     FaginStats* stats) {
-  FAIRJOB_RETURN_IF_ERROR(Validate(lists, options.k));
+  FAIRJOB_RETURN_IF_ERROR(ValidateTopK(lists, options.k));
   TraceSpan span("FaginTopK", "fagin");
   MeteredRun run("ta", &stats);
   bool most = options.direction == RankDirection::kMostUnfair;
@@ -148,7 +99,7 @@ Result<std::vector<ScoredEntry>> FaginTopK(
 
     if (kept.size() >= options.k) {
       ++stats->threshold_checks;
-      double tau = Threshold(lists, cursors, options);
+      double tau = ThresholdBound(lists, cursors, options);
       double kth = kept.front().value;
       bool done = most ? (kth >= tau) : (kth <= tau);
       if (done) break;
@@ -162,7 +113,7 @@ Result<std::vector<ScoredEntry>> FaginTopK(
 Result<std::vector<ScoredEntry>> ScanTopK(
     const std::vector<const InvertedIndex*>& lists, const TopKOptions& options,
     FaginStats* stats) {
-  FAIRJOB_RETURN_IF_ERROR(Validate(lists, options.k));
+  FAIRJOB_RETURN_IF_ERROR(ValidateTopK(lists, options.k));
   TraceSpan span("ScanTopK", "fagin");
   MeteredRun run("scan", &stats);
 

@@ -3,9 +3,11 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <vector>
 
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/fagin.h"
 #include "core/indices.h"
@@ -28,6 +30,69 @@ constexpr size_t kParallelScoringMinUniverse = 128;
 // Positions handed to a pool worker per claimed index; chunks write to
 // disjoint slices of the accumulator arrays.
 constexpr size_t kParallelScoringChunk = 256;
+
+// True when `a` should rank ahead of `b` for the requested direction.
+inline bool Better(double a, double b, RankDirection dir) {
+  return dir == RankDirection::kMostUnfair ? a > b : a < b;
+}
+
+// Final ordering of every engine's output: best-first for the direction,
+// ties by ascending position. A total order, so the result is deterministic
+// however the candidate set was produced.
+inline void SortResults(std::vector<ScoredEntry>* out, RankDirection dir) {
+  std::sort(out->begin(), out->end(),
+            [dir](const ScoredEntry& a, const ScoredEntry& b) {
+              if (a.value != b.value) return Better(a.value, b.value, dir);
+              return a.pos < b.pos;
+            });
+}
+
+// Request-shape validation shared by every engine (and replicated lane-wise
+// by the batched executor, which must reject exactly the requests the
+// per-request engines reject, with the same messages).
+inline Status ValidateTopK(const std::vector<const InvertedIndex*>& lists,
+                           size_t k) {
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  if (lists.empty()) {
+    return Status::InvalidArgument("top-k needs at least one inverted list");
+  }
+  for (const InvertedIndex* list : lists) {
+    if (list == nullptr) {
+      return Status::InvalidArgument("null inverted list");
+    }
+  }
+  return Status::OK();
+}
+
+// Bound on the aggregate of any id never returned by sorted access so far —
+// TA's termination bound. Pure in (lists, cursors, direction, missing), so
+// the batched executor evaluates it per lane against shared cursors and
+// gets the same bound the per-request run would.
+inline double ThresholdBound(const std::vector<const InvertedIndex*>& lists,
+                             const std::vector<size_t>& cursors,
+                             const TopKOptions& opt) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  bool most = opt.direction == RankDirection::kMostUnfair;
+  if (opt.missing == MissingCellPolicy::kSkip) {
+    double bound = most ? -kInf : kInf;
+    for (size_t i = 0; i < lists.size(); ++i) {
+      if (cursors[i] >= lists[i]->size()) continue;  // exhausted: no unseen ids
+      size_t next = most ? cursors[i] : lists[i]->size() - 1 - cursors[i];
+      double frontier = lists[i]->entry(next).value;
+      bound = most ? std::max(bound, frontier) : std::min(bound, frontier);
+    }
+    return bound;
+  }
+  // kZero: average of per-list bounds; a missing cell contributes exactly 0.
+  double sum = 0.0;
+  for (size_t i = 0; i < lists.size(); ++i) {
+    if (cursors[i] >= lists[i]->size()) continue;  // per-list bound is 0
+    size_t next = most ? cursors[i] : lists[i]->size() - 1 - cursors[i];
+    double frontier = lists[i]->entry(next).value;
+    sum += most ? std::max(frontier, 0.0) : std::min(frontier, 0.0);
+  }
+  return sum / static_cast<double>(lists.size());
+}
 
 // Extent of the position space: every entry pos of every list lies in
 // [0, universe). An understated hint is corrected from the lists.

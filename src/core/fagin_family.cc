@@ -16,30 +16,9 @@ using fagin_internal::DenseAggregate;
 using fagin_internal::IsAllowed;
 using fagin_internal::MeteredRun;
 using fagin_internal::ScoreCandidates;
+using fagin_internal::SortResults;
 using fagin_internal::UniverseOf;
-
-bool Better(double a, double b, RankDirection dir) {
-  return dir == RankDirection::kMostUnfair ? a > b : a < b;
-}
-
-void SortResults(std::vector<ScoredEntry>* out, RankDirection dir) {
-  std::sort(out->begin(), out->end(),
-            [dir](const ScoredEntry& a, const ScoredEntry& b) {
-              if (a.value != b.value) return Better(a.value, b.value, dir);
-              return a.pos < b.pos;
-            });
-}
-
-Status Validate(const std::vector<const InvertedIndex*>& lists, size_t k) {
-  if (k == 0) return Status::InvalidArgument("k must be positive");
-  if (lists.empty()) {
-    return Status::InvalidArgument("top-k needs at least one inverted list");
-  }
-  for (const InvertedIndex* list : lists) {
-    if (list == nullptr) return Status::InvalidArgument("null inverted list");
-  }
-  return Status::OK();
-}
+using fagin_internal::ValidateTopK;
 
 }  // namespace
 
@@ -60,7 +39,7 @@ const char* TopKAlgorithmName(TopKAlgorithm algorithm) {
 Result<std::vector<ScoredEntry>> FaginFA(
     const std::vector<const InvertedIndex*>& lists, const TopKOptions& options,
     FaginStats* stats) {
-  FAIRJOB_RETURN_IF_ERROR(Validate(lists, options.k));
+  FAIRJOB_RETURN_IF_ERROR(ValidateTopK(lists, options.k));
   TraceSpan span("FaginFA", "fagin");
   MeteredRun run("fa", &stats);
   bool most = options.direction == RankDirection::kMostUnfair;
@@ -115,7 +94,7 @@ Result<std::vector<ScoredEntry>> FaginFA(
 Result<std::vector<ScoredEntry>> FaginNRA(
     const std::vector<const InvertedIndex*>& lists, const TopKOptions& options,
     FaginStats* stats) {
-  FAIRJOB_RETURN_IF_ERROR(Validate(lists, options.k));
+  FAIRJOB_RETURN_IF_ERROR(ValidateTopK(lists, options.k));
   if (options.missing != MissingCellPolicy::kZero) {
     return Status::InvalidArgument(
         "NRA bounds require MissingCellPolicy::kZero (the average over "

@@ -17,8 +17,9 @@ Status ValidateSelector(const AxisSelector& sel, size_t size,
   return Status::OK();
 }
 
-// The two non-target dimensions, ascending.
-void OtherDims(Dimension target, Dimension* d1, Dimension* d2) {
+}  // namespace
+
+void QuantificationOtherDims(Dimension target, Dimension* d1, Dimension* d2) {
   switch (target) {
     case Dimension::kGroup:
       *d1 = Dimension::kQuery;
@@ -36,15 +37,11 @@ void OtherDims(Dimension target, Dimension* d1, Dimension* d2) {
   }
 }
 
-}  // namespace
-
-Result<QuantificationResult> SolveQuantification(
-    const UnfairnessCube& cube, const IndexSet& indices,
-    const QuantificationRequest& request) {
-  TraceSpan span("SolveQuantification", "quantification");
+Status ValidateQuantificationRequest(const UnfairnessCube& cube,
+                                     const QuantificationRequest& request) {
   Dimension d1;
   Dimension d2;
-  OtherDims(request.target, &d1, &d2);
+  QuantificationOtherDims(request.target, &d1, &d2);
   FAIRJOB_RETURN_IF_ERROR(
       ValidateSelector(request.agg1, cube.axis_size(d1), "agg1"));
   FAIRJOB_RETURN_IF_ERROR(
@@ -55,6 +52,14 @@ Result<QuantificationResult> SolveQuantification(
                                      std::to_string(t) + " out of range");
     }
   }
+  return Status::OK();
+}
+
+Result<QuantificationResult> SolveQuantification(
+    const UnfairnessCube& cube, const IndexSet& indices,
+    const QuantificationRequest& request) {
+  TraceSpan span("SolveQuantification", "quantification");
+  FAIRJOB_RETURN_IF_ERROR(ValidateQuantificationRequest(cube, request));
 
   std::vector<const InvertedIndex*> lists =
       indices.ListsFor(request.target, request.agg1, request.agg2);

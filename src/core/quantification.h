@@ -41,6 +41,18 @@ struct QuantificationResult {
   FaginStats stats;
 };
 
+// The two non-target dimensions of `target`, ascending Dimension order —
+// the agg1/agg2 convention shared by SolveQuantification, the cache key and
+// the batched executor.
+void QuantificationOtherDims(Dimension target, Dimension* d1, Dimension* d2);
+
+// Request-shape validation against the cube's axis sizes: selector and
+// allowed-target positions must be in range. Exactly the checks (and
+// messages) SolveQuantification applies before touching the indices; shared
+// with SolveQuantificationBatch so both paths reject identically.
+Status ValidateQuantificationRequest(const UnfairnessCube& cube,
+                                     const QuantificationRequest& request);
+
 // Solves Problem 1 against a cube and its pre-built indices. Errors:
 // InvalidArgument on malformed requests (k = 0, selector positions out of
 // range).

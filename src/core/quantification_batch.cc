@@ -1,0 +1,764 @@
+#include "core/quantification_batch.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "common/trace.h"
+#include "core/fagin_dense.h"
+#include "ranking/simd.h"
+
+namespace fairjob {
+namespace {
+
+using fagin_internal::Better;
+using fagin_internal::BuildAllowedBitmap;
+using fagin_internal::IsAllowed;
+using fagin_internal::SortResults;
+using fagin_internal::ThresholdBound;
+using fagin_internal::UniverseOf;
+using fagin_internal::ValidateTopK;
+
+// FNV-1a over the exact selector sequences; bucket collisions fall back to
+// SameSelectorGroup.
+uint64_t SelectorHash(const QuantificationRequest& r) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<uint64_t>(r.target));
+  mix(r.agg1.positions.size());
+  for (size_t p : r.agg1.positions) mix(p);
+  mix(r.agg2.positions.size());
+  for (size_t p : r.agg2.positions) mix(p);
+  return h;
+}
+
+bool SameSelectorGroup(const QuantificationRequest& a,
+                       const QuantificationRequest& b) {
+  return a.target == b.target && a.agg1.positions == b.agg1.positions &&
+         a.agg2.positions == b.agg2.positions;
+}
+
+// Lazily-filled per-position (sum, present-count) over the group's lists —
+// the quantity DenseAggregate/ScoreCandidates recompute per candidate. The
+// aggregate of a position depends only on the group's lists and the missing
+// policy, never on the lane (k, direction and allowed filters decide which
+// positions get scored, not what they score), so one computation serves
+// every TA random access, FA phase-2 sweep and NRA epilogue in the group.
+// The sum accumulates in list order — the exact FP order DenseAggregate
+// uses — and the policy division happens fresh per call, so memoized
+// answers are bitwise-identical to per-request ones. Counter increments
+// (one random/dense access per list) are replayed on every call whether or
+// not the value was cached: stats record what the per-request engine would
+// have done, not how much work the memo saved.
+class ScoreMemo {
+ public:
+  ScoreMemo(const std::vector<const InvertedIndex*>& lists, size_t universe)
+      : lists_(lists),
+        sums_(universe, 0.0),
+        counts_(universe, 0),
+        known_(universe, 0) {}
+
+  // DenseAggregate semantics: bumps random/dense accesses, nullopt when the
+  // position is present in no list; the caller owns ids_scored.
+  std::optional<double> Aggregate(int32_t pos, MissingCellPolicy policy,
+                                  FaginStats* stats) {
+    stats->random_accesses += lists_.size();
+    stats->dense_accesses += lists_.size();
+    const size_t p = static_cast<size_t>(pos);
+    if (known_[p] == 0) {
+      double sum = 0.0;
+      uint32_t present = 0;
+      for (const InvertedIndex* list : lists_) {
+        std::optional<double> v = list->Find(pos);
+        if (v.has_value()) {
+          sum += *v;
+          ++present;
+        }
+      }
+      sums_[p] = sum;
+      counts_[p] = present;
+      known_[p] = 1;
+    }
+    if (counts_[p] == 0) return std::nullopt;
+    if (policy == MissingCellPolicy::kSkip) {
+      return sums_[p] / static_cast<double>(counts_[p]);
+    }
+    return sums_[p] / static_cast<double>(lists_.size());
+  }
+
+ private:
+  const std::vector<const InvertedIndex*>& lists_;
+  std::vector<double> sums_;
+  std::vector<uint32_t> counts_;
+  std::vector<uint8_t> known_;
+};
+
+// One valid request inside a selector group: its engine options, the output
+// slots, and the lane-local allowed bitmap.
+struct Lane {
+  size_t request_index = 0;
+  TopKOptions options;
+  FaginStats stats;
+  std::vector<ScoredEntry> entries;  // engine output, pre-axis-id mapping
+  std::vector<uint8_t> allowed_scratch;
+  const uint8_t* allowed = nullptr;
+};
+
+// Engine-eligibility checks with exactly the per-request precedence and
+// messages: ValidateTopK first (all engines), then NRA's policy, direction
+// and width restrictions in FaginNRA's order.
+Status ValidateForEngine(TopKAlgorithm algorithm,
+                         const std::vector<const InvertedIndex*>& lists,
+                         const TopKOptions& options) {
+  FAIRJOB_RETURN_IF_ERROR(ValidateTopK(lists, options.k));
+  if (algorithm == TopKAlgorithm::kNRA) {
+    if (options.missing != MissingCellPolicy::kZero) {
+      return Status::InvalidArgument(
+          "NRA bounds require MissingCellPolicy::kZero (the average over "
+          "present lists is not monotone in the unknown entries)");
+    }
+    if (options.direction != RankDirection::kMostUnfair) {
+      return Status::InvalidArgument(
+          "NRA supports kMostUnfair only; use TA or the scan for bottom-k");
+    }
+    if (lists.size() > 64) {
+      return Status::InvalidArgument("NRA supports at most 64 lists");
+    }
+  }
+  return Status::OK();
+}
+
+// --- Scan lanes ----------------------------------------------------------
+// One shared, unfiltered accumulation pass over every list entry answers
+// all scan lanes of the group. An entry at position p only ever contributes
+// to sums[p], and lists are visited in order, so each position's sum
+// accumulates in exactly the same FP order as the per-request scan — lane
+// filters only decide which positions are *emitted*, never what their sums
+// are. Sequential cost O(lanes × total entries) drops to
+// O(total entries + lanes × universe).
+void RunScanLanes(const std::vector<const InvertedIndex*>& lists,
+                  size_t universe, const std::vector<Lane*>& lanes) {
+  const size_t num_lists = lists.size();
+  std::vector<double> sums(universe, 0.0);
+  std::vector<uint32_t> counts(universe, 0);
+  size_t longest = 0;
+  size_t total_entries = 0;
+  for (const InvertedIndex* list : lists) {
+    longest = std::max(longest, list->size());
+    total_entries += list->size();
+    for (size_t i = 0; i < list->size(); ++i) {
+      const ScoredEntry& e = list->entry(i);
+      sums[static_cast<size_t>(e.pos)] += e.value;
+      ++counts[static_cast<size_t>(e.pos)];
+    }
+  }
+
+  // Present positions as a word bitmap: each lane's emit sweep intersects
+  // it with the lane filter, skipping empty words, and the
+  // simd::IntersectPopcount kernel (integer-only, so bitwise-safe) sizes
+  // the output vector exactly up front.
+  const size_t words = (universe + 63) / 64;
+  std::vector<uint64_t> present(words, 0);
+  for (size_t pos = 0; pos < universe; ++pos) {
+    if (counts[pos] != 0) present[pos >> 6] |= uint64_t{1} << (pos & 63);
+  }
+
+  std::vector<uint64_t> lane_words;
+  for (Lane* lane : lanes) {
+    FaginStats* stats = &lane->stats;
+    stats->rounds = std::max(stats->rounds, longest);
+    stats->sorted_accesses += total_entries;
+
+    const uint64_t* filter = present.data();
+    if (lane->allowed != nullptr) {
+      lane_words.assign(words, 0);
+      for (size_t pos = 0; pos < universe; ++pos) {
+        if (lane->allowed[pos] != 0) {
+          lane_words[pos >> 6] |= uint64_t{1} << (pos & 63);
+        }
+      }
+      filter = lane_words.data();
+    }
+    const size_t emitted =
+        simd::IntersectPopcount(filter, present.data(), words);
+    std::vector<ScoredEntry>& out = lane->entries;
+    out.reserve(emitted);
+    const double full_denom = static_cast<double>(num_lists);
+    const bool skip_policy =
+        lane->options.missing == MissingCellPolicy::kSkip;
+    for (size_t w = 0; w < words; ++w) {
+      uint64_t bits = filter[w] & present[w];
+      while (bits != 0) {
+        const size_t pos =
+            (w << 6) + static_cast<size_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        const double denom =
+            skip_policy ? static_cast<double>(counts[pos]) : full_denom;
+        out.push_back(
+            ScoredEntry{static_cast<int32_t>(pos), sums[pos] / denom});
+      }
+    }
+    // Per-request counter semantics: one random (dense) access per list per
+    // emitted candidate, one ids_scored each.
+    stats->random_accesses += emitted * num_lists;
+    stats->dense_accesses += emitted * num_lists;
+    stats->ids_scored += emitted;
+    SortResults(&out, lane->options.direction);
+    if (out.size() > lane->options.k) out.resize(lane->options.k);
+  }
+}
+
+// --- TA lanes ------------------------------------------------------------
+// In per-request TA the cursors advance identically every round regardless
+// of k / allowed / missing — only the direction changes the access pattern.
+// So all TA lanes of one direction share the round-robin sorted access:
+// each list entry is read once per round and delivered to every active
+// lane in list order (the same order DenseAggregate sees per request).
+// Threshold bounds are pure in (cursors, missing, direction) and cursors
+// are shared, so they are memoized per missing policy within a round, and
+// candidate scores come from the group ScoreMemo.
+void RunTaLanes(const std::vector<const InvertedIndex*>& lists,
+                size_t universe, RankDirection direction,
+                const std::vector<Lane*>& lanes, ScoreMemo* memo) {
+  struct TaState {
+    Lane* lane;
+    std::vector<uint8_t> seen;
+    std::vector<ScoredEntry> kept;
+    bool active = true;
+  };
+  const bool most = direction == RankDirection::kMostUnfair;
+  auto worse_on_top = [direction](const ScoredEntry& a, const ScoredEntry& b) {
+    return Better(a.value, b.value, direction);
+  };
+
+  std::vector<TaState> states;
+  states.reserve(lanes.size());
+  for (Lane* lane : lanes) {
+    states.push_back(TaState{lane, std::vector<uint8_t>(universe, 0), {}, true});
+  }
+
+  std::vector<size_t> cursors(lists.size(), 0);
+  size_t active = states.size();
+  while (active > 0) {
+    bool any_read = false;
+    for (size_t i = 0; i < lists.size(); ++i) {
+      if (cursors[i] >= lists[i]->size()) continue;
+      const size_t at = most ? cursors[i] : lists[i]->size() - 1 - cursors[i];
+      const ScoredEntry& e = lists[i]->entry(at);
+      ++cursors[i];
+      any_read = true;
+      for (TaState& s : states) {
+        if (!s.active) continue;
+        FaginStats* stats = &s.lane->stats;
+        ++stats->sorted_accesses;
+        if (!IsAllowed(s.lane->allowed, e.pos) ||
+            s.seen[static_cast<size_t>(e.pos)] != 0) {
+          continue;
+        }
+        s.seen[static_cast<size_t>(e.pos)] = 1;
+        std::optional<double> agg =
+            memo->Aggregate(e.pos, s.lane->options.missing, stats);
+        if (!agg.has_value()) continue;  // unreachable: e.pos is in list i
+        ++stats->ids_scored;
+        ScoredEntry scored{e.pos, *agg};
+        if (s.kept.size() < s.lane->options.k) {
+          s.kept.push_back(scored);
+          std::push_heap(s.kept.begin(), s.kept.end(), worse_on_top);
+        } else if (Better(scored.value, s.kept.front().value, direction)) {
+          std::pop_heap(s.kept.begin(), s.kept.end(), worse_on_top);
+          s.kept.back() = scored;
+          std::push_heap(s.kept.begin(), s.kept.end(), worse_on_top);
+        }
+      }
+    }
+    if (!any_read) break;  // every list exhausted, for every lane at once
+    bool tau_valid[2] = {false, false};
+    double tau_memo[2] = {0.0, 0.0};
+    for (TaState& s : states) {
+      if (!s.active) continue;
+      FaginStats* stats = &s.lane->stats;
+      ++stats->rounds;
+      if (s.kept.size() < s.lane->options.k) continue;
+      ++stats->threshold_checks;
+      const size_t mi =
+          s.lane->options.missing == MissingCellPolicy::kSkip ? 0 : 1;
+      if (!tau_valid[mi]) {
+        tau_memo[mi] = ThresholdBound(lists, cursors, s.lane->options);
+        tau_valid[mi] = true;
+      }
+      const double tau = tau_memo[mi];
+      const double kth = s.kept.front().value;
+      const bool done = most ? (kth >= tau) : (kth <= tau);
+      if (done) {
+        s.active = false;
+        --active;
+      }
+    }
+  }
+  for (TaState& s : states) {
+    SortResults(&s.kept, direction);
+    s.lane->entries = std::move(s.kept);
+  }
+}
+
+// --- FA lanes ------------------------------------------------------------
+// Phase 1 (round-robin sorted access) is shared per direction exactly like
+// TA; each lane keeps its own seen counts and stops when k ids are complete
+// on every list (kZero only). Phase 2 sweeps each lane's candidates in
+// ascending position order — the order ScoreCandidates emits — against the
+// group ScoreMemo, with ScoreCandidates' exact counter semantics (one
+// random/dense access per list per candidate, ids_scored only when the
+// position is present somewhere).
+void RunFaLanes(const std::vector<const InvertedIndex*>& lists,
+                size_t universe, RankDirection direction,
+                const std::vector<Lane*>& lanes, ScoreMemo* memo) {
+  struct FaState {
+    Lane* lane;
+    std::vector<uint32_t> seen_count;
+    size_t complete_ids = 0;
+    bool can_stop_early = false;
+    bool active = true;
+  };
+  const bool most = direction == RankDirection::kMostUnfair;
+
+  std::vector<FaState> states;
+  states.reserve(lanes.size());
+  for (Lane* lane : lanes) {
+    FaState s{lane, std::vector<uint32_t>(universe, 0), 0,
+              lane->options.missing == MissingCellPolicy::kZero, true};
+    states.push_back(std::move(s));
+  }
+
+  std::vector<size_t> cursors(lists.size(), 0);
+  size_t active = states.size();
+  while (active > 0) {
+    bool any_read = false;
+    for (size_t i = 0; i < lists.size(); ++i) {
+      if (cursors[i] >= lists[i]->size()) continue;
+      const size_t at = most ? cursors[i] : lists[i]->size() - 1 - cursors[i];
+      const ScoredEntry& e = lists[i]->entry(at);
+      ++cursors[i];
+      any_read = true;
+      for (FaState& s : states) {
+        if (!s.active) continue;
+        ++s.lane->stats.sorted_accesses;
+        if (!IsAllowed(s.lane->allowed, e.pos)) continue;
+        const uint32_t seen = ++s.seen_count[static_cast<size_t>(e.pos)];
+        if (seen == lists.size()) ++s.complete_ids;
+      }
+    }
+    if (!any_read) break;
+    for (FaState& s : states) {
+      if (!s.active) continue;
+      ++s.lane->stats.rounds;
+      if (s.can_stop_early) {
+        ++s.lane->stats.threshold_checks;
+        if (s.complete_ids >= s.lane->options.k) {
+          s.active = false;
+          --active;
+        }
+      }
+    }
+  }
+
+  for (FaState& s : states) {
+    FaginStats* stats = &s.lane->stats;
+    std::vector<ScoredEntry> scored;
+    for (size_t pos = 0; pos < universe; ++pos) {
+      if (s.seen_count[pos] == 0) continue;
+      std::optional<double> agg = memo->Aggregate(
+          static_cast<int32_t>(pos), s.lane->options.missing, stats);
+      if (!agg.has_value()) continue;
+      ++stats->ids_scored;
+      scored.push_back(ScoredEntry{static_cast<int32_t>(pos), *agg});
+    }
+    SortResults(&scored, direction);
+    if (scored.size() > s.lane->options.k) scored.resize(s.lane->options.k);
+    s.lane->entries = std::move(scored);
+  }
+}
+
+// --- NRA lanes -----------------------------------------------------------
+// Direct multi-lane transcription of FaginNRA: the sorted access (always
+// from the top — NRA is kMostUnfair + kZero only) and the per-round
+// frontier bounds are shared, the bound bookkeeping is per lane. The
+// `monotone` fast path depends only on the lists, so it is decided once for
+// the whole group.
+void RunNraLanes(const std::vector<const InvertedIndex*>& lists,
+                 size_t universe, const std::vector<Lane*>& lanes,
+                 ScoreMemo* memo) {
+  struct NraState {
+    Lane* lane;
+    std::vector<double> known_sum;
+    std::vector<double> lower_bound;
+    std::vector<uint64_t> known_mask;
+    std::vector<int32_t> seen_positions;
+    std::vector<uint8_t> in_top;
+    std::vector<std::pair<double, int32_t>> lowers;
+    std::vector<std::pair<double, int32_t>> top;
+    std::vector<int32_t> touched;
+    bool top_built = false;
+    bool active = true;
+  };
+  const size_t num_lists = lists.size();
+  const double denom = static_cast<double>(num_lists);
+
+  auto lower_cmp = [](const std::pair<double, int32_t>& a,
+                      const std::pair<double, int32_t>& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  };
+  bool monotone = true;
+  for (const InvertedIndex* list : lists) {
+    if (!list->empty() && list->entry(list->size() - 1).value < 0.0) {
+      monotone = false;
+      break;
+    }
+  }
+
+  std::vector<NraState> states;
+  states.reserve(lanes.size());
+  for (Lane* lane : lanes) {
+    NraState s;
+    s.lane = lane;
+    s.known_sum.assign(universe, 0.0);
+    s.lower_bound.assign(universe, 0.0);
+    s.known_mask.assign(universe, 0);
+    s.in_top.assign(universe, 0);
+    states.push_back(std::move(s));
+  }
+
+  std::vector<size_t> cursors(num_lists, 0);
+  std::vector<double> frontiers(num_lists, 0.0);
+  // The entries read this round: every active lane replays them in list
+  // order, exactly the order its per-request run would have seen.
+  std::vector<std::pair<size_t, const ScoredEntry*>> reads;
+  size_t active = states.size();
+  while (active > 0) {
+    reads.clear();
+    for (size_t i = 0; i < num_lists; ++i) {
+      if (cursors[i] >= lists[i]->size()) continue;
+      reads.emplace_back(i, &lists[i]->entry(cursors[i]));
+      ++cursors[i];
+    }
+    if (reads.empty()) break;  // exhausted: epilogue below
+
+    bool frontiers_valid = false;
+    double frontier_sum = 0.0;
+    for (NraState& s : states) {
+      if (!s.active) continue;
+      FaginStats* stats = &s.lane->stats;
+      const size_t k = s.lane->options.k;
+      s.touched.clear();
+      for (const auto& [i, e] : reads) {
+        ++stats->sorted_accesses;
+        if (!IsAllowed(s.lane->allowed, e->pos)) continue;
+        const size_t p = static_cast<size_t>(e->pos);
+        if (s.known_mask[p] == 0) s.seen_positions.push_back(e->pos);
+        s.known_sum[p] += e->value;
+        s.lower_bound[p] = s.known_sum[p] / denom;
+        s.known_mask[p] |= (1ull << i);
+        if (s.top_built) s.touched.push_back(e->pos);
+      }
+      ++stats->rounds;
+
+      if (s.seen_positions.size() < k) continue;
+      ++stats->threshold_checks;
+
+      if (!frontiers_valid) {
+        // Frontier bounds depend only on the shared cursors, so one
+        // evaluation per round serves every lane that checks.
+        frontier_sum = 0.0;
+        for (size_t i = 0; i < num_lists; ++i) {
+          frontiers[i] = cursors[i] >= lists[i]->size()
+                             ? 0.0
+                             : std::max(lists[i]->entry(cursors[i]).value, 0.0);
+          frontier_sum += frontiers[i];
+        }
+        frontiers_valid = true;
+      }
+
+      double kth_lower;
+      if (monotone) {
+        if (!s.top_built) {
+          s.lowers.clear();
+          s.lowers.reserve(s.seen_positions.size());
+          for (int32_t pos : s.seen_positions) {
+            s.lowers.emplace_back(s.lower_bound[static_cast<size_t>(pos)], pos);
+          }
+          std::partial_sort(s.lowers.begin(),
+                            s.lowers.begin() + static_cast<long>(k),
+                            s.lowers.end(), lower_cmp);
+          s.top.assign(s.lowers.begin(), s.lowers.begin() + static_cast<long>(k));
+          for (const auto& entry : s.top) {
+            s.in_top[static_cast<size_t>(entry.second)] = 1;
+          }
+          s.top_built = true;
+        } else {
+          for (int32_t pos : s.touched) {
+            const size_t p = static_cast<size_t>(pos);
+            std::pair<double, int32_t> key{s.lower_bound[p], pos};
+            if (s.in_top[p] != 0) {
+              size_t j = 0;
+              while (s.top[j].second != pos) ++j;
+              s.top[j] = key;
+              for (; j > 0 && lower_cmp(s.top[j], s.top[j - 1]); --j) {
+                std::swap(s.top[j], s.top[j - 1]);
+              }
+            } else if (lower_cmp(key, s.top.back())) {
+              s.in_top[static_cast<size_t>(s.top.back().second)] = 0;
+              s.top.back() = key;
+              s.in_top[p] = 1;
+              for (size_t j = s.top.size() - 1;
+                   j > 0 && lower_cmp(s.top[j], s.top[j - 1]); --j) {
+                std::swap(s.top[j], s.top[j - 1]);
+              }
+            }
+          }
+        }
+        kth_lower = s.top.back().first;
+      } else {
+        s.lowers.clear();
+        s.lowers.reserve(s.seen_positions.size());
+        for (int32_t pos : s.seen_positions) {
+          s.lowers.emplace_back(s.lower_bound[static_cast<size_t>(pos)], pos);
+        }
+        std::nth_element(s.lowers.begin(),
+                         s.lowers.begin() + static_cast<long>(k - 1),
+                         s.lowers.end(), lower_cmp);
+        kth_lower = s.lowers[k - 1].first;
+        for (size_t i = 0; i < k; ++i) {
+          s.in_top[static_cast<size_t>(s.lowers[i].second)] = 1;
+        }
+      }
+
+      double outside_upper_raw = frontier_sum;
+      for (int32_t pos : s.seen_positions) {
+        const size_t p = static_cast<size_t>(pos);
+        if (s.in_top[p] != 0) continue;
+        double upper = s.known_sum[p];
+        for (size_t i = 0; i < num_lists; ++i) {
+          if ((s.known_mask[p] & (1ull << i)) == 0) upper += frontiers[i];
+        }
+        outside_upper_raw = std::max(outside_upper_raw, upper);
+      }
+      const double outside_upper = outside_upper_raw / denom;
+      if (kth_lower >= outside_upper) {
+        std::vector<ScoredEntry> out;
+        out.reserve(k);
+        for (size_t i = 0; i < k; ++i) {
+          const int32_t pos = monotone ? s.top[i].second : s.lowers[i].second;
+          std::optional<double> agg =
+              memo->Aggregate(pos, s.lane->options.missing, stats);
+          if (agg.has_value()) {
+            ++stats->ids_scored;
+            out.push_back(ScoredEntry{pos, *agg});
+          }
+        }
+        SortResults(&out, s.lane->options.direction);
+        s.lane->entries = std::move(out);
+        s.active = false;
+        --active;
+      } else if (!monotone) {
+        for (size_t i = 0; i < k; ++i) {
+          s.in_top[static_cast<size_t>(s.lowers[i].second)] = 0;
+        }
+      }
+    }
+  }
+
+  // Lists exhausted: every remaining lane's aggregates are fully known.
+  for (NraState& s : states) {
+    if (!s.active) continue;
+    FaginStats* stats = &s.lane->stats;
+    std::vector<ScoredEntry> out;
+    out.reserve(s.seen_positions.size());
+    for (int32_t pos : s.seen_positions) {
+      ++stats->ids_scored;
+      out.push_back(
+          ScoredEntry{pos, s.known_sum[static_cast<size_t>(pos)] / denom});
+    }
+    SortResults(&out, s.lane->options.direction);
+    if (out.size() > s.lane->options.k) out.resize(s.lane->options.k);
+    s.lane->entries = std::move(out);
+  }
+}
+
+}  // namespace
+
+std::vector<Result<QuantificationResult>> SolveQuantificationBatch(
+    const UnfairnessCube& cube, const IndexSet& indices,
+    const std::vector<QuantificationRequest>& requests,
+    BatchExecStats* exec_stats) {
+  TraceSpan span("SolveQuantificationBatch", "quantification");
+  BatchExecStats local_stats;
+  if (exec_stats == nullptr) exec_stats = &local_stats;
+  *exec_stats = BatchExecStats{};
+
+  // errors[i] OK means values[i] holds the computed result.
+  std::vector<Status> errors(requests.size());
+  std::vector<QuantificationResult> values(requests.size());
+
+  // Group valid requests by exact selector sequence (see header).
+  struct Group {
+    std::vector<size_t> members;  // request indices, in arrival order
+  };
+  std::vector<Group> groups;
+  std::unordered_map<uint64_t, std::vector<size_t>> buckets;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    Status valid = ValidateQuantificationRequest(cube, requests[i]);
+    if (!valid.ok()) {
+      errors[i] = std::move(valid);
+      ++exec_stats->invalid;
+      continue;
+    }
+    std::vector<size_t>& bucket = buckets[SelectorHash(requests[i])];
+    size_t group_index = groups.size();
+    for (size_t g : bucket) {
+      if (SameSelectorGroup(requests[groups[g].members.front()], requests[i])) {
+        group_index = g;
+        break;
+      }
+    }
+    if (group_index == groups.size()) {
+      groups.push_back(Group{});
+      bucket.push_back(group_index);
+    }
+    groups[group_index].members.push_back(i);
+  }
+
+  for (const Group& group : groups) {
+    const QuantificationRequest& representative =
+        requests[group.members.front()];
+    std::vector<const InvertedIndex*> lists = indices.ListsFor(
+        representative.target, representative.agg1, representative.agg2);
+    ++exec_stats->groups;
+    exec_stats->lists_gathered += lists.size();
+    const size_t universe =
+        UniverseOf(lists, cube.axis_size(representative.target));
+
+    // Build the group's lanes; engine-invalid requests error out here with
+    // exactly the per-request status (their per-request run would have
+    // gathered the lists too, so they still count as demand).
+    std::vector<Lane> lanes;
+    lanes.reserve(group.members.size());
+    for (size_t i : group.members) {
+      const QuantificationRequest& request = requests[i];
+      exec_stats->lists_demanded += lists.size();
+      TopKOptions options;
+      options.k = request.k;
+      options.direction = request.direction;
+      options.missing = request.missing;
+      options.allowed = request.allowed_targets.empty()
+                            ? nullptr
+                            : &request.allowed_targets;
+      options.universe_hint = cube.axis_size(request.target);
+      Status valid = ValidateForEngine(request.algorithm, lists, options);
+      if (!valid.ok()) {
+        errors[i] = std::move(valid);
+        ++exec_stats->invalid;
+        continue;
+      }
+      Lane lane;
+      lane.request_index = i;
+      lane.options = options;
+      lanes.push_back(std::move(lane));
+    }
+    // Materialize filters after the lanes vector is final (Lane::allowed
+    // points into the lane's own scratch).
+    for (Lane& lane : lanes) {
+      lane.allowed =
+          BuildAllowedBitmap(lane.options.allowed, universe,
+                             &lane.allowed_scratch);
+    }
+
+    std::vector<Lane*> scan_lanes;
+    std::vector<Lane*> ta_most;
+    std::vector<Lane*> ta_least;
+    std::vector<Lane*> fa_most;
+    std::vector<Lane*> fa_least;
+    std::vector<Lane*> nra_lanes;
+    for (Lane& lane : lanes) {
+      const bool most =
+          lane.options.direction == RankDirection::kMostUnfair;
+      switch (requests[lane.request_index].algorithm) {
+        case TopKAlgorithm::kScan:
+          scan_lanes.push_back(&lane);
+          break;
+        case TopKAlgorithm::kThresholdAlgorithm:
+          (most ? ta_most : ta_least).push_back(&lane);
+          break;
+        case TopKAlgorithm::kFA:
+          (most ? fa_most : fa_least).push_back(&lane);
+          break;
+        case TopKAlgorithm::kNRA:
+          nra_lanes.push_back(&lane);
+          break;
+      }
+    }
+    exec_stats->scan_lanes += scan_lanes.size();
+    exec_stats->ta_lanes += ta_most.size() + ta_least.size();
+    exec_stats->fa_lanes += fa_most.size() + fa_least.size();
+    exec_stats->nra_lanes += nra_lanes.size();
+
+    if (!scan_lanes.empty()) {
+      ++exec_stats->shared_scan_passes;
+      RunScanLanes(lists, universe, scan_lanes);
+    }
+    // One score memo per group: TA random accesses, FA phase-2 sweeps and
+    // NRA epilogues all aggregate the same lists, so each position's
+    // (sum, count) is computed at most once across every random-access lane.
+    ScoreMemo memo(lists, universe);
+    if (!ta_most.empty()) {
+      RunTaLanes(lists, universe, RankDirection::kMostUnfair, ta_most, &memo);
+    }
+    if (!ta_least.empty()) {
+      RunTaLanes(lists, universe, RankDirection::kLeastUnfair, ta_least,
+                 &memo);
+    }
+    if (!fa_most.empty()) {
+      RunFaLanes(lists, universe, RankDirection::kMostUnfair, fa_most, &memo);
+    }
+    if (!fa_least.empty()) {
+      RunFaLanes(lists, universe, RankDirection::kLeastUnfair, fa_least,
+                 &memo);
+    }
+    if (!nra_lanes.empty()) {
+      RunNraLanes(lists, universe, nra_lanes, &memo);
+    }
+
+    for (Lane& lane : lanes) {
+      const QuantificationRequest& request = requests[lane.request_index];
+      QuantificationResult result;
+      result.stats = lane.stats;
+      result.answers.reserve(lane.entries.size());
+      for (const ScoredEntry& e : lane.entries) {
+        result.answers.push_back(QuantificationAnswer{
+            cube.axis_id(request.target, static_cast<size_t>(e.pos)),
+            e.value});
+      }
+      values[lane.request_index] = std::move(result);
+      ++exec_stats->requests;
+    }
+  }
+
+  std::vector<Result<QuantificationResult>> results;
+  results.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (errors[i].ok()) {
+      results.push_back(std::move(values[i]));
+    } else {
+      results.push_back(std::move(errors[i]));
+    }
+  }
+  return results;
+}
+
+}  // namespace fairjob

@@ -1,0 +1,68 @@
+#ifndef FAIRJOB_CORE_QUANTIFICATION_BATCH_H_
+#define FAIRJOB_CORE_QUANTIFICATION_BATCH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "core/quantification.h"
+
+namespace fairjob {
+
+// Execution counters for one SolveQuantificationBatch call, exported by the
+// serving layer as serve.batch.* (docs/observability.md). The amortization
+// the batch engine buys is lists_demanded / lists_gathered: what N
+// per-request executions would have materialized vs. what the grouped pass
+// actually touched.
+struct BatchExecStats {
+  size_t requests = 0;   // lanes that reached an engine (valid requests)
+  size_t invalid = 0;    // requests rejected by validation
+  size_t groups = 0;     // distinct (target, agg1, agg2) selector groups
+  size_t lists_gathered = 0;  // inverted lists materialized (once per group)
+  size_t lists_demanded = 0;  // lists N per-request runs would have gathered
+  size_t scan_lanes = 0;
+  size_t ta_lanes = 0;
+  size_t fa_lanes = 0;
+  size_t nra_lanes = 0;
+  size_t shared_scan_passes = 0;  // one per group with >= 1 scan lane
+};
+
+// Multi-request Fagin executor: answers a whole batch of quantification
+// requests with one pass over each distinct list view.
+//
+// Requests are grouped by their exact (target, agg1, agg2) selector
+// sequences — not the canonical multiset the cache key uses — because
+// IndexSet::ListsFor resolves positions verbatim (order and duplicates
+// included) and per-candidate FP summation follows list order, so only the
+// literal sequence guarantees a bitwise-identical list view. Each group
+// materializes its inverted lists once; every request in the group becomes
+// a *lane* (its own k / direction / missing policy / allowed bitmap /
+// algorithm) driven during shared passes over those lists:
+//
+//  * scan lanes share ONE unfiltered accumulation pass over all list
+//    entries (a position's sum is independent of every other position, so
+//    lane filters only select which positions are emitted);
+//  * TA / FA lanes of the same direction share the round-robin sorted
+//    access — cursors advance identically in the per-request engines, so
+//    each entry is read once per round and delivered to every active lane;
+//  * NRA lanes share the sorted access and the per-round frontier bounds,
+//    keeping per-lane bound state.
+//
+// Contract: results[i] is bitwise-identical to
+// SolveQuantification(cube, indices, requests[i]) — same answers (bit-equal
+// values, same order), same FaginStats, same error codes and messages, for
+// every request independently of what else is in the batch. The per-request
+// path stays the differential reference (tests/batch_exec_test.cc,
+// bench_batch_exec's identity gate).
+//
+// Unlike the per-request engines, batch lanes do not publish
+// fagin.<algorithm>.* metrics (a shared pass has no meaningful per-lane
+// latency); the serving layer publishes serve.batch.* from `stats` instead.
+std::vector<Result<QuantificationResult>> SolveQuantificationBatch(
+    const UnfairnessCube& cube, const IndexSet& indices,
+    const std::vector<QuantificationRequest>& requests,
+    BatchExecStats* stats = nullptr);
+
+}  // namespace fairjob
+
+#endif  // FAIRJOB_CORE_QUANTIFICATION_BATCH_H_

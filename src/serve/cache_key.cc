@@ -9,68 +9,54 @@
 namespace fairjob {
 namespace {
 
-// Sorted copy; empty when the explicit list is exactly the whole axis
-// (selecting every position once aggregates exactly the "all" lists).
+// Sorted into *out; emptied when the explicit list is exactly the whole
+// axis (selecting every position once aggregates exactly the "all" lists).
 // Duplicates are deliberately KEPT: IndexSet::ListsFor resolves positions
 // verbatim, so a duplicated position contributes its list twice to the
 // aggregate — {0, 0} is a genuinely different request from {0}. Sorting
 // alone makes the key a multiset identity: permutations of the same
 // selector share one cache entry (their answers agree up to floating-point
 // summation order; see docs/serving.md).
-std::vector<size_t> NormalizePositions(const std::vector<size_t>& positions,
-                                       size_t axis_size) {
-  std::vector<size_t> out = positions;
-  std::sort(out.begin(), out.end());
-  if (out.size() == axis_size) {
+//
+// Writes straight into the key member (one reserve, one allocation) instead
+// of returning a temporary that gets move-assigned — this runs on every
+// request, cache hits included, so the per-key allocation count matters.
+void NormalizePositions(const std::vector<size_t>& positions, size_t axis_size,
+                        std::vector<size_t>* out) {
+  out->clear();
+  out->reserve(positions.size());
+  out->assign(positions.begin(), positions.end());
+  std::sort(out->begin(), out->end());
+  if (out->size() == axis_size) {
     bool full = true;
-    for (size_t i = 0; i < out.size(); ++i) {
-      if (out[i] != i) {
+    for (size_t i = 0; i < out->size(); ++i) {
+      if ((*out)[i] != i) {
         full = false;
         break;
       }
     }
-    if (full) out.clear();
+    if (full) out->clear();
   }
-  return out;
 }
 
 // allowed_targets IS a set (the top-k runners build a hash set from it), so
 // here duplicates are dropped as well as sorted.
-std::vector<int32_t> NormalizeTargets(const std::vector<int32_t>& targets,
-                                      size_t axis_size) {
-  std::vector<int32_t> out = targets;
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
-  if (out.size() == axis_size) {
+void NormalizeTargets(const std::vector<int32_t>& targets, size_t axis_size,
+                      std::vector<int32_t>* out) {
+  out->clear();
+  out->reserve(targets.size());
+  out->assign(targets.begin(), targets.end());
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+  if (out->size() == axis_size) {
     bool full = true;
-    for (size_t i = 0; i < out.size(); ++i) {
-      if (out[i] != static_cast<int32_t>(i)) {
+    for (size_t i = 0; i < out->size(); ++i) {
+      if ((*out)[i] != static_cast<int32_t>(i)) {
         full = false;
         break;
       }
     }
-    if (full) out.clear();
-  }
-  return out;
-}
-
-// The two non-target dimensions in ascending order, mirroring
-// SolveQuantification's agg1/agg2 convention.
-void OtherDims(Dimension target, Dimension* d1, Dimension* d2) {
-  switch (target) {
-    case Dimension::kGroup:
-      *d1 = Dimension::kQuery;
-      *d2 = Dimension::kLocation;
-      return;
-    case Dimension::kQuery:
-      *d1 = Dimension::kGroup;
-      *d2 = Dimension::kLocation;
-      return;
-    case Dimension::kLocation:
-    default:
-      *d1 = Dimension::kGroup;
-      *d2 = Dimension::kQuery;
-      return;
+    if (full) out->clear();
   }
 }
 
@@ -86,11 +72,12 @@ RequestCacheKey::RequestCacheKey(const QuantificationRequest& request,
   const UnfairnessCube& cube = snapshot.cube();
   Dimension d1;
   Dimension d2;
-  OtherDims(request.target, &d1, &d2);
-  agg1 = NormalizePositions(request.agg1.positions, cube.axis_size(d1));
-  agg2 = NormalizePositions(request.agg2.positions, cube.axis_size(d2));
-  allowed =
-      NormalizeTargets(request.allowed_targets, cube.axis_size(request.target));
+  // agg1/agg2 follow SolveQuantification's ascending-dimension convention.
+  QuantificationOtherDims(request.target, &d1, &d2);
+  NormalizePositions(request.agg1.positions, cube.axis_size(d1), &agg1);
+  NormalizePositions(request.agg2.positions, cube.axis_size(d2), &agg2);
+  NormalizeTargets(request.allowed_targets, cube.axis_size(request.target),
+                   &allowed);
   // After normalization, so equivalent selector spellings bind the same
   // column epochs (and the all/all fast path actually fires).
   epoch_digest = snapshot.EpochDigest(target, agg1, agg2);

@@ -634,6 +634,196 @@ TEST(CacheFreshnessTest, StaleBudgetZeroKeepsStrictFreshness) {
   ExpectExactAccounting(stats);
 }
 
+// --- Micro-batch window ------------------------------------------------------
+
+// A request whose deadline expires while parked in the batch window is shed
+// with the typed kDeadlineExceeded, with exact accounting: it is never
+// admitted and its entry is never computed (all waiters were expired).
+TEST(BatchWindowTest, DeadlineExpiringInsideWindowIsShed) {
+  std::unique_ptr<UnfairnessCube> cube = MakeCube(/*seed=*/41);
+  IndexSet indices = IndexSet::Build(*cube);
+  KeySpace space = MakeKeySpace(*cube, indices);
+  ASSERT_FALSE(::testing::Test::HasFailure());
+
+  VirtualClock clock;
+  QuantificationService::Options options;
+  options.batch_window_micros = 5000;
+  options.clock = &clock;
+  QuantificationService service(cube.get(), &indices, options);
+
+  std::thread parked([&] {
+    Result<QuantificationResult> answer =
+        service.Answer(space.requests[0], /*deadline_budget_micros=*/1000);
+    ASSERT_FALSE(answer.ok());
+    EXPECT_EQ(answer.status().code(), StatusCode::kDeadlineExceeded);
+  });
+  // Wait until the request is parked as the window leader, then advance
+  // virtual time past both its deadline and the window end. Nothing else
+  // moves the clock, so the drain-time shed is deterministic.
+  for (int i = 0; i < 5000 && service.stats().batch_parked == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(service.stats().batch_parked, 1u);
+  clock.AdvanceMicros(6000);
+  parked.join();
+
+  QuantificationService::Stats stats = service.stats();
+  EXPECT_EQ(stats.requests, 1u);
+  EXPECT_EQ(stats.admitted, 0u);
+  EXPECT_EQ(stats.shed_deadline, 1u);
+  EXPECT_EQ(stats.computations, 0u);
+  EXPECT_EQ(stats.batch_windows, 1u);
+  EXPECT_EQ(stats.batch_parked, 1u);
+  EXPECT_EQ(stats.batch_window_shed, 1u);
+  EXPECT_EQ(stats.errors, 0u);  // typed sheds are not errors
+  ExpectExactAccounting(stats);
+}
+
+// Two distinct keys share one window: the one whose deadline survives the
+// drain is answered bit-identically to the direct computation, the expired
+// one is shed — per-request shedding stays exact inside a shared batch.
+TEST(BatchWindowTest, SharedWindowAnswersLiveRequestAndShedsExpiredOne) {
+  std::unique_ptr<UnfairnessCube> cube = MakeCube(/*seed=*/43);
+  IndexSet indices = IndexSet::Build(*cube);
+  KeySpace space = MakeKeySpace(*cube, indices);
+  ASSERT_FALSE(::testing::Test::HasFailure());
+
+  VirtualClock clock;
+  QuantificationService::Options options;
+  options.batch_window_micros = 5000;
+  options.clock = &clock;
+  QuantificationService service(cube.get(), &indices, options);
+
+  std::thread live([&] {
+    Result<QuantificationResult> answer = service.Answer(space.requests[0]);
+    ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+    EXPECT_TRUE(SameAnswers(*answer, space.expected[0]));
+  });
+  std::thread expiring([&] {
+    Result<QuantificationResult> answer =
+        service.Answer(space.requests[1], /*deadline_budget_micros=*/1000);
+    ASSERT_FALSE(answer.ok());
+    EXPECT_EQ(answer.status().code(), StatusCode::kDeadlineExceeded);
+  });
+  for (int i = 0; i < 5000 && service.stats().batch_parked < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(service.stats().batch_parked, 2u);
+  clock.AdvanceMicros(6000);
+  live.join();
+  expiring.join();
+
+  QuantificationService::Stats stats = service.stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.admitted, 1u);
+  EXPECT_EQ(stats.shed_deadline, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.computations, 1u);
+  EXPECT_EQ(stats.coalesced, 0u);
+  EXPECT_EQ(stats.batch_windows, 1u);
+  EXPECT_EQ(stats.batch_window_shed, 1u);
+  ExpectExactAccounting(stats);
+}
+
+// Duplicate keys coalesce onto one window entry: one computation, the rest
+// coalesced — the window replaces single-flight for misses with identical
+// accounting.
+TEST(BatchWindowTest, DuplicateKeysComputeOnceAndCoalesce) {
+  std::unique_ptr<UnfairnessCube> cube = MakeCube(/*seed=*/47);
+  IndexSet indices = IndexSet::Build(*cube);
+  KeySpace space = MakeKeySpace(*cube, indices);
+  ASSERT_FALSE(::testing::Test::HasFailure());
+
+  VirtualClock clock;
+  QuantificationService::Options options;
+  options.batch_window_micros = 2000;
+  options.clock = &clock;
+  QuantificationService service(cube.get(), &indices, options);
+
+  auto answer_one = [&] {
+    Result<QuantificationResult> answer = service.Answer(space.requests[0]);
+    ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+    EXPECT_TRUE(SameAnswers(*answer, space.expected[0]));
+  };
+  std::thread first(answer_one);
+  std::thread second(answer_one);
+  for (int i = 0; i < 5000 && service.stats().batch_parked < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(service.stats().batch_parked, 2u);
+  clock.AdvanceMicros(3000);
+  first.join();
+  second.join();
+
+  QuantificationService::Stats stats = service.stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.cache_misses, 2u);
+  EXPECT_EQ(stats.computations, 1u);
+  EXPECT_EQ(stats.coalesced, 1u);
+  EXPECT_EQ(stats.batch_windows, 1u);
+  EXPECT_EQ(stats.batch_window_shed, 0u);
+  ExpectExactAccounting(stats);
+}
+
+// max_batch_size drains the window early: with a virtual clock that never
+// advances, hitting the size cap is the only way these answers can return.
+TEST(BatchWindowTest, SizeCapDrainsWithoutClockAdvance) {
+  std::unique_ptr<UnfairnessCube> cube = MakeCube(/*seed=*/53);
+  IndexSet indices = IndexSet::Build(*cube);
+  KeySpace space = MakeKeySpace(*cube, indices);
+  ASSERT_FALSE(::testing::Test::HasFailure());
+
+  VirtualClock clock;
+  QuantificationService::Options options;
+  options.batch_window_micros = 1'000'000;  // would park ~forever
+  options.max_batch_size = 2;
+  options.clock = &clock;
+  QuantificationService service(cube.get(), &indices, options);
+
+  std::thread a([&] {
+    Result<QuantificationResult> answer = service.Answer(space.requests[0]);
+    ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+    EXPECT_TRUE(SameAnswers(*answer, space.expected[0]));
+  });
+  std::thread b([&] {
+    Result<QuantificationResult> answer = service.Answer(space.requests[1]);
+    ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+    EXPECT_TRUE(SameAnswers(*answer, space.expected[1]));
+  });
+  a.join();
+  b.join();
+
+  QuantificationService::Stats stats = service.stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.computations, 2u);
+  EXPECT_EQ(stats.batch_windows, 1u);
+  EXPECT_EQ(stats.batch_parked, 2u);
+  ExpectExactAccounting(stats);
+}
+
+// batch_window_micros = 0 must be today's behavior bit for bit: no windows,
+// no parking, misses go through single-flight exactly as before.
+TEST(BatchWindowTest, ZeroWindowIsSingleFlightPath) {
+  std::unique_ptr<UnfairnessCube> cube = MakeCube(/*seed=*/59);
+  IndexSet indices = IndexSet::Build(*cube);
+  KeySpace space = MakeKeySpace(*cube, indices);
+  ASSERT_FALSE(::testing::Test::HasFailure());
+
+  QuantificationService service(cube.get(), &indices);
+  for (size_t i = 0; i < space.requests.size(); ++i) {
+    Result<QuantificationResult> answer = service.Answer(space.requests[i]);
+    ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+    EXPECT_TRUE(SameAnswers(*answer, space.expected[i]));
+  }
+  QuantificationService::Stats stats = service.stats();
+  EXPECT_EQ(stats.batch_windows, 0u);
+  EXPECT_EQ(stats.batch_parked, 0u);
+  EXPECT_EQ(stats.batch_window_shed, 0u);
+  ExpectExactAccounting(stats);
+}
+
 // --- Arrival schedule --------------------------------------------------------
 
 TEST(ArrivalScheduleTest, DeterministicSortedAndInHorizon) {
@@ -648,7 +838,9 @@ TEST(ArrivalScheduleTest, DeterministicSortedAndInHorizon) {
   for (size_t i = 0; i < a.size(); ++i) {
     EXPECT_GE(a[i], 0);
     EXPECT_LT(a[i], 500'000);
-    if (i > 0) EXPECT_GE(a[i], a[i - 1]);
+    if (i > 0) {
+      EXPECT_GE(a[i], a[i - 1]);
+    }
   }
   spec.seed = 8;
   EXPECT_NE(GenerateArrivalTimesMicros(spec), a);  // seed changes the stream

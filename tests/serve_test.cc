@@ -275,6 +275,54 @@ TEST(RequestCacheKeyTest, AlgorithmAndPolicyArePartOfTheIdentity) {
   EXPECT_TRUE(base == RequestCacheKey(request, *snapshot));
 }
 
+// Locks the normalization equivalences across the allocation micro-fix in
+// NormalizePositions/NormalizeTargets: permutations collapse, duplicates
+// stay distinct (selectors) or collapse (allowed), and explicit full-axis
+// spellings fold to the "all" form.
+TEST(RequestCacheKeyTest, NormalizationEquivalencesAreUnchanged) {
+  std::unique_ptr<UnfairnessCube> cube = MakeCube(/*seed=*/9);
+  IndexSet indices = IndexSet::Build(*cube);
+  std::shared_ptr<const CubeSnapshot> snapshot =
+      CubeSnapshot::Borrow(cube.get(), &indices);
+  QuantificationRequest base;  // target kGroup: agg1 = 4 queries, agg2 = 3
+  base.agg1.positions = {0, 2};
+  RequestCacheKey key(base, *snapshot);
+
+  // Permutations of a selector are one identity.
+  QuantificationRequest permuted = base;
+  permuted.agg1.positions = {2, 0};
+  EXPECT_TRUE(key == RequestCacheKey(permuted, *snapshot));
+
+  // Duplicated selector positions aggregate their list twice: distinct.
+  QuantificationRequest doubled = base;
+  doubled.agg1.positions = {0, 2, 2};
+  EXPECT_FALSE(key == RequestCacheKey(doubled, *snapshot));
+
+  // Explicitly listing every position once collapses to the "all" form.
+  QuantificationRequest explicit_all = base;
+  explicit_all.agg2.positions = {2, 1, 0};
+  EXPECT_TRUE(key == RequestCacheKey(explicit_all, *snapshot));
+  RequestCacheKey explicit_key(explicit_all, *snapshot);
+  EXPECT_TRUE(explicit_key.agg2.empty());
+
+  // allowed_targets is consumed as a set: duplicates and order vanish, and
+  // admitting the whole axis is no filter at all.
+  QuantificationRequest filtered = base;
+  filtered.allowed_targets = {3, 1};
+  RequestCacheKey filtered_key(filtered, *snapshot);
+  QuantificationRequest filtered_dup = base;
+  filtered_dup.allowed_targets = {1, 3, 3, 1};
+  EXPECT_TRUE(filtered_key == RequestCacheKey(filtered_dup, *snapshot));
+  EXPECT_FALSE(key == filtered_key);
+  QuantificationRequest allow_all = base;
+  allow_all.allowed_targets = {5, 4, 3, 2, 1, 0, 0};
+  EXPECT_TRUE(key == RequestCacheKey(allow_all, *snapshot));
+
+  // Same spelling reproduces the same key (and hash) run over run.
+  RequestCacheKeyHash hash;
+  EXPECT_EQ(hash(key), hash(RequestCacheKey(permuted, *snapshot)));
+}
+
 TEST(RequestCacheKeyTest, EpochDigestBindsOnlyTheColumnsARequestReads) {
   std::unique_ptr<UnfairnessCube> cube = MakeCube(/*seed=*/7);
   IndexSet indices = IndexSet::Build(*cube);
