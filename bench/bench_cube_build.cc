@@ -1,11 +1,16 @@
 // Cube-construction performance: the seed per-triple path (re-deriving
 // worker values, memberships and histograms for every (group, comparable)
-// pair) versus the cell-shared MarketplaceCellContext path, serial versus
-// the shared thread pool — over a 47-group schema at several dataset sizes.
-// Writes BENCH_cube_build.json next to the printed tables and cross-checks
-// that every variant produces identical cube contents.
+// pair) versus the production batched path (hoisted group membership +
+// MarketplaceCellBatch), serial versus the shared thread pool — over a
+// 47-group schema at several dataset sizes. Also isolates marketplace
+// COLUMN evaluation (the unit the delta and sharded paths pay for): the
+// batched engine versus the pre-batch cell-shared MarketplaceCellContext,
+// with an enforced speedup gate (>= 1.5x smoke, >= 2x full) and a bitwise
+// identity cross-check. Writes BENCH_cube_build.json next to the printed
+// tables; any identity miss or gate miss fails the bench.
 
 #include <chrono>
+#include <utility>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -221,7 +226,7 @@ int Main(int argc, char** argv) {
   constexpr size_t kPool = 4;
   const size_t num_sizes = smoke ? 1 : sizeof(kSizes) / sizeof(kSizes[0]);
 
-  PrintTitle("Cube construction: seed per-triple vs cell-shared, serial vs pool");
+  PrintTitle("Cube construction: seed per-triple vs batched, serial vs pool");
   PrintPaperNote(
       "Building d<g,q,l> over all triples is the input to both Problem 1 and "
       "Problem 2 (Section 4); this bench guards the construction hot path.");
@@ -237,8 +242,16 @@ int Main(int argc, char** argv) {
                      ",\n  \"hardware_concurrency\": " +
                      std::to_string(hardware) + ",\n  \"sizes\": [\n";
   std::vector<std::vector<std::string>> market_rows;
+  std::vector<std::vector<std::string>> column_rows;
   std::vector<std::vector<std::string>> search_rows;
   bool all_identical = true;
+  bool columns_identical = true;
+  // Floors for the batched-vs-context column gate: the one-rep smoke run is
+  // noisier, so its bar is lower; nightly full mode demands the 2x the
+  // batched engine was built to clear.
+  const double min_column_speedup = smoke ? 1.5 : 2.0;
+  double worst_column_speedup = 0.0;
+  bool have_column_speedup = false;
 
   for (size_t s = 0; s < num_sizes; ++s) {
     const SizeSpec& size = kSizes[s];
@@ -249,10 +262,10 @@ int Main(int argc, char** argv) {
         BuildMarketplaceCubeReference(market, space, MarketMeasure::kEmd);
     UnfairnessCube shared_serial = OrDie(
         BuildMarketplaceCube(market, space, MarketMeasure::kEmd, {}, {}, 1),
-        "cell-shared serial build");
+        "batched serial build");
     UnfairnessCube shared_pool = OrDie(
         BuildMarketplaceCube(market, space, MarketMeasure::kEmd, {}, {}, kPool),
-        "cell-shared pooled build");
+        "batched pooled build");
     bool identical = CubesIdentical(reference, shared_serial) &&
                      CubesIdentical(reference, shared_pool);
     all_identical = all_identical && identical;
@@ -268,6 +281,38 @@ int Main(int argc, char** argv) {
       BuildMarketplaceCube(market, space, MarketMeasure::kEmd, {}, {}, kPool)
           .value();
     });
+
+    // Column-evaluation comparison: every (query, location) of this size,
+    // batched engine vs the pre-batch cell-shared context, both measures.
+    std::vector<std::pair<QueryId, LocationId>> columns;
+    for (size_t q = 0; q < size.queries; ++q) {
+      for (size_t l = 0; l < size.locations; ++l) {
+        columns.emplace_back(static_cast<QueryId>(q),
+                             static_cast<LocationId>(l));
+      }
+    }
+    MarketColumnComparison emd_cmp = CompareMarketColumnPaths(
+        market, space, MarketMeasure::kEmd, {}, columns, kReps);
+    MarketColumnComparison exposure_cmp = CompareMarketColumnPaths(
+        market, space, MarketMeasure::kExposure, {}, columns, kReps);
+    struct NamedCmp {
+      const char* measure;
+      const MarketColumnComparison* cmp;
+    };
+    for (NamedCmp named :
+         {NamedCmp{"emd", &emd_cmp}, NamedCmp{"exposure", &exposure_cmp}}) {
+      const MarketColumnComparison& cmp = *named.cmp;
+      columns_identical = columns_identical && cmp.identical;
+      if (!have_column_speedup || cmp.speedup() < worst_column_speedup) {
+        worst_column_speedup = cmp.speedup();
+        have_column_speedup = true;
+      }
+      column_rows.push_back({size.name, named.measure,
+                             std::to_string(columns.size()),
+                             Fmt(cmp.context_ms), Fmt(cmp.batch_ms),
+                             Fmt(cmp.speedup(), 2) + "x",
+                             cmp.identical ? "yes" : "NO"});
+    }
 
     SearchDataset search = MakeSearch(size);
     GroupSpace search_space =
@@ -304,9 +349,18 @@ int Main(int argc, char** argv) {
             "\"reference_serial_ms\": " + Fmt(ref_ms) +
             ", \"cell_shared_serial_ms\": " + Fmt(shared_ms) +
             ", \"cell_shared_pool_ms\": " + Fmt(pool_ms) +
-            ", \"speedup_cell_shared\": " + Fmt(ref_ms / shared_ms, 2) +
+            ", \"speedup_batched\": " + Fmt(ref_ms / shared_ms, 2) +
             ", \"speedup_pool_vs_reference\": " + Fmt(ref_ms / pool_ms, 2) +
             ", \"identical_cells\": " + (identical ? "true" : "false") +
+            "},\n     \"market_columns\": {" +
+            "\"emd_context_ms\": " + Fmt(emd_cmp.context_ms) +
+            ", \"emd_batched_ms\": " + Fmt(emd_cmp.batch_ms) +
+            ", \"emd_speedup\": " + Fmt(emd_cmp.speedup(), 2) +
+            ", \"exposure_context_ms\": " + Fmt(exposure_cmp.context_ms) +
+            ", \"exposure_batched_ms\": " + Fmt(exposure_cmp.batch_ms) +
+            ", \"exposure_speedup\": " + Fmt(exposure_cmp.speedup(), 2) +
+            ", \"identical_cells\": " +
+            (emd_cmp.identical && exposure_cmp.identical ? "true" : "false") +
             "},\n     \"search\": {" +
             "\"serial_ms\": " + Fmt(search_serial_ms) +
             ", \"pool_ms\": " + Fmt(search_pool_ms) +
@@ -315,6 +369,16 @@ int Main(int argc, char** argv) {
     json += (s + 1 < num_sizes) ? ",\n" : "\n";
   }
   json += "  ],\n";
+  const bool column_gate_pass =
+      have_column_speedup && worst_column_speedup >= min_column_speedup;
+  json += "  \"gates\": {\"market_batch_min_speedup\": " +
+          Fmt(min_column_speedup, 2) +
+          ", \"market_batch_worst_speedup\": " +
+          Fmt(worst_column_speedup, 2) +
+          ", \"market_batch_speedup\": " +
+          (column_gate_pass ? "true" : "false") +
+          ", \"market_batch_identical\": " +
+          (columns_identical ? "true" : "false") + "},\n";
 
   // The timing loops above always run metrics-off; this separate pass feeds
   // the "metrics" section (and the optional --metrics_json/--trace_json
@@ -323,9 +387,16 @@ int Main(int argc, char** argv) {
   json += "  \"metrics\": " + metrics_json + "\n}\n";
 
   PrintTitle("BuildMarketplaceCube (EMD, 47 groups)");
-  PrintTable({"size", "groups", "cells", "n", "reference ms", "cell-shared ms",
-              "pool ms", "shared speedup", "pool speedup", "identical"},
+  PrintTable({"size", "groups", "cells", "n", "reference ms", "batched ms",
+              "pool ms", "batched speedup", "pool speedup", "identical"},
              market_rows);
+  PrintTitle("Marketplace column evaluation: cell-shared context vs batched");
+  PrintTable({"size", "measure", "columns", "context ms", "batched ms",
+              "speedup", "identical"},
+             column_rows);
+  std::printf("gate: worst batched speedup %.2fx (floor %.2fx) -> %s\n",
+              worst_column_speedup, min_column_speedup,
+              column_gate_pass ? "pass" : "FAIL");
   PrintTitle("BuildSearchCube (Kendall-Tau, 47 groups)");
   PrintTable({"size", "cells", "users/cell", "serial ms", "pool ms", "speedup"},
              search_rows);
@@ -358,6 +429,18 @@ int Main(int argc, char** argv) {
 
   if (!all_identical) {
     PrintTitle("FATAL: fast-path cube contents diverged from the reference");
+    return 1;
+  }
+  if (!columns_identical) {
+    PrintTitle(
+        "FATAL: batched column engine diverged bitwise from the cell-shared "
+        "context");
+    return 1;
+  }
+  if (!column_gate_pass) {
+    PrintTitle("FATAL: batched column speedup " +
+               Fmt(worst_column_speedup, 2) + "x below the " +
+               Fmt(min_column_speedup, 2) + "x gate");
     return 1;
   }
   return 0;

@@ -3,7 +3,9 @@
 // (recompute only the touched columns, derived snapshot keeps the cache
 // warm) and via full BuildMarketplaceCube + fresh snapshot (new lineage,
 // every cache entry dead). Gates the upsert path's speedup, the bitwise
-// differential contract, and the exact C - k cache-survival arithmetic.
+// differential contract, the exact C - k cache-survival arithmetic, and —
+// since the delta rebuild now runs on the batched marketplace engine — the
+// batched-vs-context speedup on exactly the columns an upsert recomputes.
 // Writes BENCH_incremental.json.
 
 #include <algorithm>
@@ -295,6 +297,23 @@ int Main(int argc, char** argv) {
   std::printf("upserts bitwise identical to cold rebuild: %s\n",
               bitwise_identical ? "yes" : "NO");
 
+  // Batched-engine gate on the delta unit of work: the columns the LAST
+  // batch touched, evaluated through the batched engine (what
+  // BuildMarketplaceCubeColumns runs inside UpsertCrawlBatch) vs the
+  // pre-batch cell-shared context. Membership is hoisted outside the timer,
+  // matching the maintainer's per-dataset-version table.
+  std::vector<std::pair<QueryId, LocationId>> touched;
+  for (const CrawlBatchRow& row : batches[kRounds - 1].rows) {
+    touched.emplace_back(row.query, row.location);
+  }
+  MarketColumnComparison market_cmp =
+      CompareMarketColumnPaths(maintainer.data(), space, MarketMeasure::kEmd,
+                               MeasureOptions{}, touched, /*rounds=*/3);
+  std::printf("touched-column engine (%zu cols): context %.2f ms, batched "
+              "%.2f ms (%.2fx), identical: %s\n",
+              touched.size(), market_cmp.context_ms, market_cmp.batch_ms,
+              market_cmp.speedup(), market_cmp.identical ? "yes" : "NO");
+
   // Instrumented pass: one more batch with metrics on, so the cube.epoch.*
   // and serve.snapshot.* families carry data into the JSON.
   MetricsRegistry& metrics = MetricsRegistry::Global();
@@ -330,7 +349,13 @@ int Main(int argc, char** argv) {
       ", \"exact\": " + (survival_exact ? "true" : "false") +
       "},\n  \"rebuild_all_cold\": " + (rebuild_all_cold ? "true" : "false") +
       ",\n  \"bitwise_identical\": " + (bitwise_identical ? "true" : "false") +
-      ",\n  \"metrics\": " + metrics_json + "\n}\n";
+      ",\n  \"market_batch\": {\"columns\": " +
+      std::to_string(touched.size()) +
+      ", \"context_ms\": " + Fmt(market_cmp.context_ms, 2) +
+      ", \"batched_ms\": " + Fmt(market_cmp.batch_ms, 2) +
+      ", \"speedup\": " + Fmt(market_cmp.speedup(), 2) +
+      ", \"identical\": " + (market_cmp.identical ? "true" : "false") +
+      "},\n  \"metrics\": " + metrics_json + "\n}\n";
   Status written = WriteTextFile("BENCH_incremental.json", json);
   if (!written.ok()) {
     PrintTitle("FATAL: " + written.ToString());
@@ -372,6 +397,21 @@ int Main(int argc, char** argv) {
   if (speedup < min_speedup) {
     PrintTitle("FATAL: upsert speedup " + Fmt(speedup, 2) + "x below the " +
                Fmt(min_speedup, 1) + "x gate");
+    return 1;
+  }
+  // Batched-engine gates mirror bench_cube_build's: bitwise identity always,
+  // speedup floored lower in the short smoke run.
+  if (!market_cmp.identical) {
+    PrintTitle(
+        "FATAL: batched column engine diverged bitwise from the cell-shared "
+        "context");
+    return 1;
+  }
+  const double min_batch_speedup = smoke ? 1.5 : 2.0;
+  if (market_cmp.speedup() < min_batch_speedup) {
+    PrintTitle("FATAL: batched column speedup " +
+               Fmt(market_cmp.speedup(), 2) + "x below the " +
+               Fmt(min_batch_speedup, 2) + "x gate");
     return 1;
   }
   return 0;

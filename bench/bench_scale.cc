@@ -4,7 +4,10 @@
 //  * binary cube load must beat the CSV reference by a floor (bitwise
 //    identity cross-checked both ways), and
 //  * the SIMD Jaccard popcount sweep must beat the scalar kernel on
-//    dense-universe cell bitmaps (cube outputs bitwise-identical).
+//    dense-universe cell bitmaps (cube outputs bitwise-identical), and
+//  * the batched marketplace column engine must beat the pre-batch
+//    cell-shared context on production-shaped columns (cells
+//    bitwise-identical).
 // Writes BENCH_scale.json; --smoke runs a CI-sized workload.
 
 #include <array>
@@ -37,14 +40,15 @@ struct ScaleBudgets {
   double total_rss_mb;     // peak RSS at exit (includes serve-side cube)
   double binary_speedup;   // binary load vs CSV load floor
   double simd_speedup;     // SIMD vs scalar popcount sweep floor (AVX2 only)
+  double market_batch_speedup;  // batched vs context column-evaluation floor
 };
 
 // Full mode is the acceptance workload: 1M workers, 10k queries, Zipf
 // traffic, 119 intersectional groups. Budgets hold on a single-core runner
 // with headroom; the RSS ceilings are the point — the 59.5M-cell tensor
 // (~950 MB as optional<double>) must never materialize during the build.
-constexpr ScaleBudgets kFullBudgets = {900.0, 3072.0, 8192.0, 10.0, 1.5};
-constexpr ScaleBudgets kSmokeBudgets = {120.0, 1024.0, 2048.0, 2.0, 1.5};
+constexpr ScaleBudgets kFullBudgets = {900.0, 3072.0, 8192.0, 10.0, 1.5, 2.0};
+constexpr ScaleBudgets kSmokeBudgets = {120.0, 1024.0, 2048.0, 2.0, 1.5, 1.5};
 
 ScaleSpec FullSpec() {
   ScaleSpec spec;
@@ -135,7 +139,7 @@ SweepTimes TimePopcountSweep(size_t words_per_bitmap, size_t num_bitmaps,
     w = static_cast<uint64_t>(rng.NextU32()) << 32 | rng.NextU32();
   }
   auto sweep = [&](bool force_scalar) {
-    simd::ForceScalar(force_scalar);
+    simd::ScopedScalarKernels kernels(force_scalar);
     uint64_t total = 0;
     double start = NowS();
     for (size_t r = 0; r < rounds; ++r) {
@@ -148,7 +152,6 @@ SweepTimes TimePopcountSweep(size_t words_per_bitmap, size_t num_bitmaps,
       }
     }
     double ms = (NowS() - start) * 1e3;
-    simd::ForceScalar(false);
     return std::pair<double, uint64_t>(ms, total);
   };
   auto [scalar_ms, scalar_total] = sweep(/*force_scalar=*/true);
@@ -295,6 +298,30 @@ int Main(int argc, char** argv) {
               sweep.scalar_ms, simd::ActiveKernel(), sweep.simd_ms,
               simd_speedup, sweep.counts_match ? "yes" : "NO");
 
+  // Marketplace batched-vs-context column gate on a slice of the generated
+  // columns: the batched engine (membership hoisted, as the sharded build
+  // above amortizes it) must beat the pre-batch cell-shared context on
+  // production-shaped rankings, with bitwise-identical cells.
+  std::vector<std::pair<QueryId, LocationId>> market_columns;
+  for (QueryId q = 0; q < static_cast<QueryId>(market.queries().size()) &&
+                      market_columns.size() < 64;
+       ++q) {
+    for (LocationId l = 0; l < static_cast<LocationId>(
+                                   market.locations().size()) &&
+                           market_columns.size() < 64;
+         ++l) {
+      if (market.GetRanking(q, l) != nullptr) market_columns.emplace_back(q, l);
+    }
+  }
+  MarketColumnComparison market_cmp = CompareMarketColumnPaths(
+      market, space, MarketMeasure::kEmd, {}, market_columns,
+      /*rounds=*/smoke ? 3 : 5);
+  std::printf("market columns (%zu cols): context %.1f ms, batched %.1f ms "
+              "(%.2fx), identical: %s\n",
+              market_columns.size(), market_cmp.context_ms,
+              market_cmp.batch_ms, market_cmp.speedup(),
+              market_cmp.identical ? "yes" : "NO");
+
   SearchScaleSpec search_spec;
   search_spec.seed = spec.seed;
   if (smoke) {
@@ -305,13 +332,13 @@ int Main(int argc, char** argv) {
       OrDie(GenerateScaleSearch(search_spec), "search generation");
   GroupSpace search_space =
       OrDie(GroupSpace::Enumerate(search.schema()), "search space");
-  simd::ForceScalar(true);
   t0 = NowS();
-  UnfairnessCube search_scalar =
-      OrDie(BuildSearchCube(search, search_space, SearchMeasure::kJaccard),
-            "scalar search cube");
+  UnfairnessCube search_scalar = [&] {
+    simd::ScopedScalarKernels kernels;
+    return OrDie(BuildSearchCube(search, search_space, SearchMeasure::kJaccard),
+                 "scalar search cube");
+  }();
   double search_scalar_s = NowS() - t0;
-  simd::ForceScalar(false);
   t0 = NowS();
   UnfairnessCube search_simd =
       OrDie(BuildSearchCube(search, search_space, SearchMeasure::kJaccard),
@@ -394,6 +421,11 @@ int Main(int argc, char** argv) {
                         Fmt(budgets.simd_speedup, 2) + "x"
                   : "skipped (no AVX2)"},
       {"search_cube_bitwise_identical", search_identical, ""},
+      {"market_batch_bitwise_identical", market_cmp.identical, ""},
+      {"market_batch_speedup",
+       market_cmp.speedup() >= budgets.market_batch_speedup,
+       Fmt(market_cmp.speedup(), 2) + "x >= " +
+           Fmt(budgets.market_batch_speedup, 2) + "x"},
       {"serve_no_errors", serve_errors == 0,
        std::to_string(serve_errors) + " errors"},
   };
@@ -430,6 +462,11 @@ int Main(int argc, char** argv) {
       "  \"sweep_scalar_ms\": " + Fmt(sweep.scalar_ms, 2) + ",\n" +
       "  \"sweep_simd_ms\": " + Fmt(sweep.simd_ms, 2) + ",\n" +
       "  \"sweep_speedup\": " + Fmt(simd_speedup, 2) + ",\n" +
+      "  \"market_columns\": " + std::to_string(market_columns.size()) +
+      ",\n" +
+      "  \"market_context_ms\": " + Fmt(market_cmp.context_ms, 2) + ",\n" +
+      "  \"market_batched_ms\": " + Fmt(market_cmp.batch_ms, 2) + ",\n" +
+      "  \"market_batch_speedup\": " + Fmt(market_cmp.speedup(), 2) + ",\n" +
       "  \"search_build_scalar_s\": " + Fmt(search_scalar_s, 3) + ",\n" +
       "  \"search_build_simd_s\": " + Fmt(search_simd_s, 3) + ",\n" +
       "  \"index_build_s\": " + Fmt(index_s, 2) + ",\n" +

@@ -1,10 +1,14 @@
 #include "bench_util.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <optional>
 
 #include "common/string_util.h"
+#include "core/marketplace_batch.h"
 
 namespace fairjob {
 namespace bench {
@@ -104,6 +108,83 @@ Result<GoogleBoxes> BuildGoogleBoxes(const GoogleStudyConfig& config) {
                       SearchMeasure::kJaccard));
   boxes.jaccard_base = std::make_unique<FBox>(std::move(jac_base));
   return boxes;
+}
+
+MarketColumnComparison CompareMarketColumnPaths(
+    const MarketplaceDataset& data, const GroupSpace& space,
+    MarketMeasure measure, const MeasureOptions& options,
+    const std::vector<std::pair<QueryId, LocationId>>& columns,
+    size_t rounds) {
+  const size_t num_groups = space.num_groups();
+  // Hoisted per-dataset-version state, deliberately untimed (see header).
+  MarketplaceGroupMembership membership(data, space);
+
+  auto context_pass = [&](std::vector<std::optional<double>>* out) {
+    for (auto [q, l] : columns) {
+      Result<MarketplaceCellContext> context = MarketplaceCellContext::Make(
+          data, space, data.GetRanking(q, l), options);
+      for (size_t g = 0; g < num_groups; ++g) {
+        std::optional<double> cell;
+        if (context.ok()) {
+          Result<double> v =
+              context->Unfairness(static_cast<GroupId>(g), measure);
+          if (v.ok()) cell = *v;
+        }
+        if (out != nullptr) out->push_back(cell);
+      }
+    }
+  };
+  auto batch_pass = [&](std::vector<std::optional<double>>* out) {
+    for (auto [q, l] : columns) {
+      Result<MarketplaceCellBatch> batch = MarketplaceCellBatch::Make(
+          space, membership, data.GetRanking(q, l), measure, options);
+      for (size_t g = 0; g < num_groups; ++g) {
+        std::optional<double> cell;
+        if (batch.ok()) {
+          Result<double> v = batch->Unfairness(static_cast<GroupId>(g));
+          if (v.ok()) cell = *v;
+        }
+        if (out != nullptr) out->push_back(cell);
+      }
+    }
+  };
+
+  MarketColumnComparison result;
+  std::vector<std::optional<double>> context_cells;
+  std::vector<std::optional<double>> batch_cells;
+  context_pass(&context_cells);
+  batch_pass(&batch_cells);
+  result.identical = context_cells.size() == batch_cells.size();
+  for (size_t i = 0; result.identical && i < context_cells.size(); ++i) {
+    const std::optional<double>& a = context_cells[i];
+    const std::optional<double>& b = batch_cells[i];
+    if (a.has_value() != b.has_value()) {
+      result.identical = false;
+    } else if (a.has_value()) {
+      uint64_t ba;
+      uint64_t bb;
+      std::memcpy(&ba, &*a, sizeof(ba));
+      std::memcpy(&bb, &*b, sizeof(bb));
+      result.identical = ba == bb;
+    }
+  }
+
+  auto best_of = [&](auto&& pass) {
+    double best = 0.0;
+    for (size_t r = 0; r < rounds; ++r) {
+      auto start = std::chrono::steady_clock::now();
+      pass(nullptr);
+      double ms = std::chrono::duration_cast<
+                      std::chrono::duration<double, std::milli>>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+      if (r == 0 || ms < best) best = ms;
+    }
+    return best;
+  };
+  result.context_ms = best_of(context_pass);
+  result.batch_ms = best_of(batch_pass);
+  return result;
 }
 
 }  // namespace bench

@@ -4,9 +4,11 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/fbox.h"
+#include "core/unfairness_measures.h"
 #include "market/taskrabbit_sim.h"
 #include "search/google_sim.h"
 
@@ -56,6 +58,31 @@ struct GoogleBoxes {
   std::unique_ptr<FBox> jaccard_base;
 };
 Result<GoogleBoxes> BuildGoogleBoxes(const GoogleStudyConfig& config = {});
+
+// --- batched marketplace column comparison -------------------------------------
+
+// Evaluates the given (query, location) columns across the whole group axis
+// through the batched MarketplaceCellBatch engine and through the pre-batch
+// MarketplaceCellContext path, best-of-`rounds` wall clock each. The group
+// membership table is built OUTSIDE the timed region, the way every
+// production builder amortizes it across a dataset version — the comparison
+// isolates per-column evaluation cost, which is what the delta and sharded
+// paths pay per touched column. Also cross-checks that the two paths agree
+// bitwise on every cell (value bit patterns and the missing pattern). Feeds
+// the marketplace-batch speedup gates in bench_cube_build, bench_scale and
+// bench_incremental.
+struct MarketColumnComparison {
+  double context_ms = 0.0;  // cell-shared MarketplaceCellContext path
+  double batch_ms = 0.0;    // batched MarketplaceCellBatch engine
+  bool identical = true;    // bitwise agreement, including missing cells
+  double speedup() const {
+    return batch_ms > 0.0 ? context_ms / batch_ms : 0.0;
+  }
+};
+MarketColumnComparison CompareMarketColumnPaths(
+    const MarketplaceDataset& data, const GroupSpace& space,
+    MarketMeasure measure, const MeasureOptions& options,
+    const std::vector<std::pair<QueryId, LocationId>>& columns, size_t rounds);
 
 // Exits with a message when a Result is an error (benches are top-level
 // binaries; there is nothing to recover).

@@ -9,6 +9,7 @@
 
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "core/marketplace_batch.h"
 #include "ranking/jaccard.h"
 #include "ranking/list_batch.h"
 
@@ -173,17 +174,26 @@ Result<CubeAxes> ResolveAxes(const CubeAxes& axes, size_t num_groups,
 }
 
 // Evaluates one marketplace (query, location) column over `groups` into
-// `out` (nullopt = undefined triple), sharing a single MarketplaceCellContext
-// across the whole group axis. `out` must be pre-sized to groups.size().
+// `out` (nullopt = undefined triple) via the batched engine
+// (core/marketplace_batch.h): the hoisted membership table turns per-cell
+// label matching into bitmap probes, and one MarketplaceCellBatch is shared
+// across the whole group axis. Semantics are bitwise-identical to calling
+// MarketplaceUnfairness per triple (cross-checked in
+// tests/marketplace_batch_test.cc and enforced by bench_cube_build). `out`
+// must be pre-sized to groups.size().
 Status EvaluateMarketplaceColumn(const MarketplaceDataset& data,
-                                 const GroupSpace& space, MarketMeasure measure,
+                                 const GroupSpace& space,
+                                 const MarketplaceGroupMembership& membership,
+                                 MarketMeasure measure,
                                  const MeasureOptions& options, QueryId q,
                                  LocationId l,
                                  const std::vector<GroupId>& groups,
                                  std::vector<std::optional<double>>* out,
                                  size_t parallelism) {
-  // Per-phase observability: context construction (label matching,
-  // histograms, exposure sums) versus per-group measure evaluation.
+  // Per-phase observability: batch construction (membership sweeps,
+  // histogram scatter, bias/relevance sums) versus per-group evaluation.
+  // cube.market.cell_context_us keeps its name across the engine swap so
+  // dashboards show the construction phase continuously.
   MetricsRegistry& metrics = MetricsRegistry::Global();
   static LatencyHistogram* const column_us =
       metrics.histogram("cube.market.column_us");
@@ -198,23 +208,23 @@ Status EvaluateMarketplaceColumn(const MarketplaceDataset& data,
   ScopedTimer column_timer(column_us);
   TraceSpan span("market_column", "cube");
 
-  Result<MarketplaceCellContext> ctx = [&] {
+  Result<MarketplaceCellBatch> batch = [&] {
     ScopedTimer context_timer(context_us);
-    return MarketplaceCellContext::Make(data, space, data.GetRanking(q, l),
-                                        options);
+    return MarketplaceCellBatch::Make(space, membership, data.GetRanking(q, l),
+                                      measure, options);
   }();
-  if (!ctx.ok()) {
-    if (ctx.status().code() == StatusCode::kNotFound) {
+  if (!batch.ok()) {
+    if (batch.status().code() == StatusCode::kNotFound) {
       for (auto& cell : *out) cell.reset();
       cells_missing->Add(out->size());
       return Status::OK();
     }
-    return ctx.status();
+    return batch.status();
   }
   ScopedTimer group_timer(group_eval_us);
   Status evaluated =
       ParallelFor(groups.size(), parallelism, [&](size_t g) -> Status {
-        Result<double> v = ctx->Unfairness(groups[g], measure);
+        Result<double> v = batch->Unfairness(groups[g]);
         if (v.ok()) {
           (*out)[g] = *v;
         } else if (v.status().code() == StatusCode::kNotFound) {
@@ -473,12 +483,17 @@ Result<UnfairnessCube> BuildMarketplaceCube(const MarketplaceDataset& data,
       UnfairnessCube cube,
       UnfairnessCube::Make(resolved.groups, resolved.queries,
                            resolved.locations));
+  // Worker group membership depends only on demographics, never on the
+  // (query, location) column, so the label matching is hoisted out of the
+  // column loop and shared read-only across all column tasks — the
+  // marketplace twin of BuildSearchCube's hoist.
+  MarketplaceGroupMembership membership(data, space);
   Status built = ParallelForPairs(
       resolved.queries.size(), resolved.locations.size(), parallelism,
       [&](size_t q, size_t l) -> Status {
         std::vector<std::optional<double>> column(resolved.groups.size());
         FAIRJOB_RETURN_IF_ERROR(EvaluateMarketplaceColumn(
-            data, space, measure, options, resolved.queries[q],
+            data, space, membership, measure, options, resolved.queries[q],
             resolved.locations[l], resolved.groups, &column,
             /*parallelism=*/1));
         for (size_t g = 0; g < column.size(); ++g) {
@@ -534,12 +549,14 @@ Status RefreshMarketplaceColumn(const MarketplaceDataset& data,
                                 const MeasureOptions& options,
                                 UnfairnessCube* cube, size_t query_pos,
                                 size_t location_pos, size_t parallelism) {
+  MarketplaceGroupMembership membership(data, space);
   return RefreshColumn(
       cube, query_pos, location_pos,
       [&](QueryId q, LocationId l, const std::vector<GroupId>& groups,
           std::vector<std::optional<double>>* column) {
-        return EvaluateMarketplaceColumn(data, space, measure, options, q, l,
-                                         groups, column, parallelism);
+        return EvaluateMarketplaceColumn(data, space, membership, measure,
+                                         options, q, l, groups, column,
+                                         parallelism);
       });
 }
 
@@ -680,6 +697,7 @@ Status BuildCubeColumns(
 
 Status BuildMarketplaceCubeColumns(const MarketplaceDataset& data,
                                    const GroupSpace& space,
+                                   const MarketplaceGroupMembership& membership,
                                    MarketMeasure measure,
                                    const MeasureOptions& options,
                                    const CubeAxes& axes,
@@ -692,10 +710,22 @@ Status BuildMarketplaceCubeColumns(const MarketplaceDataset& data,
       resolved, columns, parallelism, sink,
       [&](QueryId q, LocationId l,
           std::vector<std::optional<double>>* column) {
-        return EvaluateMarketplaceColumn(data, space, measure, options, q, l,
-                                         resolved.groups, column,
-                                         /*parallelism=*/1);
+        return EvaluateMarketplaceColumn(data, space, membership, measure,
+                                         options, q, l, resolved.groups,
+                                         column, /*parallelism=*/1);
       });
+}
+
+Status BuildMarketplaceCubeColumns(const MarketplaceDataset& data,
+                                   const GroupSpace& space,
+                                   MarketMeasure measure,
+                                   const MeasureOptions& options,
+                                   const CubeAxes& axes,
+                                   const std::vector<CubeColumnRef>& columns,
+                                   size_t parallelism, CubeColumnSink* sink) {
+  MarketplaceGroupMembership membership(data, space);
+  return BuildMarketplaceCubeColumns(data, space, membership, measure, options,
+                                     axes, columns, parallelism, sink);
 }
 
 Status BuildSearchCubeColumns(const SearchDataset& data,
@@ -731,13 +761,14 @@ Status BuildMarketplaceCubeSharded(const MarketplaceDataset& data,
   TraceSpan span("BuildMarketplaceCubeSharded", "cube");
   FAIRJOB_ASSIGN_OR_RETURN(CubeAxes resolved,
                            ResolveMarketplaceCubeAxes(data, space, axes));
+  MarketplaceGroupMembership membership(data, space);
   return BuildCubeSharded(
       resolved, sharded, sink, "market",
       [&](QueryId q, LocationId l,
           std::vector<std::optional<double>>* column) {
-        return EvaluateMarketplaceColumn(data, space, measure, options, q, l,
-                                         resolved.groups, column,
-                                         /*parallelism=*/1);
+        return EvaluateMarketplaceColumn(data, space, membership, measure,
+                                         options, q, l, resolved.groups,
+                                         column, /*parallelism=*/1);
       });
 }
 

@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "core/data_model.h"
 #include "core/group_space.h"
+#include "core/marketplace_batch.h"
 #include "core/unfairness_measures.h"
 
 namespace fairjob {
@@ -159,10 +160,12 @@ struct ShardedBuildOptions {
 };
 
 // Evaluates the chosen measure for every (g, q, l) in the axes; undefined
-// triples stay missing. Per-cell state (worker values, group memberships,
-// histograms, exposure sums — see MarketplaceCellContext) is computed once
-// per (query, location) and shared across the whole group axis, so each cell
-// costs O(G · n) label matching instead of the per-triple O(G² · n). With
+// triples stay missing. Group membership is hoisted into a per-build
+// MarketplaceGroupMembership table (label matching once per build, not per
+// cell) and per-cell state (worker values, per-group histograms, bias and
+// relevance sums — see MarketplaceCellBatch in core/marketplace_batch.h) is
+// computed once per (query, location) and shared across the whole group
+// axis; results stay bitwise-identical to MarketplaceUnfairness. With
 // `parallelism` > 1, (query, location) columns are evaluated on that many
 // threads of the shared ThreadPool (cells are disjoint, datasets are read
 // only; results are bitwise-identical to the serial build). Errors: only on
@@ -224,6 +227,19 @@ Status BuildMarketplaceCubeColumns(const MarketplaceDataset& data,
                                    const CubeAxes& axes,
                                    const std::vector<CubeColumnRef>& columns,
                                    size_t parallelism, CubeColumnSink* sink);
+// Variant taking a caller-maintained MarketplaceGroupMembership table, the
+// amortization seam for tight delta loops (MarketplaceCubeMaintainer keeps
+// one per dataset version and updates it instead of relabeling every worker
+// per upsert). `membership` must cover every worker the touched rankings
+// list. The parameterless variant above builds a fresh table per call.
+Status BuildMarketplaceCubeColumns(const MarketplaceDataset& data,
+                                   const GroupSpace& space,
+                                   const MarketplaceGroupMembership& membership,
+                                   MarketMeasure measure,
+                                   const MeasureOptions& options,
+                                   const CubeAxes& axes,
+                                   const std::vector<CubeColumnRef>& columns,
+                                   size_t parallelism, CubeColumnSink* sink);
 Status BuildSearchCubeColumns(const SearchDataset& data,
                               const GroupSpace& space, SearchMeasure measure,
                               const MeasureOptions& options,
@@ -234,10 +250,11 @@ Status BuildSearchCubeColumns(const SearchDataset& data,
 // Incremental maintenance: re-evaluates the group cells of one
 // (query, location) column after its underlying ranking changed (a crawl
 // refresh); triples that became undefined are cleared. Pair with
-// IndexSet::RefreshColumn to keep the inverted lists in sync. Shares one
-// MarketplaceCellContext across the column; with `parallelism` > 1 the
-// group cells are evaluated on the shared ThreadPool (no per-call thread
-// spawns, so tight refresh loops stay cheap).
+// IndexSet::RefreshColumn to keep the inverted lists in sync. Builds one
+// MarketplaceGroupMembership table and shares one MarketplaceCellBatch
+// across the column; with `parallelism` > 1 the group cells are evaluated
+// on the shared ThreadPool (no per-call thread spawns, so tight refresh
+// loops stay cheap).
 // Errors: InvalidArgument on out-of-range positions or bad options.
 Status RefreshMarketplaceColumn(const MarketplaceDataset& data,
                                 const GroupSpace& space, MarketMeasure measure,

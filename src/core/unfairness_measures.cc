@@ -12,12 +12,9 @@
 #include "ranking/rbo.h"
 
 namespace fairjob {
-namespace {
 
-// Per-worker value the marketplace measures operate on: the site score when
-// available (and wanted), else the rank-derived relevance 1 - rank/N.
-Result<std::vector<double>> WorkerValues(const MarketRanking& ranking,
-                                         const MeasureOptions& options) {
+Result<std::vector<double>> MarketplaceWorkerValues(
+    const MarketRanking& ranking, const MeasureOptions& options) {
   size_t n = ranking.workers.size();
   std::vector<double> values(n, 0.0);
   if (options.use_scores_if_available && !ranking.scores.empty()) {
@@ -29,9 +26,7 @@ Result<std::vector<double>> WorkerValues(const MarketRanking& ranking,
   return values;
 }
 
-// Option checks shared by the per-triple reference path and the per-cell
-// context path.
-Status ValidateMarketOptions(const MeasureOptions& options) {
+Status ValidateMarketplaceOptions(const MeasureOptions& options) {
   if (options.histogram_bins < 1) {
     return Status::InvalidArgument("histogram_bins must be >= 1");
   }
@@ -41,6 +36,8 @@ Status ValidateMarketOptions(const MeasureOptions& options) {
   }
   return Status::OK();
 }
+
+namespace {
 
 // Marketplace kernel metrics, shared by the per-triple reference path and
 // the cell-shared context path so both report into the same series.
@@ -66,6 +63,9 @@ LatencyHistogram* ExposureLatency() {
 }
 
 // Position bias of one 0-based ranking position under the chosen model.
+// Routes through ranking/exposure.h — the single, memo-backed home of the
+// 1/log(1+rank) curve — so the per-cell paths and the batched engine
+// (core/marketplace_batch.h) read bitwise-identical bias values.
 double PositionBias(size_t pos, const MeasureOptions& options) {
   return options.exposure_model == ExposureModel::kLogInverse
              ? ExposureAtRank(pos + 1)
@@ -91,7 +91,7 @@ Result<double> MarketplaceEmd(const MarketplaceDataset& data,
                               const MarketRanking& ranking,
                               const MeasureOptions& options) {
   FAIRJOB_ASSIGN_OR_RETURN(std::vector<double> values,
-                           WorkerValues(ranking, options));
+                           MarketplaceWorkerValues(ranking, options));
   std::vector<size_t> own = GroupPositions(data, space, g, ranking);
   if (own.empty()) {
     return Status::NotFound("group has no members in this ranking");
@@ -130,7 +130,7 @@ Result<double> MarketplaceExposure(const MarketplaceDataset& data,
                                    const MarketRanking& ranking,
                                    const MeasureOptions& options) {
   FAIRJOB_ASSIGN_OR_RETURN(std::vector<double> values,
-                           WorkerValues(ranking, options));
+                           MarketplaceWorkerValues(ranking, options));
   std::vector<size_t> own = GroupPositions(data, space, g, ranking);
   if (own.empty()) {
     return Status::NotFound("group has no members in this ranking");
@@ -246,7 +246,7 @@ Result<double> MarketplaceUnfairness(const MarketplaceDataset& data,
                                      QueryId q, LocationId l,
                                      MarketMeasure measure,
                                      const MeasureOptions& options) {
-  FAIRJOB_RETURN_IF_ERROR(ValidateMarketOptions(options));
+  FAIRJOB_RETURN_IF_ERROR(ValidateMarketplaceOptions(options));
   const MarketRanking* ranking = data.GetRanking(q, l);
   if (ranking == nullptr || ranking->workers.empty()) {
     return Status::NotFound("no ranking observed for this (query, location)");
@@ -263,14 +263,14 @@ Result<double> MarketplaceUnfairness(const MarketplaceDataset& data,
 Result<MarketplaceCellContext> MarketplaceCellContext::Make(
     const MarketplaceDataset& data, const GroupSpace& space,
     const MarketRanking* ranking, const MeasureOptions& options) {
-  FAIRJOB_RETURN_IF_ERROR(ValidateMarketOptions(options));
+  FAIRJOB_RETURN_IF_ERROR(ValidateMarketplaceOptions(options));
   if (ranking == nullptr || ranking->workers.empty()) {
     return Status::NotFound("no ranking observed for this (query, location)");
   }
   MarketplaceCellContext ctx;
   ctx.space_ = &space;
   ctx.options_ = options;
-  FAIRJOB_ASSIGN_OR_RETURN(ctx.values_, WorkerValues(*ranking, options));
+  FAIRJOB_ASSIGN_OR_RETURN(ctx.values_, MarketplaceWorkerValues(*ranking, options));
 
   size_t n = ranking->workers.size();
   std::vector<const Demographics*> demos(n);

@@ -58,6 +58,17 @@ struct MeasureOptions {
   bool use_scores_if_available = true;
 };
 
+// Option checks shared by every marketplace evaluation path (per-triple
+// reference, cell-shared context, batched engine). Errors: InvalidArgument
+// on malformed options.
+Status ValidateMarketplaceOptions(const MeasureOptions& options);
+
+// Per-worker value the marketplace measures operate on, parallel to
+// `ranking.workers`: the site score when available (and wanted), else the
+// rank-derived relevance 1 − rank/N.
+Result<std::vector<double>> MarketplaceWorkerValues(
+    const MarketRanking& ranking, const MeasureOptions& options);
+
 // d<g,q,l> for a marketplace (Eq. 2 / Section 3.3). Averages the chosen
 // distance between group g and each comparable group that has at least one
 // member in the (q, l) ranking.

@@ -11,7 +11,35 @@ namespace fairjob {
 // Position-bias exposure of a 1-based rank: 1 / ln(1 + rank). Rank 1 gets
 // 1/ln(2) ≈ 1.44; exposure decays logarithmically as in Singh & Joachims /
 // Biega et al., matching the paper's Figure 5 worked example.
+//
+// Memo-backed: once the process-shared PositionBiasTable covers `rank`, the
+// value is served from it instead of recomputing the transcendental. Table
+// entries are computed by the exact same expression, so the memoized and
+// direct paths return bitwise-identical doubles (cross-checked in
+// tests/exposure_test.cc). This is the single position-bias helper — the
+// marketplace measures (core/unfairness_measures.cc) route through it too.
 double ExposureAtRank(size_t rank);
+
+// Process-shared memoized ExposureAtRank values, grown on demand to the
+// longest ranking a batched cube build has seen. Retired generations are
+// kept alive for the process lifetime (growth doubles, so the total memory
+// stays under 2x the final table), which makes a published View pointer
+// valid forever — batch engines may hold it across pool threads without
+// pinning anything.
+class PositionBiasTable {
+ public:
+  struct View {
+    // bias[pos] == ExposureAtRank(pos + 1) for 0-based position pos < size.
+    const double* bias = nullptr;
+    size_t size = 0;
+  };
+
+  // A view covering at least `min_ranks` ranks (1..size), growing the shared
+  // table if needed. Thread-safe; lock-free once the table covers the
+  // request. min_ranks == 0 returns whatever is currently published (maybe
+  // an empty view).
+  static View LogInverse(size_t min_ranks);
+};
 
 // Alternative position-bias curve: rank^(−gamma), the power-law click model
 // (gamma = 1 is the classic 1/rank falloff; larger gamma is steeper). Used

@@ -26,6 +26,32 @@ void GatherPositionsScalar(const int32_t* pos, const int32_t* ids, size_t n,
   }
 }
 
+size_t CompressPositionsScalar(const uint64_t* bits, size_t words,
+                               int32_t* out) {
+  size_t count = 0;
+  for (size_t w = 0; w < words; ++w) {
+    uint64_t word = bits[w];
+    const int32_t base = static_cast<int32_t>(w << 6);
+    while (word != 0) {
+      out[count++] = base + std::countr_zero(word);
+      word &= word - 1;
+    }
+  }
+  return count;
+}
+
+void MaskedBinCountScalar(const uint64_t* bits, size_t words,
+                          const int32_t* bins, uint32_t* counts) {
+  for (size_t w = 0; w < words; ++w) {
+    uint64_t word = bits[w];
+    const size_t base = w << 6;
+    while (word != 0) {
+      counts[bins[base + static_cast<size_t>(std::countr_zero(word))]] += 1;
+      word &= word - 1;
+    }
+  }
+}
+
 #if defined(FAIRJOB_ENABLE_AVX2)
 
 // AND + positional-popcount sweep: the 4-bit-nibble LUT popcount (vpshufb)
@@ -79,6 +105,71 @@ __attribute__((target("avx2"))) void GatherPositionsAvx2(const int32_t* pos,
   }
 }
 
+// Membership bitmaps of a marketplace cell are sparse for most groups (an
+// intersectional group holds a few percent of a ranking), so the win is
+// skipping empty regions wholesale: vptest a 4-word block and fall into the
+// scalar bit-expansion only when something is set. Expansion itself stays
+// scalar — positions must come out in ascending order and the per-word work
+// is O(popcount), which vectorizing cannot beat on sparse rows. Integer-only
+// either way, so the output is bitwise-identical to the scalar kernel.
+__attribute__((target("avx2"))) size_t CompressPositionsAvx2(
+    const uint64_t* bits, size_t words, int32_t* out) {
+  size_t count = 0;
+  size_t w = 0;
+  for (; w + 4 <= words; w += 4) {
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bits + w));
+    if (_mm256_testz_si256(v, v)) continue;
+    for (size_t k = w; k < w + 4; ++k) {
+      uint64_t word = bits[k];
+      const int32_t base = static_cast<int32_t>(k << 6);
+      while (word != 0) {
+        out[count++] = base + std::countr_zero(word);
+        word &= word - 1;
+      }
+    }
+  }
+  for (; w < words; ++w) {
+    uint64_t word = bits[w];
+    const int32_t base = static_cast<int32_t>(w << 6);
+    while (word != 0) {
+      out[count++] = base + std::countr_zero(word);
+      word &= word - 1;
+    }
+  }
+  return count;
+}
+
+// Same zero-block skip; the scatter into `counts` is inherently scalar (bins
+// collide), so only the empty-region traversal is vectorized.
+__attribute__((target("avx2"))) void MaskedBinCountAvx2(const uint64_t* bits,
+                                                        size_t words,
+                                                        const int32_t* bins,
+                                                        uint32_t* counts) {
+  size_t w = 0;
+  for (; w + 4 <= words; w += 4) {
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bits + w));
+    if (_mm256_testz_si256(v, v)) continue;
+    for (size_t k = w; k < w + 4; ++k) {
+      uint64_t word = bits[k];
+      const size_t base = k << 6;
+      while (word != 0) {
+        counts[bins[base + static_cast<size_t>(std::countr_zero(word))]] += 1;
+        word &= word - 1;
+      }
+    }
+  }
+  for (; w < words; ++w) {
+    uint64_t word = bits[w];
+    const size_t base = w << 6;
+    while (word != 0) {
+      counts[bins[base + static_cast<size_t>(std::countr_zero(word))]] += 1;
+      word &= word - 1;
+    }
+  }
+}
+
 #endif  // FAIRJOB_ENABLE_AVX2
 
 namespace {
@@ -120,6 +211,24 @@ void GatherPositions(const int32_t* pos, const int32_t* ids, size_t n,
   }
 #endif
   GatherPositionsScalar(pos, ids, n, out);
+}
+
+size_t CompressPositions(const uint64_t* bits, size_t words, int32_t* out) {
+#if defined(FAIRJOB_ENABLE_AVX2)
+  if (UseAvx2()) return CompressPositionsAvx2(bits, words, out);
+#endif
+  return CompressPositionsScalar(bits, words, out);
+}
+
+void MaskedBinCount(const uint64_t* bits, size_t words, const int32_t* bins,
+                    uint32_t* counts) {
+#if defined(FAIRJOB_ENABLE_AVX2)
+  if (UseAvx2()) {
+    MaskedBinCountAvx2(bits, words, bins, counts);
+    return;
+  }
+#endif
+  MaskedBinCountScalar(bits, words, bins, counts);
 }
 
 const char* ActiveKernel() { return UseAvx2() ? "avx2" : "scalar"; }

@@ -7,21 +7,27 @@
 namespace fairjob {
 namespace simd {
 
-// Runtime-dispatched SIMD kernels behind the batched list-distance engine
-// (ranking/list_batch.h). Two primitives cover the hot loops:
+// Runtime-dispatched SIMD kernels behind the batched engines. Four
+// primitives cover the hot loops:
 //
 //  * IntersectPopcount — popcount of the AND of two membership bitmaps, the
-//    whole cost of the dense-universe Jaccard sweep;
+//    whole cost of the dense-universe Jaccard sweep (ranking/list_batch.h);
 //  * GatherPositions — out[r] = pos[ids[r]], the membership/rank scan that
 //    feeds the Kendall-Tau / Footrule / RBO kernels (position arrays are
 //    int32 with −1 for "absent", so one gather answers both "what rank" and
-//    "is it a member").
+//    "is it a member");
+//  * CompressPositions — set-bit positions of a bitmap in ascending order,
+//    the per-group member sweep of the batched marketplace engine
+//    (core/marketplace_batch.h);
+//  * MaskedBinCount — counts[bins[p]] += 1 for every set bit p, the
+//    histogram scatter of the same engine.
 //
-// Both are integer-only, so the SIMD variants are *bitwise* equivalent to
+// All are integer-only, so the SIMD variants are *bitwise* equivalent to
 // the scalar ones — no floating-point reassociation is possible — and the
-// engine's bitwise contract against the per-pair references is preserved
-// unconditionally (tests/list_batch_test.cc runs the differential over
-// off-width tails and random inputs).
+// engines' bitwise contracts against the per-pair/per-cell references are
+// preserved unconditionally (tests/list_batch_test.cc and
+// tests/marketplace_batch_test.cc run the differentials over off-width
+// tails and random inputs).
 //
 // Dispatch: the scalar fallback (portable, std::popcount) always exists;
 // when the binary was compiled with FAIRJOB_ENABLE_AVX2 *and* the CPU
@@ -34,6 +40,15 @@ size_t IntersectPopcountScalar(const uint64_t* a, const uint64_t* b,
                                size_t words);
 void GatherPositionsScalar(const int32_t* pos, const int32_t* ids, size_t n,
                            int32_t* out);
+// Writes the 0-based positions of the set bits of `bits` (ascending) to
+// `out` and returns how many were written. `out` must have room for the
+// bitmap's popcount; bit p of word w is position 64*w + p.
+size_t CompressPositionsScalar(const uint64_t* bits, size_t words,
+                               int32_t* out);
+// counts[bins[p]] += 1 for every set bit p of `bits`. `bins` must cover
+// every set position; `counts` must cover every referenced bin.
+void MaskedBinCountScalar(const uint64_t* bits, size_t words,
+                          const int32_t* bins, uint32_t* counts);
 
 // AVX2 variants. Compiled only when FAIRJOB_ENABLE_AVX2 is defined (the
 // CMake option of the same name); calling them requires Avx2Available().
@@ -42,6 +57,9 @@ size_t IntersectPopcountAvx2(const uint64_t* a, const uint64_t* b,
                              size_t words);
 void GatherPositionsAvx2(const int32_t* pos, const int32_t* ids, size_t n,
                          int32_t* out);
+size_t CompressPositionsAvx2(const uint64_t* bits, size_t words, int32_t* out);
+void MaskedBinCountAvx2(const uint64_t* bits, size_t words,
+                        const int32_t* bins, uint32_t* counts);
 #endif
 
 // True when the AVX2 variants are both compiled in and supported by the
@@ -52,14 +70,30 @@ bool Avx2Available();
 size_t IntersectPopcount(const uint64_t* a, const uint64_t* b, size_t words);
 void GatherPositions(const int32_t* pos, const int32_t* ids, size_t n,
                      int32_t* out);
+size_t CompressPositions(const uint64_t* bits, size_t words, int32_t* out);
+void MaskedBinCount(const uint64_t* bits, size_t words, const int32_t* bins,
+                    uint32_t* counts);
 
 // "avx2" or "scalar" — what the dispatched entry points currently run.
 const char* ActiveKernel();
 
 // Benchmark hook: true pins dispatch to the scalar variants, false restores
 // auto-detection. Not thread-safe against concurrent kernel calls; flip it
-// only around single-threaded timing loops.
+// only around single-threaded timing loops — or use ScopedScalarKernels,
+// which pins before worker threads spawn and restores on destruction.
 void ForceScalar(bool force);
+
+// RAII pin for tests and benches: forces the scalar kernels for the scope's
+// lifetime and restores auto-detection on destruction. Construct it BEFORE
+// spawning any thread that calls a kernel (ForceScalar is not thread-safe
+// against concurrent kernel calls) and let it die after they join.
+class ScopedScalarKernels {
+ public:
+  explicit ScopedScalarKernels(bool force = true) { ForceScalar(force); }
+  ~ScopedScalarKernels() { ForceScalar(false); }
+  ScopedScalarKernels(const ScopedScalarKernels&) = delete;
+  ScopedScalarKernels& operator=(const ScopedScalarKernels&) = delete;
+};
 
 }  // namespace simd
 }  // namespace fairjob

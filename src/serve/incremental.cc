@@ -219,11 +219,18 @@ Result<UpsertReport> MarketplaceCubeMaintainer::UpsertCrawlBatch(
         data_.SetRanking(row.query, row.location, row.ranking));
   }
 
+  // Cover any workers added since the table was built (a no-op for
+  // ranking-only batches), then hand the up-to-date table to the delta
+  // rebuild — touched columns probe bitmaps instead of relabeling the
+  // population.
+  membership_.Update(data_, space_);
+
   return ApplyColumnDelta(
       &snapshot_, batch.rows.size(), DedupColumns(std::move(columns)),
       [&](const std::vector<CubeColumnRef>& touched, CubeColumnSink* sink) {
-        return BuildMarketplaceCubeColumns(data_, space_, measure_, options_,
-                                           axes_, touched, parallelism_, sink);
+        return BuildMarketplaceCubeColumns(data_, space_, membership_, measure_,
+                                           options_, axes_, touched,
+                                           parallelism_, sink);
       });
 }
 

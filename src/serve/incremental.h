@@ -120,7 +120,8 @@ class MarketplaceCubeMaintainer {
         measure_(measure),
         options_(std::move(options)),
         axes_(std::move(axes)),
-        parallelism_(parallelism) {}
+        parallelism_(parallelism),
+        membership_(data_, space_) {}
 
   MarketplaceDataset data_;
   GroupSpace space_;
@@ -128,6 +129,12 @@ class MarketplaceCubeMaintainer {
   MeasureOptions options_;
   CubeAxes axes_;  // resolved at Make time; fixed for the maintainer's life
   size_t parallelism_;
+  // Hoisted worker-group membership table (core/marketplace_batch.h), the
+  // per-dataset-version state of the batched column engine. Updated in
+  // UpsertCrawlBatch before recomputation, so delta rebuilds never relabel
+  // the whole worker population. Declared after data_/space_ — member init
+  // order builds it from the already-moved-in dataset.
+  MarketplaceGroupMembership membership_;
   std::shared_ptr<const CubeSnapshot> snapshot_;
 };
 

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 
 namespace fairjob {
 namespace {
@@ -49,6 +51,47 @@ TEST(TotalsTest, EmptyRanksAreZero) {
 
 TEST(TotalsTest, RelevancePropagatesErrors) {
   EXPECT_FALSE(TotalRelevance({1, 99}, 10).ok());
+}
+
+uint64_t BitsOf(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+// The memoized bias table is the single source of the log-inverse curve for
+// the batched marketplace engine; its entries must be BITWISE identical to
+// ExposureAtRank (which probes the same table) and to the direct formula —
+// the whole-cube bitwise contract rests on this.
+TEST(BiasTableTest, EntriesMatchExposureAtRankBitwise) {
+  PositionBiasTable::View view = PositionBiasTable::LogInverse(200);
+  ASSERT_GE(view.size, 200u);
+  for (size_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(BitsOf(view.bias[i]), BitsOf(ExposureAtRank(i + 1))) << i;
+    EXPECT_EQ(BitsOf(view.bias[i]),
+              BitsOf(1.0 / std::log(1.0 + static_cast<double>(i + 1))))
+        << i;
+  }
+}
+
+// Growing the table must preserve the published prefix bit for bit — views
+// handed out earlier stay valid and identical (generations are never
+// mutated, only superseded).
+TEST(BiasTableTest, GrowthPreservesPrefixBitwise) {
+  PositionBiasTable::View small = PositionBiasTable::LogInverse(64);
+  PositionBiasTable::View large = PositionBiasTable::LogInverse(small.size * 4);
+  ASSERT_GE(large.size, small.size * 4);
+  for (size_t i = 0; i < small.size; ++i) {
+    EXPECT_EQ(BitsOf(small.bias[i]), BitsOf(large.bias[i])) << i;
+  }
+}
+
+// min_ranks == 0 never grows the table; whatever is published (possibly an
+// empty view early in the process) must still be usable with size 0 reads.
+TEST(BiasTableTest, ZeroMinRanksDoesNotGrow) {
+  PositionBiasTable::View before = PositionBiasTable::LogInverse(0);
+  PositionBiasTable::View again = PositionBiasTable::LogInverse(0);
+  EXPECT_EQ(before.size, again.size);
 }
 
 // The paper's Figure 5 worked example, computed exactly: Black Females at

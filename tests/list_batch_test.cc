@@ -268,13 +268,6 @@ TEST(ListBatchTest, DeduplicatesIdenticalListContent) {
   EXPECT_EQ(*batch->FootruleTopK(2, 4), 0.0);
 }
 
-// Restores the dispatcher on scope exit so a failing assertion cannot leave
-// the process pinned to the scalar kernels.
-struct ScopedForceScalar {
-  explicit ScopedForceScalar(bool on) { simd::ForceScalar(on); }
-  ~ScopedForceScalar() { simd::ForceScalar(false); }
-};
-
 // Direct kernel-level differential: the dispatched kernels must agree with
 // the scalar reference on every word count around the AVX2 block width of 4
 // words / 8 gather lanes — including the off-width tails the vector path
@@ -334,7 +327,9 @@ TEST(ListBatchTest, ForcedScalarAndDispatchedKernelsAgreeBitwise) {
         Result<double> kt_s = unset, j_s = unset, f_s = unset, rbo_s = unset,
                        ktf_s = unset;
         {
-          ScopedForceScalar force(true);
+          // RAII pin (ranking/simd.h): restores dispatch on scope exit so a
+          // failing assertion cannot leave the process pinned to scalar.
+          simd::ScopedScalarKernels force_scalar;
           kt_s = batch->KendallTauTopK(i, j, 0.3, &scratch);
           j_s = batch->Jaccard(i, j);
           f_s = batch->FootruleTopK(i, j);
